@@ -1,0 +1,44 @@
+"""Ablation - sensitivity of BBST to the bucket capacity (Definition 3).
+
+The paper fixes the bucket size at ``log m`` to obtain the Lemma 5 bound.
+This ablation sweeps the capacity around that value and records how the
+upper-bound tightness (number of sampling iterations) and the total time
+react: tiny buckets make the bound tight but the trees deep; huge buckets
+make the trees shallow but the bound (and hence the rejection rate) loose.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.core.bbst_sampler import BBSTSampler
+
+SAMPLES = 2_000
+
+
+@pytest.mark.parametrize("capacity_factor", [0.5, 1.0, 4.0], ids=["half-logm", "logm", "4x-logm"])
+def test_bucket_capacity_ablation(benchmark, nyc_workload, capacity_factor):
+    spec = build_join_spec(nyc_workload)
+    log_m = max(1, int(math.ceil(math.log2(spec.m))))
+    capacity = max(1, int(round(capacity_factor * log_m)))
+    sampler = BBSTSampler(spec, bucket_capacity=capacity)
+    sampler.preprocess()
+
+    def run():
+        return sampler.sample(SAMPLES, seed=37)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "bucket_capacity": capacity,
+            "log_m": log_m,
+            "iterations": result.iterations,
+            "acceptance_rate": round(result.acceptance_rate, 4),
+            "total_seconds": round(result.timings.total_seconds, 4),
+            "sum_mu": result.metadata["sum_mu"],
+        }
+    )
+    assert len(result) == SAMPLES

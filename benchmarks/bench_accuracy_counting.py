@@ -1,0 +1,37 @@
+"""Section V-B - accuracy of the approximate range counting.
+
+The paper measures ``sum_r mu(r) / |J|`` = 1.19 / 1.04 / 1.07 / 1.17 on its
+four datasets.  At proxy scale the cells hold far fewer points than the
+bucket capacity, so the ratio is looser, but it must stay well below the
+O(log m) worst case of Lemma 5 and the bound must never undercount.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.stats.accuracy import counting_accuracy_report
+
+
+@pytest.mark.parametrize("dataset_index", range(4), ids=["castreet", "foursquare", "imis", "nyc"])
+def test_upper_bound_accuracy(benchmark, smoke_workloads, dataset_index):
+    config = smoke_workloads[dataset_index]
+    spec = build_join_spec(config)
+
+    def run():
+        return counting_accuracy_report(spec, dataset=config.dataset)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "dataset": config.dataset,
+            "join_size": report.join_size,
+            "sum_mu": report.sum_mu,
+            "ratio": round(report.ratio, 4),
+        }
+    )
+    assert report.ratio >= 1.0
+    assert report.ratio <= max(4.0, math.log2(spec.m))

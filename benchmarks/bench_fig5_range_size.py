@@ -1,0 +1,46 @@
+"""Fig. 5 - impact of the range (window) size on the total running time.
+
+The paper's observation: the baselines degrade as the window (and therefore
+|J|) grows, while BBST is largely insensitive to it.  Each benchmark runs one
+algorithm over a sweep of window half-extents on the CaStreet proxy and
+records the per-size totals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+
+ALGORITHMS = {
+    "KDS": KDSSampler,
+    "KDS-rejection": KDSRejectionSampler,
+    "BBST": BBSTSampler,
+}
+
+HALF_EXTENTS = (50.0, 150.0, 400.0)
+SAMPLES = 1_000
+
+
+@pytest.mark.parametrize("algorithm_name", list(ALGORITHMS), ids=list(ALGORITHMS))
+def test_range_size_sweep(benchmark, castreet_workload, algorithm_name):
+    def run():
+        totals = {}
+        for half_extent in HALF_EXTENTS:
+            spec = build_join_spec(castreet_workload, half_extent=half_extent)
+            result = ALGORITHMS[algorithm_name](spec).sample(SAMPLES, seed=13)
+            totals[half_extent] = result.timings.total_seconds
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["algorithm"] = algorithm_name
+    for half_extent, seconds in totals.items():
+        benchmark.extra_info[f"total_seconds_l_{int(half_extent)}"] = round(seconds, 4)
+
+    if algorithm_name == "BBST":
+        # BBST's running time must not explode with the window size (the
+        # paper reports near-flat curves); allow a generous 5x envelope.
+        assert max(totals.values()) < 5.0 * max(min(totals.values()), 1e-3)

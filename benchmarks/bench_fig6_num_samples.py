@@ -1,0 +1,47 @@
+"""Fig. 6 - impact of the number of samples ``t``.
+
+The paper's observation: the baselines' running times grow linearly in ``t``
+because every draw costs O(sqrt(m)); BBST's total grows only once the
+(cheap) sampling phase starts to dominate its build/count phases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+
+ALGORITHMS = {
+    "KDS": KDSSampler,
+    "KDS-rejection": KDSRejectionSampler,
+    "BBST": BBSTSampler,
+}
+
+SAMPLE_COUNTS = (500, 2_000, 8_000)
+
+
+@pytest.mark.parametrize("algorithm_name", list(ALGORITHMS), ids=list(ALGORITHMS))
+def test_num_samples_sweep(benchmark, nyc_workload, algorithm_name):
+    spec = build_join_spec(nyc_workload)
+    sampler = ALGORITHMS[algorithm_name](spec)
+    sampler.preprocess()
+
+    def run():
+        totals = {}
+        for t in SAMPLE_COUNTS:
+            result = sampler.sample(t, seed=17)
+            totals[t] = result.timings.total_seconds
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["algorithm"] = algorithm_name
+    for t, seconds in totals.items():
+        benchmark.extra_info[f"total_seconds_t_{t}"] = round(seconds, 4)
+
+    if algorithm_name == "BBST":
+        # A 16x increase in t should cost far less than 16x in total time
+        # because the build/count phases are t-independent.
+        assert totals[SAMPLE_COUNTS[-1]] < 8.0 * totals[SAMPLE_COUNTS[0]]

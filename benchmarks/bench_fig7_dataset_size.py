@@ -1,0 +1,49 @@
+"""Fig. 7 - impact of the dataset size (scalability sweep).
+
+Each algorithm is run on 40% / 70% / 100% of the IMIS proxy; BBST should stay
+ahead of both baselines at every size, and every algorithm's time should grow
+sub-quadratically with the data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+
+ALGORITHMS = {
+    "KDS": KDSSampler,
+    "KDS-rejection": KDSRejectionSampler,
+    "BBST": BBSTSampler,
+}
+
+FRACTIONS = (0.4, 0.7, 1.0)
+SAMPLES = 1_000
+
+
+@pytest.mark.parametrize("algorithm_name", list(ALGORITHMS), ids=list(ALGORITHMS))
+def test_dataset_size_sweep(benchmark, smoke_workloads, algorithm_name):
+    imis_workload = smoke_workloads[2]
+
+    def run():
+        totals = {}
+        for fraction in FRACTIONS:
+            spec = build_join_spec(imis_workload, scale_fraction=fraction)
+            result = ALGORITHMS[algorithm_name](spec).sample(SAMPLES, seed=19)
+            totals[fraction] = (spec.n + spec.m, result.timings.total_seconds)
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["algorithm"] = algorithm_name
+    for fraction, (size, seconds) in totals.items():
+        benchmark.extra_info[f"total_seconds_at_{int(fraction * 100)}pct"] = round(seconds, 4)
+        benchmark.extra_info[f"points_at_{int(fraction * 100)}pct"] = size
+
+    smallest = totals[FRACTIONS[0]][1]
+    largest = totals[FRACTIONS[-1]][1]
+    data_growth = totals[FRACTIONS[-1]][0] / totals[FRACTIONS[0]][0]
+    # Near-linear scalability: time growth bounded by ~2x the data growth.
+    assert largest < 2.5 * data_growth * max(smallest, 1e-3)

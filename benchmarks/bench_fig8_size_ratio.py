@@ -1,0 +1,38 @@
+"""Fig. 8 - impact of the dataset size difference n / (n + m).
+
+BBST only (as in the paper): the total time should stay of the same order
+across ratios, increasing mildly with n on datasets where the upper-bounding
+phase dominates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.core.bbst_sampler import BBSTSampler
+
+RATIOS = (0.1, 0.3, 0.5)
+SAMPLES = 1_000
+
+
+@pytest.mark.parametrize("dataset_index", range(4), ids=["castreet", "foursquare", "imis", "nyc"])
+def test_size_ratio_sweep(benchmark, smoke_workloads, dataset_index):
+    config = smoke_workloads[dataset_index]
+
+    def run():
+        totals = {}
+        for ratio in RATIOS:
+            spec = build_join_spec(config, r_fraction=ratio)
+            result = BBSTSampler(spec).sample(SAMPLES, seed=23)
+            totals[ratio] = result.timings.total_seconds
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = config.dataset
+    for ratio, seconds in totals.items():
+        benchmark.extra_info[f"total_seconds_ratio_{ratio}"] = round(seconds, 4)
+
+    # The ratio sweep keeps the total number of points constant, so the
+    # running time must stay within a small factor across ratios.
+    assert max(totals.values()) < 6.0 * max(min(totals.values()), 1e-3)

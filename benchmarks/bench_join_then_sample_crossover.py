@@ -1,0 +1,39 @@
+"""Motivation experiment - sampling vs materialising the join.
+
+Not a numbered figure, but the paper's introduction rests on this crossover:
+once |J| is large, materialising it ("join then sample") costs far more than
+drawing a few thousand uniform samples with BBST.  The benchmark measures
+both on the same instance and records the speed-up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.join_then_sample import JoinThenSample
+
+SAMPLES = 1_000
+
+
+@pytest.mark.parametrize("algorithm", [JoinThenSample, BBSTSampler], ids=["JoinThenSample", "BBST"])
+@pytest.mark.parametrize("half_extent", [200.0, 600.0], ids=["l200", "l600"])
+def test_sample_vs_materialise(benchmark, nyc_workload, algorithm, half_extent):
+    spec = build_join_spec(nyc_workload, half_extent=half_extent)
+    sampler = algorithm(spec)
+    sampler.preprocess()
+
+    def run():
+        return sampler.sample(SAMPLES, seed=41)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "algorithm": sampler.name,
+            "half_extent": half_extent,
+            "total_seconds": round(result.timings.total_seconds, 4),
+            "join_size": result.metadata.get("join_size", "n/a"),
+        }
+    )
+    assert len(result) == SAMPLES

@@ -1,0 +1,31 @@
+"""Table II - pre-processing time of KDS (kd-tree build) vs BBST (x sort).
+
+The paper reports that BBST's offline step (sorting ``S``) is roughly half
+the cost of building the kd-tree the baselines need.  These benchmarks time
+both offline steps on every dataset proxy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.kds_sampler import KDSSampler
+
+
+@pytest.mark.parametrize("dataset_index", range(4), ids=["castreet", "foursquare", "imis", "nyc"])
+@pytest.mark.parametrize("algorithm", [KDSSampler, BBSTSampler], ids=["KDS", "BBST"])
+def test_preprocessing_time(benchmark, smoke_workloads, dataset_index, algorithm):
+    config = smoke_workloads[dataset_index]
+    spec = build_join_spec(config)
+
+    def run():
+        sampler = algorithm(spec)
+        sampler.preprocess()
+        return sampler
+
+    sampler = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["dataset"] = config.dataset
+    benchmark.extra_info["m"] = spec.m
+    benchmark.extra_info["algorithm"] = sampler.name

@@ -1,0 +1,51 @@
+"""Table III - total and decomposed (GM / UB) online times per algorithm.
+
+Each benchmark runs one algorithm end-to-end (build + count + sample) on one
+dataset proxy and records the per-phase breakdown in ``extra_info`` so the
+benchmark report contains the same columns as the paper's table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+
+ALGORITHMS = {
+    "KDS": KDSSampler,
+    "KDS-rejection": KDSRejectionSampler,
+    "BBST": BBSTSampler,
+}
+
+#: Samples drawn per timed run.
+BENCH_SAMPLES = 2_000
+
+
+@pytest.mark.parametrize("dataset_index", range(4), ids=["castreet", "foursquare", "imis", "nyc"])
+@pytest.mark.parametrize("algorithm_name", list(ALGORITHMS), ids=list(ALGORITHMS))
+def test_total_time_decomposition(benchmark, smoke_workloads, dataset_index, algorithm_name):
+    config = smoke_workloads[dataset_index]
+    spec = build_join_spec(config)
+    sampler_class = ALGORITHMS[algorithm_name]
+    sampler = sampler_class(spec)
+    sampler.preprocess()
+
+    def run():
+        return sampler.sample(BENCH_SAMPLES, seed=11)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "dataset": config.dataset,
+            "algorithm": algorithm_name,
+            "t": BENCH_SAMPLES,
+            "gm_seconds": round(result.timings.build_seconds, 4),
+            "ub_seconds": round(result.timings.count_seconds, 4),
+            "sampling_seconds": round(result.timings.sample_seconds, 4),
+            "total_seconds": round(result.timings.total_seconds, 4),
+        }
+    )
+    assert len(result) == BENCH_SAMPLES

@@ -1,0 +1,52 @@
+"""Table IV - sampling time and number of sampling iterations.
+
+Isolates the sampling phase: the index is built and the counting phase run
+once outside the timed region, then only the per-sample loop is measured.
+The number of iterations (accepted + rejected attempts) is recorded so the
+benchmark output mirrors the paper's "#sampling iterations" column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import build_join_spec
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+
+ALGORITHMS = {
+    "KDS": KDSSampler,
+    "KDS-rejection": KDSRejectionSampler,
+    "BBST": BBSTSampler,
+}
+
+#: Samples drawn per timed run.
+BENCH_SAMPLES = 2_000
+
+
+@pytest.mark.parametrize("dataset_index", range(4), ids=["castreet", "foursquare", "imis", "nyc"])
+@pytest.mark.parametrize("algorithm_name", list(ALGORITHMS), ids=list(ALGORITHMS))
+def test_sampling_phase(benchmark, smoke_workloads, dataset_index, algorithm_name):
+    config = smoke_workloads[dataset_index]
+    spec = build_join_spec(config)
+    sampler = ALGORITHMS[algorithm_name](spec)
+    # Warm run outside the timed region: builds the index and the aliases.
+    warm = sampler.sample(10, seed=1)
+    assert len(warm) == 10
+
+    def run():
+        return sampler.sample(BENCH_SAMPLES, rng=np.random.default_rng(2))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "dataset": config.dataset,
+            "algorithm": algorithm_name,
+            "t": BENCH_SAMPLES,
+            "sampling_seconds": round(result.timings.sample_seconds, 4),
+            "iterations": result.iterations,
+            "acceptance_rate": round(result.acceptance_rate, 4),
+        }
+    )

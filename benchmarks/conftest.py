@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper at *smoke* scale
+(a few thousand points per dataset proxy) so that the whole suite finishes in
+a few minutes on a laptop.  The same harness functions accept
+``ExperimentScale.PAPER`` for the larger runs recorded in ``EXPERIMENTS.md``
+(run them via the CLI: ``repro-spatial-join-sampling all --scale paper``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import ExperimentScale, WorkloadConfig, build_join_spec, default_workloads
+
+
+@pytest.fixture(scope="session")
+def smoke_workloads() -> list[WorkloadConfig]:
+    """The four dataset proxies at smoke scale."""
+    return default_workloads(ExperimentScale.SMOKE)
+
+
+@pytest.fixture(scope="session")
+def castreet_workload(smoke_workloads) -> WorkloadConfig:
+    return smoke_workloads[0]
+
+
+@pytest.fixture(scope="session")
+def nyc_workload(smoke_workloads) -> WorkloadConfig:
+    return smoke_workloads[3]
+
+
+@pytest.fixture(scope="session")
+def castreet_spec(castreet_workload):
+    """A ready-to-use join spec for single-dataset micro benchmarks."""
+    return build_join_spec(castreet_workload)
+
+
+@pytest.fixture(scope="session")
+def nyc_spec(nyc_workload):
+    return build_join_spec(nyc_workload)

@@ -1,0 +1,76 @@
+"""Quickstart: draw uniform random samples of a spatial range join.
+
+This is the 60-second tour of the library:
+
+1. build (or load) two point sets ``R`` and ``S``;
+2. describe the join with a :class:`repro.JoinSpec` (window half-extent ``l``);
+3. pick a sampler - ``BBSTSampler`` is the paper's algorithm - and draw
+   ``t`` uniform, independent join samples without ever materialising the
+   full join result.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BBSTSampler,
+    JoinSpec,
+    KDSSampler,
+    join_size,
+    split_r_s,
+    uniform_points,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. Two point sets on the [0, 10000]^2 domain.  In a real application
+    #    these would come from your own data (see repro.datasets.loaders for
+    #    CSV I/O and repro.datasets.load_proxy for realistic synthetic data).
+    points = uniform_points(40_000, rng, name="demo")
+    r_points, s_points = split_r_s(points, rng)
+
+    # 2. The join: every point of R is the centre of a 2l x 2l window and is
+    #    matched with every point of S inside that window.
+    spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=250.0)
+    print(f"join instance: n = {spec.n}, m = {spec.m}, l = {spec.half_extent}")
+
+    # The full join would have |J| pairs - this is what we are avoiding.
+    print(f"exact join size |J| = {join_size(spec):,} pairs")
+
+    # 3. Draw 10,000 uniform, independent samples of the join result.
+    sampler = BBSTSampler(spec)
+    result = sampler.sample(10_000, seed=42)
+
+    print(f"\n{sampler.name}: drew {len(result)} samples")
+    print(f"  preprocessing (sort S):      {result.timings.preprocess_seconds * 1e3:8.2f} ms")
+    print(f"  structure building (GM):     {result.timings.build_seconds * 1e3:8.2f} ms")
+    print(f"  upper bounding (UB):         {result.timings.count_seconds * 1e3:8.2f} ms")
+    print(f"  sampling:                    {result.timings.sample_seconds * 1e3:8.2f} ms")
+    print(f"  sampling iterations:         {result.iterations}")
+    print(f"  acceptance rate:             {result.acceptance_rate:.3f}")
+
+    print("\nfirst ten sampled (r_id, s_id) pairs:")
+    for r_id, s_id in result.id_pairs()[:10]:
+        print(f"  ({r_id}, {s_id})")
+
+    # For comparison: the KDS baseline gives the same uniform samples but
+    # pays an O(n sqrt(m)) exact counting phase and O(sqrt(m)) per sample.
+    # The gap in favour of BBST widens as m and t grow (see the benchmarks).
+    baseline = KDSSampler(spec)
+    baseline_result = baseline.sample(10_000, seed=42)
+    print(
+        f"\n{baseline.name} total online time: "
+        f"{baseline_result.timings.total_seconds:.3f}s vs "
+        f"{result.timings.total_seconds:.3f}s for {sampler.name}"
+    )
+
+
+if __name__ == "__main__":
+    main()

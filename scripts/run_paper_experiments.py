@@ -1,0 +1,71 @@
+"""Produce the numbers recorded in EXPERIMENTS.md.
+
+Runs the per-table/figure harness functions at "paper" scale for the cheap
+experiments and at a reduced sweep for the expensive ones (the KDS baseline
+is quadratic-ish in Python and dominates the sweep experiments), then writes
+one markdown report.
+
+Usage::
+
+    python scripts/run_paper_experiments.py [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import harness
+from repro.bench.reporting import format_markdown_table, format_table
+from repro.bench.workloads import ExperimentScale, default_workloads
+
+OUTPUT = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("experiments_results.md")
+
+
+def main() -> None:
+    paper = default_workloads(ExperimentScale.PAPER)
+    smoke = default_workloads(ExperimentScale.SMOKE)
+    sections: list[str] = ["# Measured experiment results", ""]
+
+    def record(title: str, rows: list[dict]) -> None:
+        print(format_table(rows, title=title))
+        print()
+        sections.append(format_markdown_table(rows, title=title))
+        OUTPUT.write_text("\n".join(sections))
+
+    start = time.time()
+    record("Table II - pre-processing time [s] (paper scale)",
+           harness.run_table2_preprocessing(paper))
+    record("Fig. 4 - index memory [bytes] vs dataset size (paper scale)",
+           harness.run_fig4_memory(paper, fractions=(0.2, 0.4, 0.6, 0.8, 1.0)))
+    record("Sec. V-B - accuracy of approximate range counting (paper scale)",
+           harness.run_accuracy_experiment(paper))
+    comparison = harness.run_baseline_comparison(paper, num_samples=10_000)
+    record("Table III - total and decomposed times [s] (paper scale, t=10k)",
+           [
+               {k: row[k] for k in ("dataset", "algorithm", "total_seconds", "gm_seconds", "ub_seconds")}
+               for row in comparison
+           ])
+    record("Table IV - sampling time [s] and #iterations (paper scale, t=10k)",
+           [
+               {k: row[k] for k in ("dataset", "algorithm", "t", "sampling_seconds", "iterations")}
+               for row in comparison
+           ])
+    record("Fig. 5 - impact of range size (smoke scale, t=2k)",
+           harness.run_fig5_range_size(smoke, ranges=(25.0, 100.0, 250.0, 500.0), num_samples=2_000))
+    record("Fig. 6 - impact of #samples (smoke scale)",
+           harness.run_fig6_num_samples(smoke, sample_counts=(1_000, 10_000, 50_000)))
+    record("Fig. 7 - impact of dataset size (smoke scale, t=2k)",
+           harness.run_fig7_dataset_size(smoke, num_samples=2_000))
+    record("Fig. 8 - impact of dataset size difference (paper scale, BBST, t=10k)",
+           harness.run_fig8_size_ratio(paper, num_samples=10_000))
+    record("Fig. 9 - BBST vs per-cell kd-tree (paper scale, t=10k)",
+           harness.run_fig9_bbst_vs_cell_kdtree(paper, num_samples=10_000))
+    record("Extra - uniformity of produced samples",
+           harness.run_uniformity_experiment())
+    print(f"total experiment time: {time.time() - start:.0f}s -> {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

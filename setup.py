@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works in minimal environments that lack the
+``wheel`` package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

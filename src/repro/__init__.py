@@ -1,0 +1,73 @@
+"""repro - Random Sampling over Spatial Range Joins (ICDE 2025).
+
+A from-scratch Python implementation of the paper's proposed BBST join
+sampler, its two baselines, the substrates they rely on (grid, kd-tree,
+alias structure, range tree) and the full experiment harness that
+regenerates every table and figure of the evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import BBSTSampler, JoinSpec, split_r_s, uniform_points
+>>> rng = np.random.default_rng(0)
+>>> points = uniform_points(2_000, rng)
+>>> r_points, s_points = split_r_s(points, rng)
+>>> spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=200.0)
+>>> result = BBSTSampler(spec).sample(100, seed=0)
+>>> len(result)
+100
+"""
+
+from repro.core import (
+    BBSTSampler,
+    CellKDTreeSampler,
+    JoinSampleResult,
+    JoinSampler,
+    JoinSpec,
+    JoinThenSample,
+    KDSRejectionSampler,
+    KDSSampler,
+    PhaseTimings,
+    SamplePair,
+    brute_force_join,
+    join_size,
+    spatial_range_join,
+)
+from repro.datasets import (
+    DATASET_NAMES,
+    load_proxy,
+    split_r_s,
+    uniform_points,
+)
+from repro.geometry import Point, PointSet, Rect, window_around
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # problem definition
+    "JoinSpec",
+    "Point",
+    "PointSet",
+    "Rect",
+    "window_around",
+    # samplers
+    "JoinSampler",
+    "JoinSampleResult",
+    "SamplePair",
+    "PhaseTimings",
+    "BBSTSampler",
+    "KDSSampler",
+    "KDSRejectionSampler",
+    "CellKDTreeSampler",
+    "JoinThenSample",
+    # exact join
+    "spatial_range_join",
+    "brute_force_join",
+    "join_size",
+    # data
+    "DATASET_NAMES",
+    "load_proxy",
+    "split_r_s",
+    "uniform_points",
+]

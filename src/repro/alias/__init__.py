@@ -1,0 +1,11 @@
+"""Weighted random sampling utilities.
+
+Every sampler in this library (the two baselines of Section III and the BBST
+algorithm of Section IV) turns "pick ``r`` with probability proportional to a
+weight" into an O(1)-per-draw operation through Walker's alias method
+(:class:`~repro.alias.walker.AliasTable`).
+"""
+
+from repro.alias.walker import AliasTable, CumulativeTable
+
+__all__ = ["AliasTable", "CumulativeTable"]

@@ -1,0 +1,115 @@
+"""Buckets: fixed-capacity runs of x-sorted points inside one grid cell.
+
+Definition 3 of the paper: given the x-sorted points ``S(c)`` of a cell, a
+bucket is a sequence of (at most) ``log m`` consecutive points, annotated with
+its minimum / maximum x and y coordinates.  The bucket size is what makes the
+BBST linear in space while keeping the approximation factor of the 2-sided
+count at O(log m) (Lemma 5).
+
+A bucket never copies point data - it references a contiguous slice
+``[start, end)`` of its cell's x-sorted arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.cell import GridCell
+
+__all__ = ["Bucket", "build_buckets", "bucket_capacity_for"]
+
+
+def bucket_capacity_for(m: int) -> int:
+    """Bucket capacity ``ceil(log2 m)`` used for a dataset of ``m`` points.
+
+    The paper sets the bucket size to ``log m``; we use base-2 logarithm and
+    clamp to at least 1 so that tiny datasets still form valid buckets.
+    """
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    if m <= 2:
+        return 1
+    return max(1, int(math.ceil(math.log2(m))))
+
+
+@dataclass(frozen=True, slots=True)
+class Bucket:
+    """A run of consecutive x-sorted points of one cell.
+
+    Attributes
+    ----------
+    index:
+        Position of the bucket within its cell (0-based).
+    start, end:
+        Half-open slice of the cell's x-sorted arrays owned by the bucket.
+    min_x, max_x, min_y, max_y:
+        Coordinate envelope of the bucket's points (Definition 3).
+    """
+
+    index: int
+    start: int
+    end: int
+    min_x: float
+    max_x: float
+    min_y: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("a bucket must contain at least one point")
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    @property
+    def size(self) -> int:
+        """Number of points actually stored in the bucket."""
+        return self.end - self.start
+
+    def slot_position(self, slot: int) -> int | None:
+        """Position (in the cell's x-sorted view) of ``slot``, or ``None``.
+
+        Sampling draws a slot uniformly from ``[0, capacity)``; slots beyond
+        the bucket's actual size are empty and must be rejected so that every
+        *potential* slot keeps probability exactly ``1 / capacity`` - this is
+        what preserves the uniformity proof of Theorem 3 for partially filled
+        buckets.
+        """
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        if slot >= self.size:
+            return None
+        return self.start + slot
+
+
+def build_buckets(cell: GridCell, capacity: int) -> list[Bucket]:
+    """Partition a cell's x-sorted points into buckets of ``capacity`` points.
+
+    The last bucket may be smaller.  Runs in O(|S(c)|) time because the
+    min/max envelopes are computed with vectorised reductions over each slice.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    size = len(cell)
+    buckets: list[Bucket] = []
+    xs = cell.xs_by_x
+    ys = cell.ys_by_x
+    for index, start in enumerate(range(0, size, capacity)):
+        end = min(start + capacity, size)
+        bucket_xs = xs[start:end]
+        bucket_ys = ys[start:end]
+        buckets.append(
+            Bucket(
+                index=index,
+                start=start,
+                end=end,
+                min_x=float(bucket_xs[0]),
+                max_x=float(bucket_xs[-1]),
+                min_y=float(np.min(bucket_ys)),
+                max_y=float(np.max(bucket_ys)),
+            )
+        )
+    return buckets

@@ -1,0 +1,146 @@
+"""Per-cell index bundling the buckets and the two BBSTs of one grid cell.
+
+The online data-structure building phase (Algorithm 1, lines 1-5) builds, for
+every non-empty cell ``c`` of the grid over ``S``:
+
+* the y-sorted copy ``Sy(c)`` (stored by :class:`repro.grid.cell.GridCell`),
+* the bucket partition of the x-sorted ``S(c)`` (Definition 3), and
+* the two BBSTs ``T_min_c`` and ``T_max_c`` (Algorithm 2).
+
+:class:`CellIndex` owns the last two and translates the four corner kinds of
+Fig. 1 into the right (tree, x bound, y condition) combination for both the
+approximate counting phase and the sampling phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bbst.bucket import Bucket, build_buckets
+from repro.bbst.tree import BBST, KeyMode, QualifyingRun, YCondition
+from repro.geometry.rect import Rect
+from repro.grid.cell import GridCell
+from repro.grid.neighbors import NeighborKind
+
+__all__ = ["CellIndex"]
+
+
+#: For each corner kind: which tree to use and which window edges bound the
+#: query.  ``x_from_min`` means the x bound is the window's xmin (left edge);
+#: ``y_at_least`` means the y predicate keeps buckets reaching above ymin.
+_CORNER_RULES: dict[NeighborKind, tuple[KeyMode, bool, YCondition]] = {
+    # Window extends up/right of the cell: left/bottom edges bound the query.
+    NeighborKind.LOWER_LEFT: (KeyMode.MAX_X, True, YCondition.MAX_Y_AT_LEAST),
+    # Window extends down/right: left/top edges bound the query.
+    NeighborKind.UPPER_LEFT: (KeyMode.MAX_X, True, YCondition.MIN_Y_AT_MOST),
+    # Window extends up/left: right/bottom edges bound the query.
+    NeighborKind.LOWER_RIGHT: (KeyMode.MIN_X, False, YCondition.MAX_Y_AT_LEAST),
+    # Window extends down/left: right/top edges bound the query.
+    NeighborKind.UPPER_RIGHT: (KeyMode.MIN_X, False, YCondition.MIN_Y_AT_MOST),
+}
+
+
+class CellIndex:
+    """Buckets plus ``T_min`` / ``T_max`` BBSTs for one grid cell.
+
+    Parameters
+    ----------
+    cell:
+        The grid cell whose points are indexed.
+    bucket_capacity:
+        Bucket size, ``ceil(log2 m)`` for the full inner set ``S``.
+    """
+
+    __slots__ = ("_cell", "_capacity", "_buckets", "_tree_min", "_tree_max")
+
+    def __init__(self, cell: GridCell, bucket_capacity: int) -> None:
+        self._cell = cell
+        self._capacity = int(bucket_capacity)
+        self._buckets: list[Bucket] = build_buckets(cell, self._capacity)
+        self._tree_min = BBST(self._buckets, KeyMode.MIN_X)
+        self._tree_max = BBST(self._buckets, KeyMode.MAX_X)
+
+    # ------------------------------------------------------------------
+    @property
+    def cell(self) -> GridCell:
+        """The indexed grid cell."""
+        return self._cell
+
+    @property
+    def bucket_capacity(self) -> int:
+        """Maximum number of points per bucket (the paper's ``log m``)."""
+        return self._capacity
+
+    @property
+    def buckets(self) -> list[Bucket]:
+        """The bucket partition of the cell's x-sorted points."""
+        return self._buckets
+
+    @property
+    def tree_min(self) -> BBST:
+        """BBST keyed on bucket min-x (serves the right-side corners)."""
+        return self._tree_min
+
+    @property
+    def tree_max(self) -> BBST:
+        """BBST keyed on bucket max-x (serves the left-side corners)."""
+        return self._tree_max
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the buckets and both trees."""
+        bucket_bytes = len(self._buckets) * 56  # six floats + two ints per bucket
+        return bucket_bytes + self._tree_min.nbytes() + self._tree_max.nbytes()
+
+    # ------------------------------------------------------------------
+    # Case-3 (corner) primitives
+    # ------------------------------------------------------------------
+    def _query_parts(
+        self, kind: NeighborKind, window: Rect
+    ) -> tuple[BBST, float, YCondition, float]:
+        try:
+            key_mode, x_from_min, y_condition = _CORNER_RULES[kind]
+        except KeyError as exc:
+            raise ValueError(f"{kind} is not a corner (case 3) neighbour") from exc
+        tree = self._tree_max if key_mode is KeyMode.MAX_X else self._tree_min
+        x_bound = window.xmin if x_from_min else window.xmax
+        y_bound = window.ymin if y_condition is YCondition.MAX_Y_AT_LEAST else window.ymax
+        return tree, x_bound, y_condition, y_bound
+
+    def corner_runs(self, kind: NeighborKind, window: Rect) -> list[QualifyingRun]:
+        """Qualifying runs of buckets for a corner cell and window."""
+        tree, x_bound, y_condition, y_bound = self._query_parts(kind, window)
+        return tree.qualifying_runs(x_bound, y_condition, y_bound)
+
+    def corner_bucket_count(self, kind: NeighborKind, window: Rect) -> int:
+        """Number of buckets that may intersect the window in this corner cell."""
+        tree, x_bound, y_condition, y_bound = self._query_parts(kind, window)
+        return tree.count_buckets(x_bound, y_condition, y_bound)
+
+    def corner_upper_bound(self, kind: NeighborKind, window: Rect) -> int:
+        """``mu(r, c)`` for a corner cell: bucket capacity times qualifying buckets."""
+        return self._capacity * self.corner_bucket_count(kind, window)
+
+    def corner_sample(
+        self, kind: NeighborKind, window: Rect, rng: np.random.Generator
+    ) -> tuple[int, float, float] | None:
+        """One sampling attempt inside a corner cell.
+
+        Draws a qualifying bucket uniformly, then a slot uniformly among the
+        ``bucket_capacity`` potential slots.  Returns ``None`` when the slot
+        is empty (partially filled bucket) - the caller counts that as a
+        rejected iteration, exactly like a point falling outside ``w(r)``.
+        The returned point is *not* guaranteed to lie inside the window; the
+        caller must perform the final ``w(r) ∩ s`` check (Algorithm 1,
+        line 15).
+        """
+        tree, x_bound, y_condition, y_bound = self._query_parts(kind, window)
+        runs = tree.qualifying_runs(x_bound, y_condition, y_bound)
+        bucket_index = tree.sample_bucket(runs, rng)
+        if bucket_index is None:
+            return None
+        bucket = self._buckets[bucket_index]
+        slot = int(rng.integers(self._capacity))
+        position = bucket.slot_position(slot)
+        if position is None:
+            return None
+        return self._cell.point_by_x_order(position)

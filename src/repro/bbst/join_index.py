@@ -1,0 +1,243 @@
+"""Grid + per-cell BBSTs: the complete index behind the proposed algorithm.
+
+:class:`BBSTJoinIndex` performs the *online data structure building phase* of
+Algorithm 1 (grid mapping, per-cell y-sorted copies, per-cell BBST pairs) and
+exposes the two primitives the sampler needs:
+
+* :meth:`BBSTJoinIndex.contributions` - for a query point ``r``, the per-cell
+  upper bounds ``mu(r, c)`` over the (at most nine) non-empty cells of the
+  3x3 block around ``r``; cases 1 and 2 are exact, case 3 is the BBST's
+  O(log m)-approximate count (Section IV-D).
+* :meth:`BBSTJoinIndex.sample_from` - one sampling attempt inside a chosen
+  cell (Section IV-E); case 1 is a uniform pick, case 2 a binary-searched
+  uniform pick, case 3 the BBST bucket/slot draw which may fail and must then
+  be retried by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bbst.bucket import bucket_capacity_for
+from repro.bbst.cell_index import CellIndex
+from repro.geometry.point import PointSet
+from repro.geometry.rect import Rect, window_around
+from repro.grid.cell import GridCell
+from repro.grid.grid import Grid
+from repro.grid.neighbors import CASE_CORNER, NeighborKind
+
+__all__ = ["CellContribution", "BBSTJoinIndex"]
+
+
+@dataclass(frozen=True, slots=True)
+class CellContribution:
+    """Contribution of one non-empty cell to ``mu(r)``.
+
+    Attributes
+    ----------
+    kind:
+        Position of the cell relative to the cell containing ``r`` (Fig. 1).
+    cell:
+        The grid cell itself.
+    upper_bound:
+        ``mu(r, c)``; exact for cases 1 and 2, an upper bound for case 3.
+    exact:
+        Whether ``upper_bound`` equals the true count of window points in the
+        cell (cases 1 and 2).
+    """
+
+    kind: NeighborKind
+    cell: GridCell
+    upper_bound: int
+    exact: bool
+
+    @property
+    def case(self) -> int:
+        """Paper case number (1, 2 or 3)."""
+        return self.kind.case
+
+
+class BBSTJoinIndex:
+    """The proposed algorithm's index over the inner set ``S``.
+
+    Parameters
+    ----------
+    s_points:
+        The inner join set ``S``.
+    half_extent:
+        The window half-extent ``l`` (cells have side ``l``).
+    bucket_capacity:
+        Override for the bucket size; defaults to ``ceil(log2 m)``.
+    """
+
+    __slots__ = ("_points", "_half_extent", "_grid", "_cell_indexes", "_capacity")
+
+    def __init__(
+        self,
+        s_points: PointSet,
+        half_extent: float,
+        bucket_capacity: int | None = None,
+    ) -> None:
+        if half_extent <= 0:
+            raise ValueError("half_extent must be positive")
+        self._points = s_points
+        self._half_extent = float(half_extent)
+        self._capacity = (
+            int(bucket_capacity)
+            if bucket_capacity is not None
+            else bucket_capacity_for(len(s_points))
+        )
+        if self._capacity < 1:
+            raise ValueError("bucket_capacity must be at least 1")
+        self._grid = Grid(s_points, cell_size=self._half_extent)
+        self._cell_indexes: dict[tuple[int, int], CellIndex] = {}
+        self._build_cell_structures()
+
+    def _build_cell_structures(self) -> None:
+        """Build the per-cell corner structures (two BBSTs per cell).
+
+        Subclasses (e.g. the Fig. 9 per-cell kd-tree ablation) override this
+        together with :meth:`_corner_upper_bound` and :meth:`_corner_sample`
+        to swap the corner-cell data structure while keeping the grid-based
+        case 1/2 handling identical.
+        """
+        self._cell_indexes = {
+            key: CellIndex(cell, self._capacity) for key, cell in self._grid.cells.items()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> PointSet:
+        """The indexed inner set ``S``."""
+        return self._points
+
+    @property
+    def half_extent(self) -> float:
+        """Window half-extent ``l`` this index was built for."""
+        return self._half_extent
+
+    @property
+    def grid(self) -> Grid:
+        """The non-empty grid over ``S``."""
+        return self._grid
+
+    @property
+    def bucket_capacity(self) -> int:
+        """Bucket size used by every cell's BBSTs."""
+        return self._capacity
+
+    def cell_index(self, key: tuple[int, int]) -> CellIndex | None:
+        """Per-cell index stored under ``key`` (``None`` for empty cells)."""
+        return self._cell_indexes.get(key)
+
+    def window_for(self, x: float, y: float) -> Rect:
+        """The join window ``w(r)`` centred at ``(x, y)``."""
+        return window_around(x, y, self._half_extent)
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint: grid arrays plus every cell's BBSTs."""
+        return self._grid.nbytes() + sum(
+            index.nbytes() for index in self._cell_indexes.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Approximate range counting phase (per query point)
+    # ------------------------------------------------------------------
+    def contributions(self, x: float, y: float) -> list[CellContribution]:
+        """Per-cell upper bounds ``mu(r, c)`` for a query point at ``(x, y)``."""
+        window = self.window_for(x, y)
+        result: list[CellContribution] = []
+        for kind, cell in self._grid.neighborhood(x, y):
+            if kind is NeighborKind.CENTER:
+                bound, exact = len(cell), True
+            elif kind is NeighborKind.LEFT:
+                bound, exact = cell.count_x_at_least(window.xmin), True
+            elif kind is NeighborKind.RIGHT:
+                bound, exact = cell.count_x_at_most(window.xmax), True
+            elif kind is NeighborKind.DOWN:
+                bound, exact = cell.count_y_at_least(window.ymin), True
+            elif kind is NeighborKind.UP:
+                bound, exact = cell.count_y_at_most(window.ymax), True
+            else:
+                bound, exact = self._corner_upper_bound(cell, kind, window)
+            if bound > 0:
+                result.append(
+                    CellContribution(kind=kind, cell=cell, upper_bound=bound, exact=exact)
+                )
+        return result
+
+    def upper_bound(self, x: float, y: float) -> int:
+        """``mu(r)``: the summed per-cell upper bounds for the point ``(x, y)``."""
+        return sum(c.upper_bound for c in self.contributions(x, y))
+
+    # ------------------------------------------------------------------
+    # Sampling phase (per attempt)
+    # ------------------------------------------------------------------
+    def sample_from(
+        self,
+        contribution: CellContribution,
+        window: Rect,
+        rng: np.random.Generator,
+    ) -> tuple[int, float, float] | None:
+        """One sampling attempt inside the chosen cell.
+
+        Returns ``(point_id, x, y)`` of a candidate point, or ``None`` for a
+        failed case-3 attempt (empty bucket slot).  For cases 1 and 2 the
+        candidate is always inside the window; for case 3 the caller performs
+        the final containment check.
+        """
+        cell = contribution.cell
+        kind = contribution.kind
+        if kind is NeighborKind.CENTER:
+            position = int(rng.integers(len(cell)))
+            return cell.point_by_x_order(position)
+        if kind is NeighborKind.LEFT:
+            count = cell.count_x_at_least(window.xmin)
+            if count == 0:
+                return None
+            position = cell.kth_x_at_least(window.xmin, int(rng.integers(count)))
+            return cell.point_by_x_order(position)
+        if kind is NeighborKind.RIGHT:
+            count = cell.count_x_at_most(window.xmax)
+            if count == 0:
+                return None
+            position = cell.kth_x_at_most(window.xmax, int(rng.integers(count)))
+            return cell.point_by_x_order(position)
+        if kind is NeighborKind.DOWN:
+            count = cell.count_y_at_least(window.ymin)
+            if count == 0:
+                return None
+            position = cell.kth_y_at_least(window.ymin, int(rng.integers(count)))
+            return cell.point_by_y_order(position)
+        if kind is NeighborKind.UP:
+            count = cell.count_y_at_most(window.ymax)
+            if count == 0:
+                return None
+            position = cell.kth_y_at_most(window.ymax, int(rng.integers(count)))
+            return cell.point_by_y_order(position)
+        if kind.case != CASE_CORNER:  # pragma: no cover - defensive
+            raise ValueError(f"unhandled neighbour kind {kind}")
+        return self._corner_sample(cell, kind, window, rng)
+
+    # ------------------------------------------------------------------
+    # Corner (case 3) primitives - overridden by the Fig. 9 ablation.
+    # ------------------------------------------------------------------
+    def _corner_upper_bound(
+        self, cell: GridCell, kind: NeighborKind, window: Rect
+    ) -> tuple[int, bool]:
+        """``(mu(r, c), exact?)`` for a corner cell via its BBSTs."""
+        cell_index = self._cell_indexes[cell.key]
+        return cell_index.corner_upper_bound(kind, window), False
+
+    def _corner_sample(
+        self,
+        cell: GridCell,
+        kind: NeighborKind,
+        window: Rect,
+        rng: np.random.Generator,
+    ) -> tuple[int, float, float] | None:
+        """One corner-cell sampling attempt via the cell's BBSTs."""
+        cell_index = self._cell_indexes[cell.key]
+        return cell_index.corner_sample(kind, window, rng)

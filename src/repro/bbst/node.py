@@ -1,0 +1,72 @@
+"""Nodes of the Bucket-based Binary Search Tree.
+
+Each node follows Section IV-B of the paper and stores
+
+* ``key`` - the median bucket x-key this node splits on,
+* the *equal-key* bucket lists ``B_min`` / ``B_max`` (buckets whose key equals
+  ``key``), kept sorted by bucket min-y and max-y respectively, and
+* the *subtree* arrays ``A_min`` / ``A_max`` containing every bucket of the
+  subtree rooted here, again sorted by min-y and max-y.
+
+The equal-key lists are what keeps the tree balanced under duplicate keys;
+the subtree arrays are what allows the second (y axis) binary search once the
+x traversal has identified canonical nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BBSTNode", "NO_CHILD"]
+
+#: Sentinel node id meaning "no child".
+NO_CHILD = -1
+
+
+@dataclass(slots=True)
+class BBSTNode:
+    """One node of a BBST (see module docstring for the field semantics)."""
+
+    key: float
+    #: B_min: bucket indices with key == node key, sorted by bucket min_y.
+    eq_min_idx: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    eq_min_y: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
+    #: B_max: the same buckets sorted by bucket max_y.
+    eq_max_idx: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    eq_max_y: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
+    #: A_min: every bucket in the subtree, sorted by bucket min_y.
+    sub_min_idx: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    sub_min_y: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
+    #: A_max: every bucket in the subtree, sorted by bucket max_y.
+    sub_max_idx: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    sub_max_y: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
+    left: int = NO_CHILD
+    right: int = NO_CHILD
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return self.left == NO_CHILD and self.right == NO_CHILD
+
+    @property
+    def subtree_bucket_count(self) -> int:
+        """Number of buckets stored in the subtree rooted at this node."""
+        return int(self.sub_min_idx.shape[0])
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the node's arrays."""
+        total = 0
+        for arr in (
+            self.eq_min_idx,
+            self.eq_min_y,
+            self.eq_max_idx,
+            self.eq_max_y,
+            self.sub_min_idx,
+            self.sub_min_y,
+            self.sub_max_idx,
+            self.sub_max_y,
+        ):
+            total += int(arr.nbytes)
+        return total

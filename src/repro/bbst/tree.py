@@ -1,0 +1,309 @@
+"""The Bucket-based Binary Search Tree itself (Algorithm 2 of the paper).
+
+A BBST is built over the buckets of one grid cell, keyed either on each
+bucket's minimum x (``T_min``) or maximum x (``T_max``).  The two key modes
+serve the four corner cells of Fig. 1:
+
+* lower-left / upper-left corners constrain the window's *left* edge
+  (``w(r).xmin <= max_x(B)``), answered by ``T_max`` with a ``key >= xmin``
+  traversal;
+* lower-right / upper-right corners constrain the window's *right* edge
+  (``min_x(B) <= w(r).xmax``), answered by ``T_min`` with ``key <= xmax``.
+
+A query first walks the x axis, collecting *canonical* nodes (whole subtrees
+whose keys satisfy the x constraint, read through their ``A`` arrays) and
+*equal-key* nodes (read through their ``B`` lists); it then binary-searches
+each collected structure along the y axis.  The result is a set of
+*qualifying runs* - contiguous slices of y-sorted bucket arrays - from which
+both the approximate count (sum of run lengths times the bucket capacity) and
+a uniform bucket draw (weighted run pick + uniform offset) are O(log m)
+operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from statistics import median_low
+from typing import Sequence
+
+import numpy as np
+
+from repro.bbst.bucket import Bucket
+from repro.bbst.node import NO_CHILD, BBSTNode
+
+__all__ = ["BBST", "KeyMode", "YCondition", "QualifyingRun"]
+
+
+class KeyMode(Enum):
+    """Which bucket x statistic keys the tree."""
+
+    MIN_X = "min_x"
+    MAX_X = "max_x"
+
+
+class YCondition(Enum):
+    """Which y-axis predicate a query applies to the collected buckets."""
+
+    #: keep buckets whose maximum y is at least the bound (window's bottom edge)
+    MAX_Y_AT_LEAST = "max_y_at_least"
+    #: keep buckets whose minimum y is at most the bound (window's top edge)
+    MIN_Y_AT_MOST = "min_y_at_most"
+
+
+@dataclass(frozen=True, slots=True)
+class QualifyingRun:
+    """A contiguous slice of one node's y-sorted bucket array that satisfies a query.
+
+    ``bucket_indices[lo:hi]`` are the qualifying buckets.
+    """
+
+    bucket_indices: np.ndarray
+    lo: int
+    hi: int
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def bucket_at(self, offset: int) -> int:
+        """Bucket index at ``offset`` (0-based within the run)."""
+        if not 0 <= offset < len(self):
+            raise IndexError("offset outside the qualifying run")
+        return int(self.bucket_indices[self.lo + offset])
+
+
+class BBST:
+    """Balanced binary search tree over the buckets of one cell.
+
+    Parameters
+    ----------
+    buckets:
+        The cell's buckets (consecutive runs of its x-sorted points).
+    key_mode:
+        Whether nodes are keyed on bucket ``min_x`` or ``max_x``.
+    """
+
+    __slots__ = ("_buckets", "_key_mode", "_nodes", "_root")
+
+    def __init__(self, buckets: Sequence[Bucket], key_mode: KeyMode) -> None:
+        self._buckets = list(buckets)
+        self._key_mode = key_mode
+        self._nodes: list[BBSTNode] = []
+        if not self._buckets:
+            self._root = NO_CHILD
+            return
+
+        keys = np.array([self._key_of(b) for b in self._buckets], dtype=np.float64)
+        order_by_key = np.argsort(keys, kind="stable")
+        order_by_min_y = np.argsort(
+            np.array([b.min_y for b in self._buckets], dtype=np.float64), kind="stable"
+        )
+        order_by_max_y = np.argsort(
+            np.array([b.max_y for b in self._buckets], dtype=np.float64), kind="stable"
+        )
+        self._root = self._build(
+            list(order_by_key), list(order_by_min_y), list(order_by_max_y)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _key_of(self, bucket: Bucket) -> float:
+        return bucket.min_x if self._key_mode is KeyMode.MIN_X else bucket.max_x
+
+    def _build(
+        self,
+        by_key: list[int],
+        by_min_y: list[int],
+        by_max_y: list[int],
+    ) -> int:
+        """Recursive MAKE-NODE of Algorithm 2 over bucket-index lists."""
+        if not by_key:
+            return NO_CHILD
+        keys = [self._key_of(self._buckets[i]) for i in by_key]
+        pivot = median_low(keys)
+
+        eq = [i for i in by_key if self._key_of(self._buckets[i]) == pivot]
+        left_keys = [i for i in by_key if self._key_of(self._buckets[i]) < pivot]
+        right_keys = [i for i in by_key if self._key_of(self._buckets[i]) > pivot]
+
+        node = BBSTNode(key=float(pivot))
+        node_id = len(self._nodes)
+        self._nodes.append(node)
+
+        eq_set = set(eq)
+        eq_min = [i for i in by_min_y if i in eq_set]
+        eq_max = [i for i in by_max_y if i in eq_set]
+        node.eq_min_idx = np.asarray(eq_min, dtype=np.int64)
+        node.eq_min_y = np.asarray(
+            [self._buckets[i].min_y for i in eq_min], dtype=np.float64
+        )
+        node.eq_max_idx = np.asarray(eq_max, dtype=np.int64)
+        node.eq_max_y = np.asarray(
+            [self._buckets[i].max_y for i in eq_max], dtype=np.float64
+        )
+        node.sub_min_idx = np.asarray(by_min_y, dtype=np.int64)
+        node.sub_min_y = np.asarray(
+            [self._buckets[i].min_y for i in by_min_y], dtype=np.float64
+        )
+        node.sub_max_idx = np.asarray(by_max_y, dtype=np.int64)
+        node.sub_max_y = np.asarray(
+            [self._buckets[i].max_y for i in by_max_y], dtype=np.float64
+        )
+
+        if left_keys or right_keys:
+            left_set = set(left_keys)
+            right_set = set(right_keys)
+            node.left = self._build(
+                left_keys,
+                [i for i in by_min_y if i in left_set],
+                [i for i in by_max_y if i in left_set],
+            )
+            node.right = self._build(
+                right_keys,
+                [i for i in by_min_y if i in right_set],
+                [i for i in by_max_y if i in right_set],
+            )
+        return node_id
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def key_mode(self) -> KeyMode:
+        """Key statistic this tree is built on."""
+        return self._key_mode
+
+    @property
+    def buckets(self) -> list[Bucket]:
+        """The indexed buckets."""
+        return self._buckets
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of tree nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of indexed buckets."""
+        return len(self._buckets)
+
+    @property
+    def height(self) -> int:
+        """Height of the tree (0 for empty or single-node trees)."""
+        if self._root == NO_CHILD:
+            return 0
+        best = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node_id, depth = stack.pop()
+            best = max(best, depth)
+            node = self._nodes[node_id]
+            if node.left != NO_CHILD:
+                stack.append((node.left, depth + 1))
+            if node.right != NO_CHILD:
+                stack.append((node.right, depth + 1))
+        return best
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of every node's arrays."""
+        return sum(node.nbytes() for node in self._nodes)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def qualifying_runs(
+        self, x_bound: float, y_condition: YCondition, y_bound: float
+    ) -> list[QualifyingRun]:
+        """Runs of buckets satisfying the 2-sided query.
+
+        The x predicate is implied by the key mode: ``key >= x_bound`` for a
+        ``MAX_X`` tree (window left edge) and ``key <= x_bound`` for a
+        ``MIN_X`` tree (window right edge).  The y predicate is applied by a
+        binary search on each collected node structure.
+        """
+        runs: list[QualifyingRun] = []
+        if self._root == NO_CHILD:
+            return runs
+        node_id = self._root
+        while node_id != NO_CHILD:
+            node = self._nodes[node_id]
+            if self._key_mode is KeyMode.MAX_X:
+                if node.key < x_bound:
+                    node_id = node.right
+                    continue
+                self._append_run(runs, node, use_subtree=False, y_condition=y_condition, y_bound=y_bound)
+                if node.right != NO_CHILD:
+                    self._append_run(
+                        runs,
+                        self._nodes[node.right],
+                        use_subtree=True,
+                        y_condition=y_condition,
+                        y_bound=y_bound,
+                    )
+                if node.key == x_bound:
+                    break
+                node_id = node.left
+            else:
+                if node.key > x_bound:
+                    node_id = node.left
+                    continue
+                self._append_run(runs, node, use_subtree=False, y_condition=y_condition, y_bound=y_bound)
+                if node.left != NO_CHILD:
+                    self._append_run(
+                        runs,
+                        self._nodes[node.left],
+                        use_subtree=True,
+                        y_condition=y_condition,
+                        y_bound=y_bound,
+                    )
+                if node.key == x_bound:
+                    break
+                node_id = node.right
+        return [run for run in runs if len(run) > 0]
+
+    def _append_run(
+        self,
+        runs: list[QualifyingRun],
+        node: BBSTNode,
+        use_subtree: bool,
+        y_condition: YCondition,
+        y_bound: float,
+    ) -> None:
+        if y_condition is YCondition.MAX_Y_AT_LEAST:
+            values = node.sub_max_y if use_subtree else node.eq_max_y
+            indices = node.sub_max_idx if use_subtree else node.eq_max_idx
+            lo = int(np.searchsorted(values, y_bound, side="left"))
+            hi = int(values.shape[0])
+        else:
+            values = node.sub_min_y if use_subtree else node.eq_min_y
+            indices = node.sub_min_idx if use_subtree else node.eq_min_idx
+            lo = 0
+            hi = int(np.searchsorted(values, y_bound, side="right"))
+        runs.append(QualifyingRun(bucket_indices=indices, lo=lo, hi=hi))
+
+    def count_buckets(
+        self, x_bound: float, y_condition: YCondition, y_bound: float
+    ) -> int:
+        """Number of buckets that *may* intersect the 2-sided query region."""
+        return sum(len(run) for run in self.qualifying_runs(x_bound, y_condition, y_bound))
+
+    def sample_bucket(
+        self, runs: Sequence[QualifyingRun], rng: np.random.Generator
+    ) -> int | None:
+        """Uniform draw of one qualifying bucket index from the given runs.
+
+        Runs are disjoint (each bucket appears in exactly one collected
+        structure, see the proof of Lemma 5), so a weighted run pick followed
+        by a uniform offset is a uniform pick over all qualifying buckets.
+        """
+        total = sum(len(run) for run in runs)
+        if total == 0:
+            return None
+        pick = int(rng.integers(total))
+        for run in runs:
+            if pick < len(run):
+                return run.bucket_at(pick)
+            pick -= len(run)
+        raise AssertionError("weighted pick exceeded total run length")

@@ -1,0 +1,445 @@
+"""One ``run_*`` function per table / figure of the paper's evaluation.
+
+Every function returns a list of flat row dictionaries; the CLI and
+:mod:`repro.bench.runner` render them with :mod:`repro.bench.reporting`.
+The mapping to the paper is:
+
+========================================  ==========================
+function                                  paper artefact
+========================================  ==========================
+:func:`run_table2_preprocessing`          Table II
+:func:`run_fig4_memory`                   Fig. 4
+:func:`run_accuracy_experiment`           Section V-B accuracy text
+:func:`run_table3_decomposed_times`       Table III
+:func:`run_table4_sampling`               Table IV
+:func:`run_fig5_range_size`               Fig. 5
+:func:`run_fig6_num_samples`              Fig. 6
+:func:`run_fig7_dataset_size`             Fig. 7
+:func:`run_fig8_size_ratio`               Fig. 8
+:func:`run_fig9_bbst_vs_cell_kdtree`      Fig. 9
+:func:`run_uniformity_experiment`         correctness (extra)
+========================================  ==========================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.bench.workloads import (
+    ExperimentScale,
+    WorkloadConfig,
+    build_join_spec,
+    default_workloads,
+)
+from repro.core.base import JoinSampler, JoinSampleResult
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.cell_kdtree_sampler import CellKDTreeSampler
+from repro.core.config import JoinSpec
+from repro.core.full_join import spatial_range_join
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+from repro.stats.accuracy import counting_accuracy_report
+from repro.stats.uniformity import uniformity_report
+
+__all__ = [
+    "run_table2_preprocessing",
+    "run_table3_decomposed_times",
+    "run_table4_sampling",
+    "run_baseline_comparison",
+    "run_fig4_memory",
+    "run_fig5_range_size",
+    "run_fig6_num_samples",
+    "run_fig7_dataset_size",
+    "run_fig8_size_ratio",
+    "run_fig9_bbst_vs_cell_kdtree",
+    "run_accuracy_experiment",
+    "run_uniformity_experiment",
+]
+
+Row = dict[str, Any]
+
+#: The three algorithms the paper compares in most experiments.
+_COMPARISON_SAMPLERS: tuple[Callable[[JoinSpec], JoinSampler], ...] = (
+    KDSSampler,
+    KDSRejectionSampler,
+    BBSTSampler,
+)
+
+
+def _workloads_or_default(
+    workloads: Sequence[WorkloadConfig] | None,
+    scale: ExperimentScale,
+    datasets: Sequence[str] | None,
+) -> list[WorkloadConfig]:
+    if workloads is not None:
+        return list(workloads)
+    return default_workloads(scale, datasets)
+
+
+def _run_sampler(
+    factory: Callable[[JoinSpec], JoinSampler],
+    spec: JoinSpec,
+    num_samples: int,
+    seed: int,
+) -> tuple[JoinSampler, JoinSampleResult]:
+    sampler = factory(spec)
+    result = sampler.sample(num_samples, seed=seed)
+    return sampler, result
+
+
+# ----------------------------------------------------------------------
+# Table II - pre-processing time
+# ----------------------------------------------------------------------
+def run_table2_preprocessing(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+) -> list[Row]:
+    """Offline preprocessing seconds: kd-tree build (KDS) vs x-sort (BBST)."""
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        spec = build_join_spec(config)
+        kds = KDSSampler(spec)
+        bbst = BBSTSampler(spec)
+        rows.append(
+            {
+                "dataset": config.dataset,
+                "n": spec.n,
+                "m": spec.m,
+                "kds_preprocess_seconds": kds.preprocess(),
+                "bbst_preprocess_seconds": bbst.preprocess(),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Tables III and IV - total / decomposed times and sampling statistics
+# ----------------------------------------------------------------------
+def run_baseline_comparison(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    num_samples: int | None = None,
+    seed: int = 11,
+) -> list[Row]:
+    """Full comparison rows shared by Table III and Table IV."""
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        spec = build_join_spec(config)
+        t = config.num_samples if num_samples is None else num_samples
+        for factory in _COMPARISON_SAMPLERS:
+            sampler, result = _run_sampler(factory, spec, t, seed)
+            timings = result.timings
+            rows.append(
+                {
+                    "dataset": config.dataset,
+                    "algorithm": sampler.name,
+                    "n": spec.n,
+                    "m": spec.m,
+                    "t": t,
+                    "total_seconds": timings.total_seconds,
+                    "gm_seconds": timings.build_seconds,
+                    "ub_seconds": timings.count_seconds,
+                    "sampling_seconds": timings.sample_seconds,
+                    "iterations": result.iterations,
+                    "accepted": len(result),
+                    "acceptance_rate": result.acceptance_rate,
+                }
+            )
+    return rows
+
+
+def run_table3_decomposed_times(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    num_samples: int | None = None,
+) -> list[Row]:
+    """Table III: total, grid-mapping and upper-bounding seconds per algorithm."""
+    rows = run_baseline_comparison(workloads, scale, datasets, num_samples)
+    return [
+        {
+            "dataset": row["dataset"],
+            "algorithm": row["algorithm"],
+            "total_seconds": row["total_seconds"],
+            "gm_seconds": row["gm_seconds"],
+            "ub_seconds": row["ub_seconds"],
+        }
+        for row in rows
+    ]
+
+
+def run_table4_sampling(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    num_samples: int | None = None,
+) -> list[Row]:
+    """Table IV: sampling seconds and number of sampling iterations."""
+    rows = run_baseline_comparison(workloads, scale, datasets, num_samples)
+    return [
+        {
+            "dataset": row["dataset"],
+            "algorithm": row["algorithm"],
+            "t": row["t"],
+            "sampling_seconds": row["sampling_seconds"],
+            "iterations": row["iterations"],
+        }
+        for row in rows
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 - memory usage vs dataset size
+# ----------------------------------------------------------------------
+def run_fig4_memory(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    fractions: Sequence[float] | None = None,
+) -> list[Row]:
+    """Structural index bytes of each algorithm while the dataset grows."""
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        sweep = tuple(fractions) if fractions is not None else tuple(config.scale_sweep)
+        for fraction in sweep:
+            spec = build_join_spec(config, scale_fraction=fraction)
+            kds, _ = _run_sampler(KDSSampler, spec, 0, seed=0)
+            rejection, _ = _run_sampler(KDSRejectionSampler, spec, 0, seed=0)
+            bbst, _ = _run_sampler(BBSTSampler, spec, 0, seed=0)
+            rows.append(
+                {
+                    "dataset": config.dataset,
+                    "fraction": fraction,
+                    "m": spec.m,
+                    "kds_bytes": kds.index_nbytes(),
+                    "kds_rejection_bytes": rejection.index_nbytes(),
+                    "bbst_bytes": bbst.index_nbytes(),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section V-B text - accuracy of the approximate range counting
+# ----------------------------------------------------------------------
+def run_accuracy_experiment(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+) -> list[Row]:
+    """``sum_r mu(r) / |J|`` per dataset (1.04-1.19 in the paper)."""
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        spec = build_join_spec(config)
+        report = counting_accuracy_report(spec, dataset=config.dataset)
+        rows.append(
+            {
+                "dataset": config.dataset,
+                "join_size": report.join_size,
+                "sum_mu": report.sum_mu,
+                "ratio": report.ratio,
+                "relative_error": report.relative_error,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 - impact of the range (window) size
+# ----------------------------------------------------------------------
+def run_fig5_range_size(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    ranges: Sequence[float] | None = None,
+    num_samples: int | None = None,
+    seed: int = 13,
+) -> list[Row]:
+    """Total running time of every algorithm while the window grows."""
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        sweep = tuple(ranges) if ranges is not None else tuple(config.range_sweep)
+        t = config.num_samples if num_samples is None else num_samples
+        for half_extent in sweep:
+            spec = build_join_spec(config, half_extent=half_extent)
+            for factory in _COMPARISON_SAMPLERS:
+                sampler, result = _run_sampler(factory, spec, t, seed)
+                rows.append(
+                    {
+                        "dataset": config.dataset,
+                        "half_extent": half_extent,
+                        "algorithm": sampler.name,
+                        "total_seconds": result.timings.total_seconds,
+                        "iterations": result.iterations,
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 - impact of the number of samples
+# ----------------------------------------------------------------------
+def run_fig6_num_samples(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    sample_counts: Sequence[int] | None = None,
+    seed: int = 17,
+) -> list[Row]:
+    """Total running time of every algorithm while ``t`` grows."""
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        sweep = (
+            tuple(sample_counts) if sample_counts is not None else tuple(config.samples_sweep)
+        )
+        spec = build_join_spec(config)
+        for t in sweep:
+            for factory in _COMPARISON_SAMPLERS:
+                sampler, result = _run_sampler(factory, spec, t, seed)
+                rows.append(
+                    {
+                        "dataset": config.dataset,
+                        "t": t,
+                        "algorithm": sampler.name,
+                        "total_seconds": result.timings.total_seconds,
+                        "sampling_seconds": result.timings.sample_seconds,
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 - impact of the dataset size
+# ----------------------------------------------------------------------
+def run_fig7_dataset_size(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    fractions: Sequence[float] | None = None,
+    num_samples: int | None = None,
+    seed: int = 19,
+) -> list[Row]:
+    """Total running time of every algorithm while the dataset grows."""
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        sweep = tuple(fractions) if fractions is not None else tuple(config.scale_sweep)
+        t = config.num_samples if num_samples is None else num_samples
+        for fraction in sweep:
+            spec = build_join_spec(config, scale_fraction=fraction)
+            for factory in _COMPARISON_SAMPLERS:
+                sampler, result = _run_sampler(factory, spec, t, seed)
+                rows.append(
+                    {
+                        "dataset": config.dataset,
+                        "fraction": fraction,
+                        "n": spec.n,
+                        "m": spec.m,
+                        "algorithm": sampler.name,
+                        "total_seconds": result.timings.total_seconds,
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 - impact of the dataset size difference (n / (n + m))
+# ----------------------------------------------------------------------
+def run_fig8_size_ratio(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    ratios: Sequence[float] | None = None,
+    num_samples: int | None = None,
+    seed: int = 23,
+) -> list[Row]:
+    """BBST running time while the ``|R| / (|R| + |S|)`` ratio varies."""
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        sweep = tuple(ratios) if ratios is not None else tuple(config.ratio_sweep)
+        t = config.num_samples if num_samples is None else num_samples
+        for ratio in sweep:
+            spec = build_join_spec(config, r_fraction=ratio)
+            sampler, result = _run_sampler(BBSTSampler, spec, t, seed)
+            rows.append(
+                {
+                    "dataset": config.dataset,
+                    "r_fraction": ratio,
+                    "n": spec.n,
+                    "m": spec.m,
+                    "total_seconds": result.timings.total_seconds,
+                    "gm_seconds": result.timings.build_seconds,
+                    "ub_seconds": result.timings.count_seconds,
+                    "sampling_seconds": result.timings.sample_seconds,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 - effectiveness of the BBST structure
+# ----------------------------------------------------------------------
+def run_fig9_bbst_vs_cell_kdtree(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    num_samples: int | None = None,
+    seed: int = 29,
+) -> list[Row]:
+    """BBST vs the per-cell kd-tree variant of Algorithm 1."""
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        spec = build_join_spec(config)
+        t = config.num_samples if num_samples is None else num_samples
+        for factory in (BBSTSampler, CellKDTreeSampler):
+            sampler, result = _run_sampler(factory, spec, t, seed)
+            rows.append(
+                {
+                    "dataset": config.dataset,
+                    "algorithm": sampler.name,
+                    "t": t,
+                    "total_seconds": result.timings.total_seconds,
+                    "ub_seconds": result.timings.count_seconds,
+                    "sampling_seconds": result.timings.sample_seconds,
+                    "iterations": result.iterations,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Correctness extra - uniformity of the produced samples
+# ----------------------------------------------------------------------
+def run_uniformity_experiment(
+    total_points: int = 1_200,
+    half_extent: float = 400.0,
+    num_samples: int = 30_000,
+    dataset: str = "foursquare",
+    seed: int = 31,
+) -> list[Row]:
+    """Chi-square uniformity check of every sampler on an enumerable join."""
+    config = WorkloadConfig(
+        dataset=dataset,
+        total_points=total_points,
+        half_extent=half_extent,
+        num_samples=num_samples,
+    )
+    spec = build_join_spec(config)
+    join_pairs = spatial_range_join(spec)
+    rows: list[Row] = []
+    for factory in (*_COMPARISON_SAMPLERS, CellKDTreeSampler):
+        sampler, result = _run_sampler(factory, spec, num_samples, seed)
+        report = uniformity_report(result, join_pairs)
+        rows.append(
+            {
+                "algorithm": sampler.name,
+                "join_size": report.join_size,
+                "samples": report.num_samples,
+                "chi_square": report.chi_square,
+                "p_value": report.p_value,
+                "lag_correlation": report.lag_correlation,
+                "looks_uniform": report.looks_uniform,
+            }
+        )
+    return rows

@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+``repro-spatial-join-sampling`` exposes the library to the shell:
+
+* ``list`` - show the available experiments and dataset proxies.
+* ``experiment <id>`` - run one table/figure reproduction and print its rows.
+* ``all`` - run every experiment and optionally write a markdown report.
+* ``sample`` - draw join samples from a dataset proxy with a chosen
+  algorithm and print them (or write them to CSV).
+
+Examples
+--------
+.. code-block:: console
+
+   $ repro-spatial-join-sampling list
+   $ repro-spatial-join-sampling experiment table3 --scale smoke
+   $ repro-spatial-join-sampling sample --dataset nyc --algorithm bbst -t 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.reporting import format_table, rows_to_csv
+from repro.bench.runner import EXPERIMENTS, run_all_experiments, run_experiment
+from repro.bench.workloads import DEFAULT_HALF_EXTENT, ExperimentScale
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.cell_kdtree_sampler import CellKDTreeSampler
+from repro.core.config import JoinSpec
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+from repro.datasets.partition import split_r_s
+from repro.datasets.real_proxies import DATASET_NAMES, DEFAULT_PROXY_SIZES, load_proxy
+
+__all__ = ["main", "build_parser"]
+
+_ALGORITHMS = {
+    "kds": KDSSampler,
+    "kds-rejection": KDSRejectionSampler,
+    "bbst": BBSTSampler,
+    "cell-kdtree": CellKDTreeSampler,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spatial-join-sampling",
+        description="Random sampling over spatial range joins (ICDE 2025) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiments, datasets and algorithms")
+
+    experiment = subparsers.add_parser("experiment", help="run one experiment by id")
+    experiment.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--scale", choices=[s.value for s in ExperimentScale], default="smoke"
+    )
+    experiment.add_argument("--datasets", nargs="*", default=None)
+    experiment.add_argument("--csv", type=Path, default=None, help="write rows as CSV")
+
+    run_all = subparsers.add_parser("all", help="run every experiment")
+    run_all.add_argument(
+        "--scale", choices=[s.value for s in ExperimentScale], default="smoke"
+    )
+    run_all.add_argument("--datasets", nargs="*", default=None)
+    run_all.add_argument("--output", type=Path, default=None, help="markdown report path")
+    run_all.add_argument(
+        "--experiments",
+        nargs="*",
+        choices=sorted(EXPERIMENTS),
+        default=None,
+        help="subset of experiment ids to run (default: all)",
+    )
+
+    sample = subparsers.add_parser("sample", help="draw join samples from a dataset proxy")
+    sample.add_argument("--dataset", choices=DATASET_NAMES, default="castreet")
+    sample.add_argument("--size", type=int, default=None, help="proxy size (points)")
+    sample.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="bbst")
+    sample.add_argument("-t", "--num-samples", type=int, default=1000)
+    sample.add_argument("--half-extent", type=float, default=DEFAULT_HALF_EXTENT)
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--output", type=Path, default=None, help="write pairs as CSV")
+
+    return parser
+
+
+def _command_list() -> int:
+    print("Experiments:")
+    for key, (title, _runner) in EXPERIMENTS.items():
+        print(f"  {key:12s} {title}")
+    print("\nDataset proxies (default sizes):")
+    for name in DATASET_NAMES:
+        print(f"  {name:12s} {DEFAULT_PROXY_SIZES[name]} points")
+    print("\nAlgorithms:")
+    for name in sorted(_ALGORITHMS):
+        print(f"  {name}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    rows = run_experiment(
+        args.experiment_id,
+        scale=ExperimentScale(args.scale),
+        datasets=args.datasets,
+    )
+    title = EXPERIMENTS[args.experiment_id][0]
+    print(format_table(rows, title=title))
+    if args.csv is not None:
+        args.csv.write_text(rows_to_csv(rows))
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _command_all(args: argparse.Namespace) -> int:
+    run_all_experiments(
+        scale=ExperimentScale(args.scale),
+        datasets=args.datasets,
+        output_path=args.output,
+        echo=True,
+        experiment_ids=args.experiments,
+    )
+    if args.output is not None:
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _command_sample(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    points = load_proxy(args.dataset, size=args.size)
+    r_points, s_points = split_r_s(points, rng)
+    spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=args.half_extent)
+    sampler = _ALGORITHMS[args.algorithm](spec)
+    result = sampler.sample(args.num_samples, seed=args.seed)
+    print(
+        f"{sampler.name}: {len(result)} samples in {result.timings.total_seconds:.3f}s "
+        f"({result.iterations} iterations, acceptance rate {result.acceptance_rate:.3f})"
+    )
+    if args.output is not None:
+        lines = ["r_id,s_id"] + [f"{r},{s}" for r, s in result.id_pairs()]
+        args.output.write_text("\n".join(lines) + "\n")
+        print(f"wrote {args.output}")
+    else:
+        preview = result.id_pairs()[:10]
+        for r_id, s_id in preview:
+            print(f"  ({r_id}, {s_id})")
+        if len(result) > len(preview):
+            print(f"  ... {len(result) - len(preview)} more pairs")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "all":
+        return _command_all(args)
+    if args.command == "sample":
+        return _command_sample(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

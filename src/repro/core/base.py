@@ -1,0 +1,289 @@
+"""Common sampler interface, results and phase-decomposed timings.
+
+All four join samplers (the two baselines, the proposed BBST algorithm and
+its per-cell kd-tree ablation) share the life-cycle the paper evaluates:
+
+1. ``preprocess()`` - the *offline* step reported in Table II (building the
+   kd-tree for the baselines, pre-sorting ``S`` for BBST).
+2. ``sample(t)`` - the *online* run reported in Tables III/IV and every
+   figure, decomposed into the build (grid-mapping / structure building),
+   counting (upper-bounding) and sampling phases.
+
+Results carry the drawn pairs, the per-phase wall-clock times, the number of
+sampling iterations (accepted + rejected attempts) and algorithm-specific
+metadata such as ``sum_mu`` so that the experiment harness can reproduce the
+paper's tables without re-instrumenting the algorithms.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.config import JoinSpec
+
+__all__ = ["SamplePair", "PhaseTimings", "JoinSampleResult", "JoinSampler"]
+
+
+@dataclass(frozen=True, slots=True)
+class SamplePair:
+    """One sampled join pair, reported by dataset identifiers and positions.
+
+    ``r_id`` / ``s_id`` are the points' dataset identifiers (stable across
+    shuffling); ``r_index`` / ``s_index`` are positional indices into the
+    spec's point sets, which is what validation and statistics code uses.
+    """
+
+    r_id: int
+    s_id: int
+    r_index: int
+    s_index: int
+
+    def as_id_tuple(self) -> tuple[int, int]:
+        """``(r_id, s_id)`` tuple, the user-facing form of the pair."""
+        return (self.r_id, self.s_id)
+
+    def as_index_tuple(self) -> tuple[int, int]:
+        """``(r_index, s_index)`` tuple, the validation-facing form."""
+        return (self.r_index, self.s_index)
+
+
+@dataclass(slots=True)
+class PhaseTimings:
+    """Wall-clock seconds per online phase, mirroring Table III/IV columns.
+
+    ``build_seconds`` is the paper's GM column (grid mapping / online data
+    structure building), ``count_seconds`` the UB column (exact counting or
+    upper-bounding plus alias building), ``sample_seconds`` the sampling
+    phase.  ``preprocess_seconds`` is the offline Table II time and is kept
+    separate from the total.
+    """
+
+    preprocess_seconds: float = 0.0
+    build_seconds: float = 0.0
+    count_seconds: float = 0.0
+    sample_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Online total: build + count + sample (excludes preprocessing)."""
+        return self.build_seconds + self.count_seconds + self.sample_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain dictionary used by the reporting layer."""
+        return {
+            "preprocess_seconds": self.preprocess_seconds,
+            "build_seconds": self.build_seconds,
+            "count_seconds": self.count_seconds,
+            "sample_seconds": self.sample_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+
+@dataclass(slots=True)
+class JoinSampleResult:
+    """Outcome of one ``sample(t)`` call."""
+
+    sampler_name: str
+    requested: int
+    pairs: list[SamplePair]
+    timings: PhaseTimings
+    iterations: int
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[SamplePair]:
+        return iter(self.pairs)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of sampling iterations that produced an accepted pair."""
+        if self.iterations == 0:
+            return 0.0
+        return len(self.pairs) / self.iterations
+
+    def id_pairs(self) -> list[tuple[int, int]]:
+        """All sampled pairs as ``(r_id, s_id)`` tuples."""
+        return [pair.as_id_tuple() for pair in self.pairs]
+
+    def index_pairs(self) -> np.ndarray:
+        """All sampled pairs as an ``(k, 2)`` array of positional indices."""
+        if not self.pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array([pair.as_index_tuple() for pair in self.pairs], dtype=np.int64)
+
+
+class JoinSampler(abc.ABC):
+    """Abstract base class of every join sampling algorithm.
+
+    Subclasses implement :meth:`_preprocess_impl` (offline step) and
+    :meth:`_sample_impl` (online phases); this base class handles timing of
+    the offline step, seeding, and argument validation so that all samplers
+    report comparable numbers.
+    """
+
+    def __init__(self, spec: JoinSpec) -> None:
+        self._spec = spec
+        self._preprocessed = False
+        self._preprocess_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> JoinSpec:
+        """The join instance this sampler operates on."""
+        return self._spec
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short algorithm name used in reports (e.g. ``"BBST"``)."""
+
+    @property
+    def preprocess_seconds(self) -> float:
+        """Offline preprocessing time of the last :meth:`preprocess` call."""
+        return self._preprocess_seconds
+
+    @property
+    def is_preprocessed(self) -> bool:
+        """Whether :meth:`preprocess` already ran."""
+        return self._preprocessed
+
+    # ------------------------------------------------------------------
+    def preprocess(self) -> float:
+        """Run the offline step (Table II) once and return its wall-clock seconds."""
+        if not self._preprocessed:
+            start = time.perf_counter()
+            self._preprocess_impl()
+            self._preprocess_seconds = time.perf_counter() - start
+            self._preprocessed = True
+        return self._preprocess_seconds
+
+    def sample(
+        self,
+        t: int,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ) -> JoinSampleResult:
+        """Draw ``t`` uniform, independent samples of the join result.
+
+        Parameters
+        ----------
+        t:
+            Number of samples (with replacement) to return.
+        rng, seed:
+            Either an explicit numpy generator or a seed; a fresh default
+            generator is created when neither is given.
+        """
+        if t < 0:
+            raise ValueError("t must be non-negative")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self.preprocess()
+        result = self._sample_impl(t, rng)
+        result.timings.preprocess_seconds = self._preprocess_seconds
+        return result
+
+    def sample_without_replacement(
+        self,
+        t: int,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+        max_attempt_factor: int = 50,
+    ) -> JoinSampleResult:
+        """Draw ``t`` *distinct* join pairs.
+
+        Definition 2 asks for sampling with replacement; the paper notes that
+        the without-replacement variant follows by simply rejecting samples
+        that were already obtained, which is exactly what this method does:
+        it keeps drawing batches with :meth:`sample` and discards duplicates.
+
+        Raises :class:`RuntimeError` when ``t`` appears to exceed the number
+        of distinct join pairs (after ``max_attempt_factor * t`` draws the
+        set of distinct pairs has stopped growing fast enough).
+        """
+        if t < 0:
+            raise ValueError("t must be non-negative")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        distinct: dict[tuple[int, int], SamplePair] = {}
+        timings = PhaseTimings()
+        iterations = 0
+        total_drawn = 0
+        metadata: dict[str, Any] = {}
+        while len(distinct) < t:
+            remaining = t - len(distinct)
+            batch = max(2 * remaining, 16)
+            result = self.sample(batch, rng=rng)
+            iterations += result.iterations
+            total_drawn += len(result)
+            metadata = dict(result.metadata)
+            for phase, value in result.timings.as_dict().items():
+                if phase in ("preprocess_seconds", "total_seconds"):
+                    continue
+                setattr(timings, phase, getattr(timings, phase) + value)
+            for pair in result.pairs:
+                if len(distinct) >= t:
+                    break
+                distinct.setdefault(pair.as_index_tuple(), pair)
+            if total_drawn > max_attempt_factor * max(t, 1) and len(distinct) < t:
+                raise RuntimeError(
+                    f"could not find {t} distinct join pairs after {total_drawn} draws; "
+                    "the join result probably has fewer than t pairs"
+                )
+        timings.preprocess_seconds = self._preprocess_seconds
+        metadata["distinct"] = True
+        return JoinSampleResult(
+            sampler_name=self.name,
+            requested=t,
+            pairs=list(distinct.values()),
+            timings=timings,
+            iterations=iterations,
+            metadata=metadata,
+        )
+
+    def stream_samples(
+        self,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+        batch_size: int = 1_024,
+    ) -> "Iterator[SamplePair]":
+        """Yield uniform, independent join samples indefinitely.
+
+        Definition 2 allows ``t = ∞``: all algorithms draw samples
+        progressively, so consumers can stop whenever they have enough.  The
+        generator draws batches of ``batch_size`` internally (samplers that
+        cache their online structures, such as the BBST sampler, only pay the
+        per-sample cost after the first batch).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        while True:
+            result = self.sample(batch_size, rng=rng)
+            yield from result.pairs
+
+    def index_nbytes(self) -> int:
+        """Approximate memory footprint of the sampler's persistent index."""
+        return 0
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _preprocess_impl(self) -> None:
+        """Offline preprocessing (build the kd-tree / pre-sort ``S``)."""
+
+    @abc.abstractmethod
+    def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
+        """Online phases producing the sample result (``t >= 0``)."""

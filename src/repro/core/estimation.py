@@ -1,0 +1,95 @@
+"""Join-size estimation and selectivity statistics.
+
+These helpers back two parts of the evaluation:
+
+* the paper's accuracy experiment for the approximate range counting
+  (Section V-B measures ``sum_r mu(r) / |J|``), and
+* the motivating applications: join samples and upper bounds are commonly
+  used to estimate join cardinality and selectivity for query optimisation,
+  which the cardinality-estimation example demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.bbst.join_index import BBSTJoinIndex
+from repro.core.config import JoinSpec
+from repro.core.full_join import join_size
+from repro.grid.grid import Grid
+
+__all__ = [
+    "exact_join_size",
+    "upper_bound_sum",
+    "upper_bound_ratio",
+    "join_selectivity",
+    "estimate_join_size_from_upper_bounds",
+    "estimate_join_size_from_sample_counts",
+]
+
+
+def exact_join_size(spec: JoinSpec, grid: Grid | None = None) -> int:
+    """Exact ``|J|`` (grid filter-refine counting; no pair materialisation)."""
+    return join_size(spec, grid)
+
+
+def upper_bound_sum(spec: JoinSpec, index: BBSTJoinIndex | None = None) -> int:
+    """``sum_r mu(r)`` computed with the proposed index.
+
+    When ``index`` is omitted a fresh :class:`BBSTJoinIndex` is built over
+    ``S`` pre-sorted by x (exactly what the sampler's counting phase does).
+    """
+    if index is None:
+        index = BBSTJoinIndex(spec.s_points.sorted_by_x(), half_extent=spec.half_extent)
+    r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
+    total = 0
+    for i in range(spec.n):
+        total += index.upper_bound(float(r_xs[i]), float(r_ys[i]))
+    return total
+
+
+def upper_bound_ratio(spec: JoinSpec, index: BBSTJoinIndex | None = None) -> float:
+    """The accuracy metric of Section V-B: ``sum_r mu(r) / |J|`` (>= 1)."""
+    size = exact_join_size(spec)
+    if size == 0:
+        raise ValueError("the join is empty; the ratio is undefined")
+    return upper_bound_sum(spec, index) / size
+
+
+def join_selectivity(spec: JoinSpec) -> float:
+    """``|J| / (n * m)``, the fraction of the cross product that joins."""
+    return exact_join_size(spec) / (spec.n * spec.m)
+
+
+def estimate_join_size_from_upper_bounds(
+    acceptance_rate: float,
+    sum_mu: float,
+) -> float:
+    """Estimate ``|J|`` from a sampler run's bookkeeping.
+
+    Every sampling iteration of a rejection-based sampler accepts with
+    probability ``|J| / sum_mu``; the observed acceptance rate therefore gives
+    the unbiased estimate ``acceptance_rate * sum_mu``.
+    """
+    if not 0.0 <= acceptance_rate <= 1.0:
+        raise ValueError("acceptance_rate must be in [0, 1]")
+    if sum_mu < 0:
+        raise ValueError("sum_mu must be non-negative")
+    return acceptance_rate * sum_mu
+
+
+def estimate_join_size_from_sample_counts(
+    n: int,
+    m: int,
+    window_hit_probability: float,
+) -> float:
+    """Textbook Bernoulli-sampling estimate used in the examples.
+
+    Given the probability that a *uniform* ``(r, s)`` pair from the cross
+    product joins (e.g. measured on a pilot sample), scale up to the
+    cross-product size.  This mirrors how learned cardinality estimators
+    consume join samples.
+    """
+    if window_hit_probability < 0 or window_hit_probability > 1:
+        raise ValueError("window_hit_probability must be in [0, 1]")
+    if n < 0 or m < 0:
+        raise ValueError("n and m must be non-negative")
+    return window_hit_probability * n * m

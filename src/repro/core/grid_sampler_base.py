@@ -1,0 +1,201 @@
+"""Shared machinery of the grid-decomposition samplers (Algorithm 1 skeleton).
+
+Both the proposed BBST sampler and its per-cell kd-tree ablation (Fig. 9)
+follow exactly the same three online phases; the only difference is the index
+that answers the case-3 (corner cell) counting and sampling primitives.  This
+module factors the skeleton so the two samplers differ only in which
+:class:`JoinCellIndex` they build.
+
+Phases
+------
+1. *Online data structure building* - build the index over ``S`` (grid plus
+   per-cell structures).  Reported as the GM column.
+2. *Approximate range counting* - for every ``r`` obtain the per-cell bounds
+   ``mu(r, c)`` over the 3x3 block, store them as a dense ``(n, 9)`` matrix
+   (this plays the role of the per-point alias ``A_r``: with at most nine
+   weights a cumulative-sum draw is O(1)), and build the global alias ``A``
+   over ``mu(r)``.  Reported as the UB column.
+3. *Sampling* - repeat: draw ``r`` from ``A``, draw a cell from ``A_r``, draw
+   a candidate point inside that cell, and accept the pair iff the point lies
+   in ``w(r)``.  Cases 1/2 always accept; case 3 may reject (point outside the
+   window, or an empty bucket slot for the BBST).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Protocol
+
+import numpy as np
+
+from repro.alias.walker import AliasTable
+from repro.bbst.join_index import CellContribution
+from repro.core.base import JoinSampler, JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.config import JoinSpec
+from repro.core.guards import empty_join_guard as _empty_join_guard
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.neighbors import NEIGHBOR_OFFSETS
+
+__all__ = ["JoinCellIndex", "GridJoinSamplerBase"]
+
+
+class JoinCellIndex(Protocol):
+    """Interface a grid-decomposition index must provide to the sampler skeleton."""
+
+    @property
+    def grid(self) -> Grid:
+        """The non-empty grid over ``S``."""
+
+    def window_for(self, x: float, y: float) -> Rect:
+        """The join window centred at ``(x, y)``."""
+
+    def contributions(self, x: float, y: float) -> list[CellContribution]:
+        """Per-cell upper bounds ``mu(r, c)`` for a query point."""
+
+    def sample_from(
+        self, contribution: CellContribution, window: Rect, rng: np.random.Generator
+    ) -> tuple[int, float, float] | None:
+        """One sampling attempt inside the chosen cell."""
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the index."""
+
+
+#: Position of every neighbour kind in the dense ``(n, 9)`` bound matrix.
+_KIND_COLUMN = {kind: column for column, kind in enumerate(NEIGHBOR_OFFSETS)}
+
+
+class GridJoinSamplerBase(JoinSampler):
+    """Algorithm 1 skeleton parameterised by the per-cell index."""
+
+    def __init__(self, spec: JoinSpec) -> None:
+        super().__init__(spec)
+        self._sorted_s = None
+        self._index: JoinCellIndex | None = None
+        # Cached online structures (index, per-point bounds, alias): built on
+        # the first sample() call and reused by subsequent calls, which makes
+        # repeated / progressive sampling pay only the per-sample cost.
+        self._runtime: tuple[np.ndarray, np.ndarray, AliasTable | None, float] | None = None
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _build_index(self) -> JoinCellIndex:
+        """Build the per-cell index over the (pre-sorted) inner set."""
+
+    @property
+    def index(self) -> JoinCellIndex | None:
+        """The index built by the last ``sample()`` call (``None`` before that)."""
+        return self._index
+
+    def index_nbytes(self) -> int:
+        return self._index.nbytes() if self._index is not None else 0
+
+    # ------------------------------------------------------------------
+    def _preprocess_impl(self) -> None:
+        # The only offline work is pre-sorting S on the x axis (Table II).
+        self._sorted_s = self.spec.s_points.sorted_by_x()
+
+    @property
+    def sorted_s(self):
+        """The inner set pre-sorted by x (available after preprocessing)."""
+        return self._sorted_s
+
+    # ------------------------------------------------------------------
+    def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
+        spec = self.spec
+        timings = PhaseTimings()
+        r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
+
+        if self._runtime is None:
+            # Phase 1: online data structure building (GM column).
+            start = time.perf_counter()
+            index = self._build_index()
+            self._index = index
+            timings.build_seconds = time.perf_counter() - start
+
+            # Phase 2: approximate range counting (UB column).
+            start = time.perf_counter()
+            n = spec.n
+            bounds = np.zeros((n, 9), dtype=np.float64)
+            for i in range(n):
+                for contribution in index.contributions(float(r_xs[i]), float(r_ys[i])):
+                    bounds[i, _KIND_COLUMN[contribution.kind]] = contribution.upper_bound
+            cumulative = np.cumsum(bounds, axis=1)
+            mu_totals = cumulative[:, -1]
+            sum_mu = float(mu_totals.sum())
+            alias = AliasTable(mu_totals) if sum_mu > 0 else None
+            timings.count_seconds = time.perf_counter() - start
+            self._runtime = (bounds, cumulative, alias, sum_mu)
+        else:
+            index = self._index
+            bounds, cumulative, alias, sum_mu = self._runtime
+        if alias is None and t > 0:
+            raise ValueError(
+                "the spatial range join is empty (every upper bound is zero); "
+                "no samples can be drawn"
+            )
+
+        # Phase 3: sampling.
+        start = time.perf_counter()
+        pairs: list[SamplePair] = []
+        iterations = 0
+        guard = _empty_join_guard(t)
+        if alias is not None and t > 0:
+            grid = index.grid
+            r_ids = spec.r_points.ids
+            s_index_by_id = {
+                int(pid): position for position, pid in enumerate(spec.s_points.ids)
+            }
+            while len(pairs) < t:
+                if not pairs and iterations >= guard:
+                    raise RuntimeError(
+                        f"no join sample accepted after {iterations} iterations; "
+                        "the join result is empty or vanishingly small"
+                    )
+                iterations += 1
+                r_index = alias.draw(rng)
+                rx, ry = float(r_xs[r_index]), float(r_ys[r_index])
+                row_cumulative = cumulative[r_index]
+                total = row_cumulative[-1]
+                if total <= 0:  # pragma: no cover - alias never returns zero-weight rows
+                    continue
+                u = rng.random() * total
+                column = int(np.searchsorted(row_cumulative, u, side="right"))
+                kind = NEIGHBOR_OFFSETS[column]
+                base_key = grid.key_for(rx, ry)
+                cell = grid.get((base_key[0] + kind.offset[0], base_key[1] + kind.offset[1]))
+                if cell is None:  # pragma: no cover - positive bound implies the cell exists
+                    continue
+                window = index.window_for(rx, ry)
+                contribution = CellContribution(
+                    kind=kind,
+                    cell=cell,
+                    upper_bound=int(bounds[r_index, column]),
+                    exact=kind.case < 3,
+                )
+                candidate = index.sample_from(contribution, window, rng)
+                if candidate is None:
+                    continue
+                s_id, sx, sy = candidate
+                if not window.contains(sx, sy):
+                    continue
+                pairs.append(
+                    SamplePair(
+                        r_id=int(r_ids[r_index]),
+                        s_id=int(s_id),
+                        r_index=int(r_index),
+                        s_index=s_index_by_id[int(s_id)],
+                    )
+                )
+        timings.sample_seconds = time.perf_counter() - start
+
+        return JoinSampleResult(
+            sampler_name=self.name,
+            requested=t,
+            pairs=pairs,
+            timings=timings,
+            iterations=iterations,
+            metadata={"sum_mu": sum_mu},
+        )

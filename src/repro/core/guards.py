@@ -1,0 +1,32 @@
+"""Safety valves for the rejection-sampling loops.
+
+The paper assumes ``|J| >= 1`` (Definition 2).  The rejection-based samplers
+cannot always detect an empty join up front: their upper bounds can be
+positive even when no pair actually joins, in which case every iteration
+would be rejected and the loop would never terminate.  The guard below bounds
+how long a sampler may run *without accepting a single pair* before raising,
+turning a silent hang into a clear error while leaving legitimate runs (which
+accept pairs long before the threshold) unaffected.
+"""
+
+from __future__ import annotations
+
+__all__ = ["empty_join_guard", "EMPTY_JOIN_GUARD_FLOOR", "EMPTY_JOIN_GUARD_FACTOR"]
+
+#: Minimum number of fruitless iterations tolerated before giving up.
+EMPTY_JOIN_GUARD_FLOOR = 100_000
+
+#: Additional fruitless iterations allowed per requested sample.
+EMPTY_JOIN_GUARD_FACTOR = 100
+
+
+def empty_join_guard(t: int) -> int:
+    """Iteration budget with zero accepted samples before raising.
+
+    The threshold scales with ``t`` so that large requests on very selective
+    joins are not aborted prematurely, while a genuinely empty join fails
+    within a bounded amount of work.
+    """
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    return max(EMPTY_JOIN_GUARD_FLOOR, EMPTY_JOIN_GUARD_FACTOR * t)

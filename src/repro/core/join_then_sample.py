@@ -1,0 +1,80 @@
+"""The naive comparator: materialise the join, then sample from it.
+
+Section I argues this is infeasible for large inputs because the join result
+can have Theta(nm) pairs; the class exists so that tests can cross-check the
+clever samplers against an obviously-correct reference and so that the
+benchmark harness can demonstrate the crossover the paper motivates.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.base import JoinSampler, JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.config import JoinSpec
+from repro.core.full_join import spatial_range_join
+from repro.grid.grid import Grid
+
+__all__ = ["JoinThenSample"]
+
+
+class JoinThenSample(JoinSampler):
+    """Materialise ``J`` with the exact grid join, then sample uniformly from it."""
+
+    def __init__(self, spec: JoinSpec) -> None:
+        super().__init__(spec)
+        self._grid: Grid | None = None
+
+    @property
+    def name(self) -> str:
+        return "JoinThenSample"
+
+    def index_nbytes(self) -> int:
+        return self._grid.nbytes() if self._grid is not None else 0
+
+    # ------------------------------------------------------------------
+    def _preprocess_impl(self) -> None:
+        # The grid over S plays the role of the join index; building it is the
+        # only step that can be shared across sample() calls.
+        self._grid = Grid(self.spec.s_points, cell_size=self.spec.half_extent)
+
+    def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
+        timings = PhaseTimings()
+        spec = self.spec
+
+        start = time.perf_counter()
+        pairs_index = spatial_range_join(spec, self._grid)
+        timings.count_seconds = time.perf_counter() - start
+        if not pairs_index and t > 0:
+            raise ValueError(
+                "the spatial range join is empty; no samples can be drawn"
+            )
+
+        start = time.perf_counter()
+        pairs: list[SamplePair] = []
+        if pairs_index and t > 0:
+            picks = rng.integers(len(pairs_index), size=t)
+            r_ids = spec.r_points.ids
+            s_ids = spec.s_points.ids
+            for pick in picks:
+                r_index, s_index = pairs_index[int(pick)]
+                pairs.append(
+                    SamplePair(
+                        r_id=int(r_ids[r_index]),
+                        s_id=int(s_ids[s_index]),
+                        r_index=r_index,
+                        s_index=s_index,
+                    )
+                )
+        timings.sample_seconds = time.perf_counter() - start
+
+        return JoinSampleResult(
+            sampler_name=self.name,
+            requested=t,
+            pairs=pairs,
+            timings=timings,
+            iterations=t,
+            metadata={"join_size": len(pairs_index)},
+        )

@@ -1,0 +1,131 @@
+"""Baseline 2: KDS-rejection (Section III-B).
+
+The algorithm keeps the kd-tree of ``S`` for sampling but replaces the exact
+O(n sqrt(m)) counting phase with grid upper bounds:
+
+1. (offline) build a kd-tree over ``S``;
+2. (GM) map every point of ``S`` into a grid whose cells have side equal to
+   the window half-extent, so ``w(r)`` overlaps at most nine cells;
+3. (UB) for every ``r``, set ``mu(r)`` to the *total* population of those
+   nine cells (O(1) per point, no approximation guarantee);
+4. build Walker's alias over ``mu(r)``;
+5. repeat: draw ``r`` from the alias, draw one uniform point ``s`` of
+   ``S(w(r))`` with the kd-tree (which also yields the exact ``|S(w(r))|``),
+   and accept the pair with probability ``|S(w(r))| / mu(r)``.
+
+Because the bound counts whole cells, the acceptance probability can be low,
+which is exactly the weakness the proposed BBST algorithm removes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.alias.walker import AliasTable
+from repro.core.base import JoinSampler, JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.config import JoinSpec
+from repro.core.guards import empty_join_guard as _empty_join_guard
+from repro.grid.grid import Grid
+from repro.kdtree.sampling import KDSRangeSampler
+
+__all__ = ["KDSRejectionSampler"]
+
+
+class KDSRejectionSampler(JoinSampler):
+    """The KDS-rejection baseline: loose grid bounds plus rejection sampling."""
+
+    def __init__(self, spec: JoinSpec, leaf_size: int = 16) -> None:
+        super().__init__(spec)
+        self._leaf_size = leaf_size
+        self._range_sampler: KDSRangeSampler | None = None
+        self._grid: Grid | None = None
+
+    @property
+    def name(self) -> str:
+        return "KDS-rejection"
+
+    def index_nbytes(self) -> int:
+        total = self._range_sampler.nbytes() if self._range_sampler is not None else 0
+        if self._grid is not None:
+            total += self._grid.nbytes()
+        return total
+
+    # ------------------------------------------------------------------
+    def _preprocess_impl(self) -> None:
+        self._range_sampler = KDSRangeSampler(self.spec.s_points, leaf_size=self._leaf_size)
+
+    def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
+        assert self._range_sampler is not None
+        spec = self.spec
+        timings = PhaseTimings()
+
+        # Grid mapping phase (GM): the grid cannot be built offline because
+        # its cell side depends on the query window size.
+        start = time.perf_counter()
+        grid = Grid(spec.s_points, cell_size=spec.half_extent)
+        self._grid = grid
+        timings.build_seconds = time.perf_counter() - start
+
+        # Upper-bounding phase (UB): mu(r) = total population of the 3x3 block.
+        start = time.perf_counter()
+        r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
+        mu = np.zeros(spec.n, dtype=np.int64)
+        for i in range(spec.n):
+            total = 0
+            for _kind, cell in grid.neighborhood(float(r_xs[i]), float(r_ys[i])):
+                total += len(cell)
+            mu[i] = total
+        sum_mu = int(mu.sum())
+        alias: AliasTable | None = AliasTable(mu) if sum_mu > 0 else None
+        timings.count_seconds = time.perf_counter() - start
+        if alias is None and t > 0:
+            raise ValueError(
+                "the spatial range join is empty (no window overlaps any grid cell); "
+                "no samples can be drawn"
+            )
+
+        # Rejection sampling phase.
+        start = time.perf_counter()
+        pairs: list[SamplePair] = []
+        iterations = 0
+        guard = _empty_join_guard(t)
+        if alias is not None and t > 0:
+            r_ids = spec.r_points.ids
+            s_ids = spec.s_points.ids
+            while len(pairs) < t:
+                if not pairs and iterations >= guard:
+                    raise RuntimeError(
+                        f"no join sample accepted after {iterations} iterations; "
+                        "the join result is empty or vanishingly small"
+                    )
+                iterations += 1
+                r_index = alias.draw(rng)
+                window = spec.window_of_index(r_index)
+                decomposition = self._range_sampler.tree.decompose(window)
+                exact_count = decomposition.count
+                if exact_count == 0:
+                    continue
+                # Accept with probability |S(w(r))| / mu(r).
+                if rng.random() >= exact_count / mu[r_index]:
+                    continue
+                s_index = self._range_sampler.tree.draw_from(decomposition, rng)
+                pairs.append(
+                    SamplePair(
+                        r_id=int(r_ids[r_index]),
+                        s_id=int(s_ids[s_index]),
+                        r_index=int(r_index),
+                        s_index=int(s_index),
+                    )
+                )
+        timings.sample_seconds = time.perf_counter() - start
+
+        return JoinSampleResult(
+            sampler_name=self.name,
+            requested=t,
+            pairs=pairs,
+            timings=timings,
+            iterations=iterations,
+            metadata={"sum_mu": sum_mu},
+        )

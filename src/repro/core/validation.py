@@ -1,0 +1,61 @@
+"""Validation helpers for sample results.
+
+Used by tests and by the experiment harness's sanity checks: every returned
+pair must be a genuine join pair, identifiers must resolve to real points,
+and the result bookkeeping (requested vs returned, iterations vs accepted)
+must be consistent.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import JoinSampleResult
+from repro.core.config import JoinSpec
+
+__all__ = ["verify_pairs_in_join", "validate_sample_result"]
+
+
+def verify_pairs_in_join(spec: JoinSpec, result: JoinSampleResult) -> bool:
+    """True iff every sampled pair satisfies the window predicate."""
+    return all(
+        spec.pair_matches(pair.r_index, pair.s_index) for pair in result.pairs
+    )
+
+
+def validate_sample_result(spec: JoinSpec, result: JoinSampleResult) -> list[str]:
+    """Return a list of human-readable problems (empty when the result is valid)."""
+    problems: list[str] = []
+    if len(result.pairs) != result.requested:
+        problems.append(
+            f"returned {len(result.pairs)} pairs but {result.requested} were requested"
+        )
+    if result.iterations < len(result.pairs):
+        problems.append(
+            f"iterations ({result.iterations}) cannot be smaller than accepted pairs"
+        )
+    r_ids = {int(pid) for pid in spec.r_points.ids}
+    s_ids = {int(pid) for pid in spec.s_points.ids}
+    for position, pair in enumerate(result.pairs):
+        if pair.r_id not in r_ids:
+            problems.append(f"pair {position}: unknown r_id {pair.r_id}")
+        if pair.s_id not in s_ids:
+            problems.append(f"pair {position}: unknown s_id {pair.s_id}")
+        if not (0 <= pair.r_index < spec.n):
+            problems.append(f"pair {position}: r_index {pair.r_index} out of range")
+        elif int(spec.r_points.ids[pair.r_index]) != pair.r_id:
+            problems.append(f"pair {position}: r_index does not match r_id")
+        if not (0 <= pair.s_index < spec.m):
+            problems.append(f"pair {position}: s_index {pair.s_index} out of range")
+        elif int(spec.s_points.ids[pair.s_index]) != pair.s_id:
+            problems.append(f"pair {position}: s_index does not match s_id")
+        if (
+            0 <= pair.r_index < spec.n
+            and 0 <= pair.s_index < spec.m
+            and not spec.pair_matches(pair.r_index, pair.s_index)
+        ):
+            problems.append(
+                f"pair {position}: ({pair.r_id}, {pair.s_id}) is not a join pair"
+            )
+    for field_name, value in result.timings.as_dict().items():
+        if value < 0:
+            problems.append(f"negative timing for {field_name}")
+    return problems

@@ -1,0 +1,51 @@
+"""Datasets: synthetic generators, proxies of the paper's real datasets, I/O.
+
+The paper evaluates on four real datasets (CaStreet, Foursquare, IMIS, NYC)
+that are not redistributable and are orders of magnitude larger than a pure
+Python reproduction should load.  :mod:`repro.datasets.real_proxies` builds
+synthetic stand-ins with matching spatial character (road-network skeletons,
+Zipf-weighted POI clusters, trajectory bands, taxi hotspots), normalised to
+the paper's ``[0, 10000]²`` domain; :mod:`repro.datasets.synthetic` contains
+the underlying generators, which are also useful on their own for controlled
+experiments; :mod:`repro.datasets.partition` splits a dataset into ``R`` and
+``S``; :mod:`repro.datasets.loaders` persists point sets as CSV.
+"""
+
+from repro.datasets.loaders import load_points_csv, save_points_csv
+from repro.datasets.partition import split_r_s
+from repro.datasets.real_proxies import (
+    DATASET_NAMES,
+    DEFAULT_PROXY_SIZES,
+    ca_street_proxy,
+    foursquare_proxy,
+    imis_proxy,
+    load_proxy,
+    nyc_proxy,
+)
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    hotspot_mixture,
+    polyline_network_points,
+    random_walk_trajectories,
+    uniform_points,
+    zipf_cluster_points,
+)
+
+__all__ = [
+    "uniform_points",
+    "gaussian_clusters",
+    "zipf_cluster_points",
+    "random_walk_trajectories",
+    "polyline_network_points",
+    "hotspot_mixture",
+    "ca_street_proxy",
+    "foursquare_proxy",
+    "imis_proxy",
+    "nyc_proxy",
+    "load_proxy",
+    "DATASET_NAMES",
+    "DEFAULT_PROXY_SIZES",
+    "split_r_s",
+    "save_points_csv",
+    "load_points_csv",
+]

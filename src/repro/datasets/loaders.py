@@ -1,0 +1,62 @@
+"""CSV persistence for point sets.
+
+Real deployments load their own data; these helpers give the examples and
+the CLI a dependency-free way to exchange point sets with other tools
+(one ``id,x,y`` row per point).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry.point import PointSet
+
+__all__ = ["save_points_csv", "load_points_csv"]
+
+_HEADER = ("id", "x", "y")
+
+
+def save_points_csv(points: PointSet, path: str | Path) -> Path:
+    """Write a point set as ``id,x,y`` CSV and return the written path."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for pid, x, y in zip(points.ids, points.xs, points.ys):
+            writer.writerow([int(pid), float(x), float(y)])
+    return destination
+
+
+def load_points_csv(path: str | Path, name: str | None = None) -> PointSet:
+    """Read a point set previously written by :func:`save_points_csv`.
+
+    The header row is validated so that silently transposed or truncated
+    files fail loudly instead of producing a garbled dataset.
+    """
+    source = Path(path)
+    ids: list[int] = []
+    xs: list[float] = []
+    ys: list[float] = []
+    with source.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(h.strip().lower() for h in header) != _HEADER:
+            raise ValueError(f"{source} does not look like a point CSV (expected header id,x,y)")
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise ValueError(f"{source}:{row_number}: expected 3 columns, got {len(row)}")
+            ids.append(int(row[0]))
+            xs.append(float(row[1]))
+            ys.append(float(row[2]))
+    return PointSet(
+        xs=np.asarray(xs, dtype=np.float64),
+        ys=np.asarray(ys, dtype=np.float64),
+        ids=np.asarray(ids, dtype=np.int64),
+        name=name or source.stem,
+    )

@@ -1,0 +1,219 @@
+"""Synthetic point-cloud generators.
+
+Each generator returns a :class:`~repro.geometry.point.PointSet` on the
+``[0, domain] x [0, domain]`` square.  They cover the spatial characters seen
+in real spatial databases - uniform noise, Gaussian city clusters with a
+Zipfian popularity skew, road-network skeletons, vessel/taxi trajectories and
+hotspot mixtures - and are combined by :mod:`repro.datasets.real_proxies`
+into stand-ins for the paper's four real datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.point import PointSet
+
+__all__ = [
+    "uniform_points",
+    "gaussian_clusters",
+    "zipf_cluster_points",
+    "random_walk_trajectories",
+    "polyline_network_points",
+    "hotspot_mixture",
+]
+
+_DOMAIN = 10_000.0
+
+
+def _clip_to_domain(xs: np.ndarray, ys: np.ndarray, domain: float) -> tuple[np.ndarray, np.ndarray]:
+    return np.clip(xs, 0.0, domain), np.clip(ys, 0.0, domain)
+
+
+def _as_point_set(xs: np.ndarray, ys: np.ndarray, domain: float, name: str) -> PointSet:
+    xs, ys = _clip_to_domain(xs, ys, domain)
+    return PointSet(xs=xs, ys=ys, name=name)
+
+
+def uniform_points(
+    n: int,
+    rng: np.random.Generator,
+    domain: float = _DOMAIN,
+    name: str = "uniform",
+) -> PointSet:
+    """``n`` points uniformly distributed over the square domain."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    xs = rng.uniform(0.0, domain, size=n)
+    ys = rng.uniform(0.0, domain, size=n)
+    return _as_point_set(xs, ys, domain, name)
+
+
+def gaussian_clusters(
+    n: int,
+    rng: np.random.Generator,
+    num_clusters: int = 10,
+    spread: float = 300.0,
+    domain: float = _DOMAIN,
+    name: str = "gaussian-clusters",
+) -> PointSet:
+    """Points drawn from ``num_clusters`` equally likely Gaussian blobs."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be at least 1")
+    centers_x = rng.uniform(0.0, domain, size=num_clusters)
+    centers_y = rng.uniform(0.0, domain, size=num_clusters)
+    assignment = rng.integers(num_clusters, size=n)
+    xs = centers_x[assignment] + rng.normal(0.0, spread, size=n)
+    ys = centers_y[assignment] + rng.normal(0.0, spread, size=n)
+    return _as_point_set(xs, ys, domain, name)
+
+
+def zipf_cluster_points(
+    n: int,
+    rng: np.random.Generator,
+    num_clusters: int = 50,
+    skew: float = 1.2,
+    spread: float = 150.0,
+    domain: float = _DOMAIN,
+    name: str = "zipf-clusters",
+) -> PointSet:
+    """Gaussian clusters whose popularities follow a Zipf law.
+
+    A few clusters absorb most of the points, producing the heavy cell-count
+    skew that check-in / POI datasets such as Foursquare exhibit.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be at least 1")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    ranks = np.arange(1, num_clusters + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    centers_x = rng.uniform(0.0, domain, size=num_clusters)
+    centers_y = rng.uniform(0.0, domain, size=num_clusters)
+    assignment = rng.choice(num_clusters, size=n, p=weights)
+    xs = centers_x[assignment] + rng.normal(0.0, spread, size=n)
+    ys = centers_y[assignment] + rng.normal(0.0, spread, size=n)
+    return _as_point_set(xs, ys, domain, name)
+
+
+def random_walk_trajectories(
+    n: int,
+    rng: np.random.Generator,
+    num_trajectories: int = 40,
+    step: float = 30.0,
+    domain: float = _DOMAIN,
+    name: str = "trajectories",
+) -> PointSet:
+    """Points along smooth random walks (GPS trajectory style).
+
+    Each trajectory starts at a random location and performs a correlated
+    random walk; points are the walk's positions.  Mimics vessel (IMIS) and
+    vehicle traces whose points concentrate along elongated paths.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if num_trajectories < 1:
+        raise ValueError("num_trajectories must be at least 1")
+    points_per_trajectory = np.full(num_trajectories, n // num_trajectories, dtype=np.int64)
+    points_per_trajectory[: n % num_trajectories] += 1
+    xs_parts: list[np.ndarray] = []
+    ys_parts: list[np.ndarray] = []
+    for length in points_per_trajectory:
+        if length == 0:
+            continue
+        heading = rng.uniform(0.0, 2.0 * np.pi)
+        turns = rng.normal(0.0, 0.25, size=length)
+        headings = heading + np.cumsum(turns)
+        steps = rng.exponential(step, size=length)
+        xs = rng.uniform(0.0, domain) + np.cumsum(np.cos(headings) * steps)
+        ys = rng.uniform(0.0, domain) + np.cumsum(np.sin(headings) * steps)
+        # Reflect walks that wander outside the domain back inside.
+        xs = np.abs(np.mod(xs, 2.0 * domain) - domain)
+        ys = np.abs(np.mod(ys, 2.0 * domain) - domain)
+        xs_parts.append(xs)
+        ys_parts.append(ys)
+    if not xs_parts:
+        return PointSet.empty(name)
+    return _as_point_set(np.concatenate(xs_parts), np.concatenate(ys_parts), domain, name)
+
+
+def polyline_network_points(
+    n: int,
+    rng: np.random.Generator,
+    num_segments: int = 120,
+    jitter: float = 20.0,
+    domain: float = _DOMAIN,
+    name: str = "road-network",
+) -> PointSet:
+    """Points scattered along a random planar segment network (road style).
+
+    Random segments connect nearby junctions; points are placed uniformly
+    along segments with a small perpendicular jitter, producing the locally
+    linear clusters typical of road datasets such as CaStreet.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if num_segments < 1:
+        raise ValueError("num_segments must be at least 1")
+    num_junctions = max(4, num_segments // 2)
+    junctions_x = rng.uniform(0.0, domain, size=num_junctions)
+    junctions_y = rng.uniform(0.0, domain, size=num_junctions)
+    starts = rng.integers(num_junctions, size=num_segments)
+    # Connect each start to one of its geometrically nearest junctions so the
+    # network looks road-like instead of a random chord diagram.
+    ends = np.empty(num_segments, dtype=np.int64)
+    for i, start in enumerate(starts):
+        dx = junctions_x - junctions_x[start]
+        dy = junctions_y - junctions_y[start]
+        distance = np.hypot(dx, dy)
+        distance[start] = np.inf
+        nearest = np.argsort(distance)[:5]
+        ends[i] = rng.choice(nearest)
+    assignment = rng.integers(num_segments, size=n)
+    position = rng.random(n)
+    seg_start = starts[assignment]
+    seg_end = ends[assignment]
+    xs = junctions_x[seg_start] + position * (junctions_x[seg_end] - junctions_x[seg_start])
+    ys = junctions_y[seg_start] + position * (junctions_y[seg_end] - junctions_y[seg_start])
+    xs = xs + rng.normal(0.0, jitter, size=n)
+    ys = ys + rng.normal(0.0, jitter, size=n)
+    return _as_point_set(xs, ys, domain, name)
+
+
+def hotspot_mixture(
+    n: int,
+    rng: np.random.Generator,
+    num_hotspots: int = 8,
+    hotspot_fraction: float = 0.7,
+    hotspot_spread: float = 120.0,
+    domain: float = _DOMAIN,
+    name: str = "hotspots",
+) -> PointSet:
+    """A few very dense hotspots over a broad uniform background.
+
+    Mimics taxi pick-up/drop-off data (NYC): most points concentrate in a few
+    small areas (airports, downtown) while the rest spread over the city.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise ValueError("hotspot_fraction must be in [0, 1]")
+    if num_hotspots < 1:
+        raise ValueError("num_hotspots must be at least 1")
+    num_hot = int(round(n * hotspot_fraction))
+    num_background = n - num_hot
+    centers_x = rng.uniform(0.1 * domain, 0.9 * domain, size=num_hotspots)
+    centers_y = rng.uniform(0.1 * domain, 0.9 * domain, size=num_hotspots)
+    assignment = rng.integers(num_hotspots, size=num_hot)
+    hot_xs = centers_x[assignment] + rng.normal(0.0, hotspot_spread, size=num_hot)
+    hot_ys = centers_y[assignment] + rng.normal(0.0, hotspot_spread, size=num_hot)
+    background_xs = rng.uniform(0.0, domain, size=num_background)
+    background_ys = rng.uniform(0.0, domain, size=num_background)
+    xs = np.concatenate([hot_xs, background_xs])
+    ys = np.concatenate([hot_ys, background_ys])
+    return _as_point_set(xs, ys, domain, name)

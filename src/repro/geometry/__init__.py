@@ -1,0 +1,40 @@
+"""Geometry primitives shared by every index and sampler in :mod:`repro`.
+
+The paper operates on static, memory-resident 2-dimensional point sets and
+square query windows centred at points of ``R``.  This subpackage provides:
+
+* :class:`~repro.geometry.point.Point` - a single identified 2-D point.
+* :class:`~repro.geometry.point.PointSet` - a column-oriented, immutable
+  collection of points backed by numpy arrays (the representation every index
+  in this library consumes).
+* :class:`~repro.geometry.rect.Rect` - an axis-aligned rectangle, used both as
+  the join window ``w(r)`` and as cell/MBR geometry.
+* :mod:`~repro.geometry.predicates` - vectorised containment / overlap tests.
+* :mod:`~repro.geometry.mbr` - minimum bounding rectangle helpers.
+"""
+
+from repro.geometry.mbr import mbr_of_arrays, mbr_of_points, union_mbr
+from repro.geometry.point import Point, PointSet
+from repro.geometry.predicates import (
+    count_in_rect,
+    mask_in_rect,
+    points_in_rect,
+    rect_contains_point,
+    rects_overlap,
+)
+from repro.geometry.rect import Rect, window_around
+
+__all__ = [
+    "Point",
+    "PointSet",
+    "Rect",
+    "window_around",
+    "rect_contains_point",
+    "rects_overlap",
+    "mask_in_rect",
+    "points_in_rect",
+    "count_in_rect",
+    "mbr_of_points",
+    "mbr_of_arrays",
+    "union_mbr",
+]

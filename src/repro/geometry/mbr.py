@@ -1,0 +1,60 @@
+"""Minimum bounding rectangle helpers.
+
+The CaStreet dataset used by the paper ships MBRs of road segments; the paper
+keeps the left-bottom corner of each MBR.  These helpers make it easy to go
+from raw segment/point collections to MBRs and back, and are reused by the
+kd-tree and range tree for node bounding boxes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point, PointSet
+from repro.geometry.rect import Rect
+
+__all__ = ["mbr_of_points", "mbr_of_arrays", "union_mbr"]
+
+
+def mbr_of_points(points: Iterable[Point] | PointSet) -> Rect:
+    """Minimum bounding rectangle of a collection of points."""
+    if isinstance(points, PointSet):
+        if len(points) == 0:
+            raise ValueError("cannot compute the MBR of an empty point set")
+        xmin, ymin, xmax, ymax = points.bounds()
+        return Rect(xmin=xmin, ymin=ymin, xmax=xmax, ymax=ymax)
+    pts = list(points)
+    if not pts:
+        raise ValueError("cannot compute the MBR of an empty point collection")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return Rect(xmin=min(xs), ymin=min(ys), xmax=max(xs), ymax=max(ys))
+
+
+def mbr_of_arrays(xs: Sequence[float] | np.ndarray, ys: Sequence[float] | np.ndarray) -> Rect:
+    """Minimum bounding rectangle of parallel coordinate arrays."""
+    xs_arr = np.asarray(xs, dtype=np.float64)
+    ys_arr = np.asarray(ys, dtype=np.float64)
+    if xs_arr.size == 0:
+        raise ValueError("cannot compute the MBR of empty arrays")
+    return Rect(
+        xmin=float(xs_arr.min()),
+        ymin=float(ys_arr.min()),
+        xmax=float(xs_arr.max()),
+        ymax=float(ys_arr.max()),
+    )
+
+
+def union_mbr(rects: Iterable[Rect]) -> Rect:
+    """Smallest rectangle covering every rectangle in ``rects``."""
+    rect_list = list(rects)
+    if not rect_list:
+        raise ValueError("cannot compute the union of zero rectangles")
+    return Rect(
+        xmin=min(r.xmin for r in rect_list),
+        ymin=min(r.ymin for r in rect_list),
+        xmax=max(r.xmax for r in rect_list),
+        ymax=max(r.ymax for r in rect_list),
+    )

@@ -1,0 +1,51 @@
+"""Vectorised spatial predicates over :class:`~repro.geometry.point.PointSet`.
+
+These helpers are the reference implementation of "a point lies in a window"
+used throughout the test-suite to validate indexes, and by the exact join.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.point import Point, PointSet
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "rect_contains_point",
+    "rects_overlap",
+    "mask_in_rect",
+    "points_in_rect",
+    "count_in_rect",
+]
+
+
+def rect_contains_point(rect: Rect, point: Point) -> bool:
+    """Scalar containment test (closed rectangle)."""
+    return rect.contains(point.x, point.y)
+
+
+def rects_overlap(a: Rect, b: Rect) -> bool:
+    """True iff the two closed rectangles intersect."""
+    return a.intersects(b)
+
+
+def mask_in_rect(points: PointSet, rect: Rect) -> np.ndarray:
+    """Boolean mask of the points of ``points`` lying inside ``rect``."""
+    xs, ys = points.xs, points.ys
+    return (
+        (xs >= rect.xmin)
+        & (xs <= rect.xmax)
+        & (ys >= rect.ymin)
+        & (ys <= rect.ymax)
+    )
+
+
+def points_in_rect(points: PointSet, rect: Rect) -> np.ndarray:
+    """Positions (indices into ``points``) of the points inside ``rect``."""
+    return np.flatnonzero(mask_in_rect(points, rect))
+
+
+def count_in_rect(points: PointSet, rect: Rect) -> int:
+    """Exact number of points of ``points`` inside ``rect`` (brute force)."""
+    return int(mask_in_rect(points, rect).sum())

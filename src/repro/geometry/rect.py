@@ -1,0 +1,124 @@
+"""Axis-aligned rectangles and join windows.
+
+A spatial range join associates every point ``r`` of the outer set with the
+square window ``w(r) = [r.x - l, r.x + l] x [r.y - l, r.y + l]`` where ``l`` is
+the *half extent* of the window (the paper sets ``w(r).xmin = r.x - l`` etc.).
+:class:`Rect` is also reused for grid cells and MBRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+__all__ = ["Rect", "window_around"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(
+                f"degenerate rectangle: ({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Extent along the x axis."""
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        """Extent along the y axis."""
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        """Rectangle area (zero for degenerate line/point rectangles)."""
+        return self.width * self.height
+
+    def center(self) -> tuple[float, float]:
+        """Centre of the rectangle."""
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains(self, x: float, y: float) -> bool:
+        """True iff the point ``(x, y)`` lies inside the closed rectangle."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_point(self, point: Point) -> bool:
+        """True iff ``point`` lies inside the closed rectangle."""
+        return self.contains(point.x, point.y)
+
+    def intersects(self, other: "Rect") -> bool:
+        """True iff the two closed rectangles share at least one point."""
+        return not (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True iff ``other`` is entirely inside this rectangle."""
+        return (
+            self.xmin <= other.xmin
+            and other.xmax <= self.xmax
+            and self.ymin <= other.ymin
+            and other.ymax <= self.ymax
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            xmin=max(self.xmin, other.xmin),
+            ymin=max(self.ymin, other.ymin),
+            xmax=min(self.xmax, other.xmax),
+            ymax=min(self.ymax, other.ymax),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return Rect(
+            xmin=self.xmin - margin,
+            ymin=self.ymin - margin,
+            xmax=self.xmax + margin,
+            ymax=self.ymax + margin,
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` tuple."""
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+
+def window_around(x: float, y: float, half_extent: float) -> Rect:
+    """Build the paper's join window ``w(r)`` for a centre ``(x, y)``.
+
+    ``half_extent`` is the paper's parameter ``l``: the resulting square has
+    side length ``2 * l``.
+    """
+    if half_extent < 0:
+        raise ValueError("half_extent must be non-negative")
+    return Rect(
+        xmin=x - half_extent,
+        ymin=y - half_extent,
+        xmax=x + half_extent,
+        ymax=y + half_extent,
+    )

@@ -1,0 +1,39 @@
+"""Non-empty grid over the inner point set ``S``.
+
+Both KDS-rejection (Section III-B) and the proposed BBST algorithm
+(Section IV) start by hashing every point of ``S`` into a uniform grid whose
+cell side equals the window half-extent ``l``.  With that side length the
+window ``w(r)`` (a square of side ``2 l`` centred at ``r``) is always covered
+by the 3x3 block of cells around the cell containing ``r``, which is the
+paper's Fig. 1: the centre cell is fully covered (case 1), the four edge
+neighbours are covered along one axis (case 2), and the four corner
+neighbours are only partially covered along both axes (case 3).
+
+Only non-empty cells are materialised, so the grid costs O(m) space
+regardless of the domain extent or the window size.
+"""
+
+from repro.grid.cell import GridCell, cell_key_for
+from repro.grid.grid import Grid
+from repro.grid.neighbors import (
+    CASE_CENTER,
+    CASE_CORNER,
+    CASE_EDGE,
+    NEIGHBOR_OFFSETS,
+    NeighborKind,
+    case_of_offset,
+    classify_neighbors,
+)
+
+__all__ = [
+    "Grid",
+    "GridCell",
+    "cell_key_for",
+    "NeighborKind",
+    "NEIGHBOR_OFFSETS",
+    "CASE_CENTER",
+    "CASE_EDGE",
+    "CASE_CORNER",
+    "case_of_offset",
+    "classify_neighbors",
+]

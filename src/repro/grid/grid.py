@@ -1,0 +1,179 @@
+"""The non-empty hash grid over the inner point set ``S``.
+
+``Grid`` groups the points of ``S`` into square cells of side ``cell_size``
+(the window half-extent ``l``), keeping only non-empty cells in a hash map.
+Grid mapping is the paper's ``GRID-MAPPING(S, l)`` step: it runs in O(m) time
+(plus the per-cell sorts the online building phase needs, which this class
+also performs so that every cell exposes both sorted views).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.geometry.point import PointSet
+from repro.geometry.rect import Rect
+from repro.grid.cell import GridCell
+from repro.grid.neighbors import NEIGHBOR_OFFSETS, NeighborKind
+
+__all__ = ["Grid"]
+
+
+class Grid:
+    """Hash grid of non-empty cells over a point set.
+
+    Parameters
+    ----------
+    points:
+        The inner join set ``S``.
+    cell_size:
+        Side length of each square cell; the samplers pass the window
+        half-extent ``l`` so that a window is always covered by a 3x3 block.
+    presorted_by_x:
+        When True the caller guarantees ``points`` is already x-sorted, which
+        lets the grid skip the per-cell x sort (mirrors the paper's
+        pre-sorted-``S`` assumption).  The per-cell y sort (building
+        ``Sy(c)``) is always performed here because it belongs to the online
+        phase.
+    """
+
+    __slots__ = ("_cells", "_cell_size", "_size", "_source_name")
+
+    def __init__(
+        self,
+        points: PointSet,
+        cell_size: float,
+        presorted_by_x: bool = False,
+    ) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self._cell_size = float(cell_size)
+        self._size = len(points)
+        self._source_name = points.name
+        self._cells: dict[tuple[int, int], GridCell] = {}
+        if len(points) == 0:
+            return
+
+        xs, ys, ids = points.xs, points.ys, points.ids
+        ix = np.floor(xs / self._cell_size).astype(np.int64)
+        iy = np.floor(ys / self._cell_size).astype(np.int64)
+
+        # Group point positions by cell key.  Sorting by (ix, iy, x) gives each
+        # cell's points as one contiguous, x-sorted run.
+        if presorted_by_x:
+            order = np.lexsort((xs, iy, ix))
+        else:
+            order = np.lexsort((ys, xs, iy, ix))
+        ix_sorted = ix[order]
+        iy_sorted = iy[order]
+        # Boundaries between runs of identical (ix, iy).
+        change = np.flatnonzero(
+            (np.diff(ix_sorted) != 0) | (np.diff(iy_sorted) != 0)
+        )
+        starts = np.concatenate(([0], change + 1))
+        ends = np.concatenate((change + 1, [order.shape[0]]))
+
+        for start, end in zip(starts, ends):
+            run = order[start:end]
+            key = (int(ix_sorted[start]), int(iy_sorted[start]))
+            cell_xs = xs[run]
+            cell_ys = ys[run]
+            cell_ids = ids[run]
+            # The run is sorted by x already (last lexsort key within the cell
+            # is x); assert-free because lexsort guarantees it.
+            bounds = Rect(
+                xmin=key[0] * self._cell_size,
+                ymin=key[1] * self._cell_size,
+                xmax=(key[0] + 1) * self._cell_size,
+                ymax=(key[1] + 1) * self._cell_size,
+            )
+            self._cells[key] = GridCell(
+                key=key,
+                xs_by_x=cell_xs,
+                ys_by_x=cell_ys,
+                ids_by_x=cell_ids,
+                bounds=bounds,
+            )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def cell_size(self) -> float:
+        """Side length of every cell."""
+        return self._cell_size
+
+    @property
+    def num_points(self) -> int:
+        """Number of points mapped into the grid (``m``)."""
+        return self._size
+
+    @property
+    def num_cells(self) -> int:
+        """Number of non-empty cells."""
+        return len(self._cells)
+
+    @property
+    def cells(self) -> Mapping[tuple[int, int], GridCell]:
+        """Read-only view of the cell map."""
+        return self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[GridCell]:
+        return iter(self._cells.values())
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._cells
+
+    def key_for(self, x: float, y: float) -> tuple[int, int]:
+        """Cell key of an arbitrary location."""
+        return (
+            int(np.floor(x / self._cell_size)),
+            int(np.floor(y / self._cell_size)),
+        )
+
+    def get(self, key: tuple[int, int]) -> GridCell | None:
+        """Cell stored under ``key``, or ``None`` when the cell is empty."""
+        return self._cells.get(key)
+
+    def cell_of(self, x: float, y: float) -> GridCell | None:
+        """Cell containing the location ``(x, y)`` (``None`` when empty)."""
+        return self._cells.get(self.key_for(x, y))
+
+    def neighborhood(
+        self, x: float, y: float
+    ) -> list[tuple[NeighborKind, GridCell]]:
+        """Non-empty cells of the 3x3 block around the location ``(x, y)``.
+
+        Returns ``(kind, cell)`` pairs in the deterministic order of
+        :data:`~repro.grid.neighbors.NEIGHBOR_OFFSETS`.
+        """
+        cx, cy = self.key_for(x, y)
+        found: list[tuple[NeighborKind, GridCell]] = []
+        for kind in NEIGHBOR_OFFSETS:
+            dx, dy = kind.offset
+            cell = self._cells.get((cx + dx, cy + dy))
+            if cell is not None:
+                found.append((kind, cell))
+        return found
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def occupancy(self) -> np.ndarray:
+        """Array of per-cell point counts (used to characterise skew)."""
+        return np.array([len(cell) for cell in self._cells.values()], dtype=np.int64)
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of all cells."""
+        return sum(cell.nbytes() for cell in self._cells.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Grid(source={self._source_name!r}, cell_size={self._cell_size}, "
+            f"points={self._size}, cells={self.num_cells})"
+        )

@@ -1,0 +1,103 @@
+"""Classification of the 3x3 cell block around a query point.
+
+The paper's Fig. 1 labels the nine cells a window can overlap and groups them
+into three cases:
+
+* case 1 (centre, ``c``): the window fully covers the cell, so the exact
+  count is ``|S(c)|`` and sampling is a uniform pick.
+* case 2 (edge neighbours ``c←, c→, c↓, c↑``): the window covers the cell
+  along one axis only; a single binary search on the corresponding sorted
+  view yields the exact count.
+* case 3 (corner neighbours ``c↙, c↘, c↖, c↗``): the window is 2-sided in
+  the cell; the BBST provides an approximate count and tree-based sampling.
+
+This module centralises the offsets, the case tags and, for each neighbour
+kind, which side(s) of the window constrain the cell.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Mapping
+
+__all__ = [
+    "NeighborKind",
+    "NEIGHBOR_OFFSETS",
+    "CASE_CENTER",
+    "CASE_EDGE",
+    "CASE_CORNER",
+    "case_of_offset",
+    "classify_neighbors",
+]
+
+CASE_CENTER = 1
+CASE_EDGE = 2
+CASE_CORNER = 3
+
+
+class NeighborKind(Enum):
+    """Position of a neighbour cell relative to the cell containing ``r``."""
+
+    CENTER = (0, 0)
+    LEFT = (-1, 0)
+    RIGHT = (1, 0)
+    DOWN = (0, -1)
+    UP = (0, 1)
+    LOWER_LEFT = (-1, -1)
+    LOWER_RIGHT = (1, -1)
+    UPPER_LEFT = (-1, 1)
+    UPPER_RIGHT = (1, 1)
+
+    @property
+    def offset(self) -> tuple[int, int]:
+        """Grid-key offset ``(dx, dy)`` of this neighbour."""
+        return self.value
+
+    @property
+    def case(self) -> int:
+        """Paper case number (1, 2 or 3) of this neighbour."""
+        return case_of_offset(self.value)
+
+    @property
+    def is_corner(self) -> bool:
+        """True for the four case-3 (2-sided) corner cells."""
+        return self.case == CASE_CORNER
+
+    @property
+    def is_edge(self) -> bool:
+        """True for the four case-2 (1-sided) edge cells."""
+        return self.case == CASE_EDGE
+
+
+#: The nine neighbour kinds in a deterministic order (centre first, then the
+#: four edges, then the four corners).  Samplers rely on this order when they
+#: build the per-point alias over per-cell upper bounds.
+NEIGHBOR_OFFSETS: tuple[NeighborKind, ...] = (
+    NeighborKind.CENTER,
+    NeighborKind.LEFT,
+    NeighborKind.RIGHT,
+    NeighborKind.DOWN,
+    NeighborKind.UP,
+    NeighborKind.LOWER_LEFT,
+    NeighborKind.LOWER_RIGHT,
+    NeighborKind.UPPER_LEFT,
+    NeighborKind.UPPER_RIGHT,
+)
+
+
+def case_of_offset(offset: tuple[int, int]) -> int:
+    """Return the paper case (1, 2 or 3) of a ``(dx, dy)`` neighbour offset."""
+    dx, dy = offset
+    if dx not in (-1, 0, 1) or dy not in (-1, 0, 1):
+        raise ValueError(f"offset {offset!r} is not inside the 3x3 block")
+    nonzero = int(dx != 0) + int(dy != 0)
+    if nonzero == 0:
+        return CASE_CENTER
+    if nonzero == 1:
+        return CASE_EDGE
+    return CASE_CORNER
+
+
+def classify_neighbors() -> Mapping[NeighborKind, int]:
+    """Mapping from every neighbour kind to its paper case number."""
+    return {kind: kind.case for kind in NEIGHBOR_OFFSETS}

@@ -1,0 +1,20 @@
+"""kd-tree substrate used by the two baseline algorithms.
+
+The paper's baselines (Section III) rely on the spatial independent range
+sampling structure of Xie et al. (SIGMOD 2021), which is a kd-tree augmented
+with subtree counts so that
+
+* an orthogonal range count runs in O(sqrt(m)) time, and
+* a uniform random point inside an orthogonal range can be drawn in
+  O(sqrt(m)) time via the canonical decomposition of the range.
+
+:class:`~repro.kdtree.tree.KDTree` implements that structure (bulk-loaded,
+leaf-bucketed, with per-node bounding boxes and subtree sizes), and
+:class:`~repro.kdtree.sampling.KDSRangeSampler` packages the independent
+range sampling interface the join samplers consume.
+"""
+
+from repro.kdtree.sampling import KDSRangeSampler
+from repro.kdtree.tree import KDTree, RangeDecomposition
+
+__all__ = ["KDTree", "RangeDecomposition", "KDSRangeSampler"]

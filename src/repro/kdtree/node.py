@@ -1,0 +1,107 @@
+"""Array-backed node storage for the kd-tree.
+
+The tree is bulk-loaded once over a static point set, so instead of linked
+node objects every per-node attribute lives in a parallel array inside
+:class:`KDTreeNodes`.  This keeps the Python object count (and therefore both
+memory and traversal overhead) low while still allowing the recursive
+algorithms to address nodes by integer id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KDTreeNodes", "NO_CHILD"]
+
+#: Sentinel child id meaning "no child" / "this node is a leaf".
+NO_CHILD = -1
+
+
+class KDTreeNodes:
+    """Growable structure-of-arrays holding every kd-tree node.
+
+    Attributes (all parallel arrays indexed by node id)
+    ---------------------------------------------------
+    lo, hi:
+        The contiguous slice ``[lo, hi)`` of the permuted point array owned by
+        the node's subtree; ``hi - lo`` is the subtree size.
+    axis:
+        Split axis (0 = x, 1 = y); meaningless for leaves.
+    split:
+        Split coordinate value; meaningless for leaves.
+    left, right:
+        Child node ids, or :data:`NO_CHILD` for leaves.
+    xmin, ymin, xmax, ymax:
+        Tight bounding box of the subtree's points.
+    """
+
+    __slots__ = (
+        "lo",
+        "hi",
+        "axis",
+        "split",
+        "left",
+        "right",
+        "xmin",
+        "ymin",
+        "xmax",
+        "ymax",
+        "_count",
+        "_capacity",
+    )
+
+    def __init__(self, initial_capacity: int = 64) -> None:
+        capacity = max(1, int(initial_capacity))
+        self._capacity = capacity
+        self._count = 0
+        self.lo = np.zeros(capacity, dtype=np.int64)
+        self.hi = np.zeros(capacity, dtype=np.int64)
+        self.axis = np.zeros(capacity, dtype=np.int8)
+        self.split = np.zeros(capacity, dtype=np.float64)
+        self.left = np.full(capacity, NO_CHILD, dtype=np.int64)
+        self.right = np.full(capacity, NO_CHILD, dtype=np.int64)
+        self.xmin = np.zeros(capacity, dtype=np.float64)
+        self.ymin = np.zeros(capacity, dtype=np.float64)
+        self.xmax = np.zeros(capacity, dtype=np.float64)
+        self.ymax = np.zeros(capacity, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        for name in ("lo", "hi", "axis", "split", "left", "right", "xmin", "ymin", "xmax", "ymax"):
+            old = getattr(self, name)
+            new = np.empty(new_capacity, dtype=old.dtype)
+            new[: self._count] = old[: self._count]
+            if name in ("left", "right"):
+                new[self._count :] = NO_CHILD
+            setattr(self, name, new)
+        self._capacity = new_capacity
+
+    def new_node(self, lo: int, hi: int) -> int:
+        """Allocate a node owning the slice ``[lo, hi)`` and return its id."""
+        if self._count == self._capacity:
+            self._grow()
+        node_id = self._count
+        self._count += 1
+        self.lo[node_id] = lo
+        self.hi[node_id] = hi
+        self.left[node_id] = NO_CHILD
+        self.right[node_id] = NO_CHILD
+        return node_id
+
+    def subtree_size(self, node_id: int) -> int:
+        """Number of points in the subtree rooted at ``node_id``."""
+        return int(self.hi[node_id] - self.lo[node_id])
+
+    def is_leaf(self, node_id: int) -> bool:
+        """True when the node has no children."""
+        return self.left[node_id] == NO_CHILD and self.right[node_id] == NO_CHILD
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the allocated node arrays."""
+        total = 0
+        for name in ("lo", "hi", "axis", "split", "left", "right", "xmin", "ymin", "xmax", "ymax"):
+            total += int(getattr(self, name).nbytes)
+        return total

@@ -1,0 +1,79 @@
+"""Independent range sampling (KDS) interface over the kd-tree.
+
+The baseline join samplers of Section III interact with the kd-tree through a
+narrow interface: "count the points in a window" and "draw one uniform point
+from a window".  :class:`KDSRangeSampler` packages exactly that, mirroring the
+spatial independent range sampling structure of Xie et al. (SIGMOD 2021) that
+the paper calls KDS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.point import Point, PointSet
+from repro.geometry.rect import Rect
+from repro.kdtree.tree import KDTree
+
+__all__ = ["KDSRangeSampler"]
+
+
+class KDSRangeSampler:
+    """Uniform, independent sampling from orthogonal ranges over ``S``.
+
+    Parameters
+    ----------
+    points:
+        The indexed point set (the join's inner set ``S``).
+    leaf_size:
+        Leaf bucket size forwarded to the underlying :class:`KDTree`.
+    """
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, points: PointSet, leaf_size: int = 16) -> None:
+        self._tree = KDTree(points, leaf_size=leaf_size)
+
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> KDTree:
+        """The underlying kd-tree."""
+        return self._tree
+
+    @property
+    def points(self) -> PointSet:
+        """The indexed point set."""
+        return self._tree.points
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the index."""
+        return self._tree.nbytes()
+
+    # ------------------------------------------------------------------
+    def range_count(self, window: Rect) -> int:
+        """Exact ``|S(w(r))|`` for the given window."""
+        return self._tree.count(window)
+
+    def range_report(self, window: Rect) -> np.ndarray:
+        """Positions of every indexed point inside the window."""
+        return self._tree.report(window)
+
+    def sample_position(self, window: Rect, rng: np.random.Generator) -> int | None:
+        """Position of one uniform point inside the window (``None`` if empty)."""
+        return self._tree.sample(window, rng)
+
+    def sample_point(self, window: Rect, rng: np.random.Generator) -> Point | None:
+        """One uniform :class:`Point` inside the window (``None`` if empty)."""
+        position = self._tree.sample(window, rng)
+        if position is None:
+            return None
+        return self._tree.points[position]
+
+    def sample_positions(
+        self, window: Rect, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``count`` independent uniform positions inside the window."""
+        return self._tree.sample_many(window, count, rng)

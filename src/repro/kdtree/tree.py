@@ -1,0 +1,315 @@
+"""Bulk-loaded kd-tree with counting, reporting and canonical decomposition.
+
+This is the substrate behind both baseline join samplers:
+
+* ``count(rect)`` - exact orthogonal range counting in O(sqrt(m)) time,
+  used by the KDS baseline to obtain ``|S(w(r))|`` for every ``r``.
+* ``decompose(rect)`` - canonical decomposition of a range into fully-covered
+  subtrees plus boundary points, the primitive behind independent range
+  sampling (each canonical subtree owns a contiguous slice of the permuted
+  point array, so a uniform point inside it is one random index).
+* ``sample(rect)`` - one uniform, independent draw from the points inside the
+  range (KDS of Xie et al.).
+
+The tree is leaf-bucketed (``leaf_size`` points per leaf) and splits on the
+axis of larger spread at the median, which keeps the height O(log m) for any
+input distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.point import PointSet
+from repro.geometry.rect import Rect
+from repro.kdtree.node import NO_CHILD, KDTreeNodes
+
+__all__ = ["KDTree", "RangeDecomposition"]
+
+
+@dataclass(slots=True)
+class RangeDecomposition:
+    """Canonical decomposition of an orthogonal range query.
+
+    Attributes
+    ----------
+    canonical_slices:
+        ``(lo, hi)`` slices of the tree's permuted point array whose points are
+        *all* inside the query rectangle (fully covered subtrees).
+    boundary_positions:
+        Positions (indices into the original :class:`PointSet`) of points that
+        were tested individually at partially-overlapping leaves and found to
+        be inside the rectangle.
+    """
+
+    canonical_slices: list[tuple[int, int]] = field(default_factory=list)
+    boundary_positions: list[int] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        """Total number of points covered by the decomposition."""
+        canonical = sum(hi - lo for lo, hi in self.canonical_slices)
+        return canonical + len(self.boundary_positions)
+
+
+class KDTree:
+    """Static kd-tree over a :class:`PointSet` supporting IRS-style sampling.
+
+    Parameters
+    ----------
+    points:
+        The indexed point set (the join's inner set ``S``).
+    leaf_size:
+        Maximum number of points stored in a leaf bucket.
+    """
+
+    __slots__ = ("_points", "_perm", "_px", "_py", "_nodes", "_root", "_leaf_size")
+
+    def __init__(self, points: PointSet, leaf_size: int = 16) -> None:
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be at least 1")
+        self._points = points
+        self._leaf_size = int(leaf_size)
+        n = len(points)
+        self._perm = np.arange(n, dtype=np.int64)
+        # Working copies of the coordinates in permuted order.
+        self._px = points.xs.copy()
+        self._py = points.ys.copy()
+        self._nodes = KDTreeNodes(initial_capacity=max(4, (2 * n) // leaf_size + 4))
+        self._root = self._build(0, n) if n else NO_CHILD
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, lo: int, hi: int) -> int:
+        """Recursively build the subtree over the permuted slice ``[lo, hi)``."""
+        nodes = self._nodes
+        node_id = nodes.new_node(lo, hi)
+        xs = self._px[lo:hi]
+        ys = self._py[lo:hi]
+        nodes.xmin[node_id] = xs.min()
+        nodes.xmax[node_id] = xs.max()
+        nodes.ymin[node_id] = ys.min()
+        nodes.ymax[node_id] = ys.max()
+
+        size = hi - lo
+        if size <= self._leaf_size:
+            return node_id
+
+        x_spread = float(nodes.xmax[node_id] - nodes.xmin[node_id])
+        y_spread = float(nodes.ymax[node_id] - nodes.ymin[node_id])
+        axis = 0 if x_spread >= y_spread else 1
+        coords = xs if axis == 0 else ys
+        mid = size // 2
+        order = np.argpartition(coords, mid)
+        # Apply the partial ordering to the permutation and coordinate copies.
+        self._apply_order(lo, hi, order)
+        split_value = float((self._px if axis == 0 else self._py)[lo + mid])
+
+        nodes.axis[node_id] = axis
+        nodes.split[node_id] = split_value
+        left_id = self._build(lo, lo + mid)
+        right_id = self._build(lo + mid, hi)
+        nodes.left[node_id] = left_id
+        nodes.right[node_id] = right_id
+        return node_id
+
+    def _apply_order(self, lo: int, hi: int, order: np.ndarray) -> None:
+        """Permute the slice ``[lo, hi)`` of the working arrays by ``order``."""
+        sl = slice(lo, hi)
+        self._perm[sl] = self._perm[sl][order]
+        self._px[sl] = self._px[sl][order]
+        self._py[sl] = self._py[sl][order]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> PointSet:
+        """The indexed point set."""
+        return self._points
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of allocated tree nodes."""
+        return len(self._nodes)
+
+    @property
+    def height(self) -> int:
+        """Height of the tree (0 for an empty or single-leaf tree)."""
+        if self._root == NO_CHILD:
+            return 0
+        stack = [(self._root, 0)]
+        best = 0
+        while stack:
+            node, depth = stack.pop()
+            best = max(best, depth)
+            left = int(self._nodes.left[node])
+            right = int(self._nodes.right[node])
+            if left != NO_CHILD:
+                stack.append((left, depth + 1))
+            if right != NO_CHILD:
+                stack.append((right, depth + 1))
+        return best
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the index (excluding the input set)."""
+        return int(
+            self._perm.nbytes + self._px.nbytes + self._py.nbytes + self._nodes.nbytes()
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _node_rect_relation(self, node_id: int, rect: Rect) -> int:
+        """-1 disjoint, 1 fully contained in ``rect``, 0 partial overlap."""
+        nodes = self._nodes
+        nxmin = nodes.xmin[node_id]
+        nxmax = nodes.xmax[node_id]
+        nymin = nodes.ymin[node_id]
+        nymax = nodes.ymax[node_id]
+        if nxmax < rect.xmin or rect.xmax < nxmin or nymax < rect.ymin or rect.ymax < nymin:
+            return -1
+        if (
+            rect.xmin <= nxmin
+            and nxmax <= rect.xmax
+            and rect.ymin <= nymin
+            and nymax <= rect.ymax
+        ):
+            return 1
+        return 0
+
+    def count(self, rect: Rect) -> int:
+        """Exact number of indexed points inside ``rect``."""
+        if self._root == NO_CHILD:
+            return 0
+        total = 0
+        stack = [self._root]
+        nodes = self._nodes
+        while stack:
+            node = stack.pop()
+            relation = self._node_rect_relation(node, rect)
+            if relation == -1:
+                continue
+            if relation == 1:
+                total += nodes.subtree_size(node)
+                continue
+            if nodes.is_leaf(node):
+                lo, hi = int(nodes.lo[node]), int(nodes.hi[node])
+                xs = self._px[lo:hi]
+                ys = self._py[lo:hi]
+                inside = (
+                    (xs >= rect.xmin)
+                    & (xs <= rect.xmax)
+                    & (ys >= rect.ymin)
+                    & (ys <= rect.ymax)
+                )
+                total += int(inside.sum())
+                continue
+            stack.append(int(nodes.left[node]))
+            stack.append(int(nodes.right[node]))
+        return total
+
+    def report(self, rect: Rect) -> np.ndarray:
+        """Positions (into the original point set) of every point inside ``rect``."""
+        decomposition = self.decompose(rect)
+        parts: list[np.ndarray] = []
+        for lo, hi in decomposition.canonical_slices:
+            parts.append(self._perm[lo:hi])
+        if decomposition.boundary_positions:
+            parts.append(np.asarray(decomposition.boundary_positions, dtype=np.int64))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def decompose(self, rect: Rect) -> RangeDecomposition:
+        """Canonical decomposition of ``rect`` (fully-covered slices + boundary points)."""
+        decomposition = RangeDecomposition()
+        if self._root == NO_CHILD:
+            return decomposition
+        nodes = self._nodes
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            relation = self._node_rect_relation(node, rect)
+            if relation == -1:
+                continue
+            lo, hi = int(nodes.lo[node]), int(nodes.hi[node])
+            if relation == 1:
+                decomposition.canonical_slices.append((lo, hi))
+                continue
+            if nodes.is_leaf(node):
+                xs = self._px[lo:hi]
+                ys = self._py[lo:hi]
+                inside = (
+                    (xs >= rect.xmin)
+                    & (xs <= rect.xmax)
+                    & (ys >= rect.ymin)
+                    & (ys <= rect.ymax)
+                )
+                for offset in np.flatnonzero(inside):
+                    decomposition.boundary_positions.append(int(self._perm[lo + int(offset)]))
+                continue
+            stack.append(int(nodes.left[node]))
+            stack.append(int(nodes.right[node]))
+        return decomposition
+
+    # ------------------------------------------------------------------
+    # Independent range sampling (KDS)
+    # ------------------------------------------------------------------
+    def sample(self, rect: Rect, rng: np.random.Generator) -> int | None:
+        """One uniform draw from the points inside ``rect``.
+
+        Returns the position of the sampled point in the original point set,
+        or ``None`` when the range is empty.  Each call performs a fresh
+        O(sqrt(m)) canonical decomposition, matching the per-sample cost of
+        the KDS baseline.
+        """
+        decomposition = self.decompose(rect)
+        return self._draw_from_decomposition(decomposition, rng)
+
+    def sample_many(self, rect: Rect, count: int, rng: np.random.Generator) -> np.ndarray:
+        """``count`` independent uniform draws (with replacement) from ``rect``.
+
+        The decomposition is computed once and reused, which is how KDS
+        amortises repeated draws from the *same* range.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        decomposition = self.decompose(rect)
+        if decomposition.count == 0:
+            return np.empty(0, dtype=np.int64)
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            out[i] = self._draw_from_decomposition(decomposition, rng)
+        return out
+
+    def draw_from(
+        self, decomposition: RangeDecomposition, rng: np.random.Generator
+    ) -> int | None:
+        """One uniform draw from an already-computed decomposition.
+
+        Exposed so that callers who need both the count and a sample (e.g.
+        KDS-rejection, which accepts with probability ``count / mu``) can pay
+        for the O(sqrt(m)) traversal once.
+        """
+        return self._draw_from_decomposition(decomposition, rng)
+
+    def _draw_from_decomposition(
+        self, decomposition: RangeDecomposition, rng: np.random.Generator
+    ) -> int | None:
+        total = decomposition.count
+        if total == 0:
+            return None
+        pick = int(rng.integers(total))
+        for lo, hi in decomposition.canonical_slices:
+            size = hi - lo
+            if pick < size:
+                return int(self._perm[lo + pick])
+            pick -= size
+        return int(decomposition.boundary_positions[pick])

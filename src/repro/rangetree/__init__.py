@@ -1,0 +1,13 @@
+"""2-D range tree with exact orthogonal range counting.
+
+The paper mentions (Section V, footnote 4) testing a range tree, which offers
+O~(1) counting time but super-linear space - it ran out of memory on the
+large datasets.  This subpackage provides that comparator so the memory
+experiment (Fig. 4) can include it, and doubles as an independent exact
+counting oracle used by the test-suite to cross-check the kd-tree and the
+grid/BBST upper bounds.
+"""
+
+from repro.rangetree.tree import RangeTree2D
+
+__all__ = ["RangeTree2D"]

@@ -1,0 +1,170 @@
+"""A classic 2-D range tree (x-balanced tree with y-sorted secondary arrays).
+
+Counting an orthogonal range costs O(log^2 n) time; the space is
+O(n log n) because every point appears in the secondary array of every
+ancestor of its x-leaf - which is exactly why the paper's range-tree
+comparator exhausted memory on hundreds of millions of points while the
+grid/BBST index stayed linear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.point import PointSet
+from repro.geometry.rect import Rect
+
+__all__ = ["RangeTree2D"]
+
+
+class _Node:
+    """One node of the primary (x) tree with its y-sorted secondary array."""
+
+    __slots__ = ("x_low", "x_high", "ys", "positions", "left", "right")
+
+    def __init__(
+        self,
+        x_low: float,
+        x_high: float,
+        ys: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        self.x_low = x_low
+        self.x_high = x_high
+        self.ys = ys
+        self.positions = positions
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def nbytes(self) -> int:
+        return int(self.ys.nbytes + self.positions.nbytes)
+
+
+class RangeTree2D:
+    """Static 2-D range tree over a :class:`PointSet`.
+
+    Parameters
+    ----------
+    points:
+        The indexed point set.
+    leaf_size:
+        Number of points below which a node stops splitting.
+    """
+
+    __slots__ = ("_points", "_root", "_num_nodes")
+
+    def __init__(self, points: PointSet, leaf_size: int = 8) -> None:
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be at least 1")
+        self._points = points
+        self._num_nodes = 0
+        if len(points) == 0:
+            self._root = None
+            return
+        order = np.lexsort((points.ys, points.xs))
+        xs = points.xs[order]
+        ys = points.ys[order]
+        self._root = self._build(xs, ys, order.astype(np.int64), leaf_size)
+
+    def _build(
+        self, xs: np.ndarray, ys: np.ndarray, positions: np.ndarray, leaf_size: int
+    ) -> _Node:
+        self._num_nodes += 1
+        y_order = np.argsort(ys, kind="stable")
+        node = _Node(
+            x_low=float(xs[0]),
+            x_high=float(xs[-1]),
+            ys=ys[y_order],
+            positions=positions[y_order],
+        )
+        if xs.shape[0] > leaf_size and xs[0] != xs[-1]:
+            mid = xs.shape[0] // 2
+            node.left = self._build(xs[:mid], ys[:mid], positions[:mid], leaf_size)
+            node.right = self._build(xs[mid:], ys[mid:], positions[mid:], leaf_size)
+        return node
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> PointSet:
+        """The indexed point set."""
+        return self._points
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of primary-tree nodes."""
+        return self._num_nodes
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def nbytes(self) -> int:
+        """Memory footprint of every secondary array (the dominant cost)."""
+        total = 0
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            total += node.nbytes()
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return total
+
+    # ------------------------------------------------------------------
+    def _count_y(self, node: _Node, ymin: float, ymax: float) -> int:
+        lo = int(np.searchsorted(node.ys, ymin, side="left"))
+        hi = int(np.searchsorted(node.ys, ymax, side="right"))
+        return max(0, hi - lo)
+
+    def count(self, rect: Rect) -> int:
+        """Exact number of indexed points inside ``rect``."""
+        if self._root is None:
+            return 0
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.x_high < rect.xmin or rect.xmax < node.x_low:
+                continue
+            if rect.xmin <= node.x_low and node.x_high <= rect.xmax:
+                total += self._count_y(node, rect.ymin, rect.ymax)
+                continue
+            if node.is_leaf:
+                # Scan the leaf: filter on x, then on y.
+                for y, position in zip(node.ys, node.positions):
+                    x = float(self._points.xs[position])
+                    if rect.xmin <= x <= rect.xmax and rect.ymin <= y <= rect.ymax:
+                        total += 1
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+        return total
+
+    def report(self, rect: Rect) -> np.ndarray:
+        """Positions of every indexed point inside ``rect``."""
+        if self._root is None:
+            return np.empty(0, dtype=np.int64)
+        found: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.x_high < rect.xmin or rect.xmax < node.x_low:
+                continue
+            if rect.xmin <= node.x_low and node.x_high <= rect.xmax:
+                lo = int(np.searchsorted(node.ys, rect.ymin, side="left"))
+                hi = int(np.searchsorted(node.ys, rect.ymax, side="right"))
+                found.extend(int(p) for p in node.positions[lo:hi])
+                continue
+            if node.is_leaf:
+                for y, position in zip(node.ys, node.positions):
+                    x = float(self._points.xs[position])
+                    if rect.xmin <= x <= rect.xmax and rect.ymin <= y <= rect.ymax:
+                        found.append(int(position))
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+        return np.array(sorted(found), dtype=np.int64)

@@ -1,0 +1,53 @@
+"""Memory accounting for the competing index structures (Fig. 4).
+
+The paper measures the resident memory of each algorithm's index while the
+dataset size grows.  In Python, resident set size is dominated by interpreter
+overheads, so the harness instead reports the *structural* footprint: the
+bytes of every array an index keeps alive, collected through each structure's
+``nbytes()`` method.  This preserves the comparison the figure makes (all
+three algorithms are linear in ``m``; BBST carries a modest constant-factor
+overhead over a single kd-tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import JoinSampler
+
+__all__ = ["MemoryReport", "index_memory_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryReport:
+    """Structural memory footprint of one sampler's index."""
+
+    sampler_name: str
+    dataset_points: int
+    index_bytes: int
+
+    @property
+    def index_megabytes(self) -> float:
+        """Footprint in mebibytes."""
+        return self.index_bytes / (1024.0 * 1024.0)
+
+    @property
+    def bytes_per_point(self) -> float:
+        """Footprint normalised by the number of indexed points."""
+        if self.dataset_points == 0:
+            return 0.0
+        return self.index_bytes / self.dataset_points
+
+
+def index_memory_report(sampler: JoinSampler, sample_size: int = 0) -> MemoryReport:
+    """Build a sampler's index (by running it once) and report its footprint.
+
+    ``sample_size`` controls how many samples the measuring run draws; the
+    default of zero keeps the run cheap because only the index matters.
+    """
+    sampler.sample(sample_size, seed=0)
+    return MemoryReport(
+        sampler_name=sampler.name,
+        dataset_points=sampler.spec.m,
+        index_bytes=sampler.index_nbytes(),
+    )

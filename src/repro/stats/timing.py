@@ -1,0 +1,64 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+import numpy as np
+
+__all__ = ["Timer", "repeat_timing"]
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.seconds >= 0.0
+    True
+    """
+
+    __slots__ = ("_start", "seconds")
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.seconds: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        self.seconds = time.perf_counter() - self._start
+
+
+def repeat_timing(
+    func: Callable[[], T],
+    repeats: int = 3,
+) -> tuple[T, dict[str, float]]:
+    """Run ``func`` ``repeats`` times and report min/mean/max seconds.
+
+    Returns the result of the last run together with the timing summary;
+    used by the harness when a single run would be too noisy.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    durations = np.empty(repeats, dtype=np.float64)
+    result: T | None = None
+    for i in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        durations[i] = time.perf_counter() - start
+    summary = {
+        "min_seconds": float(durations.min()),
+        "mean_seconds": float(durations.mean()),
+        "max_seconds": float(durations.max()),
+    }
+    return result, summary  # type: ignore[return-value]

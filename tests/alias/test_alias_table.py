@@ -1,0 +1,102 @@
+"""Tests for Walker's alias method."""
+
+import numpy as np
+import pytest
+
+from repro.alias.walker import AliasTable
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasTable([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasTable([1.0, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            AliasTable([0.0, 0.0])
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            AliasTable([1.0, float("nan")])
+        with pytest.raises(ValueError):
+            AliasTable([1.0, float("inf")])
+
+    def test_rejects_two_dimensional(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.ones((2, 2)))
+
+    def test_total_weight(self):
+        table = AliasTable([1.0, 2.0, 3.0])
+        assert table.total_weight == pytest.approx(6.0)
+
+    def test_len(self):
+        assert len(AliasTable([1.0, 2.0, 3.0])) == 3
+
+    def test_nbytes_positive(self):
+        assert AliasTable([1.0, 2.0]).nbytes() > 0
+
+
+class TestProbabilities:
+    def test_single_weight(self, rng):
+        table = AliasTable([5.0])
+        assert table.draw(rng) == 0
+
+    def test_probabilities_match_weights(self):
+        weights = np.array([1.0, 3.0, 6.0, 0.0, 10.0])
+        table = AliasTable(weights)
+        probs = table.probabilities()
+        expected = weights / weights.sum()
+        assert np.allclose(probs, expected, atol=1e-12)
+
+    def test_probabilities_uniform_weights(self):
+        table = AliasTable(np.ones(7))
+        assert np.allclose(table.probabilities(), np.full(7, 1 / 7), atol=1e-12)
+
+    def test_zero_weight_entry_never_drawn(self, rng):
+        table = AliasTable([0.0, 1.0, 0.0, 2.0])
+        draws = table.draw_many(5_000, rng)
+        assert set(np.unique(draws)).issubset({1, 3})
+
+    def test_empirical_distribution(self, rng):
+        weights = np.array([1.0, 2.0, 7.0])
+        table = AliasTable(weights)
+        draws = table.draw_many(60_000, rng)
+        counts = np.bincount(draws, minlength=3)
+        empirical = counts / counts.sum()
+        expected = weights / weights.sum()
+        assert np.allclose(empirical, expected, atol=0.02)
+
+    def test_heavily_skewed_weights(self, rng):
+        weights = np.array([1.0, 1e6])
+        table = AliasTable(weights)
+        draws = table.draw_many(20_000, rng)
+        assert (draws == 1).mean() > 0.99
+
+
+class TestDraws:
+    def test_draw_many_count(self, rng):
+        table = AliasTable([1.0, 1.0])
+        assert table.draw_many(17, rng).shape == (17,)
+
+    def test_draw_many_zero(self, rng):
+        assert AliasTable([1.0]).draw_many(0, rng).size == 0
+
+    def test_draw_many_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            AliasTable([1.0]).draw_many(-1, rng)
+
+    def test_draws_within_range(self, rng):
+        table = AliasTable(np.arange(1, 20, dtype=float))
+        draws = table.draw_many(1_000, rng)
+        assert draws.min() >= 0
+        assert draws.max() < 19
+
+    def test_deterministic_given_seed(self):
+        table = AliasTable([1.0, 2.0, 3.0])
+        a = table.draw_many(100, np.random.default_rng(5))
+        b = table.draw_many(100, np.random.default_rng(5))
+        assert np.array_equal(a, b)

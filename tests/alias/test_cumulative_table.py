@@ -1,0 +1,57 @@
+"""Tests for the prefix-sum weighted sampler and its agreement with the alias table."""
+
+import numpy as np
+import pytest
+
+from repro.alias.walker import AliasTable, CumulativeTable
+
+
+class TestCumulativeTable:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CumulativeTable([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CumulativeTable([-1.0, 2.0])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            CumulativeTable([0.0])
+
+    def test_total_weight(self):
+        assert CumulativeTable([2.0, 3.0]).total_weight == pytest.approx(5.0)
+
+    def test_len(self):
+        assert len(CumulativeTable([1.0, 2.0, 3.0, 4.0])) == 4
+
+    def test_single_weight_draw(self, rng):
+        assert CumulativeTable([3.0]).draw(rng) == 0
+
+    def test_zero_weight_never_drawn(self, rng):
+        table = CumulativeTable([0.0, 5.0, 0.0])
+        draws = table.draw_many(3_000, rng)
+        assert set(np.unique(draws)) == {1}
+
+    def test_empirical_distribution(self, rng):
+        weights = np.array([4.0, 1.0, 5.0])
+        table = CumulativeTable(weights)
+        draws = table.draw_many(60_000, rng)
+        empirical = np.bincount(draws, minlength=3) / 60_000
+        assert np.allclose(empirical, weights / weights.sum(), atol=0.02)
+
+    def test_draw_many_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            CumulativeTable([1.0]).draw_many(-5, rng)
+
+
+class TestAgreementWithAlias:
+    def test_distributions_agree(self, rng):
+        """The two independent weighted samplers must target the same distribution."""
+        weights = rng.uniform(0.0, 10.0, size=25)
+        weights[3] = 0.0
+        alias_draws = AliasTable(weights).draw_many(80_000, np.random.default_rng(1))
+        cumulative_draws = CumulativeTable(weights).draw_many(80_000, np.random.default_rng(2))
+        alias_freq = np.bincount(alias_draws, minlength=25) / 80_000
+        cumulative_freq = np.bincount(cumulative_draws, minlength=25) / 80_000
+        assert np.allclose(alias_freq, cumulative_freq, atol=0.02)

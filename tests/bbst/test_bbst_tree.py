@@ -1,0 +1,183 @@
+"""Tests for the BBST itself: structure, 2-sided counting and bucket sampling."""
+
+import numpy as np
+import pytest
+
+from repro.bbst.bucket import build_buckets
+from repro.bbst.tree import BBST, KeyMode, YCondition
+from repro.grid.cell import GridCell
+
+
+def _cell(rng: np.random.Generator, size: int) -> GridCell:
+    xs = np.sort(rng.uniform(0, 100, size=size))
+    ys = rng.uniform(0, 100, size=size)
+    ids = np.arange(size, dtype=np.int64)
+    return GridCell(key=(0, 0), xs_by_x=xs, ys_by_x=ys, ids_by_x=ids)
+
+
+def _brute_bucket_count(buckets, key_mode, x_bound, y_condition, y_bound) -> int:
+    count = 0
+    for bucket in buckets:
+        key = bucket.min_x if key_mode is KeyMode.MIN_X else bucket.max_x
+        x_ok = key >= x_bound if key_mode is KeyMode.MAX_X else key <= x_bound
+        if y_condition is YCondition.MAX_Y_AT_LEAST:
+            y_ok = bucket.max_y >= y_bound
+        else:
+            y_ok = bucket.min_y <= y_bound
+        if x_ok and y_ok:
+            count += 1
+    return count
+
+
+class TestStructure:
+    def test_empty_tree(self):
+        tree = BBST([], KeyMode.MIN_X)
+        assert tree.num_nodes == 0
+        assert tree.num_buckets == 0
+        assert tree.height == 0
+        assert tree.count_buckets(0.0, YCondition.MAX_Y_AT_LEAST, 0.0) == 0
+
+    def test_single_bucket(self, rng):
+        cell = _cell(rng, 3)
+        buckets = build_buckets(cell, capacity=10)
+        tree = BBST(buckets, KeyMode.MAX_X)
+        assert tree.num_nodes == 1
+        assert tree.num_buckets == 1
+
+    def test_height_logarithmic_in_buckets(self, rng):
+        cell = _cell(rng, 512)
+        buckets = build_buckets(cell, capacity=2)  # 256 buckets
+        tree = BBST(buckets, KeyMode.MIN_X)
+        assert tree.height <= 12
+
+    def test_root_subtree_contains_all_buckets(self, rng):
+        cell = _cell(rng, 60)
+        buckets = build_buckets(cell, capacity=5)
+        tree = BBST(buckets, KeyMode.MAX_X)
+        root = tree._nodes[tree._root]
+        assert root.subtree_bucket_count == len(buckets)
+
+    def test_subtree_arrays_are_y_sorted(self, rng):
+        cell = _cell(rng, 80)
+        buckets = build_buckets(cell, capacity=4)
+        tree = BBST(buckets, KeyMode.MAX_X)
+        for node in tree._nodes:
+            assert np.all(np.diff(node.sub_min_y) >= 0)
+            assert np.all(np.diff(node.sub_max_y) >= 0)
+            assert np.all(np.diff(node.eq_min_y) >= 0)
+            assert np.all(np.diff(node.eq_max_y) >= 0)
+
+    def test_duplicate_keys_absorbed_by_equal_lists(self):
+        xs = np.full(12, 5.0)
+        ys = np.arange(12, dtype=float)
+        cell = GridCell(key=(0, 0), xs_by_x=xs, ys_by_x=ys, ids_by_x=np.arange(12))
+        buckets = build_buckets(cell, capacity=2)
+        tree = BBST(buckets, KeyMode.MIN_X)
+        # All buckets share min_x = 5.0 -> single node, no children.
+        assert tree.num_nodes == 1
+        assert tree._nodes[0].is_leaf
+
+    def test_nbytes_positive(self, rng):
+        cell = _cell(rng, 40)
+        tree = BBST(build_buckets(cell, capacity=4), KeyMode.MIN_X)
+        assert tree.nbytes() > 0
+
+    def test_key_mode_property(self, rng):
+        cell = _cell(rng, 10)
+        buckets = build_buckets(cell, capacity=3)
+        assert BBST(buckets, KeyMode.MIN_X).key_mode is KeyMode.MIN_X
+        assert BBST(buckets, KeyMode.MAX_X).key_mode is KeyMode.MAX_X
+
+
+class TestCounting:
+    @pytest.mark.parametrize("key_mode", [KeyMode.MIN_X, KeyMode.MAX_X])
+    @pytest.mark.parametrize(
+        "y_condition", [YCondition.MAX_Y_AT_LEAST, YCondition.MIN_Y_AT_MOST]
+    )
+    def test_count_matches_brute_force(self, key_mode, y_condition):
+        rng = np.random.default_rng(77)
+        cell = _cell(rng, 200)
+        buckets = build_buckets(cell, capacity=6)
+        tree = BBST(buckets, key_mode)
+        for _ in range(60):
+            x_bound = float(rng.uniform(-10, 110))
+            y_bound = float(rng.uniform(-10, 110))
+            expected = _brute_bucket_count(buckets, key_mode, x_bound, y_condition, y_bound)
+            assert tree.count_buckets(x_bound, y_condition, y_bound) == expected
+
+    def test_count_with_exact_key_boundary(self, rng):
+        cell = _cell(rng, 64)
+        buckets = build_buckets(cell, capacity=4)
+        tree = BBST(buckets, KeyMode.MAX_X)
+        # Query exactly at a bucket key: the traversal terminates at that node.
+        x_bound = buckets[3].max_x
+        expected = _brute_bucket_count(
+            buckets, KeyMode.MAX_X, x_bound, YCondition.MAX_Y_AT_LEAST, -1.0
+        )
+        assert tree.count_buckets(x_bound, YCondition.MAX_Y_AT_LEAST, -1.0) == expected
+
+    def test_unbounded_query_counts_everything(self, rng):
+        cell = _cell(rng, 90)
+        buckets = build_buckets(cell, capacity=5)
+        tree = BBST(buckets, KeyMode.MAX_X)
+        assert (
+            tree.count_buckets(-1e9, YCondition.MAX_Y_AT_LEAST, -1e9) == len(buckets)
+        )
+
+    def test_impossible_query_counts_nothing(self, rng):
+        cell = _cell(rng, 90)
+        buckets = build_buckets(cell, capacity=5)
+        tree = BBST(buckets, KeyMode.MAX_X)
+        assert tree.count_buckets(1e9, YCondition.MAX_Y_AT_LEAST, -1e9) == 0
+        assert tree.count_buckets(-1e9, YCondition.MAX_Y_AT_LEAST, 1e9) == 0
+
+    def test_runs_are_disjoint(self, rng):
+        cell = _cell(rng, 150)
+        buckets = build_buckets(cell, capacity=5)
+        tree = BBST(buckets, KeyMode.MAX_X)
+        runs = tree.qualifying_runs(30.0, YCondition.MAX_Y_AT_LEAST, 40.0)
+        seen: list[int] = []
+        for run in runs:
+            seen.extend(run.bucket_at(i) for i in range(len(run)))
+        assert len(seen) == len(set(seen))
+
+
+class TestSampling:
+    def test_sample_from_empty_runs_is_none(self, rng):
+        cell = _cell(rng, 20)
+        tree = BBST(build_buckets(cell, capacity=4), KeyMode.MAX_X)
+        assert tree.sample_bucket([], rng) is None
+
+    def test_sampled_bucket_qualifies(self, rng):
+        cell = _cell(rng, 120)
+        buckets = build_buckets(cell, capacity=5)
+        tree = BBST(buckets, KeyMode.MAX_X)
+        x_bound, y_bound = 25.0, 60.0
+        runs = tree.qualifying_runs(x_bound, YCondition.MAX_Y_AT_LEAST, y_bound)
+        qualifying = {
+            b.index
+            for b in buckets
+            if b.max_x >= x_bound and b.max_y >= y_bound
+        }
+        for _ in range(200):
+            picked = tree.sample_bucket(runs, rng)
+            assert picked in qualifying
+
+    def test_sampling_is_uniform_over_qualifying_buckets(self):
+        rng = np.random.default_rng(5)
+        cell = _cell(rng, 120)
+        buckets = build_buckets(cell, capacity=5)
+        tree = BBST(buckets, KeyMode.MAX_X)
+        x_bound, y_bound = 20.0, 30.0
+        runs = tree.qualifying_runs(x_bound, YCondition.MAX_Y_AT_LEAST, y_bound)
+        qualifying = sorted(
+            b.index for b in buckets if b.max_x >= x_bound and b.max_y >= y_bound
+        )
+        assert len(qualifying) >= 3
+        draws = 4_000 * len(qualifying)
+        counts = {index: 0 for index in qualifying}
+        for _ in range(draws):
+            counts[tree.sample_bucket(runs, rng)] += 1
+        expected = draws / len(qualifying)
+        for index in qualifying:
+            assert counts[index] == pytest.approx(expected, rel=0.15)

@@ -1,0 +1,115 @@
+"""Tests for bucket construction (Definition 3)."""
+
+import numpy as np
+import pytest
+
+from repro.bbst.bucket import Bucket, bucket_capacity_for, build_buckets
+from repro.grid.cell import GridCell
+
+
+def _cell_from_points(xs, ys) -> GridCell:
+    order = np.argsort(xs, kind="stable")
+    xs = np.asarray(xs, dtype=float)[order]
+    ys = np.asarray(ys, dtype=float)[order]
+    ids = np.arange(len(xs), dtype=np.int64)[order]
+    return GridCell(key=(0, 0), xs_by_x=xs, ys_by_x=ys, ids_by_x=ids)
+
+
+class TestBucketCapacity:
+    def test_small_inputs(self):
+        assert bucket_capacity_for(0) == 1
+        assert bucket_capacity_for(1) == 1
+        assert bucket_capacity_for(2) == 1
+
+    def test_log_growth(self):
+        assert bucket_capacity_for(8) == 3
+        assert bucket_capacity_for(1024) == 10
+        assert bucket_capacity_for(1_000_000) == 20
+
+    def test_non_power_of_two_rounds_up(self):
+        assert bucket_capacity_for(9) == 4
+        assert bucket_capacity_for(1025) == 11
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bucket_capacity_for(-1)
+
+
+class TestBucketDataclass:
+    def test_size(self):
+        bucket = Bucket(index=0, start=3, end=7, min_x=0, max_x=1, min_y=0, max_y=1)
+        assert len(bucket) == 4
+        assert bucket.size == 4
+
+    def test_empty_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            Bucket(index=0, start=5, end=5, min_x=0, max_x=0, min_y=0, max_y=0)
+
+    def test_slot_position_within_size(self):
+        bucket = Bucket(index=0, start=10, end=13, min_x=0, max_x=1, min_y=0, max_y=1)
+        assert bucket.slot_position(0) == 10
+        assert bucket.slot_position(2) == 12
+
+    def test_slot_position_beyond_size_is_none(self):
+        bucket = Bucket(index=0, start=10, end=13, min_x=0, max_x=1, min_y=0, max_y=1)
+        assert bucket.slot_position(3) is None
+        assert bucket.slot_position(10) is None
+
+    def test_slot_position_negative_raises(self):
+        bucket = Bucket(index=0, start=0, end=1, min_x=0, max_x=0, min_y=0, max_y=0)
+        with pytest.raises(ValueError):
+            bucket.slot_position(-1)
+
+
+class TestBuildBuckets:
+    def test_partition_sizes(self):
+        cell = _cell_from_points(np.arange(10, dtype=float), np.zeros(10))
+        buckets = build_buckets(cell, capacity=4)
+        assert [b.size for b in buckets] == [4, 4, 2]
+        assert [b.index for b in buckets] == [0, 1, 2]
+
+    def test_capacity_one(self):
+        cell = _cell_from_points([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        buckets = build_buckets(cell, capacity=1)
+        assert len(buckets) == 3
+        assert all(b.size == 1 for b in buckets)
+
+    def test_capacity_larger_than_cell(self):
+        cell = _cell_from_points([1.0, 2.0], [3.0, 4.0])
+        buckets = build_buckets(cell, capacity=100)
+        assert len(buckets) == 1
+        assert buckets[0].size == 2
+
+    def test_invalid_capacity_raises(self):
+        cell = _cell_from_points([1.0], [1.0])
+        with pytest.raises(ValueError):
+            build_buckets(cell, capacity=0)
+
+    def test_buckets_cover_cell_without_overlap(self):
+        cell = _cell_from_points(np.arange(23, dtype=float), np.zeros(23))
+        buckets = build_buckets(cell, capacity=5)
+        covered = []
+        for bucket in buckets:
+            covered.extend(range(bucket.start, bucket.end))
+        assert covered == list(range(23))
+
+    def test_envelopes_are_correct(self, rng):
+        xs = rng.uniform(0, 100, size=37)
+        ys = rng.uniform(0, 100, size=37)
+        cell = _cell_from_points(xs, ys)
+        buckets = build_buckets(cell, capacity=6)
+        for bucket in buckets:
+            slice_xs = cell.xs_by_x[bucket.start : bucket.end]
+            slice_ys = cell.ys_by_x[bucket.start : bucket.end]
+            assert bucket.min_x == pytest.approx(slice_xs.min())
+            assert bucket.max_x == pytest.approx(slice_xs.max())
+            assert bucket.min_y == pytest.approx(slice_ys.min())
+            assert bucket.max_y == pytest.approx(slice_ys.max())
+
+    def test_bucket_x_ranges_are_ordered(self, rng):
+        xs = rng.uniform(0, 100, size=50)
+        cell = _cell_from_points(xs, rng.uniform(0, 100, size=50))
+        buckets = build_buckets(cell, capacity=7)
+        for previous, current in zip(buckets, buckets[1:]):
+            # Consecutive runs of an x-sorted array: envelopes may touch but not invert.
+            assert previous.max_x <= current.min_x + 1e-12

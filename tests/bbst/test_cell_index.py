@@ -1,0 +1,166 @@
+"""Tests for the per-cell index (buckets + two BBSTs)."""
+
+import numpy as np
+import pytest
+
+from repro.bbst.cell_index import CellIndex
+from repro.geometry.rect import Rect
+from repro.grid.cell import GridCell
+from repro.grid.neighbors import NeighborKind
+
+CORNERS = (
+    NeighborKind.LOWER_LEFT,
+    NeighborKind.LOWER_RIGHT,
+    NeighborKind.UPPER_LEFT,
+    NeighborKind.UPPER_RIGHT,
+)
+
+
+def _cell(rng: np.random.Generator, size: int, low: float = 0.0, high: float = 100.0) -> GridCell:
+    xs = np.sort(rng.uniform(low, high, size=size))
+    ys = rng.uniform(low, high, size=size)
+    ids = np.arange(size, dtype=np.int64)
+    return GridCell(
+        key=(0, 0),
+        xs_by_x=xs,
+        ys_by_x=ys,
+        ids_by_x=ids,
+        bounds=Rect(low, low, high, high),
+    )
+
+
+def _exact_two_sided_count(cell: GridCell, kind: NeighborKind, window: Rect) -> int:
+    """Points of the cell satisfying the 2-sided constraint of the given corner."""
+    xs, ys = cell.xs_by_x, cell.ys_by_x
+    if kind is NeighborKind.LOWER_LEFT:
+        mask = (xs >= window.xmin) & (ys >= window.ymin)
+    elif kind is NeighborKind.UPPER_LEFT:
+        mask = (xs >= window.xmin) & (ys <= window.ymax)
+    elif kind is NeighborKind.LOWER_RIGHT:
+        mask = (xs <= window.xmax) & (ys >= window.ymin)
+    else:
+        mask = (xs <= window.xmax) & (ys <= window.ymax)
+    return int(mask.sum())
+
+
+def _random_window(rng: np.random.Generator) -> Rect:
+    x1, x2 = sorted(rng.uniform(-20, 120, size=2))
+    y1, y2 = sorted(rng.uniform(-20, 120, size=2))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_builds_both_trees(self, rng):
+        index = CellIndex(_cell(rng, 50), bucket_capacity=5)
+        assert index.tree_min.num_buckets == index.tree_max.num_buckets == len(index.buckets)
+        assert index.bucket_capacity == 5
+
+    def test_bucket_partition_covers_cell(self, rng):
+        cell = _cell(rng, 43)
+        index = CellIndex(cell, bucket_capacity=6)
+        assert sum(b.size for b in index.buckets) == len(cell)
+
+    def test_nbytes_positive(self, rng):
+        assert CellIndex(_cell(rng, 30), bucket_capacity=4).nbytes() > 0
+
+    def test_non_corner_kind_rejected(self, rng):
+        index = CellIndex(_cell(rng, 30), bucket_capacity=4)
+        with pytest.raises(ValueError):
+            index.corner_bucket_count(NeighborKind.CENTER, Rect(0, 0, 10, 10))
+        with pytest.raises(ValueError):
+            index.corner_sample(NeighborKind.LEFT, Rect(0, 0, 10, 10), rng)
+
+
+class TestUpperBounds:
+    @pytest.mark.parametrize("kind", CORNERS)
+    def test_upper_bound_dominates_exact_count(self, kind):
+        """mu(r, c) must never undercount the window points in the cell (Lemma 5 lower side)."""
+        rng = np.random.default_rng(21)
+        cell = _cell(rng, 300)
+        index = CellIndex(cell, bucket_capacity=8)
+        for _ in range(50):
+            window = _random_window(rng)
+            bound = index.corner_upper_bound(kind, window)
+            assert bound >= _exact_two_sided_count(cell, kind, window)
+
+    @pytest.mark.parametrize("kind", CORNERS)
+    def test_upper_bound_capacity_granularity(self, kind):
+        rng = np.random.default_rng(22)
+        cell = _cell(rng, 120)
+        index = CellIndex(cell, bucket_capacity=7)
+        window = _random_window(rng)
+        bound = index.corner_upper_bound(kind, window)
+        assert bound % 7 == 0
+        assert bound == 7 * index.corner_bucket_count(kind, window)
+
+    @pytest.mark.parametrize("kind", CORNERS)
+    def test_upper_bound_bounded_by_total_capacity(self, kind):
+        rng = np.random.default_rng(23)
+        cell = _cell(rng, 90)
+        index = CellIndex(cell, bucket_capacity=5)
+        window = Rect(-100, -100, 200, 200)
+        assert index.corner_upper_bound(kind, window) <= 5 * len(index.buckets)
+
+    @pytest.mark.parametrize("kind", CORNERS)
+    def test_empty_constraint_gives_zero(self, kind):
+        rng = np.random.default_rng(24)
+        cell = _cell(rng, 60)
+        index = CellIndex(cell, bucket_capacity=5)
+        if kind in (NeighborKind.LOWER_LEFT, NeighborKind.UPPER_LEFT):
+            # Window entirely to the right of the cell: xmin beyond every point.
+            window = Rect(200, -100, 300, 300)
+        else:
+            window = Rect(-300, -100, -200, 300)
+        assert index.corner_upper_bound(kind, window) == 0
+
+    def test_lemma5_single_bucket_floor(self, rng):
+        """When only one bucket qualifies the bound is at most the capacity (Lemma 5's log m floor)."""
+        cell = _cell(rng, 16)
+        index = CellIndex(cell, bucket_capacity=16)
+        window = Rect(cell.xs_by_x[-1], -100.0, 200.0, 200.0)
+        bound = index.corner_upper_bound(NeighborKind.LOWER_LEFT, window)
+        assert bound <= 16
+
+
+class TestCornerSampling:
+    @pytest.mark.parametrize("kind", CORNERS)
+    def test_sampled_points_come_from_cell(self, kind):
+        rng = np.random.default_rng(31)
+        cell = _cell(rng, 150)
+        index = CellIndex(cell, bucket_capacity=6)
+        ids = set(cell.ids_by_x.tolist())
+        window = Rect(10, 10, 90, 90)
+        produced = 0
+        for _ in range(300):
+            candidate = index.corner_sample(kind, window, rng)
+            if candidate is None:
+                continue
+            produced += 1
+            pid, _x, _y = candidate
+            assert pid in ids
+        assert produced > 0
+
+    def test_sample_none_when_no_bucket_qualifies(self, rng):
+        cell = _cell(rng, 60)
+        index = CellIndex(cell, bucket_capacity=5)
+        window = Rect(200, 200, 300, 300)
+        assert index.corner_sample(NeighborKind.LOWER_LEFT, window, rng) is None
+
+    def test_sampled_candidates_satisfy_two_sided_constraint_most_of_the_time(self):
+        """Candidates come from qualifying buckets; the final window check filters the rest."""
+        rng = np.random.default_rng(32)
+        cell = _cell(rng, 200)
+        index = CellIndex(cell, bucket_capacity=8)
+        window = Rect(40, 40, 200, 200)  # lower-left corner configuration
+        hits = 0
+        attempts = 0
+        for _ in range(500):
+            candidate = index.corner_sample(NeighborKind.LOWER_LEFT, window, rng)
+            attempts += 1
+            if candidate is None:
+                continue
+            pid, x, y = candidate
+            if x >= window.xmin and y >= window.ymin:
+                hits += 1
+        # The acceptance probability must be meaningfully positive.
+        assert hits > 0.2 * attempts

@@ -1,0 +1,175 @@
+"""Tests for the full BBST join index (grid + per-cell BBSTs)."""
+
+import numpy as np
+import pytest
+
+from repro.bbst.join_index import BBSTJoinIndex, CellContribution
+from repro.datasets.synthetic import uniform_points, zipf_cluster_points
+from repro.geometry.predicates import count_in_rect
+from repro.grid.neighbors import NEIGHBOR_OFFSETS, NeighborKind
+
+
+@pytest.fixture
+def index_and_points(rng):
+    points = uniform_points(1_500, rng, name="S").sorted_by_x()
+    index = BBSTJoinIndex(points, half_extent=400.0)
+    return index, points
+
+
+class TestConstruction:
+    def test_rejects_bad_half_extent(self, rng):
+        points = uniform_points(50, rng)
+        with pytest.raises(ValueError):
+            BBSTJoinIndex(points, half_extent=0.0)
+
+    def test_rejects_bad_bucket_capacity(self, rng):
+        points = uniform_points(50, rng)
+        with pytest.raises(ValueError):
+            BBSTJoinIndex(points, half_extent=100.0, bucket_capacity=0)
+
+    def test_default_bucket_capacity_is_log_m(self, rng):
+        points = uniform_points(1_024, rng)
+        index = BBSTJoinIndex(points, half_extent=300.0)
+        assert index.bucket_capacity == 10
+
+    def test_every_cell_has_an_index(self, index_and_points):
+        index, _points = index_and_points
+        for key in index.grid.cells:
+            assert index.cell_index(key) is not None
+
+    def test_missing_cell_index_is_none(self, index_and_points):
+        index, _points = index_and_points
+        assert index.cell_index((10_000, 10_000)) is None
+
+    def test_nbytes_positive(self, index_and_points):
+        index, _points = index_and_points
+        assert index.nbytes() > index.grid.nbytes()
+
+    def test_window_for(self, index_and_points):
+        index, _points = index_and_points
+        window = index.window_for(500.0, 600.0)
+        assert window.width == pytest.approx(800.0)
+        assert window.center() == (500.0, 600.0)
+
+
+class TestContributions:
+    def test_contribution_kinds_valid(self, index_and_points, rng):
+        index, _points = index_and_points
+        for _ in range(20):
+            x, y = rng.uniform(0, 10_000, size=2)
+            for contribution in index.contributions(x, y):
+                assert contribution.kind in NEIGHBOR_OFFSETS
+                assert contribution.upper_bound > 0
+                assert contribution.case == contribution.kind.case
+
+    def test_cases_1_and_2_are_exact(self, index_and_points, rng):
+        index, _points = index_and_points
+        for _ in range(20):
+            x, y = rng.uniform(0, 10_000, size=2)
+            for contribution in index.contributions(x, y):
+                if contribution.kind.case < 3:
+                    assert contribution.exact
+                else:
+                    assert not contribution.exact
+
+    def test_case1_bound_is_cell_size(self, index_and_points, rng):
+        index, _points = index_and_points
+        for _ in range(30):
+            x, y = rng.uniform(0, 10_000, size=2)
+            for contribution in index.contributions(x, y):
+                if contribution.kind is NeighborKind.CENTER:
+                    assert contribution.upper_bound == len(contribution.cell)
+
+    def test_upper_bound_dominates_exact_window_count(self, index_and_points, rng):
+        index, points = index_and_points
+        for _ in range(60):
+            x, y = rng.uniform(0, 10_000, size=2)
+            window = index.window_for(x, y)
+            exact = count_in_rect(points, window)
+            assert index.upper_bound(x, y) >= exact
+
+    def test_exact_contributions_match_per_cell_counts(self, index_and_points, rng):
+        index, _points = index_and_points
+        for _ in range(40):
+            x, y = rng.uniform(0, 10_000, size=2)
+            window = index.window_for(x, y)
+            for contribution in index.contributions(x, y):
+                if not contribution.exact:
+                    continue
+                cell = contribution.cell
+                inside = (
+                    (cell.xs_by_x >= window.xmin)
+                    & (cell.xs_by_x <= window.xmax)
+                    & (cell.ys_by_x >= window.ymin)
+                    & (cell.ys_by_x <= window.ymax)
+                )
+                assert contribution.upper_bound == int(inside.sum())
+
+    def test_upper_bound_reasonably_tight_on_clustered_data(self):
+        """The aggregate mu should stay within a small factor of the exact count."""
+        rng = np.random.default_rng(55)
+        points = zipf_cluster_points(4_000, rng, num_clusters=6, skew=1.3).sorted_by_x()
+        index = BBSTJoinIndex(points, half_extent=500.0)
+        total_bound = 0
+        total_exact = 0
+        for _ in range(100):
+            x, y = rng.uniform(0, 10_000, size=2)
+            window = index.window_for(x, y)
+            total_bound += index.upper_bound(x, y)
+            total_exact += count_in_rect(points, window)
+        assert total_exact > 0
+        assert total_bound >= total_exact
+        assert total_bound <= 3.0 * total_exact
+
+
+class TestSampleFrom:
+    def test_case1_and_case2_candidates_always_in_window(self, index_and_points, rng):
+        index, _points = index_and_points
+        for _ in range(40):
+            x, y = rng.uniform(0, 10_000, size=2)
+            window = index.window_for(x, y)
+            for contribution in index.contributions(x, y):
+                if contribution.kind.case == 3:
+                    continue
+                candidate = index.sample_from(contribution, window, rng)
+                assert candidate is not None
+                _pid, sx, sy = candidate
+                assert window.contains(sx, sy)
+
+    def test_case3_candidates_come_from_the_cell(self, index_and_points, rng):
+        index, _points = index_and_points
+        produced = 0
+        for _ in range(60):
+            x, y = rng.uniform(0, 10_000, size=2)
+            window = index.window_for(x, y)
+            for contribution in index.contributions(x, y):
+                if contribution.kind.case != 3:
+                    continue
+                candidate = index.sample_from(contribution, window, rng)
+                if candidate is None:
+                    continue
+                produced += 1
+                pid, _sx, _sy = candidate
+                assert pid in set(contribution.cell.ids_by_x.tolist())
+        assert produced > 0
+
+    def test_sampled_ids_are_real_points(self, index_and_points, rng):
+        index, points = index_and_points
+        valid_ids = set(points.ids.tolist())
+        for _ in range(30):
+            x, y = rng.uniform(0, 10_000, size=2)
+            window = index.window_for(x, y)
+            for contribution in index.contributions(x, y):
+                candidate = index.sample_from(contribution, window, rng)
+                if candidate is not None:
+                    assert candidate[0] in valid_ids
+
+
+class TestCellContribution:
+    def test_case_property(self, index_and_points):
+        index, _points = index_and_points
+        cell = next(iter(index.grid))
+        contribution = CellContribution(
+            kind=NeighborKind.UPPER_RIGHT, cell=cell, upper_bound=4, exact=False
+        )
+        assert contribution.case == 3

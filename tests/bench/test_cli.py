@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_experiment_command_defaults(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.experiment_id == "table2"
+        assert args.scale == "smoke"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "nope"])
+
+    def test_sample_command_defaults(self):
+        args = build_parser().parse_args(["sample"])
+        assert args.dataset == "castreet"
+        assert args.algorithm == "bbst"
+        assert args.num_samples == 1000
+
+
+class TestExecution:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "castreet" in out
+        assert "bbst" in out
+
+    def test_experiment_run(self, capsys):
+        code = main(["experiment", "table2", "--datasets", "castreet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "castreet" in out
+
+    def test_experiment_csv_output(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            ["experiment", "table2", "--datasets", "castreet", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert "dataset" in csv_path.read_text()
+
+    def test_sample_run(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--dataset",
+                "castreet",
+                "--size",
+                "1500",
+                "--algorithm",
+                "bbst",
+                "-t",
+                "50",
+                "--half-extent",
+                "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BBST" in out
+        assert "50 samples" in out
+
+    def test_sample_to_csv(self, tmp_path, capsys):
+        output = tmp_path / "pairs.csv"
+        code = main(
+            [
+                "sample",
+                "--dataset",
+                "nyc",
+                "--size",
+                "1500",
+                "--algorithm",
+                "kds",
+                "-t",
+                "20",
+                "--half-extent",
+                "400",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        lines = output.read_text().strip().splitlines()
+        assert lines[0] == "r_id,s_id"
+        assert len(lines) == 21
+
+    def test_all_subset_via_runner(self, tmp_path, capsys):
+        code = main(
+            [
+                "all",
+                "--datasets",
+                "castreet",
+                "--experiments",
+                "table2",
+                "accuracy",
+                "--output",
+                str(tmp_path / "report.md"),
+            ]
+        )
+        assert code == 0
+        report = (tmp_path / "report.md").read_text()
+        assert "Table II" in report
+        assert "accuracy" in report.lower()

@@ -1,0 +1,124 @@
+"""Tests for the experiment harness (tiny workloads, structural checks)."""
+
+import pytest
+
+from repro.bench.harness import (
+    run_accuracy_experiment,
+    run_baseline_comparison,
+    run_fig4_memory,
+    run_fig5_range_size,
+    run_fig6_num_samples,
+    run_fig7_dataset_size,
+    run_fig8_size_ratio,
+    run_fig9_bbst_vs_cell_kdtree,
+    run_table2_preprocessing,
+    run_table3_decomposed_times,
+    run_table4_sampling,
+    run_uniformity_experiment,
+)
+from repro.bench.workloads import WorkloadConfig
+
+#: A single, deliberately tiny workload so every harness function stays fast.
+TINY = [
+    WorkloadConfig(
+        dataset="castreet",
+        total_points=1_500,
+        half_extent=300.0,
+        num_samples=300,
+        range_sweep=(150.0, 400.0),
+        samples_sweep=(100, 300),
+        scale_sweep=(0.5, 1.0),
+        ratio_sweep=(0.25, 0.5),
+    )
+]
+
+
+class TestTableExperiments:
+    def test_table2_columns(self):
+        rows = run_table2_preprocessing(TINY)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["dataset"] == "castreet"
+        assert row["kds_preprocess_seconds"] >= 0.0
+        assert row["bbst_preprocess_seconds"] >= 0.0
+
+    def test_baseline_comparison_has_three_algorithms(self):
+        rows = run_baseline_comparison(TINY)
+        assert {row["algorithm"] for row in rows} == {"KDS", "KDS-rejection", "BBST"}
+        for row in rows:
+            assert row["accepted"] == 300
+            assert row["iterations"] >= row["accepted"]
+
+    def test_table3_columns(self):
+        rows = run_table3_decomposed_times(TINY)
+        assert all(
+            {"dataset", "algorithm", "total_seconds", "gm_seconds", "ub_seconds"}
+            <= set(row)
+            for row in rows
+        )
+
+    def test_table4_columns(self):
+        rows = run_table4_sampling(TINY)
+        assert all({"sampling_seconds", "iterations"} <= set(row) for row in rows)
+        kds_row = next(row for row in rows if row["algorithm"] == "KDS")
+        assert kds_row["iterations"] == kds_row["t"]
+
+
+class TestFigureExperiments:
+    def test_fig4_memory_rows(self):
+        rows = run_fig4_memory(TINY)
+        assert len(rows) == 2  # two scale fractions
+        for row in rows:
+            assert row["kds_bytes"] > 0
+            assert row["bbst_bytes"] > 0
+
+    def test_accuracy_rows(self):
+        rows = run_accuracy_experiment(TINY)
+        assert rows[0]["ratio"] >= 1.0
+
+    def test_fig5_rows(self):
+        rows = run_fig5_range_size(TINY, num_samples=100)
+        assert len(rows) == 2 * 3  # two ranges, three algorithms
+        assert {row["half_extent"] for row in rows} == {150.0, 400.0}
+
+    def test_fig6_rows(self):
+        rows = run_fig6_num_samples(TINY)
+        assert len(rows) == 2 * 3
+        assert {row["t"] for row in rows} == {100, 300}
+
+    def test_fig7_rows(self):
+        rows = run_fig7_dataset_size(TINY, num_samples=100)
+        assert len(rows) == 2 * 3
+        assert {row["fraction"] for row in rows} == {0.5, 1.0}
+
+    def test_fig8_rows_are_bbst_only(self):
+        rows = run_fig8_size_ratio(TINY, num_samples=100)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["total_seconds"] > 0.0
+
+    def test_fig9_rows(self):
+        rows = run_fig9_bbst_vs_cell_kdtree(TINY, num_samples=200)
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {"BBST", "Grid+kd-tree"}
+
+
+class TestUniformityExperiment:
+    def test_all_algorithms_look_uniform(self):
+        rows = run_uniformity_experiment(
+            total_points=400, half_extent=600.0, num_samples=6_000
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert row["looks_uniform"], f"{row['algorithm']} failed uniformity"
+
+
+class TestDefaultWorkloadPath:
+    def test_scale_and_datasets_arguments(self):
+        from repro.bench.workloads import ExperimentScale
+
+        rows = run_table2_preprocessing(
+            scale=ExperimentScale.SMOKE, datasets=["foursquare"]
+        )
+        assert len(rows) == 1
+        assert rows[0]["dataset"] == "foursquare"

@@ -1,0 +1,79 @@
+"""Tests for the table formatting helpers."""
+
+from repro.bench.reporting import (
+    format_markdown_table,
+    format_table,
+    format_value,
+    rows_to_csv,
+)
+
+ROWS = [
+    {"dataset": "castreet", "algorithm": "BBST", "seconds": 1.2345},
+    {"dataset": "castreet", "algorithm": "KDS", "seconds": 35.2, "extra": True},
+]
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_rounding(self):
+        assert format_value(1.23456789) == "1.235"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_value(1.5e-7) or "0.00000015" in format_value(1.5e-7)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_int(self):
+        assert format_value(12345) == "12345"
+
+
+class TestFormatTable:
+    def test_contains_all_columns_and_rows(self):
+        text = format_table(ROWS, title="demo")
+        assert "demo" in text
+        assert "dataset" in text
+        assert "extra" in text
+        assert "BBST" in text
+        assert "KDS" in text
+
+    def test_missing_values_render_as_dash(self):
+        text = format_table(ROWS)
+        assert "-" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+        assert "(no rows)" in format_table([])
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(ROWS, title="Table X")
+        lines = text.splitlines()
+        assert lines[0] == "### Table X"
+        assert lines[2].startswith("| dataset")
+        assert lines[3].startswith("|---")
+        assert len([line for line in lines if line.startswith("| ")]) == 3
+
+    def test_empty(self):
+        assert "(no rows)" in format_markdown_table([], title="none")
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv_text = rows_to_csv(ROWS)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "dataset,algorithm,seconds,extra"
+        assert len(lines) == 3
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""

@@ -1,0 +1,87 @@
+"""Tests for the experiment workload configurations."""
+
+import pytest
+
+from repro.bench.workloads import (
+    DEFAULT_HALF_EXTENT,
+    ExperimentScale,
+    WorkloadConfig,
+    build_join_spec,
+    default_workloads,
+)
+from repro.datasets.real_proxies import DATASET_NAMES
+
+
+class TestWorkloadConfig:
+    def test_defaults(self):
+        config = WorkloadConfig(dataset="castreet", total_points=1_000)
+        assert config.half_extent == DEFAULT_HALF_EXTENT
+        assert 0 < config.r_fraction < 1
+        assert len(config.range_sweep) >= 3
+        assert len(config.samples_sweep) >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(dataset="x", total_points=1)
+        with pytest.raises(ValueError):
+            WorkloadConfig(dataset="x", total_points=100, half_extent=0.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(dataset="x", total_points=100, num_samples=-1)
+        with pytest.raises(ValueError):
+            WorkloadConfig(dataset="x", total_points=100, r_fraction=1.5)
+
+
+class TestDefaultWorkloads:
+    def test_all_datasets_present(self):
+        workloads = default_workloads(ExperimentScale.SMOKE)
+        assert [w.dataset for w in workloads] == list(DATASET_NAMES)
+
+    def test_subset_selection(self):
+        workloads = default_workloads(ExperimentScale.SMOKE, datasets=["nyc"])
+        assert len(workloads) == 1
+        assert workloads[0].dataset == "nyc"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            default_workloads(ExperimentScale.SMOKE, datasets=["mars"])
+
+    def test_paper_scale_is_larger(self):
+        smoke = default_workloads(ExperimentScale.SMOKE, datasets=["nyc"])[0]
+        paper = default_workloads(ExperimentScale.PAPER, datasets=["nyc"])[0]
+        assert paper.total_points > smoke.total_points
+        assert paper.num_samples >= smoke.num_samples
+
+
+class TestBuildJoinSpec:
+    def test_default_build(self):
+        config = WorkloadConfig(dataset="castreet", total_points=2_000)
+        spec = build_join_spec(config)
+        assert spec.n + spec.m == 2_000
+        assert spec.half_extent == config.half_extent
+
+    def test_scale_fraction(self):
+        config = WorkloadConfig(dataset="castreet", total_points=2_000)
+        spec = build_join_spec(config, scale_fraction=0.5)
+        assert spec.n + spec.m == 1_000
+
+    def test_bad_scale_fraction(self):
+        config = WorkloadConfig(dataset="castreet", total_points=2_000)
+        with pytest.raises(ValueError):
+            build_join_spec(config, scale_fraction=0.0)
+
+    def test_r_fraction_override(self):
+        config = WorkloadConfig(dataset="imis", total_points=2_000)
+        spec = build_join_spec(config, r_fraction=0.25)
+        assert spec.n == 500
+
+    def test_half_extent_override(self):
+        config = WorkloadConfig(dataset="imis", total_points=1_000)
+        spec = build_join_spec(config, half_extent=42.0)
+        assert spec.half_extent == 42.0
+
+    def test_deterministic(self):
+        config = WorkloadConfig(dataset="nyc", total_points=1_000)
+        a = build_join_spec(config)
+        b = build_join_spec(config)
+        assert a.r_points == b.r_points
+        assert a.s_points == b.s_points

@@ -1,0 +1,74 @@
+"""Shared fixtures for the whole test-suite.
+
+Fixtures provide join instances at three sizes:
+
+* ``tiny_spec`` - a handful of hand-placed points where every expected join
+  pair can be written down by eye.
+* ``small_uniform_spec`` / ``small_clustered_spec`` - a few hundred random
+  points, small enough to enumerate ``J`` with the brute-force join.
+* ``medium_spec`` - a few thousand points used by integration tests that
+  need realistic index shapes but still finish in well under a second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import JoinSpec
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points, zipf_cluster_points
+from repro.geometry.point import PointSet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_spec() -> JoinSpec:
+    """Four R points and six S points with an easily-enumerable join."""
+    r_points = PointSet(
+        xs=[10.0, 50.0, 90.0, 10.0],
+        ys=[10.0, 50.0, 90.0, 90.0],
+        name="tiny-R",
+    )
+    s_points = PointSet(
+        xs=[12.0, 48.0, 52.0, 88.0, 15.0, 300.0],
+        ys=[8.0, 52.0, 47.0, 92.0, 85.0, 300.0],
+        name="tiny-S",
+    )
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=10.0)
+
+
+@pytest.fixture
+def small_uniform_spec(rng: np.random.Generator) -> JoinSpec:
+    """A few hundred uniform points; join enumerable by brute force."""
+    points = uniform_points(600, rng, name="small-uniform")
+    r_points, s_points = split_r_s(points, rng)
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=500.0)
+
+
+@pytest.fixture
+def small_clustered_spec(rng: np.random.Generator) -> JoinSpec:
+    """A few hundred heavily clustered points (skewed cell occupancies)."""
+    points = zipf_cluster_points(700, rng, num_clusters=8, skew=1.4, name="small-clustered")
+    r_points, s_points = split_r_s(points, rng)
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=400.0)
+
+
+@pytest.fixture(scope="session")
+def medium_spec() -> JoinSpec:
+    """A few thousand clustered points for integration-style tests."""
+    rng = np.random.default_rng(999)
+    points = zipf_cluster_points(4_000, rng, num_clusters=20, skew=1.2, name="medium")
+    r_points, s_points = split_r_s(points, rng)
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=300.0)
+
+
+@pytest.fixture
+def grid_friendly_points(rng: np.random.Generator) -> PointSet:
+    """A moderately sized point set reused by grid / index structure tests."""
+    return uniform_points(1_000, rng, name="grid-friendly")

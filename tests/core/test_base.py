@@ -1,0 +1,144 @@
+"""Tests for the sampler base class, result containers and phase timings."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import JoinSampler, JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.config import JoinSpec
+from repro.geometry.point import PointSet
+
+
+class _DummySampler(JoinSampler):
+    """Minimal sampler used to exercise the base-class plumbing."""
+
+    def __init__(self, spec: JoinSpec) -> None:
+        super().__init__(spec)
+        self.preprocess_calls = 0
+        self.sample_calls = 0
+
+    @property
+    def name(self) -> str:
+        return "Dummy"
+
+    def _preprocess_impl(self) -> None:
+        self.preprocess_calls += 1
+
+    def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
+        self.sample_calls += 1
+        pairs = [
+            SamplePair(r_id=0, s_id=0, r_index=0, s_index=0) for _ in range(t)
+        ]
+        return JoinSampleResult(
+            sampler_name=self.name,
+            requested=t,
+            pairs=pairs,
+            timings=PhaseTimings(),
+            iterations=t,
+        )
+
+
+@pytest.fixture
+def dummy_spec() -> JoinSpec:
+    points = PointSet(xs=[0.0, 1.0], ys=[0.0, 1.0])
+    return JoinSpec(r_points=points, s_points=points, half_extent=1.0)
+
+
+class TestSamplePair:
+    def test_tuples(self):
+        pair = SamplePair(r_id=3, s_id=9, r_index=1, s_index=2)
+        assert pair.as_id_tuple() == (3, 9)
+        assert pair.as_index_tuple() == (1, 2)
+
+
+class TestPhaseTimings:
+    def test_total_excludes_preprocessing(self):
+        timings = PhaseTimings(
+            preprocess_seconds=100.0,
+            build_seconds=1.0,
+            count_seconds=2.0,
+            sample_seconds=3.0,
+        )
+        assert timings.total_seconds == pytest.approx(6.0)
+
+    def test_as_dict_keys(self):
+        keys = set(PhaseTimings().as_dict())
+        assert keys == {
+            "preprocess_seconds",
+            "build_seconds",
+            "count_seconds",
+            "sample_seconds",
+            "total_seconds",
+        }
+
+
+class TestJoinSampleResult:
+    def test_len_and_iter(self):
+        pairs = [SamplePair(1, 2, 0, 0), SamplePair(3, 4, 1, 1)]
+        result = JoinSampleResult(
+            sampler_name="x", requested=2, pairs=pairs, timings=PhaseTimings(), iterations=5
+        )
+        assert len(result) == 2
+        assert [p.r_id for p in result] == [1, 3]
+
+    def test_acceptance_rate(self):
+        pairs = [SamplePair(1, 2, 0, 0)]
+        result = JoinSampleResult(
+            sampler_name="x", requested=1, pairs=pairs, timings=PhaseTimings(), iterations=4
+        )
+        assert result.acceptance_rate == pytest.approx(0.25)
+
+    def test_acceptance_rate_zero_iterations(self):
+        result = JoinSampleResult(
+            sampler_name="x", requested=0, pairs=[], timings=PhaseTimings(), iterations=0
+        )
+        assert result.acceptance_rate == 0.0
+
+    def test_id_pairs_and_index_pairs(self):
+        pairs = [SamplePair(10, 20, 1, 2), SamplePair(30, 40, 3, 4)]
+        result = JoinSampleResult(
+            sampler_name="x", requested=2, pairs=pairs, timings=PhaseTimings(), iterations=2
+        )
+        assert result.id_pairs() == [(10, 20), (30, 40)]
+        assert result.index_pairs().tolist() == [[1, 2], [3, 4]]
+
+    def test_index_pairs_empty(self):
+        result = JoinSampleResult(
+            sampler_name="x", requested=0, pairs=[], timings=PhaseTimings(), iterations=0
+        )
+        assert result.index_pairs().shape == (0, 2)
+
+
+class TestJoinSamplerBase:
+    def test_preprocess_runs_once(self, dummy_spec):
+        sampler = _DummySampler(dummy_spec)
+        assert not sampler.is_preprocessed
+        sampler.preprocess()
+        sampler.preprocess()
+        assert sampler.preprocess_calls == 1
+        assert sampler.is_preprocessed
+        assert sampler.preprocess_seconds >= 0.0
+
+    def test_sample_triggers_preprocess(self, dummy_spec):
+        sampler = _DummySampler(dummy_spec)
+        result = sampler.sample(3, seed=0)
+        assert sampler.preprocess_calls == 1
+        assert len(result) == 3
+        assert result.timings.preprocess_seconds == sampler.preprocess_seconds
+
+    def test_sample_rejects_negative_t(self, dummy_spec):
+        with pytest.raises(ValueError):
+            _DummySampler(dummy_spec).sample(-1)
+
+    def test_sample_rejects_rng_and_seed_together(self, dummy_spec):
+        with pytest.raises(ValueError):
+            _DummySampler(dummy_spec).sample(1, rng=np.random.default_rng(0), seed=1)
+
+    def test_sample_accepts_explicit_rng(self, dummy_spec):
+        result = _DummySampler(dummy_spec).sample(2, rng=np.random.default_rng(0))
+        assert len(result) == 2
+
+    def test_default_index_nbytes_is_zero(self, dummy_spec):
+        assert _DummySampler(dummy_spec).index_nbytes() == 0
+
+    def test_spec_property(self, dummy_spec):
+        assert _DummySampler(dummy_spec).spec is dummy_spec

@@ -1,0 +1,77 @@
+"""Algorithm-specific tests for the proposed BBST sampler (Section IV)."""
+
+import pytest
+
+from repro.bbst.join_index import BBSTJoinIndex
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.full_join import join_size
+from repro.core.kds_sampler import KDSSampler
+
+
+class TestBBSTSampler:
+    def test_name(self, small_uniform_spec):
+        assert BBSTSampler(small_uniform_spec).name == "BBST"
+
+    def test_preprocessing_is_only_sorting(self, small_uniform_spec):
+        sampler = BBSTSampler(small_uniform_spec)
+        sampler.preprocess()
+        assert sampler.sorted_s is not None
+        assert list(sampler.sorted_s.xs) == sorted(sampler.sorted_s.xs.tolist())
+
+    def test_preprocessing_faster_than_kds(self, medium_spec):
+        """Table II: sorting S is cheaper than building the kd-tree."""
+        bbst = BBSTSampler(medium_spec)
+        kds = KDSSampler(medium_spec)
+        assert bbst.preprocess() < kds.preprocess()
+
+    def test_index_is_built_during_sampling(self, small_uniform_spec):
+        sampler = BBSTSampler(small_uniform_spec)
+        assert sampler.index is None
+        sampler.sample(10, seed=0)
+        assert isinstance(sampler.index, BBSTJoinIndex)
+        assert sampler.index_nbytes() > 0
+
+    def test_sum_mu_dominates_join_size(self, small_clustered_spec):
+        result = BBSTSampler(small_clustered_spec).sample(100, seed=1)
+        assert result.metadata["sum_mu"] >= join_size(small_clustered_spec)
+
+    def test_tighter_bound_than_kds_rejection(self, medium_spec):
+        """BBST's mixed exact/approximate bound must be tighter than whole-cell counting."""
+        from repro.core.kds_rejection import KDSRejectionSampler
+
+        bbst = BBSTSampler(medium_spec).sample(50, seed=2)
+        rejection = KDSRejectionSampler(medium_spec).sample(50, seed=2)
+        assert bbst.metadata["sum_mu"] <= rejection.metadata["sum_mu"]
+
+    def test_all_three_phases_timed(self, small_uniform_spec):
+        result = BBSTSampler(small_uniform_spec).sample(50, seed=3)
+        assert result.timings.build_seconds > 0.0
+        assert result.timings.count_seconds > 0.0
+        assert result.timings.sample_seconds > 0.0
+
+    def test_bucket_capacity_override(self, small_uniform_spec):
+        sampler = BBSTSampler(small_uniform_spec, bucket_capacity=4)
+        assert sampler.bucket_capacity == 4
+        sampler.sample(20, seed=4)
+        assert sampler.index.bucket_capacity == 4
+
+    def test_iterations_close_to_t_on_clustered_data(self, medium_spec):
+        """The paper's key empirical property: #iterations stays near t."""
+        t = 2_000
+        result = BBSTSampler(medium_spec).sample(t, seed=5)
+        assert result.iterations < 5 * t
+
+    def test_expected_iterations_track_sum_mu_ratio(self, medium_spec):
+        t = 2_000
+        result = BBSTSampler(medium_spec).sample(t, seed=6)
+        expected_ratio = result.metadata["sum_mu"] / join_size(medium_spec)
+        observed_ratio = result.iterations / t
+        # Slot rejections in partially filled buckets add a small extra factor.
+        assert observed_ratio >= 0.7 * expected_ratio
+        assert observed_ratio <= 2.0 * expected_ratio
+
+    def test_window_independent_of_join_size_growth(self, small_uniform_spec):
+        """Sampling-phase cost per accepted pair should not explode with the window size."""
+        small = BBSTSampler(small_uniform_spec.with_half_extent(300.0)).sample(500, seed=7)
+        large = BBSTSampler(small_uniform_spec.with_half_extent(1_500.0)).sample(500, seed=7)
+        assert large.timings.sample_seconds < 50 * max(small.timings.sample_seconds, 1e-4)

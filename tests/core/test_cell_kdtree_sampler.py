@@ -1,0 +1,47 @@
+"""Tests for the Fig. 9 ablation (per-cell kd-trees instead of BBSTs)."""
+
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.cell_kdtree_sampler import CellKDTreeJoinIndex, CellKDTreeSampler
+from repro.core.full_join import join_size
+from repro.geometry.predicates import count_in_rect
+
+
+class TestCellKDTreeJoinIndex:
+    def test_corner_bounds_are_exact(self, rng, grid_friendly_points):
+        index = CellKDTreeJoinIndex(grid_friendly_points.sorted_by_x(), half_extent=400.0)
+        for _ in range(40):
+            x, y = rng.uniform(0, 10_000, size=2)
+            window = index.window_for(x, y)
+            exact = count_in_rect(grid_friendly_points, window)
+            assert index.upper_bound(x, y) == exact
+
+    def test_every_cell_has_a_tree(self, grid_friendly_points):
+        index = CellKDTreeJoinIndex(grid_friendly_points.sorted_by_x(), half_extent=400.0)
+        for key in index.grid.cells:
+            assert index.cell_tree(key) is not None
+        assert index.cell_tree((999, 999)) is None
+
+    def test_nbytes_positive(self, grid_friendly_points):
+        index = CellKDTreeJoinIndex(grid_friendly_points.sorted_by_x(), half_extent=400.0)
+        assert index.nbytes() > 0
+
+
+class TestCellKDTreeSampler:
+    def test_name(self, small_uniform_spec):
+        assert CellKDTreeSampler(small_uniform_spec).name == "Grid+kd-tree"
+
+    def test_sum_mu_equals_join_size(self, small_uniform_spec):
+        """With exact per-cell counting, the variant's sum_mu is exactly |J|."""
+        result = CellKDTreeSampler(small_uniform_spec).sample(100, seed=0)
+        assert result.metadata["sum_mu"] == join_size(small_uniform_spec)
+
+    def test_every_iteration_accepts(self, small_uniform_spec):
+        """Exact bounds plus in-window sampling means no rejections."""
+        result = CellKDTreeSampler(small_uniform_spec).sample(300, seed=1)
+        assert result.iterations == 300
+
+    def test_same_interface_as_bbst_sampler(self, small_clustered_spec):
+        bbst = BBSTSampler(small_clustered_spec).sample(100, seed=2)
+        variant = CellKDTreeSampler(small_clustered_spec).sample(100, seed=2)
+        assert len(bbst) == len(variant) == 100
+        assert set(bbst.timings.as_dict()) == set(variant.timings.as_dict())

@@ -1,0 +1,87 @@
+"""Tests for :class:`repro.core.config.JoinSpec`."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import JoinSpec
+from repro.geometry.point import PointSet
+
+
+def _spec() -> JoinSpec:
+    r_points = PointSet(xs=[0.0, 100.0], ys=[0.0, 100.0], name="R")
+    s_points = PointSet(xs=[5.0, 250.0, 95.0], ys=[5.0, 250.0, 105.0], name="S")
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=10.0)
+
+
+class TestValidation:
+    def test_sizes(self):
+        spec = _spec()
+        assert spec.n == 2
+        assert spec.m == 3
+
+    def test_rejects_non_positive_extent(self):
+        points = PointSet(xs=[0.0], ys=[0.0])
+        with pytest.raises(ValueError):
+            JoinSpec(r_points=points, s_points=points, half_extent=0.0)
+
+    def test_rejects_empty_sets(self):
+        points = PointSet(xs=[0.0], ys=[0.0])
+        with pytest.raises(ValueError):
+            JoinSpec(r_points=PointSet.empty(), s_points=points, half_extent=1.0)
+        with pytest.raises(ValueError):
+            JoinSpec(r_points=points, s_points=PointSet.empty(), half_extent=1.0)
+
+
+class TestWindows:
+    def test_window_for_location(self):
+        window = _spec().window_for(50.0, 60.0)
+        assert window.as_tuple() == (40.0, 50.0, 60.0, 70.0)
+
+    def test_window_of_point(self):
+        spec = _spec()
+        window = spec.window_of(spec.r_points[1])
+        assert window.center() == (100.0, 100.0)
+
+    def test_window_of_index(self):
+        spec = _spec()
+        assert spec.window_of_index(0) == spec.window_of(spec.r_points[0])
+
+    def test_pair_matches(self):
+        spec = _spec()
+        assert spec.pair_matches(0, 0)
+        assert not spec.pair_matches(0, 1)
+        assert spec.pair_matches(1, 2)
+
+    def test_pair_matches_boundary_inclusive(self):
+        r_points = PointSet(xs=[0.0], ys=[0.0])
+        s_points = PointSet(xs=[10.0], ys=[-10.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=10.0)
+        assert spec.pair_matches(0, 0)
+
+
+class TestDerivedSpecs:
+    def test_swapped(self):
+        spec = _spec()
+        swapped = spec.swapped()
+        assert swapped.n == spec.m
+        assert swapped.m == spec.n
+        assert swapped.half_extent == spec.half_extent
+
+    def test_swap_preserves_join_symmetry(self):
+        spec = _spec()
+        swapped = spec.swapped()
+        # (r_i, s_j) in J iff (s_j, r_i) in the swapped join.
+        for i in range(spec.n):
+            for j in range(spec.m):
+                assert spec.pair_matches(i, j) == swapped.pair_matches(j, i)
+
+    def test_with_half_extent(self):
+        spec = _spec().with_half_extent(50.0)
+        assert spec.half_extent == 50.0
+
+    def test_subsampled(self, rng):
+        points = PointSet(xs=np.arange(100, dtype=float), ys=np.zeros(100))
+        spec = JoinSpec(r_points=points, s_points=points, half_extent=5.0)
+        smaller = spec.subsampled(0.5, rng)
+        assert smaller.n == 50
+        assert smaller.m == 50

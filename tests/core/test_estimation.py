@@ -1,0 +1,76 @@
+"""Tests for join-size estimation and selectivity statistics."""
+
+import pytest
+
+from repro.core.estimation import (
+    estimate_join_size_from_sample_counts,
+    estimate_join_size_from_upper_bounds,
+    exact_join_size,
+    join_selectivity,
+    upper_bound_ratio,
+    upper_bound_sum,
+)
+from repro.core.full_join import join_size
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.config import JoinSpec
+from repro.geometry.point import PointSet
+
+
+class TestExactStatistics:
+    def test_exact_join_size_matches_full_join(self, small_uniform_spec):
+        assert exact_join_size(small_uniform_spec) == join_size(small_uniform_spec)
+
+    def test_selectivity_in_unit_interval(self, small_uniform_spec):
+        selectivity = join_selectivity(small_uniform_spec)
+        assert 0.0 <= selectivity <= 1.0
+
+    def test_selectivity_value(self, tiny_spec):
+        assert join_selectivity(tiny_spec) == pytest.approx(5 / (4 * 6))
+
+
+class TestUpperBoundStatistics:
+    def test_sum_dominates_join_size(self, small_clustered_spec):
+        assert upper_bound_sum(small_clustered_spec) >= exact_join_size(small_clustered_spec)
+
+    def test_ratio_at_least_one(self, small_clustered_spec):
+        assert upper_bound_ratio(small_clustered_spec) >= 1.0
+
+    def test_ratio_empty_join_raises(self):
+        r_points = PointSet(xs=[0.0, 1.0], ys=[0.0, 1.0])
+        s_points = PointSet(xs=[5_000.0, 5_001.0], ys=[5_000.0, 5_001.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=1.0)
+        with pytest.raises(ValueError):
+            upper_bound_ratio(spec)
+
+    def test_sum_matches_sampler_metadata(self, small_uniform_spec):
+        result = BBSTSampler(small_uniform_spec).sample(10, seed=0)
+        assert upper_bound_sum(small_uniform_spec) == pytest.approx(
+            result.metadata["sum_mu"]
+        )
+
+
+class TestEstimators:
+    def test_estimate_from_upper_bounds(self):
+        assert estimate_join_size_from_upper_bounds(0.5, 1_000.0) == 500.0
+
+    def test_estimate_rejects_bad_acceptance(self):
+        with pytest.raises(ValueError):
+            estimate_join_size_from_upper_bounds(1.5, 10.0)
+        with pytest.raises(ValueError):
+            estimate_join_size_from_upper_bounds(0.5, -1.0)
+
+    def test_estimate_is_close_for_bbst_run(self, medium_spec):
+        result = BBSTSampler(medium_spec).sample(3_000, seed=1)
+        estimate = estimate_join_size_from_upper_bounds(
+            result.acceptance_rate, result.metadata["sum_mu"]
+        )
+        true_size = exact_join_size(medium_spec)
+        assert estimate == pytest.approx(true_size, rel=0.35)
+
+    def test_cross_product_estimator(self):
+        estimate = estimate_join_size_from_sample_counts(100, 200, 0.01)
+        assert estimate == pytest.approx(200.0)
+
+    def test_cross_product_estimator_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            estimate_join_size_from_sample_counts(10, 10, 1.5)

@@ -1,0 +1,77 @@
+"""Tests for the exact spatial range join and join-size counting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import JoinSpec
+from repro.core.full_join import brute_force_join, iter_join_pairs, join_size, spatial_range_join
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points, zipf_cluster_points
+from repro.geometry.point import PointSet
+
+
+class TestTinyJoin:
+    def test_expected_pairs(self, tiny_spec):
+        pairs = set(brute_force_join(tiny_spec))
+        # r0=(10,10) matches s0=(12,8); r1=(50,50) matches s1,s2;
+        # r2=(90,90) matches s3; r3=(10,90) matches s4.
+        expected = {(0, 0), (1, 1), (1, 2), (2, 3), (3, 4)}
+        assert pairs == expected
+
+    def test_grid_join_matches_brute_force(self, tiny_spec):
+        assert set(spatial_range_join(tiny_spec)) == set(brute_force_join(tiny_spec))
+
+    def test_join_size_matches(self, tiny_spec):
+        assert join_size(tiny_spec) == len(brute_force_join(tiny_spec))
+
+    def test_iter_join_pairs_streams_same_pairs(self, tiny_spec):
+        assert set(iter_join_pairs(tiny_spec)) == set(brute_force_join(tiny_spec))
+
+
+class TestRandomJoins:
+    @pytest.mark.parametrize("half_extent", [50.0, 300.0, 1500.0])
+    def test_grid_join_matches_brute_force_uniform(self, rng, half_extent):
+        points = uniform_points(300, rng)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=half_extent)
+        assert sorted(spatial_range_join(spec)) == sorted(brute_force_join(spec))
+
+    def test_grid_join_matches_brute_force_clustered(self, rng):
+        points = zipf_cluster_points(400, rng, num_clusters=5, skew=1.4)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=600.0)
+        assert sorted(spatial_range_join(spec)) == sorted(brute_force_join(spec))
+
+    def test_join_size_equals_pair_count(self, small_uniform_spec):
+        assert join_size(small_uniform_spec) == len(spatial_range_join(small_uniform_spec))
+
+    def test_join_symmetry(self, small_uniform_spec):
+        forward = {(r, s) for r, s in spatial_range_join(small_uniform_spec)}
+        backward = {(s, r) for r, s in spatial_range_join(small_uniform_spec.swapped())}
+        assert forward == backward
+
+    def test_join_grows_with_window(self, rng):
+        points = uniform_points(400, rng)
+        r_points, s_points = split_r_s(points, rng)
+        small = JoinSpec(r_points=r_points, s_points=s_points, half_extent=100.0)
+        large = JoinSpec(r_points=r_points, s_points=s_points, half_extent=1000.0)
+        assert join_size(small) <= join_size(large)
+
+    def test_whole_domain_window_gives_cross_product(self, rng):
+        points = uniform_points(60, rng)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=20_000.0)
+        assert join_size(spec) == spec.n * spec.m
+
+    def test_no_matches_when_sets_are_far_apart(self):
+        r_points = PointSet(xs=[0.0, 1.0], ys=[0.0, 1.0])
+        s_points = PointSet(xs=[5_000.0, 6_000.0], ys=[5_000.0, 6_000.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=10.0)
+        assert join_size(spec) == 0
+        assert spatial_range_join(spec) == []
+
+    def test_points_on_window_boundary_are_included(self):
+        r_points = PointSet(xs=[100.0], ys=[100.0])
+        s_points = PointSet(xs=[110.0, 90.0, 100.0], ys=[100.0, 110.0, 89.9])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=10.0)
+        assert sorted(spatial_range_join(spec)) == [(0, 0), (0, 1)]

@@ -1,0 +1,26 @@
+"""Tests for the empty-join guard."""
+
+import pytest
+
+from repro.core.guards import (
+    EMPTY_JOIN_GUARD_FACTOR,
+    EMPTY_JOIN_GUARD_FLOOR,
+    empty_join_guard,
+)
+
+
+class TestEmptyJoinGuard:
+    def test_floor_applies_for_small_t(self):
+        assert empty_join_guard(0) == EMPTY_JOIN_GUARD_FLOOR
+        assert empty_join_guard(10) == EMPTY_JOIN_GUARD_FLOOR
+
+    def test_scales_with_t(self):
+        t = 10_000
+        assert empty_join_guard(t) == EMPTY_JOIN_GUARD_FACTOR * t
+
+    def test_monotonic(self):
+        assert empty_join_guard(2_000) <= empty_join_guard(20_000)
+
+    def test_negative_t_raises(self):
+        with pytest.raises(ValueError):
+            empty_join_guard(-1)

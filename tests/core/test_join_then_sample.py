@@ -1,0 +1,39 @@
+"""Tests for the naive join-then-sample comparator."""
+
+import pytest
+
+from repro.core.full_join import join_size
+from repro.core.join_then_sample import JoinThenSample
+
+
+class TestJoinThenSample:
+    def test_name(self, small_uniform_spec):
+        assert JoinThenSample(small_uniform_spec).name == "JoinThenSample"
+
+    def test_reports_join_size(self, small_uniform_spec):
+        result = JoinThenSample(small_uniform_spec).sample(10, seed=0)
+        assert result.metadata["join_size"] == join_size(small_uniform_spec)
+
+    def test_materialisation_cost_attributed_to_count_phase(self, small_uniform_spec):
+        result = JoinThenSample(small_uniform_spec).sample(10, seed=1)
+        assert result.timings.count_seconds > 0.0
+
+    def test_samples_cover_join_for_large_t(self, tiny_spec):
+        """With |J| = 5 and many draws, every pair should eventually appear."""
+        result = JoinThenSample(tiny_spec).sample(2_000, seed=2)
+        assert len(set(result.index_pairs().flatten().tolist())) > 0
+        assert len(set(map(tuple, result.index_pairs().tolist()))) == 5
+
+    def test_slower_than_bbst_on_large_joins(self, medium_spec):
+        """Materialising J costs more than drawing a handful of samples with BBST."""
+        from repro.core.bbst_sampler import BBSTSampler
+
+        naive = JoinThenSample(medium_spec).sample(10, seed=3)
+        bbst = BBSTSampler(medium_spec).sample(10, seed=3)
+        assert naive.timings.total_seconds > bbst.timings.sample_seconds
+
+    def test_index_nbytes(self, small_uniform_spec):
+        sampler = JoinThenSample(small_uniform_spec)
+        assert sampler.index_nbytes() == 0
+        sampler.sample(5, seed=4)
+        assert sampler.index_nbytes() > 0

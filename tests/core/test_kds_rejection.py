@@ -1,0 +1,56 @@
+"""Algorithm-specific tests for the KDS-rejection baseline (Section III-B)."""
+
+import pytest
+
+from repro.core.full_join import join_size
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+
+
+class TestKDSRejectionSampler:
+    def test_name(self, small_uniform_spec):
+        assert KDSRejectionSampler(small_uniform_spec).name == "KDS-rejection"
+
+    def test_sum_mu_dominates_join_size(self, small_uniform_spec):
+        """The grid bound counts whole cells, so sum_mu >= |J| always."""
+        result = KDSRejectionSampler(small_uniform_spec).sample(100, seed=0)
+        assert result.metadata["sum_mu"] >= join_size(small_uniform_spec)
+
+    def test_rejection_needs_more_iterations_than_t(self, small_clustered_spec):
+        result = KDSRejectionSampler(small_clustered_spec).sample(300, seed=1)
+        assert result.iterations >= 300
+        assert 0.0 < result.acceptance_rate <= 1.0
+
+    def test_looser_bound_than_exact_counting(self, small_uniform_spec):
+        """KDS-rejection's sum_mu is looser than KDS's exact |J| (its key weakness)."""
+        rejection = KDSRejectionSampler(small_uniform_spec).sample(50, seed=2)
+        exact = KDSSampler(small_uniform_spec).sample(50, seed=2)
+        assert rejection.metadata["sum_mu"] > exact.metadata["join_size"]
+
+    def test_has_grid_mapping_phase(self, small_uniform_spec):
+        result = KDSRejectionSampler(small_uniform_spec).sample(20, seed=3)
+        assert result.timings.build_seconds >= 0.0
+        assert result.timings.count_seconds >= 0.0
+
+    def test_upper_bound_phase_cheaper_than_kds_exact_counting(self, medium_spec):
+        """The O(n) grid bound must beat the O(n sqrt m) exact count (Table III UB columns)."""
+        rejection = KDSRejectionSampler(medium_spec).sample(10, seed=4)
+        kds = KDSSampler(medium_spec).sample(10, seed=4)
+        assert rejection.timings.count_seconds < kds.timings.count_seconds
+
+    def test_index_includes_grid_after_sampling(self, small_uniform_spec):
+        sampler = KDSRejectionSampler(small_uniform_spec)
+        before = sampler.preprocess()
+        kd_only = sampler.index_nbytes()
+        sampler.sample(10, seed=5)
+        assert sampler.index_nbytes() > kd_only
+        assert before >= 0.0
+
+    def test_expected_iterations_track_sum_mu_ratio(self, small_clustered_spec):
+        """E[#iterations] = t * sum_mu / |J|; check the empirical value is in the right ballpark."""
+        spec = small_clustered_spec
+        t = 2_000
+        result = KDSRejectionSampler(spec).sample(t, seed=6)
+        expected_ratio = result.metadata["sum_mu"] / join_size(spec)
+        observed_ratio = result.iterations / t
+        assert observed_ratio == pytest.approx(expected_ratio, rel=0.25)

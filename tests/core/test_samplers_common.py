@@ -1,0 +1,119 @@
+"""Behavioural contract shared by every join sampler.
+
+One parametrised suite exercises all five algorithms (the naive comparator,
+the two baselines, the proposed BBST sampler and the Fig. 9 ablation) against
+the same invariants: correct pair validity, exact sample counts, reproducible
+seeding, empty-join handling and sane bookkeeping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.base import JoinSampler
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.cell_kdtree_sampler import CellKDTreeSampler
+from repro.core.config import JoinSpec
+from repro.core.join_then_sample import JoinThenSample
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+from repro.core.validation import validate_sample_result, verify_pairs_in_join
+from repro.geometry.point import PointSet
+
+ALL_SAMPLERS = [
+    JoinThenSample,
+    KDSSampler,
+    KDSRejectionSampler,
+    BBSTSampler,
+    CellKDTreeSampler,
+]
+
+
+@pytest.fixture(params=ALL_SAMPLERS, ids=lambda cls: cls.__name__)
+def sampler_class(request):
+    return request.param
+
+
+class TestSamplingContract:
+    def test_returns_requested_number_of_pairs(self, sampler_class, small_uniform_spec):
+        result = sampler_class(small_uniform_spec).sample(200, seed=0)
+        assert len(result) == 200
+        assert result.requested == 200
+
+    def test_every_pair_is_a_join_pair(self, sampler_class, small_uniform_spec):
+        result = sampler_class(small_uniform_spec).sample(300, seed=1)
+        assert verify_pairs_in_join(small_uniform_spec, result)
+
+    def test_result_passes_full_validation(self, sampler_class, small_clustered_spec):
+        result = sampler_class(small_clustered_spec).sample(150, seed=2)
+        assert validate_sample_result(small_clustered_spec, result) == []
+
+    def test_zero_samples(self, sampler_class, small_uniform_spec):
+        result = sampler_class(small_uniform_spec).sample(0, seed=3)
+        assert len(result) == 0
+        assert result.iterations == 0
+
+    def test_deterministic_given_seed(self, sampler_class, small_uniform_spec):
+        first = sampler_class(small_uniform_spec).sample(100, seed=42)
+        second = sampler_class(small_uniform_spec).sample(100, seed=42)
+        assert first.id_pairs() == second.id_pairs()
+
+    def test_different_seeds_give_different_samples(self, sampler_class, small_uniform_spec):
+        first = sampler_class(small_uniform_spec).sample(100, seed=1)
+        second = sampler_class(small_uniform_spec).sample(100, seed=2)
+        assert first.id_pairs() != second.id_pairs()
+
+    def test_iterations_at_least_accepted(self, sampler_class, small_clustered_spec):
+        result = sampler_class(small_clustered_spec).sample(120, seed=4)
+        assert result.iterations >= len(result)
+
+    def test_timings_are_non_negative(self, sampler_class, small_uniform_spec):
+        result = sampler_class(small_uniform_spec).sample(50, seed=5)
+        for value in result.timings.as_dict().values():
+            assert value >= 0.0
+
+    def test_sampler_name_matches_result(self, sampler_class, small_uniform_spec):
+        sampler = sampler_class(small_uniform_spec)
+        result = sampler.sample(10, seed=6)
+        assert result.sampler_name == sampler.name
+
+    def test_empty_join_raises(self, sampler_class):
+        r_points = PointSet(xs=[0.0, 1.0], ys=[0.0, 1.0])
+        s_points = PointSet(xs=[9_000.0, 9_100.0], ys=[9_000.0, 9_100.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=5.0)
+        with pytest.raises((ValueError, RuntimeError)):
+            sampler_class(spec).sample(10, seed=7)
+
+    def test_empty_join_zero_samples_is_fine(self, sampler_class):
+        r_points = PointSet(xs=[0.0, 1.0], ys=[0.0, 1.0])
+        s_points = PointSet(xs=[9_000.0, 9_100.0], ys=[9_000.0, 9_100.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=5.0)
+        result = sampler_class(spec).sample(0, seed=8)
+        assert len(result) == 0
+
+    def test_single_pair_join(self, sampler_class):
+        r_points = PointSet(xs=[100.0, 5_000.0], ys=[100.0, 5_000.0])
+        s_points = PointSet(xs=[105.0, 9_000.0], ys=[95.0, 9_000.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=10.0)
+        result = sampler_class(spec).sample(25, seed=9)
+        assert len(result) == 25
+        assert set(result.id_pairs()) == {(0, 0)}
+
+    def test_samples_with_replacement(self, sampler_class):
+        """More samples than |J| must succeed (sampling is with replacement)."""
+        r_points = PointSet(xs=[100.0], ys=[100.0])
+        s_points = PointSet(xs=[101.0, 99.0, 103.0], ys=[100.0, 98.0, 104.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=10.0)
+        result = sampler_class(spec).sample(50, seed=10)
+        assert len(result) == 50
+        assert set(result.id_pairs()).issubset({(0, 0), (0, 1), (0, 2)})
+
+    def test_preprocess_idempotent(self, sampler_class, small_uniform_spec):
+        sampler: JoinSampler = sampler_class(small_uniform_spec)
+        first = sampler.preprocess()
+        second = sampler.preprocess()
+        assert first == second
+
+    def test_index_nbytes_after_sampling(self, sampler_class, small_uniform_spec):
+        sampler = sampler_class(small_uniform_spec)
+        sampler.sample(20, seed=11)
+        assert sampler.index_nbytes() >= 0

@@ -1,0 +1,148 @@
+"""Tests for the library extensions: without-replacement and progressive sampling.
+
+The paper (Section II) notes both extensions are straightforward on top of
+with-replacement sampling: reject already-seen pairs for the former, and keep
+drawing progressively for the latter (``t`` can be infinite).  These tests
+cover the extension APIs on every sampler plus the runtime caching that makes
+repeated draws cheap for the grid-based samplers.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.cell_kdtree_sampler import CellKDTreeSampler
+from repro.core.config import JoinSpec
+from repro.core.full_join import spatial_range_join
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+from repro.geometry.point import PointSet
+
+ALL_SAMPLERS = [KDSSampler, KDSRejectionSampler, BBSTSampler, CellKDTreeSampler]
+
+
+@pytest.fixture(params=ALL_SAMPLERS, ids=lambda cls: cls.__name__)
+def sampler_class(request):
+    return request.param
+
+
+class TestWithoutReplacement:
+    def test_returns_distinct_pairs(self, sampler_class, small_uniform_spec):
+        result = sampler_class(small_uniform_spec).sample_without_replacement(150, seed=0)
+        pairs = result.index_pairs()
+        assert len(result) == 150
+        assert len({tuple(p) for p in pairs.tolist()}) == 150
+
+    def test_pairs_are_valid(self, sampler_class, small_uniform_spec):
+        result = sampler_class(small_uniform_spec).sample_without_replacement(100, seed=1)
+        assert all(
+            small_uniform_spec.pair_matches(p.r_index, p.s_index) for p in result.pairs
+        )
+
+    def test_can_exhaust_a_small_join(self, sampler_class, tiny_spec):
+        """Requesting exactly |J| distinct pairs returns the whole join."""
+        join_pairs = set(spatial_range_join(tiny_spec))
+        result = sampler_class(tiny_spec).sample_without_replacement(
+            len(join_pairs), seed=2
+        )
+        assert {p.as_index_tuple() for p in result.pairs} == join_pairs
+
+    def test_requesting_more_than_join_size_raises(self, sampler_class, tiny_spec):
+        join_size = len(spatial_range_join(tiny_spec))
+        with pytest.raises(RuntimeError):
+            sampler_class(tiny_spec).sample_without_replacement(join_size + 1, seed=3)
+
+    def test_zero_requested(self, sampler_class, small_uniform_spec):
+        result = sampler_class(small_uniform_spec).sample_without_replacement(0, seed=4)
+        assert len(result) == 0
+
+    def test_negative_rejected(self, sampler_class, small_uniform_spec):
+        with pytest.raises(ValueError):
+            sampler_class(small_uniform_spec).sample_without_replacement(-1)
+
+    def test_metadata_flags_distinct(self, sampler_class, small_uniform_spec):
+        result = sampler_class(small_uniform_spec).sample_without_replacement(10, seed=5)
+        assert result.metadata["distinct"] is True
+
+    def test_rng_and_seed_exclusive(self, sampler_class, small_uniform_spec):
+        with pytest.raises(ValueError):
+            sampler_class(small_uniform_spec).sample_without_replacement(
+                5, rng=np.random.default_rng(0), seed=1
+            )
+
+
+class TestStreaming:
+    def test_stream_yields_valid_pairs(self, sampler_class, small_uniform_spec):
+        stream = sampler_class(small_uniform_spec).stream_samples(seed=6, batch_size=64)
+        pairs = list(itertools.islice(stream, 200))
+        assert len(pairs) == 200
+        assert all(
+            small_uniform_spec.pair_matches(p.r_index, p.s_index) for p in pairs
+        )
+
+    def test_stream_is_deterministic_given_seed(self, sampler_class, small_uniform_spec):
+        first = list(
+            itertools.islice(
+                sampler_class(small_uniform_spec).stream_samples(seed=7, batch_size=32), 50
+            )
+        )
+        second = list(
+            itertools.islice(
+                sampler_class(small_uniform_spec).stream_samples(seed=7, batch_size=32), 50
+            )
+        )
+        assert [p.as_id_tuple() for p in first] == [p.as_id_tuple() for p in second]
+
+    def test_stream_batch_size_validation(self, sampler_class, small_uniform_spec):
+        with pytest.raises(ValueError):
+            next(sampler_class(small_uniform_spec).stream_samples(batch_size=0))
+
+    def test_stream_covers_small_join(self, sampler_class, tiny_spec):
+        join_pairs = set(spatial_range_join(tiny_spec))
+        stream = sampler_class(tiny_spec).stream_samples(seed=8, batch_size=16)
+        seen = {p.as_index_tuple() for p in itertools.islice(stream, 400)}
+        assert seen == join_pairs
+
+
+class TestRuntimeCaching:
+    def test_grid_samplers_reuse_online_structures(self, small_uniform_spec):
+        """The second sample() call on a grid sampler skips the GM/UB phases."""
+        for sampler_class in (BBSTSampler, CellKDTreeSampler):
+            sampler = sampler_class(small_uniform_spec)
+            first = sampler.sample(50, seed=9)
+            second = sampler.sample(50, seed=10)
+            assert first.timings.build_seconds > 0.0
+            assert first.timings.count_seconds > 0.0
+            assert second.timings.build_seconds == 0.0
+            assert second.timings.count_seconds == 0.0
+            assert len(second) == 50
+            assert all(
+                small_uniform_spec.pair_matches(p.r_index, p.s_index)
+                for p in second.pairs
+            )
+
+    def test_cached_runs_remain_uniform(self, small_uniform_spec):
+        """Caching must not change the sampling distribution."""
+        sampler = BBSTSampler(small_uniform_spec)
+        sampler.sample(10, seed=11)  # populate the cache
+        fresh = BBSTSampler(small_uniform_spec).sample(500, seed=12)
+        cached = sampler.sample(500, seed=12)
+        assert fresh.id_pairs() == cached.id_pairs()
+
+    def test_index_persists_across_calls(self, small_uniform_spec):
+        sampler = BBSTSampler(small_uniform_spec)
+        sampler.sample(5, seed=13)
+        index_before = sampler.index
+        sampler.sample(5, seed=14)
+        assert sampler.index is index_before
+
+
+class TestEmptyJoinExtensions:
+    def test_without_replacement_on_empty_join_raises(self, sampler_class):
+        r_points = PointSet(xs=[0.0, 1.0], ys=[0.0, 1.0])
+        s_points = PointSet(xs=[9_000.0, 9_100.0], ys=[9_000.0, 9_100.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=5.0)
+        with pytest.raises((ValueError, RuntimeError)):
+            sampler_class(spec).sample_without_replacement(3, seed=15)

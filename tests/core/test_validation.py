@@ -1,0 +1,80 @@
+"""Tests for sample-result validation helpers."""
+
+from repro.core.base import JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.validation import validate_sample_result, verify_pairs_in_join
+
+
+def _result_with_pairs(pairs, requested=None, iterations=None):
+    return JoinSampleResult(
+        sampler_name="test",
+        requested=len(pairs) if requested is None else requested,
+        pairs=pairs,
+        timings=PhaseTimings(),
+        iterations=len(pairs) if iterations is None else iterations,
+    )
+
+
+class TestVerifyPairsInJoin:
+    def test_valid_result(self, tiny_spec):
+        pairs = [SamplePair(r_id=0, s_id=0, r_index=0, s_index=0)]
+        assert verify_pairs_in_join(tiny_spec, _result_with_pairs(pairs))
+
+    def test_invalid_pair_detected(self, tiny_spec):
+        pairs = [SamplePair(r_id=0, s_id=5, r_index=0, s_index=5)]
+        assert not verify_pairs_in_join(tiny_spec, _result_with_pairs(pairs))
+
+    def test_real_sampler_output_verifies(self, small_uniform_spec):
+        result = BBSTSampler(small_uniform_spec).sample(100, seed=0)
+        assert verify_pairs_in_join(small_uniform_spec, result)
+
+
+class TestValidateSampleResult:
+    def test_clean_result_has_no_problems(self, small_uniform_spec):
+        result = BBSTSampler(small_uniform_spec).sample(50, seed=1)
+        assert validate_sample_result(small_uniform_spec, result) == []
+
+    def test_count_mismatch_reported(self, tiny_spec):
+        result = _result_with_pairs(
+            [SamplePair(0, 0, 0, 0)], requested=5
+        )
+        problems = validate_sample_result(tiny_spec, result)
+        assert any("requested" in p for p in problems)
+
+    def test_iterations_below_accepted_reported(self, tiny_spec):
+        result = _result_with_pairs([SamplePair(0, 0, 0, 0)], iterations=0)
+        problems = validate_sample_result(tiny_spec, result)
+        assert any("iterations" in p for p in problems)
+
+    def test_unknown_ids_reported(self, tiny_spec):
+        result = _result_with_pairs([SamplePair(r_id=99, s_id=98, r_index=0, s_index=0)])
+        problems = validate_sample_result(tiny_spec, result)
+        assert any("unknown r_id" in p for p in problems)
+        assert any("unknown s_id" in p for p in problems)
+
+    def test_out_of_range_indices_reported(self, tiny_spec):
+        result = _result_with_pairs([SamplePair(r_id=0, s_id=0, r_index=50, s_index=-1)])
+        problems = validate_sample_result(tiny_spec, result)
+        assert any("r_index" in p for p in problems)
+        assert any("s_index" in p for p in problems)
+
+    def test_id_index_mismatch_reported(self, tiny_spec):
+        result = _result_with_pairs([SamplePair(r_id=0, s_id=0, r_index=1, s_index=0)])
+        problems = validate_sample_result(tiny_spec, result)
+        assert any("does not match" in p for p in problems)
+
+    def test_non_join_pair_reported(self, tiny_spec):
+        result = _result_with_pairs([SamplePair(r_id=0, s_id=5, r_index=0, s_index=5)])
+        problems = validate_sample_result(tiny_spec, result)
+        assert any("not a join pair" in p for p in problems)
+
+    def test_negative_timing_reported(self, tiny_spec):
+        result = JoinSampleResult(
+            sampler_name="test",
+            requested=0,
+            pairs=[],
+            timings=PhaseTimings(build_seconds=-1.0),
+            iterations=0,
+        )
+        problems = validate_sample_result(tiny_spec, result)
+        assert any("negative timing" in p for p in problems)

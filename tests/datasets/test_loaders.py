@@ -1,0 +1,62 @@
+"""Tests for CSV persistence of point sets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_points_csv, save_points_csv
+from repro.datasets.synthetic import uniform_points
+from repro.geometry.point import PointSet
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_data(self, tmp_path, rng):
+        points = uniform_points(150, rng, name="roundtrip")
+        path = save_points_csv(points, tmp_path / "points.csv")
+        loaded = load_points_csv(path)
+        assert np.allclose(loaded.xs, points.xs)
+        assert np.allclose(loaded.ys, points.ys)
+        assert np.array_equal(loaded.ids, points.ids)
+
+    def test_roundtrip_with_custom_ids(self, tmp_path):
+        points = PointSet(xs=[1.5, 2.5], ys=[3.5, 4.5], ids=[7, 11])
+        loaded = load_points_csv(save_points_csv(points, tmp_path / "ids.csv"))
+        assert list(loaded.ids) == [7, 11]
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        points = PointSet(xs=[1.0], ys=[2.0])
+        loaded = load_points_csv(save_points_csv(points, tmp_path / "mydata.csv"))
+        assert loaded.name == "mydata"
+
+    def test_name_override(self, tmp_path):
+        points = PointSet(xs=[1.0], ys=[2.0])
+        loaded = load_points_csv(save_points_csv(points, tmp_path / "x.csv"), name="custom")
+        assert loaded.name == "custom"
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        points = PointSet(xs=[1.0], ys=[2.0])
+        path = save_points_csv(points, tmp_path / "nested" / "dir" / "points.csv")
+        assert path.exists()
+
+
+class TestErrorHandling:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2.0,3.0\n")
+        with pytest.raises(ValueError):
+            load_points_csv(path)
+
+    def test_wrong_column_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,x,y\n1,2.0\n")
+        with pytest.raises(ValueError):
+            load_points_csv(path)
+
+    def test_empty_rows_are_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("id,x,y\n1,2.0,3.0\n\n2,4.0,5.0\n")
+        loaded = load_points_csv(path)
+        assert len(loaded) == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points_csv(tmp_path / "does-not-exist.csv")

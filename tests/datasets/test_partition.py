@@ -1,0 +1,68 @@
+"""Tests for the R/S partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points
+from repro.geometry.point import PointSet
+
+
+class TestSplitRS:
+    def test_default_even_split(self, rng):
+        points = uniform_points(1_000, rng)
+        r_points, s_points = split_r_s(points, rng)
+        assert len(r_points) == 500
+        assert len(s_points) == 500
+
+    def test_sizes_sum_to_total(self, rng):
+        points = uniform_points(777, rng)
+        r_points, s_points = split_r_s(points, rng, r_fraction=0.3)
+        assert len(r_points) + len(s_points) == 777
+
+    def test_ratio_respected(self, rng):
+        points = uniform_points(1_000, rng)
+        r_points, _s_points = split_r_s(points, rng, r_fraction=0.2)
+        assert len(r_points) == 200
+
+    def test_partition_is_disjoint_and_complete(self, rng):
+        points = uniform_points(300, rng)
+        r_points, s_points = split_r_s(points, rng)
+        r_ids = set(r_points.ids.tolist())
+        s_ids = set(s_points.ids.tolist())
+        assert r_ids.isdisjoint(s_ids)
+        assert r_ids | s_ids == set(points.ids.tolist())
+
+    def test_ids_preserved(self, rng):
+        points = PointSet(xs=[1.0, 2.0, 3.0, 4.0], ys=[0.0] * 4, ids=[10, 20, 30, 40])
+        r_points, s_points = split_r_s(points, rng)
+        assert set(r_points.ids.tolist()) | set(s_points.ids.tolist()) == {10, 20, 30, 40}
+
+    def test_both_sides_non_empty_even_at_extreme_ratio(self, rng):
+        points = uniform_points(10, rng)
+        r_points, s_points = split_r_s(points, rng, r_fraction=0.01)
+        assert len(r_points) >= 1
+        assert len(s_points) >= 1
+
+    def test_invalid_fraction_raises(self, rng):
+        points = uniform_points(10, rng)
+        with pytest.raises(ValueError):
+            split_r_s(points, rng, r_fraction=0.0)
+        with pytest.raises(ValueError):
+            split_r_s(points, rng, r_fraction=1.0)
+
+    def test_too_few_points_raises(self, rng):
+        with pytest.raises(ValueError):
+            split_r_s(PointSet(xs=[1.0], ys=[1.0]), rng)
+
+    def test_names_are_suffixed(self, rng):
+        points = uniform_points(20, rng, name="demo")
+        r_points, s_points = split_r_s(points, rng)
+        assert r_points.name.endswith("-R")
+        assert s_points.name.endswith("-S")
+
+    def test_deterministic_with_seeded_rng(self):
+        points = uniform_points(100, np.random.default_rng(1))
+        a_r, _ = split_r_s(points, np.random.default_rng(5))
+        b_r, _ = split_r_s(points, np.random.default_rng(5))
+        assert np.array_equal(a_r.ids, b_r.ids)

@@ -1,0 +1,82 @@
+"""Tests for the four dataset proxies."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.real_proxies import (
+    DATASET_NAMES,
+    DEFAULT_PROXY_SIZES,
+    ca_street_proxy,
+    foursquare_proxy,
+    imis_proxy,
+    load_proxy,
+    nyc_proxy,
+)
+
+PROXIES = {
+    "castreet": ca_street_proxy,
+    "foursquare": foursquare_proxy,
+    "imis": imis_proxy,
+    "nyc": nyc_proxy,
+}
+
+
+class TestProxyFactories:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_size_and_domain(self, name):
+        points = PROXIES[name](2_000)
+        assert len(points) == 2_000
+        assert points.xs.min() >= 0.0
+        assert points.xs.max() <= 10_000.0
+        assert points.ys.min() >= 0.0
+        assert points.ys.max() <= 10_000.0
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_name_attached(self, name):
+        assert PROXIES[name](500).name == name
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic_by_default(self, name):
+        a = PROXIES[name](400)
+        b = PROXIES[name](400)
+        assert np.array_equal(a.xs, b.xs)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_seed_changes_data(self, name):
+        a = PROXIES[name](400, seed=1)
+        b = PROXIES[name](400, seed=2)
+        assert not np.array_equal(a.xs, b.xs)
+
+
+class TestLoadProxy:
+    def test_default_sizes(self):
+        for name in DATASET_NAMES:
+            assert DEFAULT_PROXY_SIZES[name] > 0
+
+    def test_relative_ordering_matches_paper(self):
+        sizes = [DEFAULT_PROXY_SIZES[name] for name in DATASET_NAMES]
+        assert sizes == sorted(sizes)
+
+    def test_load_by_name(self):
+        points = load_proxy("castreet", size=1_000)
+        assert len(points) == 1_000
+
+    def test_load_case_insensitive(self):
+        assert len(load_proxy("NYC", size=500)) == 500
+
+    def test_load_with_seed(self):
+        a = load_proxy("imis", size=500, seed=11)
+        b = load_proxy("imis", size=500, seed=11)
+        assert np.array_equal(a.xs, b.xs)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_proxy("osm")
+
+    def test_bad_size_raises(self):
+        with pytest.raises(ValueError):
+            load_proxy("nyc", size=0)
+
+    def test_default_size_used_when_omitted(self):
+        points = load_proxy("castreet")
+        assert len(points) == DEFAULT_PROXY_SIZES["castreet"]

@@ -1,0 +1,118 @@
+"""Tests for the synthetic point generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    hotspot_mixture,
+    polyline_network_points,
+    random_walk_trajectories,
+    uniform_points,
+    zipf_cluster_points,
+)
+from repro.grid.grid import Grid
+
+GENERATORS = [
+    uniform_points,
+    gaussian_clusters,
+    zipf_cluster_points,
+    random_walk_trajectories,
+    polyline_network_points,
+    hotspot_mixture,
+]
+
+
+@pytest.fixture(params=GENERATORS, ids=lambda f: f.__name__)
+def generator(request):
+    return request.param
+
+
+class TestCommonProperties:
+    def test_requested_size(self, generator, rng):
+        points = generator(500, rng)
+        assert len(points) == 500
+
+    def test_zero_points(self, generator, rng):
+        assert len(generator(0, rng)) == 0
+
+    def test_negative_size_raises(self, generator, rng):
+        with pytest.raises(ValueError):
+            generator(-1, rng)
+
+    def test_points_inside_domain(self, generator, rng):
+        points = generator(800, rng, domain=10_000.0)
+        assert points.xs.min() >= 0.0
+        assert points.xs.max() <= 10_000.0
+        assert points.ys.min() >= 0.0
+        assert points.ys.max() <= 10_000.0
+
+    def test_reproducible_with_same_seed(self, generator):
+        a = generator(200, np.random.default_rng(3))
+        b = generator(200, np.random.default_rng(3))
+        assert np.array_equal(a.xs, b.xs)
+        assert np.array_equal(a.ys, b.ys)
+
+    def test_different_seeds_differ(self, generator):
+        a = generator(200, np.random.default_rng(3))
+        b = generator(200, np.random.default_rng(4))
+        assert not np.array_equal(a.xs, b.xs)
+
+    def test_custom_domain(self, generator, rng):
+        points = generator(300, rng, domain=500.0)
+        assert points.xs.max() <= 500.0
+
+
+class TestParameterValidation:
+    def test_gaussian_rejects_zero_clusters(self, rng):
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, rng, num_clusters=0)
+
+    def test_zipf_rejects_bad_skew(self, rng):
+        with pytest.raises(ValueError):
+            zipf_cluster_points(10, rng, skew=0.0)
+
+    def test_zipf_rejects_zero_clusters(self, rng):
+        with pytest.raises(ValueError):
+            zipf_cluster_points(10, rng, num_clusters=0)
+
+    def test_trajectories_reject_zero_trajectories(self, rng):
+        with pytest.raises(ValueError):
+            random_walk_trajectories(10, rng, num_trajectories=0)
+
+    def test_polyline_rejects_zero_segments(self, rng):
+        with pytest.raises(ValueError):
+            polyline_network_points(10, rng, num_segments=0)
+
+    def test_hotspot_rejects_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            hotspot_mixture(10, rng, hotspot_fraction=1.5)
+
+    def test_hotspot_rejects_zero_hotspots(self, rng):
+        with pytest.raises(ValueError):
+            hotspot_mixture(10, rng, num_hotspots=0)
+
+
+class TestDistributionCharacter:
+    def test_zipf_is_more_skewed_than_uniform(self, rng):
+        """Cell-occupancy skew is the property the paper's datasets exhibit."""
+        uniform = uniform_points(3_000, rng)
+        clustered = zipf_cluster_points(3_000, rng, num_clusters=30, skew=1.5)
+        uniform_occupancy = Grid(uniform, cell_size=500.0).occupancy()
+        clustered_occupancy = Grid(clustered, cell_size=500.0).occupancy()
+        assert clustered_occupancy.max() > 2 * uniform_occupancy.max()
+
+    def test_hotspots_concentrate_mass(self, rng):
+        points = hotspot_mixture(3_000, rng, num_hotspots=4, hotspot_fraction=0.8)
+        occupancy = Grid(points, cell_size=500.0).occupancy()
+        occupancy.sort()
+        top_cells = occupancy[-8:].sum()
+        assert top_cells > 0.4 * len(points)
+
+    def test_trajectories_fill_fewer_cells_than_uniform(self, rng):
+        uniform = uniform_points(2_000, rng)
+        trajectories = random_walk_trajectories(2_000, rng, num_trajectories=10, step=15.0)
+        assert (
+            Grid(trajectories, cell_size=250.0).num_cells
+            < Grid(uniform, cell_size=250.0).num_cells
+        )

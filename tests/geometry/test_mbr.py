@@ -1,0 +1,62 @@
+"""Tests for the MBR helpers."""
+
+import pytest
+
+from repro.geometry.mbr import mbr_of_arrays, mbr_of_points, union_mbr
+from repro.geometry.point import Point, PointSet
+from repro.geometry.rect import Rect
+
+
+class TestMBROfPoints:
+    def test_from_point_list(self):
+        rect = mbr_of_points([Point(0, 1.0, 5.0), Point(1, 3.0, 2.0)])
+        assert rect == Rect(1.0, 2.0, 3.0, 5.0)
+
+    def test_from_point_set(self):
+        ps = PointSet(xs=[0.0, 10.0, 5.0], ys=[-1.0, 4.0, 2.0])
+        assert mbr_of_points(ps) == Rect(0.0, -1.0, 10.0, 4.0)
+
+    def test_single_point(self):
+        rect = mbr_of_points([Point(0, 2.0, 3.0)])
+        assert rect.area == 0.0
+        assert rect.contains(2.0, 3.0)
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            mbr_of_points([])
+
+    def test_empty_point_set_raises(self):
+        with pytest.raises(ValueError):
+            mbr_of_points(PointSet.empty())
+
+
+class TestMBROfArrays:
+    def test_basic(self):
+        assert mbr_of_arrays([1.0, 2.0], [3.0, 0.0]) == Rect(1.0, 0.0, 2.0, 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mbr_of_arrays([], [])
+
+
+class TestUnionMBR:
+    def test_union_of_two(self):
+        merged = union_mbr([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert merged == Rect(0, -1, 3, 1)
+
+    def test_union_single(self):
+        rect = Rect(1, 1, 2, 2)
+        assert union_mbr([rect]) == rect
+
+    def test_union_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_mbr([])
+
+    def test_union_contains_all_inputs(self, rng):
+        rects = []
+        for _ in range(20):
+            x, y = rng.uniform(0, 100, 2)
+            w, h = rng.uniform(1, 10, 2)
+            rects.append(Rect(x, y, x + w, y + h))
+        merged = union_mbr(rects)
+        assert all(merged.contains_rect(r) for r in rects)

@@ -1,0 +1,55 @@
+"""Tests for :class:`repro.geometry.point.Point`."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+
+
+class TestPoint:
+    def test_fields(self):
+        point = Point(pid=3, x=1.5, y=-2.0)
+        assert point.pid == 3
+        assert point.x == 1.5
+        assert point.y == -2.0
+
+    def test_as_tuple(self):
+        assert Point(pid=0, x=2.0, y=3.0).as_tuple() == (2.0, 3.0)
+
+    def test_is_frozen(self):
+        point = Point(pid=0, x=0.0, y=0.0)
+        with pytest.raises(AttributeError):
+            point.x = 5.0  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Point(1, 2.0, 3.0) == Point(1, 2.0, 3.0)
+        assert Point(1, 2.0, 3.0) != Point(2, 2.0, 3.0)
+
+    def test_euclidean_distance(self):
+        a = Point(0, 0.0, 0.0)
+        b = Point(1, 3.0, 4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+        assert b.distance_to(a) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        point = Point(0, 7.0, -2.0)
+        assert point.distance_to(point) == 0.0
+
+    def test_chebyshev_distance(self):
+        a = Point(0, 0.0, 0.0)
+        b = Point(1, 3.0, -7.0)
+        assert a.chebyshev_distance_to(b) == pytest.approx(7.0)
+
+    def test_chebyshev_matches_window_membership(self):
+        # s is inside w(r) with half-extent l iff chebyshev(r, s) <= l.
+        r = Point(0, 100.0, 100.0)
+        s_inside = Point(1, 104.0, 97.0)
+        s_outside = Point(2, 104.0, 89.0)
+        assert r.chebyshev_distance_to(s_inside) <= 5.0
+        assert r.chebyshev_distance_to(s_outside) > 5.0
+
+    def test_distance_is_finite_for_large_values(self):
+        a = Point(0, 1e8, 1e8)
+        b = Point(1, -1e8, -1e8)
+        assert math.isfinite(a.distance_to(b))

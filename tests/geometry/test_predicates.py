@@ -1,0 +1,64 @@
+"""Tests for the vectorised spatial predicates."""
+
+import numpy as np
+
+from repro.geometry.point import Point, PointSet
+from repro.geometry.predicates import (
+    count_in_rect,
+    mask_in_rect,
+    points_in_rect,
+    rect_contains_point,
+    rects_overlap,
+)
+from repro.geometry.rect import Rect
+
+
+def _sample_points() -> PointSet:
+    return PointSet(
+        xs=[0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        ys=[0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        name="diag",
+    )
+
+
+class TestScalarPredicates:
+    def test_rect_contains_point(self):
+        rect = Rect(0.0, 0.0, 2.0, 2.0)
+        assert rect_contains_point(rect, Point(0, 1.0, 1.0))
+        assert not rect_contains_point(rect, Point(1, 3.0, 1.0))
+
+    def test_rects_overlap(self):
+        assert rects_overlap(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3))
+        assert not rects_overlap(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3))
+
+
+class TestVectorisedPredicates:
+    def test_mask_in_rect(self):
+        mask = mask_in_rect(_sample_points(), Rect(1.0, 1.0, 3.0, 3.0))
+        assert mask.tolist() == [False, True, True, True, False, False]
+
+    def test_mask_boundaries_are_closed(self):
+        mask = mask_in_rect(_sample_points(), Rect(2.0, 2.0, 2.0, 2.0))
+        assert mask.sum() == 1
+
+    def test_points_in_rect_returns_positions(self):
+        positions = points_in_rect(_sample_points(), Rect(3.0, 3.0, 10.0, 10.0))
+        assert positions.tolist() == [3, 4, 5]
+
+    def test_count_in_rect(self):
+        assert count_in_rect(_sample_points(), Rect(0.0, 0.0, 10.0, 10.0)) == 6
+        assert count_in_rect(_sample_points(), Rect(10.0, 10.0, 20.0, 20.0)) == 0
+
+    def test_count_matches_mask(self, rng):
+        points = PointSet(xs=rng.uniform(0, 100, 500), ys=rng.uniform(0, 100, 500))
+        rect = Rect(20.0, 30.0, 60.0, 80.0)
+        assert count_in_rect(points, rect) == int(mask_in_rect(points, rect).sum())
+
+    def test_empty_point_set(self):
+        empty = PointSet.empty()
+        assert count_in_rect(empty, Rect(0, 0, 1, 1)) == 0
+        assert points_in_rect(empty, Rect(0, 0, 1, 1)).size == 0
+
+    def test_mask_dtype_is_bool(self):
+        mask = mask_in_rect(_sample_points(), Rect(0, 0, 1, 1))
+        assert mask.dtype == np.bool_

@@ -1,0 +1,117 @@
+"""Tests for :class:`repro.geometry.rect.Rect` and :func:`window_around`."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, window_around
+
+
+class TestRectConstruction:
+    def test_valid_rect(self):
+        rect = Rect(0.0, 0.0, 2.0, 3.0)
+        assert rect.width == 2.0
+        assert rect.height == 3.0
+        assert rect.area == 6.0
+
+    def test_degenerate_point_rect_allowed(self):
+        rect = Rect(1.0, 1.0, 1.0, 1.0)
+        assert rect.area == 0.0
+
+    def test_inverted_rect_raises(self):
+        with pytest.raises(ValueError):
+            Rect(2.0, 0.0, 1.0, 3.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 5.0, 1.0, 3.0)
+
+    def test_center(self):
+        assert Rect(0.0, 0.0, 4.0, 2.0).center() == (2.0, 1.0)
+
+    def test_as_tuple(self):
+        assert Rect(1.0, 2.0, 3.0, 4.0).as_tuple() == (1.0, 2.0, 3.0, 4.0)
+
+
+class TestContainment:
+    def test_contains_interior(self):
+        rect = Rect(0.0, 0.0, 10.0, 10.0)
+        assert rect.contains(5.0, 5.0)
+
+    def test_contains_boundary_closed(self):
+        rect = Rect(0.0, 0.0, 10.0, 10.0)
+        assert rect.contains(0.0, 0.0)
+        assert rect.contains(10.0, 10.0)
+        assert rect.contains(0.0, 10.0)
+
+    def test_does_not_contain_outside(self):
+        rect = Rect(0.0, 0.0, 10.0, 10.0)
+        assert not rect.contains(10.1, 5.0)
+        assert not rect.contains(5.0, -0.1)
+
+    def test_contains_point_object(self):
+        rect = Rect(0.0, 0.0, 10.0, 10.0)
+        assert rect.contains_point(Point(0, 3.0, 3.0))
+        assert not rect.contains_point(Point(1, 30.0, 3.0))
+
+    def test_contains_rect(self):
+        outer = Rect(0.0, 0.0, 10.0, 10.0)
+        inner = Rect(2.0, 2.0, 8.0, 8.0)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_contains_rect_equal(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert rect.contains_rect(rect)
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        a = Rect(0.0, 0.0, 5.0, 5.0)
+        b = Rect(3.0, 3.0, 8.0, 8.0)
+        assert a.intersects(b)
+        overlap = a.intersection(b)
+        assert overlap == Rect(3.0, 3.0, 5.0, 5.0)
+
+    def test_touching_edges_intersect(self):
+        a = Rect(0.0, 0.0, 5.0, 5.0)
+        b = Rect(5.0, 0.0, 10.0, 5.0)
+        assert a.intersects(b)
+        assert a.intersection(b).area == 0.0
+
+    def test_disjoint(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(2.0, 2.0, 3.0, 3.0)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_intersection_symmetry(self):
+        a = Rect(0.0, 0.0, 5.0, 5.0)
+        b = Rect(1.0, -2.0, 3.0, 2.0)
+        assert a.intersection(b) == b.intersection(a)
+
+    def test_expanded(self):
+        rect = Rect(1.0, 1.0, 2.0, 2.0).expanded(0.5)
+        assert rect == Rect(0.5, 0.5, 2.5, 2.5)
+
+    def test_expanded_negative_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0.0, 0.0, 1.0, 1.0).expanded(-1.0)
+
+
+class TestWindowAround:
+    def test_window_geometry(self):
+        window = window_around(100.0, 200.0, 25.0)
+        assert window == Rect(75.0, 175.0, 125.0, 225.0)
+
+    def test_window_matches_paper_parameterisation(self):
+        # The paper sets w(r).xmin = r.x - l etc.; side length is 2l.
+        window = window_around(0.0, 0.0, 100.0)
+        assert window.width == 200.0
+        assert window.height == 200.0
+
+    def test_zero_extent_window_is_a_point(self):
+        window = window_around(3.0, 4.0, 0.0)
+        assert window.area == 0.0
+        assert window.contains(3.0, 4.0)
+
+    def test_negative_extent_raises(self):
+        with pytest.raises(ValueError):
+            window_around(0.0, 0.0, -1.0)

@@ -1,0 +1,109 @@
+"""Tests for :class:`repro.grid.cell.GridCell` and cell keys."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cell import GridCell, cell_key_for
+
+
+def _make_cell() -> GridCell:
+    # Points already sorted by x; ids mirror positions for easy checking.
+    xs = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+    ys = np.array([50.0, 10.0, 30.0, 20.0, 40.0])
+    ids = np.arange(5, dtype=np.int64)
+    return GridCell(key=(0, 0), xs_by_x=xs, ys_by_x=ys, ids_by_x=ids)
+
+
+class TestCellKey:
+    def test_basic(self):
+        assert cell_key_for(250.0, 130.0, 100.0) == (2, 1)
+
+    def test_negative_coordinates(self):
+        assert cell_key_for(-0.5, -100.0, 100.0) == (-1, -1)
+
+    def test_boundary_belongs_to_upper_cell(self):
+        assert cell_key_for(200.0, 0.0, 100.0) == (2, 0)
+
+    def test_zero_cell_size_raises(self):
+        with pytest.raises(ValueError):
+            cell_key_for(1.0, 1.0, 0.0)
+
+
+class TestGridCell:
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            GridCell(
+                key=(0, 0),
+                xs_by_x=np.empty(0),
+                ys_by_x=np.empty(0),
+                ids_by_x=np.empty(0, dtype=np.int64),
+            )
+
+    def test_parallel_array_validation(self):
+        with pytest.raises(ValueError):
+            GridCell(
+                key=(0, 0),
+                xs_by_x=np.array([1.0]),
+                ys_by_x=np.array([1.0, 2.0]),
+                ids_by_x=np.array([0], dtype=np.int64),
+            )
+
+    def test_size(self):
+        assert len(_make_cell()) == 5
+        assert _make_cell().size == 5
+
+    def test_y_sorted_view_is_built(self):
+        cell = _make_cell()
+        assert list(cell.ys_by_y) == sorted(cell.ys_by_x.tolist())
+
+    def test_y_sorted_ids_follow(self):
+        cell = _make_cell()
+        # y order: 10(id1), 20(id3), 30(id2), 40(id4), 50(id0)
+        assert list(cell.ids_by_y) == [1, 3, 2, 4, 0]
+
+    def test_count_x_at_least(self):
+        cell = _make_cell()
+        assert cell.count_x_at_least(3.0) == 3
+        assert cell.count_x_at_least(5.5) == 0
+        assert cell.count_x_at_least(0.0) == 5
+
+    def test_count_x_at_most(self):
+        cell = _make_cell()
+        assert cell.count_x_at_most(3.0) == 3
+        assert cell.count_x_at_most(0.5) == 0
+        assert cell.count_x_at_most(10.0) == 5
+
+    def test_count_y_at_least(self):
+        cell = _make_cell()
+        assert cell.count_y_at_least(30.0) == 3
+        assert cell.count_y_at_least(51.0) == 0
+
+    def test_count_y_at_most(self):
+        cell = _make_cell()
+        assert cell.count_y_at_most(20.0) == 2
+        assert cell.count_y_at_most(5.0) == 0
+
+    def test_kth_x_at_least(self):
+        cell = _make_cell()
+        position = cell.kth_x_at_least(3.0, 0)
+        assert cell.point_by_x_order(position)[1] == 3.0
+        position = cell.kth_x_at_least(3.0, 2)
+        assert cell.point_by_x_order(position)[1] == 5.0
+
+    def test_kth_y_at_least(self):
+        cell = _make_cell()
+        position = cell.kth_y_at_least(30.0, 0)
+        assert cell.point_by_y_order(position)[2] == 30.0
+
+    def test_kth_prefix_helpers(self):
+        cell = _make_cell()
+        assert cell.point_by_x_order(cell.kth_x_at_most(3.0, 1))[1] == 2.0
+        assert cell.point_by_y_order(cell.kth_y_at_most(30.0, 0))[2] == 10.0
+
+    def test_point_accessors_return_ids(self):
+        cell = _make_cell()
+        pid, x, y = cell.point_by_x_order(0)
+        assert (pid, x, y) == (0, 1.0, 50.0)
+
+    def test_nbytes_positive(self):
+        assert _make_cell().nbytes() > 0

@@ -1,0 +1,73 @@
+"""Tests for the 3x3 neighbour classification."""
+
+import pytest
+
+from repro.grid.neighbors import (
+    CASE_CENTER,
+    CASE_CORNER,
+    CASE_EDGE,
+    NEIGHBOR_OFFSETS,
+    NeighborKind,
+    case_of_offset,
+    classify_neighbors,
+)
+
+
+class TestOffsets:
+    def test_nine_kinds(self):
+        assert len(NEIGHBOR_OFFSETS) == 9
+        assert len(set(NEIGHBOR_OFFSETS)) == 9
+
+    def test_offsets_cover_3x3_block(self):
+        offsets = {kind.offset for kind in NEIGHBOR_OFFSETS}
+        expected = {(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)}
+        assert offsets == expected
+
+    def test_center_first(self):
+        assert NEIGHBOR_OFFSETS[0] is NeighborKind.CENTER
+
+
+class TestCases:
+    def test_center_case(self):
+        assert NeighborKind.CENTER.case == CASE_CENTER
+
+    @pytest.mark.parametrize(
+        "kind",
+        [NeighborKind.LEFT, NeighborKind.RIGHT, NeighborKind.DOWN, NeighborKind.UP],
+    )
+    def test_edge_cases(self, kind):
+        assert kind.case == CASE_EDGE
+        assert kind.is_edge
+        assert not kind.is_corner
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            NeighborKind.LOWER_LEFT,
+            NeighborKind.LOWER_RIGHT,
+            NeighborKind.UPPER_LEFT,
+            NeighborKind.UPPER_RIGHT,
+        ],
+    )
+    def test_corner_cases(self, kind):
+        assert kind.case == CASE_CORNER
+        assert kind.is_corner
+        assert not kind.is_edge
+
+    def test_case_counts_match_paper(self):
+        cases = [kind.case for kind in NEIGHBOR_OFFSETS]
+        assert cases.count(CASE_CENTER) == 1
+        assert cases.count(CASE_EDGE) == 4
+        assert cases.count(CASE_CORNER) == 4
+
+    def test_case_of_offset_rejects_far_offsets(self):
+        with pytest.raises(ValueError):
+            case_of_offset((2, 0))
+        with pytest.raises(ValueError):
+            case_of_offset((0, -2))
+
+    def test_classify_neighbors_mapping(self):
+        mapping = classify_neighbors()
+        assert mapping[NeighborKind.CENTER] == CASE_CENTER
+        assert mapping[NeighborKind.UPPER_RIGHT] == CASE_CORNER
+        assert len(mapping) == 9

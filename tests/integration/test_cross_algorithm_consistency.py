@@ -1,0 +1,84 @@
+"""Cross-algorithm consistency checks on a shared medium-sized instance."""
+
+import numpy as np
+import pytest
+
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.cell_kdtree_sampler import CellKDTreeSampler
+from repro.core.full_join import join_size
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+
+SAMPLERS = [KDSSampler, KDSRejectionSampler, BBSTSampler, CellKDTreeSampler]
+
+
+@pytest.fixture(scope="module")
+def shared_results(medium_spec):
+    """One 3000-sample run per algorithm on the same join instance."""
+    return {
+        cls.__name__: cls(medium_spec).sample(3_000, seed=5)
+        for cls in SAMPLERS
+    }
+
+
+def _binned_marginal(result, column: int, size: int, num_bins: int = 25) -> np.ndarray:
+    """Sample frequencies aggregated into coarse index bins.
+
+    Binning keeps the multinomial noise small enough (25 categories over a
+    few thousand draws) that genuinely-different distributions are separable
+    from sampling noise.
+    """
+    counts = np.bincount(result.index_pairs()[:, column], minlength=size).astype(float)
+    edges = np.linspace(0, size, num_bins + 1, dtype=int)
+    binned = np.array([counts[lo:hi].sum() for lo, hi in zip(edges[:-1], edges[1:])])
+    return binned / binned.sum()
+
+
+class TestMarginalAgreement:
+    def test_r_marginals_agree_across_algorithms(self, shared_results, medium_spec):
+        """All algorithms target the same distribution, so the per-r sample
+        frequencies must agree up to sampling noise."""
+        histograms = {
+            name: _binned_marginal(result, 0, medium_spec.n)
+            for name, result in shared_results.items()
+        }
+        names = list(histograms)
+        for other in names[1:]:
+            l1 = np.abs(histograms[names[0]] - histograms[other]).sum()
+            assert l1 < 0.25, f"{other} marginal deviates from {names[0]} (L1={l1:.3f})"
+
+    def test_s_marginals_agree_across_algorithms(self, shared_results, medium_spec):
+        histograms = {
+            name: _binned_marginal(result, 1, medium_spec.m)
+            for name, result in shared_results.items()
+        }
+        names = list(histograms)
+        for other in names[1:]:
+            l1 = np.abs(histograms[names[0]] - histograms[other]).sum()
+            assert l1 < 0.25
+
+    def test_acceptance_based_join_size_estimates_agree(self, shared_results, medium_spec):
+        """Rejection-based algorithms implicitly estimate |J|; all estimates
+        should land near the true size."""
+        true_size = join_size(medium_spec)
+        for name, result in shared_results.items():
+            sum_mu = result.metadata.get("sum_mu")
+            if sum_mu is None:
+                continue
+            estimate = result.acceptance_rate * sum_mu
+            assert estimate == pytest.approx(true_size, rel=0.4), name
+
+
+class TestPhaseTimingsShape:
+    def test_bbst_sampling_phase_is_fast(self, shared_results):
+        """Per-sample cost: BBST's sampling phase should not be slower than
+        KDS's by more than a small factor (in the paper it is ~50x faster)."""
+        bbst = shared_results["BBSTSampler"].timings.sample_seconds
+        kds = shared_results["KDSSampler"].timings.sample_seconds
+        assert bbst < 3.0 * kds
+
+    def test_kds_counting_phase_is_dominant(self, shared_results):
+        """For KDS the exact counting phase dominates the grid-based ones."""
+        kds = shared_results["KDSSampler"].timings
+        bbst = shared_results["BBSTSampler"].timings
+        assert kds.count_seconds > bbst.build_seconds * 0.1

@@ -1,0 +1,91 @@
+"""End-to-end workflows mirroring what a library user would do."""
+
+import numpy as np
+
+from repro import (
+    BBSTSampler,
+    JoinSpec,
+    KDSSampler,
+    load_proxy,
+    spatial_range_join,
+    split_r_s,
+    uniform_points,
+)
+from repro.core.estimation import estimate_join_size_from_upper_bounds, exact_join_size
+from repro.core.validation import validate_sample_result
+
+
+class TestPublicApiWorkflow:
+    def test_readme_quickstart_flow(self):
+        rng = np.random.default_rng(0)
+        points = uniform_points(2_000, rng)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=200.0)
+        result = BBSTSampler(spec).sample(100, seed=0)
+        assert len(result) == 100
+        assert validate_sample_result(spec, result) == []
+
+    def test_proxy_dataset_flow(self):
+        rng = np.random.default_rng(1)
+        points = load_proxy("foursquare", size=2_500)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=300.0)
+        result = BBSTSampler(spec).sample(500, seed=1)
+        assert len(result) == 500
+        assert all(spec.pair_matches(p.r_index, p.s_index) for p in result.pairs)
+
+    def test_density_estimation_use_case(self):
+        """Samples approximate the spatial density of the full join result."""
+        rng = np.random.default_rng(2)
+        points = load_proxy("nyc", size=2_000)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=400.0)
+
+        full_join = spatial_range_join(spec)
+        result = BBSTSampler(spec).sample(4_000, seed=2)
+
+        # Compare the fraction of join pairs whose R endpoint falls in the
+        # left half of the domain, estimated from samples vs computed exactly.
+        r_xs = spec.r_points.xs
+        exact_fraction = np.mean([r_xs[r] < 5_000.0 for r, _s in full_join])
+        sample_fraction = np.mean(
+            [r_xs[pair.r_index] < 5_000.0 for pair in result.pairs]
+        )
+        assert abs(exact_fraction - sample_fraction) < 0.05
+
+    def test_cardinality_estimation_use_case(self):
+        """The acceptance-rate estimator tracks the true join cardinality."""
+        rng = np.random.default_rng(3)
+        points = load_proxy("imis", size=2_500)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=350.0)
+        result = BBSTSampler(spec).sample(3_000, seed=3)
+        estimate = estimate_join_size_from_upper_bounds(
+            result.acceptance_rate, result.metadata["sum_mu"]
+        )
+        truth = exact_join_size(spec)
+        assert 0.6 * truth <= estimate <= 1.6 * truth
+
+    def test_progressive_sampling(self):
+        """Samplers can be called repeatedly, reusing the offline preprocessing."""
+        rng = np.random.default_rng(4)
+        points = uniform_points(1_500, rng)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=300.0)
+        sampler = KDSSampler(spec)
+        first = sampler.sample(100, seed=5)
+        second = sampler.sample(200, seed=6)
+        assert len(first) == 100
+        assert len(second) == 200
+        # Preprocessing ran once: both results carry the same offline time.
+        assert first.timings.preprocess_seconds == second.timings.preprocess_seconds
+
+    def test_symmetric_join_specification(self):
+        """Swapping R and S keeps the same join pairs (with roles swapped)."""
+        rng = np.random.default_rng(5)
+        points = uniform_points(800, rng)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=400.0)
+        forward = {(r, s) for r, s in spatial_range_join(spec)}
+        swapped = {(s, r) for r, s in spatial_range_join(spec.swapped())}
+        assert forward == swapped

@@ -1,0 +1,124 @@
+"""Statistical end-to-end validation: every sampler draws uniformly from J.
+
+These are the most important tests in the suite: they enumerate the join on a
+small instance and verify, with a chi-square goodness-of-fit test, that the
+empirical pair frequencies of every algorithm are consistent with the uniform
+distribution over ``J`` (Theorem 3 and the Section III correctness claims).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.cell_kdtree_sampler import CellKDTreeSampler
+from repro.core.config import JoinSpec
+from repro.core.full_join import spatial_range_join
+from repro.core.join_then_sample import JoinThenSample
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import zipf_cluster_points
+from repro.stats.uniformity import uniformity_report
+
+SAMPLERS = [
+    JoinThenSample,
+    KDSSampler,
+    KDSRejectionSampler,
+    BBSTSampler,
+    CellKDTreeSampler,
+]
+
+
+@pytest.fixture(scope="module")
+def enumerable_spec() -> JoinSpec:
+    """A clustered instance whose join has a few hundred pairs."""
+    rng = np.random.default_rng(202)
+    points = zipf_cluster_points(500, rng, num_clusters=6, skew=1.3, name="uniformity")
+    r_points, s_points = split_r_s(points, rng)
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=80.0)
+
+
+@pytest.fixture(scope="module")
+def enumerated_join(enumerable_spec) -> list[tuple[int, int]]:
+    pairs = spatial_range_join(enumerable_spec)
+    assert 50 <= len(pairs) <= 5_000, "fixture join size drifted outside the testable range"
+    return pairs
+
+
+@pytest.mark.parametrize("sampler_class", SAMPLERS, ids=lambda cls: cls.__name__)
+class TestUniformity:
+    def test_chi_square_consistent_with_uniform(
+        self, sampler_class, enumerable_spec, enumerated_join
+    ):
+        samples_per_pair = 30
+        t = samples_per_pair * len(enumerated_join)
+        result = sampler_class(enumerable_spec).sample(t, seed=77)
+        report = uniformity_report(result, enumerated_join)
+        # A p-value above 0.1% means we cannot reject uniformity; a biased
+        # sampler (e.g. sampling r uniformly instead of by weight) fails this
+        # by many orders of magnitude.
+        assert report.p_value > 1e-3, (
+            f"{sampler_class.__name__} appears non-uniform: "
+            f"chi2={report.chi_square:.1f}, p={report.p_value:.2e}"
+        )
+
+    def test_low_lag_correlation(self, sampler_class, enumerable_spec, enumerated_join):
+        result = sampler_class(enumerable_spec).sample(5_000, seed=78)
+        report = uniformity_report(result, enumerated_join)
+        assert abs(report.lag_correlation) < 0.08
+
+    def test_every_join_pair_eventually_sampled(
+        self, sampler_class, enumerable_spec, enumerated_join
+    ):
+        t = 40 * len(enumerated_join)
+        result = sampler_class(enumerable_spec).sample(t, seed=79)
+        sampled = set(map(tuple, result.index_pairs().tolist()))
+        missing = set(enumerated_join) - sampled
+        # With an expected 40 draws per pair, missing more than a tiny
+        # fraction of pairs indicates a support bias.
+        assert len(missing) <= max(1, 0.01 * len(enumerated_join))
+
+
+class TestBiasedSamplerIsDetected:
+    def test_uniform_r_choice_fails_the_chi_square_test(
+        self, enumerable_spec, enumerated_join
+    ):
+        """Sanity check that the statistical test has power.
+
+        Sampling r uniformly (instead of weighted by |S(w(r))|) and then a
+        uniform in-window s is the intuitive-but-wrong algorithm mentioned in
+        Section III; it must be rejected by the same test the real samplers
+        pass.
+        """
+        from collections import defaultdict
+
+        from repro.core.base import JoinSampleResult, PhaseTimings, SamplePair
+
+        spec = enumerable_spec
+        by_r: dict[int, list[int]] = defaultdict(list)
+        for r_index, s_index in enumerated_join:
+            by_r[r_index].append(s_index)
+        r_candidates = sorted(by_r)
+        rng = np.random.default_rng(80)
+        pairs = []
+        t = 30 * len(enumerated_join)
+        for _ in range(t):
+            r_index = r_candidates[int(rng.integers(len(r_candidates)))]
+            s_index = by_r[r_index][int(rng.integers(len(by_r[r_index])))]
+            pairs.append(
+                SamplePair(
+                    r_id=int(spec.r_points.ids[r_index]),
+                    s_id=int(spec.s_points.ids[s_index]),
+                    r_index=r_index,
+                    s_index=s_index,
+                )
+            )
+        biased = JoinSampleResult(
+            sampler_name="biased",
+            requested=t,
+            pairs=pairs,
+            timings=PhaseTimings(),
+            iterations=t,
+        )
+        report = uniformity_report(biased, enumerated_join)
+        assert report.p_value < 1e-4

@@ -1,0 +1,150 @@
+"""Tests for the kd-tree: construction, counting, reporting, decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import uniform_points, zipf_cluster_points
+from repro.geometry.point import PointSet
+from repro.geometry.predicates import count_in_rect, points_in_rect
+from repro.geometry.rect import Rect, window_around
+from repro.kdtree.tree import KDTree
+
+
+def _random_rect(rng: np.random.Generator) -> Rect:
+    x1, x2 = sorted(rng.uniform(0, 10_000, size=2))
+    y1, y2 = sorted(rng.uniform(0, 10_000, size=2))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = KDTree(PointSet.empty())
+        assert len(tree) == 0
+        assert tree.count(Rect(0, 0, 10, 10)) == 0
+        assert tree.report(Rect(0, 0, 10, 10)).size == 0
+
+    def test_single_point(self):
+        tree = KDTree(PointSet(xs=[5.0], ys=[5.0]))
+        assert tree.count(Rect(0, 0, 10, 10)) == 1
+        assert tree.count(Rect(6, 6, 10, 10)) == 0
+
+    def test_rejects_bad_leaf_size(self, grid_friendly_points):
+        with pytest.raises(ValueError):
+            KDTree(grid_friendly_points, leaf_size=0)
+
+    def test_num_nodes_reasonable(self, grid_friendly_points):
+        tree = KDTree(grid_friendly_points, leaf_size=16)
+        assert 1 <= tree.num_nodes <= 2 * len(grid_friendly_points)
+
+    def test_height_logarithmic(self):
+        rng = np.random.default_rng(0)
+        points = uniform_points(4_096, rng)
+        tree = KDTree(points, leaf_size=16)
+        # 4096 / 16 = 256 leaves -> height around 8; allow generous slack.
+        assert tree.height <= 16
+
+    def test_duplicate_points_supported(self):
+        xs = np.full(100, 5.0)
+        ys = np.full(100, 7.0)
+        tree = KDTree(PointSet(xs=xs, ys=ys), leaf_size=4)
+        assert tree.count(Rect(5.0, 7.0, 5.0, 7.0)) == 100
+        assert tree.count(Rect(0.0, 0.0, 4.9, 6.9)) == 0
+
+    def test_nbytes_positive(self, grid_friendly_points):
+        assert KDTree(grid_friendly_points).nbytes() > 0
+
+
+class TestCounting:
+    @pytest.mark.parametrize("leaf_size", [1, 4, 16, 64])
+    def test_count_matches_brute_force(self, leaf_size):
+        rng = np.random.default_rng(7)
+        points = uniform_points(800, rng)
+        tree = KDTree(points, leaf_size=leaf_size)
+        for _ in range(30):
+            rect = _random_rect(rng)
+            assert tree.count(rect) == count_in_rect(points, rect)
+
+    def test_count_on_clustered_data(self):
+        rng = np.random.default_rng(8)
+        points = zipf_cluster_points(1_000, rng, num_clusters=5, skew=1.5)
+        tree = KDTree(points, leaf_size=8)
+        for _ in range(30):
+            rect = _random_rect(rng)
+            assert tree.count(rect) == count_in_rect(points, rect)
+
+    def test_count_whole_domain(self, grid_friendly_points):
+        tree = KDTree(grid_friendly_points)
+        assert tree.count(Rect(-1, -1, 10_001, 10_001)) == len(grid_friendly_points)
+
+    def test_count_empty_region(self, grid_friendly_points):
+        tree = KDTree(grid_friendly_points)
+        assert tree.count(Rect(20_000, 20_000, 30_000, 30_000)) == 0
+
+    def test_count_degenerate_window(self):
+        points = PointSet(xs=[1.0, 2.0, 2.0], ys=[1.0, 2.0, 2.0])
+        tree = KDTree(points, leaf_size=1)
+        assert tree.count(Rect(2.0, 2.0, 2.0, 2.0)) == 2
+
+
+class TestReporting:
+    def test_report_matches_brute_force(self):
+        rng = np.random.default_rng(9)
+        points = uniform_points(500, rng)
+        tree = KDTree(points, leaf_size=8)
+        for _ in range(20):
+            rect = _random_rect(rng)
+            expected = set(points_in_rect(points, rect).tolist())
+            got = set(tree.report(rect).tolist())
+            assert got == expected
+
+    def test_report_windows_around_points(self):
+        rng = np.random.default_rng(10)
+        points = uniform_points(400, rng)
+        tree = KDTree(points, leaf_size=8)
+        for i in range(0, 400, 37):
+            window = window_around(float(points.xs[i]), float(points.ys[i]), 150.0)
+            reported = set(tree.report(window).tolist())
+            assert i in reported
+            assert reported == set(points_in_rect(points, window).tolist())
+
+
+class TestDecomposition:
+    def test_decomposition_count_matches(self):
+        rng = np.random.default_rng(11)
+        points = uniform_points(600, rng)
+        tree = KDTree(points, leaf_size=16)
+        for _ in range(25):
+            rect = _random_rect(rng)
+            decomposition = tree.decompose(rect)
+            assert decomposition.count == tree.count(rect)
+
+    def test_decomposition_slices_all_inside(self):
+        rng = np.random.default_rng(12)
+        points = uniform_points(600, rng)
+        tree = KDTree(points, leaf_size=16)
+        rect = Rect(2_000, 2_000, 8_000, 8_000)
+        decomposition = tree.decompose(rect)
+        for lo, hi in decomposition.canonical_slices:
+            for position in tree._perm[lo:hi]:
+                assert rect.contains(float(points.xs[position]), float(points.ys[position]))
+
+    def test_boundary_positions_inside(self):
+        rng = np.random.default_rng(13)
+        points = uniform_points(600, rng)
+        tree = KDTree(points, leaf_size=16)
+        rect = Rect(1_000, 1_000, 3_000, 9_000)
+        decomposition = tree.decompose(rect)
+        for position in decomposition.boundary_positions:
+            assert rect.contains(float(points.xs[position]), float(points.ys[position]))
+
+    def test_decomposition_has_no_duplicates(self):
+        rng = np.random.default_rng(14)
+        points = uniform_points(600, rng)
+        tree = KDTree(points, leaf_size=16)
+        rect = Rect(500, 500, 9_500, 9_500)
+        decomposition = tree.decompose(rect)
+        seen: list[int] = []
+        for lo, hi in decomposition.canonical_slices:
+            seen.extend(int(p) for p in tree._perm[lo:hi])
+        seen.extend(decomposition.boundary_positions)
+        assert len(seen) == len(set(seen))

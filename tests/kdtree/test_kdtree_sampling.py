@@ -1,0 +1,107 @@
+"""Tests for independent range sampling on the kd-tree (KDS)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import uniform_points
+from repro.geometry.point import PointSet
+from repro.geometry.predicates import points_in_rect
+from repro.geometry.rect import Rect
+from repro.kdtree.sampling import KDSRangeSampler
+from repro.kdtree.tree import KDTree
+
+
+class TestTreeSampling:
+    def test_sample_from_empty_range_is_none(self, rng):
+        points = uniform_points(200, rng)
+        tree = KDTree(points)
+        assert tree.sample(Rect(20_000, 20_000, 21_000, 21_000), rng) is None
+
+    def test_sample_always_inside_range(self, rng):
+        points = uniform_points(400, rng)
+        tree = KDTree(points, leaf_size=8)
+        rect = Rect(1_000, 1_000, 6_000, 6_000)
+        for _ in range(200):
+            position = tree.sample(rect, rng)
+            assert position is not None
+            assert rect.contains(float(points.xs[position]), float(points.ys[position]))
+
+    def test_sample_many_with_replacement(self, rng):
+        points = uniform_points(50, rng)
+        tree = KDTree(points, leaf_size=4)
+        rect = Rect(0, 0, 10_000, 10_000)
+        samples = tree.sample_many(rect, 500, rng)
+        assert samples.shape == (500,)
+        # With replacement over 50 points, 500 draws must repeat some point.
+        assert len(np.unique(samples)) < 500
+
+    def test_sample_many_empty_range(self, rng):
+        points = uniform_points(50, rng)
+        tree = KDTree(points)
+        assert tree.sample_many(Rect(20_000, 20_000, 21_000, 21_000), 10, rng).size == 0
+
+    def test_sample_many_negative_raises(self, rng):
+        points = uniform_points(50, rng)
+        tree = KDTree(points)
+        with pytest.raises(ValueError):
+            tree.sample_many(Rect(0, 0, 1, 1), -1, rng)
+
+    def test_sampling_is_uniform_over_range(self):
+        """Empirical check of the KDS guarantee: each in-range point has probability 1/k."""
+        rng = np.random.default_rng(42)
+        points = PointSet(
+            xs=np.arange(20, dtype=float), ys=np.zeros(20), name="line"
+        )
+        tree = KDTree(points, leaf_size=2)
+        rect = Rect(4.5, -1.0, 14.5, 1.0)  # contains points 5..14 -> 10 points
+        in_range = set(points_in_rect(points, rect).tolist())
+        assert len(in_range) == 10
+        draws = [tree.sample(rect, rng) for _ in range(20_000)]
+        counts = np.bincount(draws, minlength=20)
+        for position in range(20):
+            if position in in_range:
+                assert counts[position] == pytest.approx(2_000, rel=0.15)
+            else:
+                assert counts[position] == 0
+
+
+class TestKDSRangeSampler:
+    def test_counts_match_tree(self, rng):
+        points = uniform_points(300, rng)
+        sampler = KDSRangeSampler(points)
+        rect = Rect(100, 100, 5_000, 5_000)
+        assert sampler.range_count(rect) == sampler.tree.count(rect)
+
+    def test_report_positions(self, rng):
+        points = uniform_points(300, rng)
+        sampler = KDSRangeSampler(points)
+        rect = Rect(0, 0, 3_000, 3_000)
+        assert set(sampler.range_report(rect).tolist()) == set(
+            points_in_rect(points, rect).tolist()
+        )
+
+    def test_sample_point_returns_point_object(self, rng):
+        points = uniform_points(300, rng)
+        sampler = KDSRangeSampler(points)
+        rect = Rect(0, 0, 10_000, 10_000)
+        point = sampler.sample_point(rect, rng)
+        assert point is not None
+        assert rect.contains(point.x, point.y)
+
+    def test_sample_point_empty_range(self, rng):
+        points = uniform_points(100, rng)
+        sampler = KDSRangeSampler(points)
+        assert sampler.sample_point(Rect(20_000, 20_000, 20_001, 20_001), rng) is None
+
+    def test_len_and_nbytes(self, rng):
+        points = uniform_points(100, rng)
+        sampler = KDSRangeSampler(points)
+        assert len(sampler) == 100
+        assert sampler.nbytes() > 0
+        assert sampler.points is points
+
+    def test_sample_positions_batch(self, rng):
+        points = uniform_points(100, rng)
+        sampler = KDSRangeSampler(points)
+        rect = Rect(0, 0, 10_000, 10_000)
+        assert sampler.sample_positions(rect, 25, rng).shape == (25,)

@@ -1,0 +1,48 @@
+"""Property-based tests for the weighted-sampling structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alias.walker import AliasTable, CumulativeTable
+
+weight_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=64,
+).filter(lambda ws: sum(ws) > 0)
+
+
+class TestAliasProperties:
+    @given(weights=weight_lists)
+    @settings(max_examples=100)
+    def test_probabilities_reconstruct_weights(self, weights):
+        table = AliasTable(weights)
+        probs = table.probabilities()
+        expected = np.asarray(weights) / np.sum(weights)
+        assert np.allclose(probs, expected, atol=1e-9)
+
+    @given(weights=weight_lists, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60)
+    def test_draws_never_hit_zero_weights(self, weights, seed):
+        table = AliasTable(weights)
+        rng = np.random.default_rng(seed)
+        draws = table.draw_many(200, rng)
+        for index in np.unique(draws):
+            assert weights[int(index)] > 0
+
+    @given(weights=weight_lists)
+    @settings(max_examples=60)
+    def test_total_weight_matches_sum(self, weights):
+        assert np.isclose(AliasTable(weights).total_weight, float(np.sum(weights)))
+
+    @given(weights=weight_lists, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40)
+    def test_alias_and_cumulative_support_agree(self, weights, seed):
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed + 1)
+        alias_draws = set(AliasTable(weights).draw_many(300, rng_a).tolist())
+        cumulative_draws = set(CumulativeTable(weights).draw_many(300, rng_b).tolist())
+        support = {i for i, w in enumerate(weights) if w > 0}
+        assert alias_draws <= support
+        assert cumulative_draws <= support

@@ -1,0 +1,133 @@
+"""Property-based tests for the BBST and the upper-bounding invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bbst.bucket import build_buckets
+from repro.bbst.cell_index import CellIndex
+from repro.bbst.join_index import BBSTJoinIndex
+from repro.bbst.tree import BBST, KeyMode, YCondition
+from repro.geometry.point import PointSet
+from repro.geometry.predicates import count_in_rect
+from repro.geometry.rect import Rect
+from repro.grid.cell import GridCell
+from repro.grid.neighbors import NeighborKind
+
+coordinate = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def cell_points(draw, min_size=1, max_size=120):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    xs = np.sort(np.asarray(draw(st.lists(coordinate, min_size=n, max_size=n))))
+    ys = np.asarray(draw(st.lists(coordinate, min_size=n, max_size=n)))
+    return GridCell(
+        key=(0, 0), xs_by_x=xs, ys_by_x=ys, ids_by_x=np.arange(n, dtype=np.int64)
+    )
+
+
+def _brute_bucket_count(buckets, key_mode, x_bound, y_condition, y_bound):
+    count = 0
+    for bucket in buckets:
+        key = bucket.min_x if key_mode is KeyMode.MIN_X else bucket.max_x
+        x_ok = key >= x_bound if key_mode is KeyMode.MAX_X else key <= x_bound
+        if y_condition is YCondition.MAX_Y_AT_LEAST:
+            y_ok = bucket.max_y >= y_bound
+        else:
+            y_ok = bucket.min_y <= y_bound
+        if x_ok and y_ok:
+            count += 1
+    return count
+
+
+class TestBBSTCountProperties:
+    @given(
+        cell=cell_points(),
+        capacity=st.integers(min_value=1, max_value=12),
+        x_bound=coordinate,
+        y_bound=coordinate,
+        key_mode=st.sampled_from(list(KeyMode)),
+        y_condition=st.sampled_from(list(YCondition)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_count_matches_brute_force(
+        self, cell, capacity, x_bound, y_bound, key_mode, y_condition
+    ):
+        buckets = build_buckets(cell, capacity)
+        tree = BBST(buckets, key_mode)
+        assert tree.count_buckets(x_bound, y_condition, y_bound) == _brute_bucket_count(
+            buckets, key_mode, x_bound, y_condition, y_bound
+        )
+
+    @given(
+        cell=cell_points(),
+        capacity=st.integers(min_value=1, max_value=12),
+        x_bound=coordinate,
+        y_bound=coordinate,
+        key_mode=st.sampled_from(list(KeyMode)),
+        y_condition=st.sampled_from(list(YCondition)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_runs_have_no_duplicate_buckets(
+        self, cell, capacity, x_bound, y_bound, key_mode, y_condition
+    ):
+        buckets = build_buckets(cell, capacity)
+        tree = BBST(buckets, key_mode)
+        runs = tree.qualifying_runs(x_bound, y_condition, y_bound)
+        seen = [run.bucket_at(i) for run in runs for i in range(len(run))]
+        assert len(seen) == len(set(seen))
+
+
+class TestCornerUpperBoundProperties:
+    @given(
+        cell=cell_points(min_size=2),
+        capacity=st.integers(min_value=1, max_value=10),
+        kind=st.sampled_from(
+            [
+                NeighborKind.LOWER_LEFT,
+                NeighborKind.LOWER_RIGHT,
+                NeighborKind.UPPER_LEFT,
+                NeighborKind.UPPER_RIGHT,
+            ]
+        ),
+        x1=coordinate,
+        x2=coordinate,
+        y1=coordinate,
+        y2=coordinate,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_upper_bound_dominates_window_count(
+        self, cell, capacity, kind, x1, x2, y1, y2
+    ):
+        """mu(r, c) >= |cell points inside the window| for any window."""
+        window = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        index = CellIndex(cell, bucket_capacity=capacity)
+        inside = int(
+            (
+                (cell.xs_by_x >= window.xmin)
+                & (cell.xs_by_x <= window.xmax)
+                & (cell.ys_by_x >= window.ymin)
+                & (cell.ys_by_x <= window.ymax)
+            ).sum()
+        )
+        assert index.corner_upper_bound(kind, window) >= inside
+
+
+class TestJoinIndexProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=80),
+        half_extent=st.floats(min_value=5.0, max_value=60.0),
+        qx=coordinate,
+        qy=coordinate,
+        seed=st.integers(0, 1_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_upper_bound_dominates_window_count(self, n, half_extent, qx, qy, seed):
+        rng = np.random.default_rng(seed)
+        points = PointSet(
+            xs=np.sort(rng.uniform(0, 100, n)), ys=rng.uniform(0, 100, n), name="S"
+        )
+        index = BBSTJoinIndex(points, half_extent=half_extent)
+        window = index.window_for(qx, qy)
+        assert index.upper_bound(qx, qy) >= count_in_rect(points, window)

@@ -1,0 +1,64 @@
+"""Property-based tests for the geometry primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect, window_around
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+extent = st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+
+def rect_strategy():
+    return st.builds(
+        lambda x1, x2, y1, y2: Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)),
+        finite,
+        finite,
+        finite,
+        finite,
+    )
+
+
+class TestWindowProperties:
+    @given(x=finite, y=finite, half=extent)
+    def test_window_contains_its_centre(self, x, y, half):
+        assert window_around(x, y, half).contains(x, y)
+
+    @given(x=finite, y=finite, half=extent)
+    def test_window_dimensions(self, x, y, half):
+        window = window_around(x, y, half)
+        assert window.width >= 0
+        assert abs(window.width - 2 * half) < 1e-6 * max(1.0, abs(x))
+        assert abs(window.height - 2 * half) < 1e-6 * max(1.0, abs(y))
+
+    @given(x=finite, y=finite, half=extent, px=finite, py=finite)
+    def test_window_membership_equals_chebyshev(self, x, y, half, px, py):
+        window = window_around(x, y, half)
+        chebyshev = max(abs(px - x), abs(py - y))
+        if chebyshev < half * (1 - 1e-12) - 1e-9:
+            assert window.contains(px, py)
+        if chebyshev > half * (1 + 1e-12) + 1e-9:
+            assert not window.contains(px, py)
+
+
+class TestRectProperties:
+    @given(a=rect_strategy(), b=rect_strategy())
+    def test_intersection_symmetry(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(a=rect_strategy(), b=rect_strategy())
+    def test_intersection_contained_in_both(self, a, b):
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains_rect(overlap)
+            assert b.contains_rect(overlap)
+
+    @given(a=rect_strategy())
+    def test_rect_contains_itself(self, a):
+        assert a.contains_rect(a)
+        assert a.intersects(a)
+
+    @given(a=rect_strategy(), margin=st.floats(min_value=0, max_value=1e4))
+    @settings(max_examples=50)
+    def test_expansion_contains_original(self, a, margin):
+        assert a.expanded(margin).contains_rect(a)

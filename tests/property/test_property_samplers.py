@@ -1,0 +1,87 @@
+"""Property-based tests at the sampler level.
+
+Random small join instances are generated and every sampler must return the
+requested number of pairs, all of which are genuine join pairs.  This is the
+end-to-end analogue of the per-structure properties.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.cell_kdtree_sampler import CellKDTreeSampler
+from repro.core.config import JoinSpec
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+from repro.geometry.point import PointSet
+
+coordinate = st.floats(min_value=0.0, max_value=500.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def join_instance(draw):
+    """A random join instance guaranteed to have at least one pair."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    m = draw(st.integers(min_value=1, max_value=40))
+    half_extent = draw(st.floats(min_value=5.0, max_value=200.0))
+    r_xs = draw(st.lists(coordinate, min_size=n, max_size=n))
+    r_ys = draw(st.lists(coordinate, min_size=n, max_size=n))
+    s_xs = draw(st.lists(coordinate, min_size=m, max_size=m))
+    s_ys = draw(st.lists(coordinate, min_size=m, max_size=m))
+    # Force at least one join pair by duplicating an R location into S.
+    s_xs[0] = r_xs[0]
+    s_ys[0] = r_ys[0]
+    return JoinSpec(
+        r_points=PointSet(xs=r_xs, ys=r_ys, name="R"),
+        s_points=PointSet(xs=s_xs, ys=s_ys, name="S"),
+        half_extent=half_extent,
+    )
+
+
+SAMPLERS = [KDSSampler, KDSRejectionSampler, BBSTSampler, CellKDTreeSampler]
+
+
+class TestSamplerProperties:
+    @given(
+        spec=join_instance(),
+        t=st.integers(min_value=0, max_value=60),
+        seed=st.integers(0, 2**31),
+        sampler_index=st.integers(0, len(SAMPLERS) - 1),
+    )
+    @settings(
+        max_examples=80,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_samples_are_valid_join_pairs(self, spec, t, seed, sampler_index):
+        sampler = SAMPLERS[sampler_index](spec)
+        result = sampler.sample(t, seed=seed)
+        assert len(result) == t
+        for pair in result.pairs:
+            assert spec.pair_matches(pair.r_index, pair.s_index)
+        assert result.iterations >= t
+
+    @given(spec=join_instance(), seed=st.integers(0, 2**31))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_bbst_upper_bound_dominates_join_size(self, spec, seed):
+        from repro.core.full_join import join_size
+
+        result = BBSTSampler(spec).sample(5, seed=seed)
+        assert result.metadata["sum_mu"] >= join_size(spec)
+
+    @given(spec=join_instance(), seed=st.integers(0, 2**31))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_determinism_across_sampler_reuse(self, spec, seed):
+        sampler = BBSTSampler(spec)
+        first = sampler.sample(10, seed=seed)
+        second = BBSTSampler(spec).sample(10, seed=seed)
+        assert first.id_pairs() == second.id_pairs()

@@ -1,0 +1,92 @@
+"""Tests for the 2-D range tree comparator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import uniform_points, zipf_cluster_points
+from repro.geometry.point import PointSet
+from repro.geometry.predicates import count_in_rect, points_in_rect
+from repro.geometry.rect import Rect
+from repro.kdtree.tree import KDTree
+from repro.rangetree.tree import RangeTree2D
+
+
+def _random_rect(rng: np.random.Generator) -> Rect:
+    x1, x2 = sorted(rng.uniform(0, 10_000, size=2))
+    y1, y2 = sorted(rng.uniform(0, 10_000, size=2))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = RangeTree2D(PointSet.empty())
+        assert len(tree) == 0
+        assert tree.count(Rect(0, 0, 1, 1)) == 0
+        assert tree.report(Rect(0, 0, 1, 1)).size == 0
+
+    def test_single_point(self):
+        tree = RangeTree2D(PointSet(xs=[1.0], ys=[2.0]))
+        assert tree.count(Rect(0, 0, 2, 3)) == 1
+        assert tree.count(Rect(2, 2, 3, 3)) == 0
+
+    def test_rejects_bad_leaf_size(self, grid_friendly_points):
+        with pytest.raises(ValueError):
+            RangeTree2D(grid_friendly_points, leaf_size=0)
+
+    def test_duplicate_x_coordinates(self):
+        points = PointSet(xs=np.full(50, 3.0), ys=np.arange(50, dtype=float))
+        tree = RangeTree2D(points, leaf_size=4)
+        assert tree.count(Rect(3.0, 10.0, 3.0, 19.0)) == 10
+
+    def test_num_nodes_positive(self, grid_friendly_points):
+        assert RangeTree2D(grid_friendly_points).num_nodes >= 1
+
+
+class TestCounting:
+    def test_count_matches_brute_force_uniform(self):
+        rng = np.random.default_rng(3)
+        points = uniform_points(700, rng)
+        tree = RangeTree2D(points, leaf_size=8)
+        for _ in range(40):
+            rect = _random_rect(rng)
+            assert tree.count(rect) == count_in_rect(points, rect)
+
+    def test_count_matches_brute_force_clustered(self):
+        rng = np.random.default_rng(4)
+        points = zipf_cluster_points(900, rng, num_clusters=4, skew=1.5)
+        tree = RangeTree2D(points, leaf_size=8)
+        for _ in range(40):
+            rect = _random_rect(rng)
+            assert tree.count(rect) == count_in_rect(points, rect)
+
+    def test_agrees_with_kdtree(self):
+        rng = np.random.default_rng(5)
+        points = uniform_points(500, rng)
+        range_tree = RangeTree2D(points)
+        kd_tree = KDTree(points)
+        for _ in range(30):
+            rect = _random_rect(rng)
+            assert range_tree.count(rect) == kd_tree.count(rect)
+
+    def test_report_matches_brute_force(self):
+        rng = np.random.default_rng(6)
+        points = uniform_points(400, rng)
+        tree = RangeTree2D(points, leaf_size=8)
+        for _ in range(20):
+            rect = _random_rect(rng)
+            assert set(tree.report(rect).tolist()) == set(points_in_rect(points, rect).tolist())
+
+
+class TestSpace:
+    def test_superlinear_space_compared_to_kdtree(self):
+        """The range tree's footprint grows faster than the kd-tree's (why it OOMs in the paper)."""
+        rng = np.random.default_rng(7)
+        points = uniform_points(4_000, rng)
+        range_tree = RangeTree2D(points, leaf_size=8)
+        kd_tree = KDTree(points, leaf_size=8)
+        assert range_tree.nbytes() > 2 * kd_tree.nbytes()
+
+    def test_nbytes_grows_with_points(self, rng):
+        small = RangeTree2D(uniform_points(500, rng))
+        large = RangeTree2D(uniform_points(2_000, rng))
+        assert large.nbytes() > small.nbytes()

@@ -1,0 +1,64 @@
+"""Tests for the counting-accuracy metrics (Section V-B)."""
+
+import pytest
+
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.config import JoinSpec
+from repro.core.kds_sampler import KDSSampler
+from repro.geometry.point import PointSet
+from repro.stats.accuracy import (
+    acceptance_rate,
+    counting_accuracy_report,
+    empirical_upper_bound_ratio,
+)
+
+
+class TestAcceptanceRate:
+    def test_matches_result_property(self, small_uniform_spec):
+        result = BBSTSampler(small_uniform_spec).sample(200, seed=0)
+        assert acceptance_rate(result) == result.acceptance_rate
+
+    def test_kds_acceptance_is_one(self, small_uniform_spec):
+        result = KDSSampler(small_uniform_spec).sample(100, seed=1)
+        assert acceptance_rate(result) == pytest.approx(1.0)
+
+
+class TestEmpiricalRatio:
+    def test_ratio_at_least_one(self, small_clustered_spec):
+        result = BBSTSampler(small_clustered_spec).sample(500, seed=2)
+        assert empirical_upper_bound_ratio(result) >= 1.0
+
+    def test_requires_accepted_samples(self, small_uniform_spec):
+        result = BBSTSampler(small_uniform_spec).sample(0, seed=3)
+        with pytest.raises(ValueError):
+            empirical_upper_bound_ratio(result)
+
+
+class TestCountingAccuracyReport:
+    def test_report_fields(self, small_clustered_spec):
+        report = counting_accuracy_report(small_clustered_spec, dataset="clustered")
+        assert report.dataset == "clustered"
+        assert report.join_size > 0
+        assert report.sum_mu >= report.join_size
+        assert report.ratio >= 1.0
+        assert report.relative_error == pytest.approx(report.ratio - 1.0)
+
+    def test_empty_join_rejected(self):
+        r_points = PointSet(xs=[0.0, 1.0], ys=[0.0, 1.0])
+        s_points = PointSet(xs=[9_000.0, 9_001.0], ys=[9_000.0, 9_001.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=1.0)
+        with pytest.raises(ValueError):
+            counting_accuracy_report(spec)
+
+    def test_ratio_improves_with_denser_cells(self, rng):
+        """Denser cells (relative to the bucket size) give tighter bounds."""
+        from repro.datasets.partition import split_r_s
+        from repro.datasets.synthetic import uniform_points
+
+        points = uniform_points(3_000, rng)
+        r_points, s_points = split_r_s(points, rng)
+        sparse = JoinSpec(r_points=r_points, s_points=s_points, half_extent=150.0)
+        dense = JoinSpec(r_points=r_points, s_points=s_points, half_extent=1_200.0)
+        sparse_ratio = counting_accuracy_report(sparse).ratio
+        dense_ratio = counting_accuracy_report(dense).ratio
+        assert dense_ratio <= sparse_ratio

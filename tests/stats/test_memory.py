@@ -1,0 +1,48 @@
+"""Tests for the memory accounting helpers (Fig. 4 substrate)."""
+
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.kds_sampler import KDSSampler
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points
+from repro.core.config import JoinSpec
+from repro.stats.memory import MemoryReport, index_memory_report
+
+
+class TestMemoryReport:
+    def test_units(self):
+        report = MemoryReport(sampler_name="x", dataset_points=1_000, index_bytes=2**20)
+        assert report.index_megabytes == 1.0
+        assert report.bytes_per_point == 2**20 / 1_000
+
+    def test_zero_points(self):
+        report = MemoryReport(sampler_name="x", dataset_points=0, index_bytes=10)
+        assert report.bytes_per_point == 0.0
+
+
+class TestIndexMemoryReport:
+    def test_reports_positive_footprint(self, small_uniform_spec):
+        report = index_memory_report(KDSSampler(small_uniform_spec))
+        assert report.index_bytes > 0
+        assert report.sampler_name == "KDS"
+        assert report.dataset_points == small_uniform_spec.m
+
+    def test_bbst_footprint_positive(self, small_uniform_spec):
+        report = index_memory_report(BBSTSampler(small_uniform_spec))
+        assert report.index_bytes > 0
+
+    def test_memory_scales_roughly_linearly(self):
+        """Both indexes are O(m): doubling the data should not 4x the footprint."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        small_points = uniform_points(2_000, rng)
+        large_points = uniform_points(4_000, rng)
+        specs = []
+        for points in (small_points, large_points):
+            r_points, s_points = split_r_s(points, rng)
+            specs.append(JoinSpec(r_points=r_points, s_points=s_points, half_extent=300.0))
+        for sampler_class in (KDSSampler, BBSTSampler):
+            small_bytes = index_memory_report(sampler_class(specs[0])).index_bytes
+            large_bytes = index_memory_report(sampler_class(specs[1])).index_bytes
+            assert large_bytes < 3.5 * small_bytes
+            assert large_bytes > 1.2 * small_bytes

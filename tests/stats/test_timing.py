@@ -1,0 +1,50 @@
+"""Tests for the timing helpers."""
+
+import time
+
+import pytest
+
+from repro.stats.timing import Timer, repeat_timing
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.005
+
+    def test_zero_work_is_fast(self):
+        with Timer() as timer:
+            pass
+        assert timer.seconds < 0.1
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.seconds
+        with timer:
+            time.sleep(0.01)
+        assert timer.seconds >= first
+
+
+class TestRepeatTiming:
+    def test_returns_last_result(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            return len(calls)
+
+        result, summary = repeat_timing(work, repeats=3)
+        assert result == 3
+        assert len(calls) == 3
+        assert set(summary) == {"min_seconds", "mean_seconds", "max_seconds"}
+
+    def test_summary_ordering(self):
+        _result, summary = repeat_timing(lambda: time.sleep(0.001), repeats=3)
+        assert summary["min_seconds"] <= summary["mean_seconds"] <= summary["max_seconds"]
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            repeat_timing(lambda: None, repeats=0)

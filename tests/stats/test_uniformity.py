@@ -1,0 +1,109 @@
+"""Tests for the uniformity / independence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.full_join import spatial_range_join
+from repro.core.join_then_sample import JoinThenSample
+from repro.stats.uniformity import (
+    chi_square_uniformity,
+    empirical_pair_frequencies,
+    independence_lag_correlation,
+    uniformity_report,
+)
+
+
+def _result_from_index_pairs(pairs):
+    sample_pairs = [
+        SamplePair(r_id=r, s_id=s, r_index=r, s_index=s) for r, s in pairs
+    ]
+    return JoinSampleResult(
+        sampler_name="synthetic",
+        requested=len(pairs),
+        pairs=sample_pairs,
+        timings=PhaseTimings(),
+        iterations=len(pairs),
+    )
+
+
+class TestEmpiricalFrequencies:
+    def test_counts_match(self):
+        join_pairs = [(0, 0), (0, 1), (1, 1)]
+        result = _result_from_index_pairs([(0, 0), (0, 0), (1, 1)])
+        counts = empirical_pair_frequencies(result, join_pairs)
+        assert counts.tolist() == [2, 0, 1]
+
+    def test_foreign_pair_rejected(self):
+        join_pairs = [(0, 0)]
+        result = _result_from_index_pairs([(5, 5)])
+        with pytest.raises(ValueError):
+            empirical_pair_frequencies(result, join_pairs)
+
+
+class TestChiSquare:
+    def test_uniform_counts_high_p_value(self):
+        statistic, p_value = chi_square_uniformity(np.full(50, 100))
+        assert statistic == pytest.approx(0.0)
+        assert p_value == pytest.approx(1.0)
+
+    def test_skewed_counts_low_p_value(self):
+        counts = np.full(50, 100)
+        counts[0] = 1_000
+        _statistic, p_value = chi_square_uniformity(counts)
+        assert p_value < 1e-6
+
+    def test_requires_two_categories(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity(np.array([5]))
+
+    def test_requires_non_zero_counts(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity(np.zeros(5))
+
+    def test_random_uniform_counts_usually_pass(self, rng):
+        counts = rng.multinomial(20_000, np.full(40, 1 / 40))
+        _stat, p_value = chi_square_uniformity(counts)
+        assert p_value > 1e-4
+
+
+class TestLagCorrelation:
+    def test_independent_draws_have_low_correlation(self, rng):
+        pairs = [(int(r), int(s)) for r, s in rng.integers(0, 30, size=(5_000, 2))]
+        correlation = independence_lag_correlation(_result_from_index_pairs(pairs))
+        assert abs(correlation) < 0.05
+
+    def test_identical_draws_have_zero_variance(self):
+        result = _result_from_index_pairs([(1, 1)] * 50)
+        assert independence_lag_correlation(result) == 0.0
+
+    def test_strongly_correlated_sequence_detected(self):
+        pairs = [(i % 30, i % 30) for i in range(1_000)]
+        correlation = independence_lag_correlation(_result_from_index_pairs(pairs))
+        assert correlation > 0.5
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            independence_lag_correlation(_result_from_index_pairs([(0, 0)]))
+
+    def test_bad_lag_rejected(self):
+        result = _result_from_index_pairs([(0, 0)] * 10)
+        with pytest.raises(ValueError):
+            independence_lag_correlation(result, lag=0)
+
+
+class TestUniformityReport:
+    def test_report_for_exact_sampler(self, small_uniform_spec):
+        join_pairs = spatial_range_join(small_uniform_spec)
+        result = JoinThenSample(small_uniform_spec).sample(5_000, seed=0)
+        report = uniformity_report(result, join_pairs)
+        assert report.join_size == len(join_pairs)
+        assert report.num_samples == 5_000
+        assert report.looks_uniform
+
+    def test_report_detects_biased_sampler(self, tiny_spec):
+        join_pairs = spatial_range_join(tiny_spec)
+        biased = _result_from_index_pairs([join_pairs[0]] * 500 + [join_pairs[1]] * 10)
+        report = uniformity_report(biased, join_pairs)
+        assert not report.looks_uniform
+        assert report.max_absolute_deviation > 1.0
