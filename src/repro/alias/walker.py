@@ -12,6 +12,15 @@ time and space for ``k`` weights, O(1) time per draw.  A simpler
 :class:`CumulativeTable` (binary search over the prefix sums, O(log k) per
 draw) is provided as a cross-check and as the small-``k`` fallback used in
 tests.
+
+The default construction is *vectorised*: instead of popping one
+(small, large) pair per step off Python-list worklists, it pairs all current
+small columns with large columns elementwise per round with numpy array
+operations.  Every round finalises ``min(#small, #large)`` columns, so the
+construction performs the same O(k) total work as Walker's sequential
+algorithm but in a handful of vectorised rounds on realistic weight vectors.
+The sequential construction is kept behind ``construction="scalar"`` for
+differential testing.
 """
 
 from __future__ import annotations
@@ -23,6 +32,68 @@ import numpy as np
 __all__ = ["AliasTable", "CumulativeTable"]
 
 
+def _build_tables_scalar(scaled: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Walker's sequential worklist construction (the differential reference)."""
+    k = scaled.size
+    prob = np.ones(k, dtype=np.float64)
+    alias = np.arange(k, dtype=np.int64)
+    small = [i for i in range(k) if scaled[i] < 1.0]
+    large = [i for i in range(k) if scaled[i] >= 1.0]
+    scaled = scaled.copy()
+    while small and large:
+        s = small.pop()
+        g = large.pop()
+        prob[s] = scaled[s]
+        alias[s] = g
+        scaled[g] = (scaled[g] + scaled[s]) - 1.0
+        if scaled[g] < 1.0:
+            small.append(g)
+        else:
+            large.append(g)
+    # Numerical leftovers: every remaining column keeps probability 1 of
+    # returning itself.
+    for i in small + large:
+        prob[i] = 1.0
+        alias[i] = i
+    return prob, alias
+
+
+def _build_tables_vectorized(scaled: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Round-based vectorised construction of the two tables.
+
+    Each round pairs the current small columns with large columns
+    elementwise: every paired small column is finalised (its probability and
+    alias are fixed), every paired large column absorbs its partner's deficit
+    and is re-classified.  A round therefore finalises
+    ``min(#small, #large)`` columns with a constant number of numpy
+    operations, matching the sequential algorithm's invariants exactly (a
+    large column's residual never drops below 0 because deficits are at most
+    1 while its residual is at least 1).
+    """
+    k = scaled.size
+    prob = np.ones(k, dtype=np.float64)
+    alias = np.arange(k, dtype=np.int64)
+    residual = scaled.astype(np.float64, copy=True)
+    small = np.flatnonzero(residual < 1.0)
+    large = np.flatnonzero(residual >= 1.0)
+    while small.size and large.size:
+        paired = min(small.size, large.size)
+        s = small[:paired]
+        g = large[:paired]
+        prob[s] = residual[s]
+        alias[s] = g
+        residual[g] -= 1.0 - residual[s]
+        refilled = residual[g] < 1.0
+        small = np.concatenate((small[paired:], g[refilled]))
+        large = np.concatenate((g[~refilled], large[paired:]))
+    # Numerical leftovers: every remaining column keeps probability 1 of
+    # returning itself (its residual is 1 up to float rounding).
+    rest = np.concatenate((small, large))
+    prob[rest] = 1.0
+    alias[rest] = rest
+    return prob, alias
+
+
 class AliasTable:
     """Walker's alias structure over a non-negative weight vector.
 
@@ -30,6 +101,12 @@ class AliasTable:
     ----------
     weights:
         Non-negative weights; at least one must be strictly positive.
+    construction:
+        ``"vectorized"`` (default) builds the two tables with numpy rounds;
+        ``"scalar"`` uses Walker's sequential worklist algorithm.  Both yield
+        a table whose implied per-index probabilities equal
+        ``weights / sum(weights)`` exactly (up to float rounding); they are
+        kept side by side for differential testing.
 
     Notes
     -----
@@ -39,7 +116,11 @@ class AliasTable:
 
     __slots__ = ("_prob", "_alias", "_total", "_size")
 
-    def __init__(self, weights: Sequence[float] | np.ndarray) -> None:
+    def __init__(
+        self,
+        weights: Sequence[float] | np.ndarray,
+        construction: str = "vectorized",
+    ) -> None:
         w = np.asarray(weights, dtype=np.float64)
         if w.ndim != 1:
             raise ValueError("weights must be one-dimensional")
@@ -53,27 +134,14 @@ class AliasTable:
 
         k = w.size
         scaled = w * (k / total)
-        prob = np.ones(k, dtype=np.float64)
-        alias = np.arange(k, dtype=np.int64)
-
-        small = [i for i in range(k) if scaled[i] < 1.0]
-        large = [i for i in range(k) if scaled[i] >= 1.0]
-        scaled = scaled.copy()
-        while small and large:
-            s = small.pop()
-            g = large.pop()
-            prob[s] = scaled[s]
-            alias[s] = g
-            scaled[g] = (scaled[g] + scaled[s]) - 1.0
-            if scaled[g] < 1.0:
-                small.append(g)
-            else:
-                large.append(g)
-        # Numerical leftovers: every remaining column keeps probability 1 of
-        # returning itself.
-        for i in small + large:
-            prob[i] = 1.0
-            alias[i] = i
+        if construction == "vectorized":
+            prob, alias = _build_tables_vectorized(scaled)
+        elif construction == "scalar":
+            prob, alias = _build_tables_scalar(scaled)
+        else:
+            raise ValueError(
+                f"unknown construction {construction!r}; use 'vectorized' or 'scalar'"
+            )
 
         self._prob = prob
         self._alias = alias
@@ -116,10 +184,8 @@ class AliasTable:
         Used by tests to confirm the construction preserves the input
         distribution (up to floating point error).
         """
-        probs = np.zeros(self._size, dtype=np.float64)
-        for column in range(self._size):
-            probs[column] += self._prob[column] / self._size
-            probs[self._alias[column]] += (1.0 - self._prob[column]) / self._size
+        probs = self._prob / self._size
+        np.add.at(probs, self._alias, (1.0 - self._prob) / self._size)
         return probs
 
 

@@ -20,15 +20,79 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bbst.bucket import bucket_capacity_for
+from repro.bbst.bucket import Bucket, bucket_capacity_for
 from repro.bbst.cell_index import CellIndex
+from repro.core.batching import (
+    group_blocks,
+    pick_int,
+    pick_int_scalar,
+    ragged_offsets,
+    select_kth_true,
+)
 from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect, window_around
 from repro.grid.cell import GridCell
 from repro.grid.grid import Grid
-from repro.grid.neighbors import CASE_CORNER, NeighborKind
+from repro.grid.neighbors import CASE_CORNER, NEIGHBOR_OFFSETS, NeighborKind
 
-__all__ = ["CellContribution", "BBSTJoinIndex"]
+__all__ = ["CellContribution", "BBSTJoinIndex", "BucketArrays"]
+
+#: Corner dominance predicates, equivalent to the BBST qualifying set of
+#: :data:`repro.bbst.cell_index._CORNER_RULES` (Lemma 5): the first flag picks
+#: the x test (``max_x >= w.xmin`` vs ``min_x <= w.xmax``), the second the y
+#: test (``max_y >= w.ymin`` vs ``min_y <= w.ymax``).
+_CORNER_DOMINANCE: dict[NeighborKind, tuple[bool, bool]] = {
+    NeighborKind.LOWER_LEFT: (True, True),
+    NeighborKind.UPPER_LEFT: (True, False),
+    NeighborKind.LOWER_RIGHT: (False, True),
+    NeighborKind.UPPER_RIGHT: (False, False),
+}
+
+#: Column of every neighbour kind in the dense ``(n, 9)`` bound matrix.
+_EDGE_COLUMNS: tuple[tuple[int, NeighborKind], ...] = tuple(
+    (column, kind)
+    for column, kind in enumerate(NEIGHBOR_OFFSETS)
+    if kind.is_edge
+)
+_CORNER_COLUMNS: tuple[tuple[int, NeighborKind], ...] = tuple(
+    (column, kind)
+    for column, kind in enumerate(NEIGHBOR_OFFSETS)
+    if kind.is_corner
+)
+
+
+def corner_bucket_qualifies(bucket: Bucket, kind: NeighborKind, window: Rect) -> bool:
+    """Scalar dominance test: does the bucket's envelope qualify for the query?
+
+    Matches the BBST's qualifying-runs membership exactly, so enumerating a
+    cell's buckets in index order and keeping the qualifying ones yields the
+    same set the tree traversal collects.
+    """
+    use_max_x, use_max_y = _CORNER_DOMINANCE[kind]
+    ok_x = bucket.max_x >= window.xmin if use_max_x else bucket.min_x <= window.xmax
+    ok_y = bucket.max_y >= window.ymin if use_max_y else bucket.min_y <= window.ymax
+    return bool(ok_x and ok_y)
+
+
+@dataclass(frozen=True)
+class BucketArrays:
+    """Flat envelope arrays of every cell's buckets, in grid-flat cell order.
+
+    Cell ``c`` owns buckets ``starts[c] : starts[c] + counts[c]``;
+    ``point_start``/``sizes`` locate each bucket's points inside its cell's
+    x-sorted view.  These arrays let the batch engine evaluate the corner
+    dominance predicate for thousands of (attempt, bucket) pairs with a
+    handful of numpy operations instead of one BBST traversal per attempt.
+    """
+
+    starts: np.ndarray
+    counts: np.ndarray
+    min_x: np.ndarray
+    max_x: np.ndarray
+    min_y: np.ndarray
+    max_y: np.ndarray
+    point_start: np.ndarray
+    sizes: np.ndarray
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,7 +136,18 @@ class BBSTJoinIndex:
         Override for the bucket size; defaults to ``ceil(log2 m)``.
     """
 
-    __slots__ = ("_points", "_half_extent", "_grid", "_cell_indexes", "_capacity")
+    #: Whether the batch engine must pre-draw per-attempt slot variates for
+    #: this index's corner sampling (True for the BBST's bucket slots).
+    needs_slot_variates = True
+
+    __slots__ = (
+        "_points",
+        "_half_extent",
+        "_grid",
+        "_cell_indexes",
+        "_capacity",
+        "_bucket_arrays",
+    )
 
     def __init__(
         self,
@@ -93,6 +168,7 @@ class BBSTJoinIndex:
             raise ValueError("bucket_capacity must be at least 1")
         self._grid = Grid(s_points, cell_size=self._half_extent)
         self._cell_indexes: dict[tuple[int, int], CellIndex] = {}
+        self._bucket_arrays: BucketArrays | None = None
         self._build_cell_structures()
 
     def _build_cell_structures(self) -> None:
@@ -220,6 +296,247 @@ class BBSTJoinIndex:
         if kind.case != CASE_CORNER:  # pragma: no cover - defensive
             raise ValueError(f"unhandled neighbour kind {kind}")
         return self._corner_sample(cell, kind, window, rng)
+
+    # ------------------------------------------------------------------
+    # Batched (vectorised) counting and sampling primitives
+    # ------------------------------------------------------------------
+    def bucket_arrays(self) -> BucketArrays:
+        """Flat bucket envelope arrays (built lazily, then cached)."""
+        if self._bucket_arrays is None:
+            flat = self._grid.flat()
+            buckets_per_cell = [
+                self._cell_indexes[cell.key].buckets for cell in flat.cells
+            ]
+            counts = np.array([len(b) for b in buckets_per_cell], dtype=np.int64)
+            starts = (
+                np.concatenate(([0], np.cumsum(counts)[:-1]))
+                if counts.size
+                else np.empty(0, dtype=np.int64)
+            )
+            all_buckets = [b for cell_buckets in buckets_per_cell for b in cell_buckets]
+            self._bucket_arrays = BucketArrays(
+                starts=starts,
+                counts=counts,
+                min_x=np.array([b.min_x for b in all_buckets], dtype=np.float64),
+                max_x=np.array([b.max_x for b in all_buckets], dtype=np.float64),
+                min_y=np.array([b.min_y for b in all_buckets], dtype=np.float64),
+                max_y=np.array([b.max_y for b in all_buckets], dtype=np.float64),
+                point_start=np.array([b.start for b in all_buckets], dtype=np.int64),
+                sizes=np.array([b.size for b in all_buckets], dtype=np.int64),
+            )
+        return self._bucket_arrays
+
+    def batch_bounds(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        cell_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Dense ``(q, 9)`` matrix of per-cell bounds ``mu(r, c)`` for many queries.
+
+        Column ``j`` corresponds to ``NEIGHBOR_OFFSETS[j]``; entries are zero
+        for empty cells.  Produces exactly the values the scalar
+        :meth:`contributions` loop yields, one vectorised pass per neighbour
+        kind instead of one Python iteration per query point.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        flat = self._grid.flat()
+        if cell_ids is None:
+            cell_ids = self._grid.neighbor_cell_ids(xs, ys)
+        half = self._half_extent
+        wxmin, wxmax = xs - half, xs + half
+        wymin, wymax = ys - half, ys + half
+        bounds = np.zeros((xs.size, 9), dtype=np.float64)
+
+        center = cell_ids[:, 0]
+        has_center = center >= 0
+        bounds[has_center, 0] = flat.lengths[center[has_center]]
+
+        edge_values = {
+            NeighborKind.LEFT: wxmin,
+            NeighborKind.RIGHT: wxmax,
+            NeighborKind.DOWN: wymin,
+            NeighborKind.UP: wymax,
+        }
+        for column, kind in _EDGE_COLUMNS:
+            ids = cell_ids[:, column]
+            queries = np.flatnonzero(ids >= 0)
+            if queries.size == 0:
+                continue
+            bounds[queries, column] = self._edge_counts_batch(
+                kind, ids[queries], edge_values[kind][queries]
+            )
+        for column, kind in _CORNER_COLUMNS:
+            ids = cell_ids[:, column]
+            queries = np.flatnonzero(ids >= 0)
+            if queries.size == 0:
+                continue
+            bounds[queries, column] = self._corner_bounds_batch(
+                kind,
+                ids[queries],
+                wxmin[queries],
+                wymin[queries],
+                wxmax[queries],
+                wymax[queries],
+            )
+        return bounds
+
+    def _edge_counts_batch(
+        self, kind: NeighborKind, cell_ids: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Exact 1-sided counts for one edge kind, grouped by cell.
+
+        One vectorised ``searchsorted`` per distinct cell replaces one scalar
+        binary search per (query, cell) pair.
+        """
+        flat = self._grid.flat()
+        counts = np.empty(cell_ids.size, dtype=np.int64)
+        order = np.argsort(cell_ids, kind="stable")
+        sorted_ids = cell_ids[order]
+        sorted_values = values[order]
+        group_ends = np.flatnonzero(np.diff(sorted_ids) != 0) + 1
+        starts = np.concatenate(([0], group_ends))
+        ends = np.concatenate((group_ends, [sorted_ids.size]))
+        for lo, hi in zip(starts, ends):
+            cell = flat.cells[int(sorted_ids[lo])]
+            group_values = sorted_values[lo:hi]
+            if kind is NeighborKind.LEFT:
+                cnt = len(cell) - np.searchsorted(cell.xs_by_x, group_values, side="left")
+            elif kind is NeighborKind.RIGHT:
+                cnt = np.searchsorted(cell.xs_by_x, group_values, side="right")
+            elif kind is NeighborKind.DOWN:
+                cnt = len(cell) - np.searchsorted(cell.ys_by_y, group_values, side="left")
+            else:  # UP
+                cnt = np.searchsorted(cell.ys_by_y, group_values, side="right")
+            counts[order[lo:hi]] = cnt
+        return counts
+
+    def _corner_bounds_batch(
+        self,
+        kind: NeighborKind,
+        cell_ids: np.ndarray,
+        wxmin: np.ndarray,
+        wymin: np.ndarray,
+        wxmax: np.ndarray,
+        wymax: np.ndarray,
+    ) -> np.ndarray:
+        """``mu(r, c)`` for one corner kind over many (query, cell) pairs.
+
+        Evaluates the bucket-envelope dominance predicate (the BBST
+        qualifying set) for all (query, bucket) pairs at once; the bound is
+        ``capacity`` times the number of qualifying buckets, exactly as the
+        per-query tree traversal computes it.
+        """
+        arrays = self.bucket_arrays()
+        use_max_x, use_max_y = _CORNER_DOMINANCE[kind]
+        lengths = arrays.counts[cell_ids]
+        out = np.zeros(cell_ids.size, dtype=np.int64)
+        for lo, hi in group_blocks(lengths):
+            block = slice(lo, hi)
+            rep, offset = ragged_offsets(lengths[block])
+            bucket = arrays.starts[cell_ids[block]][rep] + offset
+            if use_max_x:
+                ok = arrays.max_x[bucket] >= wxmin[block][rep]
+            else:
+                ok = arrays.min_x[bucket] <= wxmax[block][rep]
+            if use_max_y:
+                ok &= arrays.max_y[bucket] >= wymin[block][rep]
+            else:
+                ok &= arrays.min_y[bucket] <= wymax[block][rep]
+            out[block] = np.bincount(rep, weights=ok, minlength=hi - lo).astype(np.int64)
+        return out * self._capacity
+
+    def corner_pick_batch(
+        self,
+        kind: NeighborKind,
+        cell_ids: np.ndarray,
+        bounds_col: np.ndarray,
+        u_point: np.ndarray,
+        u_slot: np.ndarray | None,
+        wxmin: np.ndarray,
+        wymin: np.ndarray,
+        wxmax: np.ndarray,
+        wymax: np.ndarray,
+    ) -> np.ndarray:
+        """One corner sampling attempt per (query, cell) pair, vectorised.
+
+        Draws the ``floor(u_point * #qualifying)``-th qualifying bucket (in
+        bucket-index order) and the ``floor(u_slot * capacity)``-th slot.
+        Returns, per attempt, the global position into the grid-flat x-sorted
+        arrays, or ``-1`` for a failed attempt (empty slot of a partially
+        filled bucket) - the same rejection the scalar bucket draw performs.
+        """
+        assert u_slot is not None
+        arrays = self.bucket_arrays()
+        flat = self._grid.flat()
+        use_max_x, use_max_y = _CORNER_DOMINANCE[kind]
+        capacity = self._capacity
+        qualifying = bounds_col // capacity
+        ranks = pick_int(u_point, qualifying)
+        lengths = arrays.counts[cell_ids]
+        out = np.full(cell_ids.size, -1, dtype=np.int64)
+        for lo, hi in group_blocks(lengths):
+            block = slice(lo, hi)
+            rep, offset = ragged_offsets(lengths[block])
+            bucket = arrays.starts[cell_ids[block]][rep] + offset
+            if use_max_x:
+                ok = arrays.max_x[bucket] >= wxmin[block][rep]
+            else:
+                ok = arrays.min_x[bucket] <= wxmax[block][rep]
+            if use_max_y:
+                ok &= arrays.max_y[bucket] >= wymin[block][rep]
+            else:
+                ok &= arrays.min_y[bucket] <= wymax[block][rep]
+            hit = select_kth_true(rep, lengths[block], ok, ranks[block])
+            found = np.flatnonzero(hit >= 0)
+            if found.size == 0:
+                continue
+            chosen = bucket[hit[found]]
+            slots = pick_int(
+                u_slot[block][found], np.full(found.size, capacity, dtype=np.int64)
+            )
+            filled = slots < arrays.sizes[chosen]
+            target = found[filled]
+            out[lo + target] = (
+                flat.starts[cell_ids[lo + target]]
+                + arrays.point_start[chosen[filled]]
+                + slots[filled]
+            )
+        return out
+
+    def corner_pick_scalar(
+        self,
+        kind: NeighborKind,
+        cell: GridCell,
+        window: Rect,
+        bound: int,
+        u_point: float,
+        u_slot: float,
+    ) -> tuple[int, float, float] | None:
+        """Scalar twin of :meth:`corner_pick_batch` (the ``vectorized=False`` path).
+
+        Consumes the same pre-drawn variates and applies the same
+        bucket-index-order rank selection, so both paths return the same
+        point for the same variates.
+        """
+        qualifying = bound // self._capacity
+        rank = pick_int_scalar(u_point, qualifying)
+        seen = 0
+        chosen: Bucket | None = None
+        for bucket in self._cell_indexes[cell.key].buckets:
+            if corner_bucket_qualifies(bucket, kind, window):
+                if seen == rank:
+                    chosen = bucket
+                    break
+                seen += 1
+        if chosen is None:  # pragma: no cover - bound > 0 guarantees a hit
+            return None
+        slot = pick_int_scalar(u_slot, self._capacity)
+        position = chosen.slot_position(slot)
+        if position is None:
+            return None
+        return cell.point_by_x_order(position)
 
     # ------------------------------------------------------------------
     # Corner (case 3) primitives - overridden by the Fig. 9 ablation.

@@ -1,0 +1,155 @@
+"""CI performance gate: a quick bench smoke with regression thresholds.
+
+Run as ``python -m repro.bench.ci_gate``.  The gate
+
+1. runs the Table IV sampling smoke (small proxies, fixed seeds) through the
+   :mod:`repro.bench.runner` registry, best-of-``repeats`` per row,
+2. writes the measurements to ``BENCH_ci.json``, and
+3. compares the sampling-phase seconds of every ``(dataset, algorithm)`` row
+   against the committed ``benchmarks/baseline_ci.json``; any row slower
+   than ``factor`` (default 2) times its baseline fails the gate.
+
+The committed baseline holds *generous* values (local measurements rounded
+up) so that ordinary CI-runner jitter passes while a reintroduced per-draw
+Python loop - a 5-15x sampling-phase slowdown - reliably fails.  Refresh it
+with ``python -m repro.bench.ci_gate --write-baseline`` after intentional
+performance changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.bench.runner import EXPERIMENTS
+from repro.bench.workloads import ExperimentScale
+
+__all__ = ["collect_measurements", "compare_to_baseline", "main"]
+
+#: Datasets exercised by the smoke (the two smallest proxies).
+GATE_DATASETS = ("castreet", "foursquare")
+
+#: Samples drawn per run.
+GATE_SAMPLES = 2_000
+
+#: Default allowed slowdown versus the committed baseline.
+DEFAULT_FACTOR = 2.0
+
+DEFAULT_BASELINE = Path("benchmarks") / "baseline_ci.json"
+DEFAULT_OUTPUT = Path("BENCH_ci.json")
+
+
+def _row_key(row: dict) -> str:
+    return f"{row['dataset']}/{row['algorithm']}"
+
+
+def collect_measurements(repeats: int = 3) -> dict:
+    """Best-of-``repeats`` sampling-phase seconds per (dataset, algorithm)."""
+    _title, runner = EXPERIMENTS["table4"]
+    best: dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        # num_samples is pinned so the gate workload cannot drift away from
+        # the committed baseline when the SMOKE sample budget is retuned.
+        rows = runner(
+            scale=ExperimentScale.SMOKE,
+            datasets=GATE_DATASETS,
+            num_samples=GATE_SAMPLES,
+        )
+        for row in rows:
+            key = _row_key(row)
+            seconds = float(row["sampling_seconds"])
+            if key not in best or seconds < best[key]:
+                best[key] = seconds
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "datasets": list(GATE_DATASETS),
+            "samples": GATE_SAMPLES,
+            "repeats": repeats,
+        },
+        "sampling_seconds": {key: round(value, 5) for key, value in sorted(best.items())},
+    }
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, factor: float = DEFAULT_FACTOR
+) -> list[str]:
+    """Human-readable regression messages (empty when the gate passes).
+
+    Rows missing from either side are reported as failures too, so the
+    baseline cannot silently rot when samplers are added or renamed.
+    """
+    problems: list[str] = []
+    current_rows = current["sampling_seconds"]
+    baseline_rows = baseline["sampling_seconds"]
+    for key, allowed in sorted(baseline_rows.items()):
+        measured = current_rows.get(key)
+        if measured is None:
+            problems.append(f"{key}: missing from the current measurements")
+            continue
+        if measured > factor * allowed:
+            problems.append(
+                f"{key}: sampling phase took {measured:.4f}s, more than "
+                f"{factor:g}x the baseline {allowed:.4f}s"
+            )
+    for key in sorted(set(current_rows) - set(baseline_rows)):
+        problems.append(f"{key}: missing from the committed baseline")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed baseline JSON to compare against",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="where to write the current measurements",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=DEFAULT_FACTOR,
+        help="allowed slowdown factor before the gate fails",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per row; the fastest is kept",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the measurements to --baseline instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    current = collect_measurements(repeats=args.repeats)
+    args.output.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for key, seconds in current["sampling_seconds"].items():
+        print(f"  {key}: {seconds:.4f}s")
+
+    if args.write_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline refreshed at {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    problems = compare_to_baseline(current, baseline, factor=args.factor)
+    if problems:
+        print("performance gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"performance gate passed (factor {args.factor:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,7 @@ __all__ = [
     "run_table2_preprocessing",
     "run_table3_decomposed_times",
     "run_table4_sampling",
+    "run_vectorization_speedup",
     "run_baseline_comparison",
     "run_fig4_memory",
     "run_fig5_range_size",
@@ -188,6 +189,48 @@ def run_table4_sampling(
         }
         for row in rows
     ]
+
+
+# ----------------------------------------------------------------------
+# Batch engine - sampling-phase speedup of the vectorised paths
+# ----------------------------------------------------------------------
+def run_vectorization_speedup(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    num_samples: int | None = None,
+    seed: int = 37,
+) -> list[Row]:
+    """Sampling-phase wall-clock of the vectorised engine vs the scalar path.
+
+    The scalar reference runs the same pre-drawn variate schedule with
+    ``batch_size=1`` and ``vectorized=False`` - the one-attempt-at-a-time
+    processing the batch engine replaced.  Only the rejection-based samplers
+    are compared (BBST and KDS-rejection); their sampling phases are the
+    paper's headline online cost.
+    """
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        spec = build_join_spec(config)
+        t = config.num_samples if num_samples is None else num_samples
+        for factory in (BBSTSampler, KDSRejectionSampler):
+            vectorized = factory(spec).sample(t, seed=seed)
+            scalar = factory(spec, batch_size=1, vectorized=False).sample(t, seed=seed)
+            vec_seconds = vectorized.timings.sample_seconds
+            scalar_seconds = scalar.timings.sample_seconds
+            rows.append(
+                {
+                    "dataset": config.dataset,
+                    "algorithm": vectorized.sampler_name,
+                    "n": spec.n,
+                    "m": spec.m,
+                    "t": t,
+                    "vectorized_sampling_seconds": vec_seconds,
+                    "scalar_sampling_seconds": scalar_seconds,
+                    "sampling_speedup": scalar_seconds / max(vec_seconds, 1e-9),
+                }
+            )
+    return rows
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.bench.harness import (
     run_table3_decomposed_times,
     run_table4_sampling,
     run_uniformity_experiment,
+    run_vectorization_speedup,
 )
 from repro.bench.reporting import format_markdown_table, format_table
 from repro.bench.workloads import ExperimentScale
@@ -41,6 +42,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]]]] = {
     "fig7": ("Fig. 7 - impact of dataset size", run_fig7_dataset_size),
     "fig8": ("Fig. 8 - impact of dataset size difference", run_fig8_size_ratio),
     "fig9": ("Fig. 9 - BBST vs per-cell kd-tree variant", run_fig9_bbst_vs_cell_kdtree),
+    "vecspeed": (
+        "Extra - vectorised batch engine sampling-phase speedup",
+        run_vectorization_speedup,
+    ),
     "uniformity": ("Extra - uniformity of produced samples", run_uniformity_experiment),
 }
 

@@ -38,6 +38,7 @@ from repro.core.full_join import (
     brute_force_join,
     join_size,
     spatial_range_join,
+    spatial_range_join_array,
 )
 from repro.core.join_then_sample import JoinThenSample
 from repro.core.kds_rejection import KDSRejectionSampler
@@ -51,6 +52,7 @@ __all__ = [
     "PhaseTimings",
     "SamplePair",
     "spatial_range_join",
+    "spatial_range_join_array",
     "brute_force_join",
     "join_size",
     "JoinThenSample",

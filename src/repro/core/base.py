@@ -26,7 +26,13 @@ import numpy as np
 
 from repro.core.config import JoinSpec
 
-__all__ = ["SamplePair", "PhaseTimings", "JoinSampleResult", "JoinSampler"]
+__all__ = [
+    "SamplePair",
+    "PhaseTimings",
+    "JoinSampleResult",
+    "JoinSampler",
+    "build_sample_pairs",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,6 +125,27 @@ class JoinSampleResult:
         return np.array([pair.as_index_tuple() for pair in self.pairs], dtype=np.int64)
 
 
+def build_sample_pairs(
+    spec: JoinSpec, r_indices: np.ndarray, s_indices: np.ndarray
+) -> list[SamplePair]:
+    """Materialise :class:`SamplePair` objects from positional index arrays.
+
+    Shared by every sampler's batch path; ``tolist()`` conversion keeps the
+    per-pair cost at plain-Python-int level rather than numpy scalar level.
+    """
+    r_ids = spec.r_points.ids[r_indices]
+    s_ids = spec.s_points.ids[s_indices]
+    return [
+        SamplePair(r_id=rid, s_id=sid, r_index=ri, s_index=si)
+        for rid, sid, ri, si in zip(
+            r_ids.tolist(),
+            s_ids.tolist(),
+            np.asarray(r_indices).tolist(),
+            np.asarray(s_indices).tolist(),
+        )
+    ]
+
+
 class JoinSampler(abc.ABC):
     """Abstract base class of every join sampling algorithm.
 
@@ -126,10 +153,29 @@ class JoinSampler(abc.ABC):
     :meth:`_sample_impl` (online phases); this base class handles timing of
     the offline step, seeding, and argument validation so that all samplers
     report comparable numbers.
+
+    Two knobs configure the batch-sampling engine shared by the concrete
+    samplers (see :mod:`repro.core.batching`):
+
+    * ``batch_size`` pins the number of attempts pre-drawn per sampling
+      round (``None`` sizes rounds adaptively from the observed acceptance
+      rate; ``1`` reproduces one-attempt-at-a-time draw scheduling);
+    * ``vectorized`` selects the numpy round processor (default) or the
+      scalar per-attempt loop over the same pre-drawn variates, kept as an
+      escape hatch for differential testing.
     """
 
-    def __init__(self, spec: JoinSpec) -> None:
+    def __init__(
+        self,
+        spec: JoinSpec,
+        batch_size: int | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         self._spec = spec
+        self._batch_size = batch_size
+        self._vectorized = bool(vectorized)
         self._preprocessed = False
         self._preprocess_seconds = 0.0
 
@@ -138,6 +184,16 @@ class JoinSampler(abc.ABC):
     def spec(self) -> JoinSpec:
         """The join instance this sampler operates on."""
         return self._spec
+
+    @property
+    def batch_size(self) -> int | None:
+        """Fixed sampling-round size (``None`` means adaptive refill)."""
+        return self._batch_size
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the numpy round processor is active (vs the scalar twin)."""
+        return self._vectorized
 
     @property
     @abc.abstractmethod

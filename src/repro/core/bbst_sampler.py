@@ -31,10 +31,19 @@ class BBSTSampler(GridJoinSamplerBase):
     bucket_capacity:
         Optional override of the bucket size (defaults to ``ceil(log2 m)``);
         exposed for the ablation benchmarks on the bucket-size design choice.
+    batch_size, vectorized:
+        Batch-engine knobs forwarded to
+        :class:`~repro.core.grid_sampler_base.GridJoinSamplerBase`.
     """
 
-    def __init__(self, spec: JoinSpec, bucket_capacity: int | None = None) -> None:
-        super().__init__(spec)
+    def __init__(
+        self,
+        spec: JoinSpec,
+        bucket_capacity: int | None = None,
+        batch_size: int | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
         self._bucket_capacity = bucket_capacity
 
     @property

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bbst.join_index import BBSTJoinIndex
+from repro.core.batching import group_blocks, pick_int, pick_int_scalar, ragged_offsets, select_kth_true
 from repro.core.config import JoinSpec
 from repro.core.grid_sampler_base import GridJoinSamplerBase
 from repro.geometry.point import PointSet
@@ -28,8 +29,13 @@ class CellKDTreeJoinIndex(BBSTJoinIndex):
 
     Corner counts are exact (the kd-tree intersects the window with the cell),
     so ``mu(r)`` is exact as well; the price is the kd-tree traversal per
-    corner cell during both the counting and the sampling phase.
+    corner cell during both the counting and the sampling phase.  The batch
+    engine's corner primitives compute the same exact quantities with one
+    vectorised containment pass over the (query, cell point) candidate pairs.
     """
+
+    #: Exact corner sampling never rejects, so no slot variates are needed.
+    needs_slot_variates = False
 
     def _build_cell_structures(self) -> None:
         self._cell_indexes = {}
@@ -68,12 +74,118 @@ class CellKDTreeJoinIndex(BBSTJoinIndex):
         point = tree.points[position]
         return (point.pid, point.x, point.y)
 
+    # ------------------------------------------------------------------
+    # Batched corner primitives (exact in-window counts and picks)
+    # ------------------------------------------------------------------
+    def _corner_in_window_mask(
+        self,
+        cell_ids: np.ndarray,
+        lengths: np.ndarray,
+        block: slice,
+        wxmin: np.ndarray,
+        wymin: np.ndarray,
+        wxmax: np.ndarray,
+        wymax: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expanded ``(group, offset, containment)`` arrays over a block of attempts."""
+        flat = self._grid.flat()
+        rep, offset = ragged_offsets(lengths[block])
+        point = flat.starts[cell_ids[block]][rep] + offset
+        xs = flat.xs_by_x[point]
+        ys = flat.ys_by_x[point]
+        ok = (
+            (xs >= wxmin[block][rep])
+            & (xs <= wxmax[block][rep])
+            & (ys >= wymin[block][rep])
+            & (ys <= wymax[block][rep])
+        )
+        return rep, offset, ok
+
+    def _corner_bounds_batch(
+        self,
+        kind: NeighborKind,
+        cell_ids: np.ndarray,
+        wxmin: np.ndarray,
+        wymin: np.ndarray,
+        wxmax: np.ndarray,
+        wymax: np.ndarray,
+    ) -> np.ndarray:
+        """Exact ``|w(r) ∩ S(c)|`` per (query, corner cell) pair."""
+        flat = self._grid.flat()
+        lengths = flat.lengths[cell_ids]
+        out = np.zeros(cell_ids.size, dtype=np.int64)
+        for lo, hi in group_blocks(lengths):
+            block = slice(lo, hi)
+            rep, _offset, ok = self._corner_in_window_mask(
+                cell_ids, lengths, block, wxmin, wymin, wxmax, wymax
+            )
+            out[block] = np.bincount(rep, weights=ok, minlength=hi - lo).astype(np.int64)
+        return out
+
+    def corner_pick_batch(
+        self,
+        kind: NeighborKind,
+        cell_ids: np.ndarray,
+        bounds_col: np.ndarray,
+        u_point: np.ndarray,
+        u_slot: np.ndarray | None,
+        wxmin: np.ndarray,
+        wymin: np.ndarray,
+        wxmax: np.ndarray,
+        wymax: np.ndarray,
+    ) -> np.ndarray:
+        """Uniform in-window pick per attempt: the rank-th matching point in x-order.
+
+        ``bounds_col`` is the exact in-window count, so the pick never fails
+        and every corner attempt is accepted (matching the scalar variant's
+        iterations == t behaviour).
+        """
+        flat = self._grid.flat()
+        lengths = flat.lengths[cell_ids]
+        ranks = pick_int(u_point, bounds_col)
+        out = np.full(cell_ids.size, -1, dtype=np.int64)
+        for lo, hi in group_blocks(lengths):
+            block = slice(lo, hi)
+            rep, offset, ok = self._corner_in_window_mask(
+                cell_ids, lengths, block, wxmin, wymin, wxmax, wymax
+            )
+            hit = select_kth_true(rep, lengths[block], ok, ranks[block])
+            found = np.flatnonzero(hit >= 0)
+            if found.size == 0:
+                continue
+            out[lo + found] = flat.starts[cell_ids[lo + found]] + offset[hit[found]]
+        return out
+
+    def corner_pick_scalar(
+        self,
+        kind: NeighborKind,
+        cell: GridCell,
+        window: Rect,
+        bound: int,
+        u_point: float,
+        u_slot: float,
+    ) -> tuple[int, float, float] | None:
+        """Scalar twin of :meth:`corner_pick_batch` for the differential path."""
+        rank = pick_int_scalar(u_point, bound)
+        seen = 0
+        for position in range(len(cell)):
+            if window.contains(float(cell.xs_by_x[position]), float(cell.ys_by_x[position])):
+                if seen == rank:
+                    return cell.point_by_x_order(position)
+                seen += 1
+        return None  # pragma: no cover - bound > 0 guarantees a hit
+
 
 class CellKDTreeSampler(GridJoinSamplerBase):
     """Algorithm 1 with per-cell kd-trees (the Fig. 9 comparison variant)."""
 
-    def __init__(self, spec: JoinSpec) -> None:
-        super().__init__(spec)
+    def __init__(
+        self,
+        spec: JoinSpec,
+        batch_size: int | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
 
     @property
     def name(self) -> str:

@@ -36,14 +36,13 @@ def upper_bound_sum(spec: JoinSpec, index: BBSTJoinIndex | None = None) -> int:
 
     When ``index`` is omitted a fresh :class:`BBSTJoinIndex` is built over
     ``S`` pre-sorted by x (exactly what the sampler's counting phase does).
+    The per-point bounds come from the vectorised ``(n, 9)`` bound matrix,
+    which yields exactly the values the scalar ``upper_bound`` loop sums.
     """
     if index is None:
         index = BBSTJoinIndex(spec.s_points.sorted_by_x(), half_extent=spec.half_extent)
-    r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
-    total = 0
-    for i in range(spec.n):
-        total += index.upper_bound(float(r_xs[i]), float(r_ys[i]))
-    return total
+    bounds = index.batch_bounds(spec.r_points.xs, spec.r_points.ys)
+    return int(bounds.sum())
 
 
 def upper_bound_ratio(spec: JoinSpec, index: BBSTJoinIndex | None = None) -> float:

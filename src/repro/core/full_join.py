@@ -14,7 +14,12 @@ reproduction needs it for three purposes:
 Two implementations are provided: a brute-force O(nm) join used only on tiny
 test inputs, and a grid-partitioned join that touches just the 3x3 block of
 cells around every outer point (the standard filter-refine approach, and a
-state-of-the-art-style in-memory join for point data).
+state-of-the-art-style in-memory join for point data).  Both are vectorised:
+the brute force tests whole ``R``-chunk x ``S`` blocks at once, and the grid
+join expands every (outer point, neighbour cell) pair into flat candidate
+arrays and applies one containment mask per block - the emitted pair order
+matches the classic per-point loop exactly (outer index, then neighbour
+rank, then within-cell position).
 """
 
 from __future__ import annotations
@@ -23,10 +28,20 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.core.batching import ragged_offsets
 from repro.core.config import JoinSpec
 from repro.grid.grid import Grid
 
-__all__ = ["brute_force_join", "spatial_range_join", "iter_join_pairs", "join_size"]
+__all__ = [
+    "brute_force_join",
+    "spatial_range_join",
+    "spatial_range_join_array",
+    "iter_join_pairs",
+    "join_size",
+]
+
+#: Outer points processed per vectorised block (bounds candidate memory).
+_R_BLOCK = 2_048
 
 
 def brute_force_join(spec: JoinSpec) -> list[tuple[int, int]]:
@@ -37,23 +52,118 @@ def brute_force_join(spec: JoinSpec) -> list[tuple[int, int]]:
     r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
     s_xs, s_ys = spec.s_points.xs, spec.s_points.ys
     half = spec.half_extent
-    pairs: list[tuple[int, int]] = []
-    for i in range(len(spec.r_points)):
-        inside = (np.abs(s_xs - r_xs[i]) <= half) & (np.abs(s_ys - r_ys[i]) <= half)
-        for j in np.flatnonzero(inside):
-            pairs.append((i, int(j)))
-    return pairs
+    n, m = len(spec.r_points), len(spec.s_points)
+    block = max(1, _R_BLOCK * 128 // max(m, 1))
+    parts: list[np.ndarray] = []
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        inside = (
+            np.abs(s_xs[None, :] - r_xs[lo:hi, None]) <= half
+        ) & (np.abs(s_ys[None, :] - r_ys[lo:hi, None]) <= half)
+        rows, cols = np.nonzero(inside)
+        if rows.size:
+            parts.append(np.column_stack((rows + lo, cols)))
+    if not parts:
+        return []
+    stacked = np.concatenate(parts)
+    return [(int(r), int(s)) for r, s in stacked]
 
 
 def _grid_for(spec: JoinSpec) -> Grid:
     return Grid(spec.s_points, cell_size=spec.half_extent)
 
 
+def _block_matches(
+    spec: JoinSpec, grid: Grid, lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Matching candidates for outer points ``[lo, hi)``.
+
+    Returns parallel arrays ``(r_index, neighbour_rank, cell_offset,
+    point_position)`` where ``point_position`` indexes the grid-flat x-sorted
+    arrays; one vectorised containment test covers every (outer point,
+    candidate) pair of the block.
+    """
+    flat = grid.flat()
+    r_xs = spec.r_points.xs[lo:hi]
+    r_ys = spec.r_points.ys[lo:hi]
+    half = spec.half_extent
+    cell_ids = grid.neighbor_cell_ids(r_xs, r_ys)
+    out_r: list[np.ndarray] = []
+    out_rank: list[np.ndarray] = []
+    out_offset: list[np.ndarray] = []
+    out_pos: list[np.ndarray] = []
+    for column in range(9):
+        ids = cell_ids[:, column]
+        queries = np.flatnonzero(ids >= 0)
+        if queries.size == 0:
+            continue
+        lengths = flat.lengths[ids[queries]]
+        rep, offset = ragged_offsets(lengths)
+        position = flat.starts[ids[queries]][rep] + offset
+        owner = queries[rep]
+        xs = flat.xs_by_x[position]
+        ys = flat.ys_by_x[position]
+        inside = (
+            (xs >= r_xs[owner] - half)
+            & (xs <= r_xs[owner] + half)
+            & (ys >= r_ys[owner] - half)
+            & (ys <= r_ys[owner] + half)
+        )
+        if not np.any(inside):
+            continue
+        out_r.append(owner[inside] + lo)
+        out_rank.append(np.full(int(inside.sum()), column, dtype=np.int64))
+        out_offset.append(offset[inside])
+        out_pos.append(position[inside])
+    if not out_r:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, empty
+    return (
+        np.concatenate(out_r),
+        np.concatenate(out_rank),
+        np.concatenate(out_offset),
+        np.concatenate(out_pos),
+    )
+
+
+def _s_position_lookup(spec: JoinSpec) -> tuple[np.ndarray, np.ndarray]:
+    sorter = np.argsort(spec.s_points.ids, kind="stable")
+    return sorter, spec.s_points.ids[sorter]
+
+
+def spatial_range_join_array(spec: JoinSpec, grid: Grid | None = None) -> np.ndarray:
+    """The full join as an ``(|J|, 2)`` array of positional index pairs.
+
+    Pair order matches :func:`iter_join_pairs`: outer index ascending, then
+    neighbour rank, then within-cell position.
+    """
+    if grid is None:
+        grid = _grid_for(spec)
+    flat = grid.flat()
+    sorter, sorted_ids = _s_position_lookup(spec)
+    parts: list[np.ndarray] = []
+    for lo in range(0, len(spec.r_points), _R_BLOCK):
+        hi = min(lo + _R_BLOCK, len(spec.r_points))
+        r_index, rank, offset, position = _block_matches(spec, grid, lo, hi)
+        if r_index.size == 0:
+            continue
+        order = np.lexsort((offset, rank, r_index))
+        s_index = sorter[
+            np.searchsorted(sorted_ids, flat.ids_by_x[position[order]])
+        ]
+        parts.append(np.column_stack((r_index[order], s_index)))
+    if not parts:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.concatenate(parts)
+
+
 def iter_join_pairs(spec: JoinSpec, grid: Grid | None = None) -> Iterator[tuple[int, int]]:
     """Stream all join pairs ``(r_index, s_index)`` without materialising ``J``.
 
     Uses the grid-partitioned filter-refine strategy: for every outer point
-    only the points of the surrounding 3x3 cell block are tested.
+    only the points of the surrounding 3x3 cell block are tested.  Kept as a
+    scalar generator for memory-bounded consumers; the batch-materialising
+    :func:`spatial_range_join_array` yields the same pairs in the same order.
     """
     if grid is None:
         grid = _grid_for(spec)
@@ -74,27 +184,21 @@ def iter_join_pairs(spec: JoinSpec, grid: Grid | None = None) -> Iterator[tuple[
 
 def spatial_range_join(spec: JoinSpec, grid: Grid | None = None) -> list[tuple[int, int]]:
     """Materialise the full join result as ``(r_index, s_index)`` pairs."""
-    return list(iter_join_pairs(spec, grid))
+    return [(int(r), int(s)) for r, s in spatial_range_join_array(spec, grid)]
 
 
 def join_size(spec: JoinSpec, grid: Grid | None = None) -> int:
     """Exact ``|J|`` without materialising the pairs.
 
-    The per-outer-point counts are computed with vectorised masks over the
-    surrounding 3x3 cell block, so the cost is proportional to the number of
-    candidate points rather than ``n * m``.
+    The per-outer-point candidate tests run as one vectorised containment
+    mask per block of outer points, so the cost is proportional to the
+    number of candidate points rather than ``n * m``.
     """
     if grid is None:
         grid = _grid_for(spec)
-    half = spec.half_extent
-    r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
     total = 0
-    for i in range(len(spec.r_points)):
-        rx, ry = float(r_xs[i]), float(r_ys[i])
-        xmin, xmax = rx - half, rx + half
-        ymin, ymax = ry - half, ry + half
-        for _kind, cell in grid.neighborhood(rx, ry):
-            xs, ys = cell.xs_by_x, cell.ys_by_x
-            inside = (xs >= xmin) & (xs <= xmax) & (ys >= ymin) & (ys <= ymax)
-            total += int(inside.sum())
+    for lo in range(0, len(spec.r_points), _R_BLOCK):
+        hi = min(lo + _R_BLOCK, len(spec.r_points))
+        r_index, _rank, _offset, _position = _block_matches(spec, grid, lo, hi)
+        total += int(r_index.size)
     return total

@@ -19,6 +19,24 @@ Phases
    a candidate point inside that cell, and accept the pair iff the point lies
    in ``w(r)``.  Cases 1/2 always accept; case 3 may reject (point outside the
    window, or an empty bucket slot for the BBST).
+
+Batch engine
+------------
+The online phases run *vectorised* by default.  The counting phase asks the
+index for the whole ``(n, 9)`` bound matrix at once
+(:meth:`repro.bbst.join_index.BBSTJoinIndex.batch_bounds`), and the sampling
+phase proceeds in rounds: each round pre-draws flat arrays of variates in a
+fixed schedule (``r`` indices, cell-pick, point-pick, and - for the BBST -
+slot-pick uniforms), resolves every attempt with numpy gathers over the
+grid's flat arrays, and refills adaptively from the observed acceptance rate
+(:func:`repro.core.batching.next_batch_size`).  Two knobs control it:
+
+* ``vectorized=False`` processes the *same* pre-drawn variate arrays with a
+  per-attempt Python loop; because both paths share draws and selection
+  rules they return bit-identical pairs, which the differential tests rely
+  on.
+* ``batch_size`` pins the round size (``batch_size=1`` reproduces the
+  classic one-attempt-at-a-time schedule).
 """
 
 from __future__ import annotations
@@ -31,18 +49,29 @@ import numpy as np
 
 from repro.alias.walker import AliasTable
 from repro.bbst.join_index import CellContribution
-from repro.core.base import JoinSampler, JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.base import (
+    JoinSampler,
+    JoinSampleResult,
+    PhaseTimings,
+    SamplePair,
+    build_sample_pairs,
+)
+from repro.core.batching import cutoff_at, next_batch_size, pick_int, pick_int_scalar
 from repro.core.config import JoinSpec
 from repro.core.guards import empty_join_guard as _empty_join_guard
+from repro.geometry.predicates import mask_in_windows
 from repro.geometry.rect import Rect
 from repro.grid.grid import Grid
-from repro.grid.neighbors import NEIGHBOR_OFFSETS
+from repro.grid.neighbors import NEIGHBOR_OFFSETS, NeighborKind
 
 __all__ = ["JoinCellIndex", "GridJoinSamplerBase"]
 
 
 class JoinCellIndex(Protocol):
     """Interface a grid-decomposition index must provide to the sampler skeleton."""
+
+    #: Whether the batch engine must pre-draw slot variates for corner picks.
+    needs_slot_variates: bool
 
     @property
     def grid(self) -> Grid:
@@ -54,10 +83,35 @@ class JoinCellIndex(Protocol):
     def contributions(self, x: float, y: float) -> list[CellContribution]:
         """Per-cell upper bounds ``mu(r, c)`` for a query point."""
 
-    def sample_from(
-        self, contribution: CellContribution, window: Rect, rng: np.random.Generator
+    def batch_bounds(
+        self, xs: np.ndarray, ys: np.ndarray, cell_ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Dense ``(q, 9)`` bound matrix for many query points at once."""
+
+    def corner_pick_batch(
+        self,
+        kind: NeighborKind,
+        cell_ids: np.ndarray,
+        bounds_col: np.ndarray,
+        u_point: np.ndarray,
+        u_slot: np.ndarray | None,
+        wxmin: np.ndarray,
+        wymin: np.ndarray,
+        wxmax: np.ndarray,
+        wymax: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised corner sampling attempts (grid-flat x-view positions)."""
+
+    def corner_pick_scalar(
+        self,
+        kind: NeighborKind,
+        cell,
+        window: Rect,
+        bound: int,
+        u_point: float,
+        u_slot: float,
     ) -> tuple[int, float, float] | None:
-        """One sampling attempt inside the chosen cell."""
+        """Scalar corner sampling attempt consuming the same variates."""
 
     def nbytes(self) -> int:
         """Approximate memory footprint of the index."""
@@ -68,16 +122,36 @@ _KIND_COLUMN = {kind: column for column, kind in enumerate(NEIGHBOR_OFFSETS)}
 
 
 class GridJoinSamplerBase(JoinSampler):
-    """Algorithm 1 skeleton parameterised by the per-cell index."""
+    """Algorithm 1 skeleton parameterised by the per-cell index.
 
-    def __init__(self, spec: JoinSpec) -> None:
-        super().__init__(spec)
+    Parameters
+    ----------
+    spec:
+        The join instance.
+    batch_size:
+        Fixed sampling-round size; ``None`` (default) sizes rounds adaptively
+        from the observed acceptance rate.
+    vectorized:
+        ``True`` (default) resolves each round with numpy; ``False`` runs the
+        scalar per-attempt loop over the same pre-drawn variates (the
+        differential-testing escape hatch).
+    """
+
+    def __init__(
+        self,
+        spec: JoinSpec,
+        batch_size: int | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
         self._sorted_s = None
         self._index: JoinCellIndex | None = None
         # Cached online structures (index, per-point bounds, alias): built on
         # the first sample() call and reused by subsequent calls, which makes
         # repeated / progressive sampling pay only the per-sample cost.
         self._runtime: tuple[np.ndarray, np.ndarray, AliasTable | None, float] | None = None
+        self._cell_ids: np.ndarray | None = None
+        self._s_position_sorter: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -118,10 +192,15 @@ class GridJoinSamplerBase(JoinSampler):
             # Phase 2: approximate range counting (UB column).
             start = time.perf_counter()
             n = spec.n
-            bounds = np.zeros((n, 9), dtype=np.float64)
-            for i in range(n):
-                for contribution in index.contributions(float(r_xs[i]), float(r_ys[i])):
-                    bounds[i, _KIND_COLUMN[contribution.kind]] = contribution.upper_bound
+            if self._vectorized:
+                cell_ids = index.grid.neighbor_cell_ids(r_xs, r_ys)
+                bounds = index.batch_bounds(r_xs, r_ys, cell_ids)
+                self._cell_ids = cell_ids
+            else:
+                bounds = np.zeros((n, 9), dtype=np.float64)
+                for i in range(n):
+                    for contribution in index.contributions(float(r_xs[i]), float(r_ys[i])):
+                        bounds[i, _KIND_COLUMN[contribution.kind]] = contribution.upper_bound
             cumulative = np.cumsum(bounds, axis=1)
             mu_totals = cumulative[:, -1]
             sum_mu = float(mu_totals.sum())
@@ -137,58 +216,37 @@ class GridJoinSamplerBase(JoinSampler):
                 "no samples can be drawn"
             )
 
-        # Phase 3: sampling.
+        # Phase 3: sampling, in pre-drawn rounds.
         start = time.perf_counter()
-        pairs: list[SamplePair] = []
+        accepted_r: list[np.ndarray] = []
+        accepted_sid: list[np.ndarray] = []
+        accepted = 0
         iterations = 0
         guard = _empty_join_guard(t)
-        if alias is not None and t > 0:
-            grid = index.grid
-            r_ids = spec.r_points.ids
-            s_index_by_id = {
-                int(pid): position for position, pid in enumerate(spec.s_points.ids)
-            }
-            while len(pairs) < t:
-                if not pairs and iterations >= guard:
-                    raise RuntimeError(
-                        f"no join sample accepted after {iterations} iterations; "
-                        "the join result is empty or vanishingly small"
-                    )
-                iterations += 1
-                r_index = alias.draw(rng)
-                rx, ry = float(r_xs[r_index]), float(r_ys[r_index])
-                row_cumulative = cumulative[r_index]
-                total = row_cumulative[-1]
-                if total <= 0:  # pragma: no cover - alias never returns zero-weight rows
-                    continue
-                u = rng.random() * total
-                column = int(np.searchsorted(row_cumulative, u, side="right"))
-                kind = NEIGHBOR_OFFSETS[column]
-                base_key = grid.key_for(rx, ry)
-                cell = grid.get((base_key[0] + kind.offset[0], base_key[1] + kind.offset[1]))
-                if cell is None:  # pragma: no cover - positive bound implies the cell exists
-                    continue
-                window = index.window_for(rx, ry)
-                contribution = CellContribution(
-                    kind=kind,
-                    cell=cell,
-                    upper_bound=int(bounds[r_index, column]),
-                    exact=kind.case < 3,
+        needs_slot = getattr(index, "needs_slot_variates", True)
+        while alias is not None and accepted < t:
+            if accepted == 0 and iterations >= guard:
+                timings.sample_seconds = time.perf_counter() - start
+                raise RuntimeError(
+                    f"no join sample accepted after {iterations} iterations; "
+                    "the join result is empty or vanishingly small"
                 )
-                candidate = index.sample_from(contribution, window, rng)
-                if candidate is None:
-                    continue
-                s_id, sx, sy = candidate
-                if not window.contains(sx, sy):
-                    continue
-                pairs.append(
-                    SamplePair(
-                        r_id=int(r_ids[r_index]),
-                        s_id=int(s_id),
-                        r_index=int(r_index),
-                        s_index=s_index_by_id[int(s_id)],
-                    )
-                )
+            size = next_batch_size(t - accepted, iterations, accepted, self._batch_size)
+            r = alias.draw_many(size, rng)
+            u_col = rng.random(size)
+            u_point = rng.random(size)
+            u_slot = rng.random(size) if needs_slot else None
+            if self._vectorized:
+                accept, cand_sid = self._round_vectorized(r, u_col, u_point, u_slot)
+            else:
+                accept, cand_sid = self._round_scalar(r, u_col, u_point, u_slot)
+            used, taken = cutoff_at(accept, t - accepted)
+            iterations += used
+            accepted += taken.size
+            if taken.size:
+                accepted_r.append(r[taken])
+                accepted_sid.append(cand_sid[taken])
+        pairs = self._assemble_pairs(accepted_r, accepted_sid)
         timings.sample_seconds = time.perf_counter() - start
 
         return JoinSampleResult(
@@ -199,3 +257,196 @@ class GridJoinSamplerBase(JoinSampler):
             iterations=iterations,
             metadata={"sum_mu": sum_mu},
         )
+
+    # ------------------------------------------------------------------
+    # Round processors (the two differential twins)
+    # ------------------------------------------------------------------
+    def _round_vectorized(
+        self,
+        r: np.ndarray,
+        u_col: np.ndarray,
+        u_point: np.ndarray,
+        u_slot: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve one round of attempts with numpy gathers.
+
+        Returns ``(accept, candidate_s_id)`` arrays in attempt order;
+        rejected attempts carry ``-1``.
+        """
+        spec = self.spec
+        index = self._index
+        assert index is not None and self._runtime is not None
+        bounds, cumulative, _alias, _sum_mu = self._runtime
+        if self._cell_ids is None:
+            self._cell_ids = index.grid.neighbor_cell_ids(
+                spec.r_points.xs, spec.r_points.ys
+            )
+        flat = index.grid.flat()
+        half = spec.half_extent
+        size = r.size
+
+        rows = cumulative[r]
+        totals = rows[:, -1]
+        # searchsorted(row, u * total, side="right") per attempt, vectorised
+        # as a count of cumulative entries <= target over the 9 columns.
+        target = u_col * totals
+        col = np.minimum(np.sum(rows <= target[:, None], axis=1), 8)
+        counts = bounds[r, col].astype(np.int64)
+        cell_ids = self._cell_ids[r, col]
+        rx = spec.r_points.xs[r]
+        ry = spec.r_points.ys[r]
+        wxmin, wxmax = rx - half, rx + half
+        wymin, wymax = ry - half, ry + half
+        viable = (totals > 0) & (counts > 0) & (cell_ids >= 0)
+
+        pos_x_view = np.full(size, -1, dtype=np.int64)
+        pos_y_view = np.full(size, -1, dtype=np.int64)
+        for column in range(9):
+            sel = np.flatnonzero(viable & (col == column))
+            if sel.size == 0:
+                continue
+            kind = NEIGHBOR_OFFSETS[column]
+            sel_cells = cell_ids[sel]
+            sel_counts = counts[sel]
+            starts = flat.starts[sel_cells]
+            lengths = flat.lengths[sel_cells]
+            if kind is NeighborKind.CENTER:
+                pos_x_view[sel] = starts + pick_int(u_point[sel], lengths)
+            elif kind is NeighborKind.LEFT:
+                pos_x_view[sel] = starts + (lengths - sel_counts) + pick_int(
+                    u_point[sel], sel_counts
+                )
+            elif kind is NeighborKind.RIGHT:
+                pos_x_view[sel] = starts + pick_int(u_point[sel], sel_counts)
+            elif kind is NeighborKind.DOWN:
+                pos_y_view[sel] = starts + (lengths - sel_counts) + pick_int(
+                    u_point[sel], sel_counts
+                )
+            elif kind is NeighborKind.UP:
+                pos_y_view[sel] = starts + pick_int(u_point[sel], sel_counts)
+            else:
+                pos_x_view[sel] = index.corner_pick_batch(
+                    kind,
+                    sel_cells,
+                    sel_counts,
+                    u_point[sel],
+                    u_slot[sel] if u_slot is not None else None,
+                    wxmin[sel],
+                    wymin[sel],
+                    wxmax[sel],
+                    wymax[sel],
+                )
+
+        cand_sid = np.full(size, -1, dtype=np.int64)
+        cand_x = np.zeros(size, dtype=np.float64)
+        cand_y = np.zeros(size, dtype=np.float64)
+        from_x = pos_x_view >= 0
+        if np.any(from_x):
+            gathered = pos_x_view[from_x]
+            cand_sid[from_x] = flat.ids_by_x[gathered]
+            cand_x[from_x] = flat.xs_by_x[gathered]
+            cand_y[from_x] = flat.ys_by_x[gathered]
+        from_y = pos_y_view >= 0
+        if np.any(from_y):
+            gathered = pos_y_view[from_y]
+            cand_sid[from_y] = flat.ids_by_y[gathered]
+            cand_x[from_y] = flat.xs_by_y[gathered]
+            cand_y[from_y] = flat.ys_by_y[gathered]
+        accept = (
+            (cand_sid >= 0)
+            & mask_in_windows(cand_x, cand_y, wxmin, wymin, wxmax, wymax)
+        )
+        cand_sid[~accept] = -1
+        return accept, cand_sid
+
+    def _round_scalar(
+        self,
+        r: np.ndarray,
+        u_col: np.ndarray,
+        u_point: np.ndarray,
+        u_slot: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-attempt Python twin of :meth:`_round_vectorized`.
+
+        Consumes the same pre-drawn variates with the same selection rules,
+        so the two processors accept the same attempts and return the same
+        candidate points.
+        """
+        spec = self.spec
+        index = self._index
+        assert index is not None and self._runtime is not None
+        bounds, cumulative, _alias, _sum_mu = self._runtime
+        grid = index.grid
+        r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
+        size = r.size
+        accept = np.zeros(size, dtype=bool)
+        cand_sid = np.full(size, -1, dtype=np.int64)
+        for i in range(size):
+            r_index = int(r[i])
+            row = cumulative[r_index]
+            total = row[-1]
+            if total <= 0:
+                continue
+            column = min(int(np.searchsorted(row, u_col[i] * total, side="right")), 8)
+            count = int(bounds[r_index, column])
+            if count <= 0:
+                continue
+            kind = NEIGHBOR_OFFSETS[column]
+            rx, ry = float(r_xs[r_index]), float(r_ys[r_index])
+            base_key = grid.key_for(rx, ry)
+            cell = grid.get((base_key[0] + kind.offset[0], base_key[1] + kind.offset[1]))
+            if cell is None:
+                continue
+            window = index.window_for(rx, ry)
+            if kind is NeighborKind.CENTER:
+                candidate = cell.point_by_x_order(pick_int_scalar(u_point[i], len(cell)))
+            elif kind is NeighborKind.LEFT:
+                candidate = cell.point_by_x_order(
+                    len(cell) - count + pick_int_scalar(u_point[i], count)
+                )
+            elif kind is NeighborKind.RIGHT:
+                candidate = cell.point_by_x_order(pick_int_scalar(u_point[i], count))
+            elif kind is NeighborKind.DOWN:
+                candidate = cell.point_by_y_order(
+                    len(cell) - count + pick_int_scalar(u_point[i], count)
+                )
+            elif kind is NeighborKind.UP:
+                candidate = cell.point_by_y_order(pick_int_scalar(u_point[i], count))
+            else:
+                candidate = index.corner_pick_scalar(
+                    kind,
+                    cell,
+                    window,
+                    count,
+                    float(u_point[i]),
+                    float(u_slot[i]) if u_slot is not None else 0.0,
+                )
+            if candidate is None:
+                continue
+            s_id, sx, sy = candidate
+            if window.contains(sx, sy):
+                accept[i] = True
+                cand_sid[i] = s_id
+        return accept, cand_sid
+
+    # ------------------------------------------------------------------
+    def _assemble_pairs(
+        self, accepted_r: list[np.ndarray], accepted_sid: list[np.ndarray]
+    ) -> list[SamplePair]:
+        """Materialise :class:`SamplePair` objects from the accepted arrays.
+
+        The engine tracks candidates by dataset id (the grid stores ids, not
+        positions), so the ids are mapped back to positional indices with a
+        cached sorted-id lookup before the shared pair builder runs.
+        """
+        if not accepted_r:
+            return []
+        spec = self.spec
+        r_indices = np.concatenate(accepted_r)
+        s_ids = np.concatenate(accepted_sid)
+        if self._s_position_sorter is None:
+            self._s_position_sorter = np.argsort(spec.s_points.ids, kind="stable")
+        sorter = self._s_position_sorter
+        sorted_ids = spec.s_points.ids[sorter]
+        s_indices = sorter[np.searchsorted(sorted_ids, s_ids)]
+        return build_sample_pairs(spec, r_indices, s_indices)

@@ -12,9 +12,15 @@ import time
 
 import numpy as np
 
-from repro.core.base import JoinSampler, JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.base import (
+    JoinSampler,
+    JoinSampleResult,
+    PhaseTimings,
+    SamplePair,
+    build_sample_pairs,
+)
 from repro.core.config import JoinSpec
-from repro.core.full_join import spatial_range_join
+from repro.core.full_join import spatial_range_join_array
 from repro.grid.grid import Grid
 
 __all__ = ["JoinThenSample"]
@@ -23,8 +29,13 @@ __all__ = ["JoinThenSample"]
 class JoinThenSample(JoinSampler):
     """Materialise ``J`` with the exact grid join, then sample uniformly from it."""
 
-    def __init__(self, spec: JoinSpec) -> None:
-        super().__init__(spec)
+    def __init__(
+        self,
+        spec: JoinSpec,
+        batch_size: int | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
         self._grid: Grid | None = None
 
     @property
@@ -45,29 +56,18 @@ class JoinThenSample(JoinSampler):
         spec = self.spec
 
         start = time.perf_counter()
-        pairs_index = spatial_range_join(spec, self._grid)
+        pairs_index = spatial_range_join_array(spec, self._grid)
         timings.count_seconds = time.perf_counter() - start
-        if not pairs_index and t > 0:
+        if pairs_index.shape[0] == 0 and t > 0:
             raise ValueError(
                 "the spatial range join is empty; no samples can be drawn"
             )
 
         start = time.perf_counter()
         pairs: list[SamplePair] = []
-        if pairs_index and t > 0:
-            picks = rng.integers(len(pairs_index), size=t)
-            r_ids = spec.r_points.ids
-            s_ids = spec.s_points.ids
-            for pick in picks:
-                r_index, s_index = pairs_index[int(pick)]
-                pairs.append(
-                    SamplePair(
-                        r_id=int(r_ids[r_index]),
-                        s_id=int(s_ids[s_index]),
-                        r_index=r_index,
-                        s_index=s_index,
-                    )
-                )
+        if pairs_index.shape[0] and t > 0:
+            picks = rng.integers(pairs_index.shape[0], size=t)
+            pairs = build_sample_pairs(spec, pairs_index[picks, 0], pairs_index[picks, 1])
         timings.sample_seconds = time.perf_counter() - start
 
         return JoinSampleResult(
@@ -76,5 +76,5 @@ class JoinThenSample(JoinSampler):
             pairs=pairs,
             timings=timings,
             iterations=t,
-            metadata={"join_size": len(pairs_index)},
+            metadata={"join_size": int(pairs_index.shape[0])},
         )

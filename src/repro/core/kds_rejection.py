@@ -15,6 +15,14 @@ O(n sqrt(m)) counting phase with grid upper bounds:
 
 Because the bound counts whole cells, the acceptance probability can be low,
 which is exactly the weakness the proposed BBST algorithm removes.
+
+Batch engine: the UB phase is one vectorised 3x3 neighbourhood-count lookup
+(:meth:`repro.grid.grid.Grid.neighborhood_counts`), and the rejection loop
+runs in pre-drawn rounds - each round draws ``r`` picks, acceptance coins and
+point variates as flat arrays, decomposes the round's *distinct* windows with
+one batched kd-tree traversal, applies the acceptance test vectorised, and
+refills from the observed acceptance rate.  ``vectorized=False`` replays the
+identical variate arrays through the scalar per-attempt path.
 """
 
 from __future__ import annotations
@@ -24,20 +32,44 @@ import time
 import numpy as np
 
 from repro.alias.walker import AliasTable
-from repro.core.base import JoinSampler, JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.base import (
+    JoinSampler,
+    JoinSampleResult,
+    PhaseTimings,
+    SamplePair,
+    build_sample_pairs,
+)
+from repro.core.batching import cutoff_at, next_batch_size, pick_int_scalar, window_bounds
 from repro.core.config import JoinSpec
 from repro.core.guards import empty_join_guard as _empty_join_guard
 from repro.grid.grid import Grid
+from repro.kdtree.batch import canonical_pick, iter_chunked_decompositions
 from repro.kdtree.sampling import KDSRangeSampler
 
 __all__ = ["KDSRejectionSampler"]
 
 
 class KDSRejectionSampler(JoinSampler):
-    """The KDS-rejection baseline: loose grid bounds plus rejection sampling."""
+    """The KDS-rejection baseline: loose grid bounds plus rejection sampling.
 
-    def __init__(self, spec: JoinSpec, leaf_size: int = 16) -> None:
-        super().__init__(spec)
+    Parameters
+    ----------
+    spec:
+        The join instance.
+    leaf_size:
+        Leaf bucket size of the kd-tree over ``S``.
+    batch_size, vectorized:
+        Batch-engine knobs (see :class:`~repro.core.base.JoinSampler`).
+    """
+
+    def __init__(
+        self,
+        spec: JoinSpec,
+        leaf_size: int = 16,
+        batch_size: int | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
         self._leaf_size = leaf_size
         self._range_sampler: KDSRangeSampler | None = None
         self._grid: Grid | None = None
@@ -56,6 +88,12 @@ class KDSRejectionSampler(JoinSampler):
     def _preprocess_impl(self) -> None:
         self._range_sampler = KDSRangeSampler(self.spec.s_points, leaf_size=self._leaf_size)
 
+    def _windows(self, r_indices: np.ndarray) -> tuple[np.ndarray, ...]:
+        spec = self.spec
+        return window_bounds(
+            spec.r_points.xs[r_indices], spec.r_points.ys[r_indices], spec.half_extent
+        )
+
     def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
         assert self._range_sampler is not None
         spec = self.spec
@@ -71,12 +109,15 @@ class KDSRejectionSampler(JoinSampler):
         # Upper-bounding phase (UB): mu(r) = total population of the 3x3 block.
         start = time.perf_counter()
         r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
-        mu = np.zeros(spec.n, dtype=np.int64)
-        for i in range(spec.n):
-            total = 0
-            for _kind, cell in grid.neighborhood(float(r_xs[i]), float(r_ys[i])):
-                total += len(cell)
-            mu[i] = total
+        if self._vectorized:
+            mu = grid.neighborhood_counts(r_xs, r_ys).sum(axis=1)
+        else:
+            mu = np.zeros(spec.n, dtype=np.int64)
+            for i in range(spec.n):
+                total = 0
+                for _kind, cell in grid.neighborhood(float(r_xs[i]), float(r_ys[i])):
+                    total += len(cell)
+                mu[i] = total
         sum_mu = int(mu.sum())
         alias: AliasTable | None = AliasTable(mu) if sum_mu > 0 else None
         timings.count_seconds = time.perf_counter() - start
@@ -86,39 +127,39 @@ class KDSRejectionSampler(JoinSampler):
                 "no samples can be drawn"
             )
 
-        # Rejection sampling phase.
+        # Rejection sampling phase, in pre-drawn rounds.
         start = time.perf_counter()
-        pairs: list[SamplePair] = []
+        accepted_r: list[np.ndarray] = []
+        accepted_s: list[np.ndarray] = []
+        accepted = 0
         iterations = 0
         guard = _empty_join_guard(t)
-        if alias is not None and t > 0:
-            r_ids = spec.r_points.ids
-            s_ids = spec.s_points.ids
-            while len(pairs) < t:
-                if not pairs and iterations >= guard:
-                    raise RuntimeError(
-                        f"no join sample accepted after {iterations} iterations; "
-                        "the join result is empty or vanishingly small"
-                    )
-                iterations += 1
-                r_index = alias.draw(rng)
-                window = spec.window_of_index(r_index)
-                decomposition = self._range_sampler.tree.decompose(window)
-                exact_count = decomposition.count
-                if exact_count == 0:
-                    continue
-                # Accept with probability |S(w(r))| / mu(r).
-                if rng.random() >= exact_count / mu[r_index]:
-                    continue
-                s_index = self._range_sampler.tree.draw_from(decomposition, rng)
-                pairs.append(
-                    SamplePair(
-                        r_id=int(r_ids[r_index]),
-                        s_id=int(s_ids[s_index]),
-                        r_index=int(r_index),
-                        s_index=int(s_index),
-                    )
+        while alias is not None and accepted < t:
+            if accepted == 0 and iterations >= guard:
+                timings.sample_seconds = time.perf_counter() - start
+                raise RuntimeError(
+                    f"no join sample accepted after {iterations} iterations; "
+                    "the join result is empty or vanishingly small"
                 )
+            size = next_batch_size(t - accepted, iterations, accepted, self._batch_size)
+            r = alias.draw_many(size, rng)
+            u_accept = rng.random(size)
+            u_point = rng.random(size)
+            if self._vectorized:
+                accept, s_pos = self._round_vectorized(r, u_accept, u_point, mu)
+            else:
+                accept, s_pos = self._round_scalar(r, u_accept, u_point, mu)
+            used, taken = cutoff_at(accept, t - accepted)
+            iterations += used
+            accepted += taken.size
+            if taken.size:
+                accepted_r.append(r[taken])
+                accepted_s.append(s_pos[taken])
+        pairs: list[SamplePair] = []
+        if accepted_r:
+            pairs = build_sample_pairs(
+                spec, np.concatenate(accepted_r), np.concatenate(accepted_s)
+            )
         timings.sample_seconds = time.perf_counter() - start
 
         return JoinSampleResult(
@@ -129,3 +170,58 @@ class KDSRejectionSampler(JoinSampler):
             iterations=iterations,
             metadata={"sum_mu": sum_mu},
         )
+
+    # ------------------------------------------------------------------
+    def _round_vectorized(
+        self,
+        r: np.ndarray,
+        u_accept: np.ndarray,
+        u_point: np.ndarray,
+        mu: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve one rejection round with batched decompositions."""
+        tree = self._range_sampler.tree  # type: ignore[union-attr]
+        accept = np.zeros(r.size, dtype=bool)
+        s_pos = np.full(r.size, -1, dtype=np.int64)
+        unique_r, inverse = np.unique(r, return_inverse=True)
+        wxmin, wymin, wxmax, wymax = self._windows(unique_r)
+        for attempts, local, decomposition in iter_chunked_decompositions(
+            tree, wxmin, wymin, wxmax, wymax, inverse
+        ):
+            exact = decomposition.counts[local]
+            # Accept with probability |S(w(r))| / mu(r).
+            ok = (exact > 0) & (u_accept[attempts] < exact / mu[r[attempts]])
+            hits = attempts[ok]
+            if hits.size:
+                s_pos[hits] = decomposition.draw(local[ok], u_point[hits])
+                accept[hits] = True
+        return accept, s_pos
+
+    def _round_scalar(
+        self,
+        r: np.ndarray,
+        u_accept: np.ndarray,
+        u_point: np.ndarray,
+        mu: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-attempt twin consuming the same pre-drawn variate arrays."""
+        tree = self._range_sampler.tree  # type: ignore[union-attr]
+        spec = self.spec
+        accept = np.zeros(r.size, dtype=bool)
+        s_pos = np.full(r.size, -1, dtype=np.int64)
+        cache: dict[int, object] = {}
+        for i in range(r.size):
+            r_index = int(r[i])
+            decomposition = cache.get(r_index)
+            if decomposition is None:
+                decomposition = tree.decompose(spec.window_of_index(r_index))
+                cache[r_index] = decomposition
+            exact = decomposition.count
+            if exact == 0:
+                continue
+            if u_accept[i] >= exact / mu[r_index]:
+                continue
+            rank = pick_int_scalar(float(u_point[i]), exact)
+            s_pos[i] = canonical_pick(tree, decomposition, rank)
+            accept[i] = True
+        return accept, s_pos

@@ -13,6 +13,15 @@ The algorithm:
 
 Every iteration yields an accepted pair, so the number of iterations equals
 ``t``; the cost per iteration is what makes this baseline slow.
+
+Batch engine: the counting phase issues one batched traversal over all ``n``
+windows (:meth:`repro.kdtree.tree.KDTree.count_many`), and the sampling phase
+draws all ``t`` alias picks at once, decomposes only the *distinct* drawn
+windows (one batched traversal per chunk of distinct windows), and maps every
+attempt's uniform variate to a point with the canonical-rank draw of
+:class:`repro.kdtree.batch.BatchDecomposition`.  ``vectorized=False`` runs
+the same pre-drawn variates through per-attempt scalar decompositions and
+:func:`repro.kdtree.batch.canonical_pick`; both paths return identical pairs.
 """
 
 from __future__ import annotations
@@ -22,18 +31,44 @@ import time
 import numpy as np
 
 from repro.alias.walker import AliasTable
-from repro.core.base import JoinSampler, JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.base import (
+    JoinSampler,
+    JoinSampleResult,
+    PhaseTimings,
+    SamplePair,
+    build_sample_pairs,
+)
+from repro.core.batching import pick_int_scalar, window_bounds
 from repro.core.config import JoinSpec
+from repro.kdtree.batch import canonical_pick, iter_chunked_decompositions
 from repro.kdtree.sampling import KDSRangeSampler
 
 __all__ = ["KDSSampler"]
 
 
 class KDSSampler(JoinSampler):
-    """The KDS baseline: exact counting plus kd-tree range sampling."""
+    """The KDS baseline: exact counting plus kd-tree range sampling.
 
-    def __init__(self, spec: JoinSpec, leaf_size: int = 16) -> None:
-        super().__init__(spec)
+    Parameters
+    ----------
+    spec:
+        The join instance.
+    leaf_size:
+        Leaf bucket size of the kd-tree over ``S``.
+    batch_size, vectorized:
+        Batch-engine knobs (see :class:`~repro.core.base.JoinSampler`); KDS
+        accepts every attempt, so ``batch_size`` only affects internal round
+        sizes, not the draw schedule.
+    """
+
+    def __init__(
+        self,
+        spec: JoinSpec,
+        leaf_size: int = 16,
+        batch_size: int | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
         self._leaf_size = leaf_size
         self._range_sampler: KDSRangeSampler | None = None
 
@@ -48,16 +83,27 @@ class KDSSampler(JoinSampler):
     def _preprocess_impl(self) -> None:
         self._range_sampler = KDSRangeSampler(self.spec.s_points, leaf_size=self._leaf_size)
 
+    def _windows(self, r_indices: np.ndarray) -> tuple[np.ndarray, ...]:
+        spec = self.spec
+        return window_bounds(
+            spec.r_points.xs[r_indices], spec.r_points.ys[r_indices], spec.half_extent
+        )
+
     def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
         assert self._range_sampler is not None
         spec = self.spec
         timings = PhaseTimings()
+        tree = self._range_sampler.tree
 
         # Exact range counting phase (the paper's UB column for KDS).
         start = time.perf_counter()
-        counts = np.empty(spec.n, dtype=np.int64)
-        for i in range(spec.n):
-            counts[i] = self._range_sampler.range_count(spec.window_of_index(i))
+        if self._vectorized:
+            wxmin, wymin, wxmax, wymax = self._windows(np.arange(spec.n))
+            counts = tree.count_many(wxmin, wymin, wxmax, wymax)
+        else:
+            counts = np.empty(spec.n, dtype=np.int64)
+            for i in range(spec.n):
+                counts[i] = self._range_sampler.range_count(spec.window_of_index(i))
         join_size = int(counts.sum())
         alias: AliasTable | None = None
         if join_size > 0:
@@ -74,23 +120,14 @@ class KDSSampler(JoinSampler):
         pairs: list[SamplePair] = []
         iterations = 0
         if alias is not None and t > 0:
-            r_ids = spec.r_points.ids
-            s_ids = spec.s_points.ids
-            while len(pairs) < t:
-                iterations += 1
-                r_index = alias.draw(rng)
-                window = spec.window_of_index(r_index)
-                s_index = self._range_sampler.sample_position(window, rng)
-                if s_index is None:  # pragma: no cover - counts[r_index] > 0 guarantees a hit
-                    continue
-                pairs.append(
-                    SamplePair(
-                        r_id=int(r_ids[r_index]),
-                        s_id=int(s_ids[s_index]),
-                        r_index=int(r_index),
-                        s_index=int(s_index),
-                    )
-                )
+            r_indices = alias.draw_many(t, rng)
+            u_point = rng.random(t)
+            iterations = t
+            if self._vectorized:
+                s_indices = self._draw_vectorized(r_indices, u_point)
+            else:
+                s_indices = self._draw_scalar(r_indices, u_point)
+            pairs = build_sample_pairs(spec, r_indices, s_indices)
         timings.sample_seconds = time.perf_counter() - start
 
         return JoinSampleResult(
@@ -101,3 +138,32 @@ class KDSSampler(JoinSampler):
             iterations=iterations,
             metadata={"join_size": join_size},
         )
+
+    # ------------------------------------------------------------------
+    def _draw_vectorized(self, r_indices: np.ndarray, u_point: np.ndarray) -> np.ndarray:
+        """One point per attempt via batched decomposition of distinct windows."""
+        tree = self._range_sampler.tree  # type: ignore[union-attr]
+        unique_r, inverse = np.unique(r_indices, return_inverse=True)
+        wxmin, wymin, wxmax, wymax = self._windows(unique_r)
+        s_indices = np.empty(r_indices.size, dtype=np.int64)
+        for attempts, local, decomposition in iter_chunked_decompositions(
+            tree, wxmin, wymin, wxmax, wymax, inverse
+        ):
+            s_indices[attempts] = decomposition.draw(local, u_point[attempts])
+        return s_indices
+
+    def _draw_scalar(self, r_indices: np.ndarray, u_point: np.ndarray) -> np.ndarray:
+        """Scalar twin: per-attempt decomposition plus canonical rank pick."""
+        tree = self._range_sampler.tree  # type: ignore[union-attr]
+        spec = self.spec
+        cache: dict[int, object] = {}
+        s_indices = np.empty(r_indices.size, dtype=np.int64)
+        for i in range(r_indices.size):
+            r_index = int(r_indices[i])
+            decomposition = cache.get(r_index)
+            if decomposition is None:
+                decomposition = tree.decompose(spec.window_of_index(r_index))
+                cache[r_index] = decomposition
+            rank = pick_int_scalar(float(u_point[i]), decomposition.count)
+            s_indices[i] = canonical_pick(tree, decomposition, rank)
+        return s_indices

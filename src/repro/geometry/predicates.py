@@ -15,6 +15,7 @@ __all__ = [
     "rect_contains_point",
     "rects_overlap",
     "mask_in_rect",
+    "mask_in_windows",
     "points_in_rect",
     "count_in_rect",
 ]
@@ -39,6 +40,23 @@ def mask_in_rect(points: PointSet, rect: Rect) -> np.ndarray:
         & (ys >= rect.ymin)
         & (ys <= rect.ymax)
     )
+
+
+def mask_in_windows(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    wxmin: np.ndarray,
+    wymin: np.ndarray,
+    wxmax: np.ndarray,
+    wymax: np.ndarray,
+) -> np.ndarray:
+    """Elementwise closed-window containment over parallel arrays.
+
+    The batch-sampling engine pairs candidate point ``i`` with window ``i``;
+    this is the vectorised counterpart of ``rect.contains(x, y)`` over those
+    pairs (every sampler's final ``s in w(r)`` acceptance check).
+    """
+    return (xs >= wxmin) & (xs <= wxmax) & (ys >= wymin) & (ys <= wymax)
 
 
 def points_in_rect(points: PointSet, rect: Rect) -> np.ndarray:

@@ -5,10 +5,18 @@
 Grid mapping is the paper's ``GRID-MAPPING(S, l)`` step: it runs in O(m) time
 (plus the per-cell sorts the online building phase needs, which this class
 also performs so that every cell exposes both sorted views).
+
+For the batch-sampling engine the grid additionally exposes a *flat* view
+(:class:`GridFlat`): every cell's sorted point arrays concatenated into
+single arrays with per-cell offsets, plus a packed-key table that resolves
+many ``(x, y) -> cell`` lookups with one ``searchsorted`` instead of one
+dict probe per point.  The flat view is built lazily on first use and adds
+O(m) memory.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 import numpy as np
@@ -18,7 +26,50 @@ from repro.geometry.rect import Rect
 from repro.grid.cell import GridCell
 from repro.grid.neighbors import NEIGHBOR_OFFSETS, NeighborKind
 
-__all__ = ["Grid"]
+__all__ = ["Grid", "GridFlat"]
+
+#: Packed-key lookups require cell indices to fit in 32 bits; coordinates
+#: beyond ``cell_size * 2**31`` fall back to per-point dict probes.
+_PACK_LIMIT = np.int64(2**31 - 1)
+
+
+@dataclass(frozen=True)
+class GridFlat:
+    """Concatenated, gather-friendly view of a grid's cells.
+
+    ``cells[i]`` owns the half-open slice ``[starts[i], starts[i] + lengths[i])``
+    of every flat array.  ``*_by_x`` arrays concatenate each cell's x-sorted
+    view, ``*_by_y`` the y-sorted copy ``Sy(c)``; within its slice each view
+    keeps the cell's own sort order, so a (cell, position) pair from the
+    scalar code maps to ``starts[cell] + position`` here.
+    """
+
+    cells: tuple[GridCell, ...]
+    starts: np.ndarray
+    lengths: np.ndarray
+    xs_by_x: np.ndarray
+    ys_by_x: np.ndarray
+    ids_by_x: np.ndarray
+    xs_by_y: np.ndarray
+    ys_by_y: np.ndarray
+    ids_by_y: np.ndarray
+    #: Packed ``(ix << 32) | iy`` keys sorted ascending, and the cell index
+    #: each sorted key belongs to; empty when packing is unsupported.
+    packed_keys: np.ndarray
+    packed_cell_ids: np.ndarray
+    supports_packing: bool
+
+
+def _pack_keys(ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+    """Pack ``(ix, iy)`` key pairs into one injective int64 per pair.
+
+    Valid only while both components fit in 32 bits (callers check against
+    :data:`_PACK_LIMIT`): the high word holds ``ix``, the low word ``iy``
+    modulo ``2**32``, which is injective over the supported range.
+    """
+    return (ix.astype(np.int64) << np.int64(32)) | (
+        iy.astype(np.int64) & np.int64(0xFFFFFFFF)
+    )
 
 
 class Grid:
@@ -39,7 +90,7 @@ class Grid:
         phase.
     """
 
-    __slots__ = ("_cells", "_cell_size", "_size", "_source_name")
+    __slots__ = ("_cells", "_cell_size", "_size", "_source_name", "_flat")
 
     def __init__(
         self,
@@ -53,6 +104,7 @@ class Grid:
         self._size = len(points)
         self._source_name = points.name
         self._cells: dict[tuple[int, int], GridCell] = {}
+        self._flat: GridFlat | None = None
         if len(points) == 0:
             return
 
@@ -160,6 +212,107 @@ class Grid:
             if cell is not None:
                 found.append((kind, cell))
         return found
+
+    # ------------------------------------------------------------------
+    # Batch (vectorised) lookups
+    # ------------------------------------------------------------------
+    def flat(self) -> GridFlat:
+        """The concatenated gather-friendly view (built lazily, then cached)."""
+        if self._flat is None:
+            self._flat = self._build_flat()
+        return self._flat
+
+    def _build_flat(self) -> GridFlat:
+        cells = tuple(self._cells.values())
+        lengths = np.array([len(cell) for cell in cells], dtype=np.int64)
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1])) if cells else np.empty(0, dtype=np.int64)
+
+        def concat(arrays: list[np.ndarray], dtype) -> np.ndarray:
+            if not arrays:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(arrays)
+
+        keys_ix = np.array([cell.key[0] for cell in cells], dtype=np.int64)
+        keys_iy = np.array([cell.key[1] for cell in cells], dtype=np.int64)
+        supports_packing = bool(
+            cells
+            and np.all(np.abs(keys_ix) <= _PACK_LIMIT)
+            and np.all(np.abs(keys_iy) <= _PACK_LIMIT)
+        )
+        if supports_packing:
+            packed = _pack_keys(keys_ix, keys_iy)
+            order = np.argsort(packed, kind="stable")
+            packed_keys = packed[order]
+            packed_cell_ids = order.astype(np.int64)
+        else:
+            packed_keys = np.empty(0, dtype=np.int64)
+            packed_cell_ids = np.empty(0, dtype=np.int64)
+        return GridFlat(
+            cells=cells,
+            starts=starts,
+            lengths=lengths,
+            xs_by_x=concat([c.xs_by_x for c in cells], np.float64),
+            ys_by_x=concat([c.ys_by_x for c in cells], np.float64),
+            ids_by_x=concat([c.ids_by_x for c in cells], np.int64),
+            xs_by_y=concat([c.xs_by_y for c in cells], np.float64),
+            ys_by_y=concat([c.ys_by_y for c in cells], np.float64),
+            ids_by_y=concat([c.ids_by_y for c in cells], np.int64),
+            packed_keys=packed_keys,
+            packed_cell_ids=packed_cell_ids,
+            supports_packing=supports_packing,
+        )
+
+    def lookup_cell_ids(self, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+        """Flat cell index per ``(ix, iy)`` key, or ``-1`` for empty cells."""
+        flat = self.flat()
+        ix = np.asarray(ix, dtype=np.int64)
+        iy = np.asarray(iy, dtype=np.int64)
+        out = np.full(ix.shape, -1, dtype=np.int64)
+        if not flat.cells:
+            return out
+        if not flat.supports_packing or np.any(np.abs(ix) > _PACK_LIMIT) or np.any(
+            np.abs(iy) > _PACK_LIMIT
+        ):
+            # Coordinates outside the 32-bit key range: per-point dict probes.
+            index_of = {cell.key: i for i, cell in enumerate(flat.cells)}
+            for pos in range(ix.size):
+                out.flat[pos] = index_of.get((int(ix.flat[pos]), int(iy.flat[pos])), -1)
+            return out
+        packed = _pack_keys(ix, iy)
+        slots = np.searchsorted(flat.packed_keys, packed)
+        slots = np.minimum(slots, flat.packed_keys.size - 1)
+        found = flat.packed_keys[slots] == packed
+        out[found] = flat.packed_cell_ids[slots[found]]
+        return out
+
+    def neighbor_cell_ids(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Flat cell indices of every query's 3x3 block, shape ``(q, 9)``.
+
+        Columns follow :data:`~repro.grid.neighbors.NEIGHBOR_OFFSETS`; empty
+        cells are ``-1``.  This is the batch counterpart of
+        :meth:`neighborhood`.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        base_ix = np.floor(xs / self._cell_size).astype(np.int64)
+        base_iy = np.floor(ys / self._cell_size).astype(np.int64)
+        offsets = np.array([kind.offset for kind in NEIGHBOR_OFFSETS], dtype=np.int64)
+        ix = base_ix[:, None] + offsets[None, :, 0]
+        iy = base_iy[:, None] + offsets[None, :, 1]
+        return self.lookup_cell_ids(ix, iy)
+
+    def neighborhood_counts(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Point count of every query's 3x3 block cells, shape ``(q, 9)``.
+
+        ``sum(axis=1)`` is the KDS-rejection bound ``mu(r)`` for every query
+        in one shot.
+        """
+        flat = self.flat()
+        cell_ids = self.neighbor_cell_ids(xs, ys)
+        counts = np.zeros(cell_ids.shape, dtype=np.int64)
+        present = cell_ids >= 0
+        counts[present] = flat.lengths[cell_ids[present]]
+        return counts
 
     # ------------------------------------------------------------------
     # Statistics

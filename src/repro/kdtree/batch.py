@@ -1,0 +1,347 @@
+"""Batched orthogonal range queries over the kd-tree.
+
+The KDS baselines issue one kd-tree traversal per outer point (counting
+phase) and one per drawn sample (sampling phase).  This module answers *many*
+windows with one frontier-style traversal: instead of recursing per query, a
+flat ``(query, node)`` frontier is advanced level by level with vectorised
+bounding-box tests, fully-covered subtrees are recorded as canonical
+segments, and partially-overlapping leaves are resolved with one vectorised
+containment test over all (query, point) candidate pairs.
+
+The result of :func:`batch_decompose` is a :class:`BatchDecomposition`: per
+query, the same canonical slices / boundary points a scalar
+:meth:`repro.kdtree.tree.KDTree.decompose` call produces, stored column-wise
+and ordered *canonically* (slices by ascending start, then boundary points by
+ascending position).  :func:`canonical_pick` applies the identical ordering
+to a scalar :class:`~repro.kdtree.tree.RangeDecomposition`, which is what
+lets the vectorised and scalar sampler paths map the same random rank to the
+same point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batching import pick_int, ragged_offsets
+from repro.kdtree.node import NO_CHILD
+from repro.kdtree.tree import KDTree, RangeDecomposition
+
+__all__ = [
+    "BatchDecomposition",
+    "batch_count",
+    "batch_decompose",
+    "canonical_pick",
+    "iter_chunked_decompositions",
+]
+
+#: Queries processed per internal block (bounds frontier/expansion memory).
+_QUERY_BLOCK = 8_192
+
+#: Distinct windows decomposed per chunk by :func:`iter_chunked_decompositions`.
+WINDOW_CHUNK = 4_096
+
+
+@dataclass(frozen=True)
+class BatchDecomposition:
+    """Canonical decompositions of many windows, stored column-wise.
+
+    ``seg_*`` arrays describe one segment per row, sorted by
+    ``(query, is_boundary, start)``:
+
+    * slice segments (``seg_is_boundary`` False) cover
+      ``perm[start : start + length]`` of the tree's permuted point array;
+    * boundary segments (True) are single points whose original position is
+      ``start`` directly.
+
+    ``counts[q]`` is the exact number of indexed points inside window ``q``.
+    """
+
+    counts: np.ndarray
+    seg_query: np.ndarray
+    seg_start: np.ndarray
+    seg_length: np.ndarray
+    seg_is_boundary: np.ndarray
+    _perm: np.ndarray
+    _seg_cum: np.ndarray
+
+    @property
+    def num_queries(self) -> int:
+        """Number of decomposed windows."""
+        return int(self.counts.shape[0])
+
+    def draw(self, queries: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """One uniform point position per ``(query, variate)`` pair.
+
+        ``queries`` may repeat (many draws from one window).  ``u`` holds the
+        uniform variates; the pick is the canonical-rank point
+        ``rank = floor(u * counts[query])``, so any implementation agreeing
+        on the canonical order produces identical positions.  Returns ``-1``
+        for queries whose window is empty.
+        """
+        queries = np.asarray(queries, dtype=np.int64)
+        out = np.full(queries.shape, -1, dtype=np.int64)
+        if queries.size == 0 or self.seg_query.size == 0:
+            return out
+        bounds = self.counts[queries]
+        valid = bounds > 0
+        if not np.any(valid):
+            return out
+        ranks = pick_int(np.asarray(u, dtype=np.float64)[valid], bounds[valid])
+        first_seg = np.searchsorted(self.seg_query, queries[valid], side="left")
+        seg_excl = self._seg_cum - self.seg_length
+        target = seg_excl[first_seg] + ranks
+        seg = np.searchsorted(self._seg_cum, target, side="right")
+        offset = target - seg_excl[seg]
+        base = self.seg_start[seg]
+        # Gathering perm is safe for boundary rows too: base is then a valid
+        # point position and the gathered value is discarded by the where().
+        perm_pos = self._perm[np.minimum(base + offset, self._perm.size - 1)]
+        out[valid] = np.where(self.seg_is_boundary[seg], base, perm_pos)
+        return out
+
+
+def _window_arrays(
+    wxmin: np.ndarray, wymin: np.ndarray, wxmax: np.ndarray, wymax: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    arrays = tuple(np.asarray(a, dtype=np.float64) for a in (wxmin, wymin, wxmax, wymax))
+    sizes = {a.shape for a in arrays}
+    if len(sizes) != 1 or arrays[0].ndim != 1:
+        raise ValueError("window bound arrays must be parallel one-dimensional arrays")
+    return arrays
+
+
+def _traverse_block(
+    tree: KDTree,
+    query_offset: int,
+    wxmin: np.ndarray,
+    wymin: np.ndarray,
+    wxmax: np.ndarray,
+    wymax: np.ndarray,
+    counts: np.ndarray,
+    segments: list[tuple[np.ndarray, np.ndarray, np.ndarray, bool]] | None,
+) -> None:
+    """Advance the (query, node) frontier for one block of windows."""
+    nodes = tree._nodes
+    px, py, perm = tree._px, tree._py, tree._perm
+    frontier_q = np.arange(wxmin.size, dtype=np.int64)
+    frontier_n = np.full(wxmin.size, tree._root, dtype=np.int64)
+    leaf_q: list[np.ndarray] = []
+    leaf_lo: list[np.ndarray] = []
+    leaf_hi: list[np.ndarray] = []
+    while frontier_q.size:
+        nxmin = nodes.xmin[frontier_n]
+        nxmax = nodes.xmax[frontier_n]
+        nymin = nodes.ymin[frontier_n]
+        nymax = nodes.ymax[frontier_n]
+        qxmin = wxmin[frontier_q]
+        qxmax = wxmax[frontier_q]
+        qymin = wymin[frontier_q]
+        qymax = wymax[frontier_q]
+        disjoint = (nxmax < qxmin) | (qxmax < nxmin) | (nymax < qymin) | (qymax < nymin)
+        contained = (
+            (qxmin <= nxmin) & (nxmax <= qxmax) & (qymin <= nymin) & (nymax <= qymax)
+        )
+        full = contained & ~disjoint
+        if np.any(full):
+            sel = np.flatnonzero(full)
+            lo = nodes.lo[frontier_n[sel]]
+            hi = nodes.hi[frontier_n[sel]]
+            np.add.at(counts, query_offset + frontier_q[sel], hi - lo)
+            if segments is not None:
+                segments.append((frontier_q[sel] + query_offset, lo, hi - lo, False))
+        partial = ~full & ~disjoint
+        is_leaf = nodes.left[frontier_n] == NO_CHILD
+        at_leaf = partial & is_leaf
+        if np.any(at_leaf):
+            sel = np.flatnonzero(at_leaf)
+            leaf_q.append(frontier_q[sel])
+            leaf_lo.append(nodes.lo[frontier_n[sel]])
+            leaf_hi.append(nodes.hi[frontier_n[sel]])
+        descend = partial & ~is_leaf
+        if not np.any(descend):
+            break
+        sel = np.flatnonzero(descend)
+        children_q = frontier_q[sel]
+        children_n = frontier_n[sel]
+        frontier_q = np.concatenate((children_q, children_q))
+        frontier_n = np.concatenate((nodes.left[children_n], nodes.right[children_n]))
+
+    if not leaf_q:
+        return
+    lq = np.concatenate(leaf_q)
+    llo = np.concatenate(leaf_lo)
+    lhi = np.concatenate(leaf_hi)
+    pair_q, offsets = ragged_offsets(lhi - llo)
+    point_idx = llo[pair_q] + offsets
+    owner = lq[pair_q]
+    inside = (
+        (px[point_idx] >= wxmin[owner])
+        & (px[point_idx] <= wxmax[owner])
+        & (py[point_idx] >= wymin[owner])
+        & (py[point_idx] <= wymax[owner])
+    )
+    if not np.any(inside):
+        return
+    hit_q = owner[inside]
+    hit_pos = perm[point_idx[inside]]
+    np.add.at(counts, query_offset + hit_q, 1)
+    if segments is not None:
+        segments.append(
+            (
+                hit_q + query_offset,
+                hit_pos,
+                np.ones(hit_pos.size, dtype=np.int64),
+                True,
+            )
+        )
+
+
+def batch_count(
+    tree: KDTree,
+    wxmin: np.ndarray,
+    wymin: np.ndarray,
+    wxmax: np.ndarray,
+    wymax: np.ndarray,
+) -> np.ndarray:
+    """Exact in-window point counts for many windows at once.
+
+    Equivalent to ``[tree.count(w) for w in windows]`` but traverses the
+    tree once per frontier level instead of once per query.
+    """
+    wxmin, wymin, wxmax, wymax = _window_arrays(wxmin, wymin, wxmax, wymax)
+    counts = np.zeros(wxmin.size, dtype=np.int64)
+    if tree._root == NO_CHILD:
+        return counts
+    for start in range(0, wxmin.size, _QUERY_BLOCK):
+        stop = min(start + _QUERY_BLOCK, wxmin.size)
+        _traverse_block(
+            tree,
+            start,
+            wxmin[start:stop],
+            wymin[start:stop],
+            wxmax[start:stop],
+            wymax[start:stop],
+            counts,
+            segments=None,
+        )
+    return counts
+
+
+def batch_decompose(
+    tree: KDTree,
+    wxmin: np.ndarray,
+    wymin: np.ndarray,
+    wxmax: np.ndarray,
+    wymax: np.ndarray,
+) -> BatchDecomposition:
+    """Canonical decompositions of many windows in one traversal."""
+    wxmin, wymin, wxmax, wymax = _window_arrays(wxmin, wymin, wxmax, wymax)
+    counts = np.zeros(wxmin.size, dtype=np.int64)
+    segments: list[tuple[np.ndarray, np.ndarray, np.ndarray, bool]] = []
+    if tree._root != NO_CHILD:
+        for start in range(0, wxmin.size, _QUERY_BLOCK):
+            stop = min(start + _QUERY_BLOCK, wxmin.size)
+            _traverse_block(
+                tree,
+                start,
+                wxmin[start:stop],
+                wymin[start:stop],
+                wxmax[start:stop],
+                wymax[start:stop],
+                counts,
+                segments=segments,
+            )
+    if segments:
+        seg_query = np.concatenate([s[0] for s in segments])
+        seg_start = np.concatenate([s[1] for s in segments])
+        seg_length = np.concatenate([s[2] for s in segments])
+        seg_is_boundary = np.concatenate(
+            [np.full(s[1].size, s[3], dtype=bool) for s in segments]
+        )
+        order = np.lexsort((seg_start, seg_is_boundary, seg_query))
+        seg_query = seg_query[order]
+        seg_start = seg_start[order]
+        seg_length = seg_length[order]
+        seg_is_boundary = seg_is_boundary[order]
+        seg_cum = np.cumsum(seg_length)
+    else:
+        seg_query = np.empty(0, dtype=np.int64)
+        seg_start = np.empty(0, dtype=np.int64)
+        seg_length = np.empty(0, dtype=np.int64)
+        seg_is_boundary = np.empty(0, dtype=bool)
+        seg_cum = np.empty(0, dtype=np.int64)
+    return BatchDecomposition(
+        counts=counts,
+        seg_query=seg_query,
+        seg_start=seg_start,
+        seg_length=seg_length,
+        seg_is_boundary=seg_is_boundary,
+        _perm=tree._perm,
+        _seg_cum=seg_cum,
+    )
+
+
+def iter_chunked_decompositions(
+    tree: KDTree,
+    wxmin: np.ndarray,
+    wymin: np.ndarray,
+    wxmax: np.ndarray,
+    wymax: np.ndarray,
+    inverse: np.ndarray,
+    chunk_size: int = WINDOW_CHUNK,
+):
+    """Decompose distinct windows in chunks and map attempts onto each chunk.
+
+    The window arrays describe the *distinct* windows of a sampling round
+    (one row per unique drawn outer point); ``inverse`` maps every attempt to
+    its distinct-window row (as returned by ``np.unique(..,
+    return_inverse=True)``).  Yields ``(attempts, local, decomposition)``
+    per chunk, where ``attempts`` are the round's attempt indices whose
+    window lies in the chunk and ``local`` are their window rows relative to
+    the chunk - ready for ``decomposition.counts[local]`` /
+    ``decomposition.draw(local, ...)``.
+
+    Attempts are grouped with one stable argsort of ``inverse`` up front, so
+    the per-chunk cost is two ``searchsorted`` calls instead of a full scan
+    of the round per chunk.
+    """
+    inverse = np.asarray(inverse, dtype=np.int64)
+    order = np.argsort(inverse, kind="stable")
+    sorted_inverse = inverse[order]
+    num_windows = np.asarray(wxmin).size
+    for chunk_start in range(0, num_windows, chunk_size):
+        chunk_stop = min(chunk_start + chunk_size, num_windows)
+        decomposition = batch_decompose(
+            tree,
+            wxmin[chunk_start:chunk_stop],
+            wymin[chunk_start:chunk_stop],
+            wxmax[chunk_start:chunk_stop],
+            wymax[chunk_start:chunk_stop],
+        )
+        lo = int(np.searchsorted(sorted_inverse, chunk_start, side="left"))
+        hi = int(np.searchsorted(sorted_inverse, chunk_stop, side="left"))
+        attempts = order[lo:hi]
+        yield attempts, inverse[attempts] - chunk_start, decomposition
+
+
+def canonical_pick(
+    tree: KDTree, decomposition: RangeDecomposition, rank: int
+) -> int | None:
+    """The ``rank``-th in-window point under the canonical enumeration.
+
+    Canonical order: canonical slices by ascending slice start (points inside
+    a slice in permuted-array order), then boundary positions ascending.
+    This is the scalar twin of :meth:`BatchDecomposition.draw`; both map the
+    same rank to the same point position.
+    """
+    total = decomposition.count
+    if total == 0 or not 0 <= rank < total:
+        return None
+    for lo, hi in sorted(decomposition.canonical_slices):
+        size = hi - lo
+        if rank < size:
+            return int(tree._perm[lo + rank])
+        rank -= size
+    return int(sorted(decomposition.boundary_positions)[rank])

@@ -57,6 +57,16 @@ class KDSRangeSampler:
         """Exact ``|S(w(r))|`` for the given window."""
         return self._tree.count(window)
 
+    def range_count_many(
+        self,
+        wxmin: np.ndarray,
+        wymin: np.ndarray,
+        wxmax: np.ndarray,
+        wymax: np.ndarray,
+    ) -> np.ndarray:
+        """Exact ``|S(w(r))|`` for many windows with one batched traversal."""
+        return self._tree.count_many(wxmin, wymin, wxmax, wymax)
+
     def range_report(self, window: Rect) -> np.ndarray:
         """Positions of every indexed point inside the window."""
         return self._tree.report(window)

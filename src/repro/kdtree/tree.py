@@ -215,6 +215,37 @@ class KDTree:
             stack.append(int(nodes.right[node]))
         return total
 
+    def count_many(
+        self,
+        wxmin: np.ndarray,
+        wymin: np.ndarray,
+        wxmax: np.ndarray,
+        wymax: np.ndarray,
+    ) -> np.ndarray:
+        """Exact counts for many windows with one batched traversal.
+
+        See :func:`repro.kdtree.batch.batch_count`; the four arrays are the
+        parallel window bounds.
+        """
+        from repro.kdtree.batch import batch_count
+
+        return batch_count(self, wxmin, wymin, wxmax, wymax)
+
+    def decompose_many(
+        self,
+        wxmin: np.ndarray,
+        wymin: np.ndarray,
+        wxmax: np.ndarray,
+        wymax: np.ndarray,
+    ):
+        """Canonical decompositions of many windows with one batched traversal.
+
+        See :func:`repro.kdtree.batch.batch_decompose`.
+        """
+        from repro.kdtree.batch import batch_decompose
+
+        return batch_decompose(self, wxmin, wymin, wxmax, wymax)
+
     def report(self, rect: Rect) -> np.ndarray:
         """Positions (into the original point set) of every point inside ``rect``."""
         decomposition = self.decompose(rect)

@@ -1,0 +1,97 @@
+"""The batched bound matrix reproduces the scalar contributions exactly."""
+
+import numpy as np
+import pytest
+
+from repro.bbst.join_index import BBSTJoinIndex, corner_bucket_qualifies
+from repro.core.cell_kdtree_sampler import CellKDTreeJoinIndex
+from repro.geometry.point import PointSet
+from repro.grid.neighbors import NEIGHBOR_OFFSETS
+
+_COLUMN = {kind: column for column, kind in enumerate(NEIGHBOR_OFFSETS)}
+
+
+@pytest.fixture(params=[BBSTJoinIndex, CellKDTreeJoinIndex], ids=lambda cls: cls.__name__)
+def index_class(request):
+    return request.param
+
+
+def _scalar_bounds(index, x: float, y: float) -> np.ndarray:
+    row = np.zeros(9)
+    for contribution in index.contributions(x, y):
+        row[_COLUMN[contribution.kind]] = contribution.upper_bound
+    return row
+
+
+class TestBatchBounds:
+    def test_matches_scalar_contributions(self, index_class, rng):
+        points = PointSet(xs=np.sort(rng.random(400) * 800), ys=rng.random(400) * 800)
+        index = index_class(points, half_extent=70.0)
+        qx = rng.random(150) * 900 - 50
+        qy = rng.random(150) * 900 - 50
+        bounds = index.batch_bounds(qx, qy)
+        for i in range(150):
+            np.testing.assert_array_equal(
+                bounds[i], _scalar_bounds(index, float(qx[i]), float(qy[i]))
+            )
+
+    def test_matches_upper_bound_sum(self, index_class, rng):
+        points = PointSet(xs=np.sort(rng.random(200) * 500), ys=rng.random(200) * 500)
+        index = index_class(points, half_extent=60.0)
+        qx = rng.random(80) * 500
+        qy = rng.random(80) * 500
+        bounds = index.batch_bounds(qx, qy)
+        for i in range(0, 80, 7):
+            assert bounds[i].sum() == index.upper_bound(float(qx[i]), float(qy[i]))
+
+
+class TestCornerDominance:
+    def test_qualifying_set_equals_the_bbst_runs(self, rng):
+        """Envelope dominance == the tree's qualifying-runs membership (Lemma 5)."""
+        points = PointSet(xs=np.sort(rng.random(300) * 600), ys=rng.random(300) * 600)
+        index = BBSTJoinIndex(points, half_extent=55.0)
+        corner_kinds = [kind for kind in NEIGHBOR_OFFSETS if kind.is_corner]
+        checked = 0
+        for cell in list(index.grid.cells.values())[:20]:
+            cell_index = index.cell_index(cell.key)
+            for kind in corner_kinds:
+                window = index.window_for(
+                    float(cell.xs_by_x[0]) + 11.0, float(cell.ys_by_x[0]) - 17.0
+                )
+                runs = cell_index.corner_runs(kind, window)
+                from_tree = sorted(
+                    int(run.bucket_indices[offset])
+                    for run in runs
+                    for offset in range(run.lo, run.hi)
+                )
+                from_dominance = sorted(
+                    bucket.index
+                    for bucket in cell_index.buckets
+                    if corner_bucket_qualifies(bucket, kind, window)
+                )
+                assert from_tree == from_dominance
+                checked += 1
+        assert checked > 0
+
+    def test_needs_slot_variates_flags(self):
+        assert BBSTJoinIndex.needs_slot_variates is True
+        assert CellKDTreeJoinIndex.needs_slot_variates is False
+
+
+class TestBucketArrays:
+    def test_arrays_mirror_the_buckets(self, rng):
+        points = PointSet(xs=np.sort(rng.random(250) * 400), ys=rng.random(250) * 400)
+        index = BBSTJoinIndex(points, half_extent=45.0)
+        arrays = index.bucket_arrays()
+        flat = index.grid.flat()
+        for cell_id, cell in enumerate(flat.cells):
+            buckets = index.cell_index(cell.key).buckets
+            lo = int(arrays.starts[cell_id])
+            assert arrays.counts[cell_id] == len(buckets)
+            for j, bucket in enumerate(buckets):
+                assert arrays.min_x[lo + j] == bucket.min_x
+                assert arrays.max_x[lo + j] == bucket.max_x
+                assert arrays.min_y[lo + j] == bucket.min_y
+                assert arrays.max_y[lo + j] == bucket.max_y
+                assert arrays.point_start[lo + j] == bucket.start
+                assert arrays.sizes[lo + j] == bucket.size

@@ -1,0 +1,80 @@
+"""Tests of the CI performance gate (measurement plumbing and thresholds)."""
+
+import json
+
+import pytest
+
+from repro.bench.ci_gate import DEFAULT_FACTOR, compare_to_baseline, main
+
+
+def _payload(values):
+    return {"meta": {}, "sampling_seconds": dict(values)}
+
+
+class TestCompareToBaseline:
+    def test_passes_when_within_factor(self):
+        baseline = _payload({"d/A": 0.10})
+        current = _payload({"d/A": 0.19})
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_fails_on_regression(self):
+        baseline = _payload({"d/A": 0.10})
+        current = _payload({"d/A": 0.21})
+        problems = compare_to_baseline(current, baseline)
+        assert len(problems) == 1 and "d/A" in problems[0]
+
+    def test_custom_factor(self):
+        baseline = _payload({"d/A": 0.10})
+        current = _payload({"d/A": 0.25})
+        assert compare_to_baseline(current, baseline, factor=3.0) == []
+
+    def test_missing_rows_reported_on_both_sides(self):
+        baseline = _payload({"d/A": 0.1, "d/B": 0.1})
+        current = _payload({"d/A": 0.1, "d/C": 0.1})
+        problems = compare_to_baseline(current, baseline)
+        assert any("d/B" in p for p in problems)
+        assert any("d/C" in p for p in problems)
+
+    def test_default_factor_is_two(self):
+        assert DEFAULT_FACTOR == pytest.approx(2.0)
+
+
+class TestMainEndToEnd:
+    def test_write_baseline_then_gate(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        output = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "--write-baseline",
+                    "--baseline", str(baseline),
+                    "--output", str(output),
+                    "--repeats", "1",
+                ]
+            )
+            == 0
+        )
+        written = json.loads(baseline.read_text())
+        assert written["sampling_seconds"]
+        # Gating against the just-written baseline always passes.
+        assert (
+            main(
+                [
+                    "--baseline", str(baseline),
+                    "--output", str(output),
+                    "--repeats", "1",
+                    "--factor", "1000",
+                ]
+            )
+            == 0
+        )
+
+    def test_missing_baseline_is_an_error(self, tmp_path):
+        code = main(
+            [
+                "--baseline", str(tmp_path / "nope.json"),
+                "--output", str(tmp_path / "bench.json"),
+                "--repeats", "1",
+            ]
+        )
+        assert code == 2

@@ -1,6 +1,5 @@
 """Tests for the experiment harness (tiny workloads, structural checks)."""
 
-import pytest
 
 from repro.bench.harness import (
     run_accuracy_experiment,

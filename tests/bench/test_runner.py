@@ -20,6 +20,7 @@ class TestRegistry:
             "fig9",
             "accuracy",
             "uniformity",
+            "vecspeed",
         }
         assert expected == set(EXPERIMENTS)
 

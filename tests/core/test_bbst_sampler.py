@@ -1,6 +1,5 @@
 """Algorithm-specific tests for the proposed BBST sampler (Section IV)."""
 
-import pytest
 
 from repro.bbst.join_index import BBSTJoinIndex
 from repro.core.bbst_sampler import BBSTSampler

@@ -1,6 +1,5 @@
 """Tests for the exact spatial range join and join-size counting."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import JoinSpec

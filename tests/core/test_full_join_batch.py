@@ -1,0 +1,69 @@
+"""The vectorised joins reproduce the scalar filter-refine results exactly."""
+
+import numpy as np
+
+from repro.core.config import JoinSpec
+from repro.core.full_join import (
+    brute_force_join,
+    iter_join_pairs,
+    join_size,
+    spatial_range_join,
+    spatial_range_join_array,
+)
+from repro.geometry.point import PointSet
+
+
+def _random_spec(rng, n, m, half_extent, shuffle_ids=False):
+    ids = rng.permutation(10 * m)[:m] if shuffle_ids else None
+    return JoinSpec(
+        r_points=PointSet(xs=rng.random(n) * 600, ys=rng.random(n) * 600),
+        s_points=PointSet(xs=rng.random(m) * 600, ys=rng.random(m) * 600, ids=ids),
+        half_extent=half_extent,
+    )
+
+
+class TestVectorizedJoinEquivalence:
+    def test_pairs_and_order_match_the_streaming_join(self, rng):
+        for _ in range(10):
+            spec = _random_spec(
+                rng,
+                int(rng.integers(1, 150)),
+                int(rng.integers(1, 180)),
+                float(rng.random() * 120 + 10),
+            )
+            assert spatial_range_join(spec) == list(iter_join_pairs(spec))
+
+    def test_non_contiguous_inner_ids(self, rng):
+        spec = _random_spec(rng, 80, 90, 100.0, shuffle_ids=True)
+        assert spatial_range_join(spec) == list(iter_join_pairs(spec))
+
+    def test_matches_brute_force_as_a_set(self, rng):
+        spec = _random_spec(rng, 60, 70, 90.0)
+        assert sorted(spatial_range_join(spec)) == sorted(brute_force_join(spec))
+
+    def test_join_size_matches_materialised_length(self, rng):
+        for _ in range(5):
+            spec = _random_spec(rng, 100, 120, 80.0)
+            assert join_size(spec) == len(spatial_range_join(spec))
+
+    def test_array_form_round_trips(self, rng):
+        spec = _random_spec(rng, 50, 50, 110.0)
+        array = spatial_range_join_array(spec)
+        assert array.dtype == np.int64
+        assert array.shape[1] == 2
+        assert [(int(r), int(s)) for r, s in array] == spatial_range_join(spec)
+
+    def test_empty_join(self):
+        spec = JoinSpec(
+            r_points=PointSet(xs=[0.0], ys=[0.0]),
+            s_points=PointSet(xs=[1_000.0], ys=[1_000.0]),
+            half_extent=1.0,
+        )
+        assert spatial_range_join(spec) == []
+        assert spatial_range_join_array(spec).shape == (0, 2)
+        assert join_size(spec) == 0
+
+    def test_brute_force_chunking_keeps_lexicographic_order(self, rng):
+        spec = _random_spec(rng, 300, 40, 150.0)
+        pairs = brute_force_join(spec)
+        assert pairs == sorted(pairs)

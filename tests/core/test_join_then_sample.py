@@ -1,6 +1,5 @@
 """Tests for the naive join-then-sample comparator."""
 
-import pytest
 
 from repro.core.full_join import join_size
 from repro.core.join_then_sample import JoinThenSample

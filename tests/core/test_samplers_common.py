@@ -6,7 +6,6 @@ the same invariants: correct pair validity, exact sample counts, reproducible
 seeding, empty-join handling and sane bookkeeping.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.base import JoinSampler

@@ -5,7 +5,7 @@ import pytest
 
 from repro.geometry.point import PointSet
 from repro.geometry.predicates import count_in_rect
-from repro.geometry.rect import Rect, window_around
+from repro.geometry.rect import window_around
 from repro.grid.grid import Grid
 from repro.grid.neighbors import NeighborKind
 

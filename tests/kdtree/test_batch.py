@@ -1,0 +1,97 @@
+"""Equivalence tests of the batched kd-tree traversal against scalar queries."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import PointSet
+from repro.geometry.rect import Rect
+from repro.kdtree.batch import batch_count, batch_decompose, canonical_pick
+from repro.kdtree.tree import KDTree
+
+
+def _random_windows(rng, count, span=110.0):
+    cx = rng.random(count) * span - 5.0
+    cy = rng.random(count) * span - 5.0
+    half = rng.random(count) * 30.0
+    return cx - half, cy - half, cx + half, cy + half
+
+
+@pytest.fixture
+def tree(rng) -> KDTree:
+    points = PointSet(xs=rng.random(500) * 100, ys=rng.random(500) * 100)
+    return KDTree(points, leaf_size=7)
+
+
+class TestBatchCount:
+    def test_matches_scalar_count(self, tree, rng):
+        wxmin, wymin, wxmax, wymax = _random_windows(rng, 150)
+        counts = batch_count(tree, wxmin, wymin, wxmax, wymax)
+        for i in range(150):
+            rect = Rect(
+                xmin=float(wxmin[i]), ymin=float(wymin[i]),
+                xmax=float(wxmax[i]), ymax=float(wymax[i]),
+            )
+            assert counts[i] == tree.count(rect)
+
+    def test_empty_tree(self):
+        tree = KDTree(PointSet.empty())
+        counts = batch_count(tree, np.zeros(4), np.zeros(4), np.ones(4), np.ones(4))
+        assert np.array_equal(counts, np.zeros(4, dtype=np.int64))
+
+    def test_count_many_method_delegates(self, tree, rng):
+        wxmin, wymin, wxmax, wymax = _random_windows(rng, 20)
+        np.testing.assert_array_equal(
+            tree.count_many(wxmin, wymin, wxmax, wymax),
+            batch_count(tree, wxmin, wymin, wxmax, wymax),
+        )
+
+    def test_mismatched_array_lengths_rejected(self, tree):
+        with pytest.raises(ValueError):
+            batch_count(tree, np.zeros(3), np.zeros(2), np.ones(3), np.ones(3))
+
+
+class TestBatchDecompose:
+    def test_counts_match_batch_count(self, tree, rng):
+        wxmin, wymin, wxmax, wymax = _random_windows(rng, 80)
+        decomposition = batch_decompose(tree, wxmin, wymin, wxmax, wymax)
+        np.testing.assert_array_equal(
+            decomposition.counts, batch_count(tree, wxmin, wymin, wxmax, wymax)
+        )
+
+    def test_every_rank_matches_the_canonical_scalar_pick(self, tree, rng):
+        wxmin, wymin, wxmax, wymax = _random_windows(rng, 25)
+        decomposition = batch_decompose(tree, wxmin, wymin, wxmax, wymax)
+        for i in range(25):
+            rect = Rect(
+                xmin=float(wxmin[i]), ymin=float(wymin[i]),
+                xmax=float(wxmax[i]), ymax=float(wymax[i]),
+            )
+            scalar = tree.decompose(rect)
+            count = int(decomposition.counts[i])
+            if count == 0:
+                assert decomposition.draw(np.array([i]), np.array([0.5]))[0] == -1
+                continue
+            ranks = np.arange(count)
+            variates = (ranks + 0.5) / count
+            batch_positions = decomposition.draw(np.full(count, i), variates)
+            scalar_positions = [canonical_pick(tree, scalar, int(r)) for r in ranks]
+            assert batch_positions.tolist() == scalar_positions
+
+    def test_rank_enumeration_covers_exactly_the_range_report(self, tree, rng):
+        wxmin, wymin, wxmax, wymax = _random_windows(rng, 10)
+        decomposition = batch_decompose(tree, wxmin, wymin, wxmax, wymax)
+        for i in range(10):
+            rect = Rect(
+                xmin=float(wxmin[i]), ymin=float(wymin[i]),
+                xmax=float(wxmax[i]), ymax=float(wymax[i]),
+            )
+            count = int(decomposition.counts[i])
+            ranks = np.arange(count)
+            positions = decomposition.draw(np.full(count, i), (ranks + 0.5) / max(count, 1))
+            assert sorted(positions.tolist()) == sorted(tree.report(rect).tolist())
+
+    def test_draw_on_empty_query_array(self, tree):
+        decomposition = batch_decompose(
+            tree, np.zeros(1), np.zeros(1), np.ones(1), np.ones(1)
+        )
+        assert decomposition.draw(np.empty(0, dtype=np.int64), np.empty(0)).size == 0

@@ -5,7 +5,6 @@ requested number of pairs, all of which are genuine join pairs.  This is the
 end-to-end analogue of the per-structure properties.
 """
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
