@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import BBSTSampler, DATASET_NAMES, JoinSpec, join_size, load_proxy, split_r_s
+from repro import DATASET_NAMES, JoinSpec, SamplingSession, join_size, load_proxy, split_r_s
 from repro.core.estimation import (
     estimate_join_size_from_upper_bounds,
     join_selectivity,
@@ -43,13 +43,18 @@ def main() -> None:
     for name in DATASET_NAMES:
         points = load_proxy(name, size=6_000)
         r_points, s_points = split_r_s(points, rng)
+        # One session per dataset; the two window sizes below share it (each
+        # gets its own cached structures keyed by half_extent).
+        session = SamplingSession(
+            r_points, s_points, half_extent=150.0, algorithm="bbst", eager=False
+        )
         for half_extent in (150.0, 300.0):
-            spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=half_extent)
+            spec = session.spec_for(half_extent)
             exact = join_size(spec)
             if exact == 0:
                 continue
 
-            result = BBSTSampler(spec).sample(4_000, seed=5)
+            result = session.draw(4_000, seed=5, half_extent=half_extent)
             bbst_estimate = estimate_join_size_from_upper_bounds(
                 result.acceptance_rate, result.metadata["sum_mu"]
             )

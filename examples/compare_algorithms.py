@@ -1,9 +1,13 @@
-"""Side-by-side comparison of every join-sampling algorithm in the library.
+"""Side-by-side comparison of every registered join-sampling algorithm.
 
 Reproduces, at example scale, the qualitative story of the paper's Tables
 III/IV: the naive join-then-sample pays for materialising J, KDS pays an
 O(n sqrt(m)) counting phase and O(sqrt(m)) per sample, KDS-rejection trades
 counting time for a low acceptance rate, and BBST keeps every phase cheap.
+
+The algorithms are resolved from the sampler registry, so a sampler you
+register with ``@repro.register_sampler`` shows up in this table without any
+change here.
 
 Run with::
 
@@ -15,18 +19,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    BBSTSampler,
-    CellKDTreeSampler,
     JoinSpec,
-    JoinThenSample,
-    KDSRejectionSampler,
-    KDSSampler,
     join_size,
     load_proxy,
+    plan_algorithm,
+    sampler_entries,
     split_r_s,
 )
-
-ALGORITHMS = (JoinThenSample, KDSSampler, KDSRejectionSampler, CellKDTreeSampler, BBSTSampler)
 
 
 def main() -> None:
@@ -47,8 +46,8 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
-    for algorithm in ALGORITHMS:
-        sampler = algorithm(spec)
+    for entry in sampler_entries():
+        sampler = entry.create(spec)
         result = sampler.sample(t, seed=13)
         timings = result.timings
         print(
@@ -58,7 +57,9 @@ def main() -> None:
             f"{result.iterations:11,d} {result.acceptance_rate:7.3f}"
         )
 
+    report = plan_algorithm(spec)
     print(
+        f"\nauto would pick {report.algorithm} here (rule: {report.rule})."
         "\nEvery algorithm draws from exactly the same distribution (uniform over J);"
         "\nthe differences are purely in where the time goes."
     )

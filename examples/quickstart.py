@@ -1,12 +1,13 @@
-"""Quickstart: draw uniform random samples of a spatial range join.
+"""Quickstart: open a sampling session, serve many requests.
 
 This is the 60-second tour of the library:
 
 1. build (or load) two point sets ``R`` and ``S``;
-2. describe the join with a :class:`repro.JoinSpec` (window half-extent ``l``);
-3. pick a sampler - ``BBSTSampler`` is the paper's algorithm - and draw
-   ``t`` uniform, independent join samples without ever materialising the
-   full join result.
+2. open a :class:`repro.SamplingSession` over them (window half-extent ``l``)
+   - the session prepares the sampler's structures once;
+3. serve as many ``draw`` / ``stream`` requests as you like: every request
+   after the first reuses the cached structures and only pays the per-sample
+   cost, without ever materialising the full join result.
 
 Run with::
 
@@ -17,14 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    BBSTSampler,
-    JoinSpec,
-    KDSSampler,
-    join_size,
-    split_r_s,
-    uniform_points,
-)
+from repro import SamplingSession, join_size, split_r_s, uniform_points
 
 
 def main() -> None:
@@ -37,38 +31,52 @@ def main() -> None:
     r_points, s_points = split_r_s(points, rng)
 
     # 2. The join: every point of R is the centre of a 2l x 2l window and is
-    #    matched with every point of S inside that window.
-    spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=250.0)
-    print(f"join instance: n = {spec.n}, m = {spec.m}, l = {spec.half_extent}")
+    #    matched with every point of S inside that window.  The session picks
+    #    the algorithm automatically (algorithm="auto") and prepares its
+    #    structures eagerly.
+    session = SamplingSession(r_points, s_points, half_extent=250.0)
+    print(f"join instance: n = {session.n}, m = {session.m}, l = 250.0")
+    print(f"exact join size |J| = {join_size(session.spec_for()):,} pairs")
 
-    # The full join would have |J| pairs - this is what we are avoiding.
-    print(f"exact join size |J| = {join_size(spec):,} pairs")
+    report = session.plan()
+    print(f"\nauto planner picked {report.algorithm} (rule: {report.rule})")
 
-    # 3. Draw 10,000 uniform, independent samples of the join result.
-    sampler = BBSTSampler(spec)
-    result = sampler.sample(10_000, seed=42)
-
-    print(f"\n{sampler.name}: drew {len(result)} samples")
-    print(f"  preprocessing (sort S):      {result.timings.preprocess_seconds * 1e3:8.2f} ms")
+    # 3. First request: 10,000 uniform, independent samples of the join.
+    result = session.draw(10_000, seed=42)
+    print(f"\nrequest 1 ({result.sampler_name}): drew {len(result)} samples")
     print(f"  structure building (GM):     {result.timings.build_seconds * 1e3:8.2f} ms")
     print(f"  upper bounding (UB):         {result.timings.count_seconds * 1e3:8.2f} ms")
     print(f"  sampling:                    {result.timings.sample_seconds * 1e3:8.2f} ms")
-    print(f"  sampling iterations:         {result.iterations}")
     print(f"  acceptance rate:             {result.acceptance_rate:.3f}")
+
+    # 4. Later requests reuse the cached structures: the GM/UB phases are 0.
+    again = session.draw(10_000, seed=43)
+    print(f"\nrequest 2 ({again.sampler_name}): drew {len(again)} samples")
+    print(f"  structure building (GM):     {again.timings.build_seconds * 1e3:8.2f} ms")
+    print(f"  upper bounding (UB):         {again.timings.count_seconds * 1e3:8.2f} ms")
+    print(f"  sampling:                    {again.timings.sample_seconds * 1e3:8.2f} ms")
+
+    # 5. Streaming: consume the join sample chunk by chunk (t may be None for
+    #    an endless stream - Definition 2 allows t = infinity).
+    total = 0
+    for chunk in session.stream(5_000, chunk_size=1_000, seed=44):
+        total += len(chunk)
+    print(f"\nstreamed {total} more samples in chunks of 1,000")
 
     print("\nfirst ten sampled (r_id, s_id) pairs:")
     for r_id, s_id in result.id_pairs()[:10]:
         print(f"  ({r_id}, {s_id})")
 
-    # For comparison: the KDS baseline gives the same uniform samples but
-    # pays an O(n sqrt(m)) exact counting phase and O(sqrt(m)) per sample.
-    # The gap in favour of BBST widens as m and t grow (see the benchmarks).
-    baseline = KDSSampler(spec)
-    baseline_result = baseline.sample(10_000, seed=42)
+    # A request with a different window size gets its own cached structures;
+    # the session keeps both keys warm.
+    wide = session.draw(1_000, seed=45, half_extent=400.0)
+    print(f"\nwide-window request: {len(wide)} samples, cached keys: {session.cached_keys}")
+
+    stats = session.stats
     print(
-        f"\n{baseline.name} total online time: "
-        f"{baseline_result.timings.total_seconds:.3f}s vs "
-        f"{result.timings.total_seconds:.3f}s for {sampler.name}"
+        f"\nsession served {stats.requests} requests / {stats.pairs_drawn:,} pairs; "
+        f"prepare cost {stats.prepare_seconds:.3f}s was paid once per key, "
+        f"sampling cost {stats.sample_seconds:.3f}s total"
     )
 
 

@@ -1,0 +1,73 @@
+"""A miniature sampling service built on :class:`repro.SamplingSession`.
+
+Simulates the workload the session API was designed for: one long-lived
+session over a dataset, serving a mixed stream of requests - different sample
+counts, different window sizes, occasional streaming consumers - while the
+expensive structures are built exactly once per ``(algorithm, half_extent)``
+key.  Also shows the auto planner's explainable decision and the session's
+service-style introspection (``describe()``).
+
+Run with::
+
+    python examples/session_service.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro import SamplingSession, load_proxy, split_r_s
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    points = load_proxy("nyc", size=20_000)
+    r_points, s_points = split_r_s(points, rng)
+
+    # Open the session once; the auto planner chooses the algorithm and the
+    # default window's structures are prepared eagerly.
+    session = SamplingSession(r_points, s_points, half_extent=250.0)
+    print(session.plan().explain())
+
+    # A burst of draw requests, as a service would see them.
+    requests = [
+        {"t": 2_000, "seed": 1},
+        {"t": 5_000, "seed": 2},
+        {"t": 1_000, "seed": 3, "half_extent": 100.0},   # narrow-window tenant
+        {"t": 5_000, "seed": 4},
+        {"t": 2_500, "seed": 5, "half_extent": 100.0},   # warm cache for l=100
+    ]
+    print("\nserving requests:")
+    for i, request in enumerate(requests, start=1):
+        result = session.draw(
+            request["t"],
+            seed=request["seed"],
+            half_extent=request.get("half_extent"),
+        )
+        timings = result.timings
+        print(
+            f"  #{i}: t={request['t']:>6,} l={request.get('half_extent', 250.0):g}"
+            f" -> {result.sampler_name}: build {timings.build_seconds * 1e3:6.1f} ms,"
+            f" count {timings.count_seconds * 1e3:6.1f} ms,"
+            f" sample {timings.sample_seconds * 1e3:6.1f} ms"
+        )
+
+    # A streaming consumer that stops once it has seen enough.
+    enough, seen = 4_000, 0
+    for chunk in session.stream(chunk_size=1_000, seed=6):
+        seen += len(chunk)
+        if seen >= enough:
+            break
+    print(f"\nstreaming consumer took {seen:,} pairs and hung up")
+
+    print("\nsession introspection (what a /status endpoint would return):")
+    print(json.dumps(session.describe(), indent=2))
+
+    session.close()
+    print("\nsession closed")
+
+
+if __name__ == "__main__":
+    main()

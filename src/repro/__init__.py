@@ -8,16 +8,29 @@ regenerates every table and figure of the evaluation.
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import BBSTSampler, JoinSpec, split_r_s, uniform_points
+>>> from repro import SamplingSession, split_r_s, uniform_points
 >>> rng = np.random.default_rng(0)
 >>> points = uniform_points(2_000, rng)
 >>> r_points, s_points = split_r_s(points, rng)
->>> spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=200.0)
->>> result = BBSTSampler(spec).sample(100, seed=0)
+>>> session = SamplingSession(r_points, s_points, half_extent=200.0)
+>>> result = session.draw(100, seed=0)
 >>> len(result)
 100
+>>> len(session.draw(100, seed=1))  # reuses the cached structures
+100
+
+The one-shot API (``BBSTSampler(spec).sample(t, seed=s)``) keeps working and
+returns bit-identical pairs for the same ``(spec, algorithm, seed)``.
 """
 
+from repro.api import (
+    PlanReport,
+    SamplingSession,
+    SessionStats,
+    WorkloadStats,
+    collect_workload_stats,
+    plan_algorithm,
+)
 from repro.core import (
     BBSTSampler,
     CellKDTreeSampler,
@@ -29,8 +42,15 @@ from repro.core import (
     KDSSampler,
     PhaseTimings,
     SamplePair,
+    SamplerEntry,
     brute_force_join,
+    create_sampler,
+    get_sampler,
     join_size,
+    register_sampler,
+    resolve_rng,
+    sampler_entries,
+    sampler_names,
     spatial_range_join,
 )
 from repro.datasets import (
@@ -41,10 +61,25 @@ from repro.datasets import (
 )
 from repro.geometry import Point, PointSet, Rect, window_around
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # session API (the primary surface)
+    "SamplingSession",
+    "SessionStats",
+    "PlanReport",
+    "WorkloadStats",
+    "plan_algorithm",
+    "collect_workload_stats",
+    # sampler registry
+    "SamplerEntry",
+    "register_sampler",
+    "get_sampler",
+    "create_sampler",
+    "sampler_names",
+    "sampler_entries",
+    "resolve_rng",
     # problem definition
     "JoinSpec",
     "Point",

@@ -133,7 +133,10 @@ class AliasTable:
             raise ValueError("at least one weight must be positive")
 
         k = w.size
-        scaled = w * (k / total)
+        # Normalise before scaling: (w / total) * k stays finite even when
+        # ``total`` is denormal, where ``k / total`` overflows to inf and
+        # poisons the tables with nan (zero-weight indices became drawable).
+        scaled = (w / total) * k
         if construction == "vectorized":
             prob, alias = _build_tables_vectorized(scaled)
         elif construction == "scalar":
@@ -197,7 +200,7 @@ class CumulativeTable:
     the alias construction overhead is not worth it.
     """
 
-    __slots__ = ("_cumulative", "_total", "_size")
+    __slots__ = ("_cumulative", "_total", "_size", "_last_positive")
 
     def __init__(self, weights: Sequence[float] | np.ndarray) -> None:
         w = np.asarray(weights, dtype=np.float64)
@@ -212,6 +215,10 @@ class CumulativeTable:
         self._cumulative = cumulative
         self._total = total
         self._size = w.size
+        # ``u * total`` can round up to exactly ``total`` (e.g. denormal
+        # totals), in which case side="right" search lands one past the last
+        # positive-weight index; draws clamp there to stay inside the support.
+        self._last_positive = int(np.flatnonzero(w > 0)[-1])
 
     @property
     def total_weight(self) -> float:
@@ -224,11 +231,13 @@ class CumulativeTable:
     def draw(self, rng: np.random.Generator) -> int:
         """Return one index with probability proportional to its weight."""
         u = rng.random() * self._total
-        return int(np.searchsorted(self._cumulative, u, side="right"))
+        index = int(np.searchsorted(self._cumulative, u, side="right"))
+        return min(index, self._last_positive)
 
     def draw_many(self, count: int, rng: np.random.Generator) -> np.ndarray:
         """Batch of ``count`` independent weighted draws."""
         if count < 0:
             raise ValueError("count must be non-negative")
         us = rng.random(count) * self._total
-        return np.searchsorted(self._cumulative, us, side="right").astype(np.int64)
+        indices = np.searchsorted(self._cumulative, us, side="right").astype(np.int64)
+        return np.minimum(indices, self._last_positive)

@@ -1,0 +1,35 @@
+"""The primary public surface: sessions, the auto planner, streaming draws.
+
+This package is the request/response layer on top of the sampler
+implementations in :mod:`repro.core`:
+
+* :class:`~repro.api.session.SamplingSession` - open once over ``(R, S)``,
+  then serve many ``draw`` / ``draw_distinct`` / ``stream`` requests; the
+  offline and build/count phases are cached per ``(algorithm, half_extent)``.
+* :func:`~repro.api.planner.plan_algorithm` - the ``algorithm="auto"``
+  planner choosing a registered sampler from cheap data statistics, with an
+  explainable :class:`~repro.api.planner.PlanReport`.
+* the sampler registry (re-exported from :mod:`repro.core.registry`) through
+  which custom samplers plug into sessions, the CLI and the bench harness.
+
+The one-shot API (construct a sampler, call ``sample``) keeps working and
+keeps returning bit-identical pairs; sessions are the way to amortise the
+per-instance structures across requests.
+"""
+
+from repro.api.planner import (
+    PlanReport,
+    WorkloadStats,
+    collect_workload_stats,
+    plan_algorithm,
+)
+from repro.api.session import SamplingSession, SessionStats
+
+__all__ = [
+    "SamplingSession",
+    "SessionStats",
+    "PlanReport",
+    "WorkloadStats",
+    "plan_algorithm",
+    "collect_workload_stats",
+]

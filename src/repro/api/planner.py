@@ -1,0 +1,257 @@
+"""The ``algorithm="auto"`` planner: pick a sampler from cheap data statistics.
+
+The planner never runs a join.  It builds the same hash grid the samplers use
+(cell side = the window half-extent ``l``), probes a deterministic sample of
+``R`` points, and derives:
+
+* the estimated acceptance rate of grid-bound rejection sampling
+  (``sum |S(w(r))| / sum mu(r)`` over the probes - ~4/9 on uniform data,
+  collapsing towards 0 when the distribution is skewed at window scale);
+* an estimated join size and ``sum mu`` (probe means scaled to ``n``);
+* the window size relative to the data domain;
+* grid occupancy statistics.
+
+From those it applies ordered, explainable rules over the registered
+``online`` samplers (see :mod:`repro.core.registry`), mirroring the paper's
+cost model: KDS pays O(n sqrt(m)) exact counting + O(sqrt(m)) per draw,
+KDS-rejection pays O(n) counting but divides its sampling throughput by the
+acceptance rate, BBST pays O(m log m + n log m) once and O~(1) per draw, and
+the per-cell kd-tree ablation buys exact corner counts (no bucket-slot
+rejections) at a higher per-corner cost.  Every decision is returned as a
+:class:`PlanReport` naming the rule that fired and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.core.config import JoinSpec
+from repro.core.registry import sampler_names
+from repro.grid.grid import Grid
+
+__all__ = ["WorkloadStats", "PlanReport", "collect_workload_stats", "plan_algorithm"]
+
+#: Instances with at most this many cross-product pairs count as "tiny":
+#: exact counting is negligible and rejection-free sampling wins.
+TINY_CROSS_PRODUCT = 1 << 18
+
+#: Window side / domain side above which the join is in the dense regime.
+DENSE_WINDOW_FRACTION = 0.5
+
+#: Estimated acceptance below which grid bounds are considered misleading.
+LOW_ACCEPTANCE = 0.15
+
+#: Estimated acceptance above which grid bounds are considered tight.
+HIGH_ACCEPTANCE = 0.40
+
+#: Relative window size below which corner cells dominate the rejections.
+SMALL_WINDOW_FRACTION = 0.05
+
+#: Largest inner set for which the kd-tree's O(sqrt(m)) per-draw cost is
+#: acceptable when its counting phase is the cheap one.
+REJECTION_MAX_INNER = 60_000
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Cheap statistics of a join instance, the planner's entire input."""
+
+    n: int
+    m: int
+    half_extent: float
+    domain_width: float
+    domain_height: float
+    relative_window: float
+    grid_cells: int
+    occupancy_mean: float
+    occupancy_max: int
+    probes: int
+    est_acceptance: float
+    est_join_size: float
+    est_sum_mu: float
+
+    def as_dict(self) -> dict:
+        """Plain dictionary (reporting / JSON serialisation)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """An explainable algorithm choice for one ``(R, S, l)`` instance."""
+
+    algorithm: str
+    rule: str
+    reason: str
+    stats: WorkloadStats
+    candidates: tuple[str, ...]
+
+    def explain(self) -> str:
+        """Multi-line human-readable account of the decision."""
+        stats = self.stats
+        lines = [
+            f"plan: {self.algorithm}  (rule: {self.rule})",
+            f"  {self.reason}",
+            f"  candidates: {', '.join(self.candidates)}",
+            f"  stats: n={stats.n:,} m={stats.m:,} l={stats.half_extent:g} "
+            f"window/domain={stats.relative_window:.3f}",
+            f"         grid cells={stats.grid_cells:,} "
+            f"occupancy mean={stats.occupancy_mean:.2f} max={stats.occupancy_max}",
+            f"         est acceptance={stats.est_acceptance:.3f} "
+            f"est |J|={stats.est_join_size:,.0f} est sum_mu={stats.est_sum_mu:,.0f} "
+            f"({stats.probes} probes)",
+        ]
+        return "\n".join(lines)
+
+
+def collect_workload_stats(
+    spec: JoinSpec,
+    grid: Grid | None = None,
+    probes: int = 512,
+    seed: int = 0,
+) -> WorkloadStats:
+    """Probe a join instance for the statistics the planner decides on.
+
+    ``probes`` R-points are sampled deterministically (``seed``); for each the
+    exact window count is measured against its 3x3 grid-block bound, which
+    costs O(probes * block population) - independent of ``n`` and of ``|J|``.
+    """
+    if probes < 1:
+        raise ValueError("probes must be at least 1")
+    if grid is None:
+        grid = Grid(spec.s_points, cell_size=spec.half_extent)
+    r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
+    s_xs, s_ys = spec.s_points.xs, spec.s_points.ys
+    half = spec.half_extent
+
+    width = float(max(r_xs.max(), s_xs.max()) - min(r_xs.min(), s_xs.min()))
+    height = float(max(r_ys.max(), s_ys.max()) - min(r_ys.min(), s_ys.min()))
+    side = max(width, height, 1e-12)
+
+    rng = np.random.default_rng(seed)
+    k = min(probes, spec.n)
+    picked = (
+        np.arange(spec.n)
+        if k == spec.n
+        else rng.choice(spec.n, size=k, replace=False)
+    )
+    px, py = r_xs[picked], r_ys[picked]
+
+    mu = grid.neighborhood_counts(px, py).sum(axis=1)
+    exact = np.zeros(k, dtype=np.int64)
+    for i in range(k):
+        x, y = float(px[i]), float(py[i])
+        total = 0
+        for _kind, cell in grid.neighborhood(x, y):
+            total += int(
+                np.count_nonzero(
+                    (np.abs(cell.xs_by_x - x) <= half)
+                    & (np.abs(cell.ys_by_x - y) <= half)
+                )
+            )
+        exact[i] = total
+    sum_mu_probe = int(mu.sum())
+    est_acceptance = float(exact.sum() / sum_mu_probe) if sum_mu_probe > 0 else 0.0
+    scale = spec.n / k
+    occupancy = grid.occupancy()
+
+    return WorkloadStats(
+        n=spec.n,
+        m=spec.m,
+        half_extent=float(half),
+        domain_width=width,
+        domain_height=height,
+        relative_window=float(2.0 * half / side),
+        grid_cells=len(grid),
+        occupancy_mean=float(occupancy.mean()) if occupancy.size else 0.0,
+        occupancy_max=int(occupancy.max()) if occupancy.size else 0,
+        probes=k,
+        est_acceptance=est_acceptance,
+        est_join_size=float(exact.sum()) * scale,
+        est_sum_mu=float(sum_mu_probe) * scale,
+    )
+
+
+def plan_algorithm(
+    spec: JoinSpec,
+    grid: Grid | None = None,
+    probes: int = 512,
+    seed: int = 0,
+) -> PlanReport:
+    """Choose a registered ``online`` sampler for the instance, explainably.
+
+    The rules fire in order; the first match wins:
+
+    1. ``tiny-instance`` - ``n * m`` is small: KDS's exact counting is
+       negligible and every draw is accepted.
+    2. ``dense-window`` - the window covers a large fraction of the domain:
+       the join is huge and grid bounds carry little information; BBST's
+       O~(1) per draw keeps request latency flat.
+    3. ``skewed-small-window`` - small windows over data skewed at window
+       scale: the 3x3 bounds are loose, so the exact corner counting of the
+       per-cell kd-tree variant restores the acceptance rate.
+    4. ``uniform-tight-bounds`` - near-uniform data keeps the grid bounds
+       tight (acceptance near the 4/9 ceiling) and ``m`` is moderate: the
+       cheap O(n) grid counting of KDS-rejection beats building per-cell
+       structures.
+    5. ``default-bbst`` - everything else: the paper's algorithm has the best
+       asymptotics in every phase.
+    """
+    stats = collect_workload_stats(spec, grid=grid, probes=probes, seed=seed)
+    candidates = tuple(sampler_names(tag="online"))
+
+    if stats.n * stats.m <= TINY_CROSS_PRODUCT:
+        choice, rule, reason = (
+            "kds",
+            "tiny-instance",
+            f"n*m = {stats.n * stats.m:,} <= {TINY_CROSS_PRODUCT:,}: exact "
+            "kd-tree counting is negligible at this size and KDS never rejects.",
+        )
+    elif stats.relative_window >= DENSE_WINDOW_FRACTION:
+        choice, rule, reason = (
+            "bbst",
+            "dense-window",
+            f"the window spans {stats.relative_window:.0%} of the domain, so "
+            "the join is near-dense; BBST's O~(1) per-draw cost keeps latency "
+            "flat where the kd-tree baselines pay O(sqrt(m)) per draw.",
+        )
+    elif (
+        stats.est_acceptance <= LOW_ACCEPTANCE
+        and stats.relative_window <= SMALL_WINDOW_FRACTION
+    ):
+        choice, rule, reason = (
+            "cell-kdtree",
+            "skewed-small-window",
+            f"estimated acceptance {stats.est_acceptance:.2f} <= "
+            f"{LOW_ACCEPTANCE} with small windows: the data is skewed at "
+            "window scale, so exact per-cell corner counts avoid most "
+            "rejections.",
+        )
+    elif (
+        stats.est_acceptance >= HIGH_ACCEPTANCE
+        and stats.m <= REJECTION_MAX_INNER
+    ):
+        choice, rule, reason = (
+            "kds-rejection",
+            "uniform-tight-bounds",
+            f"estimated acceptance {stats.est_acceptance:.2f} >= "
+            f"{HIGH_ACCEPTANCE} (near the uniform-data 4/9 ceiling) and "
+            f"m = {stats.m:,} is moderate: cheap O(n) grid counting wins and "
+            "rejections are rare.",
+        )
+    else:
+        choice, rule, reason = (
+            "bbst",
+            "default-bbst",
+            "no special regime detected: BBST has the best asymptotics in "
+            "every phase (O(m log m) build, O(n log m) count, O~(1) per draw).",
+        )
+
+    return PlanReport(
+        algorithm=choice,
+        rule=rule,
+        reason=reason,
+        stats=stats,
+        candidates=candidates,
+    )

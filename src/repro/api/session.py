@@ -1,0 +1,355 @@
+"""The session-based public API: open once, draw many times.
+
+The paper's entire point is drawing independent samples from a spatial range
+join *without* materialising it - which only pays off when the offline phase
+(Table II) and the online build/count phases (Tables III/IV: GM + UB) are
+amortised over many requests.  :class:`SamplingSession` is the request/response
+surface that does that amortisation:
+
+>>> import numpy as np
+>>> from repro import SamplingSession, split_r_s, uniform_points
+>>> rng = np.random.default_rng(0)
+>>> r_points, s_points = split_r_s(uniform_points(2_000, rng), rng)
+>>> with SamplingSession(r_points, s_points, half_extent=200.0) as session:
+...     first = session.draw(100, seed=0)       # builds + counts + samples
+...     second = session.draw(100, seed=1)      # only samples
+>>> second.timings.build_seconds == second.timings.count_seconds == 0.0
+True
+
+The session caches one prepared sampler per ``(algorithm, half_extent)`` key,
+so requests with different window sizes or algorithms coexist without
+rebuilding each other's structures.  ``algorithm="auto"`` (the default)
+resolves through :func:`repro.api.planner.plan_algorithm` and the decision is
+retrievable with :meth:`SamplingSession.plan`.
+
+Determinism contract: ``session.draw(t, seed=s)`` returns **bit-identical**
+pairs to the one-shot ``create_sampler(name, spec).sample(t, seed=s)`` for the
+same ``(spec, algorithm, seed)``, because the cached build/count phases
+consume no randomness.  The differential tests in ``tests/api`` pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.api.planner import PlanReport, plan_algorithm
+from repro.core.base import JoinSampler, JoinSampleResult, SamplePair, resolve_rng
+from repro.core.config import JoinSpec
+from repro.core.registry import canonical_name, get_sampler
+from repro.geometry.point import PointSet
+
+__all__ = ["SamplingSession", "SessionStats"]
+
+#: The planner sentinel accepted wherever an algorithm name is.
+AUTO = "auto"
+
+
+@dataclass
+class SessionStats:
+    """Bookkeeping of one session's request traffic."""
+
+    requests: int = 0
+    pairs_drawn: int = 0
+    prepare_hits: int = 0
+    prepare_misses: int = 0
+    prepare_seconds: float = 0.0
+    sample_seconds: float = 0.0
+    plans: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "pairs_drawn": self.pairs_drawn,
+            "prepare_hits": self.prepare_hits,
+            "prepare_misses": self.prepare_misses,
+            "prepare_seconds": self.prepare_seconds,
+            "sample_seconds": self.sample_seconds,
+            "plans": self.plans,
+        }
+
+
+@dataclass
+class _CacheEntry:
+    sampler: JoinSampler
+    spec: JoinSpec
+
+
+class SamplingSession:
+    """A long-lived sampling service over one ``(R, S)`` pair.
+
+    Parameters
+    ----------
+    r_points, s_points:
+        The two point sets of the join (``R`` centres the windows).
+    half_extent:
+        Default window half-extent ``l``; individual requests may override it.
+    algorithm:
+        Default algorithm name (any name/alias registered with
+        :func:`repro.core.registry.register_sampler`) or ``"auto"`` to let the
+        planner choose per ``half_extent``.
+    eager:
+        When true (default), the default ``(algorithm, half_extent)`` key is
+        resolved and fully prepared in the constructor, so the first request
+        pays no build/count latency.
+    sampler_options:
+        Extra keyword arguments forwarded to every sampler constructor
+        (e.g. ``{"batch_size": 4096}``).
+    """
+
+    def __init__(
+        self,
+        r_points: PointSet,
+        s_points: PointSet,
+        half_extent: float,
+        *,
+        algorithm: str = AUTO,
+        eager: bool = True,
+        sampler_options: dict[str, Any] | None = None,
+    ) -> None:
+        if half_extent <= 0:
+            raise ValueError("half_extent must be positive")
+        self._r_points = r_points
+        self._s_points = s_points
+        self._default_half_extent = float(half_extent)
+        self._default_algorithm = self._check_algorithm(algorithm)
+        self._sampler_options = dict(sampler_options or {})
+        self._entries: dict[tuple[str, float], _CacheEntry] = {}
+        self._plans: dict[float, PlanReport] = {}
+        self._specs: dict[float, JoinSpec] = {}
+        self._closed = False
+        self.stats = SessionStats()
+        if eager:
+            self.prepare()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: JoinSpec, **kwargs: Any) -> "SamplingSession":
+        """Open a session over an existing :class:`JoinSpec`."""
+        return cls(spec.r_points, spec.s_points, spec.half_extent, **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Size of the outer set ``R``."""
+        return len(self._r_points)
+
+    @property
+    def m(self) -> int:
+        """Size of the inner set ``S``."""
+        return len(self._s_points)
+
+    @property
+    def default_half_extent(self) -> float:
+        return self._default_half_extent
+
+    @property
+    def default_algorithm(self) -> str:
+        """The configured default (canonical name, or ``"auto"``)."""
+        return self._default_algorithm
+
+    @property
+    def cached_keys(self) -> list[tuple[str, float]]:
+        """The ``(algorithm, half_extent)`` keys with prepared structures."""
+        return sorted(self._entries)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_algorithm(algorithm: str) -> str:
+        name = algorithm.strip().lower()
+        if name == AUTO:
+            return AUTO
+        return canonical_name(name)  # raises KeyError for unknown names
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the sampling session is closed")
+
+    def spec_for(self, half_extent: float | None = None) -> JoinSpec:
+        """The :class:`JoinSpec` of a request (cached per ``half_extent``)."""
+        l = self._default_half_extent if half_extent is None else float(half_extent)
+        spec = self._specs.get(l)
+        if spec is None:
+            spec = JoinSpec(
+                r_points=self._r_points, s_points=self._s_points, half_extent=l
+            )
+            self._specs[l] = spec
+        return spec
+
+    def plan(self, half_extent: float | None = None) -> PlanReport:
+        """The planner's (cached) decision for a window size."""
+        self._check_open()
+        spec = self.spec_for(half_extent)
+        l = spec.half_extent
+        report = self._plans.get(l)
+        if report is None:
+            report = plan_algorithm(spec)
+            self._plans[l] = report
+            self.stats.plans += 1
+        return report
+
+    def resolve(
+        self,
+        algorithm: str | None = None,
+        half_extent: float | None = None,
+    ) -> JoinSampler:
+        """Get the prepared sampler serving an ``(algorithm, half_extent)`` key.
+
+        The first request for a key constructs the sampler and runs its
+        prepare step (offline + build + count); every later request is a pure
+        cache hit, which is what makes repeated :meth:`draw` calls cheap.
+        """
+        self._check_open()
+        spec = self.spec_for(half_extent)
+        name = self._default_algorithm if algorithm is None else self._check_algorithm(algorithm)
+        if name == AUTO:
+            name = self.plan(spec.half_extent).algorithm
+        key = (name, spec.half_extent)
+        entry = self._entries.get(key)
+        if entry is None:
+            sampler = get_sampler(name).create(spec, **self._sampler_options)
+            prepare_timings = sampler.prepare()
+            entry = _CacheEntry(sampler=sampler, spec=spec)
+            self._entries[key] = entry
+            self.stats.prepare_misses += 1
+            self.stats.prepare_seconds += (
+                prepare_timings.preprocess_seconds + prepare_timings.total_seconds
+            )
+        else:
+            self.stats.prepare_hits += 1
+        return entry.sampler
+
+    def prepare(
+        self,
+        algorithm: str | None = None,
+        half_extent: float | None = None,
+    ) -> JoinSampler:
+        """Eagerly prepare a key without drawing (alias of :meth:`resolve`)."""
+        return self.resolve(algorithm, half_extent)
+
+    # ------------------------------------------------------------------
+    def draw(
+        self,
+        t: int,
+        *,
+        algorithm: str | None = None,
+        half_extent: float | None = None,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ) -> JoinSampleResult:
+        """Serve one sampling request: ``t`` uniform, independent join samples.
+
+        Bit-identical to the one-shot path for the same ``(spec, algorithm,
+        seed)``; after the first request per ``(algorithm, half_extent)`` key
+        the reported build/count timings are ~0.
+        """
+        rng = resolve_rng(rng, seed)
+        sampler = self.resolve(algorithm, half_extent)
+        result = sampler.sample(t, rng=rng)
+        self.stats.requests += 1
+        self.stats.pairs_drawn += len(result)
+        self.stats.sample_seconds += result.timings.sample_seconds
+        return result
+
+    def draw_distinct(
+        self,
+        t: int,
+        *,
+        algorithm: str | None = None,
+        half_extent: float | None = None,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ) -> JoinSampleResult:
+        """``t`` *distinct* join pairs (the without-replacement extension)."""
+        rng = resolve_rng(rng, seed)
+        sampler = self.resolve(algorithm, half_extent)
+        result = sampler.sample_without_replacement(t, rng=rng)
+        self.stats.requests += 1
+        self.stats.pairs_drawn += len(result)
+        self.stats.sample_seconds += result.timings.sample_seconds
+        return result
+
+    def stream(
+        self,
+        t: int | None = None,
+        *,
+        chunk_size: int = 1_024,
+        algorithm: str | None = None,
+        half_extent: float | None = None,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ) -> Iterator[list[SamplePair]]:
+        """Yield samples in chunks of (at most) ``chunk_size`` pairs.
+
+        ``t=None`` streams indefinitely (Definition 2 allows ``t = ∞``); a
+        finite ``t`` yields ``ceil(t / chunk_size)`` chunks totalling exactly
+        ``t`` pairs.  Arguments are validated and the structures prepared
+        *at call time* (not at the first ``next()``), so the consumer
+        observes a flat per-chunk latency from the first chunk on.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        if t is not None and t < 0:
+            raise ValueError("t must be non-negative (or None for an endless stream)")
+        rng = resolve_rng(rng, seed)
+        sampler = self.resolve(algorithm, half_extent)
+
+        def chunks() -> Iterator[list[SamplePair]]:
+            remaining = t
+            while remaining is None or remaining > 0:
+                self._check_open()
+                size = chunk_size if remaining is None else min(chunk_size, remaining)
+                result = sampler.sample(size, rng=rng)
+                self.stats.requests += 1
+                self.stats.pairs_drawn += len(result)
+                self.stats.sample_seconds += result.timings.sample_seconds
+                yield result.pairs
+                if remaining is not None:
+                    remaining -= size
+
+        return chunks()
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """A JSON-friendly snapshot of the session (service introspection)."""
+        return {
+            "n": self.n,
+            "m": self.m,
+            "default_half_extent": self._default_half_extent,
+            "default_algorithm": self._default_algorithm,
+            "cached_keys": [list(key) for key in self.cached_keys],
+            "index_nbytes": {
+                f"{name}@{l:g}": entry.sampler.index_nbytes()
+                for (name, l), entry in sorted(self._entries.items())
+            },
+            "stats": self.stats.as_dict(),
+            "closed": self._closed,
+        }
+
+    def close(self) -> None:
+        """Drop every cached structure; later requests raise ``RuntimeError``."""
+        self._entries.clear()
+        self._plans.clear()
+        self._specs.clear()
+        self._closed = True
+
+    def __enter__(self) -> "SamplingSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SamplingSession(n={self.n}, m={self.m}, "
+            f"l={self._default_half_extent:g}, "
+            f"algorithm={self._default_algorithm!r}, "
+            f"cached={len(self._entries)}, closed={self._closed})"
+        )

@@ -18,10 +18,12 @@ from repro.bench.harness import (
     run_fig7_dataset_size,
     run_fig8_size_ratio,
     run_fig9_bbst_vs_cell_kdtree,
+    run_session_reuse,
     run_table2_preprocessing,
     run_table3_decomposed_times,
     run_table4_sampling,
     run_uniformity_experiment,
+    run_vectorization_speedup,
 )
 from repro.bench.reporting import format_markdown_table, format_table
 from repro.bench.runner import run_all_experiments
@@ -52,6 +54,8 @@ __all__ = [
     "run_fig9_bbst_vs_cell_kdtree",
     "run_accuracy_experiment",
     "run_uniformity_experiment",
+    "run_vectorization_speedup",
+    "run_session_reuse",
     "format_table",
     "format_markdown_table",
     "run_all_experiments",

@@ -4,14 +4,19 @@ Run as ``python -m repro.bench.ci_gate``.  The gate
 
 1. runs the Table IV sampling smoke (small proxies, fixed seeds) through the
    :mod:`repro.bench.runner` registry, best-of-``repeats`` per row,
-2. writes the measurements to ``BENCH_ci.json``, and
-3. compares the sampling-phase seconds of every ``(dataset, algorithm)`` row
-   against the committed ``benchmarks/baseline_ci.json``; any row slower
-   than ``factor`` (default 2) times its baseline fails the gate.
+2. runs the ``session_reuse`` smoke: N successive ``draw()`` requests on one
+   :class:`~repro.api.session.SamplingSession` versus N one-shot ``sample()``
+   calls (structure reuse must actually pay),
+3. writes the measurements to ``BENCH_ci.json``, and
+4. compares against the committed ``benchmarks/baseline_ci.json``: any
+   ``(dataset, algorithm)`` sampling-phase row slower than ``factor``
+   (default 2) times its baseline fails, and any session-reuse speedup below
+   its baseline *minimum* fails.
 
 The committed baseline holds *generous* values (local measurements rounded
-up) so that ordinary CI-runner jitter passes while a reintroduced per-draw
-Python loop - a 5-15x sampling-phase slowdown - reliably fails.  Refresh it
+up / down) so that ordinary CI-runner jitter passes while a reintroduced
+per-draw Python loop - a 5-15x sampling-phase slowdown - or a session that
+silently rebuilds its structures per request reliably fails.  Refresh it
 with ``python -m repro.bench.ci_gate --write-baseline`` after intentional
 performance changes.
 """
@@ -27,13 +32,19 @@ from pathlib import Path
 from repro.bench.runner import EXPERIMENTS
 from repro.bench.workloads import ExperimentScale
 
-__all__ = ["collect_measurements", "compare_to_baseline", "main"]
+__all__ = ["collect_measurements", "compare_to_baseline", "as_baseline", "main"]
 
 #: Datasets exercised by the smoke (the two smallest proxies).
 GATE_DATASETS = ("castreet", "foursquare")
 
 #: Samples drawn per run.
 GATE_SAMPLES = 2_000
+
+#: Requests per session in the session-reuse smoke.
+GATE_SESSION_REQUESTS = 6
+
+#: Samples per session request (small, so the amortised phases dominate).
+GATE_SESSION_SAMPLES = 500
 
 #: Default allowed slowdown versus the committed baseline.
 DEFAULT_FACTOR = 2.0
@@ -47,13 +58,21 @@ def _row_key(row: dict) -> str:
 
 
 def collect_measurements(repeats: int = 3) -> dict:
-    """Best-of-``repeats`` sampling-phase seconds per (dataset, algorithm)."""
-    _title, runner = EXPERIMENTS["table4"]
+    """Best-of-``repeats`` gate measurements.
+
+    ``sampling_seconds`` holds the Table IV sampling-phase seconds per
+    ``(dataset, algorithm)`` (lower is better, fastest repeat kept);
+    ``session_speedup`` holds the session-reuse speedup over the one-shot
+    path (higher is better, best repeat kept).
+    """
+    _title, table4 = EXPERIMENTS["table4"]
+    _title, session = EXPERIMENTS["session"]
     best: dict[str, float] = {}
+    best_speedup: dict[str, float] = {}
     for _ in range(max(1, repeats)):
         # num_samples is pinned so the gate workload cannot drift away from
         # the committed baseline when the SMOKE sample budget is retuned.
-        rows = runner(
+        rows = table4(
             scale=ExperimentScale.SMOKE,
             datasets=GATE_DATASETS,
             num_samples=GATE_SAMPLES,
@@ -63,16 +82,48 @@ def collect_measurements(repeats: int = 3) -> dict:
             seconds = float(row["sampling_seconds"])
             if key not in best or seconds < best[key]:
                 best[key] = seconds
+        rows = session(
+            scale=ExperimentScale.SMOKE,
+            datasets=GATE_DATASETS,
+            num_samples=GATE_SESSION_SAMPLES,
+            requests=GATE_SESSION_REQUESTS,
+        )
+        for row in rows:
+            key = _row_key(row)
+            speedup = float(row["speedup"])
+            if key not in best_speedup or speedup > best_speedup[key]:
+                best_speedup[key] = speedup
     return {
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "datasets": list(GATE_DATASETS),
             "samples": GATE_SAMPLES,
+            "session_requests": GATE_SESSION_REQUESTS,
+            "session_samples": GATE_SESSION_SAMPLES,
             "repeats": repeats,
         },
         "sampling_seconds": {key: round(value, 5) for key, value in sorted(best.items())},
+        "session_speedup": {
+            key: round(value, 3) for key, value in sorted(best_speedup.items())
+        },
     }
+
+
+def as_baseline(current: dict) -> dict:
+    """Turn raw measurements into a committed-baseline payload with slack.
+
+    ``sampling_seconds`` is written as measured (the gate's ``factor`` already
+    provides the slack); ``session_speedup`` floors are halved (never below
+    1.05x) because the gate compares them directly - run-to-run jitter passes
+    while a session that rebuilds its structures per request (~1.0x) fails.
+    """
+    payload = dict(current)
+    payload["session_speedup"] = {
+        key: round(max(1.05, value / 2.0), 3)
+        for key, value in current.get("session_speedup", {}).items()
+    }
+    return payload
 
 
 def compare_to_baseline(
@@ -80,8 +131,12 @@ def compare_to_baseline(
 ) -> list[str]:
     """Human-readable regression messages (empty when the gate passes).
 
-    Rows missing from either side are reported as failures too, so the
-    baseline cannot silently rot when samplers are added or renamed.
+    Sampling-phase rows fail when slower than ``factor`` times their baseline;
+    session-reuse rows fail when the measured speedup drops below the
+    committed minimum (the baseline holds hand-rounded-*down* floors, so a
+    session that silently rebuilds its structures per request - ~1x - reliably
+    fails).  Rows missing from either side are reported as failures too, so
+    the baseline cannot silently rot when samplers are added or renamed.
     """
     problems: list[str] = []
     current_rows = current["sampling_seconds"]
@@ -98,6 +153,22 @@ def compare_to_baseline(
             )
     for key in sorted(set(current_rows) - set(baseline_rows)):
         problems.append(f"{key}: missing from the committed baseline")
+
+    current_speedups = current.get("session_speedup", {})
+    baseline_speedups = baseline.get("session_speedup", {})
+    for key, required in sorted(baseline_speedups.items()):
+        measured = current_speedups.get(key)
+        if measured is None:
+            problems.append(f"session_reuse {key}: missing from the current measurements")
+            continue
+        if measured < required:
+            problems.append(
+                f"session_reuse {key}: session draws only {measured:.2f}x faster "
+                f"than one-shot sampling, below the required {required:.2f}x - "
+                "structure reuse is not paying"
+            )
+    for key in sorted(set(current_speedups) - set(baseline_speedups)):
+        problems.append(f"session_reuse {key}: missing from the committed baseline")
     return problems
 
 
@@ -130,10 +201,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.output}")
     for key, seconds in current["sampling_seconds"].items():
         print(f"  {key}: {seconds:.4f}s")
+    for key, speedup in current["session_speedup"].items():
+        print(f"  session_reuse {key}: {speedup:.2f}x")
 
     if args.write_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        args.baseline.write_text(json.dumps(as_baseline(current), indent=2) + "\n")
         print(f"baseline refreshed at {args.baseline}")
         return 0
 

@@ -23,8 +23,10 @@ function                                  paper artefact
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Sequence
 
+from repro.api.session import SamplingSession
 from repro.bench.workloads import (
     ExperimentScale,
     WorkloadConfig,
@@ -32,12 +34,9 @@ from repro.bench.workloads import (
     default_workloads,
 )
 from repro.core.base import JoinSampler, JoinSampleResult
-from repro.core.bbst_sampler import BBSTSampler
-from repro.core.cell_kdtree_sampler import CellKDTreeSampler
 from repro.core.config import JoinSpec
 from repro.core.full_join import spatial_range_join
-from repro.core.kds_rejection import KDSRejectionSampler
-from repro.core.kds_sampler import KDSSampler
+from repro.core.registry import create_sampler, get_sampler, sampler_names
 from repro.stats.accuracy import counting_accuracy_report
 from repro.stats.uniformity import uniformity_report
 
@@ -46,6 +45,7 @@ __all__ = [
     "run_table3_decomposed_times",
     "run_table4_sampling",
     "run_vectorization_speedup",
+    "run_session_reuse",
     "run_baseline_comparison",
     "run_fig4_memory",
     "run_fig5_range_size",
@@ -59,12 +59,14 @@ __all__ = [
 
 Row = dict[str, Any]
 
-#: The three algorithms the paper compares in most experiments.
-_COMPARISON_SAMPLERS: tuple[Callable[[JoinSpec], JoinSampler], ...] = (
-    KDSSampler,
-    KDSRejectionSampler,
-    BBSTSampler,
-)
+
+def _comparison_factories() -> tuple[Callable[[JoinSpec], JoinSampler], ...]:
+    """The algorithms the paper compares in most experiments (Tables III/IV).
+
+    Resolved from the sampler registry by tag so that the harness, the CLI and
+    the CI gate all share one algorithm table.
+    """
+    return tuple(get_sampler(name).factory for name in sampler_names(tag="comparison"))
 
 
 def _workloads_or_default(
@@ -100,8 +102,8 @@ def run_table2_preprocessing(
     rows: list[Row] = []
     for config in _workloads_or_default(workloads, scale, datasets):
         spec = build_join_spec(config)
-        kds = KDSSampler(spec)
-        bbst = BBSTSampler(spec)
+        kds = create_sampler("kds", spec)
+        bbst = create_sampler("bbst", spec)
         rows.append(
             {
                 "dataset": config.dataset,
@@ -129,7 +131,7 @@ def run_baseline_comparison(
     for config in _workloads_or_default(workloads, scale, datasets):
         spec = build_join_spec(config)
         t = config.num_samples if num_samples is None else num_samples
-        for factory in _COMPARISON_SAMPLERS:
+        for factory in _comparison_factories():
             sampler, result = _run_sampler(factory, spec, t, seed)
             timings = result.timings
             rows.append(
@@ -213,9 +215,11 @@ def run_vectorization_speedup(
     for config in _workloads_or_default(workloads, scale, datasets):
         spec = build_join_spec(config)
         t = config.num_samples if num_samples is None else num_samples
-        for factory in (BBSTSampler, KDSRejectionSampler):
-            vectorized = factory(spec).sample(t, seed=seed)
-            scalar = factory(spec, batch_size=1, vectorized=False).sample(t, seed=seed)
+        for name in ("bbst", "kds-rejection"):
+            vectorized = create_sampler(name, spec).sample(t, seed=seed)
+            scalar = create_sampler(
+                name, spec, batch_size=1, vectorized=False
+            ).sample(t, seed=seed)
             vec_seconds = vectorized.timings.sample_seconds
             scalar_seconds = scalar.timings.sample_seconds
             rows.append(
@@ -228,6 +232,61 @@ def run_vectorization_speedup(
                     "vectorized_sampling_seconds": vec_seconds,
                     "scalar_sampling_seconds": scalar_seconds,
                     "sampling_speedup": scalar_seconds / max(vec_seconds, 1e-9),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Session API - amortisation of the build/count phases across requests
+# ----------------------------------------------------------------------
+def run_session_reuse(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    num_samples: int | None = None,
+    requests: int = 6,
+    seed: int = 41,
+) -> list[Row]:
+    """N ``draw()`` requests on one session vs N one-shot ``sample()`` calls.
+
+    The one-shot path constructs a fresh sampler per request and therefore
+    pays the offline + build + count phases every time; the session prepares
+    them once and serves every later request from the cache.  The row also
+    records the build/count timings of the *last* session request, which must
+    be ~0 once the ``(algorithm, half_extent)`` key is cached.
+    """
+    if requests < 2:
+        raise ValueError("requests must be at least 2 to show any reuse")
+    rows: list[Row] = []
+    for config in _workloads_or_default(workloads, scale, datasets):
+        spec = build_join_spec(config)
+        t = config.num_samples if num_samples is None else num_samples
+        for name in sampler_names(tag="comparison"):
+            session = SamplingSession.from_spec(spec, algorithm=name, eager=False)
+            start = time.perf_counter()
+            for request in range(requests):
+                last = session.draw(t, seed=seed + request)
+            session_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            for request in range(requests):
+                create_sampler(name, spec).sample(t, seed=seed + request)
+            oneshot_seconds = time.perf_counter() - start
+
+            rows.append(
+                {
+                    "dataset": config.dataset,
+                    "algorithm": name,
+                    "n": spec.n,
+                    "m": spec.m,
+                    "t": t,
+                    "requests": requests,
+                    "session_seconds": session_seconds,
+                    "oneshot_seconds": oneshot_seconds,
+                    "speedup": oneshot_seconds / max(session_seconds, 1e-9),
+                    "cached_build_seconds": last.timings.build_seconds,
+                    "cached_count_seconds": last.timings.count_seconds,
                 }
             )
     return rows
@@ -248,9 +307,9 @@ def run_fig4_memory(
         sweep = tuple(fractions) if fractions is not None else tuple(config.scale_sweep)
         for fraction in sweep:
             spec = build_join_spec(config, scale_fraction=fraction)
-            kds, _ = _run_sampler(KDSSampler, spec, 0, seed=0)
-            rejection, _ = _run_sampler(KDSRejectionSampler, spec, 0, seed=0)
-            bbst, _ = _run_sampler(BBSTSampler, spec, 0, seed=0)
+            kds, _ = _run_sampler(get_sampler("kds").factory, spec, 0, seed=0)
+            rejection, _ = _run_sampler(get_sampler("kds-rejection").factory, spec, 0, seed=0)
+            bbst, _ = _run_sampler(get_sampler("bbst").factory, spec, 0, seed=0)
             rows.append(
                 {
                     "dataset": config.dataset,
@@ -307,7 +366,7 @@ def run_fig5_range_size(
         t = config.num_samples if num_samples is None else num_samples
         for half_extent in sweep:
             spec = build_join_spec(config, half_extent=half_extent)
-            for factory in _COMPARISON_SAMPLERS:
+            for factory in _comparison_factories():
                 sampler, result = _run_sampler(factory, spec, t, seed)
                 rows.append(
                     {
@@ -339,7 +398,7 @@ def run_fig6_num_samples(
         )
         spec = build_join_spec(config)
         for t in sweep:
-            for factory in _COMPARISON_SAMPLERS:
+            for factory in _comparison_factories():
                 sampler, result = _run_sampler(factory, spec, t, seed)
                 rows.append(
                     {
@@ -371,7 +430,7 @@ def run_fig7_dataset_size(
         t = config.num_samples if num_samples is None else num_samples
         for fraction in sweep:
             spec = build_join_spec(config, scale_fraction=fraction)
-            for factory in _COMPARISON_SAMPLERS:
+            for factory in _comparison_factories():
                 sampler, result = _run_sampler(factory, spec, t, seed)
                 rows.append(
                     {
@@ -404,7 +463,7 @@ def run_fig8_size_ratio(
         t = config.num_samples if num_samples is None else num_samples
         for ratio in sweep:
             spec = build_join_spec(config, r_fraction=ratio)
-            sampler, result = _run_sampler(BBSTSampler, spec, t, seed)
+            sampler, result = _run_sampler(get_sampler("bbst").factory, spec, t, seed)
             rows.append(
                 {
                     "dataset": config.dataset,
@@ -435,8 +494,8 @@ def run_fig9_bbst_vs_cell_kdtree(
     for config in _workloads_or_default(workloads, scale, datasets):
         spec = build_join_spec(config)
         t = config.num_samples if num_samples is None else num_samples
-        for factory in (BBSTSampler, CellKDTreeSampler):
-            sampler, result = _run_sampler(factory, spec, t, seed)
+        for name in ("bbst", "cell-kdtree"):
+            sampler, result = _run_sampler(get_sampler(name).factory, spec, t, seed)
             rows.append(
                 {
                     "dataset": config.dataset,
@@ -471,7 +530,7 @@ def run_uniformity_experiment(
     spec = build_join_spec(config)
     join_pairs = spatial_range_join(spec)
     rows: list[Row] = []
-    for factory in (*_COMPARISON_SAMPLERS, CellKDTreeSampler):
+    for factory in (*_comparison_factories(), get_sampler("cell-kdtree").factory):
         sampler, result = _run_sampler(factory, spec, num_samples, seed)
         report = uniformity_report(result, join_pairs)
         rows.append(

@@ -19,6 +19,7 @@ from repro.bench.harness import (
     run_fig7_dataset_size,
     run_fig8_size_ratio,
     run_fig9_bbst_vs_cell_kdtree,
+    run_session_reuse,
     run_table2_preprocessing,
     run_table3_decomposed_times,
     run_table4_sampling,
@@ -45,6 +46,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]]]] = {
     "vecspeed": (
         "Extra - vectorised batch engine sampling-phase speedup",
         run_vectorization_speedup,
+    ),
+    "session": (
+        "Extra - session API: repeated draws vs one-shot sampling",
+        run_session_reuse,
     ),
     "uniformity": ("Extra - uniformity of produced samples", run_uniformity_experiment),
 }

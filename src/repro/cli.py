@@ -2,11 +2,18 @@
 
 ``repro-spatial-join-sampling`` exposes the library to the shell:
 
-* ``list`` - show the available experiments and dataset proxies.
+* ``list`` - show the available experiments, dataset proxies and algorithms.
 * ``experiment <id>`` - run one table/figure reproduction and print its rows.
 * ``all`` - run every experiment and optionally write a markdown report.
-* ``sample`` - draw join samples from a dataset proxy with a chosen
-  algorithm and print them (or write them to CSV).
+* ``sample`` - serve sampling requests from a dataset proxy through a
+  :class:`~repro.api.session.SamplingSession` (repeat requests reuse the
+  cached structures) and print the pairs (or write them to CSV).
+* ``plan`` - show which algorithm ``--algorithm auto`` would pick for a
+  workload, and why.
+
+Algorithms are resolved from the sampler registry
+(:mod:`repro.core.registry`), so a sampler registered with
+``@register_sampler`` is immediately available to ``--algorithm``.
 
 Examples
 --------
@@ -14,7 +21,9 @@ Examples
 
    $ repro-spatial-join-sampling list
    $ repro-spatial-join-sampling experiment table3 --scale smoke
-   $ repro-spatial-join-sampling sample --dataset nyc --algorithm bbst -t 1000
+   $ repro-spatial-join-sampling sample --dataset nyc --algorithm auto -t 1000
+   $ repro-spatial-join-sampling sample --dataset nyc --repeat 5 -t 10000
+   $ repro-spatial-join-sampling plan --dataset castreet --half-extent 100
 """
 
 from __future__ import annotations
@@ -26,25 +35,20 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.session import SamplingSession
 from repro.bench.reporting import format_table, rows_to_csv
 from repro.bench.runner import EXPERIMENTS, run_all_experiments, run_experiment
 from repro.bench.workloads import DEFAULT_HALF_EXTENT, ExperimentScale
-from repro.core.bbst_sampler import BBSTSampler
-from repro.core.cell_kdtree_sampler import CellKDTreeSampler
-from repro.core.config import JoinSpec
-from repro.core.kds_rejection import KDSRejectionSampler
-from repro.core.kds_sampler import KDSSampler
+from repro.core.registry import sampler_entries, sampler_names
 from repro.datasets.partition import split_r_s
 from repro.datasets.real_proxies import DATASET_NAMES, DEFAULT_PROXY_SIZES, load_proxy
 
 __all__ = ["main", "build_parser"]
 
-_ALGORITHMS = {
-    "kds": KDSSampler,
-    "kds-rejection": KDSRejectionSampler,
-    "bbst": BBSTSampler,
-    "cell-kdtree": CellKDTreeSampler,
-}
+
+def _algorithm_choices() -> list[str]:
+    """``auto`` plus every registered sampler name (the registry is the truth)."""
+    return ["auto", *sampler_names()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,14 +83,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of experiment ids to run (default: all)",
     )
 
-    sample = subparsers.add_parser("sample", help="draw join samples from a dataset proxy")
+    sample = subparsers.add_parser(
+        "sample",
+        help="serve sampling requests from a dataset proxy via a SamplingSession",
+    )
     sample.add_argument("--dataset", choices=DATASET_NAMES, default="castreet")
     sample.add_argument("--size", type=int, default=None, help="proxy size (points)")
-    sample.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="bbst")
+    sample.add_argument("--algorithm", choices=_algorithm_choices(), default="bbst")
     sample.add_argument("-t", "--num-samples", type=int, default=1000)
     sample.add_argument("--half-extent", type=float, default=DEFAULT_HALF_EXTENT)
     sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="serve this many draw requests on one session (shows amortisation)",
+    )
+    sample.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="stream each request in chunks of this many pairs",
+    )
     sample.add_argument("--output", type=Path, default=None, help="write pairs as CSV")
+
+    plan = subparsers.add_parser(
+        "plan", help="explain which algorithm `auto` picks for a workload"
+    )
+    plan.add_argument("--dataset", choices=DATASET_NAMES, default="castreet")
+    plan.add_argument("--size", type=int, default=None, help="proxy size (points)")
+    plan.add_argument("--half-extent", type=float, default=DEFAULT_HALF_EXTENT)
+    plan.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -98,9 +125,9 @@ def _command_list() -> int:
     print("\nDataset proxies (default sizes):")
     for name in DATASET_NAMES:
         print(f"  {name:12s} {DEFAULT_PROXY_SIZES[name]} points")
-    print("\nAlgorithms:")
-    for name in sorted(_ALGORITHMS):
-        print(f"  {name}")
+    print("\nAlgorithms (auto picks one of these per workload):")
+    for entry in sampler_entries():
+        print(f"  {entry.name:18s} {entry.summary}")
     return 0
 
 
@@ -131,17 +158,72 @@ def _command_all(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_sample(args: argparse.Namespace) -> int:
+def _open_session(args: argparse.Namespace) -> SamplingSession:
     rng = np.random.default_rng(args.seed)
     points = load_proxy(args.dataset, size=args.size)
     r_points, s_points = split_r_s(points, rng)
-    spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=args.half_extent)
-    sampler = _ALGORITHMS[args.algorithm](spec)
-    result = sampler.sample(args.num_samples, seed=args.seed)
-    print(
-        f"{sampler.name}: {len(result)} samples in {result.timings.total_seconds:.3f}s "
-        f"({result.iterations} iterations, acceptance rate {result.acceptance_rate:.3f})"
+    return SamplingSession(
+        r_points,
+        s_points,
+        half_extent=args.half_extent,
+        algorithm=args.algorithm,
+        eager=False,
     )
+
+
+def _command_sample(args: argparse.Namespace) -> int:
+    if args.repeat < 1:
+        print("error: --repeat must be at least 1", file=sys.stderr)
+        return 2
+    session = _open_session(args)
+    if args.algorithm == "auto":
+        report = session.plan()
+        print(f"auto planner picked {report.algorithm} (rule: {report.rule})")
+
+    result = None
+    for request in range(args.repeat):
+        seed = args.seed + request
+        if args.chunk_size is not None:
+            # The last request streams into the CSV when --output is given;
+            # chunks are never accumulated, so memory stays O(chunk_size).
+            sink = None
+            if args.output is not None and request == args.repeat - 1:
+                sink = args.output.open("w")
+                sink.write("r_id,s_id\n")
+            total = 0
+            for chunk in session.stream(
+                args.num_samples, chunk_size=args.chunk_size, seed=seed
+            ):
+                total += len(chunk)
+                if sink is not None:
+                    sink.writelines(f"{p.r_id},{p.s_id}\n" for p in chunk)
+            if sink is not None:
+                sink.close()
+                print(f"wrote {args.output}")
+            sampler = session.resolve()
+            print(
+                f"request {request + 1}: {sampler.name}: {total} samples "
+                f"streamed in chunks of {args.chunk_size}"
+            )
+        else:
+            result = session.draw(args.num_samples, seed=seed)
+            timings = result.timings
+            print(
+                f"request {request + 1}: {result.sampler_name}: {len(result)} samples "
+                f"in {timings.total_seconds:.3f}s "
+                f"(build {timings.build_seconds:.3f}s, count {timings.count_seconds:.3f}s, "
+                f"sample {timings.sample_seconds:.3f}s, "
+                f"acceptance rate {result.acceptance_rate:.3f})"
+            )
+    if args.repeat > 1:
+        stats = session.stats
+        print(
+            f"session: {stats.requests} requests, {stats.pairs_drawn} pairs, "
+            f"prepare {stats.prepare_seconds:.3f}s (paid once), "
+            f"sampling {stats.sample_seconds:.3f}s"
+        )
+    if result is None:
+        return 0
     if args.output is not None:
         lines = ["r_id,s_id"] + [f"{r},{s}" for r, s in result.id_pairs()]
         args.output.write_text("\n".join(lines) + "\n")
@@ -152,6 +234,18 @@ def _command_sample(args: argparse.Namespace) -> int:
             print(f"  ({r_id}, {s_id})")
         if len(result) > len(preview):
             print(f"  ... {len(result) - len(preview)} more pairs")
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    points = load_proxy(args.dataset, size=args.size)
+    r_points, s_points = split_r_s(points, rng)
+    session = SamplingSession(
+        r_points, s_points, half_extent=args.half_extent, eager=False
+    )
+    print(f"dataset: {args.dataset} (n={session.n:,}, m={session.m:,})")
+    print(session.plan().explain())
     return 0
 
 
@@ -167,6 +261,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_all(args)
     if args.command == "sample":
         return _command_sample(args)
+    if args.command == "plan":
+        return _command_plan(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -24,7 +24,13 @@ to evaluate it:
 * :mod:`~repro.core.validation` - sample validation helpers.
 """
 
-from repro.core.base import JoinSampler, JoinSampleResult, PhaseTimings, SamplePair
+from repro.core.base import (
+    JoinSampler,
+    JoinSampleResult,
+    PhaseTimings,
+    SamplePair,
+    resolve_rng,
+)
 from repro.core.bbst_sampler import BBSTSampler
 from repro.core.cell_kdtree_sampler import CellKDTreeSampler
 from repro.core.config import JoinSpec
@@ -43,6 +49,15 @@ from repro.core.full_join import (
 from repro.core.join_then_sample import JoinThenSample
 from repro.core.kds_rejection import KDSRejectionSampler
 from repro.core.kds_sampler import KDSSampler
+from repro.core.registry import (
+    SamplerEntry,
+    create_sampler,
+    get_sampler,
+    register_sampler,
+    sampler_entries,
+    sampler_names,
+    unregister_sampler,
+)
 from repro.core.validation import validate_sample_result, verify_pairs_in_join
 
 __all__ = [
@@ -66,4 +81,13 @@ __all__ = [
     "upper_bound_ratio",
     "validate_sample_result",
     "verify_pairs_in_join",
+    "resolve_rng",
+    # sampler registry
+    "SamplerEntry",
+    "register_sampler",
+    "unregister_sampler",
+    "get_sampler",
+    "create_sampler",
+    "sampler_names",
+    "sampler_entries",
 ]

@@ -32,7 +32,26 @@ __all__ = [
     "JoinSampleResult",
     "JoinSampler",
     "build_sample_pairs",
+    "resolve_rng",
 ]
+
+
+def resolve_rng(
+    rng: np.random.Generator | None = None, seed: int | None = None
+) -> np.random.Generator:
+    """Resolve the ``rng`` / ``seed`` pair every sampling entry point accepts.
+
+    Exactly one source of randomness is allowed: an explicit generator, a
+    seed, or neither (a fresh default generator).  Passing both raises
+    ``ValueError`` - the shared validation of ``sample()``,
+    ``sample_without_replacement()``, ``stream_samples()`` and the session
+    API's ``draw()`` / ``stream()``.
+    """
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if rng is None:
+        return np.random.default_rng(seed)
+    return rng
 
 
 @dataclass(frozen=True, slots=True)
@@ -238,14 +257,36 @@ class JoinSampler(abc.ABC):
         """
         if t < 0:
             raise ValueError("t must be non-negative")
-        if rng is not None and seed is not None:
-            raise ValueError("pass either rng or seed, not both")
-        if rng is None:
-            rng = np.random.default_rng(seed)
+        rng = resolve_rng(rng, seed)
         self.preprocess()
         result = self._sample_impl(t, rng)
         result.timings.preprocess_seconds = self._preprocess_seconds
         return result
+
+    def prepare(self) -> PhaseTimings:
+        """Run every phase that does not depend on ``t`` or randomness, eagerly.
+
+        This executes the offline step plus the online build (GM) and counting
+        (UB) phases and caches their results on the sampler, so that subsequent
+        :meth:`sample` calls only pay the sampling phase (their reported
+        ``build_seconds`` / ``count_seconds`` are ~0).  Those phases consume no
+        randomness, so a prepared sampler returns bit-identical pairs to an
+        unprepared one for the same ``(t, seed)``.
+
+        Returns the timings of the prepare work (all zeros when the sampler was
+        already prepared).  This is the method the session API calls when a
+        request first touches an ``(algorithm, half_extent)`` key.
+        """
+        return self.sample(0).timings
+
+    @property
+    def is_prepared(self) -> bool:
+        """Whether the online structures are cached (``prepare`` or a draw ran)."""
+        return self._preprocessed and self._has_online_state()
+
+    def _has_online_state(self) -> bool:
+        """Whether the subclass has cached its build/count results."""
+        return False
 
     def sample_without_replacement(
         self,
@@ -267,10 +308,7 @@ class JoinSampler(abc.ABC):
         """
         if t < 0:
             raise ValueError("t must be non-negative")
-        if rng is not None and seed is not None:
-            raise ValueError("pass either rng or seed, not both")
-        if rng is None:
-            rng = np.random.default_rng(seed)
+        rng = resolve_rng(rng, seed)
         distinct: dict[tuple[int, int], SamplePair] = {}
         timings = PhaseTimings()
         iterations = 0
@@ -323,10 +361,7 @@ class JoinSampler(abc.ABC):
         """
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
-        if rng is not None and seed is not None:
-            raise ValueError("pass either rng or seed, not both")
-        if rng is None:
-            rng = np.random.default_rng(seed)
+        rng = resolve_rng(rng, seed)
         while True:
             result = self.sample(batch_size, rng=rng)
             yield from result.pairs

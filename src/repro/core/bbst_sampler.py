@@ -17,10 +17,16 @@ from __future__ import annotations
 from repro.bbst.join_index import BBSTJoinIndex
 from repro.core.config import JoinSpec
 from repro.core.grid_sampler_base import GridJoinSamplerBase
+from repro.core.registry import register_sampler
 
 __all__ = ["BBSTSampler"]
 
 
+@register_sampler(
+    "bbst",
+    tags=("online", "comparison", "grid"),
+    summary="the paper's grid + per-cell BBST sampler (Section IV)",
+)
 class BBSTSampler(GridJoinSamplerBase):
     """The paper's O~(n + m + t) expected-time join sampler.
 

@@ -15,6 +15,7 @@ from repro.bbst.join_index import BBSTJoinIndex
 from repro.core.batching import group_blocks, pick_int, pick_int_scalar, ragged_offsets, select_kth_true
 from repro.core.config import JoinSpec
 from repro.core.grid_sampler_base import GridJoinSamplerBase
+from repro.core.registry import register_sampler
 from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect
 from repro.grid.cell import GridCell
@@ -176,6 +177,12 @@ class CellKDTreeJoinIndex(BBSTJoinIndex):
         return None  # pragma: no cover - bound > 0 guarantees a hit
 
 
+@register_sampler(
+    "cell-kdtree",
+    aliases=("cell_kdtree",),
+    tags=("online", "grid"),
+    summary="Algorithm 1 with per-cell kd-trees (Fig. 9 ablation)",
+)
 class CellKDTreeSampler(GridJoinSamplerBase):
     """Algorithm 1 with per-cell kd-trees (the Fig. 9 comparison variant)."""
 

@@ -166,6 +166,9 @@ class GridJoinSamplerBase(JoinSampler):
     def index_nbytes(self) -> int:
         return self._index.nbytes() if self._index is not None else 0
 
+    def _has_online_state(self) -> bool:
+        return self._runtime is not None
+
     # ------------------------------------------------------------------
     def _preprocess_impl(self) -> None:
         # The only offline work is pre-sorting S on the x axis (Table II).

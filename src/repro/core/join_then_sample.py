@@ -21,11 +21,18 @@ from repro.core.base import (
 )
 from repro.core.config import JoinSpec
 from repro.core.full_join import spatial_range_join_array
+from repro.core.registry import register_sampler
 from repro.grid.grid import Grid
 
 __all__ = ["JoinThenSample"]
 
 
+@register_sampler(
+    "join-then-sample",
+    aliases=("join_then_sample",),
+    tags=("exhaustive",),
+    summary="naive comparator: materialise the join, then sample from it",
+)
 class JoinThenSample(JoinSampler):
     """Materialise ``J`` with the exact grid join, then sample uniformly from it."""
 
@@ -37,6 +44,8 @@ class JoinThenSample(JoinSampler):
     ) -> None:
         super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
         self._grid: Grid | None = None
+        # The materialised join, cached so repeated draws reuse it.
+        self._pairs_index: np.ndarray | None = None
 
     @property
     def name(self) -> str:
@@ -44,6 +53,9 @@ class JoinThenSample(JoinSampler):
 
     def index_nbytes(self) -> int:
         return self._grid.nbytes() if self._grid is not None else 0
+
+    def _has_online_state(self) -> bool:
+        return self._pairs_index is not None
 
     # ------------------------------------------------------------------
     def _preprocess_impl(self) -> None:
@@ -55,9 +67,11 @@ class JoinThenSample(JoinSampler):
         timings = PhaseTimings()
         spec = self.spec
 
-        start = time.perf_counter()
-        pairs_index = spatial_range_join_array(spec, self._grid)
-        timings.count_seconds = time.perf_counter() - start
+        if self._pairs_index is None:
+            start = time.perf_counter()
+            self._pairs_index = spatial_range_join_array(spec, self._grid)
+            timings.count_seconds = time.perf_counter() - start
+        pairs_index = self._pairs_index
         if pairs_index.shape[0] == 0 and t > 0:
             raise ValueError(
                 "the spatial range join is empty; no samples can be drawn"

@@ -40,12 +40,18 @@ from repro.core.base import (
 )
 from repro.core.batching import pick_int_scalar, window_bounds
 from repro.core.config import JoinSpec
+from repro.core.registry import register_sampler
 from repro.kdtree.batch import canonical_pick, iter_chunked_decompositions
 from repro.kdtree.sampling import KDSRangeSampler
 
 __all__ = ["KDSSampler"]
 
 
+@register_sampler(
+    "kds",
+    tags=("online", "comparison", "baseline"),
+    summary="baseline 1: exact kd-tree counting + range sampling (Section III-A)",
+)
 class KDSSampler(JoinSampler):
     """The KDS baseline: exact counting plus kd-tree range sampling.
 
@@ -71,6 +77,10 @@ class KDSSampler(JoinSampler):
         super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
         self._leaf_size = leaf_size
         self._range_sampler: KDSRangeSampler | None = None
+        # Cached counting-phase results (counts, alias, |J|): the exact counts
+        # depend only on the spec, so repeated sample() calls reuse them and
+        # only pay the sampling phase.
+        self._online: tuple[np.ndarray, AliasTable | None, int] | None = None
 
     @property
     def name(self) -> str:
@@ -78,6 +88,9 @@ class KDSSampler(JoinSampler):
 
     def index_nbytes(self) -> int:
         return self._range_sampler.nbytes() if self._range_sampler is not None else 0
+
+    def _has_online_state(self) -> bool:
+        return self._online is not None
 
     # ------------------------------------------------------------------
     def _preprocess_impl(self) -> None:
@@ -95,20 +108,25 @@ class KDSSampler(JoinSampler):
         timings = PhaseTimings()
         tree = self._range_sampler.tree
 
-        # Exact range counting phase (the paper's UB column for KDS).
-        start = time.perf_counter()
-        if self._vectorized:
-            wxmin, wymin, wxmax, wymax = self._windows(np.arange(spec.n))
-            counts = tree.count_many(wxmin, wymin, wxmax, wymax)
+        # Exact range counting phase (the paper's UB column for KDS), cached
+        # across sample() calls - the counts are deterministic in the spec.
+        if self._online is None:
+            start = time.perf_counter()
+            if self._vectorized:
+                wxmin, wymin, wxmax, wymax = self._windows(np.arange(spec.n))
+                counts = tree.count_many(wxmin, wymin, wxmax, wymax)
+            else:
+                counts = np.empty(spec.n, dtype=np.int64)
+                for i in range(spec.n):
+                    counts[i] = self._range_sampler.range_count(spec.window_of_index(i))
+            join_size = int(counts.sum())
+            alias: AliasTable | None = None
+            if join_size > 0:
+                alias = AliasTable(counts)
+            timings.count_seconds = time.perf_counter() - start
+            self._online = (counts, alias, join_size)
         else:
-            counts = np.empty(spec.n, dtype=np.int64)
-            for i in range(spec.n):
-                counts[i] = self._range_sampler.range_count(spec.window_of_index(i))
-        join_size = int(counts.sum())
-        alias: AliasTable | None = None
-        if join_size > 0:
-            alias = AliasTable(counts)
-        timings.count_seconds = time.perf_counter() - start
+            _counts, alias, join_size = self._online
         if alias is None and t > 0:
             raise ValueError(
                 "the spatial range join is empty; no samples can be drawn "

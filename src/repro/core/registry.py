@@ -1,0 +1,190 @@
+"""Sampler plugin registry: one place that knows every join-sampling algorithm.
+
+Before this module existed the algorithm table was duplicated three times
+(the CLI's ``_ALGORITHMS`` dict, the bench harness's ``_COMPARISON_SAMPLERS``
+tuple and the CI gate's implicit copy of it), so adding a sampler meant
+touching every consumer.  Now a sampler registers itself once, at class
+definition time, with :func:`register_sampler`::
+
+    from repro.core.registry import register_sampler
+
+    @register_sampler("my-sampler", tags=("online",), summary="my algorithm")
+    class MySampler(JoinSampler):
+        ...
+
+and every surface - the session API, the CLI's ``--algorithm`` choices, the
+bench harness, the auto planner - resolves it by name from here.  Entries
+carry *tags* so consumers can select meaningful subsets:
+
+``online``
+    Samplers that never materialise the join (the planner chooses among
+    these; Definition 2 algorithms).
+``comparison``
+    The three algorithms the paper compares in most experiments (Tables
+    III/IV and Figs. 5-7).
+``grid``
+    The Algorithm 1 grid-decomposition samplers (BBST and its ablation).
+``exhaustive``
+    Comparators that materialise ``J`` (join-then-sample).
+
+Importing this module does *not* import the sampler implementations; the
+built-in modules are imported lazily on the first lookup so that the sampler
+modules themselves can import :func:`register_sampler` without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import JoinSampler
+    from repro.core.config import JoinSpec
+
+__all__ = [
+    "SamplerEntry",
+    "register_sampler",
+    "unregister_sampler",
+    "get_sampler",
+    "create_sampler",
+    "sampler_names",
+    "sampler_entries",
+    "canonical_name",
+]
+
+
+@dataclass(frozen=True)
+class SamplerEntry:
+    """One registered algorithm: canonical name, factory and metadata."""
+
+    name: str
+    factory: Callable[..., "JoinSampler"]
+    tags: frozenset[str] = field(default_factory=frozenset)
+    aliases: tuple[str, ...] = ()
+    summary: str = ""
+
+    def create(self, spec: "JoinSpec", **kwargs: Any) -> "JoinSampler":
+        """Instantiate the sampler on a join instance."""
+        return self.factory(spec, **kwargs)
+
+
+_REGISTRY: dict[str, SamplerEntry] = {}
+_ALIASES: dict[str, str] = {}
+_BUILTINS_LOADED = False
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower()
+
+
+def register_sampler(
+    name: str,
+    *,
+    aliases: Iterable[str] = (),
+    tags: Iterable[str] = (),
+    summary: str = "",
+) -> Callable[[Callable[..., "JoinSampler"]], Callable[..., "JoinSampler"]]:
+    """Class decorator registering a sampler factory under ``name``.
+
+    ``name`` (and any ``aliases``) become valid ``--algorithm`` values and
+    :func:`create_sampler` keys.  Registering a different factory under an
+    already-taken name raises ``ValueError``; re-registering the *same*
+    factory (e.g. a module reloaded under two paths) is a no-op.
+    """
+    key = _normalize(name)
+    if not key:
+        raise ValueError("sampler name must be non-empty")
+
+    def decorator(factory: Callable[..., "JoinSampler"]) -> Callable[..., "JoinSampler"]:
+        existing = _REGISTRY.get(key)
+        if existing is not None:
+            if existing.factory is factory:
+                return factory
+            raise ValueError(
+                f"sampler name {key!r} is already registered to "
+                f"{existing.factory!r}"
+            )
+        if key in _ALIASES:
+            # Alias resolution runs before the registry lookup, so a sampler
+            # named after an existing alias would be silently unreachable.
+            raise ValueError(
+                f"sampler name {key!r} collides with an alias of "
+                f"{_ALIASES[key]!r}"
+            )
+        doc = (factory.__doc__ or "").strip()
+        entry = SamplerEntry(
+            name=key,
+            factory=factory,
+            tags=frozenset(_normalize(tag) for tag in tags),
+            aliases=tuple(_normalize(alias) for alias in aliases),
+            summary=summary or (doc.splitlines()[0] if doc else ""),
+        )
+        for alias in entry.aliases:
+            if alias in _REGISTRY or _ALIASES.get(alias, key) != key:
+                raise ValueError(f"sampler alias {alias!r} is already taken")
+        _REGISTRY[key] = entry
+        for alias in entry.aliases:
+            _ALIASES[alias] = key
+        return factory
+
+    return decorator
+
+
+def unregister_sampler(name: str) -> None:
+    """Remove a registered sampler (primarily for tests and plugin teardown)."""
+    key = _normalize(name)
+    entry = _REGISTRY.pop(key, None)
+    if entry is None:
+        raise KeyError(f"no sampler registered under {name!r}")
+    for alias in entry.aliases:
+        _ALIASES.pop(alias, None)
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in sampler modules so their decorators run."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.core.bbst_sampler  # noqa: F401
+    import repro.core.cell_kdtree_sampler  # noqa: F401
+    import repro.core.join_then_sample  # noqa: F401
+    import repro.core.kds_rejection  # noqa: F401
+    import repro.core.kds_sampler  # noqa: F401
+
+
+def canonical_name(name: str) -> str:
+    """Resolve an algorithm name or alias to its canonical registry key."""
+    return get_sampler(name).name
+
+
+def get_sampler(name: str) -> SamplerEntry:
+    """Look up a registered sampler by name or alias (``KeyError`` if absent)."""
+    _ensure_builtins()
+    key = _normalize(name)
+    key = _ALIASES.get(key, key)
+    entry = _REGISTRY.get(key)
+    if entry is None:
+        known = ", ".join(sampler_names())
+        raise KeyError(f"unknown sampler {name!r}; registered samplers: {known}")
+    return entry
+
+
+def create_sampler(name: str, spec: "JoinSpec", **kwargs: Any) -> "JoinSampler":
+    """Instantiate a registered sampler by name on a join instance."""
+    return get_sampler(name).create(spec, **kwargs)
+
+
+def sampler_names(tag: str | None = None) -> list[str]:
+    """Sorted canonical names of all registered samplers (optionally by tag)."""
+    return [entry.name for entry in sampler_entries(tag)]
+
+
+def sampler_entries(tag: str | None = None) -> list[SamplerEntry]:
+    """All registered entries sorted by name (optionally filtered by tag)."""
+    _ensure_builtins()
+    entries = sorted(_REGISTRY.values(), key=lambda entry: entry.name)
+    if tag is None:
+        return entries
+    wanted = _normalize(tag)
+    return [entry for entry in entries if wanted in entry.tags]

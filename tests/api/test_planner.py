@@ -1,0 +1,154 @@
+"""Tests of the ``algorithm="auto"`` planner.
+
+Scenario tests pin the rule that must fire for archetypal workloads
+(small / large windows, uniform / skewed data); a property test guarantees
+that *every* plan the planner can emit names a registered sampler.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.planner import (
+    TINY_CROSS_PRODUCT,
+    PlanReport,
+    collect_workload_stats,
+    plan_algorithm,
+)
+from repro.core.config import JoinSpec
+from repro.core.registry import sampler_names
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points
+from repro.geometry.point import PointSet
+
+KNOWN_RULES = {
+    "tiny-instance",
+    "dense-window",
+    "skewed-small-window",
+    "uniform-tight-bounds",
+    "default-bbst",
+}
+
+
+def _uniform_spec(total_points: int, half_extent: float, seed: int = 3) -> JoinSpec:
+    rng = np.random.default_rng(seed)
+    points = uniform_points(total_points, rng, name="planner-uniform")
+    r_points, s_points = split_r_s(points, rng)
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=half_extent)
+
+
+def _offset_cluster_spec(half_extent: float = 100.0, seed: int = 5) -> JoinSpec:
+    """Skewed-at-window-scale data: S in tight clusters, R offset by 1.5l.
+
+    Every window ``w(r)`` misses its cluster while the 3x3 grid block still
+    contains part of it, so the grid bounds are maximally misleading (the
+    estimated acceptance collapses towards 0).
+    """
+    rng = np.random.default_rng(seed)
+    centers = np.array([(cx, cy) for cx in (2000.0, 5000.0, 8000.0) for cy in (2000.0, 5000.0, 8000.0)])
+    per_cluster = 70
+    picked = centers[rng.integers(len(centers), size=9 * per_cluster)]
+    s_xy = picked + rng.normal(0.0, 10.0, size=picked.shape)
+    offset = 1.5 * half_extent
+    r_xy = s_xy + offset
+    s_points = PointSet(xs=s_xy[:, 0], ys=s_xy[:, 1], name="planner-clustered-S")
+    r_points = PointSet(xs=r_xy[:, 0], ys=r_xy[:, 1], name="planner-clustered-R")
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=half_extent)
+
+
+class TestPlannerScenarios:
+    def test_tiny_instance_picks_kds(self):
+        spec = _uniform_spec(total_points=400, half_extent=300.0)
+        assert spec.n * spec.m <= TINY_CROSS_PRODUCT
+        report = plan_algorithm(spec)
+        assert report.algorithm == "kds"
+        assert report.rule == "tiny-instance"
+
+    def test_large_window_picks_bbst(self):
+        spec = _uniform_spec(total_points=2_000, half_extent=3_000.0)
+        report = plan_algorithm(spec)
+        assert report.algorithm == "bbst"
+        assert report.rule == "dense-window"
+        assert report.stats.relative_window >= 0.5
+
+    def test_uniform_workload_picks_kds_rejection(self):
+        spec = _uniform_spec(total_points=2_000, half_extent=250.0)
+        report = plan_algorithm(spec)
+        assert report.algorithm == "kds-rejection"
+        assert report.rule == "uniform-tight-bounds"
+        # Uniform data sits near the 4/9 geometric acceptance ceiling.
+        assert report.stats.est_acceptance == pytest.approx(4.0 / 9.0, abs=0.15)
+
+    def test_skewed_small_window_picks_cell_kdtree(self):
+        spec = _offset_cluster_spec()
+        assert spec.n * spec.m > TINY_CROSS_PRODUCT
+        report = plan_algorithm(spec)
+        assert report.algorithm == "cell-kdtree"
+        assert report.rule == "skewed-small-window"
+        assert report.stats.est_acceptance <= 0.15
+
+    def test_skewed_with_large_window_falls_back_to_bbst(self):
+        spec = _offset_cluster_spec(half_extent=800.0)
+        report = plan_algorithm(spec)
+        assert report.algorithm == "bbst"
+
+    def test_plan_is_deterministic(self):
+        spec = _uniform_spec(total_points=1_200, half_extent=250.0)
+        first = plan_algorithm(spec)
+        second = plan_algorithm(spec)
+        assert first == second
+
+
+class TestPlanReport:
+    def test_explain_mentions_choice_and_rule(self):
+        report = plan_algorithm(_uniform_spec(total_points=400, half_extent=300.0))
+        text = report.explain()
+        assert report.algorithm in text
+        assert report.rule in text
+        assert "candidates" in text
+
+    def test_candidates_are_the_online_samplers(self):
+        report = plan_algorithm(_uniform_spec(total_points=400, half_extent=300.0))
+        assert list(report.candidates) == sampler_names(tag="online")
+
+    def test_stats_as_dict_round_trips(self):
+        stats = collect_workload_stats(_uniform_spec(total_points=400, half_extent=300.0))
+        payload = stats.as_dict()
+        assert payload["n"] == stats.n
+        assert payload["est_acceptance"] == stats.est_acceptance
+
+    def test_probe_count_validated(self):
+        with pytest.raises(ValueError):
+            collect_workload_stats(
+                _uniform_spec(total_points=400, half_extent=300.0), probes=0
+            )
+
+
+coordinate = st.floats(min_value=0.0, max_value=2_000.0, allow_nan=False, allow_infinity=False)
+
+
+class TestPlannerProperties:
+    @given(
+        r_coords=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=60),
+        s_coords=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=60),
+        half_extent=st.floats(min_value=1.0, max_value=5_000.0, allow_nan=False),
+    )
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_every_plan_names_a_registered_sampler(self, r_coords, s_coords, half_extent):
+        spec = JoinSpec(
+            r_points=PointSet(
+                xs=[x for x, _ in r_coords], ys=[y for _, y in r_coords], name="prop-R"
+            ),
+            s_points=PointSet(
+                xs=[x for x, _ in s_coords], ys=[y for _, y in s_coords], name="prop-S"
+            ),
+            half_extent=half_extent,
+        )
+        report = plan_algorithm(spec, probes=32)
+        assert isinstance(report, PlanReport)
+        assert report.algorithm in sampler_names(tag="online")
+        assert report.algorithm in report.candidates
+        assert report.rule in KNOWN_RULES
+        assert report.stats.n == spec.n
+        assert report.stats.m == spec.m

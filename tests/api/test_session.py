@@ -1,0 +1,191 @@
+"""Tests of the session-based public API.
+
+The headline guarantees:
+
+* **differential**: for every registered algorithm,
+  ``SamplingSession.draw(t, seed=s)`` returns bit-identical pairs to the
+  one-shot ``create_sampler(name, spec).sample(t, seed=s)``;
+* **amortisation**: repeated draws on one session skip the build/count
+  phases (their reported per-phase timings are exactly 0 after the first
+  request for a cached ``(algorithm, half_extent)`` key).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.api.session import SamplingSession
+from repro.core.config import JoinSpec
+from repro.core.registry import create_sampler, sampler_names
+
+
+@pytest.fixture
+def session(small_uniform_spec) -> SamplingSession:
+    return SamplingSession.from_spec(small_uniform_spec, algorithm="bbst", eager=False)
+
+
+class TestDifferentialAgainstOneShot:
+    @pytest.mark.parametrize("name", sampler_names())
+    def test_draw_bit_identical_to_one_shot(self, name, small_uniform_spec):
+        session = SamplingSession.from_spec(
+            small_uniform_spec, algorithm=name, eager=False
+        )
+        session.draw(10, seed=99)  # populate the cache with an unrelated request
+        from_session = session.draw(64, seed=7)
+        one_shot = create_sampler(name, small_uniform_spec).sample(64, seed=7)
+        assert from_session.id_pairs() == one_shot.id_pairs()
+        assert from_session.sampler_name == one_shot.sampler_name
+
+    @pytest.mark.parametrize("name", sampler_names())
+    def test_draw_distinct_bit_identical_to_one_shot(self, name, small_uniform_spec):
+        session = SamplingSession.from_spec(
+            small_uniform_spec, algorithm=name, eager=False
+        )
+        from_session = session.draw_distinct(20, seed=3)
+        one_shot = create_sampler(name, small_uniform_spec).sample_without_replacement(
+            20, seed=3
+        )
+        assert from_session.id_pairs() == one_shot.id_pairs()
+
+    def test_auto_draw_matches_planned_algorithm(self, small_uniform_spec):
+        session = SamplingSession.from_spec(
+            small_uniform_spec, algorithm="auto", eager=False
+        )
+        planned = session.plan().algorithm
+        from_session = session.draw(32, seed=5)
+        one_shot = create_sampler(planned, small_uniform_spec).sample(32, seed=5)
+        assert from_session.id_pairs() == one_shot.id_pairs()
+
+
+class TestStructureReuse:
+    @pytest.mark.parametrize("name", sampler_names())
+    def test_repeated_draws_skip_build_and_count(self, name, small_uniform_spec):
+        session = SamplingSession.from_spec(
+            small_uniform_spec, algorithm=name, eager=False
+        )
+        session.draw(25, seed=0)
+        second = session.draw(25, seed=1)
+        assert second.timings.build_seconds == 0.0
+        assert second.timings.count_seconds == 0.0
+        assert len(second) == 25
+
+    def test_sampler_instance_is_cached_per_key(self, session):
+        first = session.resolve()
+        second = session.resolve()
+        assert first is second
+        assert session.stats.prepare_misses == 1
+        assert session.stats.prepare_hits == 1
+
+    def test_eager_session_prepares_in_constructor(self, small_uniform_spec):
+        session = SamplingSession.from_spec(small_uniform_spec, algorithm="bbst")
+        assert session.cached_keys == [("bbst", small_uniform_spec.half_extent)]
+        assert session.resolve().is_prepared
+
+    def test_half_extent_override_gets_its_own_cache_entry(self, session):
+        session.draw(10, seed=0)
+        session.draw(10, seed=0, half_extent=250.0)
+        assert len(session.cached_keys) == 2
+        assert {l for _name, l in session.cached_keys} == {250.0, 500.0}
+
+    def test_algorithm_override_gets_its_own_cache_entry(self, session):
+        session.draw(10, seed=0)
+        session.draw(10, seed=0, algorithm="kds")
+        assert [name for name, _l in session.cached_keys] == ["bbst", "kds"]
+
+    def test_overridden_draw_matches_one_shot_with_that_half_extent(
+        self, session, small_uniform_spec
+    ):
+        result = session.draw(40, seed=11, half_extent=250.0)
+        one_shot = create_sampler(
+            "bbst", small_uniform_spec.with_half_extent(250.0)
+        ).sample(40, seed=11)
+        assert result.id_pairs() == one_shot.id_pairs()
+
+
+class TestStreaming:
+    def test_finite_stream_chunk_sizes(self, session):
+        chunks = list(session.stream(250, chunk_size=100, seed=2))
+        assert [len(chunk) for chunk in chunks] == [100, 100, 50]
+
+    def test_stream_pairs_are_valid(self, session, small_uniform_spec):
+        pairs = [p for chunk in session.stream(120, chunk_size=50, seed=4) for p in chunk]
+        assert len(pairs) == 120
+        assert all(small_uniform_spec.pair_matches(p.r_index, p.s_index) for p in pairs)
+
+    def test_endless_stream_can_be_cut(self, session):
+        stream = session.stream(chunk_size=32, seed=6)
+        chunks = list(itertools.islice(stream, 4))
+        assert [len(chunk) for chunk in chunks] == [32, 32, 32, 32]
+
+    def test_stream_zero_yields_nothing(self, session):
+        assert list(session.stream(0, chunk_size=16, seed=0)) == []
+
+    def test_stream_validates_arguments_at_call_time(self, session):
+        # The errors fire when stream() is called, not at the first next().
+        with pytest.raises(ValueError):
+            session.stream(10, chunk_size=0)
+        with pytest.raises(ValueError):
+            session.stream(-1)
+        with pytest.raises(KeyError):
+            session.stream(10, algorithm="nope")
+
+    def test_stream_prepares_structures_at_call_time(self, session):
+        assert session.cached_keys == []
+        stream = session.stream(10, chunk_size=5, seed=0)
+        assert len(session.cached_keys) == 1  # prepared before the first chunk
+        assert session.resolve().is_prepared
+        assert sum(len(chunk) for chunk in stream) == 10
+
+
+class TestSessionLifecycle:
+    def test_context_manager_closes(self, small_uniform_spec):
+        with SamplingSession.from_spec(small_uniform_spec, algorithm="bbst") as session:
+            session.draw(5, seed=0)
+        assert session.closed
+        with pytest.raises(RuntimeError):
+            session.draw(5, seed=0)
+
+    def test_closed_session_rejects_plan_and_resolve(self, session):
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.plan()
+        with pytest.raises(RuntimeError):
+            session.resolve()
+
+    def test_unknown_algorithm_rejected_early(self, small_uniform_spec):
+        with pytest.raises(KeyError):
+            SamplingSession.from_spec(small_uniform_spec, algorithm="nope", eager=False)
+        session = SamplingSession.from_spec(
+            small_uniform_spec, algorithm="bbst", eager=False
+        )
+        with pytest.raises(KeyError):
+            session.draw(5, seed=0, algorithm="nope")
+
+    def test_invalid_half_extent_rejected(self, small_uniform_spec):
+        with pytest.raises(ValueError):
+            SamplingSession(
+                small_uniform_spec.r_points, small_uniform_spec.s_points, half_extent=0.0
+            )
+
+    def test_rng_and_seed_mutually_exclusive(self, session):
+        with pytest.raises(ValueError):
+            session.draw(5, rng=np.random.default_rng(0), seed=1)
+
+    def test_describe_reports_traffic(self, session):
+        session.draw(10, seed=0)
+        session.draw(10, seed=1)
+        info = session.describe()
+        assert info["stats"]["requests"] == 2
+        assert info["stats"]["pairs_drawn"] == 20
+        assert info["stats"]["prepare_misses"] == 1
+        assert info["index_nbytes"]
+        assert info["closed"] is False
+
+    def test_from_spec_round_trip(self, small_uniform_spec):
+        session = SamplingSession.from_spec(small_uniform_spec, eager=False)
+        spec = session.spec_for()
+        assert isinstance(spec, JoinSpec)
+        assert spec.half_extent == small_uniform_spec.half_extent
+        assert spec.n == small_uniform_spec.n
+        assert spec.m == small_uniform_spec.m

@@ -4,11 +4,14 @@ import json
 
 import pytest
 
-from repro.bench.ci_gate import DEFAULT_FACTOR, compare_to_baseline, main
+from repro.bench.ci_gate import DEFAULT_FACTOR, as_baseline, compare_to_baseline, main
 
 
-def _payload(values):
-    return {"meta": {}, "sampling_seconds": dict(values)}
+def _payload(values, session=None):
+    payload = {"meta": {}, "sampling_seconds": dict(values)}
+    if session is not None:
+        payload["session_speedup"] = dict(session)
+    return payload
 
 
 class TestCompareToBaseline:
@@ -37,6 +40,42 @@ class TestCompareToBaseline:
 
     def test_default_factor_is_two(self):
         assert DEFAULT_FACTOR == pytest.approx(2.0)
+
+
+class TestSessionReuseGate:
+    def test_passes_when_speedup_meets_the_floor(self):
+        baseline = _payload({}, session={"d/bbst": 1.5})
+        current = _payload({}, session={"d/bbst": 1.5})
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_fails_when_structure_reuse_stops_paying(self):
+        baseline = _payload({}, session={"d/bbst": 1.5})
+        current = _payload({}, session={"d/bbst": 1.02})
+        problems = compare_to_baseline(current, baseline)
+        assert len(problems) == 1
+        assert "session_reuse d/bbst" in problems[0]
+        assert "reuse" in problems[0]
+
+    def test_missing_session_rows_reported_on_both_sides(self):
+        baseline = _payload({}, session={"d/bbst": 1.5, "d/kds": 1.3})
+        current = _payload({}, session={"d/bbst": 2.0, "d/new": 2.0})
+        problems = compare_to_baseline(current, baseline)
+        assert any("d/kds" in p for p in problems)
+        assert any("d/new" in p for p in problems)
+
+    def test_baselines_without_session_section_still_compare(self):
+        # Payloads predating the session gate must not crash the comparison.
+        baseline = _payload({"d/A": 0.1})
+        current = _payload({"d/A": 0.1}, session={"d/bbst": 2.0})
+        problems = compare_to_baseline(current, baseline)
+        assert problems == ["session_reuse d/bbst: missing from the committed baseline"]
+
+    def test_as_baseline_halves_speedups_with_a_floor(self):
+        current = _payload({"d/A": 0.1}, session={"d/bbst": 5.0, "d/kds": 1.4})
+        written = as_baseline(current)
+        assert written["sampling_seconds"] == {"d/A": 0.1}
+        assert written["session_speedup"]["d/bbst"] == pytest.approx(2.5)
+        assert written["session_speedup"]["d/kds"] == pytest.approx(1.05)
 
 
 class TestMainEndToEnd:

@@ -28,6 +28,20 @@ class TestParser:
         assert args.dataset == "castreet"
         assert args.algorithm == "bbst"
         assert args.num_samples == 1000
+        assert args.repeat == 1
+        assert args.chunk_size is None
+
+    def test_sample_accepts_every_registered_algorithm(self):
+        from repro.core.registry import sampler_names
+
+        for name in ["auto", *sampler_names()]:
+            args = build_parser().parse_args(["sample", "--algorithm", name])
+            assert args.algorithm == name
+
+    def test_plan_command_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.command == "plan"
+        assert args.dataset == "castreet"
 
 
 class TestExecution:
@@ -74,6 +88,83 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "BBST" in out
         assert "50 samples" in out
+
+    def test_sample_repeat_requests_reuse_the_session(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--dataset", "castreet",
+                "--size", "1500",
+                "--algorithm", "bbst",
+                "-t", "30",
+                "--half-extent", "300",
+                "--repeat", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "request 3" in out
+        assert "session: 3 requests" in out
+
+    def test_sample_auto_prints_the_plan(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--dataset", "castreet",
+                "--size", "1500",
+                "--algorithm", "auto",
+                "-t", "30",
+                "--half-extent", "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto planner picked" in out
+
+    def test_sample_streaming_chunks(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--dataset", "castreet",
+                "--size", "1500",
+                "--algorithm", "bbst",
+                "-t", "50",
+                "--half-extent", "300",
+                "--chunk-size", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streamed in chunks of 20" in out
+
+    def test_sample_streaming_to_csv(self, tmp_path, capsys):
+        output = tmp_path / "streamed.csv"
+        code = main(
+            [
+                "sample",
+                "--dataset", "castreet",
+                "--size", "1500",
+                "--algorithm", "bbst",
+                "-t", "45",
+                "--half-extent", "300",
+                "--chunk-size", "20",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        lines = output.read_text().strip().splitlines()
+        assert lines[0] == "r_id,s_id"
+        assert len(lines) == 46
+
+    def test_sample_rejects_bad_repeat(self):
+        assert main(["sample", "--size", "1500", "--repeat", "0"]) == 2
+
+    def test_plan_run(self, capsys):
+        code = main(["plan", "--dataset", "castreet", "--size", "1500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "rule:" in out
 
     def test_sample_to_csv(self, tmp_path, capsys):
         output = tmp_path / "pairs.csv"

@@ -102,6 +102,29 @@ class TestFigureExperiments:
         assert algorithms == {"BBST", "Grid+kd-tree"}
 
 
+class TestSessionReuseExperiment:
+    def test_rows_show_cached_phases_and_speedup(self):
+        from repro.bench.harness import run_session_reuse
+
+        rows = run_session_reuse(TINY, num_samples=200, requests=4)
+        assert {row["algorithm"] for row in rows} == {"bbst", "kds", "kds-rejection"}
+        for row in rows:
+            assert row["requests"] == 4
+            # After the first request the cached key serves build/count for free.
+            assert row["cached_build_seconds"] == 0.0
+            assert row["cached_count_seconds"] == 0.0
+            assert row["session_seconds"] > 0.0
+            assert row["oneshot_seconds"] > 0.0
+
+    def test_requires_at_least_two_requests(self):
+        import pytest
+
+        from repro.bench.harness import run_session_reuse
+
+        with pytest.raises(ValueError):
+            run_session_reuse(TINY, requests=1)
+
+
 class TestUniformityExperiment:
     def test_all_algorithms_look_uniform(self):
         rows = run_uniformity_experiment(

@@ -21,6 +21,7 @@ class TestRegistry:
             "accuracy",
             "uniformity",
             "vecspeed",
+            "session",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -1,0 +1,106 @@
+"""Tests of the sampler plugin registry (the single algorithm table)."""
+
+import pytest
+
+from repro.core.base import JoinSampler
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.kds_sampler import KDSSampler
+from repro.core.registry import (
+    canonical_name,
+    create_sampler,
+    get_sampler,
+    register_sampler,
+    sampler_entries,
+    sampler_names,
+    unregister_sampler,
+)
+
+
+class TestBuiltinRegistrations:
+    def test_all_builtin_samplers_registered(self):
+        assert set(sampler_names()) == {
+            "bbst",
+            "cell-kdtree",
+            "join-then-sample",
+            "kds",
+            "kds-rejection",
+        }
+
+    def test_comparison_tag_matches_the_paper(self):
+        assert sampler_names(tag="comparison") == ["bbst", "kds", "kds-rejection"]
+
+    def test_online_tag_excludes_the_exhaustive_comparator(self):
+        assert "join-then-sample" not in sampler_names(tag="online")
+        assert len(sampler_names(tag="online")) == 4
+
+    def test_lookup_is_case_insensitive_and_alias_aware(self):
+        assert get_sampler("BBST").factory is BBSTSampler
+        assert get_sampler("kds_rejection").name == "kds-rejection"
+        assert canonical_name("CELL_KDTREE") == "cell-kdtree"
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="bbst"):
+            get_sampler("nope")
+
+    def test_entries_carry_summaries(self):
+        for entry in sampler_entries():
+            assert entry.summary, f"{entry.name} has no summary"
+
+    def test_create_sampler_instantiates(self, tiny_spec):
+        sampler = create_sampler("kds", tiny_spec)
+        assert isinstance(sampler, KDSSampler)
+        assert sampler.spec is tiny_spec
+
+    def test_create_sampler_forwards_kwargs(self, tiny_spec):
+        sampler = create_sampler("bbst", tiny_spec, batch_size=7, vectorized=False)
+        assert sampler.batch_size == 7
+        assert sampler.vectorized is False
+
+
+class TestPluginLifecycle:
+    def test_custom_sampler_is_a_one_file_change(self, tiny_spec):
+        """Registering a sampler makes it resolvable everywhere, immediately."""
+
+        @register_sampler("test-custom", tags=("online",), summary="test double")
+        class CustomSampler(BBSTSampler):
+            @property
+            def name(self):
+                return "TestCustom"
+
+        try:
+            assert "test-custom" in sampler_names()
+            assert "test-custom" in sampler_names(tag="online")
+            sampler = create_sampler("test-custom", tiny_spec)
+            assert isinstance(sampler, JoinSampler)
+            assert len(sampler.sample(5, seed=0)) == 5
+        finally:
+            unregister_sampler("test-custom")
+        assert "test-custom" not in sampler_names()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_sampler("bbst")(KDSSampler)
+
+    def test_reregistering_same_factory_is_idempotent(self):
+        register_sampler("bbst")(BBSTSampler)
+        assert get_sampler("bbst").factory is BBSTSampler
+
+    def test_alias_collision_rejected(self):
+        with pytest.raises(ValueError, match="alias"):
+            register_sampler("test-colliding", aliases=("kds",))(BBSTSampler)
+        assert "test-colliding" not in sampler_names()
+
+    def test_name_matching_an_existing_alias_rejected(self):
+        # "cell_kdtree" is a committed alias; a sampler registered under that
+        # name would be unreachable (alias resolution wins on lookup).
+        with pytest.raises(ValueError, match="alias"):
+            register_sampler("cell_kdtree")(KDSSampler)
+        assert get_sampler("cell_kdtree").name == "cell-kdtree"
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(KeyError):
+            unregister_sampler("never-registered")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_sampler("  ")

@@ -1,0 +1,33 @@
+"""Import-rot guard for the documented examples.
+
+Every ``examples/*.py`` script must import cleanly against the current public
+API (all imports run at module load; ``main()`` only runs under
+``__main__``).  CI additionally *executes* the scripts in the examples smoke
+job (see ``.github/workflows/ci.yml``); this test keeps the entry points
+honest even in local runs.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda path: path.stem)
+def test_example_imports_cleanly(script):
+    spec = importlib.util.spec_from_file_location(f"example_{script.stem}", script)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert callable(getattr(module, "main", None)), f"{script.name} has no main()"
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_SCRIPTS) >= 5
