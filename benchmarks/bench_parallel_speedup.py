@@ -1,0 +1,97 @@
+"""Shard-parallel engine - end-to-end speedup at n = m = 100,000, jobs = 4.
+
+The acceptance workload of the shard-parallel execution engine: on a
+multi-core machine the sharded BBST pipeline (plan, per-shard build + exact
+count in resident worker processes, composed draws) must beat the serial
+one-shot pipeline end-to-end by at least 1.5x, and its per-shard exact
+weights must sum bit-identically to the serial join size - the speedup can
+never be bought with a wrong distribution.
+
+The run is skipped on machines with fewer than 4 CPUs (the committed CI
+floor lives in ``benchmarks/baseline_ci.json`` and is enforced by
+``python -m repro.bench.ci_gate --parallel``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import JoinSpec
+from repro.core.full_join import join_size
+from repro.core.registry import create_sampler
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points
+from repro.parallel import ShardedSampler
+
+#: n = m = 100,000 after the R/S split.
+TOTAL_POINTS = 200_000
+
+#: The paper's default window half-extent at full dataset scale.
+HALF_EXTENT = 100.0
+
+BENCH_SAMPLES = 10_000
+JOBS = 4
+
+#: Required end-to-end speedup of the sharded engine at jobs=4.
+MIN_SPEEDUP = 1.5
+
+ALGORITHM = "bbst"
+
+
+@pytest.fixture(scope="module")
+def full_spec():
+    rng = np.random.default_rng(43)
+    points = uniform_points(TOTAL_POINTS, rng, name="uniform-100k")
+    r_points, s_points = split_r_s(points, rng)
+    spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=HALF_EXTENT)
+    assert spec.n == 100_000 and spec.m == 100_000
+    return spec
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < JOBS,
+    reason=f"shard-parallel speedup needs >= {JOBS} CPUs",
+)
+def test_end_to_end_parallel_speedup(benchmark, full_spec):
+    seed = 43
+    exact_total = join_size(full_spec)
+
+    start = time.perf_counter()
+    serial_result = create_sampler(ALGORITHM, full_spec).sample(BENCH_SAMPLES, seed=seed)
+    serial_seconds = time.perf_counter() - start
+    assert len(serial_result) == BENCH_SAMPLES
+
+    def run():
+        with ShardedSampler(full_spec, algorithm=ALGORITHM, jobs=JOBS) as sharded:
+            result = sharded.sample(BENCH_SAMPLES, seed=seed)
+            assert sharded.total_weight == exact_total, (
+                "per-shard weights no longer sum bit-identically to |J|"
+            )
+            return result
+
+    start = time.perf_counter()
+    sharded_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    sharded_seconds = time.perf_counter() - start
+    assert len(sharded_result) == BENCH_SAMPLES
+
+    speedup = serial_seconds / max(sharded_seconds, 1e-9)
+    benchmark.extra_info.update(
+        {
+            "algorithm": ALGORITHM,
+            "n": full_spec.n,
+            "m": full_spec.m,
+            "t": BENCH_SAMPLES,
+            "jobs": JOBS,
+            "serial_seconds": round(serial_seconds, 4),
+            "sharded_seconds": round(sharded_seconds, 4),
+            "speedup": round(speedup, 2),
+        }
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"sharded engine only {speedup:.2f}x faster end-to-end at jobs={JOBS}; "
+        f"expected >= {MIN_SPEEDUP}x"
+    )

@@ -30,6 +30,7 @@ from repro.api import (
     WorkloadStats,
     collect_workload_stats,
     plan_algorithm,
+    recommend_jobs,
 )
 from repro.core import (
     BBSTSampler,
@@ -60,6 +61,7 @@ from repro.datasets import (
     uniform_points,
 )
 from repro.geometry import Point, PointSet, Rect, window_around
+from repro.parallel import Shard, ShardedSampler, ShardPlan
 
 __version__ = "1.1.0"
 
@@ -72,6 +74,11 @@ __all__ = [
     "WorkloadStats",
     "plan_algorithm",
     "collect_workload_stats",
+    "recommend_jobs",
+    # shard-parallel engine
+    "Shard",
+    "ShardPlan",
+    "ShardedSampler",
     # sampler registry
     "SamplerEntry",
     "register_sampler",

@@ -22,6 +22,7 @@ from repro.api.planner import (
     WorkloadStats,
     collect_workload_stats,
     plan_algorithm,
+    recommend_jobs,
 )
 from repro.api.session import SamplingSession, SessionStats
 
@@ -32,4 +33,5 @@ __all__ = [
     "WorkloadStats",
     "plan_algorithm",
     "collect_workload_stats",
+    "recommend_jobs",
 ]

@@ -23,6 +23,7 @@ rejections) at a higher per-corner cost.  Every decision is returned as a
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass
 
 import numpy as np
@@ -31,7 +32,13 @@ from repro.core.config import JoinSpec
 from repro.core.registry import sampler_names
 from repro.grid.grid import Grid
 
-__all__ = ["WorkloadStats", "PlanReport", "collect_workload_stats", "plan_algorithm"]
+__all__ = [
+    "WorkloadStats",
+    "PlanReport",
+    "collect_workload_stats",
+    "plan_algorithm",
+    "recommend_jobs",
+]
 
 #: Instances with at most this many cross-product pairs count as "tiny":
 #: exact counting is negligible and rejection-free sampling wins.
@@ -52,6 +59,16 @@ SMALL_WINDOW_FRACTION = 0.05
 #: Largest inner set for which the kd-tree's O(sqrt(m)) per-draw cost is
 #: acceptable when its counting phase is the cheap one.
 REJECTION_MAX_INNER = 60_000
+
+#: Below this many total points, sharding overhead (process startup, state
+#: shipping) outweighs the parallel build/count savings: recommend jobs=1.
+PARALLEL_MIN_POINTS = 50_000
+
+#: Target number of points per shard when sharding does pay.
+PARALLEL_POINTS_PER_JOB = 50_000
+
+#: Upper bound on the recommended worker count regardless of machine size.
+PARALLEL_MAX_JOBS = 8
 
 
 @dataclass(frozen=True)
@@ -79,13 +96,19 @@ class WorkloadStats:
 
 @dataclass(frozen=True)
 class PlanReport:
-    """An explainable algorithm choice for one ``(R, S, l)`` instance."""
+    """An explainable algorithm choice for one ``(R, S, l)`` instance.
+
+    ``jobs`` is the recommended shard/worker count for the instance on this
+    machine (1 = stay serial); sessions opened with ``jobs=0`` ("auto") use
+    it directly.
+    """
 
     algorithm: str
     rule: str
     reason: str
     stats: WorkloadStats
     candidates: tuple[str, ...]
+    jobs: int = 1
 
     def explain(self) -> str:
         """Multi-line human-readable account of the decision."""
@@ -94,6 +117,7 @@ class PlanReport:
             f"plan: {self.algorithm}  (rule: {self.rule})",
             f"  {self.reason}",
             f"  candidates: {', '.join(self.candidates)}",
+            f"  recommended jobs: {self.jobs}",
             f"  stats: n={stats.n:,} m={stats.m:,} l={stats.half_extent:g} "
             f"window/domain={stats.relative_window:.3f}",
             f"         grid cells={stats.grid_cells:,} "
@@ -119,6 +143,25 @@ def collect_workload_stats(
     """
     if probes < 1:
         raise ValueError("probes must be at least 1")
+    if spec.is_empty:
+        # Empty R or S: the join is empty by definition.  Return all-zero
+        # statistics instead of dividing by zero in the probe arithmetic
+        # (max() of an empty array, choice() over zero candidates).
+        return WorkloadStats(
+            n=spec.n,
+            m=spec.m,
+            half_extent=float(spec.half_extent),
+            domain_width=0.0,
+            domain_height=0.0,
+            relative_window=0.0,
+            grid_cells=0,
+            occupancy_mean=0.0,
+            occupancy_max=0,
+            probes=0,
+            est_acceptance=0.0,
+            est_join_size=0.0,
+            est_sum_mu=0.0,
+        )
     if grid is None:
         grid = Grid(spec.s_points, cell_size=spec.half_extent)
     r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
@@ -173,6 +216,24 @@ def collect_workload_stats(
     )
 
 
+def recommend_jobs(stats: WorkloadStats, cpu_count: int | None = None) -> int:
+    """Recommended shard/worker count for an instance on this machine.
+
+    Sharding only pays once the build/count phases carry enough work to
+    amortise process startup and prepared-state shipping, so small instances
+    stay serial; beyond that the recommendation grows with the instance
+    (one worker per ~``PARALLEL_POINTS_PER_JOB`` points) and is clamped to
+    the machine's CPU count and :data:`PARALLEL_MAX_JOBS`.
+    """
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    total_points = stats.n + stats.m
+    if cpu_count < 2 or total_points < PARALLEL_MIN_POINTS:
+        return 1
+    wanted = max(2, total_points // PARALLEL_POINTS_PER_JOB)
+    return int(min(wanted, cpu_count, PARALLEL_MAX_JOBS))
+
+
 def plan_algorithm(
     spec: JoinSpec,
     grid: Grid | None = None,
@@ -200,6 +261,23 @@ def plan_algorithm(
     """
     stats = collect_workload_stats(spec, grid=grid, probes=probes, seed=seed)
     candidates = tuple(sampler_names(tag="online"))
+
+    if spec.is_empty:
+        # Rule 0: a join over an empty R or S has no pairs; any sampler can
+        # serve the only legal request (t = 0), so pick the cheapest one to
+        # construct and recommend no parallelism.
+        return PlanReport(
+            algorithm="kds",
+            rule="empty-input",
+            reason=(
+                f"R has {stats.n:,} points and S has {stats.m:,}: the join is "
+                "empty by definition, so only t=0 requests can be served and "
+                "no structure is worth building."
+            ),
+            stats=stats,
+            candidates=candidates,
+            jobs=1,
+        )
 
     if stats.n * stats.m <= TINY_CROSS_PRODUCT:
         choice, rule, reason = (
@@ -254,4 +332,5 @@ def plan_algorithm(
         reason=reason,
         stats=stats,
         candidates=candidates,
+        jobs=recommend_jobs(stats),
     )

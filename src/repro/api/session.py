@@ -16,11 +16,21 @@ surface that does that amortisation:
 >>> second.timings.build_seconds == second.timings.count_seconds == 0.0
 True
 
-The session caches one prepared sampler per ``(algorithm, half_extent)`` key,
-so requests with different window sizes or algorithms coexist without
-rebuilding each other's structures.  ``algorithm="auto"`` (the default)
-resolves through :func:`repro.api.planner.plan_algorithm` and the decision is
-retrievable with :meth:`SamplingSession.plan`.
+The session caches one prepared sampler per ``(algorithm, half_extent,
+jobs)`` key, so requests with different window sizes, algorithms or worker
+counts coexist without rebuilding each other's structures.
+``algorithm="auto"`` (the default) resolves through
+:func:`repro.api.planner.plan_algorithm` and the decision is retrievable with
+:meth:`SamplingSession.plan`.
+
+``jobs`` selects the shard-parallel engine: ``jobs >= 2`` builds and counts
+the instance in a worker-process pool through
+:class:`~repro.parallel.sharded.ShardedSampler` and serves draws from any
+thread behind per-shard locks; ``jobs=0`` ("auto") uses the planner's
+recommended worker count; ``jobs=None``/``1`` keeps the serial path.  Serial
+entries are served behind a per-entry lock, so a session is thread-safe at
+every ``jobs`` setting (concurrent draws are safe but interleave generator
+state, so run-to-run reproducibility requires one request at a time).
 
 Determinism contract: ``session.draw(t, seed=s)`` returns **bit-identical**
 pairs to the one-shot ``create_sampler(name, spec).sample(t, seed=s)`` for the
@@ -30,7 +40,8 @@ consume no randomness.  The differential tests in ``tests/api`` pin this.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 import numpy as np
@@ -39,12 +50,17 @@ from repro.api.planner import PlanReport, plan_algorithm
 from repro.core.base import JoinSampler, JoinSampleResult, SamplePair, resolve_rng
 from repro.core.config import JoinSpec
 from repro.core.registry import canonical_name, get_sampler
+from repro.core.validation import validate_half_extent, validate_jobs
 from repro.geometry.point import PointSet
+from repro.parallel.sharded import ShardedSampler
 
 __all__ = ["SamplingSession", "SessionStats"]
 
 #: The planner sentinel accepted wherever an algorithm name is.
 AUTO = "auto"
+
+#: ``jobs`` sentinel: let the planner recommend the worker count.
+AUTO_JOBS = 0
 
 
 @dataclass
@@ -75,6 +91,10 @@ class SessionStats:
 class _CacheEntry:
     sampler: JoinSampler
     spec: JoinSpec
+    # Serial samplers share unsynchronised structures, so their draws are
+    # serialised per entry; sharded samplers lock per shard internally and
+    # leave this None so concurrent requests can proceed on disjoint shards.
+    lock: threading.Lock | None = field(default=None, repr=False)
 
 
 class SamplingSession:
@@ -90,6 +110,11 @@ class SamplingSession:
         Default algorithm name (any name/alias registered with
         :func:`repro.core.registry.register_sampler`) or ``"auto"`` to let the
         planner choose per ``half_extent``.
+    jobs:
+        Default worker/shard count: ``None`` or ``1`` serves requests with
+        the serial samplers, ``>= 2`` with the shard-parallel engine, and
+        ``0`` asks the planner to recommend a count per ``half_extent``.
+        Individual requests may override it.
     eager:
         When true (default), the default ``(algorithm, half_extent)`` key is
         resolved and fully prepared in the constructor, so the first request
@@ -106,20 +131,27 @@ class SamplingSession:
         half_extent: float,
         *,
         algorithm: str = AUTO,
+        jobs: int | None = None,
         eager: bool = True,
         sampler_options: dict[str, Any] | None = None,
     ) -> None:
-        if half_extent <= 0:
-            raise ValueError("half_extent must be positive")
         self._r_points = r_points
         self._s_points = s_points
-        self._default_half_extent = float(half_extent)
+        self._default_half_extent = validate_half_extent(half_extent)
         self._default_algorithm = self._check_algorithm(algorithm)
+        self._default_jobs = self._check_jobs(jobs)
         self._sampler_options = dict(sampler_options or {})
-        self._entries: dict[tuple[str, float], _CacheEntry] = {}
+        self._entries: dict[tuple[str, float, int], _CacheEntry] = {}
         self._plans: dict[float, PlanReport] = {}
         self._specs: dict[float, JoinSpec] = {}
         self._closed = False
+        # Guards the caches and the stats counters; prepared samplers are
+        # guarded separately (per entry or per shard), so draws overlap.
+        # Cold-key builds run OUTSIDE this lock behind a per-key build lock
+        # (``_build_locks``), so a multi-second prepare never stalls requests
+        # on already-cached keys.
+        self._lock = threading.RLock()
+        self._build_locks: dict[tuple[str, float, int], threading.Lock] = {}
         self.stats = SessionStats()
         if eager:
             self.prepare()
@@ -151,9 +183,15 @@ class SamplingSession:
         return self._default_algorithm
 
     @property
-    def cached_keys(self) -> list[tuple[str, float]]:
-        """The ``(algorithm, half_extent)`` keys with prepared structures."""
-        return sorted(self._entries)
+    def default_jobs(self) -> int:
+        """The configured default worker count (0 = planner-recommended)."""
+        return self._default_jobs
+
+    @property
+    def cached_keys(self) -> list[tuple[str, float, int]]:
+        """The ``(algorithm, half_extent, jobs)`` keys with prepared structures."""
+        with self._lock:
+            return sorted(self._entries)
 
     @property
     def closed(self) -> bool:
@@ -167,6 +205,14 @@ class SamplingSession:
             return AUTO
         return canonical_name(name)  # raises KeyError for unknown names
 
+    @staticmethod
+    def _check_jobs(jobs: int | None) -> int:
+        if jobs is None:
+            return 1
+        if jobs == AUTO_JOBS:
+            return AUTO_JOBS
+        return validate_jobs(jobs)
+
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("the sampling session is closed")
@@ -174,87 +220,147 @@ class SamplingSession:
     def spec_for(self, half_extent: float | None = None) -> JoinSpec:
         """The :class:`JoinSpec` of a request (cached per ``half_extent``)."""
         l = self._default_half_extent if half_extent is None else float(half_extent)
-        spec = self._specs.get(l)
-        if spec is None:
-            spec = JoinSpec(
-                r_points=self._r_points, s_points=self._s_points, half_extent=l
-            )
-            self._specs[l] = spec
-        return spec
+        with self._lock:
+            spec = self._specs.get(l)
+            if spec is None:
+                spec = JoinSpec(
+                    r_points=self._r_points, s_points=self._s_points, half_extent=l
+                )
+                self._specs[l] = spec
+            return spec
 
     def plan(self, half_extent: float | None = None) -> PlanReport:
         """The planner's (cached) decision for a window size."""
         self._check_open()
         spec = self.spec_for(half_extent)
         l = spec.half_extent
-        report = self._plans.get(l)
-        if report is None:
-            report = plan_algorithm(spec)
-            self._plans[l] = report
-            self.stats.plans += 1
-        return report
+        with self._lock:
+            report = self._plans.get(l)
+            if report is None:
+                report = plan_algorithm(spec)
+                self._plans[l] = report
+                self.stats.plans += 1
+            return report
+
+    def _resolve_jobs(self, jobs: int | None, half_extent: float) -> int:
+        effective = self._default_jobs if jobs is None else self._check_jobs(jobs)
+        if effective == AUTO_JOBS:
+            effective = self.plan(half_extent).jobs
+        return max(1, effective)
 
     def resolve(
         self,
         algorithm: str | None = None,
         half_extent: float | None = None,
+        jobs: int | None = None,
     ) -> JoinSampler:
-        """Get the prepared sampler serving an ``(algorithm, half_extent)`` key.
+        """Get the prepared sampler serving an ``(algorithm, half_extent, jobs)`` key.
 
         The first request for a key constructs the sampler and runs its
-        prepare step (offline + build + count); every later request is a pure
-        cache hit, which is what makes repeated :meth:`draw` calls cheap.
+        prepare step (offline + build + count - through the worker pool when
+        ``jobs >= 2``); every later request is a pure cache hit, which is
+        what makes repeated :meth:`draw` calls cheap.
         """
+        entry = self._resolve_entry(algorithm, half_extent, jobs)
+        return entry.sampler
+
+    def _resolve_entry(
+        self,
+        algorithm: str | None = None,
+        half_extent: float | None = None,
+        jobs: int | None = None,
+    ) -> _CacheEntry:
         self._check_open()
         spec = self.spec_for(half_extent)
         name = self._default_algorithm if algorithm is None else self._check_algorithm(algorithm)
         if name == AUTO:
             name = self.plan(spec.half_extent).algorithm
-        key = (name, spec.half_extent)
-        entry = self._entries.get(key)
-        if entry is None:
-            sampler = get_sampler(name).create(spec, **self._sampler_options)
+        effective_jobs = self._resolve_jobs(jobs, spec.half_extent)
+        key = (name, spec.half_extent, effective_jobs)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.prepare_hits += 1
+                return entry
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        # Build outside the session lock: a cold-key prepare can take seconds
+        # (or spawn a worker pool), and requests on cached keys must not wait
+        # for it.  Concurrent requests for the *same* cold key serialise on
+        # the per-key build lock; the loser finds the entry cached.
+        with build_lock:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self.stats.prepare_hits += 1
+                    return entry
+            if effective_jobs > 1:
+                sampler: JoinSampler = ShardedSampler(
+                    spec,
+                    algorithm=name,
+                    jobs=effective_jobs,
+                    sampler_options=self._sampler_options,
+                )
+                entry_lock = None  # sharded samplers lock per shard
+            else:
+                sampler = get_sampler(name).create(spec, **self._sampler_options)
+                entry_lock = threading.Lock()
             prepare_timings = sampler.prepare()
-            entry = _CacheEntry(sampler=sampler, spec=spec)
-            self._entries[key] = entry
-            self.stats.prepare_misses += 1
-            self.stats.prepare_seconds += (
-                prepare_timings.preprocess_seconds + prepare_timings.total_seconds
-            )
-        else:
-            self.stats.prepare_hits += 1
-        return entry.sampler
+            entry = _CacheEntry(sampler=sampler, spec=spec, lock=entry_lock)
+            with self._lock:
+                if self._closed:
+                    # The session closed while this key was being built;
+                    # do not cache (and do not leak resident workers).
+                    closer = getattr(sampler, "close", None)
+                    if callable(closer):
+                        closer()
+                    raise RuntimeError("the sampling session is closed")
+                self._entries[key] = entry
+                self.stats.prepare_misses += 1
+                self.stats.prepare_seconds += (
+                    prepare_timings.preprocess_seconds + prepare_timings.total_seconds
+                )
+            return entry
 
     def prepare(
         self,
         algorithm: str | None = None,
         half_extent: float | None = None,
+        jobs: int | None = None,
     ) -> JoinSampler:
         """Eagerly prepare a key without drawing (alias of :meth:`resolve`)."""
-        return self.resolve(algorithm, half_extent)
+        return self.resolve(algorithm, half_extent, jobs)
 
     # ------------------------------------------------------------------
+    def _record_result(self, result: JoinSampleResult) -> None:
+        with self._lock:
+            self.stats.requests += 1
+            self.stats.pairs_drawn += len(result)
+            self.stats.sample_seconds += result.timings.sample_seconds
+
     def draw(
         self,
         t: int,
         *,
         algorithm: str | None = None,
         half_extent: float | None = None,
+        jobs: int | None = None,
         rng: np.random.Generator | None = None,
         seed: int | None = None,
     ) -> JoinSampleResult:
         """Serve one sampling request: ``t`` uniform, independent join samples.
 
         Bit-identical to the one-shot path for the same ``(spec, algorithm,
-        seed)``; after the first request per ``(algorithm, half_extent)`` key
-        the reported build/count timings are ~0.
+        seed)``; after the first request per ``(algorithm, half_extent,
+        jobs)`` key the reported build/count timings are ~0.
         """
         rng = resolve_rng(rng, seed)
-        sampler = self.resolve(algorithm, half_extent)
-        result = sampler.sample(t, rng=rng)
-        self.stats.requests += 1
-        self.stats.pairs_drawn += len(result)
-        self.stats.sample_seconds += result.timings.sample_seconds
+        entry = self._resolve_entry(algorithm, half_extent, jobs)
+        if entry.lock is not None:
+            with entry.lock:
+                result = entry.sampler.sample(t, rng=rng)
+        else:
+            result = entry.sampler.sample(t, rng=rng)
+        self._record_result(result)
         return result
 
     def draw_distinct(
@@ -263,16 +369,19 @@ class SamplingSession:
         *,
         algorithm: str | None = None,
         half_extent: float | None = None,
+        jobs: int | None = None,
         rng: np.random.Generator | None = None,
         seed: int | None = None,
     ) -> JoinSampleResult:
         """``t`` *distinct* join pairs (the without-replacement extension)."""
         rng = resolve_rng(rng, seed)
-        sampler = self.resolve(algorithm, half_extent)
-        result = sampler.sample_without_replacement(t, rng=rng)
-        self.stats.requests += 1
-        self.stats.pairs_drawn += len(result)
-        self.stats.sample_seconds += result.timings.sample_seconds
+        entry = self._resolve_entry(algorithm, half_extent, jobs)
+        if entry.lock is not None:
+            with entry.lock:
+                result = entry.sampler.sample_without_replacement(t, rng=rng)
+        else:
+            result = entry.sampler.sample_without_replacement(t, rng=rng)
+        self._record_result(result)
         return result
 
     def stream(
@@ -282,6 +391,7 @@ class SamplingSession:
         chunk_size: int = 1_024,
         algorithm: str | None = None,
         half_extent: float | None = None,
+        jobs: int | None = None,
         rng: np.random.Generator | None = None,
         seed: int | None = None,
     ) -> Iterator[list[SamplePair]]:
@@ -298,17 +408,19 @@ class SamplingSession:
         if t is not None and t < 0:
             raise ValueError("t must be non-negative (or None for an endless stream)")
         rng = resolve_rng(rng, seed)
-        sampler = self.resolve(algorithm, half_extent)
+        entry = self._resolve_entry(algorithm, half_extent, jobs)
 
         def chunks() -> Iterator[list[SamplePair]]:
             remaining = t
             while remaining is None or remaining > 0:
                 self._check_open()
                 size = chunk_size if remaining is None else min(chunk_size, remaining)
-                result = sampler.sample(size, rng=rng)
-                self.stats.requests += 1
-                self.stats.pairs_drawn += len(result)
-                self.stats.sample_seconds += result.timings.sample_seconds
+                if entry.lock is not None:
+                    with entry.lock:
+                        result = entry.sampler.sample(size, rng=rng)
+                else:
+                    result = entry.sampler.sample(size, rng=rng)
+                self._record_result(result)
                 yield result.pairs
                 if remaining is not None:
                     remaining -= size
@@ -318,26 +430,37 @@ class SamplingSession:
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, Any]:
         """A JSON-friendly snapshot of the session (service introspection)."""
-        return {
-            "n": self.n,
-            "m": self.m,
-            "default_half_extent": self._default_half_extent,
-            "default_algorithm": self._default_algorithm,
-            "cached_keys": [list(key) for key in self.cached_keys],
-            "index_nbytes": {
-                f"{name}@{l:g}": entry.sampler.index_nbytes()
-                for (name, l), entry in sorted(self._entries.items())
-            },
-            "stats": self.stats.as_dict(),
-            "closed": self._closed,
-        }
+        with self._lock:
+            return {
+                "n": self.n,
+                "m": self.m,
+                "default_half_extent": self._default_half_extent,
+                "default_algorithm": self._default_algorithm,
+                "default_jobs": self._default_jobs,
+                "cached_keys": [list(key) for key in sorted(self._entries)],
+                "index_nbytes": {
+                    f"{name}@{l:g}x{jobs}": entry.sampler.index_nbytes()
+                    for (name, l, jobs), entry in sorted(self._entries.items())
+                },
+                "stats": self.stats.as_dict(),
+                "closed": self._closed,
+            }
 
     def close(self) -> None:
-        """Drop every cached structure; later requests raise ``RuntimeError``."""
-        self._entries.clear()
-        self._plans.clear()
-        self._specs.clear()
-        self._closed = True
+        """Drop every cached structure; later requests raise ``RuntimeError``.
+
+        Sharded entries shut their resident worker processes down.
+        """
+        with self._lock:
+            for entry in self._entries.values():
+                closer = getattr(entry.sampler, "close", None)
+                if callable(closer):
+                    closer()
+            self._entries.clear()
+            self._plans.clear()
+            self._specs.clear()
+            self._build_locks.clear()
+            self._closed = True
 
     def __enter__(self) -> "SamplingSession":
         self._check_open()

@@ -29,6 +29,7 @@ from repro.core.batching import (
     ragged_offsets,
     select_kth_true,
 )
+from repro.core.validation import validate_half_extent
 from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect, window_around
 from repro.grid.cell import GridCell
@@ -155,10 +156,8 @@ class BBSTJoinIndex:
         half_extent: float,
         bucket_capacity: int | None = None,
     ) -> None:
-        if half_extent <= 0:
-            raise ValueError("half_extent must be positive")
         self._points = s_points
-        self._half_extent = float(half_extent)
+        self._half_extent = validate_half_extent(half_extent)
         self._capacity = (
             int(bucket_capacity)
             if bucket_capacity is not None

@@ -18,6 +18,7 @@ from repro.bench.harness import (
     run_fig7_dataset_size,
     run_fig8_size_ratio,
     run_fig9_bbst_vs_cell_kdtree,
+    run_parallel_speedup,
     run_session_reuse,
     run_table2_preprocessing,
     run_table3_decomposed_times,
@@ -56,6 +57,7 @@ __all__ = [
     "run_uniformity_experiment",
     "run_vectorization_speedup",
     "run_session_reuse",
+    "run_parallel_speedup",
     "format_table",
     "format_markdown_table",
     "run_all_experiments",

@@ -7,11 +7,16 @@ Run as ``python -m repro.bench.ci_gate``.  The gate
 2. runs the ``session_reuse`` smoke: N successive ``draw()`` requests on one
    :class:`~repro.api.session.SamplingSession` versus N one-shot ``sample()``
    calls (structure reuse must actually pay),
-3. writes the measurements to ``BENCH_ci.json``, and
-4. compares against the committed ``benchmarks/baseline_ci.json``: any
+3. with ``--parallel`` (the CI workflow passes it on multi-core runners),
+   runs the ``parallel_speedup`` experiment - the shard-parallel engine at
+   ``jobs=4`` on n = m = 100,000 versus the serial one-shot path - and
+   requires both the committed end-to-end speedup floor *and* bit-identical
+   per-shard weight totals,
+4. writes the measurements to ``BENCH_ci.json``, and
+5. compares against the committed ``benchmarks/baseline_ci.json``: any
    ``(dataset, algorithm)`` sampling-phase row slower than ``factor``
-   (default 2) times its baseline fails, and any session-reuse speedup below
-   its baseline *minimum* fails.
+   (default 2) times its baseline fails, and any session-reuse or parallel
+   speedup below its baseline *minimum* fails.
 
 The committed baseline holds *generous* values (local measurements rounded
 up / down) so that ordinary CI-runner jitter passes while a reintroduced
@@ -25,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -32,7 +38,13 @@ from pathlib import Path
 from repro.bench.runner import EXPERIMENTS
 from repro.bench.workloads import ExperimentScale
 
-__all__ = ["collect_measurements", "compare_to_baseline", "as_baseline", "main"]
+__all__ = [
+    "collect_measurements",
+    "collect_parallel_measurements",
+    "compare_to_baseline",
+    "as_baseline",
+    "main",
+]
 
 #: Datasets exercised by the smoke (the two smallest proxies).
 GATE_DATASETS = ("castreet", "foursquare")
@@ -48,6 +60,15 @@ GATE_SESSION_SAMPLES = 500
 
 #: Default allowed slowdown versus the committed baseline.
 DEFAULT_FACTOR = 2.0
+
+#: Parallel-gate workload: jobs=4 over n = m = 100,000 uniform points (the
+#: configuration whose floor is committed in the baseline).
+GATE_PARALLEL_JOBS = 4
+GATE_PARALLEL_POINTS = 200_000
+GATE_PARALLEL_SAMPLES = 10_000
+
+#: The parallel measurement is only meaningful with real parallelism.
+GATE_PARALLEL_MIN_CPUS = 2
 
 DEFAULT_BASELINE = Path("benchmarks") / "baseline_ci.json"
 DEFAULT_OUTPUT = Path("BENCH_ci.json")
@@ -97,6 +118,7 @@ def collect_measurements(repeats: int = 3) -> dict:
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "cpus": os.cpu_count(),
             "datasets": list(GATE_DATASETS),
             "samples": GATE_SAMPLES,
             "session_requests": GATE_SESSION_REQUESTS,
@@ -108,6 +130,30 @@ def collect_measurements(repeats: int = 3) -> dict:
             key: round(value, 3) for key, value in sorted(best_speedup.items())
         },
     }
+
+
+def collect_parallel_measurements(repeats: int = 2) -> dict:
+    """Best-of-``repeats`` shard-parallel end-to-end speedups at the gate config.
+
+    Every row must report bit-identical per-shard weight totals
+    (``totals_match``); a mismatching row is recorded as speedup 0.0 so the
+    floor comparison fails loudly rather than rewarding a wrong distribution.
+    """
+    _title, parallel = EXPERIMENTS["parallel"]
+    best: dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        rows = parallel(
+            scale=ExperimentScale.SMOKE,
+            jobs=GATE_PARALLEL_JOBS,
+            total_points=GATE_PARALLEL_POINTS,
+            num_samples=GATE_PARALLEL_SAMPLES,
+        )
+        for row in rows:
+            key = _row_key(row)
+            speedup = float(row["speedup"]) if row["totals_match"] else 0.0
+            if key not in best or speedup > best[key]:
+                best[key] = speedup
+    return {key: round(value, 3) for key, value in sorted(best.items())}
 
 
 def as_baseline(current: dict) -> dict:
@@ -123,6 +169,11 @@ def as_baseline(current: dict) -> dict:
         key: round(max(1.05, value / 2.0), 3)
         for key, value in current.get("session_speedup", {}).items()
     }
+    if "parallel_speedup" in current:
+        payload["parallel_speedup"] = {
+            key: round(max(1.05, value / 2.0), 3)
+            for key, value in current["parallel_speedup"].items()
+        }
     return payload
 
 
@@ -169,6 +220,31 @@ def compare_to_baseline(
             )
     for key in sorted(set(current_speedups) - set(baseline_speedups)):
         problems.append(f"session_reuse {key}: missing from the committed baseline")
+
+    # The parallel section is opt-in (--parallel; multi-core runners only),
+    # so it is compared only when the current payload actually measured it -
+    # a machine that skipped the measurement does not fail the floors.
+    current_parallel = current.get("parallel_speedup")
+    baseline_parallel = baseline.get("parallel_speedup", {})
+    if current_parallel is not None:
+        for key, required in sorted(baseline_parallel.items()):
+            measured = current_parallel.get(key)
+            if measured is None:
+                problems.append(
+                    f"parallel_speedup {key}: missing from the current measurements"
+                )
+                continue
+            if measured < required:
+                problems.append(
+                    f"parallel_speedup {key}: sharded engine only {measured:.2f}x "
+                    f"faster end-to-end than the serial path, below the required "
+                    f"{required:.2f}x (jobs={GATE_PARALLEL_JOBS}, "
+                    f"n=m={GATE_PARALLEL_POINTS // 2:,})"
+                )
+        for key in sorted(set(current_parallel) - set(baseline_parallel)):
+            problems.append(
+                f"parallel_speedup {key}: missing from the committed baseline"
+            )
     return problems
 
 
@@ -194,15 +270,33 @@ def main(argv: list[str] | None = None) -> int:
         "--write-baseline", action="store_true",
         help="write the measurements to --baseline instead of gating",
     )
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="also measure the shard-parallel speedup floor "
+        f"(jobs={GATE_PARALLEL_JOBS}, n=m={GATE_PARALLEL_POINTS // 2:,}; "
+        "multi-core machines only)",
+    )
     args = parser.parse_args(argv)
 
     current = collect_measurements(repeats=args.repeats)
+    if args.parallel:
+        cpus = os.cpu_count() or 1
+        if cpus < GATE_PARALLEL_MIN_CPUS:
+            print(
+                f"warning: --parallel requested but only {cpus} CPU(s) available; "
+                "skipping the parallel floor",
+                file=sys.stderr,
+            )
+        else:
+            current["parallel_speedup"] = collect_parallel_measurements()
     args.output.write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {args.output}")
     for key, seconds in current["sampling_seconds"].items():
         print(f"  {key}: {seconds:.4f}s")
     for key, speedup in current["session_speedup"].items():
         print(f"  session_reuse {key}: {speedup:.2f}x")
+    for key, speedup in current.get("parallel_speedup", {}).items():
+        print(f"  parallel_speedup {key}: {speedup:.2f}x")
 
     if args.write_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)

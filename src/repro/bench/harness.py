@@ -26,6 +26,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.api.session import SamplingSession
 from repro.bench.workloads import (
     ExperimentScale,
@@ -35,8 +37,11 @@ from repro.bench.workloads import (
 )
 from repro.core.base import JoinSampler, JoinSampleResult
 from repro.core.config import JoinSpec
-from repro.core.full_join import spatial_range_join
+from repro.core.full_join import join_size, spatial_range_join
 from repro.core.registry import create_sampler, get_sampler, sampler_names
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points
+from repro.parallel.sharded import ShardedSampler
 from repro.stats.accuracy import counting_accuracy_report
 from repro.stats.uniformity import uniformity_report
 
@@ -46,6 +51,7 @@ __all__ = [
     "run_table4_sampling",
     "run_vectorization_speedup",
     "run_session_reuse",
+    "run_parallel_speedup",
     "run_baseline_comparison",
     "run_fig4_memory",
     "run_fig5_range_size",
@@ -289,6 +295,89 @@ def run_session_reuse(
                     "cached_count_seconds": last.timings.count_seconds,
                 }
             )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Parallel engine - shard-parallel build/count speedup over the serial path
+# ----------------------------------------------------------------------
+
+#: Synthetic point budgets of the parallel experiment (before the R/S split).
+_PARALLEL_SCALE_POINTS: dict[ExperimentScale, int] = {
+    ExperimentScale.SMOKE: 40_000,  # n = m = 20,000: seconds-level
+    ExperimentScale.PAPER: 200_000,  # n = m = 100,000: the committed floor's config
+}
+
+#: Window half-extent of the parallel experiment (the paper's default l=100).
+PARALLEL_HALF_EXTENT = 100.0
+
+
+def run_parallel_speedup(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    num_samples: int | None = None,
+    jobs: int = 4,
+    total_points: int | None = None,
+    algorithms: Sequence[str] = ("bbst",),
+    seed: int = 43,
+) -> list[Row]:
+    """End-to-end wall-clock of the sharded engine vs the serial one-shot path.
+
+    Both sides pay the full pipeline - offline step, online build, counting
+    and ``t`` draws - from a cold start on the same synthetic uniform
+    instance (``workloads``/``datasets`` are ignored: the experiment pins its
+    own workload so the committed CI floor cannot drift with the proxy
+    catalogue).  The sharded side additionally verifies that its per-shard
+    exact weights sum bit-identically to the serial exact join size
+    (``totals_match``), so the speedup can never be bought with a wrong
+    distribution.
+    """
+    del workloads, datasets  # pinned workload; see docstring
+    points_budget = (
+        int(total_points)
+        if total_points is not None
+        else _PARALLEL_SCALE_POINTS[scale]
+    )
+    t = (2_000 if scale is ExperimentScale.SMOKE else 10_000) if num_samples is None else num_samples
+    rng = np.random.default_rng(seed)
+    points = uniform_points(points_budget, rng, name=f"uniform-{points_budget // 2_000}k")
+    r_points, s_points = split_r_s(points, rng)
+    spec = JoinSpec(
+        r_points=r_points, s_points=s_points, half_extent=PARALLEL_HALF_EXTENT
+    )
+    dataset = f"uniform-{spec.n // 1_000}k"
+    exact_total = join_size(spec)
+
+    rows: list[Row] = []
+    for name in algorithms:
+        start = time.perf_counter()
+        serial = create_sampler(name, spec)
+        serial_result = serial.sample(t, seed=seed)
+        serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        sharded = ShardedSampler(spec, algorithm=name, jobs=jobs)
+        sharded_result = sharded.sample(t, seed=seed)
+        sharded_seconds = time.perf_counter() - start
+
+        rows.append(
+            {
+                "dataset": dataset,
+                "algorithm": name,
+                "n": spec.n,
+                "m": spec.m,
+                "t": t,
+                "jobs": jobs,
+                "join_size": exact_total,
+                "totals_match": bool(sharded.total_weight == exact_total),
+                "serial_seconds": serial_seconds,
+                "sharded_seconds": sharded_seconds,
+                "speedup": serial_seconds / max(sharded_seconds, 1e-9),
+                "serial_pairs": len(serial_result),
+                "sharded_pairs": len(sharded_result),
+            }
+        )
     return rows
 
 

@@ -19,6 +19,7 @@ from repro.bench.harness import (
     run_fig7_dataset_size,
     run_fig8_size_ratio,
     run_fig9_bbst_vs_cell_kdtree,
+    run_parallel_speedup,
     run_session_reuse,
     run_table2_preprocessing,
     run_table3_decomposed_times,
@@ -50,6 +51,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]]]] = {
     "session": (
         "Extra - session API: repeated draws vs one-shot sampling",
         run_session_reuse,
+    ),
+    "parallel": (
+        "Extra - shard-parallel build/count speedup over the serial path",
+        run_parallel_speedup,
     ),
     "uniformity": ("Extra - uniformity of produced samples", run_uniformity_experiment),
 }

@@ -24,6 +24,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.config import JoinSpec
+from repro.core.validation import validate_half_extent
 from repro.datasets.partition import split_r_s
 from repro.datasets.real_proxies import DATASET_NAMES, load_proxy
 
@@ -96,8 +97,7 @@ class WorkloadConfig:
     def __post_init__(self) -> None:
         if self.total_points < 2:
             raise ValueError("total_points must be at least 2")
-        if self.half_extent <= 0:
-            raise ValueError("half_extent must be positive")
+        validate_half_extent(self.half_extent)
         if self.num_samples < 0:
             raise ValueError("num_samples must be non-negative")
         if not 0.0 < self.r_fraction < 1.0:

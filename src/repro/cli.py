@@ -94,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--half-extent", type=float, default=DEFAULT_HALF_EXTENT)
     sample.add_argument("--seed", type=int, default=0)
     sample.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker/shard count for the parallel engine "
+        "(>= 2 shards the build/count phases across processes, "
+        "0 lets the planner pick, default: serial)",
+    )
+    sample.add_argument(
         "--repeat",
         type=int,
         default=1,
@@ -116,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--seed", type=int, default=0)
 
     return parser
+
+
+def _session_jobs(args: argparse.Namespace) -> int | None:
+    return getattr(args, "jobs", None)
 
 
 def _command_list() -> int:
@@ -167,6 +179,7 @@ def _open_session(args: argparse.Namespace) -> SamplingSession:
         s_points,
         half_extent=args.half_extent,
         algorithm=args.algorithm,
+        jobs=_session_jobs(args),
         eager=False,
     )
 
@@ -175,10 +188,17 @@ def _command_sample(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         print("error: --repeat must be at least 1", file=sys.stderr)
         return 2
+    if args.jobs is not None and args.jobs < 0:
+        print("error: --jobs must be >= 0", file=sys.stderr)
+        return 2
     session = _open_session(args)
     if args.algorithm == "auto":
         report = session.plan()
         print(f"auto planner picked {report.algorithm} (rule: {report.rule})")
+    if args.jobs == 0:
+        print(f"auto planner recommends jobs={session.plan().jobs}")
+    elif args.jobs is not None and args.jobs > 1:
+        print(f"shard-parallel engine enabled (jobs={args.jobs})")
 
     result = None
     for request in range(args.repeat):

@@ -58,7 +58,12 @@ from repro.core.registry import (
     sampler_names,
     unregister_sampler,
 )
-from repro.core.validation import validate_sample_result, verify_pairs_in_join
+from repro.core.validation import (
+    validate_half_extent,
+    validate_jobs,
+    validate_sample_result,
+    verify_pairs_in_join,
+)
 
 __all__ = [
     "JoinSpec",
@@ -79,6 +84,8 @@ __all__ = [
     "estimate_join_size_from_upper_bounds",
     "join_selectivity",
     "upper_bound_ratio",
+    "validate_half_extent",
+    "validate_jobs",
     "validate_sample_result",
     "verify_pairs_in_join",
     "resolve_rng",

@@ -16,6 +16,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.core.validation import validate_half_extent
 from repro.geometry.point import Point, PointSet
 from repro.geometry.rect import Rect, window_around
 
@@ -42,10 +43,17 @@ class JoinSpec:
     half_extent: float
 
     def __post_init__(self) -> None:
-        if self.half_extent <= 0:
-            raise ValueError("half_extent must be positive")
-        if len(self.r_points) == 0 or len(self.s_points) == 0:
-            raise ValueError("both R and S must be non-empty")
+        # Empty R or S is allowed: shard sub-problems produced by the
+        # parallel engine can legitimately own zero points, in which case the
+        # join is empty and only ``t = 0`` requests can be served.
+        object.__setattr__(
+            self, "half_extent", validate_half_extent(self.half_extent)
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff either side has no points (the join is empty)."""
+        return len(self.r_points) == 0 or len(self.s_points) == 0
 
     # ------------------------------------------------------------------
     @property

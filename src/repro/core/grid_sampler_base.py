@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import abc
 import time
+from dataclasses import dataclass
 from typing import Protocol
 
 import numpy as np
@@ -64,7 +65,25 @@ from repro.geometry.rect import Rect
 from repro.grid.grid import Grid
 from repro.grid.neighbors import NEIGHBOR_OFFSETS, NeighborKind
 
-__all__ = ["JoinCellIndex", "GridJoinSamplerBase"]
+__all__ = ["JoinCellIndex", "PreparedGridState", "GridJoinSamplerBase"]
+
+
+@dataclass
+class PreparedGridState:
+    """Cached online structures of a grid-decomposition sampler.
+
+    This is the whole count-phase output: the dense ``(n, 9)`` per-cell bound
+    matrix, its row-wise prefix sums (the O(1) per-point alias ``A_r``), the
+    global alias ``A`` over ``mu(r)`` and the scalar ``sum_mu``.  Kept as a
+    plain dataclass of arrays - no closures, no references back to the
+    sampler - so a prepared sampler pickles cleanly across process
+    boundaries (the shard workers of :mod:`repro.parallel` rely on this).
+    """
+
+    bounds: np.ndarray
+    cumulative: np.ndarray
+    alias: AliasTable | None
+    sum_mu: float
 
 
 class JoinCellIndex(Protocol):
@@ -149,7 +168,7 @@ class GridJoinSamplerBase(JoinSampler):
         # Cached online structures (index, per-point bounds, alias): built on
         # the first sample() call and reused by subsequent calls, which makes
         # repeated / progressive sampling pay only the per-sample cost.
-        self._runtime: tuple[np.ndarray, np.ndarray, AliasTable | None, float] | None = None
+        self._runtime: PreparedGridState | None = None
         self._cell_ids: np.ndarray | None = None
         self._s_position_sorter: np.ndarray | None = None
 
@@ -209,10 +228,14 @@ class GridJoinSamplerBase(JoinSampler):
             sum_mu = float(mu_totals.sum())
             alias = AliasTable(mu_totals) if sum_mu > 0 else None
             timings.count_seconds = time.perf_counter() - start
-            self._runtime = (bounds, cumulative, alias, sum_mu)
+            self._runtime = PreparedGridState(
+                bounds=bounds, cumulative=cumulative, alias=alias, sum_mu=sum_mu
+            )
         else:
             index = self._index
-            bounds, cumulative, alias, sum_mu = self._runtime
+            state = self._runtime
+            bounds, cumulative = state.bounds, state.cumulative
+            alias, sum_mu = state.alias, state.sum_mu
         if alias is None and t > 0:
             raise ValueError(
                 "the spatial range join is empty (every upper bound is zero); "
@@ -279,7 +302,7 @@ class GridJoinSamplerBase(JoinSampler):
         spec = self.spec
         index = self._index
         assert index is not None and self._runtime is not None
-        bounds, cumulative, _alias, _sum_mu = self._runtime
+        bounds, cumulative = self._runtime.bounds, self._runtime.cumulative
         if self._cell_ids is None:
             self._cell_ids = index.grid.neighbor_cell_ids(
                 spec.r_points.xs, spec.r_points.ys
@@ -378,7 +401,7 @@ class GridJoinSamplerBase(JoinSampler):
         spec = self.spec
         index = self._index
         assert index is not None and self._runtime is not None
-        bounds, cumulative, _alias, _sum_mu = self._runtime
+        bounds, cumulative = self._runtime.bounds, self._runtime.cumulative
         grid = index.grid
         r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
         size = r.size

@@ -57,6 +57,11 @@ class JoinThenSample(JoinSampler):
     def _has_online_state(self) -> bool:
         return self._pairs_index is not None
 
+    @property
+    def exact_join_size(self) -> int | None:
+        """Exact ``|J|`` of the materialised join (``None`` before preparing)."""
+        return None if self._pairs_index is None else int(self._pairs_index.shape[0])
+
     # ------------------------------------------------------------------
     def _preprocess_impl(self) -> None:
         # The grid over S plays the role of the join index; building it is the

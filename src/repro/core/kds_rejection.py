@@ -28,6 +28,7 @@ identical variate arrays through the scalar per-attempt path.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -47,7 +48,21 @@ from repro.grid.grid import Grid
 from repro.kdtree.batch import canonical_pick, iter_chunked_decompositions
 from repro.kdtree.sampling import KDSRangeSampler
 
-__all__ = ["KDSRejectionSampler"]
+__all__ = ["PreparedGridBounds", "KDSRejectionSampler"]
+
+
+@dataclass
+class PreparedGridBounds:
+    """Cached GM/UB output of the KDS-rejection baseline.
+
+    The grid upper bounds ``mu(r)``, the alias over them and ``sum_mu``.  A
+    plain dataclass of arrays so a prepared sampler pickles cleanly across
+    process boundaries (see :mod:`repro.parallel`).
+    """
+
+    mu: np.ndarray
+    alias: AliasTable | None
+    sum_mu: int
 
 
 @register_sampler(
@@ -80,9 +95,9 @@ class KDSRejectionSampler(JoinSampler):
         self._leaf_size = leaf_size
         self._range_sampler: KDSRangeSampler | None = None
         self._grid: Grid | None = None
-        # Cached GM/UB results (mu, alias, sum_mu): both phases depend only on
-        # the spec, so repeated sample() calls skip straight to sampling.
-        self._online: tuple[np.ndarray, AliasTable | None, int] | None = None
+        # Cached GM/UB results: both phases depend only on the spec, so
+        # repeated sample() calls skip straight to sampling.
+        self._online: PreparedGridBounds | None = None
 
     @property
     def name(self) -> str:
@@ -96,6 +111,11 @@ class KDSRejectionSampler(JoinSampler):
 
     def _has_online_state(self) -> bool:
         return self._online is not None
+
+    @property
+    def grid(self) -> Grid | None:
+        """The bound grid over ``S`` (``None`` before the first sample/prepare)."""
+        return self._grid
 
     # ------------------------------------------------------------------
     def _preprocess_impl(self) -> None:
@@ -135,9 +155,13 @@ class KDSRejectionSampler(JoinSampler):
             sum_mu = int(mu.sum())
             alias: AliasTable | None = AliasTable(mu) if sum_mu > 0 else None
             timings.count_seconds = time.perf_counter() - start
-            self._online = (mu, alias, sum_mu)
+            self._online = PreparedGridBounds(mu=mu, alias=alias, sum_mu=sum_mu)
         else:
-            mu, alias, sum_mu = self._online
+            mu, alias, sum_mu = (
+                self._online.mu,
+                self._online.alias,
+                self._online.sum_mu,
+            )
         if alias is None and t > 0:
             raise ValueError(
                 "the spatial range join is empty (no window overlaps any grid cell); "

@@ -27,6 +27,7 @@ the same pre-drawn variates through per-attempt scalar decompositions and
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -44,7 +45,21 @@ from repro.core.registry import register_sampler
 from repro.kdtree.batch import canonical_pick, iter_chunked_decompositions
 from repro.kdtree.sampling import KDSRangeSampler
 
-__all__ = ["KDSSampler"]
+__all__ = ["PreparedExactCounts", "KDSSampler"]
+
+
+@dataclass
+class PreparedExactCounts:
+    """Cached counting-phase output of the KDS baseline.
+
+    Exact per-point range counts ``|S(w(r))|``, the alias over them and the
+    exact join size.  A plain dataclass of arrays so a prepared sampler
+    pickles cleanly across process boundaries (see :mod:`repro.parallel`).
+    """
+
+    counts: np.ndarray
+    alias: AliasTable | None
+    join_size: int
 
 
 @register_sampler(
@@ -77,10 +92,10 @@ class KDSSampler(JoinSampler):
         super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
         self._leaf_size = leaf_size
         self._range_sampler: KDSRangeSampler | None = None
-        # Cached counting-phase results (counts, alias, |J|): the exact counts
-        # depend only on the spec, so repeated sample() calls reuse them and
-        # only pay the sampling phase.
-        self._online: tuple[np.ndarray, AliasTable | None, int] | None = None
+        # Cached counting-phase results: the exact counts depend only on the
+        # spec, so repeated sample() calls reuse them and only pay the
+        # sampling phase.
+        self._online: PreparedExactCounts | None = None
 
     @property
     def name(self) -> str:
@@ -91,6 +106,16 @@ class KDSSampler(JoinSampler):
 
     def _has_online_state(self) -> bool:
         return self._online is not None
+
+    @property
+    def exact_join_size(self) -> int | None:
+        """Exact ``|J|`` from the counting phase (``None`` before preparing).
+
+        KDS counts every window exactly, so a prepared sampler knows the
+        join size for free; the shard-parallel engine uses this to skip its
+        own exact count.
+        """
+        return None if self._online is None else self._online.join_size
 
     # ------------------------------------------------------------------
     def _preprocess_impl(self) -> None:
@@ -124,9 +149,11 @@ class KDSSampler(JoinSampler):
             if join_size > 0:
                 alias = AliasTable(counts)
             timings.count_seconds = time.perf_counter() - start
-            self._online = (counts, alias, join_size)
+            self._online = PreparedExactCounts(
+                counts=counts, alias=alias, join_size=join_size
+            )
         else:
-            _counts, alias, join_size = self._online
+            alias, join_size = self._online.alias, self._online.join_size
         if alias is None and t > 0:
             raise ValueError(
                 "the spatial range join is empty; no samples can be drawn "

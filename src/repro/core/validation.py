@@ -1,17 +1,65 @@
-"""Validation helpers for sample results.
+"""Validation helpers shared across the sampler stack.
 
-Used by tests and by the experiment harness's sanity checks: every returned
-pair must be a genuine join pair, identifiers must resolve to real points,
-and the result bookkeeping (requested vs returned, iterations vs accepted)
-must be consistent.
+Two families live here:
+
+* *Input validation* - :func:`validate_half_extent` and :func:`validate_jobs`
+  centralise the window / worker-count checks that were previously repeated
+  in :class:`~repro.core.config.JoinSpec`, the session API, the grid, the
+  BBST index and the bench workloads.  Every layer (including the shard plan
+  of :mod:`repro.parallel`) now raises the same message for the same bad
+  input.
+* *Result validation* - used by tests and by the experiment harness's sanity
+  checks: every returned pair must be a genuine join pair, identifiers must
+  resolve to real points, and the result bookkeeping (requested vs returned,
+  iterations vs accepted) must be consistent.
+
+The imports are type-only so that low-level modules (``repro.core.config``,
+``repro.grid.grid``) can use the input validators without import cycles.
 """
 
 from __future__ import annotations
 
-from repro.core.base import JoinSampleResult
-from repro.core.config import JoinSpec
+import math
+from typing import TYPE_CHECKING
 
-__all__ = ["verify_pairs_in_join", "validate_sample_result"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import JoinSampleResult
+    from repro.core.config import JoinSpec
+
+__all__ = [
+    "validate_half_extent",
+    "validate_jobs",
+    "verify_pairs_in_join",
+    "validate_sample_result",
+]
+
+
+def validate_half_extent(value: float, name: str = "half_extent") -> float:
+    """Check a window half-extent (or grid cell side) and return it as float.
+
+    The paper's ``l`` must be a positive, finite number: zero or negative
+    windows make the join empty by construction and non-finite values poison
+    the grid key arithmetic.  ``name`` customises the message for callers
+    that validate the same quantity under a different name (``cell_size``).
+    """
+    value = float(value)
+    if math.isnan(value) or math.isinf(value) or value <= 0.0:
+        raise ValueError(f"{name} must be positive")
+    return value
+
+
+def validate_jobs(jobs: int, name: str = "jobs") -> int:
+    """Check a worker/shard count and return it as a plain int.
+
+    ``jobs`` is the number of vertical shards (and pool workers) the parallel
+    engine may use; it must be a positive integer.
+    """
+    if isinstance(jobs, bool) or int(jobs) != jobs:
+        raise ValueError(f"{name} must be an integer")
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"{name} must be at least 1")
+    return jobs
 
 
 def verify_pairs_in_join(spec: JoinSpec, result: JoinSampleResult) -> bool:

@@ -21,6 +21,7 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro.core.validation import validate_half_extent
 from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect
 from repro.grid.cell import GridCell
@@ -98,9 +99,7 @@ class Grid:
         cell_size: float,
         presorted_by_x: bool = False,
     ) -> None:
-        if cell_size <= 0:
-            raise ValueError("cell_size must be positive")
-        self._cell_size = float(cell_size)
+        self._cell_size = validate_half_extent(cell_size, name="cell_size")
         self._size = len(points)
         self._source_name = points.name
         self._cells: dict[tuple[int, int], GridCell] = {}

@@ -1,0 +1,23 @@
+"""Shard-parallel execution: partition spatially, build in processes, compose exactly.
+
+The serial samplers decompose cleanly along the x axis: the grid / kd-tree /
+BBST build and counting phases only look at points within ``half_extent`` of
+each query window, so disjoint vertical strips of ``R`` (with halo'd slices
+of ``S``) can be built and counted in independent worker processes.  Exact
+per-shard join counts then let a top-level alias table compose the shard
+samplers into one sampler that is still *exactly* uniform over the full join.
+
+* :class:`~repro.parallel.plan.ShardPlan` - the vertical-strip decomposition
+  (quantile edges over ``R``'s x coordinates, ``half_extent`` halo for ``S``).
+* :class:`~repro.parallel.sharded.ShardedSampler` - builds and counts each
+  shard in a ``ProcessPoolExecutor``, serves draws in-process from the
+  shipped-back prepared samplers behind per-shard locks.
+
+The session API reaches this engine through ``SamplingSession(jobs=N)``; the
+CLI through ``--jobs``.
+"""
+
+from repro.parallel.plan import Shard, ShardPlan
+from repro.parallel.sharded import ShardBuildReport, ShardedSampler
+
+__all__ = ["Shard", "ShardPlan", "ShardBuildReport", "ShardedSampler"]

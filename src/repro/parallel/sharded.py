@@ -1,0 +1,549 @@
+"""The shard-parallel execution engine: build/count per shard, compose exactly.
+
+:class:`ShardedSampler` decomposes a join instance with a
+:class:`~repro.parallel.plan.ShardPlan` and runs every shard's build and
+counting phase in its own worker process (one single-worker
+``ProcessPoolExecutor`` per shard, so each worker *keeps* the prepared
+structures it built and draws route back to it without re-shipping state).
+The shards are composed with a top-level
+:class:`~repro.alias.walker.AliasTable` over the **exact** per-shard join
+sizes ``|J_i|``:
+
+1. every draw first picks a shard with probability ``|J_i| / |J|``;
+2. the shard's own sampler then draws one uniform pair of ``J_i``.
+
+Because the shard joins partition ``J`` (every pair belongs to exactly one
+shard - the one owning its ``r``), the composed distribution is
+
+``P(pair p) = (|J_i| / |J|) * (1 / |J_i|) = 1 / |J|``
+
+i.e. *exactly* the uniform distribution the serial samplers produce, not an
+approximation.  The exactness hinges on the top-level weights being the true
+``|J_i|`` (computed with the grid-partitioned exact counter
+:func:`repro.core.full_join.join_size`), which is also what makes the
+composition verifiable: the per-shard weights sum bit-identically to the
+serial join size, and a shard with zero points (or zero joining pairs) gets a
+zero weight and is never drawn.
+
+``use_processes=False`` runs the identical pipeline in-process.  Both modes
+derive one child seed per (request, shard) from the request generator, so
+they return **bit-identical** pairs for the same seed - the differential
+tests pin the pool path against the in-process path with this.
+
+Every shard is guarded by a :class:`threading.Lock`, so a session can serve
+draws from many threads concurrently; two requests only contend when routed
+to the same shard.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.alias.walker import AliasTable
+from repro.core.base import (
+    JoinSampler,
+    JoinSampleResult,
+    PhaseTimings,
+    SamplePair,
+    build_sample_pairs,
+)
+from repro.core.config import JoinSpec
+from repro.core.full_join import join_size
+from repro.core.registry import canonical_name, create_sampler
+from repro.core.validation import validate_jobs
+from repro.parallel.plan import ShardPlan
+
+__all__ = ["ShardBuildReport", "ShardedSampler"]
+
+#: Seed space for the per-(request, shard) child seeds.
+_SEED_SPACE = np.int64(2**62)
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything a worker process needs to build one shard.
+
+    A plain picklable dataclass: the sub-spec's point sets are numpy arrays
+    and the options dict holds only primitive sampler knobs.
+    """
+
+    index: int
+    algorithm: str
+    spec: JoinSpec
+    sampler_options: dict[str, Any]
+
+
+@dataclass
+class ShardBuildReport:
+    """One worker's build/count outcome.
+
+    ``weight`` is the exact shard join size ``|J_i|``.  A zero-weight shard
+    (empty strip, empty halo, or simply no joining pairs) builds nothing: it
+    gets a zero-weight alias entry and can never be drawn.
+    """
+
+    index: int
+    weight: int
+    n: int
+    m: int
+    count_seconds: float
+    prepare_seconds: float
+    #: Worker-side footprint of the prepared structures, reported back so
+    #: memory introspection works even when the sampler stays resident.
+    index_nbytes: int = 0
+
+
+# One resident sampler per worker process (each shard owns a single-worker
+# pool, so its worker builds exactly one sampler and keeps it for draws).
+_RESIDENT_SAMPLER: JoinSampler | None = None
+
+
+def _count_and_build(task: _ShardTask) -> tuple[ShardBuildReport, JoinSampler | None]:
+    """Prepare one shard's sampler and exact-count its join (both modes).
+
+    The sampler builds first so the exact count can reuse whatever it
+    prepared: samplers that count exactly anyway (KDS, join-then-sample)
+    expose ``exact_join_size`` and skip the extra pass entirely, and the
+    grid-decomposition samplers lend their grid to
+    :func:`~repro.core.full_join.join_size` so it is not built twice.
+    """
+    spec = task.spec
+    sampler: JoinSampler | None = None
+    prepare_seconds = 0.0
+    count_seconds = 0.0
+    weight = 0
+    if not spec.is_empty:
+        sampler = create_sampler(task.algorithm, spec, **task.sampler_options)
+        timings = sampler.prepare()
+        prepare_seconds = timings.preprocess_seconds + timings.total_seconds
+        start = time.perf_counter()
+        exact = getattr(sampler, "exact_join_size", None)
+        if exact is None:
+            index = getattr(sampler, "index", None)
+            grid = getattr(index, "grid", None)
+            if grid is None:
+                grid = getattr(sampler, "grid", None)
+            exact = join_size(spec, grid=grid)
+        weight = int(exact)
+        count_seconds = time.perf_counter() - start
+        if weight == 0:
+            sampler = None  # zero-weight shards are never drawn
+    report = ShardBuildReport(
+        index=task.index,
+        weight=weight,
+        n=spec.n,
+        m=spec.m,
+        count_seconds=count_seconds,
+        prepare_seconds=prepare_seconds,
+        index_nbytes=sampler.index_nbytes() if sampler is not None else 0,
+    )
+    return report, sampler
+
+
+def _resident_build(task: _ShardTask) -> ShardBuildReport:
+    """Worker entry point: build the shard and keep the sampler resident.
+
+    Module-level (not a closure) so the task and report pickle across the
+    pool; only the small report travels back - the prepared structures stay
+    in the worker that draws from them.
+    """
+    global _RESIDENT_SAMPLER
+    report, sampler = _count_and_build(task)
+    _RESIDENT_SAMPLER = sampler
+    return report
+
+
+def _resident_draw(t: int, seed: int) -> tuple[np.ndarray, np.ndarray, int, float]:
+    """Worker entry point: ``t`` draws from the resident shard sampler.
+
+    Returns shard-local positional index arrays plus the iteration count and
+    sampling seconds - a few small arrays instead of the prepared state.
+    """
+    sampler = _RESIDENT_SAMPLER
+    assert sampler is not None, "draw routed to a shard that was never built"
+    result = sampler.sample(t, seed=seed)
+    pairs = result.index_pairs()
+    return (
+        pairs[:, 0],
+        pairs[:, 1],
+        result.iterations,
+        result.timings.sample_seconds,
+    )
+
+
+@dataclass
+class PreparedShards:
+    """The composed, ready-to-draw state of a sharded sampler."""
+
+    plan: ShardPlan
+    weights: np.ndarray
+    total: int
+    alias: AliasTable | None
+    reports: list[ShardBuildReport] = field(repr=False, default_factory=list)
+    # Exactly one of the two is populated per shard, depending on the mode.
+    local_samplers: list[JoinSampler | None] = field(repr=False, default_factory=list)
+    executors: list[ProcessPoolExecutor | None] = field(repr=False, default_factory=list)
+
+
+class ShardedSampler(JoinSampler):
+    """Exact-uniform join sampling with shard-parallel build, count and draw.
+
+    Parameters
+    ----------
+    spec:
+        The join instance.
+    algorithm:
+        Name (or alias) of the registered serial sampler to run per shard.
+    jobs:
+        Number of vertical shards = number of resident worker processes.
+    use_processes:
+        When true (default) every shard lives in its own single-worker
+        process; false runs the identical pipeline in-process (the
+        deterministic twin used by differential tests, and the automatic
+        fallback when worker processes cannot be spawned).
+    sampler_options:
+        Extra keyword arguments forwarded to every shard sampler constructor.
+    batch_size, vectorized:
+        Batch-engine knobs forwarded to every shard sampler.
+
+    Notes
+    -----
+    The composed draws are exactly uniform over the full join (see the module
+    docstring) and :attr:`total_weight` equals the serial exact join size
+    bit-for-bit.  For a fixed request seed the pool path and the in-process
+    path return bit-identical pairs.  Concurrent draws from multiple threads
+    are safe (per-shard locks) but interleave generator state and are
+    therefore not reproducible run-to-run.
+
+    A sampler holding worker processes should be closed with :meth:`close`
+    (the session does this on ``close()``); an unclosed sampler shuts its
+    workers down on garbage collection.
+    """
+
+    def __init__(
+        self,
+        spec: JoinSpec,
+        algorithm: str = "bbst",
+        jobs: int = 2,
+        use_processes: bool = True,
+        sampler_options: dict[str, Any] | None = None,
+        batch_size: int | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
+        self._algorithm = canonical_name(algorithm)
+        self._jobs = validate_jobs(jobs)
+        self._use_processes = bool(use_processes)
+        self._sampler_options = dict(sampler_options or {})
+        self._sampler_options.setdefault("batch_size", batch_size)
+        self._sampler_options.setdefault("vectorized", vectorized)
+        self._plan: ShardPlan | None = None
+        self._built: PreparedShards | None = None
+        self._build_lock = threading.Lock()
+        self._shard_locks: list[threading.Lock] = []
+        self._build_seconds = 0.0
+        self._count_seconds = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"Sharded[{self._algorithm} x{self._jobs}]"
+
+    @property
+    def algorithm(self) -> str:
+        """Canonical name of the per-shard algorithm."""
+        return self._algorithm
+
+    @property
+    def jobs(self) -> int:
+        """Number of shards (= resident worker processes)."""
+        return self._jobs
+
+    @property
+    def plan(self) -> ShardPlan | None:
+        """The shard plan (``None`` before preprocessing)."""
+        return self._plan
+
+    @property
+    def total_weight(self) -> int:
+        """Exact join size ``|J|`` = sum of the per-shard weights.
+
+        Bit-identical to the serial exact count: the shard joins partition
+        ``J`` and every weight is an exact integer count.
+        """
+        return self._ensure_built().total
+
+    @property
+    def shard_weights(self) -> np.ndarray:
+        """Exact per-shard join sizes ``|J_i|`` (zero-weight shards included)."""
+        return self._ensure_built().weights.copy()
+
+    def _has_online_state(self) -> bool:
+        return self._built is not None
+
+    def index_nbytes(self) -> int:
+        """Summed footprint of every shard's prepared structures.
+
+        Taken from the build reports, so it is accurate in both modes - in
+        pool mode the structures live in the resident workers, not here.
+        """
+        if self._built is None:
+            return 0
+        return sum(report.index_nbytes for report in self._built.reports)
+
+    # ------------------------------------------------------------------
+    def _preprocess_impl(self) -> None:
+        # Planning is the only offline step; it is deterministic in the spec.
+        self._plan = ShardPlan.for_spec(self.spec, self._jobs)
+
+    def _ensure_built(self) -> PreparedShards:
+        """Build and count every shard once - through the pool if enabled."""
+        built = self._built
+        if built is not None:
+            return built
+        with self._build_lock:
+            if self._built is not None:
+                return self._built
+            if self._closed:
+                raise RuntimeError("the sharded sampler is closed")
+            self.preprocess()
+            plan = self._plan
+            assert plan is not None
+            start = time.perf_counter()
+            tasks = [
+                _ShardTask(
+                    index=shard.index,
+                    algorithm=self._algorithm,
+                    spec=plan.subspec(self.spec, shard),
+                    sampler_options=self._sampler_options,
+                )
+                for shard in plan.shards
+            ]
+            executors: list[ProcessPoolExecutor | None] = [None] * len(tasks)
+            local_samplers: list[JoinSampler | None] = [None] * len(tasks)
+            use_pool = self._use_processes and self._jobs > 1
+            if use_pool:
+                try:
+                    reports = self._build_in_pool(tasks, executors)
+                except OSError:
+                    # Worker processes unavailable (restricted sandboxes):
+                    # fall back to the bit-identical in-process pipeline.
+                    # The shut-down executors must not linger in the list, or
+                    # draws would route to them instead of the local samplers.
+                    self._shutdown_executors(executors)
+                    executors = [None] * len(tasks)
+                    use_pool = False
+            if not use_pool:
+                reports = []
+                for task in tasks:
+                    report, sampler = _count_and_build(task)
+                    local_samplers[task.index] = sampler
+                    reports.append(report)
+            reports.sort(key=lambda report: report.index)
+            self._build_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            weights = np.array([report.weight for report in reports], dtype=np.int64)
+            total = int(weights.sum())
+            alias = AliasTable(weights) if total > 0 else None
+            self._count_seconds = time.perf_counter() - start
+            self._shard_locks = [threading.Lock() for _ in reports]
+            self._built = PreparedShards(
+                plan=plan,
+                weights=weights,
+                total=total,
+                alias=alias,
+                reports=reports,
+                local_samplers=local_samplers,
+                executors=executors,
+            )
+            return self._built
+
+    def _build_in_pool(
+        self,
+        tasks: list[_ShardTask],
+        executors: list[ProcessPoolExecutor | None],
+    ) -> list[ShardBuildReport]:
+        """One single-worker executor per shard; builds run concurrently.
+
+        Each worker keeps the sampler it built (module global), so draws
+        route to it later without the prepared structures ever crossing a
+        process boundary.
+        """
+        futures = []
+        for task in tasks:
+            executor = ProcessPoolExecutor(max_workers=1)
+            executors[task.index] = executor
+            futures.append(executor.submit(_resident_build, task))
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _shutdown_executors(executors: list[ProcessPoolExecutor | None]) -> None:
+        for executor in executors:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
+        first_build = self._built is None
+        built = self._ensure_built()
+        timings = PhaseTimings()
+        if first_build:
+            # The pool interleaves structure building and exact counting, so
+            # the whole parallel phase is reported as the GM column and the
+            # (tiny) top-level alias construction as the UB column.
+            timings.build_seconds = self._build_seconds
+            timings.count_seconds = self._count_seconds
+
+        if built.alias is None and t > 0:
+            raise ValueError(
+                "the spatial range join is empty; no samples can be drawn"
+            )
+
+        start = time.perf_counter()
+        pairs: list[SamplePair] = []
+        iterations = 0
+        if built.alias is not None and t > 0:
+            # Two-level draw: route every sample slot to a shard by exact
+            # weight, then derive one child seed per shard (in shard order,
+            # from the request generator) and let each shard draw its
+            # allocation.  Slot i therefore holds "a uniform pair of shard
+            # routes[i]" - the serial distribution, decomposed - and the
+            # schedule is identical in the pool and in-process modes.
+            routes = built.alias.draw_many(t, rng)
+            seeds = rng.integers(_SEED_SPACE, size=len(built.weights))
+            positions_per_shard = [
+                np.flatnonzero(routes == index)
+                for index in range(len(built.weights))
+            ]
+            shard_draws = self._draw_from_shards(built, positions_per_shard, seeds)
+
+            slot_r = np.empty(t, dtype=np.int64)
+            slot_s = np.empty(t, dtype=np.int64)
+            for index, positions in enumerate(positions_per_shard):
+                if positions.size == 0:
+                    continue
+                r_local, s_local, shard_iterations, _seconds = shard_draws[index]
+                shard = built.plan.shards[index]
+                iterations += shard_iterations
+                slot_r[positions] = shard.r_indices[r_local]
+                slot_s[positions] = shard.s_indices[s_local]
+            pairs = build_sample_pairs(self.spec, slot_r, slot_s)
+        timings.sample_seconds = time.perf_counter() - start
+
+        return JoinSampleResult(
+            sampler_name=self.name,
+            requested=t,
+            pairs=pairs,
+            timings=timings,
+            iterations=iterations,
+            metadata={
+                "join_size": built.total,
+                "jobs": self._jobs,
+                "algorithm": self._algorithm,
+                "shard_weights": built.weights.tolist(),
+            },
+        )
+
+    def _draw_from_shards(
+        self,
+        built: PreparedShards,
+        positions_per_shard: list[np.ndarray],
+        seeds: np.ndarray,
+    ) -> dict[int, tuple[np.ndarray, np.ndarray, int, float]]:
+        """Collect each routed shard's draws (concurrently in pool mode)."""
+        draws: dict[int, tuple[np.ndarray, np.ndarray, int, float]] = {}
+        futures: dict[int, Any] = {}
+        try:
+            for index, positions in enumerate(positions_per_shard):
+                if positions.size == 0:
+                    continue
+                executor = built.executors[index]
+                count = int(positions.size)
+                seed = int(seeds[index])
+                if executor is not None:
+                    lock = self._shard_locks[index]
+                    lock.acquire()
+                    try:
+                        futures[index] = executor.submit(_resident_draw, count, seed)
+                    except BaseException:
+                        # A failed submit never reaches the result loop below,
+                        # so release here or the shard deadlocks forever.
+                        lock.release()
+                        raise
+                else:
+                    sampler = built.local_samplers[index]
+                    assert sampler is not None  # zero-weight shards never drawn
+                    with self._shard_locks[index]:
+                        result = sampler.sample(count, seed=seed)
+                    index_pairs = result.index_pairs()
+                    draws[index] = (
+                        index_pairs[:, 0],
+                        index_pairs[:, 1],
+                        result.iterations,
+                        result.timings.sample_seconds,
+                    )
+        finally:
+            # Collect every submitted future and release every held lock even
+            # when one worker dies (BrokenProcessPool) or a submit fails
+            # mid-loop - a leaked lock would deadlock all later draws routed
+            # to that shard.
+            first_error: BaseException | None = None
+            for index, future in futures.items():
+                try:
+                    draws[index] = future.result()
+                except BaseException as exc:
+                    if first_error is None:
+                        first_error = exc
+                finally:
+                    self._shard_locks[index].release()
+            if first_error is not None:
+                raise first_error
+        return draws
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """JSON-friendly snapshot: plan, per-shard weights and sizes."""
+        built = self._ensure_built()
+        description = built.plan.describe()
+        description["algorithm"] = self._algorithm
+        description["total_weight"] = built.total
+        description["resident_workers"] = any(
+            executor is not None for executor in built.executors
+        )
+        for entry, report in zip(description["shards"], built.reports):
+            entry["weight"] = report.weight
+            entry["count_seconds"] = report.count_seconds
+            entry["prepare_seconds"] = report.prepare_seconds
+            entry["index_nbytes"] = report.index_nbytes
+        return description
+
+    def close(self) -> None:
+        """Shut down the resident worker processes (idempotent)."""
+        with self._build_lock:
+            self._closed = True
+            built = self._built
+            if built is None:
+                return
+            self._shutdown_executors(built.executors)
+            built.executors = [None] * len(built.executors)
+            self._built = None
+
+    def __enter__(self) -> "ShardedSampler":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

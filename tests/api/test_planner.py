@@ -11,10 +11,14 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.api.planner import (
+    PARALLEL_MAX_JOBS,
+    PARALLEL_MIN_POINTS,
     TINY_CROSS_PRODUCT,
     PlanReport,
+    WorkloadStats,
     collect_workload_stats,
     plan_algorithm,
+    recommend_jobs,
 )
 from repro.core.config import JoinSpec
 from repro.core.registry import sampler_names
@@ -23,6 +27,7 @@ from repro.datasets.synthetic import uniform_points
 from repro.geometry.point import PointSet
 
 KNOWN_RULES = {
+    "empty-input",
     "tiny-instance",
     "dense-window",
     "skewed-small-window",
@@ -99,6 +104,33 @@ class TestPlannerScenarios:
         second = plan_algorithm(spec)
         assert first == second
 
+    @pytest.mark.parametrize("side", ["r", "s", "both"])
+    def test_empty_inputs_get_the_empty_rule(self, side):
+        points = PointSet(xs=[1.0, 2.0], ys=[1.0, 2.0])
+        empty = PointSet.empty()
+        spec = JoinSpec(
+            r_points=empty if side in ("r", "both") else points,
+            s_points=empty if side in ("s", "both") else points,
+            half_extent=10.0,
+        )
+        report = plan_algorithm(spec)
+        assert report.rule == "empty-input"
+        assert report.jobs == 1
+        assert report.algorithm in sampler_names(tag="online")
+        stats = report.stats
+        assert stats.probes == 0
+        assert stats.est_join_size == 0.0
+        assert stats.est_acceptance == 0.0
+
+    def test_empty_stats_do_not_divide_by_zero(self):
+        spec = JoinSpec(
+            r_points=PointSet.empty(), s_points=PointSet.empty(), half_extent=5.0
+        )
+        stats = collect_workload_stats(spec)
+        assert stats.n == 0 and stats.m == 0
+        assert stats.grid_cells == 0
+        assert stats.occupancy_mean == 0.0
+
 
 class TestPlanReport:
     def test_explain_mentions_choice_and_rule(self):
@@ -123,6 +155,53 @@ class TestPlanReport:
             collect_workload_stats(
                 _uniform_spec(total_points=400, half_extent=300.0), probes=0
             )
+
+    def test_explain_mentions_recommended_jobs(self):
+        report = plan_algorithm(_uniform_spec(total_points=400, half_extent=300.0))
+        assert f"recommended jobs: {report.jobs}" in report.explain()
+
+
+def _stats_with_sizes(n: int, m: int) -> WorkloadStats:
+    return WorkloadStats(
+        n=n,
+        m=m,
+        half_extent=100.0,
+        domain_width=10_000.0,
+        domain_height=10_000.0,
+        relative_window=0.02,
+        grid_cells=100,
+        occupancy_mean=1.0,
+        occupancy_max=2,
+        probes=32,
+        est_acceptance=0.4,
+        est_join_size=1_000.0,
+        est_sum_mu=2_000.0,
+    )
+
+
+class TestRecommendJobs:
+    def test_small_instances_stay_serial_even_on_big_machines(self):
+        stats = _stats_with_sizes(1_000, 1_000)
+        assert recommend_jobs(stats, cpu_count=64) == 1
+
+    def test_single_core_machines_stay_serial(self):
+        stats = _stats_with_sizes(500_000, 500_000)
+        assert recommend_jobs(stats, cpu_count=1) == 1
+
+    def test_large_instances_scale_with_the_machine(self):
+        stats = _stats_with_sizes(100_000, 100_000)
+        assert recommend_jobs(stats, cpu_count=4) == 4
+        assert recommend_jobs(stats, cpu_count=2) == 2
+
+    def test_recommendation_is_capped(self):
+        stats = _stats_with_sizes(10_000_000, 10_000_000)
+        assert recommend_jobs(stats, cpu_count=128) == PARALLEL_MAX_JOBS
+
+    def test_threshold_boundary(self):
+        below = _stats_with_sizes(PARALLEL_MIN_POINTS // 2 - 1, PARALLEL_MIN_POINTS // 2)
+        at = _stats_with_sizes(PARALLEL_MIN_POINTS // 2, PARALLEL_MIN_POINTS // 2)
+        assert recommend_jobs(below, cpu_count=8) == 1
+        assert recommend_jobs(at, cpu_count=8) >= 2
 
 
 coordinate = st.floats(min_value=0.0, max_value=2_000.0, allow_nan=False, allow_infinity=False)

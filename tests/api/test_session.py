@@ -79,19 +79,19 @@ class TestStructureReuse:
 
     def test_eager_session_prepares_in_constructor(self, small_uniform_spec):
         session = SamplingSession.from_spec(small_uniform_spec, algorithm="bbst")
-        assert session.cached_keys == [("bbst", small_uniform_spec.half_extent)]
+        assert session.cached_keys == [("bbst", small_uniform_spec.half_extent, 1)]
         assert session.resolve().is_prepared
 
     def test_half_extent_override_gets_its_own_cache_entry(self, session):
         session.draw(10, seed=0)
         session.draw(10, seed=0, half_extent=250.0)
         assert len(session.cached_keys) == 2
-        assert {l for _name, l in session.cached_keys} == {250.0, 500.0}
+        assert {l for _name, l, _jobs in session.cached_keys} == {250.0, 500.0}
 
     def test_algorithm_override_gets_its_own_cache_entry(self, session):
         session.draw(10, seed=0)
         session.draw(10, seed=0, algorithm="kds")
-        assert [name for name, _l in session.cached_keys] == ["bbst", "kds"]
+        assert [name for name, _l, _jobs in session.cached_keys] == ["bbst", "kds"]
 
     def test_overridden_draw_matches_one_shot_with_that_half_extent(
         self, session, small_uniform_spec

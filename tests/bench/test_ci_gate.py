@@ -7,10 +7,12 @@ import pytest
 from repro.bench.ci_gate import DEFAULT_FACTOR, as_baseline, compare_to_baseline, main
 
 
-def _payload(values, session=None):
+def _payload(values, session=None, parallel=None):
     payload = {"meta": {}, "sampling_seconds": dict(values)}
     if session is not None:
         payload["session_speedup"] = dict(session)
+    if parallel is not None:
+        payload["parallel_speedup"] = dict(parallel)
     return payload
 
 
@@ -78,17 +80,60 @@ class TestSessionReuseGate:
         assert written["session_speedup"]["d/kds"] == pytest.approx(1.05)
 
 
+class TestParallelGate:
+    def test_passes_when_speedup_meets_the_floor(self):
+        baseline = _payload({}, parallel={"uniform-100k/bbst": 1.5})
+        current = _payload({}, parallel={"uniform-100k/bbst": 1.8})
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_fails_below_the_floor(self):
+        baseline = _payload({}, parallel={"uniform-100k/bbst": 1.5})
+        current = _payload({}, parallel={"uniform-100k/bbst": 1.1})
+        problems = compare_to_baseline(current, baseline)
+        assert len(problems) == 1
+        assert "parallel_speedup uniform-100k/bbst" in problems[0]
+
+    def test_skipped_measurement_does_not_fail_the_floor(self):
+        # A single-core machine (or a run without --parallel) omits the
+        # section entirely; the committed floor must not fail it.
+        baseline = _payload({"d/A": 0.1}, parallel={"uniform-100k/bbst": 1.5})
+        current = _payload({"d/A": 0.1})
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_measured_but_missing_row_fails(self):
+        baseline = _payload({}, parallel={"uniform-100k/bbst": 1.5})
+        current = _payload({}, parallel={})
+        problems = compare_to_baseline(current, baseline)
+        assert any("missing from the current measurements" in p for p in problems)
+
+    def test_unknown_row_fails(self):
+        baseline = _payload({}, parallel={"uniform-100k/bbst": 1.5})
+        current = _payload({}, parallel={"uniform-100k/bbst": 2.0, "x/y": 2.0})
+        problems = compare_to_baseline(current, baseline)
+        assert any("x/y" in p and "committed baseline" in p for p in problems)
+
+    def test_as_baseline_halves_parallel_speedups(self):
+        current = _payload({}, parallel={"uniform-100k/bbst": 4.0})
+        assert as_baseline(current)["parallel_speedup"]["uniform-100k/bbst"] == pytest.approx(2.0)
+
+    def test_as_baseline_without_parallel_section(self):
+        assert "parallel_speedup" not in as_baseline(_payload({"d/A": 0.1}))
+
+
 class TestMainEndToEnd:
     def test_write_baseline_then_gate(self, tmp_path):
         baseline = tmp_path / "baseline.json"
         output = tmp_path / "bench.json"
+        # Best-of-3 on both sides (the gate's real default): single-repeat
+        # session-speedup measurements are too noisy on loaded machines to
+        # reliably clear their own halved floor.
         assert (
             main(
                 [
                     "--write-baseline",
                     "--baseline", str(baseline),
                     "--output", str(output),
-                    "--repeats", "1",
+                    "--repeats", "3",
                 ]
             )
             == 0
@@ -101,7 +146,7 @@ class TestMainEndToEnd:
                 [
                     "--baseline", str(baseline),
                     "--output", str(output),
-                    "--repeats", "1",
+                    "--repeats", "3",
                     "--factor", "1000",
                 ]
             )

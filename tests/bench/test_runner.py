@@ -22,6 +22,7 @@ class TestRegistry:
             "uniformity",
             "vecspeed",
             "session",
+            "parallel",
         }
         assert expected == set(EXPERIMENTS)
 

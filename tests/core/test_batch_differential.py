@@ -110,11 +110,11 @@ class TestCountingPhaseEquality:
         scalar = sampler_class(skewed_spec, vectorized=False)
         vectorized.sample(0, seed=0)
         scalar.sample(0, seed=0)
-        v_bounds, v_cumulative, _v_alias, v_sum_mu = vectorized._runtime
-        s_bounds, s_cumulative, _s_alias, s_sum_mu = scalar._runtime
-        np.testing.assert_array_equal(v_bounds, s_bounds)
-        np.testing.assert_array_equal(v_cumulative, s_cumulative)
-        assert v_sum_mu == s_sum_mu
+        v_state = vectorized._runtime
+        s_state = scalar._runtime
+        np.testing.assert_array_equal(v_state.bounds, s_state.bounds)
+        np.testing.assert_array_equal(v_state.cumulative, s_state.cumulative)
+        assert v_state.sum_mu == s_state.sum_mu
 
     def test_kds_counts_identical(self, small_uniform_spec):
         vectorized = KDSSampler(small_uniform_spec).sample(0, seed=0)

@@ -24,12 +24,25 @@ class TestValidation:
         with pytest.raises(ValueError):
             JoinSpec(r_points=points, s_points=points, half_extent=0.0)
 
-    def test_rejects_empty_sets(self):
+    def test_empty_sets_allowed_and_flagged(self):
+        """Shard sub-problems can own zero points; the spec flags them empty."""
         points = PointSet(xs=[0.0], ys=[0.0])
-        with pytest.raises(ValueError):
-            JoinSpec(r_points=PointSet.empty(), s_points=points, half_extent=1.0)
-        with pytest.raises(ValueError):
-            JoinSpec(r_points=points, s_points=PointSet.empty(), half_extent=1.0)
+        for r, s in (
+            (PointSet.empty(), points),
+            (points, PointSet.empty()),
+            (PointSet.empty(), PointSet.empty()),
+        ):
+            spec = JoinSpec(r_points=r, s_points=s, half_extent=1.0)
+            assert spec.is_empty
+        assert not JoinSpec(
+            r_points=points, s_points=points, half_extent=1.0
+        ).is_empty
+
+    def test_rejects_non_finite_extent(self):
+        points = PointSet(xs=[0.0], ys=[0.0])
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                JoinSpec(r_points=points, s_points=points, half_extent=bad)
 
 
 class TestWindows:

@@ -39,7 +39,8 @@ class TestSkeletonBehaviour:
         """The cached (n, 9) bound matrix must be consistent with the index."""
         sampler = BBSTSampler(small_uniform_spec)
         sampler.sample(0, seed=0)
-        bounds, cumulative, _alias, sum_mu = sampler._runtime
+        state = sampler._runtime
+        bounds, cumulative, sum_mu = state.bounds, state.cumulative, state.sum_mu
         assert bounds.shape == (small_uniform_spec.n, 9)
         assert np.allclose(cumulative[:, -1], bounds.sum(axis=1))
         assert sum_mu == pytest.approx(float(bounds.sum()))

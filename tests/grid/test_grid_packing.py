@@ -1,0 +1,101 @@
+"""Coverage for ``GridFlat``'s packed-key fallback (satellite of the shard PR).
+
+Packed ``(ix << 32) | iy`` keys require both cell indices to fit in 32 bits;
+coordinates beyond ``cell_size * 2**31`` disable packing and every batch
+lookup must fall back to per-point dict probes.  Halo'd shard grids built
+over tiny ``half_extent`` values are exactly how real workloads hit this, so
+the fallback is also exercised through the whole sharded pipeline.
+"""
+
+import numpy as np
+
+from repro.core.config import JoinSpec
+from repro.core.full_join import join_size
+from repro.geometry.point import PointSet
+from repro.grid.grid import Grid
+from repro.parallel import ShardedSampler
+
+
+def _extreme_grid() -> tuple[Grid, PointSet]:
+    """A grid whose cell indices overflow the 32-bit pack range.
+
+    ``cell_size=1e-7`` over coordinates around 5,000 gives ``ix`` values of
+    about 5e10, far beyond ``2**31 - 1``.
+    """
+    xs = np.array([5000.0, 5000.0, 5000.5, 6000.25, 6000.25])
+    ys = np.array([100.0, 100.0, 200.5, 300.75, 300.75])
+    points = PointSet(xs=xs, ys=ys, name="extreme")
+    return Grid(points, cell_size=1e-7), points
+
+
+class TestPackingDisabled:
+    def test_supports_packing_is_false_beyond_the_limit(self):
+        grid, _points = _extreme_grid()
+        flat = grid.flat()
+        assert not flat.supports_packing
+        assert flat.packed_keys.size == 0
+        assert flat.packed_cell_ids.size == 0
+
+    def test_lookup_cell_ids_matches_the_dict_path(self):
+        grid, points = _extreme_grid()
+        ix = np.floor(points.xs / grid.cell_size).astype(np.int64)
+        iy = np.floor(points.ys / grid.cell_size).astype(np.int64)
+        found = grid.lookup_cell_ids(ix, iy)
+        flat = grid.flat()
+        assert np.all(found >= 0)
+        for position, cell_id in enumerate(found.tolist()):
+            assert flat.cells[cell_id].key == (int(ix[position]), int(iy[position]))
+        # Missing keys resolve to -1, exactly like the packed path.
+        missing = grid.lookup_cell_ids(ix + 12_345, iy)
+        assert np.all(missing == -1)
+
+    def test_neighborhood_counts_match_scalar_neighborhood(self):
+        grid, points = _extreme_grid()
+        counts = grid.neighborhood_counts(points.xs, points.ys)
+        for i in range(len(points)):
+            scalar_total = sum(
+                len(cell)
+                for _kind, cell in grid.neighborhood(
+                    float(points.xs[i]), float(points.ys[i])
+                )
+            )
+            assert int(counts[i].sum()) == scalar_total
+
+
+class TestPackedGridWithOutOfRangeQueries:
+    def test_queries_beyond_the_limit_fall_back_per_call(self):
+        """A packable grid probed at unpackable coordinates must not corrupt."""
+        points = PointSet(xs=[1.5, 2.5], ys=[1.5, 2.5], name="packable")
+        grid = Grid(points, cell_size=1.0)
+        assert grid.flat().supports_packing
+        huge = np.array([2**40], dtype=np.int64)
+        assert grid.lookup_cell_ids(huge, huge).tolist() == [-1]
+        # And the packed fast path still works afterwards.
+        assert grid.lookup_cell_ids(
+            np.array([1], dtype=np.int64), np.array([1], dtype=np.int64)
+        ).tolist() != [-1]
+
+
+class TestShardedPipelineOnUnpackableGrids:
+    def test_halo_shard_grids_with_tiny_half_extent(self):
+        """The whole sharded pipeline stays exact when packing is disabled.
+
+        Duplicate coordinates make pairs join despite the microscopic window,
+        and ``cell_size = half_extent = 1e-7`` pushes every cell index beyond
+        the 32-bit pack range on both the shard grids and their halos.
+        """
+        xs = np.array([100.0, 100.0, 100.0, 2_000.5, 2_000.5, 9_999.25])
+        ys = np.array([50.0, 50.0, 50.0, 70.25, 70.25, 10.0])
+        r_points = PointSet(xs=xs, ys=ys, name="dup-R")
+        s_points = PointSet(xs=xs, ys=ys, name="dup-S")
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=1e-7)
+        assert not Grid(s_points, cell_size=spec.half_extent).flat().supports_packing
+
+        serial_total = join_size(spec)
+        assert serial_total == 9 + 4 + 1  # 3x3 + 2x2 + 1x1 duplicate blocks
+        sharded = ShardedSampler(spec, algorithm="bbst", jobs=3, use_processes=False)
+        assert sharded.total_weight == serial_total
+        result = sharded.sample(100, seed=2)
+        assert len(result) == 100
+        for pair in result.pairs:
+            assert spec.pair_matches(pair.r_index, pair.s_index)

@@ -1,0 +1,174 @@
+"""Session-level tests of the shard-parallel engine (jobs=N plumbing)."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api.session import SamplingSession
+from repro.core.config import JoinSpec
+from repro.core.validation import validate_sample_result
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points
+from repro.parallel import ShardedSampler
+
+SMOKE_JOBS = int(os.environ.get("REPRO_SMOKE_JOBS", "2"))
+
+
+@pytest.fixture(scope="module")
+def spec() -> JoinSpec:
+    rng = np.random.default_rng(31)
+    points = uniform_points(600, rng, name="session-parallel")
+    r_points, s_points = split_r_s(points, rng)
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=500.0)
+
+
+@pytest.fixture
+def session(spec):
+    with SamplingSession.from_spec(
+        spec, algorithm="bbst", jobs=SMOKE_JOBS, eager=False
+    ) as session:
+        yield session
+
+
+class TestJobsPlumbing:
+    def test_jobs_key_selects_the_sharded_engine(self, session, spec):
+        sampler = session.resolve()
+        assert isinstance(sampler, ShardedSampler)
+        assert sampler.jobs == SMOKE_JOBS
+        assert session.cached_keys == [("bbst", spec.half_extent, SMOKE_JOBS)]
+
+    def test_draws_are_valid_and_complete(self, session, spec):
+        result = session.draw(200, seed=4)
+        assert len(result) == 200
+        assert validate_sample_result(spec, result) == []
+        assert session.stats.requests == 1
+
+    def test_per_request_jobs_override_gets_its_own_entry(self, session, spec):
+        session.draw(20, seed=0)
+        session.draw(20, seed=0, jobs=1)
+        keys = session.cached_keys
+        assert ("bbst", spec.half_extent, SMOKE_JOBS) in keys
+        assert ("bbst", spec.half_extent, 1) in keys
+        assert len(keys) == 2
+
+    def test_serial_jobs_entry_is_not_sharded(self, session):
+        sampler = session.resolve(jobs=1)
+        assert not isinstance(sampler, ShardedSampler)
+
+    def test_jobs_zero_uses_the_planner_recommendation(self, spec):
+        with SamplingSession.from_spec(spec, algorithm="bbst", jobs=0, eager=False) as session:
+            report = session.plan()
+            sampler = session.resolve()
+            # This instance is far below the sharding threshold, so the
+            # planner recommends staying serial.
+            assert report.jobs == 1
+            assert not isinstance(sampler, ShardedSampler)
+            assert session.cached_keys == [("bbst", spec.half_extent, 1)]
+
+    def test_invalid_jobs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            SamplingSession.from_spec(spec, jobs=-2, eager=False)
+
+    def test_stream_through_the_sharded_engine(self, session, spec):
+        chunks = list(session.stream(90, chunk_size=40, seed=8))
+        assert [len(chunk) for chunk in chunks] == [40, 40, 10]
+
+    def test_draw_distinct_through_the_sharded_engine(self, session, spec):
+        result = session.draw_distinct(30, seed=12)
+        assert len({pair.as_index_tuple() for pair in result.pairs}) == 30
+
+
+class TestThreadSafety:
+    def test_concurrent_draws_from_many_threads(self, session, spec):
+        session.prepare()
+        errors: list[Exception] = []
+
+        def hammer(seed: int) -> None:
+            try:
+                result = session.draw(100, seed=seed)
+                assert len(result) == 100
+                assert validate_sample_result(spec, result) == []
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert session.stats.requests == 8
+        assert session.stats.pairs_drawn == 800
+
+    def test_cold_key_build_does_not_block_cached_draws(self, spec, monkeypatch):
+        """A slow prepare on a new key must not stall cached-key requests."""
+        with SamplingSession.from_spec(spec, algorithm="bbst", eager=False) as session:
+            session.draw(10, seed=0)  # cache the serial (bbst, l, 1) key
+            started = threading.Event()
+            release = threading.Event()
+            real_prepare = ShardedSampler.prepare
+
+            def slow_prepare(self, *args, **kwargs):
+                started.set()
+                release.wait(timeout=15)
+                return real_prepare(self, *args, **kwargs)
+
+            monkeypatch.setattr(ShardedSampler, "prepare", slow_prepare)
+            cold = threading.Thread(
+                target=lambda: session.draw(10, seed=1, jobs=SMOKE_JOBS)
+            )
+            cold.start()
+            try:
+                assert started.wait(10), "cold-key build never started"
+                # The cached key must answer while the cold build is parked.
+                done: list[int] = []
+                cached = threading.Thread(
+                    target=lambda: done.append(len(session.draw(10, seed=2)))
+                )
+                cached.start()
+                cached.join(timeout=10)
+                assert done == [10], "cached-key draw stalled behind the cold build"
+            finally:
+                release.set()
+                cold.join(timeout=30)
+            assert not cold.is_alive()
+
+    def test_concurrent_serial_draws_are_also_safe(self, spec):
+        with SamplingSession.from_spec(spec, algorithm="kds", eager=True) as session:
+            errors: list[Exception] = []
+
+            def hammer(seed: int) -> None:
+                try:
+                    assert len(session.draw(80, seed=seed)) == 80
+                except Exception as exc:  # pragma: no cover - failure reporting
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer, args=(i,)) for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+
+
+class TestLifecycle:
+    def test_close_shuts_down_resident_workers(self, spec):
+        session = SamplingSession.from_spec(
+            spec, algorithm="bbst", jobs=SMOKE_JOBS, eager=False
+        )
+        sampler = session.resolve()
+        assert isinstance(sampler, ShardedSampler)
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.draw(5, seed=0)
+        # The sharded sampler itself was closed too.
+        with pytest.raises(RuntimeError):
+            sampler.sample(5, seed=0)
+
+    def test_describe_reports_jobs(self, session):
+        session.draw(10, seed=0)
+        info = session.describe()
+        assert info["default_jobs"] == SMOKE_JOBS
+        assert any(key[2] == SMOKE_JOBS for key in map(tuple, info["cached_keys"]))

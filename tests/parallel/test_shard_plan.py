@@ -1,0 +1,127 @@
+"""Tests of the vertical-strip shard planning (disjointness, halos, edges)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import JoinSpec
+from repro.core.full_join import brute_force_join
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points, zipf_cluster_points
+from repro.geometry.point import PointSet
+from repro.parallel import ShardPlan
+
+
+def _spec(seed: int = 7, total: int = 400, half_extent: float = 300.0) -> JoinSpec:
+    rng = np.random.default_rng(seed)
+    points = uniform_points(total, rng, name="plan-points")
+    r_points, s_points = split_r_s(points, rng)
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=half_extent)
+
+
+class TestValidation:
+    def test_jobs_must_be_positive_integer(self):
+        spec = _spec()
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ValueError):
+                ShardPlan.for_spec(spec, bad)
+
+    def test_single_shard_owns_everything(self):
+        spec = _spec()
+        plan = ShardPlan.for_spec(spec, 1)
+        assert len(plan) == 1
+        shard = plan.shards[0]
+        assert shard.n == spec.n and shard.m == spec.m
+        assert shard.x_lo == -np.inf and shard.x_hi == np.inf
+
+
+class TestPartition:
+    @pytest.mark.parametrize("jobs", [2, 3, 5])
+    def test_r_partition_is_disjoint_and_complete(self, jobs):
+        spec = _spec()
+        plan = ShardPlan.for_spec(spec, jobs)
+        all_r = np.concatenate([shard.r_indices for shard in plan.shards])
+        assert np.array_equal(np.sort(all_r), np.arange(spec.n))
+
+    def test_quantile_edges_balance_r(self):
+        spec = _spec(total=1_000)
+        plan = ShardPlan.for_spec(spec, 4)
+        counts = [shard.n for shard in plan.shards]
+        assert sum(counts) == spec.n
+        # Quantile edges keep every strip within one point of n / jobs.
+        assert max(counts) - min(counts) <= 1
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_halo_covers_every_join_pair(self, jobs):
+        """For every join pair, the shard owning r also owns s (via the halo)."""
+        rng = np.random.default_rng(11)
+        points = zipf_cluster_points(300, rng, num_clusters=5, skew=1.3)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=350.0)
+        plan = ShardPlan.for_spec(spec, jobs)
+        shard_of_r = np.empty(spec.n, dtype=np.int64)
+        for shard in plan.shards:
+            shard_of_r[shard.r_indices] = shard.index
+        shard_s_sets = [set(shard.s_indices.tolist()) for shard in plan.shards]
+        pairs = brute_force_join(spec)
+        assert pairs, "fixture join drifted empty"
+        for r_index, s_index in pairs:
+            assert s_index in shard_s_sets[shard_of_r[r_index]]
+
+    def test_point_on_edge_goes_right(self):
+        r_points = PointSet(xs=[0.0, 10.0, 10.0, 20.0], ys=[0.0] * 4)
+        s_points = PointSet(xs=[5.0], ys=[0.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=1.0)
+        plan = ShardPlan.for_spec(spec, 2)
+        # The quantile edge lands on x=10; both x=10 points belong right.
+        assert plan.edges.tolist() == [10.0]
+        assert plan.shards[0].r_indices.tolist() == [0]
+        assert plan.shards[1].r_indices.tolist() == [1, 2, 3]
+
+
+class TestDegenerateInputs:
+    def test_empty_r_yields_empty_strips(self):
+        spec = JoinSpec(
+            r_points=PointSet.empty(),
+            s_points=PointSet(xs=[1.0, 2.0], ys=[1.0, 2.0]),
+            half_extent=5.0,
+        )
+        plan = ShardPlan.for_spec(spec, 3)
+        assert all(shard.n == 0 for shard in plan.shards)
+        assert all(shard.is_empty for shard in plan.shards)
+
+    def test_empty_s_yields_empty_halos(self):
+        spec = JoinSpec(
+            r_points=PointSet(xs=[1.0, 2.0], ys=[1.0, 2.0]),
+            s_points=PointSet.empty(),
+            half_extent=5.0,
+        )
+        plan = ShardPlan.for_spec(spec, 2)
+        assert all(shard.m == 0 for shard in plan.shards)
+
+    def test_identical_x_coordinates_collapse_into_one_strip(self):
+        r_points = PointSet(xs=[7.0] * 6, ys=np.arange(6, dtype=float))
+        s_points = PointSet(xs=[7.0], ys=[3.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=1.0)
+        plan = ShardPlan.for_spec(spec, 3)
+        all_r = np.concatenate([shard.r_indices for shard in plan.shards])
+        assert np.array_equal(np.sort(all_r), np.arange(6))
+
+
+class TestSubspec:
+    def test_subspec_preserves_ids_and_half_extent(self):
+        spec = _spec()
+        plan = ShardPlan.for_spec(spec, 3)
+        shard = plan.shards[1]
+        sub = plan.subspec(spec, shard)
+        assert sub.half_extent == spec.half_extent
+        assert np.array_equal(sub.r_points.ids, spec.r_points.ids[shard.r_indices])
+        assert np.array_equal(sub.s_points.ids, spec.s_points.ids[shard.s_indices])
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        plan = ShardPlan.for_spec(_spec(), 2)
+        payload = plan.describe()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["jobs"] == 2
+        assert len(payload["shards"]) == 2

@@ -1,0 +1,272 @@
+"""Differential tests of the shard-parallel engine.
+
+The load-bearing guarantees:
+
+* for each of the four online algorithms, the sharded sampler's per-shard
+  weight totals sum **bit-identically** to the serial exact join size;
+* the composed draws pass the same chi-square uniformity threshold the
+  serial samplers are held to;
+* a zero-weight shard (zero points, or points that never join) is never
+  drawn;
+* the process-pool path returns bit-identical pairs to the in-process path.
+
+``REPRO_SMOKE_JOBS`` (default 2) sets the worker count of the pool-path
+tests so CI can exercise the pool with a pinned setting.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import JoinSpec
+from repro.core.full_join import join_size, spatial_range_join
+from repro.core.validation import validate_sample_result
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import zipf_cluster_points
+from repro.geometry.point import PointSet
+from repro.parallel import ShardedSampler
+from repro.stats.uniformity import uniformity_report
+
+ALGORITHMS = ["kds", "kds-rejection", "bbst", "cell-kdtree"]
+
+#: Pool-path worker count (the CI smoke pins this to 2 via the environment).
+SMOKE_JOBS = int(os.environ.get("REPRO_SMOKE_JOBS", "2"))
+
+
+@pytest.fixture(scope="module")
+def enumerable_spec() -> JoinSpec:
+    rng = np.random.default_rng(202)
+    points = zipf_cluster_points(500, rng, num_clusters=6, skew=1.3, name="sharded")
+    r_points, s_points = split_r_s(points, rng)
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=80.0)
+
+
+@pytest.fixture(scope="module")
+def enumerated_join(enumerable_spec):
+    pairs = spatial_range_join(enumerable_spec)
+    assert 50 <= len(pairs) <= 5_000
+    return pairs
+
+
+class TestExactComposition:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_weights_sum_bit_identically_to_serial_join_size(
+        self, algorithm, enumerable_spec, enumerated_join
+    ):
+        serial_total = join_size(enumerable_spec)
+        assert serial_total == len(enumerated_join)
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm=algorithm, jobs=3, use_processes=False
+        )
+        assert int(sharded.shard_weights.sum()) == serial_total
+        assert sharded.total_weight == serial_total
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_draws_are_valid_join_pairs(self, algorithm, enumerable_spec):
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm=algorithm, jobs=3, use_processes=False
+        )
+        result = sharded.sample(250, seed=5)
+        assert len(result) == 250
+        assert validate_sample_result(enumerable_spec, result) == []
+        assert result.metadata["join_size"] == sharded.total_weight
+        assert result.metadata["shard_weights"] == sharded.shard_weights.tolist()
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_chi_square_uniform_at_the_serial_threshold(
+        self, algorithm, enumerable_spec, enumerated_join
+    ):
+        t = 30 * len(enumerated_join)
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm=algorithm, jobs=3, use_processes=False
+        )
+        report = uniformity_report(sharded.sample(t, seed=77), enumerated_join)
+        # Same threshold as tests/integration/test_uniformity_statistical.py.
+        assert report.p_value > 1e-3, (
+            f"sharded {algorithm} appears non-uniform: "
+            f"chi2={report.chi_square:.1f}, p={report.p_value:.2e}"
+        )
+
+    def test_every_join_pair_eventually_sampled(self, enumerable_spec, enumerated_join):
+        t = 40 * len(enumerated_join)
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=4, use_processes=False
+        )
+        sampled = set(map(tuple, sharded.sample(t, seed=79).index_pairs().tolist()))
+        missing = set(enumerated_join) - sampled
+        assert len(missing) <= max(1, 0.01 * len(enumerated_join))
+
+
+class TestZeroWeightShards:
+    def _two_island_spec(self) -> JoinSpec:
+        # The right island of R has no S anywhere near it: its strip must get
+        # weight zero and never be drawn.
+        r_points = PointSet(
+            xs=[0.0, 1.0, 2.0, 3.0, 1_000.0, 1_001.0, 1_002.0, 1_003.0],
+            ys=[0.0] * 8,
+            name="islands-R",
+        )
+        s_points = PointSet(xs=[0.5, 1.5, 2.5], ys=[0.0] * 3, name="islands-S")
+        return JoinSpec(r_points=r_points, s_points=s_points, half_extent=2.0)
+
+    def test_zero_weight_shard_is_never_drawn(self):
+        spec = self._two_island_spec()
+        sharded = ShardedSampler(spec, algorithm="bbst", jobs=2, use_processes=False)
+        weights = sharded.shard_weights
+        assert weights[1] == 0 and weights[0] == sharded.total_weight > 0
+        result = sharded.sample(500, seed=3)
+        assert len(result) == 500
+        # Every sampled r comes from the left island (indices 0..3).
+        assert int(result.index_pairs()[:, 0].max()) <= 3
+
+    def test_whole_dataset_empty(self):
+        spec = JoinSpec(
+            r_points=PointSet.empty(), s_points=PointSet.empty(), half_extent=1.0
+        )
+        sharded = ShardedSampler(spec, jobs=2, use_processes=False)
+        assert sharded.total_weight == 0
+        assert len(sharded.sample(0, seed=1)) == 0
+        with pytest.raises(ValueError):
+            sharded.sample(5, seed=1)
+
+    def test_disjoint_join_is_empty(self):
+        spec = JoinSpec(
+            r_points=PointSet(xs=[0.0], ys=[0.0]),
+            s_points=PointSet(xs=[100.0], ys=[100.0]),
+            half_extent=1.0,
+        )
+        sharded = ShardedSampler(spec, jobs=2, use_processes=False)
+        assert sharded.total_weight == 0
+        with pytest.raises(ValueError):
+            sharded.sample(1, seed=0)
+
+
+class TestProcessPool:
+    def test_pool_path_is_bit_identical_to_in_process(self, enumerable_spec):
+        with ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=SMOKE_JOBS, use_processes=True
+        ) as pooled:
+            local = ShardedSampler(
+                enumerable_spec, algorithm="bbst", jobs=SMOKE_JOBS, use_processes=False
+            )
+            pooled_pairs = [p.as_index_tuple() for p in pooled.sample(300, seed=9).pairs]
+            local_pairs = [p.as_index_tuple() for p in local.sample(300, seed=9).pairs]
+            assert pooled.total_weight == local.total_weight
+        assert pooled_pairs == local_pairs
+
+    def test_pool_draws_are_valid_and_uniformly_routed(self, enumerable_spec):
+        with ShardedSampler(
+            enumerable_spec, algorithm="kds", jobs=SMOKE_JOBS, use_processes=True
+        ) as sharded:
+            result = sharded.sample(400, seed=21)
+            assert len(result) == 400
+            assert validate_sample_result(enumerable_spec, result) == []
+
+    def test_threaded_draws_through_the_pool(self, enumerable_spec):
+        with ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=SMOKE_JOBS, use_processes=True
+        ) as sharded:
+            sharded.prepare()
+            errors: list[Exception] = []
+
+            def hammer(seed: int) -> None:
+                try:
+                    result = sharded.sample(150, seed=seed)
+                    assert len(result) == 150
+                    assert validate_sample_result(enumerable_spec, result) == []
+                except Exception as exc:  # pragma: no cover - failure reporting
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer, args=(i,)) for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+
+    def test_close_is_idempotent_and_final(self, enumerable_spec):
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=SMOKE_JOBS, use_processes=True
+        )
+        sharded.sample(10, seed=0)
+        sharded.close()
+        sharded.close()
+        with pytest.raises(RuntimeError):
+            sharded.sample(10, seed=0)
+
+
+class TestFailureRecovery:
+    def test_pool_creation_failure_falls_back_in_process(
+        self, enumerable_spec, monkeypatch
+    ):
+        """An OSError during pool build must leave a fully working sampler."""
+        from repro.parallel import sharded as sharded_module
+
+        def broken_pool(self, tasks, executors):
+            for index in range(len(tasks)):
+                executors[index] = None
+            raise OSError("fork refused")
+
+        monkeypatch.setattr(
+            sharded_module.ShardedSampler, "_build_in_pool", broken_pool
+        )
+        sampler = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=3, use_processes=True
+        )
+        result = sampler.sample(200, seed=6)
+        assert len(result) == 200
+        assert validate_sample_result(enumerable_spec, result) == []
+        # Draws keep working (no stale executors, no leaked locks).
+        assert len(sampler.sample(50, seed=7)) == 50
+
+    def test_failed_shard_draw_releases_every_lock(self, enumerable_spec):
+        """A dying worker must not leave other shards' locks held forever."""
+
+        class ExplodingFuture:
+            def result(self):
+                raise RuntimeError("worker died")
+
+        class ExplodingExecutor:
+            def submit(self, *args, **kwargs):
+                return ExplodingFuture()
+
+        sampler = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=3, use_processes=False
+        )
+        sampler.prepare()
+        built = sampler._built
+        originals = list(built.executors)
+        built.executors = [ExplodingExecutor() for _ in built.executors]
+        with pytest.raises(RuntimeError, match="worker died"):
+            sampler.sample(100, seed=5)
+        assert all(not lock.locked() for lock in sampler._shard_locks)
+        built.executors = originals
+        # The sampler recovers once the workers are healthy again.
+        assert len(sampler.sample(100, seed=5)) == 100
+
+
+class TestLifecycle:
+    def test_without_replacement_through_shards(self, enumerable_spec, enumerated_join):
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=3, use_processes=False
+        )
+        result = sharded.sample_without_replacement(40, seed=13)
+        pairs = result.index_pairs()
+        assert len({tuple(pair) for pair in pairs.tolist()}) == 40
+        assert set(map(tuple, pairs.tolist())) <= set(enumerated_join)
+
+    def test_prepare_then_draw_reports_zero_build_time(self, enumerable_spec):
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=2, use_processes=False
+        )
+        first = sharded.sample(10, seed=0)
+        assert first.timings.build_seconds > 0.0
+        second = sharded.sample(10, seed=1)
+        assert second.timings.build_seconds == 0.0
+        assert second.timings.count_seconds == 0.0
+
+    def test_unknown_algorithm_rejected_up_front(self, enumerable_spec):
+        with pytest.raises(KeyError):
+            ShardedSampler(enumerable_spec, algorithm="nope", jobs=2)
