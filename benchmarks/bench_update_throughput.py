@@ -1,0 +1,108 @@
+"""Dynamic-update engine - incremental maintenance vs full rebuild per change.
+
+The acceptance workload of the dynamic-update subsystem: applying rounds of
+point insertions/deletions through :class:`repro.dynamic.DynamicSampler`
+(grid cells patched in place, bound-matrix rows recounted only where the 3x3
+block was touched, lazy alias rebuild) must beat paying a full fresh
+``prepare()`` per round by at least 2x, while the maintained state stays
+*bit-identical* to a fresh build over the final ``(R, S)`` - the speedup can
+never be bought with a drifted distribution.
+
+The committed CI floor lives in ``benchmarks/baseline_ci.json`` and is
+enforced by ``python -m repro.bench.ci_gate --dynamic``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import JoinSpec
+from repro.core.registry import create_sampler
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points
+from repro.dynamic import DynamicSampler
+
+#: n = m = 20,000 after the R/S split (the gate configuration).
+TOTAL_POINTS = 40_000
+
+#: The paper's default window half-extent at full dataset scale.
+HALF_EXTENT = 100.0
+
+ROUNDS = 5
+BATCH = 500
+BENCH_SAMPLES = 2_000
+
+#: Required speedup of incremental maintenance over one rebuild per round.
+MIN_SPEEDUP = 2.0
+
+ALGORITHM = "bbst"
+
+
+@pytest.fixture(scope="module")
+def full_spec():
+    rng = np.random.default_rng(47)
+    points = uniform_points(TOTAL_POINTS, rng, name="uniform-20k")
+    r_points, s_points = split_r_s(points, rng)
+    spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=HALF_EXTENT)
+    assert spec.n == 20_000 and spec.m == 20_000
+    return spec
+
+
+def test_update_throughput_beats_full_rebuild(benchmark, full_spec):
+    update_rng = np.random.default_rng(48)
+
+    def run():
+        dynamic = DynamicSampler(full_spec, algorithm=ALGORITHM)
+        dynamic.prepare()
+        update_seconds = 0.0
+        for round_index in range(ROUNDS):
+            side = "s" if round_index % 2 == 0 else "r"
+            live = dynamic.s_points if side == "s" else dynamic.r_points
+            delete_ids = update_rng.choice(live.ids, size=BATCH // 2, replace=False)
+            ins_xs = update_rng.uniform(0.0, 10_000.0, size=BATCH - BATCH // 2)
+            ins_ys = update_rng.uniform(0.0, 10_000.0, size=BATCH - BATCH // 2)
+            start = time.perf_counter()
+            dynamic.update(side, insert=(ins_xs, ins_ys), delete=delete_ids)
+            update_seconds += time.perf_counter() - start
+            result = dynamic.sample(BENCH_SAMPLES, seed=round_index)
+            assert len(result) == BENCH_SAMPLES
+        return dynamic, update_seconds
+
+    dynamic, update_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    final_spec = JoinSpec(
+        r_points=dynamic.r_points,
+        s_points=dynamic.s_points,
+        half_extent=HALF_EXTENT,
+    )
+    start = time.perf_counter()
+    fresh = create_sampler(ALGORITHM, final_spec)
+    fresh.prepare()
+    rebuild_seconds = (time.perf_counter() - start) * ROUNDS
+
+    # The maintained state must be bit-identical to the fresh build.
+    dynamic.flush()
+    assert dynamic.inner.runtime.sum_mu == fresh.runtime.sum_mu
+    assert np.array_equal(dynamic.inner.runtime.bounds, fresh.runtime.bounds)
+    assert dynamic.sample(500, seed=99).id_pairs() == fresh.sample(500, seed=99).id_pairs()
+
+    speedup = rebuild_seconds / max(update_seconds, 1e-9)
+    benchmark.extra_info.update(
+        {
+            "algorithm": ALGORITHM,
+            "n": final_spec.n,
+            "m": final_spec.m,
+            "rounds": ROUNDS,
+            "batch": BATCH,
+            "update_seconds": round(update_seconds, 4),
+            "rebuild_seconds": round(rebuild_seconds, 4),
+            "speedup": round(speedup, 2),
+        }
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental maintenance only {speedup:.2f}x faster than a full "
+        f"rebuild per change; expected >= {MIN_SPEEDUP}x"
+    )

@@ -60,6 +60,7 @@ from repro.datasets import (
     split_r_s,
     uniform_points,
 )
+from repro.dynamic import DynamicPointStore, DynamicSampler, UpdateReport
 from repro.geometry import Point, PointSet, Rect, window_around
 from repro.parallel import Shard, ShardedSampler, ShardPlan
 
@@ -79,6 +80,10 @@ __all__ = [
     "Shard",
     "ShardPlan",
     "ShardedSampler",
+    # dynamic updates
+    "DynamicPointStore",
+    "DynamicSampler",
+    "UpdateReport",
     # sampler registry
     "SamplerEntry",
     "register_sampler",

@@ -29,7 +29,7 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.core.config import JoinSpec
-from repro.core.registry import sampler_names
+from repro.core.registry import get_sampler, sampler_names
 from repro.grid.grid import Grid
 
 __all__ = [
@@ -239,8 +239,14 @@ def plan_algorithm(
     grid: Grid | None = None,
     probes: int = 512,
     seed: int = 0,
+    update_heavy: bool = False,
 ) -> PlanReport:
     """Choose a registered ``online`` sampler for the instance, explainably.
+
+    ``update_heavy`` declares that the workload mutates ``(R, S)`` between
+    requests: the planner then only recommends algorithms whose structures
+    are incrementally maintainable (``supports_updates`` in the registry),
+    since a non-maintainable choice would force a full rebuild per change.
 
     The rules fire in order; the first match wins:
 
@@ -265,9 +271,10 @@ def plan_algorithm(
     if spec.is_empty:
         # Rule 0: a join over an empty R or S has no pairs; any sampler can
         # serve the only legal request (t = 0), so pick the cheapest one to
-        # construct and recommend no parallelism.
+        # construct and recommend no parallelism.  An update-heavy workload
+        # will grow the instance, so it gets a maintainable algorithm.
         return PlanReport(
-            algorithm="kds",
+            algorithm="bbst" if update_heavy else "kds",
             rule="empty-input",
             reason=(
                 f"R has {stats.n:,} points and S has {stats.m:,}: the join is "
@@ -324,6 +331,16 @@ def plan_algorithm(
             "default-bbst",
             "no special regime detected: BBST has the best asymptotics in "
             "every phase (O(m log m) build, O(n log m) count, O~(1) per draw).",
+        )
+
+    if update_heavy and not get_sampler(choice).supports_updates:
+        choice, rule, reason = (
+            "bbst",
+            "update-heavy-maintainable",
+            f"the workload is update-heavy and {choice!r} cannot maintain its "
+            "structures under insertions/deletions; BBST's grid + per-cell "
+            "structures are patched in place by the dynamic-update engine "
+            "instead of being rebuilt per change.",
         )
 
     return PlanReport(

@@ -41,6 +41,7 @@ consume no randomness.  The differential tests in ``tests/api`` pin this.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -51,6 +52,8 @@ from repro.core.base import JoinSampler, JoinSampleResult, SamplePair, resolve_r
 from repro.core.config import JoinSpec
 from repro.core.registry import canonical_name, get_sampler
 from repro.core.validation import validate_half_extent, validate_jobs
+from repro.dynamic.sampler import DynamicSampler
+from repro.dynamic.store import DynamicPointStore
 from repro.geometry.point import PointSet
 from repro.parallel.sharded import ShardedSampler
 
@@ -74,6 +77,8 @@ class SessionStats:
     prepare_seconds: float = 0.0
     sample_seconds: float = 0.0
     plans: int = 0
+    updates: int = 0
+    update_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -84,6 +89,8 @@ class SessionStats:
             "prepare_seconds": self.prepare_seconds,
             "sample_seconds": self.sample_seconds,
             "plans": self.plans,
+            "updates": self.updates,
+            "update_seconds": self.update_seconds,
         }
 
 
@@ -137,6 +144,14 @@ class SamplingSession:
     ) -> None:
         self._r_points = r_points
         self._s_points = s_points
+        # Staleness guard: the inputs' content at open time.  Draws verify a
+        # cheap strided spot fingerprint on every request; update() and cold
+        # entry builds verify the exhaustive one.  Mutating a PointSet behind
+        # the session's back therefore raises instead of serving stale draws.
+        self._fingerprints = {
+            "full": (r_points.fingerprint(), s_points.fingerprint()),
+            "spot": (r_points.spot_fingerprint(), s_points.spot_fingerprint()),
+        }
         self._default_half_extent = validate_half_extent(half_extent)
         self._default_algorithm = self._check_algorithm(algorithm)
         self._default_jobs = self._check_jobs(jobs)
@@ -172,6 +187,16 @@ class SamplingSession:
     def m(self) -> int:
         """Size of the inner set ``S``."""
         return len(self._s_points)
+
+    @property
+    def r_points(self) -> PointSet:
+        """The current outer set (reflects applied :meth:`update` calls)."""
+        return self._r_points
+
+    @property
+    def s_points(self) -> PointSet:
+        """The current inner set (reflects applied :meth:`update` calls)."""
+        return self._s_points
 
     @property
     def default_half_extent(self) -> float:
@@ -216,6 +241,40 @@ class SamplingSession:
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("the sampling session is closed")
+
+    def _refresh_fingerprints(self) -> None:
+        self._fingerprints = {
+            "full": (self._r_points.fingerprint(), self._s_points.fingerprint()),
+            "spot": (
+                self._r_points.spot_fingerprint(),
+                self._s_points.spot_fingerprint(),
+            ),
+        }
+
+    def _check_inputs_fresh(self, full: bool = False) -> None:
+        """Raise if the input point sets were mutated behind the session's back.
+
+        The session's prepared structures are built from the open-time (or
+        last :meth:`update`-time) content of ``r_points`` / ``s_points``;
+        in-place mutation would silently serve draws from a stale join.  The
+        cheap strided spot check runs on every request; ``full=True`` (cold
+        entry builds, :meth:`update`) compares the exhaustive fingerprint.
+        """
+        if full:
+            current = (self._r_points.fingerprint(), self._s_points.fingerprint())
+            expected = self._fingerprints["full"]
+        else:
+            current = (
+                self._r_points.spot_fingerprint(),
+                self._s_points.spot_fingerprint(),
+            )
+            expected = self._fingerprints["spot"]
+        if current != expected:
+            raise RuntimeError(
+                "the session's input point sets were mutated in place; the "
+                "prepared structures are stale.  Mutate through "
+                "SamplingSession.update() (or open a new session) instead."
+            )
 
     def spec_for(self, half_extent: float | None = None) -> JoinSpec:
         """The :class:`JoinSpec` of a request (cached per ``half_extent``)."""
@@ -271,6 +330,7 @@ class SamplingSession:
         jobs: int | None = None,
     ) -> _CacheEntry:
         self._check_open()
+        self._check_inputs_fresh()
         spec = self.spec_for(half_extent)
         name = self._default_algorithm if algorithm is None else self._check_algorithm(algorithm)
         if name == AUTO:
@@ -293,6 +353,7 @@ class SamplingSession:
                 if entry is not None:
                     self.stats.prepare_hits += 1
                     return entry
+            self._check_inputs_fresh(full=True)
             if effective_jobs > 1:
                 sampler: JoinSampler = ShardedSampler(
                     spec,
@@ -301,6 +362,14 @@ class SamplingSession:
                     sampler_options=self._sampler_options,
                 )
                 entry_lock = None  # sharded samplers lock per shard
+            elif get_sampler(name).supports_updates:
+                # Maintainable algorithms are served through the dynamic
+                # wrapper, so SamplingSession.update() can patch their
+                # structures in place instead of dropping the cache entry.
+                # Before the first update the wrapper is a pure pass-through
+                # (draws are bit-identical to the plain sampler).
+                sampler = DynamicSampler(spec, algorithm=name, **self._sampler_options)
+                entry_lock = threading.Lock()
             else:
                 sampler = get_sampler(name).create(spec, **self._sampler_options)
                 entry_lock = threading.Lock()
@@ -426,6 +495,159 @@ class SamplingSession:
                     remaining -= size
 
         return chunks()
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        side: str,
+        insert: PointSet | tuple[np.ndarray, np.ndarray] | None = None,
+        delete: np.ndarray | None = None,
+    ) -> dict[str, Any]:
+        """Insert and/or delete points of one side with delta-aware cache upkeep.
+
+        Deletions are applied before insertions.  Every cached engine is
+        handled according to what its state supports:
+
+        * serial entries of maintainable algorithms (wrapped in
+          :class:`~repro.dynamic.DynamicSampler`) patch their structures in
+          place - grid cells, per-cell corner structures, bound-matrix rows
+          and the lazily rebuilt alias;
+        * sharded entries re-route through updated per-shard ``|J_i|``
+          weights: only the shards whose x-range the change touches are
+          rebuilt in their resident workers, and the strip plan is redone
+          only when the update skews the x-quantiles past a bound;
+        * everything else (non-maintainable serial engines) is dropped and
+          rebuilt lazily on the next request.
+
+        Returns a report of what was kept, resharded and dropped.  This is
+        the *only* sanctioned way to change the session's data: in-place
+        mutation of the input :class:`PointSet` arrays is detected by the
+        content-fingerprint guard and fails the next request.
+        """
+        if side not in ("r", "s"):
+            raise ValueError(f"side must be 'r' or 's', got {side!r}")
+        start = time.perf_counter()
+        with self._lock:
+            self._check_open()
+            self._check_inputs_fresh(full=True)
+            current = self._r_points if side == "r" else self._s_points
+
+            delete_ids = (
+                np.asarray(delete, dtype=np.int64)
+                if delete is not None
+                else np.empty(0, dtype=np.int64)
+            )
+            if insert is None:
+                ins_xs = np.empty(0)
+                ins_ys = np.empty(0)
+                ins_ids: np.ndarray | None = np.empty(0, dtype=np.int64)
+            elif isinstance(insert, PointSet):
+                ins_xs, ins_ys, ins_ids = insert.xs, insert.ys, insert.ids
+            else:
+                ins_xs = np.asarray(insert[0], dtype=np.float64)
+                ins_ys = np.asarray(insert[1], dtype=np.float64)
+                ins_ids = None  # the store auto-assigns fresh ids
+
+            # Apply the batch to a *transient* store first: it is the single
+            # source of truth for validation (unknown/duplicate delete ids,
+            # id collisions, finite coordinates) and for the delete-then-
+            # insert compaction order every maintained engine re-applies.  A
+            # failure here leaves the session (and every cached engine)
+            # exactly as it was.
+            store = DynamicPointStore(current)
+            try:
+                _positions, deleted_xs, _ys = store.delete(delete_ids)
+            except KeyError as exc:
+                raise KeyError(f"cannot delete unknown point ids: {exc}") from None
+            ins_ids = store.insert(ins_xs, ins_ys, ids=ins_ids)
+            new_side = store.snapshot()
+            changed_xs = np.concatenate((deleted_xs, ins_xs))
+            interval = (
+                (float(changed_xs.min()), float(changed_xs.max()))
+                if changed_xs.size
+                else None
+            )
+            if side == "r":
+                self._r_points = new_side
+            else:
+                self._s_points = new_side
+
+            kept: list[tuple[str, float, int]] = []
+            resharded: list[tuple[str, float, int]] = []
+            dropped: list[tuple[str, float, int]] = []
+            failures: list[str] = []
+            for key, entry in list(self._entries.items()):
+                _name, half_extent, _jobs = key
+                new_spec = JoinSpec(
+                    r_points=self._r_points,
+                    s_points=self._s_points,
+                    half_extent=half_extent,
+                )
+                sampler = entry.sampler
+                try:
+                    if isinstance(sampler, DynamicSampler):
+                        lock = entry.lock
+                        assert lock is not None
+                        with lock:
+                            sampler.update(
+                                side,
+                                insert=(ins_xs, ins_ys) if ins_xs.size else None,
+                                insert_ids=ins_ids if ins_xs.size else None,
+                                delete=delete_ids if delete_ids.size else None,
+                            )
+                        entry.spec = new_spec
+                        kept.append(key)
+                    elif isinstance(sampler, ShardedSampler):
+                        sampler.apply_update(
+                            new_spec,
+                            r_interval=interval if side == "r" else None,
+                            s_interval=interval if side == "s" else None,
+                        )
+                        entry.spec = new_spec
+                        resharded.append(key)
+                    else:
+                        closer = getattr(sampler, "close", None)
+                        if callable(closer):
+                            closer()
+                        del self._entries[key]
+                        dropped.append(key)
+                except Exception as exc:
+                    # Fault isolation: a failed engine must not leave the
+                    # session half-updated.  Drop the entry (it rebuilds
+                    # lazily from the new data on the next request) and keep
+                    # the remaining engines consistent.
+                    closer = getattr(sampler, "close", None)
+                    if callable(closer):
+                        try:
+                            closer()
+                        except Exception:  # pragma: no cover - best effort
+                            pass
+                    self._entries.pop(key, None)
+                    dropped.append(key)
+                    failures.append(f"{key}: {exc}")
+
+            # Workload statistics changed: cached specs and plans are stale.
+            self._specs.clear()
+            self._plans.clear()
+            self._refresh_fingerprints()
+            self.stats.updates += 1
+            self.stats.update_seconds += time.perf_counter() - start
+            if failures:
+                raise RuntimeError(
+                    "the update was applied, but some cached engines failed "
+                    "to maintain their structures and were dropped (they "
+                    "rebuild on the next request): " + "; ".join(failures)
+                )
+            return {
+                "side": side,
+                "inserted": int(ins_xs.shape[0]),
+                "deleted": int(delete_ids.size),
+                "maintained": [list(key) for key in kept],
+                "resharded": [list(key) for key in resharded],
+                "dropped": [list(key) for key in dropped],
+            }
 
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, Any]:

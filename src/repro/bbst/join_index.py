@@ -141,12 +141,18 @@ class BBSTJoinIndex:
     #: this index's corner sampling (True for the BBST's bucket slots).
     needs_slot_variates = True
 
+    #: Whether the per-cell corner structures depend on the bucket capacity
+    #: (and must therefore all be rebuilt when ``ceil(log2 m)`` changes under
+    #: updates).  The kd-tree ablation overrides this with False.
+    capacity_dependent = True
+
     __slots__ = (
         "_points",
         "_half_extent",
         "_grid",
         "_cell_indexes",
         "_capacity",
+        "_capacity_override",
         "_bucket_arrays",
     )
 
@@ -158,6 +164,7 @@ class BBSTJoinIndex:
     ) -> None:
         self._points = s_points
         self._half_extent = validate_half_extent(half_extent)
+        self._capacity_override = bucket_capacity is not None
         self._capacity = (
             int(bucket_capacity)
             if bucket_capacity is not None
@@ -173,14 +180,55 @@ class BBSTJoinIndex:
     def _build_cell_structures(self) -> None:
         """Build the per-cell corner structures (two BBSTs per cell).
 
-        Subclasses (e.g. the Fig. 9 per-cell kd-tree ablation) override this
-        together with :meth:`_corner_upper_bound` and :meth:`_corner_sample`
-        to swap the corner-cell data structure while keeping the grid-based
-        case 1/2 handling identical.
+        Subclasses (e.g. the Fig. 9 per-cell kd-tree ablation) override
+        :meth:`_refresh_cell` together with :meth:`_corner_upper_bound` and
+        :meth:`_corner_sample` to swap the corner-cell data structure while
+        keeping the grid-based case 1/2 handling identical.
         """
-        self._cell_indexes = {
-            key: CellIndex(cell, self._capacity) for key, cell in self._grid.cells.items()
-        }
+        self._cell_indexes = {}
+        for key, cell in self._grid.cells.items():
+            self._refresh_cell(key, cell)
+
+    def _refresh_cell(self, key: tuple[int, int], cell: GridCell | None) -> None:
+        """(Re)build the corner structure of one cell (``None`` drops it)."""
+        if cell is None:
+            self._cell_indexes.pop(key, None)
+        else:
+            self._cell_indexes[key] = CellIndex(cell, self._capacity)
+
+    def apply_cell_updates(
+        self,
+        replacements: dict[tuple[int, int], GridCell | None],
+        num_points: int,
+        points: PointSet | None = None,
+    ) -> bool:
+        """Incrementally maintain the index after grid cells changed.
+
+        The grid itself must already have been updated (see
+        :meth:`repro.grid.grid.Grid.apply_cell_updates`); this rebuilds only
+        the *affected* per-cell corner structures.  When the inner set's size
+        crossed a power of two - so the paper's ``ceil(log2 m)`` bucket
+        capacity changed and every bucket partition with it - all cell
+        structures are rebuilt instead (unless an explicit capacity override
+        pins it, or the subclass is capacity-independent).
+
+        Returns True when *every* cell structure was rebuilt (the caller must
+        then refresh all corner bounds, not just the affected rows).
+        """
+        if points is not None:
+            self._points = points
+        rebuilt_all = False
+        if self.capacity_dependent and not self._capacity_override:
+            fresh_capacity = bucket_capacity_for(num_points)
+            if fresh_capacity != self._capacity:
+                self._capacity = fresh_capacity
+                self._build_cell_structures()
+                rebuilt_all = True
+        if not rebuilt_all:
+            for key, cell in replacements.items():
+                self._refresh_cell(key, cell)
+        self._bucket_arrays = None
+        return rebuilt_all
 
     # ------------------------------------------------------------------
     @property

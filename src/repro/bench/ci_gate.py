@@ -12,11 +12,16 @@ Run as ``python -m repro.bench.ci_gate``.  The gate
    ``jobs=4`` on n = m = 100,000 versus the serial one-shot path - and
    requires both the committed end-to-end speedup floor *and* bit-identical
    per-shard weight totals,
-4. writes the measurements to ``BENCH_ci.json``, and
-5. compares against the committed ``benchmarks/baseline_ci.json``: any
+4. with ``--dynamic``, runs the ``update_throughput`` experiment - rounds of
+   incremental insert/delete maintenance through the dynamic-update engine
+   versus one full rebuild per round - and requires both the committed
+   speedup floor *and* a bit-identical maintained state versus a fresh
+   build over the final ``(R, S)``,
+5. writes the measurements to ``BENCH_ci.json``, and
+6. compares against the committed ``benchmarks/baseline_ci.json``: any
    ``(dataset, algorithm)`` sampling-phase row slower than ``factor``
-   (default 2) times its baseline fails, and any session-reuse or parallel
-   speedup below its baseline *minimum* fails.
+   (default 2) times its baseline fails, and any session-reuse, parallel or
+   dynamic speedup below its baseline *minimum* fails.
 
 The committed baseline holds *generous* values (local measurements rounded
 up / down) so that ordinary CI-runner jitter passes while a reintroduced
@@ -41,6 +46,7 @@ from repro.bench.workloads import ExperimentScale
 __all__ = [
     "collect_measurements",
     "collect_parallel_measurements",
+    "collect_dynamic_measurements",
     "compare_to_baseline",
     "as_baseline",
     "main",
@@ -69,6 +75,14 @@ GATE_PARALLEL_SAMPLES = 10_000
 
 #: The parallel measurement is only meaningful with real parallelism.
 GATE_PARALLEL_MIN_CPUS = 2
+
+#: Dynamic-gate workload: rounds of +/- ``GATE_DYNAMIC_BATCH`` point updates
+#: on n = m = 20,000 uniform points, incremental maintenance vs one full
+#: rebuild per round (the configuration whose floor is committed).
+GATE_DYNAMIC_ROUNDS = 5
+GATE_DYNAMIC_BATCH = 500
+GATE_DYNAMIC_POINTS = 40_000
+GATE_DYNAMIC_SAMPLES = 2_000
 
 DEFAULT_BASELINE = Path("benchmarks") / "baseline_ci.json"
 DEFAULT_OUTPUT = Path("BENCH_ci.json")
@@ -156,6 +170,32 @@ def collect_parallel_measurements(repeats: int = 2) -> dict:
     return {key: round(value, 3) for key, value in sorted(best.items())}
 
 
+def collect_dynamic_measurements(repeats: int = 2) -> dict:
+    """Best-of-``repeats`` incremental-update speedups over full rebuild.
+
+    Every row must report a bit-identical maintained state versus a fresh
+    build over the final ``(R, S)`` (``state_match``); a mismatching row is
+    recorded as speedup 0.0 so the floor comparison fails loudly rather than
+    rewarding a drifted distribution.
+    """
+    _title, dynamic = EXPERIMENTS["dynamic"]
+    best: dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        rows = dynamic(
+            scale=ExperimentScale.SMOKE,
+            rounds=GATE_DYNAMIC_ROUNDS,
+            batch=GATE_DYNAMIC_BATCH,
+            total_points=GATE_DYNAMIC_POINTS,
+            num_samples=GATE_DYNAMIC_SAMPLES,
+        )
+        for row in rows:
+            key = _row_key(row)
+            speedup = float(row["speedup"]) if row["state_match"] else 0.0
+            if key not in best or speedup > best[key]:
+                best[key] = speedup
+    return {key: round(value, 3) for key, value in sorted(best.items())}
+
+
 def as_baseline(current: dict) -> dict:
     """Turn raw measurements into a committed-baseline payload with slack.
 
@@ -164,16 +204,16 @@ def as_baseline(current: dict) -> dict:
     1.05x) because the gate compares them directly - run-to-run jitter passes
     while a session that rebuilds its structures per request (~1.0x) fails.
     """
-    payload = dict(current)
-    payload["session_speedup"] = {
-        key: round(max(1.05, value / 2.0), 3)
-        for key, value in current.get("session_speedup", {}).items()
-    }
-    if "parallel_speedup" in current:
-        payload["parallel_speedup"] = {
-            key: round(max(1.05, value / 2.0), 3)
-            for key, value in current["parallel_speedup"].items()
+    def halved_floors(section: dict) -> dict:
+        return {
+            key: round(max(1.05, value / 2.0), 3) for key, value in section.items()
         }
+
+    payload = dict(current)
+    payload["session_speedup"] = halved_floors(current.get("session_speedup", {}))
+    for section in ("parallel_speedup", "dynamic_speedup"):
+        if section in current:
+            payload[section] = halved_floors(current[section])
     return payload
 
 
@@ -245,6 +285,32 @@ def compare_to_baseline(
             problems.append(
                 f"parallel_speedup {key}: missing from the committed baseline"
             )
+
+    # The dynamic section is opt-in (--dynamic) for the same reason: only
+    # payloads that measured it are held to the committed floors.
+    current_dynamic = current.get("dynamic_speedup")
+    baseline_dynamic = baseline.get("dynamic_speedup", {})
+    if current_dynamic is not None:
+        for key, required in sorted(baseline_dynamic.items()):
+            measured = current_dynamic.get(key)
+            if measured is None:
+                problems.append(
+                    f"dynamic_speedup {key}: missing from the current measurements"
+                )
+                continue
+            if measured < required:
+                problems.append(
+                    f"dynamic_speedup {key}: incremental maintenance only "
+                    f"{measured:.2f}x faster than a full rebuild per change, "
+                    f"below the required {required:.2f}x "
+                    f"(rounds={GATE_DYNAMIC_ROUNDS}, batch={GATE_DYNAMIC_BATCH}, "
+                    f"n=m={GATE_DYNAMIC_POINTS // 2:,}) - or the maintained "
+                    "state drifted from the fresh-build state"
+                )
+        for key in sorted(set(current_dynamic) - set(baseline_dynamic)):
+            problems.append(
+                f"dynamic_speedup {key}: missing from the committed baseline"
+            )
     return problems
 
 
@@ -276,6 +342,12 @@ def main(argv: list[str] | None = None) -> int:
         f"(jobs={GATE_PARALLEL_JOBS}, n=m={GATE_PARALLEL_POINTS // 2:,}; "
         "multi-core machines only)",
     )
+    parser.add_argument(
+        "--dynamic", action="store_true",
+        help="also measure the incremental-update speedup floor "
+        f"(rounds={GATE_DYNAMIC_ROUNDS}, batch={GATE_DYNAMIC_BATCH}, "
+        f"n=m={GATE_DYNAMIC_POINTS // 2:,})",
+    )
     args = parser.parse_args(argv)
 
     current = collect_measurements(repeats=args.repeats)
@@ -289,6 +361,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             current["parallel_speedup"] = collect_parallel_measurements()
+    if args.dynamic:
+        current["dynamic_speedup"] = collect_dynamic_measurements()
     args.output.write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {args.output}")
     for key, seconds in current["sampling_seconds"].items():
@@ -297,6 +371,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  session_reuse {key}: {speedup:.2f}x")
     for key, speedup in current.get("parallel_speedup", {}).items():
         print(f"  parallel_speedup {key}: {speedup:.2f}x")
+    for key, speedup in current.get("dynamic_speedup", {}).items():
+        print(f"  dynamic_speedup {key}: {speedup:.2f}x")
 
     if args.write_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)

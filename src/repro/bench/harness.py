@@ -41,6 +41,7 @@ from repro.core.full_join import join_size, spatial_range_join
 from repro.core.registry import create_sampler, get_sampler, sampler_names
 from repro.datasets.partition import split_r_s
 from repro.datasets.synthetic import uniform_points
+from repro.dynamic.sampler import DynamicSampler
 from repro.parallel.sharded import ShardedSampler
 from repro.stats.accuracy import counting_accuracy_report
 from repro.stats.uniformity import uniformity_report
@@ -52,6 +53,7 @@ __all__ = [
     "run_vectorization_speedup",
     "run_session_reuse",
     "run_parallel_speedup",
+    "run_update_throughput",
     "run_baseline_comparison",
     "run_fig4_memory",
     "run_fig5_range_size",
@@ -376,6 +378,141 @@ def run_parallel_speedup(
                 "speedup": serial_seconds / max(sharded_seconds, 1e-9),
                 "serial_pairs": len(serial_result),
                 "sharded_pairs": len(sharded_result),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Dynamic engine - incremental update throughput vs full rebuild
+# ----------------------------------------------------------------------
+
+#: Synthetic point budgets of the dynamic experiment (before the R/S split).
+_DYNAMIC_SCALE_POINTS: dict[ExperimentScale, int] = {
+    ExperimentScale.SMOKE: 40_000,  # n = m = 20,000
+    ExperimentScale.PAPER: 200_000,  # n = m = 100,000
+}
+
+#: Window half-extent of the dynamic experiment (the paper's default l=100).
+DYNAMIC_HALF_EXTENT = 100.0
+
+
+def run_update_throughput(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    num_samples: int | None = None,
+    rounds: int = 5,
+    batch: int = 500,
+    total_points: int | None = None,
+    algorithms: Sequence[str] = ("bbst",),
+    rebuild_threshold: float = 0.1,
+    seed: int = 47,
+) -> list[Row]:
+    """Incremental insert/delete maintenance versus full rebuild per change.
+
+    Each round deletes ``batch // 2`` random points from one side, inserts
+    ``batch - batch // 2`` fresh uniform points into it (sides alternate,
+    so both R-row and S-cell maintenance paths are exercised) and then draws
+    ``t`` samples.  The incremental side applies the rounds through
+    :class:`~repro.dynamic.DynamicSampler`; the rebuild baseline pays a full
+    fresh ``prepare()`` (offline + build + count) per round, which is what a
+    static-only deployment would do after every change.
+
+    The workload is pinned (uniform synthetic points, the paper's ``l``), so
+    the committed CI floor cannot drift with the proxy catalogue
+    (``workloads`` / ``datasets`` are accepted for registry uniformity and
+    ignored).  Every row also records ``state_match``: after the final
+    round, the maintained bound matrix and ``sum_mu`` must equal a freshly
+    built sampler's *bit for bit* - the gate scores a mismatching row 0.0 so
+    the speedup can never be bought with a drifted distribution.
+    """
+    del workloads, datasets  # pinned workload; see docstring
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    if batch < 2:
+        raise ValueError("batch must be at least 2")
+    points_budget = (
+        int(total_points)
+        if total_points is not None
+        else _DYNAMIC_SCALE_POINTS[scale]
+    )
+    t = (2_000 if scale is ExperimentScale.SMOKE else 10_000) if num_samples is None else num_samples
+    rng = np.random.default_rng(seed)
+    points = uniform_points(points_budget, rng, name=f"uniform-{points_budget // 2_000}k")
+    r_points, s_points = split_r_s(points, rng)
+    spec = JoinSpec(
+        r_points=r_points, s_points=s_points, half_extent=DYNAMIC_HALF_EXTENT
+    )
+    dataset = f"uniform-{spec.n // 1_000}k"
+
+    rows: list[Row] = []
+    for name in algorithms:
+        dynamic = DynamicSampler(
+            spec, algorithm=name, rebuild_threshold=rebuild_threshold
+        )
+        dynamic.prepare()
+        update_rng = np.random.default_rng(seed + 1)
+        update_seconds = 0.0
+        draw_seconds = 0.0
+        changed = 0
+        for round_index in range(rounds):
+            side = "s" if round_index % 2 == 0 else "r"
+            live = dynamic.s_points if side == "s" else dynamic.r_points
+            deletions = min(batch // 2, max(0, len(live) - 1))
+            insertions = batch - deletions
+            delete_ids = update_rng.choice(live.ids, size=deletions, replace=False)
+            ins_xs = update_rng.uniform(0.0, 10_000.0, size=insertions)
+            ins_ys = update_rng.uniform(0.0, 10_000.0, size=insertions)
+            start = time.perf_counter()
+            dynamic.update(side, insert=(ins_xs, ins_ys), delete=delete_ids)
+            update_seconds += time.perf_counter() - start
+            changed += insertions + deletions
+            start = time.perf_counter()
+            result = dynamic.sample(t, seed=seed + round_index)
+            draw_seconds += time.perf_counter() - start
+            assert len(result) == t
+
+        final_spec = JoinSpec(
+            r_points=dynamic.r_points,
+            s_points=dynamic.s_points,
+            half_extent=DYNAMIC_HALF_EXTENT,
+        )
+        fresh = create_sampler(name, final_spec)
+        fresh_timings = fresh.prepare()
+        rebuild_once = (
+            fresh_timings.preprocess_seconds + fresh_timings.total_seconds
+        )
+        rebuild_seconds = rebuild_once * rounds
+
+        dynamic.flush()
+        fresh_runtime = getattr(fresh, "runtime", None)
+        dynamic_runtime = dynamic.inner.runtime
+        state_match = bool(
+            fresh_runtime is not None
+            and dynamic_runtime is not None
+            and dynamic_runtime.sum_mu == fresh_runtime.sum_mu
+            and np.array_equal(dynamic_runtime.bounds, fresh_runtime.bounds)
+        )
+
+        rows.append(
+            {
+                "dataset": dataset,
+                "algorithm": name,
+                "n": final_spec.n,
+                "m": final_spec.m,
+                "t": t,
+                "rounds": rounds,
+                "batch": batch,
+                "points_changed": changed,
+                "state_match": state_match,
+                "update_seconds": update_seconds,
+                "updates_per_second": changed / max(update_seconds, 1e-9),
+                "rebuild_seconds": rebuild_seconds,
+                "speedup": rebuild_seconds / max(update_seconds, 1e-9),
+                "post_update_draw_seconds": draw_seconds / rounds,
+                "alias_rebuilds": dynamic.alias_rebuilds,
+                "cumulative_rebuilds": dynamic.cumulative_rebuilds,
             }
         )
     return rows

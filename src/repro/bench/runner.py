@@ -25,6 +25,7 @@ from repro.bench.harness import (
     run_table3_decomposed_times,
     run_table4_sampling,
     run_uniformity_experiment,
+    run_update_throughput,
     run_vectorization_speedup,
 )
 from repro.bench.reporting import format_markdown_table, format_table
@@ -55,6 +56,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]]]] = {
     "parallel": (
         "Extra - shard-parallel build/count speedup over the serial path",
         run_parallel_speedup,
+    ),
+    "dynamic": (
+        "Extra - incremental update throughput vs full rebuild per change",
+        run_update_throughput,
     ),
     "uniformity": ("Extra - uniformity of produced samples", run_uniformity_experiment),
 }

@@ -9,7 +9,10 @@
   :class:`~repro.api.session.SamplingSession` (repeat requests reuse the
   cached structures) and print the pairs (or write them to CSV).
 * ``plan`` - show which algorithm ``--algorithm auto`` would pick for a
-  workload, and why.
+  workload, and why (``--update-heavy`` restricts it to maintainable ones).
+* ``update`` - stream rounds of point insertions/deletions through
+  ``SamplingSession.update`` (the dynamic-update engine) while serving
+  draws, printing the per-round update throughput.
 
 Algorithms are resolved from the sampler registry
 (:mod:`repro.core.registry`), so a sampler registered with
@@ -122,6 +125,39 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--size", type=int, default=None, help="proxy size (points)")
     plan.add_argument("--half-extent", type=float, default=DEFAULT_HALF_EXTENT)
     plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument(
+        "--update-heavy",
+        action="store_true",
+        help="plan for a workload that mutates (R, S) between requests "
+        "(restricts the choice to incrementally maintainable algorithms)",
+    )
+
+    update = subparsers.add_parser(
+        "update",
+        help="serve draws while streaming point insertions/deletions through "
+        "SamplingSession.update (the dynamic-update engine)",
+    )
+    update.add_argument("--dataset", choices=DATASET_NAMES, default="castreet")
+    update.add_argument("--size", type=int, default=None, help="proxy size (points)")
+    update.add_argument(
+        "--algorithm",
+        choices=_algorithm_choices(),
+        default="bbst",
+        help="algorithm to maintain (maintainable ones keep their structures; "
+        "others are rebuilt per round)",
+    )
+    update.add_argument("--half-extent", type=float, default=DEFAULT_HALF_EXTENT)
+    update.add_argument("--seed", type=int, default=0)
+    update.add_argument(
+        "--rounds", type=int, default=5, help="number of update+draw rounds"
+    )
+    update.add_argument(
+        "--batch",
+        type=int,
+        default=200,
+        help="points inserted and deleted per round (alternating R/S sides)",
+    )
+    update.add_argument("-t", "--num-samples", type=int, default=1_000)
 
     return parser
 
@@ -261,11 +297,69 @@ def _command_plan(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     points = load_proxy(args.dataset, size=args.size)
     r_points, s_points = split_r_s(points, rng)
+    if args.update_heavy:
+        from repro.api.planner import plan_algorithm
+        from repro.core.config import JoinSpec
+
+        spec = JoinSpec(
+            r_points=r_points, s_points=s_points, half_extent=args.half_extent
+        )
+        print(f"dataset: {args.dataset} (n={spec.n:,}, m={spec.m:,}, update-heavy)")
+        print(plan_algorithm(spec, update_heavy=True).explain())
+        return 0
     session = SamplingSession(
         r_points, s_points, half_extent=args.half_extent, eager=False
     )
     print(f"dataset: {args.dataset} (n={session.n:,}, m={session.m:,})")
     print(session.plan().explain())
+    return 0
+
+
+def _command_update(args: argparse.Namespace) -> int:
+    import time
+
+    if args.rounds < 1:
+        print("error: --rounds must be at least 1", file=sys.stderr)
+        return 2
+    if args.batch < 2:
+        print("error: --batch must be at least 2", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    session = _open_session(args)
+    first = session.draw(args.num_samples, seed=args.seed)
+    print(
+        f"opened: {first.sampler_name}: {len(first)} samples in "
+        f"{first.timings.total_seconds:.3f}s (build+count paid once)"
+    )
+    changed = 0
+    for round_index in range(args.rounds):
+        side = "s" if round_index % 2 == 0 else "r"
+        points = session.s_points if side == "s" else session.r_points
+        deletions = min(args.batch // 2, max(0, len(points) - 1))
+        insertions = args.batch - deletions
+        delete_ids = rng.choice(points.ids, size=deletions, replace=False)
+        ins_xs = rng.uniform(0.0, 10_000.0, size=insertions)
+        ins_ys = rng.uniform(0.0, 10_000.0, size=insertions)
+        start = time.perf_counter()
+        report = session.update(side, insert=(ins_xs, ins_ys), delete=delete_ids)
+        update_seconds = time.perf_counter() - start
+        changed += insertions + deletions
+        result = session.draw(args.num_samples, seed=args.seed + round_index + 1)
+        print(
+            f"round {round_index + 1}: {side.upper()} +{report['inserted']} "
+            f"-{report['deleted']} in {update_seconds * 1e3:.1f}ms "
+            f"({(insertions + deletions) / max(update_seconds, 1e-9):,.0f} updates/s), "
+            f"then {len(result)} draws in {result.timings.sample_seconds * 1e3:.1f}ms "
+            f"(maintained {len(report['maintained'])}, "
+            f"resharded {len(report['resharded'])}, "
+            f"dropped {len(report['dropped'])} engines)"
+        )
+    stats = session.stats
+    print(
+        f"session: {stats.updates} update batches ({changed} points changed) in "
+        f"{stats.update_seconds:.3f}s, {stats.requests} draw requests, "
+        f"n={session.n:,} m={session.m:,}"
+    )
     return 0
 
 
@@ -283,6 +377,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_sample(args)
     if args.command == "plan":
         return _command_plan(args)
+    if args.command == "update":
+        return _command_update(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -288,6 +288,18 @@ class JoinSampler(abc.ABC):
         """Whether the subclass has cached its build/count results."""
         return False
 
+    def rebind_spec(self, spec: JoinSpec) -> None:
+        """Point the sampler at a new join instance *without* resetting state.
+
+        This is a maintenance hook for the dynamic-update subsystem
+        (:mod:`repro.dynamic`): after an incremental update the maintained
+        online structures already describe the new ``(R, S)``, so only the
+        spec reference needs to move.  Callers are responsible for keeping
+        the cached structures consistent with the new spec - ordinary code
+        should build a fresh sampler instead.
+        """
+        self._spec = spec
+
     def sample_without_replacement(
         self,
         t: int,

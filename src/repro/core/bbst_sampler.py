@@ -26,6 +26,7 @@ __all__ = ["BBSTSampler"]
     "bbst",
     tags=("online", "comparison", "grid"),
     summary="the paper's grid + per-cell BBST sampler (Section IV)",
+    supports_updates=True,
 )
 class BBSTSampler(GridJoinSamplerBase):
     """The paper's O~(n + m + t) expected-time join sampler.

@@ -38,14 +38,24 @@ class CellKDTreeJoinIndex(BBSTJoinIndex):
     #: Exact corner sampling never rejects, so no slot variates are needed.
     needs_slot_variates = False
 
+    #: kd-trees do not depend on the bucket capacity, so a size change never
+    #: forces a full rebuild under dynamic updates.
+    capacity_dependent = False
+
     def _build_cell_structures(self) -> None:
         self._cell_indexes = {}
         self._cell_trees: dict[tuple[int, int], KDTree] = {}
         for key, cell in self._grid.cells.items():
-            cell_points = PointSet(
-                xs=cell.xs_by_x, ys=cell.ys_by_x, ids=cell.ids_by_x, name="cell"
-            )
-            self._cell_trees[key] = KDTree(cell_points, leaf_size=8)
+            self._refresh_cell(key, cell)
+
+    def _refresh_cell(self, key: tuple[int, int], cell: GridCell | None) -> None:
+        if cell is None:
+            self._cell_trees.pop(key, None)
+            return
+        cell_points = PointSet(
+            xs=cell.xs_by_x, ys=cell.ys_by_x, ids=cell.ids_by_x, name="cell"
+        )
+        self._cell_trees[key] = KDTree(cell_points, leaf_size=8)
 
     def cell_tree(self, key: tuple[int, int]) -> KDTree | None:
         """The per-cell kd-tree stored under ``key`` (``None`` for empty cells)."""
@@ -182,6 +192,7 @@ class CellKDTreeJoinIndex(BBSTJoinIndex):
     aliases=("cell_kdtree",),
     tags=("online", "grid"),
     summary="Algorithm 1 with per-cell kd-trees (Fig. 9 ablation)",
+    supports_updates=True,
 )
 class CellKDTreeSampler(GridJoinSamplerBase):
     """Algorithm 1 with per-cell kd-trees (the Fig. 9 comparison variant)."""

@@ -182,6 +182,30 @@ class GridJoinSamplerBase(JoinSampler):
         """The index built by the last ``sample()`` call (``None`` before that)."""
         return self._index
 
+    @property
+    def runtime(self) -> PreparedGridState | None:
+        """The cached count-phase output (``None`` before the first build)."""
+        return self._runtime
+
+    @property
+    def cell_ids(self) -> np.ndarray | None:
+        """The cached ``(n, 9)`` flat-cell-index matrix of the count phase."""
+        return self._cell_ids
+
+    def adopt_runtime(
+        self, state: PreparedGridState, cell_ids: np.ndarray | None
+    ) -> None:
+        """Install externally maintained online state (dynamic-update hook).
+
+        :class:`repro.dynamic.DynamicSampler` maintains the bound matrix, the
+        alias and the cell-id matrix incrementally and pushes them back here,
+        so the unchanged sampling phase serves draws from the updated state.
+        The inner-set id lookup is dropped because ``S`` may have changed.
+        """
+        self._runtime = state
+        self._cell_ids = cell_ids
+        self._s_position_sorter = None
+
     def index_nbytes(self) -> int:
         return self._index.nbytes() if self._index is not None else 0
 

@@ -62,6 +62,10 @@ class SamplerEntry:
     tags: frozenset[str] = field(default_factory=frozenset)
     aliases: tuple[str, ...] = ()
     summary: str = ""
+    #: Whether the sampler's online structures can be maintained under point
+    #: insertions / deletions by :class:`repro.dynamic.DynamicSampler`
+    #: (instead of requiring a full rebuild per change).
+    supports_updates: bool = False
 
     def create(self, spec: "JoinSpec", **kwargs: Any) -> "JoinSampler":
         """Instantiate the sampler on a join instance."""
@@ -83,6 +87,7 @@ def register_sampler(
     aliases: Iterable[str] = (),
     tags: Iterable[str] = (),
     summary: str = "",
+    supports_updates: bool = False,
 ) -> Callable[[Callable[..., "JoinSampler"]], Callable[..., "JoinSampler"]]:
     """Class decorator registering a sampler factory under ``name``.
 
@@ -90,6 +95,8 @@ def register_sampler(
     :func:`create_sampler` keys.  Registering a different factory under an
     already-taken name raises ``ValueError``; re-registering the *same*
     factory (e.g. a module reloaded under two paths) is a no-op.
+    ``supports_updates`` advertises that the sampler's online structures can
+    be incrementally maintained by :class:`repro.dynamic.DynamicSampler`.
     """
     key = _normalize(name)
     if not key:
@@ -118,6 +125,7 @@ def register_sampler(
             tags=frozenset(_normalize(tag) for tag in tags),
             aliases=tuple(_normalize(alias) for alias in aliases),
             summary=summary or (doc.splitlines()[0] if doc else ""),
+            supports_updates=bool(supports_updates),
         )
         for alias in entry.aliases:
             if alias in _REGISTRY or _ALIASES.get(alias, key) != key:

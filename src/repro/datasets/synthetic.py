@@ -26,12 +26,28 @@ __all__ = [
 _DOMAIN = 10_000.0
 
 
-def _clip_to_domain(xs: np.ndarray, ys: np.ndarray, domain: float) -> tuple[np.ndarray, np.ndarray]:
-    return np.clip(xs, 0.0, domain), np.clip(ys, 0.0, domain)
+def _reflect_axis(values: np.ndarray, domain: float) -> np.ndarray:
+    """Fold out-of-domain coordinates back into ``[0, domain]`` by reflection.
+
+    The triangle wave ``domain - |mod(v, 2 * domain) - domain|`` is the
+    identity on ``[0, domain]`` and mirrors overshoot back across the border
+    it crossed (``-eps -> eps``, ``domain + eps -> domain - eps``).  The old
+    ``np.clip`` here piled all out-of-domain Gaussian / random-walk mass into
+    point atoms *on* the domain border, which skewed join-size statistics for
+    boundary-near windows; reflection preserves a continuous distribution
+    with no boundary atoms.
+    """
+    return domain - np.abs(np.mod(values, 2.0 * domain) - domain)
+
+
+def _reflect_into_domain(
+    xs: np.ndarray, ys: np.ndarray, domain: float
+) -> tuple[np.ndarray, np.ndarray]:
+    return _reflect_axis(xs, domain), _reflect_axis(ys, domain)
 
 
 def _as_point_set(xs: np.ndarray, ys: np.ndarray, domain: float, name: str) -> PointSet:
-    xs, ys = _clip_to_domain(xs, ys, domain)
+    xs, ys = _reflect_into_domain(xs, ys, domain)
     return PointSet(xs=xs, ys=ys, name=name)
 
 
@@ -132,9 +148,12 @@ def random_walk_trajectories(
         steps = rng.exponential(step, size=length)
         xs = rng.uniform(0.0, domain) + np.cumsum(np.cos(headings) * steps)
         ys = rng.uniform(0.0, domain) + np.cumsum(np.sin(headings) * steps)
-        # Reflect walks that wander outside the domain back inside.
-        xs = np.abs(np.mod(xs, 2.0 * domain) - domain)
-        ys = np.abs(np.mod(ys, 2.0 * domain) - domain)
+        # Reflect walks that wander outside the domain back inside.  (The
+        # previous triangle wave was phase-shifted by half a period, which
+        # mirrored *in-domain* positions too; the shared helper is the
+        # identity inside the domain.)
+        xs = _reflect_axis(xs, domain)
+        ys = _reflect_axis(ys, domain)
         xs_parts.append(xs)
         ys_parts.append(ys)
     if not xs_parts:

@@ -1,0 +1,23 @@
+"""Dynamic updates: insert/delete with incremental structure maintenance.
+
+The paper's sampling structures are designed so the join-size bookkeeping can
+be maintained under point insertions and deletions; this package provides the
+reproduction's implementation of that claim:
+
+* :class:`~repro.dynamic.store.DynamicPointStore` - growable, id-addressed
+  point columns with order-preserving deletion.
+* :class:`~repro.dynamic.sampler.DynamicSampler` - wraps a maintainable
+  registered sampler (``supports_updates`` in the registry) and patches its
+  grid cells, per-cell corner structures, per-point bound rows and top-level
+  alias *in place* instead of rebuilding, with a lazy alias-rebuild policy
+  that keeps every draw exactly uniform over the current join.
+
+The session API reaches this engine through ``SamplingSession.update``; the
+CLI through the ``update`` sub-command; the benchmark through the
+``dynamic`` experiment id.
+"""
+
+from repro.dynamic.sampler import DynamicSampler, UpdateReport
+from repro.dynamic.store import DynamicPointStore
+
+__all__ = ["DynamicPointStore", "DynamicSampler", "UpdateReport"]

@@ -241,3 +241,43 @@ class PointSet:
     def nbytes(self) -> int:
         """Approximate memory footprint of the raw coordinate arrays."""
         return int(self._xs.nbytes + self._ys.nbytes + self._ids.nbytes)
+
+    # ------------------------------------------------------------------
+    # Content fingerprints (session staleness guard)
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> int:
+        """Order-sensitive content hash of the full (ids, xs, ys) columns.
+
+        The arrays are nominally read-only, but a determined caller can flip
+        the writeable flag and mutate them in place - which would silently
+        desynchronise any index built on top.  :class:`SamplingSession`
+        records this fingerprint when it opens and refuses to serve draws
+        from structures whose inputs no longer match (see
+        ``SamplingSession.update`` for the sanctioned mutation path).
+        """
+        return hash(
+            (self._xs.shape[0], self._xs.tobytes(), self._ys.tobytes(), self._ids.tobytes())
+        )
+
+    def spot_fingerprint(self, probes: int = 64) -> int:
+        """Cheap strided sub-sample of :meth:`fingerprint` for per-draw checks.
+
+        Hashes up to ``probes`` evenly strided elements of each column (plus
+        the length), so the cost is O(probes) regardless of the set size.
+        Detects any mutation touching a probed element - in particular whole
+        array overwrites - while staying cheap enough to run on every
+        request; :meth:`fingerprint` is the exhaustive variant.
+        """
+        size = self._xs.shape[0]
+        if size == 0:
+            return hash((0,))
+        stride = max(1, size // max(1, probes))
+        picked = slice(0, None, stride)
+        return hash(
+            (
+                size,
+                self._xs[picked].tobytes(),
+                self._ys[picked].tobytes(),
+                self._ids[picked].tobytes(),
+            )
+        )

@@ -27,11 +27,15 @@ from repro.geometry.rect import Rect
 from repro.grid.cell import GridCell
 from repro.grid.neighbors import NEIGHBOR_OFFSETS, NeighborKind
 
-__all__ = ["Grid", "GridFlat"]
+__all__ = ["Grid", "GridFlat", "pack_cell_keys", "PACK_LIMIT"]
 
 #: Packed-key lookups require cell indices to fit in 32 bits; coordinates
 #: beyond ``cell_size * 2**31`` fall back to per-point dict probes.
 _PACK_LIMIT = np.int64(2**31 - 1)
+
+#: Public alias of the packed-key coordinate limit (consumed by the
+#: dynamic-update engine to decide whether packed key sets are usable).
+PACK_LIMIT = _PACK_LIMIT
 
 
 @dataclass(frozen=True)
@@ -71,6 +75,15 @@ def _pack_keys(ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
     return (ix.astype(np.int64) << np.int64(32)) | (
         iy.astype(np.int64) & np.int64(0xFFFFFFFF)
     )
+
+
+def pack_cell_keys(ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+    """Public wrapper of the injective ``(ix, iy) -> int64`` key packing.
+
+    Callers must keep both components within :data:`PACK_LIMIT`; the
+    dynamic-update engine uses this to build packed affected-key sets.
+    """
+    return _pack_keys(np.asarray(ix, dtype=np.int64), np.asarray(iy, dtype=np.int64))
 
 
 class Grid:
@@ -211,6 +224,55 @@ class Grid:
             if cell is not None:
                 found.append((kind, cell))
         return found
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the dynamic-update subsystem's hooks)
+    # ------------------------------------------------------------------
+    def build_cell(
+        self, key: tuple[int, int], xs: np.ndarray, ys: np.ndarray, ids: np.ndarray
+    ) -> GridCell:
+        """Construct one cell in the canonical order a fresh grid build uses.
+
+        Points are sorted by ``(x, y)`` - exactly the per-cell order produced
+        by the construction-time lexsort - so a maintained cell is
+        bit-identical to the cell a fresh :class:`Grid` over the same points
+        would hold.
+        """
+        order = np.lexsort((ys, xs))
+        return GridCell(
+            key=key,
+            xs_by_x=np.asarray(xs, dtype=np.float64)[order],
+            ys_by_x=np.asarray(ys, dtype=np.float64)[order],
+            ids_by_x=np.asarray(ids, dtype=np.int64)[order],
+            bounds=Rect(
+                xmin=key[0] * self._cell_size,
+                ymin=key[1] * self._cell_size,
+                xmax=(key[0] + 1) * self._cell_size,
+                ymax=(key[1] + 1) * self._cell_size,
+            ),
+        )
+
+    def apply_cell_updates(
+        self, replacements: Mapping[tuple[int, int], GridCell | None]
+    ) -> None:
+        """Replace, add or drop cells and restore the canonical cell order.
+
+        ``replacements`` maps cell keys to their new :class:`GridCell`
+        (``None`` drops a now-empty cell).  The cell dictionary is rebuilt in
+        ascending ``(ix, iy)`` key order - the order a fresh construction
+        produces - so the lazily rebuilt flat view (and therefore every flat
+        cell index) matches a from-scratch grid over the same points.
+        """
+        for key, cell in replacements.items():
+            if cell is None:
+                self._cells.pop(key, None)
+            else:
+                if cell.key != key:
+                    raise ValueError(f"cell key {cell.key} does not match slot {key}")
+                self._cells[key] = cell
+        self._cells = dict(sorted(self._cells.items()))
+        self._size = sum(len(cell) for cell in self._cells.values())
+        self._flat = None
 
     # ------------------------------------------------------------------
     # Batch (vectorised) lookups

@@ -13,7 +13,7 @@ sub-instances that can be built, counted and sampled in isolation:
   and harmless, because a pair is only ever counted by the shard owning its
   ``r``.
 
-Formally, with interior edges ``e_1 <= ... <= e_{k-1}`` and
+Formally, with interior edges ``e_1 < ... < e_{k-1}`` and
 ``e_0 = -inf, e_k = +inf``, shard ``i`` owns
 
 ``R_i = {r in R : e_i <= r.x < e_{i+1}}`` and
@@ -22,6 +22,26 @@ Formally, with interior edges ``e_1 <= ... <= e_{k-1}`` and
 so ``J_i = {(r, s) in J : r in R_i}`` exactly.  Quantile edges (rather than
 equal-width strips) balance the build and counting work per shard even on
 heavily skewed data.
+
+Boundary conventions (audited; regression-tested with points placed exactly
+on edges and halo borders in ``tests/parallel/test_shard_plan.py``):
+
+* An ``R`` point with ``x`` exactly on an interior edge ``e_i`` belongs to
+  the strip *right* of the edge (``searchsorted(..., side="right")`` counts
+  the edges ``<= x``), matching the half-open ``[e_i, e_{i+1})`` intervals -
+  every point lands in exactly one strip, so every join pair is counted by
+  exactly one shard.
+* The ``S`` halo is closed on both sides (``>= e_i - l`` and
+  ``<= e_{i+1} + l``).  For a strip's own points this is a superset of what
+  can join (``r.x < e_{i+1}`` strictly, so ``s.x = e_{i+1} + l`` can only
+  join the *next* strip's edge point) - deliberate, because halo overlap is
+  harmless while a missing halo point would silently undercount.
+* Interior edges are **strictly increasing**: duplicate x-quantiles (heavy
+  ties in ``R``) are deduplicated, and edges that would leave a strip with
+  zero ``R`` points are dropped, folding the freed capacity into the
+  neighbouring strip instead of planning zero-weight shards that would each
+  spawn (and immediately idle) a worker process.  A plan may therefore hold
+  fewer strips than the requested ``jobs``.
 """
 
 from __future__ import annotations
@@ -94,12 +114,15 @@ class ShardPlan:
     # ------------------------------------------------------------------
     @classmethod
     def for_spec(cls, spec: JoinSpec, jobs: int) -> "ShardPlan":
-        """Plan ``jobs`` vertical strips over a join instance.
+        """Plan (at most) ``jobs`` vertical strips over a join instance.
 
         The interior edges are the x-quantiles of ``R`` (computed from the
         sorted x array at positions ``i * n // jobs``), so every shard owns
         ``n / jobs`` outer points up to rounding - the outer set drives the
-        counting work, which is what needs balancing.
+        counting work, which is what needs balancing.  Heavily duplicated x
+        coordinates collapse quantile edges; those are deduplicated and
+        R-empty strips folded into their neighbours, so the plan never holds
+        zero-width or zero-weight strips (and may hold fewer than ``jobs``).
         """
         jobs = validate_jobs(jobs)
         half = validate_half_extent(spec.half_extent)
@@ -107,16 +130,29 @@ class ShardPlan:
         s_xs = spec.s_points.xs
         n = r_xs.shape[0]
 
-        if jobs == 1:
+        if jobs == 1 or n == 0:
+            # One strip owns everything; with no outer points there is no
+            # work to balance and planning extra (necessarily zero-weight)
+            # strips would only spawn idle workers.
             edges = np.empty(0, dtype=np.float64)
-        elif n == 0:
-            # No outer points to balance on: arbitrary (zero) edges keep the
-            # strip intervals well-defined; every strip owns no R anyway.
-            edges = np.zeros(jobs - 1, dtype=np.float64)
         else:
             sorted_xs = np.sort(r_xs)
             cut_positions = (np.arange(1, jobs) * n) // jobs
             edges = sorted_xs[np.minimum(cut_positions, n - 1)]
+            # Duplicate x coordinates collapse quantile edges into
+            # zero-width strips; dedupe, then drop any edge that still
+            # bounds a strip with no R points (all duplicates of an edge
+            # value sort into the strip right of it), folding the freed
+            # capacity into the neighbouring strip.
+            edges = np.unique(edges)
+            while edges.size:
+                strip_of = np.searchsorted(edges, r_xs, side="right")
+                counts = np.bincount(strip_of, minlength=edges.size + 1)
+                empty_strips = np.flatnonzero(counts == 0)
+                if empty_strips.size == 0:
+                    break
+                first = int(empty_strips[0])
+                edges = np.delete(edges, first - 1 if first > 0 else 0)
 
         # Strip membership: the number of edges <= x.  Points exactly on an
         # edge go to the right strip, keeping the partition disjoint.
@@ -127,7 +163,7 @@ class ShardPlan:
         )
 
         shards: list[Shard] = []
-        for index in range(jobs):
+        for index in range(int(edges.size) + 1):
             x_lo = float(edges[index - 1]) if index > 0 else -np.inf
             x_hi = float(edges[index]) if index < edges.size else np.inf
             r_indices = np.flatnonzero(shard_of_r == index)
@@ -171,6 +207,7 @@ class ShardPlan:
         """JSON-friendly summary (service introspection and reports)."""
         return {
             "jobs": self.jobs,
+            "strips": len(self.shards),
             "half_extent": self.half_extent,
             "edges": [float(edge) for edge in self.edges],
             "shards": [

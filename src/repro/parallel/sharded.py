@@ -57,7 +57,7 @@ from repro.core.config import JoinSpec
 from repro.core.full_join import join_size
 from repro.core.registry import canonical_name, create_sampler
 from repro.core.validation import validate_jobs
-from repro.parallel.plan import ShardPlan
+from repro.parallel.plan import Shard, ShardPlan
 
 __all__ = ["ShardBuildReport", "ShardedSampler"]
 
@@ -102,6 +102,18 @@ class ShardBuildReport:
 # One resident sampler per worker process (each shard owns a single-worker
 # pool, so its worker builds exactly one sampler and keeps it for draws).
 _RESIDENT_SAMPLER: JoinSampler | None = None
+
+
+def _empty_report(task: _ShardTask) -> ShardBuildReport:
+    """Zero-weight report for a shard that is empty by construction."""
+    return ShardBuildReport(
+        index=task.index,
+        weight=0,
+        n=task.spec.n,
+        m=task.spec.m,
+        count_seconds=0.0,
+        prepare_seconds=0.0,
+    )
 
 
 def _count_and_build(task: _ShardTask) -> tuple[ShardBuildReport, JoinSampler | None]:
@@ -371,18 +383,24 @@ class ShardedSampler(JoinSampler):
         tasks: list[_ShardTask],
         executors: list[ProcessPoolExecutor | None],
     ) -> list[ShardBuildReport]:
-        """One single-worker executor per shard; builds run concurrently.
+        """One single-worker executor per non-empty shard; builds run concurrently.
 
         Each worker keeps the sampler it built (module global), so draws
         route to it later without the prepared structures ever crossing a
-        process boundary.
+        process boundary.  Shards whose sub-instance is empty by construction
+        get a zero-weight report without spawning a worker process at all.
         """
         futures = []
+        reports: list[ShardBuildReport] = []
         for task in tasks:
+            if task.spec.is_empty:
+                reports.append(_empty_report(task))
+                continue
             executor = ProcessPoolExecutor(max_workers=1)
             executors[task.index] = executor
             futures.append(executor.submit(_resident_build, task))
-        return [future.result() for future in futures]
+        reports.extend(future.result() for future in futures)
+        return reports
 
     @staticmethod
     def _shutdown_executors(executors: list[ProcessPoolExecutor | None]) -> None:
@@ -524,6 +542,166 @@ class ShardedSampler(JoinSampler):
             entry["prepare_seconds"] = report.prepare_seconds
             entry["index_nbytes"] = report.index_nbytes
         return description
+
+    # ------------------------------------------------------------------
+    # Dynamic updates: delta-aware re-routing of the shard composition
+    # ------------------------------------------------------------------
+    def apply_update(
+        self,
+        spec: JoinSpec,
+        r_interval: tuple[float, float] | None = None,
+        s_interval: tuple[float, float] | None = None,
+        skew_factor: float = 2.0,
+    ) -> dict[str, Any]:
+        """Re-route the composition after ``(R, S)`` changed, rebuilding minimally.
+
+        ``spec`` is the *new* join instance; ``r_interval`` / ``s_interval``
+        are closed x-ranges covering every inserted or deleted point of the
+        respective side (``None`` when that side did not change).  Only the
+        shards whose strip (R side) or halo'd slice (S side) intersects a
+        changed interval rebuild their resident samplers and exact ``|J_i|``
+        counts; every other shard keeps its prepared worker untouched, and
+        the top-level alias is rebuilt over the updated exact weights - so
+        the composed distribution stays exactly uniform over the new join.
+
+        The strip plan itself is kept unless the update skews the x-quantile
+        balance past ``skew_factor`` times the fair share (then the whole
+        engine resets and the next request replans from scratch).
+
+        Correctness of the kept shards relies on updates being confined to
+        the declared intervals *and* on order-preserving point compaction
+        (deletion keeps the relative order of survivors; insertion appends),
+        which is what :class:`repro.dynamic.store.DynamicPointStore` and
+        ``SamplingSession.update`` guarantee: an untouched shard then selects
+        the same points in the same order from the new arrays.
+        """
+        with self._build_lock:
+            if self._closed:
+                raise RuntimeError("the sharded sampler is closed")
+            built = self._built
+            if built is None:
+                # Nothing prepared yet: just re-aim the sampler; the next
+                # request plans and builds against the new instance.
+                self._spec = spec
+                self._plan = None
+                self._preprocessed = False
+                return {"replanned": True, "rebuilt_shards": [], "kept_shards": []}
+
+            plan = built.plan
+            half = plan.half_extent
+            r_xs = spec.r_points.xs
+            n = int(r_xs.shape[0])
+            strip_of = (
+                np.searchsorted(plan.edges, r_xs, side="right")
+                if n
+                else np.empty(0, dtype=np.int64)
+            )
+            counts = np.bincount(strip_of, minlength=len(plan.shards))
+            fair = max(1.0, n / max(len(plan.shards), 1))
+            if n == 0 or (len(plan.shards) > 1 and counts.max() > skew_factor * fair + 16):
+                # The x-quantile balance degraded (or R vanished): reset and
+                # let the next request replan cleanly.
+                self._shutdown_executors(built.executors)
+                self._built = None
+                self._plan = None
+                self._preprocessed = False
+                self._spec = spec
+                return {
+                    "replanned": True,
+                    "rebuilt_shards": list(range(len(plan.shards))),
+                    "kept_shards": [],
+                }
+
+            # Same edges, fresh membership arrays: surviving points keep
+            # their relative order, so untouched shards select the same
+            # points in the same order under the new positional indices.
+            s_xs = spec.s_points.xs
+            new_shards: list[Shard] = []
+            affected: list[int] = []
+            for shard in plan.shards:
+                r_indices = np.flatnonzero(strip_of == shard.index)
+                s_mask = (s_xs >= shard.x_lo - half) & (s_xs <= shard.x_hi + half)
+                new_shards.append(
+                    Shard(
+                        index=shard.index,
+                        x_lo=shard.x_lo,
+                        x_hi=shard.x_hi,
+                        r_indices=r_indices,
+                        s_indices=np.flatnonzero(s_mask),
+                    )
+                )
+                touches_r = r_interval is not None and (
+                    r_interval[0] < shard.x_hi and r_interval[1] >= shard.x_lo
+                )
+                touches_s = s_interval is not None and (
+                    s_interval[0] <= shard.x_hi + half
+                    and s_interval[1] >= shard.x_lo - half
+                )
+                if touches_r or touches_s:
+                    affected.append(shard.index)
+
+            new_plan = ShardPlan(
+                half_extent=half,
+                jobs=plan.jobs,
+                edges=plan.edges,
+                shards=tuple(new_shards),
+            )
+            pool_active = any(executor is not None for executor in built.executors)
+
+            # Freeze every shard for the swap: draws must not interleave with
+            # a half-updated composition (locks are acquired in index order;
+            # the draw path takes one shard lock at a time, so no deadlock).
+            for lock in self._shard_locks:
+                lock.acquire()
+            try:
+                futures: dict[int, Any] = {}
+                for index in affected:
+                    task = _ShardTask(
+                        index=index,
+                        algorithm=self._algorithm,
+                        spec=new_plan.subspec(spec, new_shards[index]),
+                        sampler_options=self._sampler_options,
+                    )
+                    if task.spec.is_empty:
+                        built.reports[index] = _empty_report(task)
+                        built.local_samplers[index] = None
+                        continue
+                    if pool_active:
+                        executor = built.executors[index]
+                        if executor is None:
+                            # This shard was empty at build time and never got
+                            # a worker; it has points now.
+                            executor = ProcessPoolExecutor(max_workers=1)
+                            built.executors[index] = executor
+                        futures[index] = executor.submit(_resident_build, task)
+                        built.local_samplers[index] = None
+                    else:
+                        report, sampler = _count_and_build(task)
+                        built.reports[index] = report
+                        built.local_samplers[index] = sampler
+                for index, future in futures.items():
+                    built.reports[index] = future.result()
+
+                weights = np.array(
+                    [report.weight for report in built.reports], dtype=np.int64
+                )
+                total = int(weights.sum())
+                built.weights = weights
+                built.total = total
+                built.alias = AliasTable(weights) if total > 0 else None
+                built.plan = new_plan
+                self._plan = new_plan
+                self._spec = spec
+            finally:
+                for lock in self._shard_locks:
+                    lock.release()
+            return {
+                "replanned": False,
+                "rebuilt_shards": affected,
+                "kept_shards": [
+                    shard.index for shard in new_shards if shard.index not in affected
+                ],
+            }
 
     def close(self) -> None:
         """Shut down the resident worker processes (idempotent)."""

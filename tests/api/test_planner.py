@@ -231,3 +231,48 @@ class TestPlannerProperties:
         assert report.rule in KNOWN_RULES
         assert report.stats.n == spec.n
         assert report.stats.m == spec.m
+
+
+class TestUpdateHeavyRule:
+    def _tiny_spec(self):
+        rng = np.random.default_rng(3)
+        points = uniform_points(300, rng)
+        r_points, s_points = split_r_s(points, rng)
+        return JoinSpec(r_points=r_points, s_points=s_points, half_extent=100.0)
+
+    def test_update_heavy_overrides_non_maintainable_choices(self):
+        # The tiny instance normally picks KDS, which cannot maintain its
+        # kd-tree under updates.
+        spec = self._tiny_spec()
+        static = plan_algorithm(spec)
+        assert static.algorithm == "kds"
+        dynamic = plan_algorithm(spec, update_heavy=True)
+        assert dynamic.algorithm == "bbst"
+        assert dynamic.rule == "update-heavy-maintainable"
+        assert "maintain" in dynamic.reason
+
+    def test_update_heavy_keeps_maintainable_choices(self):
+        rng = np.random.default_rng(5)
+        points = uniform_points(2_000, rng)
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=6_000.0)
+        static = plan_algorithm(spec)
+        assert static.algorithm == "bbst"  # dense-window rule
+        dynamic = plan_algorithm(spec, update_heavy=True)
+        assert dynamic.algorithm == static.algorithm
+        assert dynamic.rule == static.rule
+
+    def test_update_heavy_empty_input_picks_a_maintainable_sampler(self):
+        spec = JoinSpec(
+            r_points=PointSet.empty(), s_points=PointSet.empty(), half_extent=10.0
+        )
+        report = plan_algorithm(spec, update_heavy=True)
+        assert report.rule == "empty-input"
+        assert report.algorithm == "bbst"
+
+    def test_chosen_algorithm_supports_updates(self):
+        from repro.core.registry import get_sampler
+
+        for spec in (self._tiny_spec(),):
+            report = plan_algorithm(spec, update_heavy=True)
+            assert get_sampler(report.algorithm).supports_updates

@@ -7,12 +7,14 @@ import pytest
 from repro.bench.ci_gate import DEFAULT_FACTOR, as_baseline, compare_to_baseline, main
 
 
-def _payload(values, session=None, parallel=None):
+def _payload(values, session=None, parallel=None, dynamic=None):
     payload = {"meta": {}, "sampling_seconds": dict(values)}
     if session is not None:
         payload["session_speedup"] = dict(session)
     if parallel is not None:
         payload["parallel_speedup"] = dict(parallel)
+    if dynamic is not None:
+        payload["dynamic_speedup"] = dict(dynamic)
     return payload
 
 
@@ -118,6 +120,56 @@ class TestParallelGate:
 
     def test_as_baseline_without_parallel_section(self):
         assert "parallel_speedup" not in as_baseline(_payload({"d/A": 0.1}))
+
+
+class TestDynamicGate:
+    def test_passes_when_speedup_meets_the_floor(self):
+        baseline = _payload({}, dynamic={"uniform-20k/bbst": 2.0})
+        current = _payload({}, dynamic={"uniform-20k/bbst": 5.5})
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_fails_below_the_floor(self):
+        baseline = _payload({}, dynamic={"uniform-20k/bbst": 2.0})
+        current = _payload({}, dynamic={"uniform-20k/bbst": 1.1})
+        problems = compare_to_baseline(current, baseline)
+        assert len(problems) == 1
+        assert "dynamic_speedup uniform-20k/bbst" in problems[0]
+        assert "full rebuild" in problems[0]
+
+    def test_skipped_measurement_does_not_fail_the_floor(self):
+        # A run without --dynamic omits the section entirely; the committed
+        # floor must not fail it.
+        baseline = _payload({"d/A": 0.1}, dynamic={"uniform-20k/bbst": 2.0})
+        current = _payload({"d/A": 0.1})
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_measured_but_missing_row_fails(self):
+        baseline = _payload({}, dynamic={"uniform-20k/bbst": 2.0})
+        current = _payload({}, dynamic={})
+        problems = compare_to_baseline(current, baseline)
+        assert any("missing from the current measurements" in p for p in problems)
+
+    def test_unknown_row_fails(self):
+        baseline = _payload({}, dynamic={"uniform-20k/bbst": 2.0})
+        current = _payload({}, dynamic={"uniform-20k/bbst": 3.0, "x/y": 3.0})
+        problems = compare_to_baseline(current, baseline)
+        assert any("x/y" in p and "committed baseline" in p for p in problems)
+
+    def test_as_baseline_halves_dynamic_speedups(self):
+        current = _payload({}, dynamic={"uniform-20k/bbst": 6.0})
+        assert as_baseline(current)["dynamic_speedup"]["uniform-20k/bbst"] == pytest.approx(3.0)
+
+    def test_as_baseline_without_dynamic_section(self):
+        assert "dynamic_speedup" not in as_baseline(_payload({"d/A": 0.1}))
+
+    def test_committed_baseline_holds_the_dynamic_floor(self):
+        from pathlib import Path
+
+        committed_path = (
+            Path(__file__).resolve().parents[2] / "benchmarks" / "baseline_ci.json"
+        )
+        committed = json.loads(committed_path.read_text())
+        assert committed["dynamic_speedup"]["uniform-20k/bbst"] >= 1.5
 
 
 class TestMainEndToEnd:

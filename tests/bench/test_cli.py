@@ -166,6 +166,50 @@ class TestExecution:
         assert "plan:" in out
         assert "rule:" in out
 
+    def test_plan_update_heavy_recommends_a_maintainable_algorithm(self, capsys):
+        from repro.core.registry import get_sampler
+
+        code = main(
+            ["plan", "--dataset", "castreet", "--size", "400", "--update-heavy"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        chosen = out.split("plan: ")[1].split()[0]
+        assert get_sampler(chosen).supports_updates
+
+    def test_update_command_defaults(self):
+        args = build_parser().parse_args(["update"])
+        assert args.command == "update"
+        assert args.algorithm == "bbst"
+        assert args.rounds == 5
+        assert args.batch == 200
+
+    def test_update_run(self, capsys):
+        code = main(
+            [
+                "update",
+                "--dataset",
+                "castreet",
+                "--size",
+                "1500",
+                "--rounds",
+                "2",
+                "--batch",
+                "40",
+                "-t",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "updates/s" in out
+        assert "update batches" in out
+        assert "maintained 1" in out
+
+    def test_update_rejects_bad_rounds_and_batch(self):
+        assert main(["update", "--size", "1500", "--rounds", "0"]) == 2
+        assert main(["update", "--size", "1500", "--batch", "1"]) == 2
+
     def test_sample_to_csv(self, tmp_path, capsys):
         output = tmp_path / "pairs.csv"
         code = main(

@@ -23,6 +23,7 @@ class TestRegistry:
             "vecspeed",
             "session",
             "parallel",
+            "dynamic",
         }
         assert expected == set(EXPERIMENTS)
 

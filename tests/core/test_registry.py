@@ -104,3 +104,35 @@ class TestPluginLifecycle:
     def test_empty_name_rejected(self):
         with pytest.raises(ValueError):
             register_sampler("  ")
+
+
+class TestSupportsUpdates:
+    def test_grid_samplers_are_maintainable(self):
+        assert get_sampler("bbst").supports_updates
+        assert get_sampler("cell-kdtree").supports_updates
+
+    def test_kdtree_and_exhaustive_samplers_are_not(self):
+        for name in ("kds", "kds-rejection", "join-then-sample"):
+            assert not get_sampler(name).supports_updates
+
+    def test_flag_defaults_to_false_for_custom_samplers(self, tiny_spec):
+        @register_sampler("updates-default-probe", summary="probe")
+        class Probe(BBSTSampler):
+            pass
+
+        try:
+            assert not get_sampler("updates-default-probe").supports_updates
+        finally:
+            unregister_sampler("updates-default-probe")
+
+    def test_flag_is_stored_when_requested(self, tiny_spec):
+        @register_sampler(
+            "updates-true-probe", summary="probe", supports_updates=True
+        )
+        class Probe(BBSTSampler):
+            pass
+
+        try:
+            assert get_sampler("updates-true-probe").supports_updates
+        finally:
+            unregister_sampler("updates-true-probe")

@@ -116,3 +116,46 @@ class TestDistributionCharacter:
             Grid(trajectories, cell_size=250.0).num_cells
             < Grid(uniform, cell_size=250.0).num_cells
         )
+
+
+class TestBoundaryReflection:
+    """Out-of-domain mass is reflected inside, never clipped into border atoms."""
+
+    def test_no_boundary_atoms(self, generator, rng):
+        # Generators with unbounded spreads (Gaussians, walks) used to clip
+        # out-of-domain points onto the border, creating point atoms at 0
+        # and at `domain` that skewed join-size statistics.
+        points = generator(2_000, rng, domain=1_000.0)
+        for coords in (points.xs, points.ys):
+            on_border = np.count_nonzero((coords == 0.0) | (coords == 1_000.0))
+            assert on_border == 0
+
+    def test_boundary_hugging_gaussians_stay_continuous(self):
+        # Force clusters against the border so most of the raw mass falls
+        # outside: reflection must fold it back without accumulation points.
+        rng = np.random.default_rng(77)
+        domain = 1_000.0
+        points = gaussian_clusters(
+            5_000, rng, num_clusters=1, spread=400.0, domain=domain
+        )
+        assert points.xs.min() >= 0.0 and points.xs.max() <= domain
+        assert np.count_nonzero(points.xs == 0.0) == 0
+        assert np.count_nonzero(points.xs == domain) == 0
+        # no single value may hold a macroscopic fraction of the points
+        _, counts = np.unique(points.xs, return_counts=True)
+        assert counts.max() <= 3
+
+    def test_reflection_is_identity_inside_the_domain(self):
+        from repro.datasets.synthetic import _reflect_axis
+
+        values = np.array([0.0, 1.0, 250.0, 999.0, 1_000.0])
+        assert np.allclose(_reflect_axis(values, 1_000.0), values)
+
+    def test_reflection_mirrors_overshoot(self):
+        from repro.datasets.synthetic import _reflect_axis
+
+        domain = 100.0
+        assert _reflect_axis(np.array([-3.0]), domain)[0] == pytest.approx(3.0)
+        assert _reflect_axis(np.array([103.0]), domain)[0] == pytest.approx(97.0)
+        assert _reflect_axis(np.array([205.0]), domain)[0] == pytest.approx(5.0)
+        assert _reflect_axis(np.array([-205.0]), domain)[0] == pytest.approx(5.0)

@@ -1,0 +1,128 @@
+"""Differential pins: a mutated dynamic sampler equals a fresh static build.
+
+The acceptance criterion of the dynamic-update subsystem: after an
+interleaved insert/delete sequence, the maintained state - and therefore the
+draw stream - must be **bit-identical** to a freshly built static sampler
+over the same final ``(R, S)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import JoinSpec
+from repro.core.registry import create_sampler
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points, zipf_cluster_points
+from repro.dynamic import DynamicSampler
+
+ALGORITHMS = ["bbst", "cell-kdtree"]
+
+
+def _spec(total=1_400, seed=21, half=300.0, generator=uniform_points):
+    rng = np.random.default_rng(seed)
+    points = generator(total, rng)
+    r_points, s_points = split_r_s(points, rng)
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=half)
+
+
+def _interleave(dyn: DynamicSampler, rounds: int, seed: int, batch: int = 40) -> None:
+    rng = np.random.default_rng(seed)
+    for round_index in range(rounds):
+        side = "s" if round_index % 2 == 0 else "r"
+        live = dyn.s_points if side == "s" else dyn.r_points
+        deletions = min(batch // 2, len(live) - 1)
+        ins = uniform_points(batch - deletions, rng)
+        dyn.update(
+            side,
+            insert=(ins.xs, ins.ys),
+            delete=rng.choice(live.ids, size=deletions, replace=False),
+        )
+        # interleave draws so the router is exercised mid-sequence
+        dyn.sample(25, seed=round_index)
+
+
+class TestBitIdenticalAfterFlush:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_interleaved_sequence_matches_fresh_static_sampler(self, algorithm):
+        dyn = DynamicSampler(_spec(), algorithm=algorithm)
+        _interleave(dyn, rounds=6, seed=31)
+        dyn.flush()
+        final = JoinSpec(
+            r_points=dyn.r_points, s_points=dyn.s_points, half_extent=300.0
+        )
+        fresh = create_sampler(algorithm, final)
+        for seed in (0, 7, 123):
+            assert (
+                dyn.sample(200, seed=seed).id_pairs()
+                == fresh.sample(200, seed=seed).id_pairs()
+            )
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_clustered_data(self, algorithm):
+        dyn = DynamicSampler(
+            _spec(total=900, half=400.0, generator=zipf_cluster_points),
+            algorithm=algorithm,
+        )
+        _interleave(dyn, rounds=4, seed=5)
+        dyn.flush()
+        final = JoinSpec(
+            r_points=dyn.r_points, s_points=dyn.s_points, half_extent=400.0
+        )
+        fresh = create_sampler(algorithm, final)
+        assert dyn.sample(300, seed=9).id_pairs() == fresh.sample(300, seed=9).id_pairs()
+
+    def test_scalar_twin_also_matches(self):
+        # The vectorized=False differential path must survive maintenance too.
+        dyn = DynamicSampler(_spec(total=700), vectorized=False, batch_size=1)
+        _interleave(dyn, rounds=3, seed=13, batch=20)
+        dyn.flush()
+        final = JoinSpec(
+            r_points=dyn.r_points, s_points=dyn.s_points, half_extent=300.0
+        )
+        fresh = create_sampler("bbst", final, vectorized=False, batch_size=1)
+        assert dyn.sample(80, seed=3).id_pairs() == fresh.sample(80, seed=3).id_pairs()
+
+    def test_delete_then_reinsert_same_id(self):
+        dyn = DynamicSampler(_spec(total=600))
+        dyn.prepare()
+        victim = int(dyn.s_points.ids[7])
+        x, y = float(dyn.s_points.xs[7]), float(dyn.s_points.ys[7])
+        dyn.update(
+            "s",
+            delete=np.array([victim]),
+            insert=(np.array([x]), np.array([y])),
+            insert_ids=np.array([victim]),
+        )
+        dyn.flush()
+        final = JoinSpec(
+            r_points=dyn.r_points, s_points=dyn.s_points, half_extent=300.0
+        )
+        fresh = create_sampler("bbst", final)
+        assert dyn.sample(150, seed=2).id_pairs() == fresh.sample(150, seed=2).id_pairs()
+
+
+class TestDrawValidity:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_dirty_draw_is_a_join_pair_of_the_current_instance(self, algorithm):
+        dyn = DynamicSampler(_spec(total=800), algorithm=algorithm)
+        rng = np.random.default_rng(17)
+        for round_index in range(5):
+            side = "s" if round_index % 2 else "r"
+            live = dyn.s_points if side == "s" else dyn.r_points
+            ins = uniform_points(20, rng)
+            dyn.update(
+                side,
+                insert=(ins.xs, ins.ys),
+                delete=rng.choice(live.ids, size=10, replace=False),
+            )
+            current = JoinSpec(
+                r_points=dyn.r_points, s_points=dyn.s_points, half_extent=300.0
+            )
+            result = dyn.sample(100, seed=round_index)
+            assert all(
+                current.pair_matches(p.r_index, p.s_index) for p in result.pairs
+            )
+            # ids resolve to the *current* points
+            r_ids = set(current.r_points.ids.tolist())
+            s_ids = set(current.s_points.ids.tolist())
+            assert all(p.r_id in r_ids and p.s_id in s_ids for p in result.pairs)

@@ -1,0 +1,220 @@
+"""Session-level dynamic updates and the stale-input guard."""
+
+import numpy as np
+import pytest
+
+from repro.api.session import SamplingSession
+from repro.core.config import JoinSpec
+from repro.core.full_join import join_size
+from repro.core.registry import create_sampler
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points
+from repro.dynamic import DynamicSampler
+
+HALF = 300.0
+
+
+@pytest.fixture
+def rs():
+    rng = np.random.default_rng(23)
+    points = uniform_points(2_000, rng, name="sess-dyn")
+    return split_r_s(points, rng)
+
+
+@pytest.fixture
+def session(rs):
+    r_points, s_points = rs
+    sess = SamplingSession(r_points, s_points, half_extent=HALF, algorithm="bbst", eager=False)
+    yield sess
+    sess.close()
+
+
+def _final_spec(session: SamplingSession) -> JoinSpec:
+    return JoinSpec(
+        r_points=session.r_points, s_points=session.s_points, half_extent=HALF
+    )
+
+
+class TestSessionUpdate:
+    def test_maintainable_entries_are_kept_and_stay_exact(self, session):
+        session.draw(50, seed=0)
+        ins = uniform_points(100, np.random.default_rng(1))
+        report = session.update(
+            "s", insert=(ins.xs, ins.ys), delete=session.s_points.ids[:30]
+        )
+        assert report["maintained"] == [["bbst", HALF, 1]]
+        assert report["dropped"] == []
+        sampler = session.resolve()
+        assert isinstance(sampler, DynamicSampler)
+        sampler.flush()
+        fresh = create_sampler("bbst", _final_spec(session))
+        assert (
+            session.draw(150, seed=9).id_pairs() == fresh.sample(150, seed=9).id_pairs()
+        )
+
+    def test_non_maintainable_entries_are_dropped_and_rebuilt_lazily(self, session):
+        session.draw(50, seed=0, algorithm="kds")
+        report = session.update("r", delete=session.r_points.ids[:10])
+        assert ["kds", HALF, 1] in report["dropped"]
+        assert ("kds", HALF, 1) not in session.cached_keys
+        final = _final_spec(session)
+        result = session.draw(50, seed=1, algorithm="kds")
+        assert all(final.pair_matches(p.r_index, p.s_index) for p in result.pairs)
+
+    def test_sharded_entries_reroute_with_exact_weights(self, session):
+        session.draw(50, seed=0, jobs=2)
+        ins = uniform_points(80, np.random.default_rng(2))
+        report = session.update(
+            "s", insert=(ins.xs, ins.ys), delete=session.s_points.ids[:20]
+        )
+        assert report["resharded"] == [["bbst", HALF, 2]]
+        sharded = session.resolve(jobs=2)
+        assert sharded.total_weight == join_size(_final_spec(session))
+        final = _final_spec(session)
+        result = session.draw(100, seed=5, jobs=2)
+        assert all(final.pair_matches(p.r_index, p.s_index) for p in result.pairs)
+
+    def test_updates_apply_to_entries_across_half_extents(self, session):
+        session.draw(20, seed=0)
+        session.draw(20, seed=0, half_extent=150.0)
+        session.update("r", delete=session.r_points.ids[:5])
+        for half in (HALF, 150.0):
+            final = JoinSpec(
+                r_points=session.r_points,
+                s_points=session.s_points,
+                half_extent=half,
+            )
+            sampler = session.resolve(half_extent=half)
+            sampler.flush()
+            fresh = create_sampler("bbst", final)
+            assert (
+                session.draw(60, seed=4, half_extent=half).id_pairs()
+                == fresh.sample(60, seed=4).id_pairs()
+            )
+
+    def test_insert_point_set_with_colliding_ids_rejected(self, session, rs):
+        r_points, _ = rs
+        with pytest.raises(ValueError, match="already present"):
+            session.update("r", insert=r_points)
+
+    def test_duplicate_delete_ids_rejected_without_mutating_state(self, session):
+        session.draw(20, seed=0)
+        n, m = session.n, session.m
+        with pytest.raises(ValueError, match="unique"):
+            session.update("s", delete=np.array([3, 3]))
+        # nothing was applied and the cached engine survived
+        assert (session.n, session.m) == (n, m)
+        assert ("bbst", HALF, 1) in session.cached_keys
+        assert len(session.draw(20, seed=1)) == 20
+
+    def test_delete_then_reinsert_same_id_in_one_batch(self, session):
+        # Deletions apply first, so re-using an id deleted in the same batch
+        # is legal (matching DynamicSampler.update semantics).
+        session.draw(20, seed=0)
+        victim = int(session.r_points.ids[4])
+        x, y = float(session.r_points.xs[4]), float(session.r_points.ys[4])
+        from repro.geometry.point import PointSet
+
+        report = session.update(
+            "r",
+            insert=PointSet(xs=[x], ys=[y], ids=[victim]),
+            delete=np.array([victim]),
+        )
+        assert report["inserted"] == 1 and report["deleted"] == 1
+        assert len(session.draw(20, seed=1)) == 20
+
+    def test_failed_validation_leaves_the_session_serviceable(self, session):
+        # A rejected batch must not swap state or trip the staleness guard.
+        session.draw(20, seed=0)
+        n, m = session.n, session.m
+        with pytest.raises(ValueError, match="finite"):
+            session.update("s", insert=(np.array([np.nan]), np.array([1.0])))
+        assert (session.n, session.m) == (n, m)
+        assert len(session.draw(20, seed=1)) == 20
+
+    def test_failed_engine_is_dropped_but_the_session_survives(self, session):
+        session.draw(20, seed=0)
+        sampler = session.resolve()
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("maintenance exploded")
+
+        sampler.update = explode
+        with pytest.raises(RuntimeError, match="maintenance exploded"):
+            session.update("s", insert=(np.array([1.0]), np.array([2.0])))
+        # the broken engine was dropped; the data change was applied; the
+        # next request rebuilds from the new data
+        assert ("bbst", HALF, 1) not in session.cached_keys
+        assert session.m == 1_001
+        assert len(session.draw(20, seed=1)) == 20
+
+    def test_delete_unknown_id_rejected(self, session):
+        with pytest.raises(KeyError, match="unknown"):
+            session.update("s", delete=np.array([10**9]))
+
+    def test_bad_side_rejected(self, session):
+        with pytest.raises(ValueError, match="side"):
+            session.update("x", delete=np.array([0]))
+
+    def test_update_stats_are_recorded(self, session):
+        session.update("s", insert=(np.array([1.0]), np.array([2.0])))
+        assert session.stats.updates == 1
+        assert session.stats.update_seconds >= 0.0
+        assert session.describe()["stats"]["updates"] == 1
+
+    def test_closed_session_rejects_update(self, session):
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.update("s", delete=np.array([0]))
+
+
+class TestStaleInputGuard:
+    def test_in_place_mutation_fails_the_next_draw(self, rs):
+        r_points, s_points = rs
+        session = SamplingSession(r_points, s_points, half_extent=HALF, eager=False)
+        session.draw(10, seed=0)
+        xs = r_points.xs
+        xs.setflags(write=True)
+        try:
+            xs[0] += 42.0
+            with pytest.raises(RuntimeError, match="mutated in place"):
+                session.draw(10, seed=1)
+        finally:
+            xs[0] -= 42.0
+            xs.setflags(write=False)
+        # restoring the content restores service
+        assert len(session.draw(10, seed=2)) == 10
+        session.close()
+
+    def test_mutation_of_s_side_detected_by_update(self, rs):
+        r_points, s_points = rs
+        session = SamplingSession(r_points, s_points, half_extent=HALF, eager=False)
+        ys = s_points.ys
+        ys.setflags(write=True)
+        try:
+            ys[3] += 1.0
+            with pytest.raises(RuntimeError, match="mutated in place"):
+                session.update("s", insert=(np.array([1.0]), np.array([1.0])))
+        finally:
+            ys[3] -= 1.0
+            ys.setflags(write=False)
+        session.close()
+
+    def test_sanctioned_update_does_not_trip_the_guard(self, session):
+        session.draw(10, seed=0)
+        session.update("s", insert=(np.array([3.0]), np.array([4.0])))
+        assert len(session.draw(10, seed=1)) == 10
+
+    def test_fingerprints_cover_ids_too(self, rs):
+        r_points, s_points = rs
+        session = SamplingSession(r_points, s_points, half_extent=HALF, eager=False)
+        ids = r_points.ids
+        ids.setflags(write=True)
+        try:
+            ids[0] += 1
+            with pytest.raises(RuntimeError, match="mutated in place"):
+                session.draw(10, seed=0)
+        finally:
+            ids[0] -= 1
+            ids.setflags(write=False)
+        session.close()

@@ -1,0 +1,104 @@
+"""Tests of the mutable point store behind the dynamic-update engine."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicPointStore
+from repro.geometry.point import PointSet
+
+
+def _store(n: int = 10) -> DynamicPointStore:
+    rng = np.random.default_rng(3)
+    return DynamicPointStore(
+        PointSet(xs=rng.uniform(0, 100, n), ys=rng.uniform(0, 100, n), name="pts")
+    )
+
+
+class TestInsert:
+    def test_auto_ids_are_fresh_and_consecutive(self):
+        store = _store(5)
+        ids = store.insert(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert ids.tolist() == [5, 6]
+        assert len(store) == 7
+
+    def test_explicit_ids_are_kept(self):
+        store = _store(3)
+        ids = store.insert(np.array([1.0]), np.array([2.0]), ids=np.array([42]))
+        assert ids.tolist() == [42]
+        assert store.position_of(42) == 3
+        # the id counter jumps past explicit ids
+        assert store.insert(np.array([0.0]), np.array([0.0])).tolist() == [43]
+
+    def test_colliding_ids_rejected(self):
+        store = _store(3)
+        with pytest.raises(ValueError, match="already present"):
+            store.insert(np.array([0.0]), np.array([0.0]), ids=np.array([1]))
+
+    def test_duplicate_ids_in_batch_rejected(self):
+        store = _store(3)
+        with pytest.raises(ValueError, match="unique"):
+            store.insert(np.zeros(2), np.zeros(2), ids=np.array([7, 7]))
+
+    def test_non_finite_coordinates_rejected(self):
+        store = _store(3)
+        with pytest.raises(ValueError, match="finite"):
+            store.insert(np.array([np.nan]), np.array([0.0]))
+
+    def test_shape_mismatch_rejected(self):
+        store = _store(3)
+        with pytest.raises(ValueError):
+            store.insert(np.zeros(2), np.zeros(3))
+
+
+class TestDelete:
+    def test_order_preserving_compaction(self):
+        store = _store(6)
+        before = store.snapshot()
+        positions, _, _ = store.delete(np.array([1, 4]))
+        assert sorted(positions.tolist()) == [1, 4]
+        survivors = [0, 2, 3, 5]
+        assert store.ids.tolist() == before.ids[survivors].tolist()
+        assert store.xs.tolist() == before.xs[survivors].tolist()
+
+    def test_unknown_id_raises(self):
+        store = _store(3)
+        with pytest.raises(KeyError):
+            store.delete(np.array([99]))
+
+    def test_returns_removed_coordinates(self):
+        store = _store(4)
+        before = store.snapshot()
+        _, xs, ys = store.delete(np.array([2]))
+        assert xs.tolist() == [before.xs[2]]
+        assert ys.tolist() == [before.ys[2]]
+
+    def test_empty_delete_is_a_noop(self):
+        store = _store(3)
+        positions, _, _ = store.delete(np.empty(0, dtype=np.int64))
+        assert positions.size == 0 and len(store) == 3
+
+
+class TestSnapshot:
+    def test_snapshot_is_cached_until_mutation(self):
+        store = _store(4)
+        assert store.snapshot() is store.snapshot()
+        store.insert(np.array([1.0]), np.array([1.0]))
+        second = store.snapshot()
+        assert len(second) == 5
+        assert second is store.snapshot()
+
+    def test_snapshot_matches_hand_assembled_point_set(self):
+        store = _store(5)
+        original = store.snapshot()
+        store.delete(np.array([0, 3]))
+        added = store.insert(np.array([7.0]), np.array([8.0]))
+        snap = store.snapshot()
+        keep = [1, 2, 4]
+        assert snap.ids.tolist() == original.ids[keep].tolist() + added.tolist()
+        assert snap.xs.tolist() == original.xs[keep].tolist() + [7.0]
+
+    def test_duplicate_initial_ids_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            DynamicPointStore(
+                PointSet(xs=[0.0, 1.0], ys=[0.0, 1.0], ids=[5, 5], name="dup")
+            )

@@ -105,6 +105,127 @@ class TestDegenerateInputs:
         plan = ShardPlan.for_spec(spec, 3)
         all_r = np.concatenate([shard.r_indices for shard in plan.shards])
         assert np.array_equal(np.sort(all_r), np.arange(6))
+        # All-duplicate x collapses every quantile edge: one strip, not
+        # three (two of which would be zero-width, zero-weight workers).
+        assert len(plan) == 1
+        assert plan.edges.size == 0
+
+    def test_duplicate_heavy_r_never_yields_empty_or_zero_width_strips(self):
+        # Most mass on two x values: naive quantile cuts collapse.
+        xs = np.array([1.0] * 40 + [5.0] * 40 + [2.0, 3.0, 8.0, 9.0])
+        rng = np.random.default_rng(0)
+        r_points = PointSet(xs=xs, ys=rng.uniform(0, 10, xs.size))
+        s_points = PointSet(xs=rng.uniform(0, 10, 50), ys=rng.uniform(0, 10, 50))
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=0.5)
+        for jobs in (2, 3, 4, 6, 8):
+            plan = ShardPlan.for_spec(spec, jobs)
+            assert len(plan) <= jobs
+            assert np.all(np.diff(plan.edges) > 0), "edges must strictly increase"
+            for shard in plan.shards:
+                assert shard.n > 0, "freed capacity must fold into neighbours"
+                assert shard.x_lo < shard.x_hi
+            all_r = np.concatenate([shard.r_indices for shard in plan.shards])
+            assert np.array_equal(np.sort(all_r), np.arange(spec.n))
+
+    def test_minimum_heavy_duplicates_drop_the_leading_strip(self):
+        # Every quantile edge equals the minimum x: the strip left of it
+        # would own no R points and must be folded away.
+        xs = np.array([2.0] * 30 + [7.0, 8.0])
+        r_points = PointSet(xs=xs, ys=np.zeros(xs.size))
+        s_points = PointSet(xs=[2.0, 7.0], ys=[0.0, 0.0])
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=0.5)
+        plan = ShardPlan.for_spec(spec, 4)
+        assert all(shard.n > 0 for shard in plan.shards)
+
+
+class TestBoundaryInclusivity:
+    """Points exactly on strip edges and halo borders (regression tests).
+
+    Every join pair must be counted by exactly one shard: the shard owning
+    its ``r``.  These fixtures place points *exactly* on the quantile edges
+    and exactly on ``edge +/- half_extent`` halo borders, where an
+    inclusive/exclusive mix-up would double- or under-count.
+    """
+
+    def _exact_edge_spec(self) -> tuple[JoinSpec, float]:
+        half = 10.0
+        edge = 100.0
+        r_xs = np.array([50.0, 80.0, edge, edge, 120.0, 150.0])
+        # S points exactly on the halo borders of the edge, on the edge, and
+        # exactly half_extent away from R points sitting on the edge.
+        s_xs = np.array(
+            [edge - half, edge + half, edge, edge - half, edge + half, 90.0, 110.0]
+        )
+        r_points = PointSet(xs=r_xs, ys=np.zeros(r_xs.size))
+        s_points = PointSet(xs=s_xs, ys=np.zeros(s_xs.size))
+        return (
+            JoinSpec(r_points=r_points, s_points=s_points, half_extent=half),
+            edge,
+        )
+
+    def test_edge_points_land_in_exactly_one_strip(self):
+        spec, edge = self._exact_edge_spec()
+        plan = ShardPlan.for_spec(spec, 2)
+        assert edge in plan.edges.tolist()
+        owners = np.full(spec.n, -1, dtype=np.int64)
+        for shard in plan.shards:
+            for index in shard.r_indices:
+                assert owners[index] == -1, "R point owned by two strips"
+                owners[index] = shard.index
+        assert np.all(owners >= 0), "R point owned by no strip"
+        # both x == edge points belong to the right strip
+        for index in np.flatnonzero(spec.r_points.xs == edge):
+            assert plan.shards[owners[index]].x_lo == edge
+
+    @pytest.mark.parametrize("jobs", [2, 3, 4])
+    def test_per_shard_totals_sum_to_the_serial_join_size(self, jobs):
+        from repro.core.full_join import join_size
+
+        spec, _edge = self._exact_edge_spec()
+        plan = ShardPlan.for_spec(spec, jobs)
+        serial = join_size(spec)
+        sharded = sum(
+            join_size(plan.subspec(spec, shard))
+            for shard in plan.shards
+            if not shard.is_empty
+        )
+        assert sharded == serial
+
+    @pytest.mark.parametrize("jobs", [2, 3, 5])
+    def test_random_data_with_points_snapped_to_edges(self, jobs):
+        from repro.core.full_join import join_size
+
+        rng = np.random.default_rng(29)
+        base = uniform_points(400, rng, name="snap")
+        r_points, s_points = split_r_s(base, rng)
+        half = 200.0
+        spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=half)
+        plan = ShardPlan.for_spec(spec, jobs)
+        if plan.edges.size == 0:
+            pytest.skip("single strip: nothing to snap to")
+        # snap some R points exactly onto the edges, and some S points
+        # exactly onto every halo border
+        r_xs = r_points.xs.copy()
+        r_xs[: plan.edges.size] = plan.edges
+        s_xs = s_points.xs.copy()
+        for position, edge in enumerate(plan.edges):
+            s_xs[2 * position] = edge - half
+            s_xs[2 * position + 1] = edge + half
+        snapped = JoinSpec(
+            r_points=PointSet(xs=r_xs, ys=r_points.ys, ids=r_points.ids),
+            s_points=PointSet(xs=s_xs, ys=s_points.ys, ids=s_points.ids),
+            half_extent=half,
+        )
+        snapped_plan = ShardPlan.for_spec(snapped, jobs)
+        serial = join_size(snapped)
+        sharded = sum(
+            join_size(snapped_plan.subspec(snapped, shard))
+            for shard in snapped_plan.shards
+            if not shard.is_empty
+        )
+        assert sharded == serial
+        all_r = np.concatenate([shard.r_indices for shard in snapped_plan.shards])
+        assert np.array_equal(np.sort(all_r), np.arange(snapped.n))
 
 
 class TestSubspec:

@@ -270,3 +270,145 @@ class TestLifecycle:
     def test_unknown_algorithm_rejected_up_front(self, enumerable_spec):
         with pytest.raises(KeyError):
             ShardedSampler(enumerable_spec, algorithm="nope", jobs=2)
+
+
+class TestApplyUpdate:
+    """Delta-aware re-routing after (R, S) changed (dynamic updates)."""
+
+    def _mutate(self, spec: JoinSpec, seed: int = 5):
+        """Delete some points and append fresh ones on both sides."""
+        rng = np.random.default_rng(seed)
+
+        def mutate_side(points: PointSet):
+            keep = np.ones(len(points), dtype=bool)
+            victims = rng.choice(len(points), size=10, replace=False)
+            keep[victims] = False
+            add = 12
+            base = int(points.ids.max()) + 1
+            new = PointSet(
+                xs=np.concatenate(
+                    (points.xs[keep], rng.uniform(2_000.0, 3_000.0, add))
+                ),
+                ys=np.concatenate(
+                    (points.ys[keep], rng.uniform(0.0, 10_000.0, add))
+                ),
+                ids=np.concatenate(
+                    (points.ids[keep], np.arange(base, base + add))
+                ),
+                name=points.name,
+            )
+            changed = np.concatenate(
+                (points.xs[~keep], new.xs[-add:])
+            )
+            return new, (float(changed.min()), float(changed.max()))
+
+        new_r, r_interval = mutate_side(spec.r_points)
+        new_s, s_interval = mutate_side(spec.s_points)
+        new_spec = JoinSpec(
+            r_points=new_r, s_points=new_s, half_extent=spec.half_extent
+        )
+        return new_spec, r_interval, s_interval
+
+    def test_weights_stay_exact_after_update(self, enumerable_spec):
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=3, use_processes=False
+        )
+        sharded.prepare()
+        new_spec, r_interval, s_interval = self._mutate(enumerable_spec)
+        report = sharded.apply_update(
+            new_spec, r_interval=r_interval, s_interval=s_interval
+        )
+        if not report["replanned"]:
+            assert report["rebuilt_shards"], "the mutation touched some strip"
+        assert sharded.total_weight == join_size(new_spec)
+        result = sharded.sample(300, seed=3)
+        assert validate_sample_result(new_spec, result) == []
+
+    def test_untouched_shards_keep_their_samplers(self, enumerable_spec):
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=3, use_processes=False
+        )
+        sharded.prepare()
+        built = sharded._built
+        before = list(built.local_samplers)
+        # Mutate only far to the right: left strips must keep their samplers.
+        xs = np.array([9_990.0, 9_995.0])
+        ys = np.array([10.0, 20.0])
+        base = int(enumerable_spec.s_points.ids.max()) + 1
+        new_s = PointSet(
+            xs=np.concatenate((enumerable_spec.s_points.xs, xs)),
+            ys=np.concatenate((enumerable_spec.s_points.ys, ys)),
+            ids=np.concatenate((enumerable_spec.s_points.ids, [base, base + 1])),
+        )
+        new_spec = JoinSpec(
+            r_points=enumerable_spec.r_points,
+            s_points=new_s,
+            half_extent=enumerable_spec.half_extent,
+        )
+        report = sharded.apply_update(
+            new_spec, s_interval=(float(xs.min()), float(xs.max()))
+        )
+        assert not report["replanned"]
+        for index in report["kept_shards"]:
+            assert built.local_samplers[index] is before[index]
+        assert sharded.total_weight == join_size(new_spec)
+
+    def test_extreme_skew_triggers_a_replan(self, enumerable_spec):
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=3, use_processes=False
+        )
+        sharded.prepare()
+        # Pile every R point onto one S point: the old quantile edges are
+        # hopeless, so the engine resets and replans on the next request
+        # (and the join is trivially non-empty).
+        n = enumerable_spec.n
+        new_r = PointSet(
+            xs=np.full(n, float(enumerable_spec.s_points.xs[0])),
+            ys=np.full(n, float(enumerable_spec.s_points.ys[0])),
+            ids=enumerable_spec.r_points.ids,
+        )
+        new_spec = JoinSpec(
+            r_points=new_r,
+            s_points=enumerable_spec.s_points,
+            half_extent=enumerable_spec.half_extent,
+        )
+        report = sharded.apply_update(new_spec, r_interval=(0.0, 10_000.0))
+        assert report["replanned"]
+        assert sharded.total_weight == join_size(new_spec)
+        result = sharded.sample(100, seed=1)
+        assert validate_sample_result(new_spec, result) == []
+
+    def test_update_before_build_just_rebinds(self, enumerable_spec):
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=2, use_processes=False
+        )
+        new_spec, r_interval, s_interval = self._mutate(enumerable_spec)
+        report = sharded.apply_update(
+            new_spec, r_interval=r_interval, s_interval=s_interval
+        )
+        assert report["replanned"]
+        assert sharded.total_weight == join_size(new_spec)
+
+    def test_pool_path_update(self, enumerable_spec):
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=SMOKE_JOBS, use_processes=True
+        )
+        try:
+            sharded.prepare()
+            new_spec, r_interval, s_interval = self._mutate(enumerable_spec)
+            sharded.apply_update(
+                new_spec, r_interval=r_interval, s_interval=s_interval
+            )
+            assert sharded.total_weight == join_size(new_spec)
+            result = sharded.sample(200, seed=9)
+            assert validate_sample_result(new_spec, result) == []
+        finally:
+            sharded.close()
+
+    def test_closed_sampler_rejects_update(self, enumerable_spec):
+        sharded = ShardedSampler(
+            enumerable_spec, algorithm="bbst", jobs=2, use_processes=False
+        )
+        sharded.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sharded.apply_update(enumerable_spec)
