@@ -21,7 +21,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import DATASET_NAMES, JoinSpec, SamplingSession, join_size, load_proxy, split_r_s
+from repro import (
+    DATASET_NAMES,
+    JoinSpec,
+    SessionManager,
+    join_size,
+    load_proxy,
+    split_r_s,
+)
 from repro.core.estimation import (
     estimate_join_size_from_upper_bounds,
     join_selectivity,
@@ -38,23 +45,28 @@ def bernoulli_pilot_estimate(spec: JoinSpec, pilot_pairs: int, rng: np.random.Ge
 
 def main() -> None:
     rng = np.random.default_rng(19)
+    # One manager serves every dataset as a tenant: the datasets share one
+    # worker pool, and the manager owns all their cached structures.
+    manager = SessionManager(name="cardinality")
     print(f"{'dataset':12s} {'l':>6s} {'|J| exact':>12s} {'BBST estimate':>14s} "
           f"{'error':>8s} {'pilot estimate':>15s} {'error':>8s}")
     for name in DATASET_NAMES:
         points = load_proxy(name, size=6_000)
         r_points, s_points = split_r_s(points, rng)
-        # One session per dataset; the two window sizes below share it (each
+        # One tenant per dataset; the two window sizes below share it (each
         # gets its own cached structures keyed by half_extent).
-        session = SamplingSession(
-            r_points, s_points, half_extent=150.0, algorithm="bbst", eager=False
+        handle = manager.open(
+            name, r_points, s_points, half_extent=150.0, algorithm="bbst"
         )
         for half_extent in (150.0, 300.0):
-            spec = session.spec_for(half_extent)
+            spec = JoinSpec(
+                r_points=r_points, s_points=s_points, half_extent=half_extent
+            )
             exact = join_size(spec)
             if exact == 0:
                 continue
 
-            result = session.draw(4_000, seed=5, half_extent=half_extent)
+            result = handle.draw(4_000, seed=5, half_extent=half_extent)
             bbst_estimate = estimate_join_size_from_upper_bounds(
                 result.acceptance_rate, result.metadata["sum_mu"]
             )
@@ -66,6 +78,8 @@ def main() -> None:
                 f"{name:12s} {half_extent:6.0f} {exact:12,d} {bbst_estimate:14,.0f} "
                 f"{bbst_error:7.1%} {pilot:15,.0f} {pilot_error:7.1%}"
             )
+
+    manager.close()
 
     # Selectivity is the quantity a query optimiser actually consumes.
     points = load_proxy("foursquare", size=6_000)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import JoinSpec, SamplingSession, load_proxy, spatial_range_join, split_r_s
+from repro import JoinSpec, load_proxy, open_session, spatial_range_join, split_r_s
 
 GRID_BINS = 18
 SHADES = " .:-=+*#%@"
@@ -62,8 +62,10 @@ def main() -> None:
     print(heatmap(exact))
 
     # Sampled density from 5000 uniform join samples.
-    session = SamplingSession.from_spec(spec, algorithm="bbst")
-    result = session.draw(5_000, seed=3)
+    with open_session(
+        spec.r_points, spec.s_points, spec.half_extent, algorithm="bbst"
+    ) as handle:
+        result = handle.draw(5_000, seed=3)
     sample_xs = np.array([spec.r_points.xs[p.r_index] for p in result.pairs])
     sample_ys = np.array([spec.r_points.ys[p.r_index] for p in result.pairs])
     sampled = histogram_from_pairs(sample_xs, sample_ys)

@@ -18,7 +18,7 @@ from collections import Counter
 
 import numpy as np
 
-from repro import JoinSpec, SamplingSession, load_proxy, spatial_range_join, split_r_s
+from repro import JoinSpec, load_proxy, open_session, spatial_range_join, split_r_s
 
 
 def main() -> None:
@@ -37,8 +37,10 @@ def main() -> None:
     join_total = sum(exact_degree.values())
 
     # --- sampled venue degrees ----------------------------------------------
-    session = SamplingSession.from_spec(spec, algorithm="bbst")
-    result = session.draw(50_000, seed=9)
+    with open_session(
+        spec.r_points, spec.s_points, spec.half_extent, algorithm="bbst"
+    ) as handle:
+        result = handle.draw(50_000, seed=9)
     sampled_degree: Counter[int] = Counter(pair.s_index for pair in result.pairs)
     scale = join_total / len(result)
 

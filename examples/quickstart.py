@@ -1,13 +1,18 @@
-"""Quickstart: open a sampling session, serve many requests.
+"""Quickstart: open a managed sampling session, serve many requests.
 
 This is the 60-second tour of the library:
 
 1. build (or load) two point sets ``R`` and ``S``;
-2. open a :class:`repro.SamplingSession` over them (window half-extent ``l``)
-   - the session prepares the sampler's structures once;
+2. open a session over them with :func:`repro.open_session` (window
+   half-extent ``l``) - the handle is backed by a private
+   :class:`repro.SessionManager`, so lifecycle and the worker pool have an
+   owner, and the sampler's structures are prepared once, lazily;
 3. serve as many ``draw`` / ``stream`` requests as you like: every request
    after the first reuses the cached structures and only pays the per-sample
    cost, without ever materialising the full join result.
+
+Services holding many datasets open each one as a tenant of a shared
+:class:`repro.SessionManager` instead - see ``examples/session_service.py``.
 
 Run with::
 
@@ -18,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import SamplingSession, join_size, split_r_s, uniform_points
+from repro import JoinSpec, join_size, open_session, split_r_s, uniform_points
 
 
 def main() -> None:
@@ -31,53 +36,58 @@ def main() -> None:
     r_points, s_points = split_r_s(points, rng)
 
     # 2. The join: every point of R is the centre of a 2l x 2l window and is
-    #    matched with every point of S inside that window.  The session picks
+    #    matched with every point of S inside that window.  The handle picks
     #    the algorithm automatically (algorithm="auto") and prepares its
-    #    structures eagerly.
-    session = SamplingSession(r_points, s_points, half_extent=250.0)
-    print(f"join instance: n = {session.n}, m = {session.m}, l = 250.0")
-    print(f"exact join size |J| = {join_size(session.spec_for()):,} pairs")
+    #    structures lazily on the first request.
+    spec = JoinSpec(r_points=r_points, s_points=s_points, half_extent=250.0)
+    print(f"join instance: n = {spec.n}, m = {spec.m}, l = 250.0")
+    print(f"exact join size |J| = {join_size(spec):,} pairs")
 
-    report = session.plan()
-    print(f"\nauto planner picked {report.algorithm} (rule: {report.rule})")
+    with open_session(r_points, s_points, half_extent=250.0) as handle:
+        report = handle.plan()
+        print(f"\nauto planner picked {report.algorithm} (rule: {report.rule})")
 
-    # 3. First request: 10,000 uniform, independent samples of the join.
-    result = session.draw(10_000, seed=42)
-    print(f"\nrequest 1 ({result.sampler_name}): drew {len(result)} samples")
-    print(f"  structure building (GM):     {result.timings.build_seconds * 1e3:8.2f} ms")
-    print(f"  upper bounding (UB):         {result.timings.count_seconds * 1e3:8.2f} ms")
-    print(f"  sampling:                    {result.timings.sample_seconds * 1e3:8.2f} ms")
-    print(f"  acceptance rate:             {result.acceptance_rate:.3f}")
+        # 3. First request: 10,000 uniform, independent samples of the join.
+        result = handle.draw(10_000, seed=42)
+        print(f"\nrequest 1 ({result.sampler_name}): drew {len(result)} samples")
+        print(f"  structure building (GM):     {result.timings.build_seconds * 1e3:8.2f} ms")
+        print(f"  upper bounding (UB):         {result.timings.count_seconds * 1e3:8.2f} ms")
+        print(f"  sampling:                    {result.timings.sample_seconds * 1e3:8.2f} ms")
+        print(f"  acceptance rate:             {result.acceptance_rate:.3f}")
 
-    # 4. Later requests reuse the cached structures: the GM/UB phases are 0.
-    again = session.draw(10_000, seed=43)
-    print(f"\nrequest 2 ({again.sampler_name}): drew {len(again)} samples")
-    print(f"  structure building (GM):     {again.timings.build_seconds * 1e3:8.2f} ms")
-    print(f"  upper bounding (UB):         {again.timings.count_seconds * 1e3:8.2f} ms")
-    print(f"  sampling:                    {again.timings.sample_seconds * 1e3:8.2f} ms")
+        # 4. Later requests reuse the cached structures: the GM/UB phases are 0.
+        again = handle.draw(10_000, seed=43)
+        print(f"\nrequest 2 ({again.sampler_name}): drew {len(again)} samples")
+        print(f"  structure building (GM):     {again.timings.build_seconds * 1e3:8.2f} ms")
+        print(f"  upper bounding (UB):         {again.timings.count_seconds * 1e3:8.2f} ms")
+        print(f"  sampling:                    {again.timings.sample_seconds * 1e3:8.2f} ms")
 
-    # 5. Streaming: consume the join sample chunk by chunk (t may be None for
-    #    an endless stream - Definition 2 allows t = infinity).
-    total = 0
-    for chunk in session.stream(5_000, chunk_size=1_000, seed=44):
-        total += len(chunk)
-    print(f"\nstreamed {total} more samples in chunks of 1,000")
+        # 5. Streaming: consume the join sample chunk by chunk (t may be None
+        #    for an endless stream - Definition 2 allows t = infinity).
+        total = 0
+        for chunk in handle.stream(5_000, chunk_size=1_000, seed=44):
+            total += len(chunk)
+        print(f"\nstreamed {total} more samples in chunks of 1,000")
 
-    print("\nfirst ten sampled (r_id, s_id) pairs:")
-    for r_id, s_id in result.id_pairs()[:10]:
-        print(f"  ({r_id}, {s_id})")
+        print("\nfirst ten sampled (r_id, s_id) pairs:")
+        for r_id, s_id in result.id_pairs()[:10]:
+            print(f"  ({r_id}, {s_id})")
 
-    # A request with a different window size gets its own cached structures;
-    # the session keeps both keys warm.
-    wide = session.draw(1_000, seed=45, half_extent=400.0)
-    print(f"\nwide-window request: {len(wide)} samples, cached keys: {session.cached_keys}")
+        # A request with a different window size gets its own cached
+        # structures; the session keeps both keys warm.
+        wide = handle.draw(1_000, seed=45, half_extent=400.0)
+        description = handle.describe()
+        print(f"\nwide-window request: {len(wide)} samples, "
+              f"cached keys: {description['cached_keys']}")
 
-    stats = session.stats
-    print(
-        f"\nsession served {stats.requests} requests / {stats.pairs_drawn:,} pairs; "
-        f"prepare cost {stats.prepare_seconds:.3f}s was paid once per key, "
-        f"sampling cost {stats.sample_seconds:.3f}s total"
-    )
+        stats = description["stats"]
+        print(
+            f"\nsession served {stats['requests']} requests / "
+            f"{stats['pairs_drawn']:,} pairs; prepare cost "
+            f"{stats['prepare_seconds']:.3f}s was paid once per key, "
+            f"sampling cost {stats['sample_seconds']:.3f}s total"
+        )
+    # Leaving the `with` block closed the handle and its private manager.
 
 
 if __name__ == "__main__":

@@ -1,11 +1,18 @@
-"""A miniature sampling service built on :class:`repro.SamplingSession`.
+"""A miniature multi-tenant sampling service built on :class:`repro.SessionManager`.
 
-Simulates the workload the session API was designed for: one long-lived
-session over a dataset, serving a mixed stream of requests - different sample
-counts, different window sizes, occasional streaming consumers - while the
-expensive structures are built exactly once per ``(algorithm, half_extent)``
-key.  Also shows the auto planner's explainable decision and the session's
-service-style introspection (``describe()``).
+Simulates the workload the manager API was designed for: several datasets
+("tenants") served at once, each through its own
+:class:`~repro.manager.SessionHandle`, while one manager owns what used to be
+every session's private business:
+
+* a **memory budget** across all tenants' prepared structures - the manager
+  evicts cost-aware-LRU entries and transparently (and bit-identically)
+  re-prepares them when the tenant comes back;
+* one **shared worker pool** all tenants lease from, with per-tenant
+  fairness;
+* **lifecycle** - idle tenants are expired (structures freed), and
+  ``stats()`` exports per-tenant bytes, cache traffic and pool utilisation
+  for a /status endpoint.
 
 Run with::
 
@@ -18,55 +25,71 @@ import json
 
 import numpy as np
 
-from repro import SamplingSession, load_proxy, split_r_s
+from repro import SessionManager, load_proxy, split_r_s
 
 
 def main() -> None:
     rng = np.random.default_rng(17)
-    points = load_proxy("nyc", size=20_000)
-    r_points, s_points = split_r_s(points, rng)
 
-    # Open the session once; the auto planner chooses the algorithm and the
-    # default window's structures are prepared eagerly.
-    session = SamplingSession(r_points, s_points, half_extent=250.0)
-    print(session.plan().explain())
+    # A 1.5 MiB budget is deliberately too small for every tenant's
+    # structures at once, so the eviction machinery actually runs below.
+    manager = SessionManager(memory_budget=int(1.5 * 1024 * 1024), name="service")
 
-    # A burst of draw requests, as a service would see them.
+    # One tenant per dataset; open() is a cheap binding - structures build
+    # lazily on each tenant's first request.
+    handles = {}
+    for dataset, size in (("nyc", 20_000), ("castreet", 10_000), ("foursquare", 10_000)):
+        points = load_proxy(dataset, size=size)
+        r_points, s_points = split_r_s(points, rng)
+        handles[dataset] = manager.open(dataset, r_points, s_points, half_extent=250.0)
+    print(f"serving {len(handles)} tenants: {', '.join(handles)}")
+    print(handles["nyc"].plan().explain())
+
+    # A burst of mixed requests, as a service would see them.
     requests = [
-        {"t": 2_000, "seed": 1},
-        {"t": 5_000, "seed": 2},
-        {"t": 1_000, "seed": 3, "half_extent": 100.0},   # narrow-window tenant
-        {"t": 5_000, "seed": 4},
-        {"t": 2_500, "seed": 5, "half_extent": 100.0},   # warm cache for l=100
+        {"tenant": "nyc", "t": 2_000, "seed": 1},
+        {"tenant": "castreet", "t": 5_000, "seed": 2},
+        {"tenant": "nyc", "t": 1_000, "seed": 3, "half_extent": 100.0},
+        {"tenant": "foursquare", "t": 5_000, "seed": 4},
+        {"tenant": "nyc", "t": 2_500, "seed": 5, "half_extent": 100.0},
     ]
     print("\nserving requests:")
     for i, request in enumerate(requests, start=1):
-        result = session.draw(
+        handle = handles[request["tenant"]]
+        result = handle.draw(
             request["t"],
             seed=request["seed"],
             half_extent=request.get("half_extent"),
         )
         timings = result.timings
         print(
-            f"  #{i}: t={request['t']:>6,} l={request.get('half_extent', 250.0):g}"
+            f"  #{i}: {request['tenant']:>10s} t={request['t']:>6,}"
+            f" l={request.get('half_extent', 250.0):g}"
             f" -> {result.sampler_name}: build {timings.build_seconds * 1e3:6.1f} ms,"
             f" count {timings.count_seconds * 1e3:6.1f} ms,"
             f" sample {timings.sample_seconds * 1e3:6.1f} ms"
         )
 
-    # A streaming consumer that stops once it has seen enough.
+    # A streaming consumer that stops once it has seen enough; the budget is
+    # enforced between chunks, so an endless stream never pins its entry.
     enough, seen = 4_000, 0
-    for chunk in session.stream(chunk_size=1_000, seed=6):
+    for chunk in handles["castreet"].stream(chunk_size=1_000, seed=6):
         seen += len(chunk)
         if seen >= enough:
             break
     print(f"\nstreaming consumer took {seen:,} pairs and hung up")
 
-    print("\nsession introspection (what a /status endpoint would return):")
-    print(json.dumps(session.describe(), indent=2))
+    print("\nmanager introspection (what a /status endpoint would return):")
+    stats = manager.stats()
+    print(json.dumps(stats, indent=2, default=str))
+    print(
+        f"\nbudget: {stats['tracked_nbytes']:,} of {stats['memory_budget']:,} "
+        f"tracked bytes, {stats['manager_evictions']} evictions "
+        f"(every evicted entry re-prepares bit-identically on its next use)"
+    )
 
-    session.close()
-    print("\nsession closed")
+    manager.close()
+    print("\nmanager closed (all tenants released, worker pool shut down)")
 
 
 if __name__ == "__main__":

@@ -8,19 +8,22 @@ regenerates every table and figure of the evaluation.
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import SamplingSession, split_r_s, uniform_points
+>>> from repro import open_session, split_r_s, uniform_points
 >>> rng = np.random.default_rng(0)
 >>> points = uniform_points(2_000, rng)
 >>> r_points, s_points = split_r_s(points, rng)
->>> session = SamplingSession(r_points, s_points, half_extent=200.0)
->>> result = session.draw(100, seed=0)
->>> len(result)
-100
->>> len(session.draw(100, seed=1))  # reuses the cached structures
-100
+>>> with open_session(r_points, s_points, half_extent=200.0) as handle:
+...     result = handle.draw(100, seed=0)       # builds + counts + samples
+...     again = handle.draw(100, seed=1)        # reuses the cached structures
+>>> len(result), len(again)
+(100, 100)
 
-The one-shot API (``BBSTSampler(spec).sample(t, seed=s)``) keeps working and
-returns bit-identical pairs for the same ``(spec, algorithm, seed)``.
+Services holding many ``(R, S)`` pairs open them through one
+:class:`~repro.manager.SessionManager` instead, which owns the memory budget
+and the shared worker pool across all tenants.  The one-shot API
+(``BBSTSampler(spec).sample(t, seed=s)``) and direct ``SamplingSession``
+construction keep working and return bit-identical pairs for the same
+``(spec, algorithm, seed)``.
 """
 
 from repro.api import (
@@ -61,14 +64,41 @@ from repro.datasets import (
     uniform_points,
 )
 from repro.dynamic import DynamicPointStore, DynamicSampler, UpdateReport
+from repro.errors import (
+    BudgetExceededError,
+    InvalidSpecError,
+    MaintenanceError,
+    ReproError,
+    SessionClosedError,
+    StaleInputError,
+)
 from repro.geometry import Point, PointSet, Rect, window_around
-from repro.parallel import Shard, ShardedSampler, ShardPlan
+from repro.manager import SessionHandle, SessionManager, open_session
+from repro.parallel import (
+    Shard,
+    ShardedSampler,
+    ShardPlan,
+    WorkerLease,
+    WorkerPool,
+    shared_pool,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
-    # session API (the primary surface)
+    # manager API (the recommended entry point)
+    "SessionManager",
+    "SessionHandle",
+    "open_session",
+    # error hierarchy
+    "ReproError",
+    "InvalidSpecError",
+    "StaleInputError",
+    "BudgetExceededError",
+    "SessionClosedError",
+    "MaintenanceError",
+    # session API
     "SamplingSession",
     "SessionStats",
     "PlanReport",
@@ -80,6 +110,9 @@ __all__ = [
     "Shard",
     "ShardPlan",
     "ShardedSampler",
+    "WorkerLease",
+    "WorkerPool",
+    "shared_pool",
     # dynamic updates
     "DynamicPointStore",
     "DynamicSampler",

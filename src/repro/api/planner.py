@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.config import JoinSpec
 from repro.core.registry import get_sampler, sampler_names
+from repro.errors import InvalidSpecError
 from repro.grid.grid import Grid
 
 __all__ = [
@@ -142,7 +143,7 @@ def collect_workload_stats(
     costs O(probes * block population) - independent of ``n`` and of ``|J|``.
     """
     if probes < 1:
-        raise ValueError("probes must be at least 1")
+        raise InvalidSpecError("probes must be at least 1")
     if spec.is_empty:
         # Empty R or S: the join is empty by definition.  Return all-zero
         # statistics instead of dividing by zero in the probe arithmetic
@@ -216,7 +217,11 @@ def collect_workload_stats(
     )
 
 
-def recommend_jobs(stats: WorkloadStats, cpu_count: int | None = None) -> int:
+def recommend_jobs(
+    stats: WorkloadStats,
+    cpu_count: int | None = None,
+    max_jobs: int | None = None,
+) -> int:
     """Recommended shard/worker count for an instance on this machine.
 
     Sharding only pays once the build/count phases carry enough work to
@@ -224,6 +229,14 @@ def recommend_jobs(stats: WorkloadStats, cpu_count: int | None = None) -> int:
     stay serial; beyond that the recommendation grows with the instance
     (one worker per ~``PARALLEL_POINTS_PER_JOB`` points) and is clamped to
     the machine's CPU count and :data:`PARALLEL_MAX_JOBS`.
+
+    ``max_jobs`` is an additional external clamp: the fairness budget a
+    :class:`~repro.manager.SessionManager` grants one tenant out of the
+    shared worker pool (its :meth:`~repro.parallel.pool.WorkerPool.fair_share`),
+    so a planner-recommended count never asks for more leases than the
+    tenant's share.  Explicitly requested ``jobs`` values bypass this clamp -
+    capacity is then arbitrated at lease time, where a denied lease falls
+    back in-process without changing the draws.
     """
     if cpu_count is None:
         cpu_count = os.cpu_count() or 1
@@ -231,7 +244,10 @@ def recommend_jobs(stats: WorkloadStats, cpu_count: int | None = None) -> int:
     if cpu_count < 2 or total_points < PARALLEL_MIN_POINTS:
         return 1
     wanted = max(2, total_points // PARALLEL_POINTS_PER_JOB)
-    return int(min(wanted, cpu_count, PARALLEL_MAX_JOBS))
+    recommended = int(min(wanted, cpu_count, PARALLEL_MAX_JOBS))
+    if max_jobs is not None:
+        recommended = min(recommended, max(1, int(max_jobs)))
+    return recommended
 
 
 def plan_algorithm(
@@ -240,6 +256,7 @@ def plan_algorithm(
     probes: int = 512,
     seed: int = 0,
     update_heavy: bool = False,
+    max_jobs: int | None = None,
 ) -> PlanReport:
     """Choose a registered ``online`` sampler for the instance, explainably.
 
@@ -247,6 +264,9 @@ def plan_algorithm(
     requests: the planner then only recommends algorithms whose structures
     are incrementally maintainable (``supports_updates`` in the registry),
     since a non-maintainable choice would force a full rebuild per change.
+    ``max_jobs`` clamps the recommended worker count (see
+    :func:`recommend_jobs`) - the manager passes each tenant's fair share of
+    the shared worker pool here.
 
     The rules fire in order; the first match wins:
 
@@ -349,5 +369,5 @@ def plan_algorithm(
         reason=reason,
         stats=stats,
         candidates=candidates,
-        jobs=recommend_jobs(stats),
+        jobs=recommend_jobs(stats, max_jobs=max_jobs),
     )

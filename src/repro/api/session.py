@@ -40,8 +40,10 @@ consume no randomness.  The differential tests in ``tests/api`` pin this.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -54,7 +56,14 @@ from repro.core.registry import canonical_name, get_sampler
 from repro.core.validation import validate_half_extent, validate_jobs
 from repro.dynamic.sampler import DynamicSampler
 from repro.dynamic.store import DynamicPointStore
+from repro.errors import (
+    InvalidSpecError,
+    MaintenanceError,
+    SessionClosedError,
+    StaleInputError,
+)
 from repro.geometry.point import PointSet
+from repro.parallel.pool import WorkerPool
 from repro.parallel.sharded import ShardedSampler
 
 __all__ = ["SamplingSession", "SessionStats"]
@@ -79,6 +88,7 @@ class SessionStats:
     plans: int = 0
     updates: int = 0
     update_seconds: float = 0.0
+    evictions: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -91,6 +101,7 @@ class SessionStats:
             "plans": self.plans,
             "updates": self.updates,
             "update_seconds": self.update_seconds,
+            "evictions": self.evictions,
         }
 
 
@@ -102,6 +113,14 @@ class _CacheEntry:
     # serialised per entry; sharded samplers lock per shard internally and
     # leave this None so concurrent requests can proceed on disjoint shards.
     lock: threading.Lock | None = field(default=None, repr=False)
+    # Eviction bookkeeping (all mutated under the session lock).  ``pins``
+    # counts in-flight requests holding the entry: an external owner (the
+    # manager) may only evict entries with ``pins == 0``, which is what makes
+    # eviction safe while another thread is mid-draw on the same key.
+    nbytes: int = 0
+    prepare_seconds: float = 0.0
+    last_used: float = 0.0
+    pins: int = 0
 
 
 class SamplingSession:
@@ -129,6 +148,18 @@ class SamplingSession:
     sampler_options:
         Extra keyword arguments forwarded to every sampler constructor
         (e.g. ``{"batch_size": 4096}``).
+    pool:
+        The :class:`~repro.parallel.pool.WorkerPool` sharded entries lease
+        workers from (default: the process-wide shared pool).  A
+        :class:`~repro.manager.SessionManager` injects its own pool here.
+    owner:
+        Fairness identity the session presents to the worker pool; the
+        manager passes the tenant id so all of one tenant's entries count
+        against one fairness share.
+    max_jobs:
+        Clamp on *planner-recommended* worker counts (``jobs=0``); explicit
+        ``jobs`` requests are honoured and arbitrated at lease time instead.
+        The manager sets this to the tenant's fair share of the pool.
     """
 
     def __init__(
@@ -141,9 +172,29 @@ class SamplingSession:
         jobs: int | None = None,
         eager: bool = True,
         sampler_options: dict[str, Any] | None = None,
+        pool: WorkerPool | None = None,
+        owner: str | None = None,
+        max_jobs: int | None = None,
     ) -> None:
+        if owner is None and os.environ.get("REPRO_WARN_DIRECT_SESSION"):
+            # The documented migration pathway: direct construction keeps
+            # working, but services moving to the multi-tenant manager can
+            # set REPRO_WARN_DIRECT_SESSION=1 to surface every call site
+            # that bypasses SessionManager.open() / repro.open_session().
+            warnings.warn(
+                "direct SamplingSession construction is deprecated for "
+                "services; open sessions through "
+                "repro.manager.SessionManager.open() (multi-tenant) or "
+                "repro.open_session() (single-tenant) so lifecycle, memory "
+                "budget and the worker pool have one owner",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._r_points = r_points
         self._s_points = s_points
+        self._pool = pool
+        self._owner = owner
+        self._max_jobs = None if max_jobs is None else validate_jobs(max_jobs, "max_jobs")
         # Staleness guard: the inputs' content at open time.  Draws verify a
         # cheap strided spot fingerprint on every request; update() and cold
         # entry builds verify the exhaustive one.  Mutating a PointSet behind
@@ -240,7 +291,7 @@ class SamplingSession:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise RuntimeError("the sampling session is closed")
+            raise SessionClosedError("the sampling session is closed")
 
     def _refresh_fingerprints(self) -> None:
         self._fingerprints = {
@@ -270,7 +321,7 @@ class SamplingSession:
             )
             expected = self._fingerprints["spot"]
         if current != expected:
-            raise RuntimeError(
+            raise StaleInputError(
                 "the session's input point sets were mutated in place; the "
                 "prepared structures are stale.  Mutate through "
                 "SamplingSession.update() (or open a new session) instead."
@@ -296,7 +347,7 @@ class SamplingSession:
         with self._lock:
             report = self._plans.get(l)
             if report is None:
-                report = plan_algorithm(spec)
+                report = plan_algorithm(spec, max_jobs=self._max_jobs)
                 self._plans[l] = report
                 self.stats.plans += 1
             return report
@@ -321,6 +372,7 @@ class SamplingSession:
         what makes repeated :meth:`draw` calls cheap.
         """
         entry = self._resolve_entry(algorithm, half_extent, jobs)
+        self._release_entry(entry)
         return entry.sampler
 
     def _resolve_entry(
@@ -329,6 +381,12 @@ class SamplingSession:
         half_extent: float | None = None,
         jobs: int | None = None,
     ) -> _CacheEntry:
+        """Resolve a key to its (pinned) cache entry, building it when cold.
+
+        The returned entry has its ``pins`` count incremented: the caller
+        MUST pair this with :meth:`_release_entry` (the draw paths do so in
+        ``finally`` blocks), or the entry becomes permanently unevictable.
+        """
         self._check_open()
         self._check_inputs_fresh()
         spec = self.spec_for(half_extent)
@@ -341,17 +399,21 @@ class SamplingSession:
             entry = self._entries.get(key)
             if entry is not None:
                 self.stats.prepare_hits += 1
+                entry.pins += 1
+                entry.last_used = time.monotonic()
                 return entry
             build_lock = self._build_locks.setdefault(key, threading.Lock())
         # Build outside the session lock: a cold-key prepare can take seconds
-        # (or spawn a worker pool), and requests on cached keys must not wait
-        # for it.  Concurrent requests for the *same* cold key serialise on
-        # the per-key build lock; the loser finds the entry cached.
+        # (or lease worker processes), and requests on cached keys must not
+        # wait for it.  Concurrent requests for the *same* cold key serialise
+        # on the per-key build lock; the loser finds the entry cached.
         with build_lock:
             with self._lock:
                 entry = self._entries.get(key)
                 if entry is not None:
                     self.stats.prepare_hits += 1
+                    entry.pins += 1
+                    entry.last_used = time.monotonic()
                     return entry
             self._check_inputs_fresh(full=True)
             if effective_jobs > 1:
@@ -360,6 +422,8 @@ class SamplingSession:
                     algorithm=name,
                     jobs=effective_jobs,
                     sampler_options=self._sampler_options,
+                    pool=self._pool,
+                    owner=self._owner,
                 )
                 entry_lock = None  # sharded samplers lock per shard
             elif get_sampler(name).supports_updates:
@@ -374,7 +438,18 @@ class SamplingSession:
                 sampler = get_sampler(name).create(spec, **self._sampler_options)
                 entry_lock = threading.Lock()
             prepare_timings = sampler.prepare()
-            entry = _CacheEntry(sampler=sampler, spec=spec, lock=entry_lock)
+            prepare_seconds = (
+                prepare_timings.preprocess_seconds + prepare_timings.total_seconds
+            )
+            entry = _CacheEntry(
+                sampler=sampler,
+                spec=spec,
+                lock=entry_lock,
+                nbytes=sampler.index_nbytes(),
+                prepare_seconds=prepare_seconds,
+                last_used=time.monotonic(),
+                pins=1,
+            )
             with self._lock:
                 if self._closed:
                     # The session closed while this key was being built;
@@ -382,13 +457,69 @@ class SamplingSession:
                     closer = getattr(sampler, "close", None)
                     if callable(closer):
                         closer()
-                    raise RuntimeError("the sampling session is closed")
+                    raise SessionClosedError("the sampling session is closed")
                 self._entries[key] = entry
                 self.stats.prepare_misses += 1
-                self.stats.prepare_seconds += (
-                    prepare_timings.preprocess_seconds + prepare_timings.total_seconds
-                )
+                self.stats.prepare_seconds += prepare_seconds
             return entry
+
+    def _release_entry(self, entry: _CacheEntry) -> None:
+        """Unpin an entry returned by :meth:`_resolve_entry`."""
+        with self._lock:
+            entry.pins = max(0, entry.pins - 1)
+            entry.last_used = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # External cache ownership (what the manager drives)
+    # ------------------------------------------------------------------
+    def cache_entries(self) -> list[dict[str, Any]]:
+        """Eviction-relevant metadata of every prepared entry (a snapshot).
+
+        Each row carries the cache ``key``, the structure footprint
+        ``nbytes`` (from ``index_nbytes`` - worker-resident bytes included),
+        the build cost ``prepare_seconds``, the monotonic ``last_used``
+        stamp, and the current ``pins`` count.  The manager ranks these for
+        cost-aware LRU eviction.
+        """
+        with self._lock:
+            return [
+                {
+                    "key": key,
+                    "nbytes": entry.nbytes,
+                    "prepare_seconds": entry.prepare_seconds,
+                    "last_used": entry.last_used,
+                    "pins": entry.pins,
+                }
+                for key, entry in self._entries.items()
+            ]
+
+    def cached_nbytes(self) -> int:
+        """Total tracked footprint of the prepared entries."""
+        with self._lock:
+            return sum(entry.nbytes for entry in self._entries.values())
+
+    def evict(self, key: tuple[str, float, int]) -> bool:
+        """Drop one prepared entry (and its build lock); False when pinned.
+
+        Eviction is transparent: the determinism contract (prepare consumes
+        no randomness) means the lazily re-prepared entry serves draws
+        **bit-identical** to the evicted one, so an external owner may evict
+        under memory pressure without changing any distribution.  A pinned
+        entry (in-flight draw) is left alone - the caller retries later.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.pins > 0:
+                return False
+            del self._entries[key]
+            self._build_locks.pop(key, None)
+            self.stats.evictions += 1
+        # Close outside the session lock: a sharded entry releases worker
+        # leases, which must not serialise against concurrent draws.
+        closer = getattr(entry.sampler, "close", None)
+        if callable(closer):
+            closer()
+        return True
 
     def prepare(
         self,
@@ -424,11 +555,14 @@ class SamplingSession:
         """
         rng = resolve_rng(rng, seed)
         entry = self._resolve_entry(algorithm, half_extent, jobs)
-        if entry.lock is not None:
-            with entry.lock:
+        try:
+            if entry.lock is not None:
+                with entry.lock:
+                    result = entry.sampler.sample(t, rng=rng)
+            else:
                 result = entry.sampler.sample(t, rng=rng)
-        else:
-            result = entry.sampler.sample(t, rng=rng)
+        finally:
+            self._release_entry(entry)
         self._record_result(result)
         return result
 
@@ -445,11 +579,14 @@ class SamplingSession:
         """``t`` *distinct* join pairs (the without-replacement extension)."""
         rng = resolve_rng(rng, seed)
         entry = self._resolve_entry(algorithm, half_extent, jobs)
-        if entry.lock is not None:
-            with entry.lock:
+        try:
+            if entry.lock is not None:
+                with entry.lock:
+                    result = entry.sampler.sample_without_replacement(t, rng=rng)
+            else:
                 result = entry.sampler.sample_without_replacement(t, rng=rng)
-        else:
-            result = entry.sampler.sample_without_replacement(t, rng=rng)
+        finally:
+            self._release_entry(entry)
         self._record_result(result)
         return result
 
@@ -473,22 +610,34 @@ class SamplingSession:
         observes a flat per-chunk latency from the first chunk on.
         """
         if chunk_size < 1:
-            raise ValueError("chunk_size must be at least 1")
+            raise InvalidSpecError("chunk_size must be at least 1")
         if t is not None and t < 0:
-            raise ValueError("t must be non-negative (or None for an endless stream)")
+            raise InvalidSpecError(
+                "t must be non-negative (or None for an endless stream)"
+            )
         rng = resolve_rng(rng, seed)
-        entry = self._resolve_entry(algorithm, half_extent, jobs)
+        # Validate arguments and prepare the structures at call time (not at
+        # the first next()), then release the pin: each chunk re-checks the
+        # cache below, so an endless stream never pins its entry forever -
+        # an external owner may evict it between chunks and the re-prepared
+        # entry continues the stream bit-identically (prepare consumes no
+        # randomness; the stream's generator carries the randomness).
+        self._release_entry(self._resolve_entry(algorithm, half_extent, jobs))
 
         def chunks() -> Iterator[list[SamplePair]]:
             remaining = t
             while remaining is None or remaining > 0:
                 self._check_open()
                 size = chunk_size if remaining is None else min(chunk_size, remaining)
-                if entry.lock is not None:
-                    with entry.lock:
+                entry = self._resolve_entry(algorithm, half_extent, jobs)
+                try:
+                    if entry.lock is not None:
+                        with entry.lock:
+                            result = entry.sampler.sample(size, rng=rng)
+                    else:
                         result = entry.sampler.sample(size, rng=rng)
-                else:
-                    result = entry.sampler.sample(size, rng=rng)
+                finally:
+                    self._release_entry(entry)
                 self._record_result(result)
                 yield result.pairs
                 if remaining is not None:
@@ -512,8 +661,14 @@ class SamplingSession:
 
         * serial entries of maintainable algorithms (wrapped in
           :class:`~repro.dynamic.DynamicSampler`) patch their structures in
-          place - grid cells, per-cell corner structures, bound-matrix rows
-          and the lazily rebuilt alias;
+          place - grid cells, per-cell corner structures and bound-matrix
+          rows - and are then flushed (:meth:`DynamicSampler.flush`) back
+          into the canonical fresh-build state.  The flush costs one O(n)
+          alias rebuild per batch, and it is what keeps external eviction
+          transparent: a session entry always draws bit-identically to a
+          fresh build over the current points, so an owner (the
+          :class:`~repro.manager.SessionManager`) may evict it at any moment
+          and the lazily re-prepared replacement changes no distribution;
         * sharded entries re-route through updated per-shard ``|J_i|``
           weights: only the shards whose x-range the change touches are
           rebuilt in their resident workers, and the strip plan is redone
@@ -527,7 +682,7 @@ class SamplingSession:
         content-fingerprint guard and fails the next request.
         """
         if side not in ("r", "s"):
-            raise ValueError(f"side must be 'r' or 's', got {side!r}")
+            raise InvalidSpecError(f"side must be 'r' or 's', got {side!r}")
         start = time.perf_counter()
         with self._lock:
             self._check_open()
@@ -597,7 +752,9 @@ class SamplingSession:
                                 insert_ids=ins_ids if ins_xs.size else None,
                                 delete=delete_ids if delete_ids.size else None,
                             )
+                            sampler.flush()
                         entry.spec = new_spec
+                        entry.nbytes = sampler.index_nbytes()
                         kept.append(key)
                     elif isinstance(sampler, ShardedSampler):
                         sampler.apply_update(
@@ -606,12 +763,17 @@ class SamplingSession:
                             s_interval=interval if side == "s" else None,
                         )
                         entry.spec = new_spec
+                        entry.nbytes = sampler.index_nbytes()
                         resharded.append(key)
                     else:
                         closer = getattr(sampler, "close", None)
                         if callable(closer):
                             closer()
                         del self._entries[key]
+                        # Dropped entries take their per-key build lock with
+                        # them: the lock map would otherwise grow by one dead
+                        # lock per dropped key for the session's lifetime.
+                        self._build_locks.pop(key, None)
                         dropped.append(key)
                 except Exception as exc:
                     # Fault isolation: a failed engine must not leave the
@@ -625,6 +787,7 @@ class SamplingSession:
                         except Exception:  # pragma: no cover - best effort
                             pass
                     self._entries.pop(key, None)
+                    self._build_locks.pop(key, None)
                     dropped.append(key)
                     failures.append(f"{key}: {exc}")
 
@@ -635,7 +798,7 @@ class SamplingSession:
             self.stats.updates += 1
             self.stats.update_seconds += time.perf_counter() - start
             if failures:
-                raise RuntimeError(
+                raise MaintenanceError(
                     "the update was applied, but some cached engines failed "
                     "to maintain their structures and were dropped (they "
                     "rebuild on the next request): " + "; ".join(failures)
@@ -669,9 +832,10 @@ class SamplingSession:
             }
 
     def close(self) -> None:
-        """Drop every cached structure; later requests raise ``RuntimeError``.
+        """Drop every cached structure; later requests raise
+        :class:`~repro.errors.SessionClosedError`.
 
-        Sharded entries shut their resident worker processes down.
+        Sharded entries release their worker leases back to the pool.
         """
         with self._lock:
             for entry in self._entries.values():

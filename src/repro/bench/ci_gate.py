@@ -17,11 +17,18 @@ Run as ``python -m repro.bench.ci_gate``.  The gate
    versus one full rebuild per round - and requires both the committed
    speedup floor *and* a bit-identical maintained state versus a fresh
    build over the final ``(R, S)``,
-5. writes the measurements to ``BENCH_ci.json``, and
-6. compares against the committed ``benchmarks/baseline_ci.json``: any
+5. with ``--manager``, runs the ``manager_multitenancy`` experiment - 8
+   tenants of mixed draw/update traffic through one
+   :class:`~repro.manager.SessionManager` under a memory budget of ~50% of
+   their total prepared bytes - and requires the committed *boolean* floors:
+   the budget was never exceeded between operations, every post-eviction
+   draw was bit-identical to a never-evicted twin session, and evictions
+   actually happened (so the other floors were earned),
+6. writes the measurements to ``BENCH_ci.json``, and
+7. compares against the committed ``benchmarks/baseline_ci.json``: any
    ``(dataset, algorithm)`` sampling-phase row slower than ``factor``
-   (default 2) times its baseline fails, and any session-reuse, parallel or
-   dynamic speedup below its baseline *minimum* fails.
+   (default 2) times its baseline fails, and any session-reuse, parallel,
+   dynamic or manager measurement below its baseline *minimum* fails.
 
 The committed baseline holds *generous* values (local measurements rounded
 up / down) so that ordinary CI-runner jitter passes while a reintroduced
@@ -47,6 +54,7 @@ __all__ = [
     "collect_measurements",
     "collect_parallel_measurements",
     "collect_dynamic_measurements",
+    "collect_manager_measurements",
     "compare_to_baseline",
     "as_baseline",
     "main",
@@ -83,6 +91,13 @@ GATE_DYNAMIC_ROUNDS = 5
 GATE_DYNAMIC_BATCH = 500
 GATE_DYNAMIC_POINTS = 40_000
 GATE_DYNAMIC_SAMPLES = 2_000
+
+#: Manager-gate workload: 8 tenants x mixed draw/update traffic under a
+#: memory budget of ~50% of their total prepared bytes (the configuration
+#: whose boolean floors are committed).
+GATE_MANAGER_TENANTS = 8
+GATE_MANAGER_ROUNDS = 3
+GATE_MANAGER_SAMPLES = 500
 
 DEFAULT_BASELINE = Path("benchmarks") / "baseline_ci.json"
 DEFAULT_OUTPUT = Path("BENCH_ci.json")
@@ -196,6 +211,40 @@ def collect_dynamic_measurements(repeats: int = 2) -> dict:
     return {key: round(value, 3) for key, value in sorted(best.items())}
 
 
+def collect_manager_measurements(repeats: int = 1) -> dict:
+    """Boolean manager-gate floors at the committed multi-tenant config.
+
+    The ``manager`` experiment serves ``GATE_MANAGER_TENANTS`` tenants of
+    mixed draw/update traffic through one manager under a ~50% memory budget
+    and reports three 0.0/1.0 correctness metrics: ``budget_adherence`` (the
+    tracked bytes never exceeded the budget between operations),
+    ``eviction_bit_identity`` (every managed draw matched a never-evicted
+    twin session bit-for-bit, including draws served by transparent
+    re-prepare after eviction) and ``eviction_exercised`` (evictions actually
+    happened, so the other two floors were earned under pressure).  Repeats
+    keep the *minimum* per metric - a single failing run fails the gate.
+    """
+    _title, manager = EXPERIMENTS["manager"]
+    worst: dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        rows = manager(
+            scale=ExperimentScale.SMOKE,
+            tenants=GATE_MANAGER_TENANTS,
+            rounds=GATE_MANAGER_ROUNDS,
+            num_samples=GATE_MANAGER_SAMPLES,
+        )
+        for row in rows:
+            for metric in (
+                "budget_adherence",
+                "eviction_bit_identity",
+                "eviction_exercised",
+            ):
+                value = float(row[metric])
+                if metric not in worst or value < worst[metric]:
+                    worst[metric] = value
+    return {key: round(value, 3) for key, value in sorted(worst.items())}
+
+
 def as_baseline(current: dict) -> dict:
     """Turn raw measurements into a committed-baseline payload with slack.
 
@@ -203,6 +252,9 @@ def as_baseline(current: dict) -> dict:
     provides the slack); ``session_speedup`` floors are halved (never below
     1.05x) because the gate compares them directly - run-to-run jitter passes
     while a session that rebuilds its structures per request (~1.0x) fails.
+    The ``manager`` section is copied verbatim: its floors are exact 0/1
+    correctness booleans, so halving (which would floor them at 1.05) would
+    make them unsatisfiable.
     """
     def halved_floors(section: dict) -> dict:
         return {
@@ -311,6 +363,28 @@ def compare_to_baseline(
             problems.append(
                 f"dynamic_speedup {key}: missing from the committed baseline"
             )
+
+    # The manager section is opt-in (--manager) too.  Its floors are exact
+    # 0/1 correctness booleans, so any measured value below the committed 1.0
+    # means a real violation (budget exceeded, non-bit-identical draw after
+    # eviction, or a workload that never evicted and thus proved nothing).
+    current_manager = current.get("manager")
+    baseline_manager = baseline.get("manager", {})
+    if current_manager is not None:
+        for key, required in sorted(baseline_manager.items()):
+            measured = current_manager.get(key)
+            if measured is None:
+                problems.append(f"manager {key}: missing from the current measurements")
+                continue
+            if measured < required:
+                problems.append(
+                    f"manager {key}: measured {measured:g}, below the required "
+                    f"{required:g} (tenants={GATE_MANAGER_TENANTS}, "
+                    f"rounds={GATE_MANAGER_ROUNDS}) - the multi-tenant budget "
+                    "or bit-identity guarantee broke"
+                )
+        for key in sorted(set(current_manager) - set(baseline_manager)):
+            problems.append(f"manager {key}: missing from the committed baseline")
     return problems
 
 
@@ -348,6 +422,12 @@ def main(argv: list[str] | None = None) -> int:
         f"(rounds={GATE_DYNAMIC_ROUNDS}, batch={GATE_DYNAMIC_BATCH}, "
         f"n=m={GATE_DYNAMIC_POINTS // 2:,})",
     )
+    parser.add_argument(
+        "--manager", action="store_true",
+        help="also measure the multi-tenant manager floors "
+        f"(tenants={GATE_MANAGER_TENANTS}, rounds={GATE_MANAGER_ROUNDS}, "
+        "memory budget ~50% of total prepared bytes)",
+    )
     args = parser.parse_args(argv)
 
     current = collect_measurements(repeats=args.repeats)
@@ -363,6 +443,8 @@ def main(argv: list[str] | None = None) -> int:
             current["parallel_speedup"] = collect_parallel_measurements()
     if args.dynamic:
         current["dynamic_speedup"] = collect_dynamic_measurements()
+    if args.manager:
+        current["manager"] = collect_manager_measurements()
     args.output.write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {args.output}")
     for key, seconds in current["sampling_seconds"].items():
@@ -373,6 +455,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  parallel_speedup {key}: {speedup:.2f}x")
     for key, speedup in current.get("dynamic_speedup", {}).items():
         print(f"  dynamic_speedup {key}: {speedup:.2f}x")
+    for key, value in current.get("manager", {}).items():
+        print(f"  manager {key}: {value:g}")
 
     if args.write_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)

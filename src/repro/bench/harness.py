@@ -29,6 +29,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.api.session import SamplingSession
+from repro.manager import SessionManager
 from repro.bench.workloads import (
     ExperimentScale,
     WorkloadConfig,
@@ -54,6 +55,7 @@ __all__ = [
     "run_session_reuse",
     "run_parallel_speedup",
     "run_update_throughput",
+    "run_manager_multitenancy",
     "run_baseline_comparison",
     "run_fig4_memory",
     "run_fig5_range_size",
@@ -516,6 +518,177 @@ def run_update_throughput(
             }
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Manager - multi-tenant serving under a fixed memory budget
+# ----------------------------------------------------------------------
+
+#: Per-tenant synthetic point budgets (before the R/S split).
+_MANAGER_SCALE_POINTS: dict[ExperimentScale, int] = {
+    ExperimentScale.SMOKE: 6_000,  # 8 tenants x n = m = 3,000
+    ExperimentScale.PAPER: 40_000,  # 8 tenants x n = m = 20,000
+}
+
+#: Window half-extent of the manager experiment (the paper's default l=100).
+MANAGER_HALF_EXTENT = 100.0
+
+#: Fraction of the tenants' total prepared bytes granted as the budget, so
+#: roughly half the tenants' structures must be evicted at any time.
+MANAGER_BUDGET_FRACTION = 0.5
+
+
+def run_manager_multitenancy(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    tenants: int = 8,
+    rounds: int = 3,
+    num_samples: int | None = None,
+    update_batch: int = 100,
+    budget_fraction: float = MANAGER_BUDGET_FRACTION,
+    algorithm: str = "bbst",
+    seed: int = 53,
+) -> list[Row]:
+    """T tenants of mixed draw/update traffic under ~50% of their total bytes.
+
+    Every tenant gets its own synthetic uniform instance and an *un-managed*
+    twin :class:`~repro.api.session.SamplingSession`; the managed side serves
+    the identical request schedule through one
+    :class:`~repro.manager.SessionManager` whose ``memory_budget`` is
+    ``budget_fraction`` of the twins' total prepared bytes, so the manager
+    must keep evicting prepared entries to stay under budget while all
+    tenants stay live.  Each round every tenant draws ``t`` samples (pinned
+    per-(tenant, round) seeds) and one tenant (round-robin) applies an
+    insert/delete batch - mirrored onto its twin, so the two sides' data
+    stay equal.
+
+    Three boolean columns make the committed CI floors:
+
+    * ``budget_adherence`` - the tracked bytes, sampled after every single
+      operation, never exceeded the budget;
+    * ``eviction_bit_identity`` - every managed draw (including every draw
+      served by a transparently re-prepared entry after an eviction) returned
+      **bit-identical** pairs to its never-evicted twin;
+    * ``eviction_exercised`` - the run actually evicted (a budget this tight
+      cannot be served without evictions; a 1.0 here proves the other two
+      columns were earned, not vacuous).
+
+    The workload is pinned (``workloads`` / ``datasets`` accepted for
+    registry uniformity and ignored) so the committed floors cannot drift
+    with the proxy catalogue.
+    """
+    del workloads, datasets  # pinned workload; see docstring
+    if tenants < 1:
+        raise ValueError("tenants must be at least 1")
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    points_budget = _MANAGER_SCALE_POINTS[scale]
+    t = (500 if scale is ExperimentScale.SMOKE else 2_000) if num_samples is None else num_samples
+
+    tenant_specs: list[JoinSpec] = []
+    for index in range(tenants):
+        rng = np.random.default_rng(seed + index)
+        points = uniform_points(points_budget, rng, name=f"tenant-{index}")
+        r_points, s_points = split_r_s(points, rng)
+        tenant_specs.append(
+            JoinSpec(
+                r_points=r_points, s_points=s_points, half_extent=MANAGER_HALF_EXTENT
+            )
+        )
+
+    # The never-evicted twins: one plain session per tenant, prepared up
+    # front so their summed bytes define the budget.
+    twins = [
+        SamplingSession(
+            spec.r_points,
+            spec.s_points,
+            MANAGER_HALF_EXTENT,
+            algorithm=algorithm,
+            eager=True,
+        )
+        for spec in tenant_specs
+    ]
+    total_prepared = sum(twin.cached_nbytes() for twin in twins)
+    budget = max(1, int(total_prepared * budget_fraction))
+
+    manager = SessionManager(memory_budget=budget, name="bench")
+    start = time.perf_counter()
+    handles = [
+        manager.open(
+            f"tenant-{index}",
+            spec.r_points,
+            spec.s_points,
+            MANAGER_HALF_EXTENT,
+            algorithm=algorithm,
+        )
+        for index, spec in enumerate(tenant_specs)
+    ]
+
+    draws = 0
+    updates = 0
+    peak_tracked = 0
+    bit_identical = True
+    update_rng = np.random.default_rng(seed + 1_000)
+    try:
+        for round_index in range(rounds):
+            for index, handle in enumerate(handles):
+                draw_seed = seed + 97 * round_index + index
+                managed = handle.draw(t, seed=draw_seed)
+                reference = twins[index].draw(t, seed=draw_seed)
+                draws += 1
+                peak_tracked = max(peak_tracked, manager.tracked_nbytes())
+                if [p.as_index_tuple() for p in managed.pairs] != [
+                    p.as_index_tuple() for p in reference.pairs
+                ]:
+                    bit_identical = False
+
+            # One tenant's data changes per round; its twin mirrors the
+            # exact same batch so later draw comparisons stay meaningful.
+            victim = round_index % tenants
+            side = "s" if round_index % 2 == 0 else "r"
+            live = (
+                twins[victim].s_points if side == "s" else twins[victim].r_points
+            )
+            deletions = min(update_batch // 2, max(0, len(live) - 1))
+            insertions = update_batch - deletions
+            delete_ids = update_rng.choice(live.ids, size=deletions, replace=False)
+            ins_xs = update_rng.uniform(0.0, 10_000.0, size=insertions)
+            ins_ys = update_rng.uniform(0.0, 10_000.0, size=insertions)
+            handles[victim].update(
+                side, insert=(ins_xs, ins_ys), delete=delete_ids
+            )
+            twins[victim].update(side, insert=(ins_xs, ins_ys), delete=delete_ids)
+            updates += 1
+            peak_tracked = max(peak_tracked, manager.tracked_nbytes())
+
+        managed_seconds = time.perf_counter() - start
+        stats = manager.stats()
+    finally:
+        manager.close()
+        for twin in twins:
+            twin.close()
+
+    return [
+        {
+            "tenants": tenants,
+            "rounds": rounds,
+            "t": t,
+            "algorithm": algorithm,
+            "draws": draws,
+            "updates": updates,
+            "total_prepared_bytes": total_prepared,
+            "budget_bytes": budget,
+            "peak_tracked_bytes": peak_tracked,
+            "budget_adherence": float(peak_tracked <= budget),
+            "eviction_bit_identity": float(bit_identical),
+            "eviction_exercised": float(stats["manager_evictions"] > 0),
+            "evictions": stats["manager_evictions"],
+            "prepare_misses": stats["prepare_misses"],
+            "prepare_hits": stats["prepare_hits"],
+            "managed_seconds": managed_seconds,
+        }
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -19,6 +19,7 @@ from repro.bench.harness import (
     run_fig7_dataset_size,
     run_fig8_size_ratio,
     run_fig9_bbst_vs_cell_kdtree,
+    run_manager_multitenancy,
     run_parallel_speedup,
     run_session_reuse,
     run_table2_preprocessing,
@@ -60,6 +61,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]]]] = {
     "dynamic": (
         "Extra - incremental update throughput vs full rebuild per change",
         run_update_throughput,
+    ),
+    "manager": (
+        "Extra - multi-tenant serving under a fixed memory budget",
+        run_manager_multitenancy,
     ),
     "uniformity": ("Extra - uniformity of produced samples", run_uniformity_experiment),
 }

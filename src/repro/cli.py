@@ -13,6 +13,9 @@
 * ``update`` - stream rounds of point insertions/deletions through
   ``SamplingSession.update`` (the dynamic-update engine) while serving
   draws, printing the per-round update throughput.
+* ``manage`` - serve several dataset proxies as tenants of one
+  :class:`~repro.manager.SessionManager` under an optional memory budget,
+  printing per-tenant draw times and the manager's eviction/pool stats.
 
 Algorithms are resolved from the sampler registry
 (:mod:`repro.core.registry`), so a sampler registered with
@@ -27,6 +30,8 @@ Examples
    $ repro-spatial-join-sampling sample --dataset nyc --algorithm auto -t 1000
    $ repro-spatial-join-sampling sample --dataset nyc --repeat 5 -t 10000
    $ repro-spatial-join-sampling plan --dataset castreet --half-extent 100
+   $ repro-spatial-join-sampling manage --datasets castreet foursquare nyc \
+       --budget-mb 2 --rounds 3 -t 1000
 """
 
 from __future__ import annotations
@@ -158,6 +163,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="points inserted and deleted per round (alternating R/S sides)",
     )
     update.add_argument("-t", "--num-samples", type=int, default=1_000)
+
+    manage = subparsers.add_parser(
+        "manage",
+        help="serve several dataset proxies as tenants of one SessionManager "
+        "under an optional memory budget",
+    )
+    manage.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=DATASET_NAMES,
+        default=["castreet", "foursquare"],
+        help="one tenant is opened per dataset proxy",
+    )
+    manage.add_argument("--size", type=int, default=None, help="proxy size (points)")
+    manage.add_argument("--algorithm", choices=_algorithm_choices(), default="auto")
+    manage.add_argument("--half-extent", type=float, default=DEFAULT_HALF_EXTENT)
+    manage.add_argument("--seed", type=int, default=0)
+    manage.add_argument("-t", "--num-samples", type=int, default=1_000)
+    manage.add_argument(
+        "--rounds", type=int, default=3, help="draw rounds over all tenants"
+    )
+    manage.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="memory budget (MiB) across every tenant's prepared structures; "
+        "the manager evicts cost-aware-LRU entries to stay under it "
+        "(default: unlimited)",
+    )
+    manage.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="capacity of the shared worker pool all tenants lease from",
+    )
 
     return parser
 
@@ -363,6 +403,80 @@ def _command_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_manage(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.manager import SessionManager
+
+    if args.rounds < 1:
+        print("error: --rounds must be at least 1", file=sys.stderr)
+        return 2
+    if args.budget_mb is not None and args.budget_mb <= 0:
+        print("error: --budget-mb must be positive", file=sys.stderr)
+        return 2
+    budget = (
+        int(args.budget_mb * 1024 * 1024) if args.budget_mb is not None else None
+    )
+    manager = SessionManager(
+        memory_budget=budget, max_workers=args.workers, name="cli"
+    )
+    try:
+        handles = {}
+        for index, dataset in enumerate(args.datasets):
+            rng = np.random.default_rng(args.seed + index)
+            points = load_proxy(dataset, size=args.size)
+            r_points, s_points = split_r_s(points, rng)
+            handles[dataset] = manager.open(
+                dataset,
+                r_points,
+                s_points,
+                args.half_extent,
+                algorithm=args.algorithm,
+            )
+            print(
+                f"opened tenant {dataset!r} (n={len(r_points):,}, m={len(s_points):,})"
+            )
+        for round_index in range(args.rounds):
+            for index, (dataset, handle) in enumerate(handles.items()):
+                start = time.perf_counter()
+                result = handle.draw(
+                    args.num_samples, seed=args.seed + 97 * round_index + index
+                )
+                seconds = time.perf_counter() - start
+                print(
+                    f"round {round_index + 1}: {dataset}: {len(result)} samples "
+                    f"via {result.sampler_name} in {seconds:.3f}s "
+                    f"(tracked {manager.tracked_nbytes() / 1024 / 1024:.2f} MiB)"
+                )
+        stats = manager.stats()
+        budget_text = (
+            f"{stats['memory_budget'] / 1024 / 1024:.2f} MiB"
+            if stats["memory_budget"] is not None
+            else "unlimited"
+        )
+        print(
+            f"manager: budget {budget_text}, "
+            f"peak tracked {stats['peak_tracked_nbytes'] / 1024 / 1024:.2f} MiB, "
+            f"{stats['manager_evictions']} evictions, "
+            f"{stats['prepare_hits']} prepare hits / "
+            f"{stats['prepare_misses']} misses"
+        )
+        pool = stats["pool"]
+        print(
+            f"pool: capacity {pool['capacity']}, peak leased {pool['peak_leased']}, "
+            f"{pool['granted']} leases granted / {pool['denied']} denied"
+        )
+        for tenant_id, tenant in sorted(stats["tenants"].items()):
+            print(
+                f"  tenant {tenant_id}: {tenant['bytes'] / 1024 / 1024:.2f} MiB cached, "
+                f"{len(tenant['cached_keys'])} entries, "
+                f"{tenant['stats'].get('requests', 0)} requests"
+            )
+    finally:
+        manager.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -379,6 +493,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_plan(args)
     if args.command == "update":
         return _command_update(args)
+    if args.command == "manage":
+        return _command_manage(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
+from repro.errors import InvalidSpecError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.base import JoinSampleResult
     from repro.core.config import JoinSpec
@@ -44,7 +46,7 @@ def validate_half_extent(value: float, name: str = "half_extent") -> float:
     """
     value = float(value)
     if math.isnan(value) or math.isinf(value) or value <= 0.0:
-        raise ValueError(f"{name} must be positive")
+        raise InvalidSpecError(f"{name} must be positive")
     return value
 
 
@@ -55,10 +57,10 @@ def validate_jobs(jobs: int, name: str = "jobs") -> int:
     engine may use; it must be a positive integer.
     """
     if isinstance(jobs, bool) or int(jobs) != jobs:
-        raise ValueError(f"{name} must be an integer")
+        raise InvalidSpecError(f"{name} must be an integer")
     jobs = int(jobs)
     if jobs < 1:
-        raise ValueError(f"{name} must be at least 1")
+        raise InvalidSpecError(f"{name} must be at least 1")
     return jobs
 
 

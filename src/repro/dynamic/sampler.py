@@ -48,6 +48,7 @@ from repro.core.config import JoinSpec
 from repro.core.grid_sampler_base import GridJoinSamplerBase, PreparedGridState
 from repro.core.registry import get_sampler
 from repro.dynamic.store import DynamicPointStore
+from repro.errors import InvalidSpecError
 from repro.geometry.point import PointSet
 from repro.grid.grid import PACK_LIMIT, pack_cell_keys
 
@@ -123,12 +124,12 @@ class DynamicSampler(JoinSampler):
         )
         entry = get_sampler(algorithm)
         if not entry.supports_updates:
-            raise ValueError(
+            raise InvalidSpecError(
                 f"sampler {entry.name!r} does not support incremental updates; "
                 "maintainable samplers advertise supports_updates in the registry"
             )
         if rebuild_threshold < 0:
-            raise ValueError("rebuild_threshold must be non-negative")
+            raise InvalidSpecError("rebuild_threshold must be non-negative")
         self._algorithm = entry.name
         self._rebuild_threshold = float(rebuild_threshold)
         inner = entry.create(spec, **sampler_options)
@@ -268,7 +269,7 @@ class DynamicSampler(JoinSampler):
         exactly uniform over the new join) as soon as this returns.
         """
         if side not in _SIDES:
-            raise ValueError(f"side must be one of {_SIDES}, got {side!r}")
+            raise InvalidSpecError(f"side must be one of {_SIDES}, got {side!r}")
         start = time.perf_counter()
         self._ensure_dynamic()
         ins_xs, ins_ys, ins_ids = self._coerce_insert(insert, insert_ids)
@@ -324,7 +325,7 @@ class DynamicSampler(JoinSampler):
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         if insert is None:
             if insert_ids is not None:
-                raise ValueError("insert_ids given without points to insert")
+                raise InvalidSpecError("insert_ids given without points to insert")
             return np.empty(0), np.empty(0), None
         if isinstance(insert, PointSet):
             ids = insert.ids if insert_ids is None else insert_ids

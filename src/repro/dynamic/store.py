@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import InvalidSpecError
 from repro.geometry.point import PointSet
 
 __all__ = ["DynamicPointStore"]
@@ -41,7 +42,7 @@ class DynamicPointStore:
             int(pid): index for index, pid in enumerate(self._ids)
         }
         if len(self._positions) != self._ids.shape[0]:
-            raise ValueError("point ids must be unique to support deletion by id")
+            raise InvalidSpecError("point ids must be unique to support deletion by id")
         self._next_id = int(self._ids.max()) + 1 if self._ids.size else 0
         self._snapshot: PointSet | None = points
 
@@ -93,21 +94,21 @@ class DynamicPointStore:
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
         if xs.ndim != 1 or xs.shape != ys.shape:
-            raise ValueError("xs and ys must be equal-length 1-D arrays")
+            raise InvalidSpecError("xs and ys must be equal-length 1-D arrays")
         if not (np.all(np.isfinite(xs)) and np.all(np.isfinite(ys))):
-            raise ValueError("inserted coordinates must be finite")
+            raise InvalidSpecError("inserted coordinates must be finite")
         count = xs.shape[0]
         if ids is None:
             new_ids = np.arange(self._next_id, self._next_id + count, dtype=np.int64)
         else:
             new_ids = np.asarray(ids, dtype=np.int64).copy()
             if new_ids.shape != xs.shape:
-                raise ValueError("ids must have the same length as the coordinates")
+                raise InvalidSpecError("ids must have the same length as the coordinates")
             if np.unique(new_ids).size != count:
-                raise ValueError("inserted ids must be unique")
+                raise InvalidSpecError("inserted ids must be unique")
             for pid in new_ids:
                 if int(pid) in self._positions:
-                    raise ValueError(f"point id {int(pid)} is already present")
+                    raise InvalidSpecError(f"point id {int(pid)} is already present")
         if count == 0:
             return new_ids
         base = len(self)
@@ -132,7 +133,7 @@ class DynamicPointStore:
             empty = np.empty(0, dtype=np.int64)
             return empty, np.empty(0), np.empty(0)
         if np.unique(wanted).size != wanted.size:
-            raise ValueError("deleted ids must be unique")
+            raise InvalidSpecError("deleted ids must be unique")
         positions = np.empty(wanted.size, dtype=np.int64)
         for slot, pid in enumerate(wanted):
             try:

@@ -1,0 +1,76 @@
+"""The library-wide exception hierarchy.
+
+Every error the request/response layers raise deliberately derives from
+:class:`ReproError`, so a service wrapping the library can catch one type at
+its request boundary and map subclasses to responses (400 for
+:class:`InvalidSpecError`, 409 for :class:`StaleInputError`, 429/507 for
+:class:`BudgetExceededError`, 410 for :class:`SessionClosedError`).
+
+Deprecation compatibility: each subclass *also* derives from the ad-hoc
+builtin the same condition used to raise (``ValueError`` / ``RuntimeError``),
+so existing ``except ValueError`` / ``except RuntimeError`` call sites keep
+working for one deprecation cycle.  New code should catch the
+:class:`ReproError` types; the builtin bases will be dropped in a future
+major release.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidSpecError",
+    "StaleInputError",
+    "BudgetExceededError",
+    "SessionClosedError",
+    "MaintenanceError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error raised by the library."""
+
+
+class InvalidSpecError(ReproError, ValueError):
+    """A request or join-instance parameter is out of its legal domain.
+
+    Raised for non-positive window half-extents, bad worker counts, negative
+    sample counts, malformed update batches, empty-join draw requests and the
+    like.  Subclasses ``ValueError`` for one deprecation cycle.
+    """
+
+
+class StaleInputError(ReproError, RuntimeError):
+    """The session's input point sets were mutated behind its back.
+
+    Prepared structures are built from the open-time (or last update-time)
+    content of ``(R, S)``; the content-fingerprint guard raises this instead
+    of silently serving draws from a stale join.  Subclasses ``RuntimeError``
+    for one deprecation cycle.
+    """
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """A memory budget cannot be met even after evicting every idle entry.
+
+    Raised by :class:`~repro.manager.SessionManager` when a single prepared
+    entry alone exceeds the global budget, or when every evictable entry has
+    been dropped and the tracked bytes still exceed it.  Subclasses
+    ``RuntimeError`` for one deprecation cycle.
+    """
+
+
+class SessionClosedError(ReproError, RuntimeError):
+    """An operation was attempted on a closed session, sampler or manager.
+
+    Subclasses ``RuntimeError`` for one deprecation cycle.
+    """
+
+
+class MaintenanceError(ReproError, RuntimeError):
+    """An update batch was applied but some cached engines failed to follow.
+
+    The data change itself succeeded and the failing engines were dropped
+    (they rebuild lazily from the new data on the next request); this error
+    reports which ones.  Subclasses ``RuntimeError`` for one deprecation
+    cycle.
+    """

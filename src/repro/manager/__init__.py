@@ -1,0 +1,15 @@
+"""Multi-tenant session management: the recommended public entry point.
+
+* :class:`~repro.manager.manager.SessionManager` - owns session lifecycle,
+  the global memory budget (cost-aware LRU eviction with bit-identical
+  re-prepare) and the shared worker pool for every tenant.
+* :class:`~repro.manager.manager.SessionHandle` - a tenant's request surface
+  (``draw`` / ``draw_distinct`` / ``stream`` / ``update`` / ``plan``).
+* :func:`~repro.manager.manager.open_session` - single-tenant convenience
+  over a private manager, the drop-in replacement for direct
+  ``SamplingSession`` construction.
+"""
+
+from repro.manager.manager import SessionHandle, SessionManager, open_session
+
+__all__ = ["SessionHandle", "SessionManager", "open_session"]

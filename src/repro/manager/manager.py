@@ -1,0 +1,593 @@
+"""The multi-tenant :class:`SessionManager`: one owner for lifecycle, memory and workers.
+
+A single :class:`~repro.api.session.SamplingSession` already amortises the
+paper's offline/build/count phases over many requests - but it owns its own
+caches and leases its own workers, so a service holding one session per
+tenant ends up with N uncoordinated memory footprints competing for one
+machine.  The manager is the resource owner above the sessions:
+
+>>> import numpy as np
+>>> from repro import SessionManager, split_r_s, uniform_points
+>>> rng = np.random.default_rng(0)
+>>> r_points, s_points = split_r_s(uniform_points(2_000, rng), rng)
+>>> with SessionManager(memory_budget=64 << 20) as manager:
+...     handle = manager.open("tenant-a", r_points, s_points, half_extent=200.0)
+...     result = handle.draw(100, seed=0)
+>>> len(result)
+100
+
+It owns three things:
+
+**Memory.**  Every prepared cache entry reports its structure footprint
+(``index_nbytes``, worker-resident bytes included); the manager keeps the sum
+under ``memory_budget`` with cost-aware LRU eviction: the evicted entry is
+the least-recently-used one after discounting entries that were expensive to
+prepare (``eviction_cost_weight`` seconds of build time count like seconds of
+recency).  Eviction is *transparent and exact*: prepared structures consume
+no randomness, so the lazily re-prepared entry serves draws **bit-identical**
+to the evicted one - the ``manager`` bench experiment and its CI floor pin
+this.  Entries pinned by in-flight draws are never evicted; the budget is
+therefore enforced *between* operations (after every handle call), which is
+the strongest guarantee compatible with not invalidating structures mid-draw.
+
+**Workers.**  All tenants' sharded entries lease worker processes from one
+:class:`~repro.parallel.pool.WorkerPool` owned by the manager - no
+per-sampler resident pools - with per-tenant fairness at lease time and the
+tenant's fair share clamping planner-recommended ``jobs``.  A denied lease
+builds that shard in-process (bit-identical), so capacity shapes latency,
+never correctness.
+
+**Lifecycle.**  ``open`` binds a tenant, ``close`` releases one (or all),
+``stats`` exports per-tenant bytes, hit/eviction counts and worker
+utilisation.  With ``idle_timeout`` set, tenants idle longer than the
+timeout have their session closed (structures freed, leases returned); the
+next handle operation transparently re-opens from the tenant's *current*
+point sets - applied updates survive expiry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.api.planner import PlanReport
+from repro.api.session import SamplingSession
+from repro.core.base import JoinSampleResult, SamplePair
+from repro.errors import BudgetExceededError, InvalidSpecError, SessionClosedError
+from repro.geometry.point import PointSet
+from repro.parallel.pool import WorkerPool
+
+__all__ = ["SessionManager", "SessionHandle", "open_session"]
+
+#: How long one budget-enforcement pass will wait for pinned entries to be
+#: released before giving up (concurrent draws unpin within microseconds of
+#: finishing; this bound only matters when another thread draws non-stop).
+_ENFORCE_RETRIES = 250
+_ENFORCE_SLEEP_SECONDS = 0.002
+
+
+@dataclass
+class _Tenant:
+    """The manager's record of one bound tenant."""
+
+    tenant_id: str
+    r_points: PointSet
+    s_points: PointSet
+    half_extent: float
+    opts: dict[str, Any]
+    session: SamplingSession | None
+    opened_at: float
+    last_active: float
+    reopens: int = 0
+    stats_carry: dict[str, float] = field(default_factory=dict)
+
+
+class SessionHandle:
+    """A tenant's view of its managed session: the recommended request surface.
+
+    Handles proxy :meth:`draw` / :meth:`draw_distinct` / :meth:`stream` /
+    :meth:`update` / :meth:`plan` / :meth:`describe` to the tenant's
+    lazily-(re)prepared :class:`~repro.api.session.SamplingSession`; after
+    every proxied operation the manager enforces its memory budget and
+    refreshes the tenant's idle clock.  A handle stays valid across
+    idle-expiry (the next call transparently re-opens the session); it
+    raises :class:`~repro.errors.SessionClosedError` only after an explicit
+    :meth:`close` (or the manager's).
+    """
+
+    def __init__(self, manager: "SessionManager", tenant_id: str, owns_manager: bool = False) -> None:
+        self._manager = manager
+        self._tenant_id = tenant_id
+        self._owns_manager = owns_manager
+
+    @property
+    def tenant_id(self) -> str:
+        return self._tenant_id
+
+    @property
+    def manager(self) -> "SessionManager":
+        return self._manager
+
+    # -- proxied request surface ---------------------------------------
+    def draw(self, t: int, **kwargs: Any) -> JoinSampleResult:
+        """``t`` uniform join samples (see :meth:`SamplingSession.draw`)."""
+        session = self._manager._session_for(self._tenant_id)
+        result = session.draw(t, **kwargs)
+        self._manager._after_operation()
+        return result
+
+    def draw_distinct(self, t: int, **kwargs: Any) -> JoinSampleResult:
+        """``t`` distinct join pairs (without replacement)."""
+        session = self._manager._session_for(self._tenant_id)
+        result = session.draw_distinct(t, **kwargs)
+        self._manager._after_operation()
+        return result
+
+    def stream(self, t: int | None = None, **kwargs: Any) -> Iterator[list[SamplePair]]:
+        """Chunked streaming draws; the budget is enforced between chunks."""
+        session = self._manager._session_for(self._tenant_id)
+        inner = session.stream(t, **kwargs)
+
+        def chunks() -> Iterator[list[SamplePair]]:
+            for chunk in inner:
+                self._manager._after_operation()
+                yield chunk
+
+        return chunks()
+
+    def update(self, side: str, **kwargs: Any) -> dict[str, Any]:
+        """Insert/delete points (see :meth:`SamplingSession.update`)."""
+        session = self._manager._session_for(self._tenant_id)
+        report = session.update(side, **kwargs)
+        # Updates rewrite the tenant's point sets: keep the manager's record
+        # current so an idle-expired session re-opens over the updated data.
+        self._manager._refresh_points(self._tenant_id, session)
+        self._manager._after_operation()
+        return report
+
+    def plan(self, half_extent: float | None = None) -> PlanReport:
+        """The planner's (cached) decision for a window size."""
+        session = self._manager._session_for(self._tenant_id)
+        report = session.plan(half_extent)
+        self._manager._after_operation()
+        return report
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-friendly snapshot of the underlying session."""
+        return self._manager._session_for(self._tenant_id).describe()
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release this tenant (idempotent).
+
+        A handle returned by :func:`open_session` also closes its private
+        manager (and therefore the manager's worker pool bookkeeping).
+        """
+        if self._owns_manager:
+            self._manager.close()
+        else:
+            self._manager.close(self._tenant_id)
+
+    def __enter__(self) -> "SessionHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SessionHandle(tenant_id={self._tenant_id!r})"
+
+
+class SessionManager:
+    """One owner for many tenants' session lifecycle, memory and workers.
+
+    Parameters
+    ----------
+    memory_budget:
+        Global cap, in bytes, on the summed ``index_nbytes`` of every
+        tenant's prepared cache entries (``None`` = unbounded).  Enforced
+        between operations by cost-aware LRU eviction; see
+        :meth:`enforce_budget`.
+    max_workers:
+        Capacity of the manager-owned worker pool all tenants' sharded
+        entries lease from (default:
+        :func:`~repro.parallel.pool.default_pool_capacity`).
+    idle_timeout:
+        Seconds of tenant inactivity after which the tenant's session is
+        closed to free its structures (``None`` = never).  The tenant stays
+        bound: its next operation transparently re-opens.
+    eviction_cost_weight:
+        Seconds of prepare time that count like one second of recency when
+        ranking eviction victims, so cheap-to-rebuild entries go first.
+    name:
+        Label used in ``stats()`` and the pool name.
+    """
+
+    def __init__(
+        self,
+        memory_budget: int | None = None,
+        *,
+        max_workers: int | None = None,
+        idle_timeout: float | None = None,
+        eviction_cost_weight: float = 2.0,
+        name: str = "manager",
+    ) -> None:
+        if memory_budget is not None and int(memory_budget) < 1:
+            raise InvalidSpecError("memory_budget must be a positive byte count")
+        if idle_timeout is not None and not idle_timeout > 0:
+            raise InvalidSpecError("idle_timeout must be positive")
+        self._budget = None if memory_budget is None else int(memory_budget)
+        self._idle_timeout = idle_timeout
+        self._cost_weight = float(eviction_cost_weight)
+        self.name = name
+        self._pool = WorkerPool(max_workers=max_workers, name=f"{name}-pool")
+        self._tenants: dict[str, _Tenant] = {}
+        # Guards the tenant map and the counters.  Lock ordering is strictly
+        # manager -> session: the manager lock is NEVER held while a draw or
+        # update runs inside a session (handles call sessions lock-free), so
+        # sessions can never wait on the manager while the manager waits on
+        # them.
+        self._lock = threading.RLock()
+        self._closed = False
+        self._evictions = 0
+        self._expirations = 0
+        self._peak_tracked = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_budget(self) -> int | None:
+        return self._budget
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The manager-owned worker pool (all tenants lease from it)."""
+        return self._pool
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(f"session manager {self.name!r} is closed")
+
+    # ------------------------------------------------------------------
+    def open(
+        self,
+        tenant_id: str,
+        r_points: PointSet,
+        s_points: PointSet,
+        half_extent: float,
+        **opts: Any,
+    ) -> SessionHandle:
+        """Bind (or re-bind) a tenant and return its :class:`SessionHandle`.
+
+        ``opts`` are forwarded to :class:`~repro.api.session.SamplingSession`
+        (``algorithm``, ``jobs``, ``sampler_options``, ``eager``, ...), except
+        that ``eager`` defaults to *False* here: an open is a cheap binding
+        and the structures build lazily on the first request (re-prepared
+        transparently after any eviction or idle expiry).  Re-opening a bound
+        ``tenant_id`` closes the previous session and starts fresh.
+        """
+        tenant_id = str(tenant_id)
+        opts = dict(opts)
+        opts.setdefault("eager", False)
+        for reserved in ("pool", "owner", "max_jobs"):
+            if reserved in opts:
+                raise InvalidSpecError(
+                    f"{reserved!r} is owned by the manager and cannot be "
+                    "passed through open()"
+                )
+        with self._lock:
+            self._check_open()
+            self._expire_idle_locked()
+            previous = self._tenants.pop(tenant_id, None)
+            now = time.monotonic()
+            tenant = _Tenant(
+                tenant_id=tenant_id,
+                r_points=r_points,
+                s_points=s_points,
+                half_extent=half_extent,
+                opts=opts,
+                session=None,
+                opened_at=now,
+                last_active=now,
+            )
+            self._tenants[tenant_id] = tenant
+            try:
+                tenant.session = self._make_session(tenant)
+            except BaseException:
+                self._tenants.pop(tenant_id, None)
+                raise
+        if previous is not None and previous.session is not None:
+            previous.session.close()
+        self._after_operation()
+        return SessionHandle(self, tenant_id)
+
+    def _make_session(self, tenant: _Tenant) -> SamplingSession:
+        opts = dict(tenant.opts)
+        if tenant.reopens:
+            # Re-opens are always lazy: the tenant pays build cost on its
+            # next request, not inside someone else's expiry sweep.
+            opts["eager"] = False
+        return SamplingSession(
+            tenant.r_points,
+            tenant.s_points,
+            tenant.half_extent,
+            pool=self._pool,
+            owner=tenant.tenant_id,
+            max_jobs=self._tenant_fair_share(),
+            **opts,
+        )
+
+    def _tenant_fair_share(self) -> int:
+        """The ``max_jobs`` clamp handed to a (re)opened tenant's planner.
+
+        Callers register the tenant in the map before creating its session,
+        so the bound tenant count already includes the tenant being opened.
+        """
+        with self._lock:
+            tenants = max(1, len(self._tenants))
+        return self._pool.fair_share(tenants)
+
+    def _session_for(self, tenant_id: str) -> SamplingSession:
+        """The tenant's live session, transparently re-opened after expiry."""
+        with self._lock:
+            self._check_open()
+            tenant = self._tenants.get(tenant_id)
+            if tenant is None:
+                raise SessionClosedError(
+                    f"tenant {tenant_id!r} has no open session on manager "
+                    f"{self.name!r}"
+                )
+            if tenant.session is None:
+                tenant.session = self._make_session(tenant)
+                tenant.reopens += 1
+            tenant.last_active = time.monotonic()
+            return tenant.session
+
+    def _refresh_points(self, tenant_id: str, session: SamplingSession) -> None:
+        with self._lock:
+            tenant = self._tenants.get(tenant_id)
+            if tenant is not None:
+                tenant.r_points = session.r_points
+                tenant.s_points = session.s_points
+
+    # ------------------------------------------------------------------
+    # Memory budget
+    # ------------------------------------------------------------------
+    def tracked_nbytes(self) -> int:
+        """Summed footprint of every tenant's prepared entries right now."""
+        with self._lock:
+            sessions = [
+                tenant.session
+                for tenant in self._tenants.values()
+                if tenant.session is not None
+            ]
+        return sum(session.cached_nbytes() for session in sessions)
+
+    def enforce_budget(self) -> int:
+        """Evict until the tracked bytes fit the budget; returns evictions.
+
+        Victims are ranked by ``last_used + eviction_cost_weight *
+        prepare_seconds`` (smallest first): the least-recently-used entry
+        wins unless it was disproportionately expensive to prepare.  Pinned
+        entries (in-flight draws) are skipped; if everything over budget is
+        pinned the pass waits briefly for pins to clear and raises
+        :class:`~repro.errors.BudgetExceededError` only when the budget
+        cannot be met after the wait - with single-threaded traffic that
+        means the budget is smaller than one entry in active use.
+        """
+        if self._budget is None:
+            return 0
+        evicted = 0
+        for _attempt in range(_ENFORCE_RETRIES):
+            with self._lock:
+                if self._closed:
+                    return evicted
+                sessions = [
+                    tenant.session
+                    for tenant in self._tenants.values()
+                    if tenant.session is not None
+                ]
+            total = sum(session.cached_nbytes() for session in sessions)
+            self._note_tracked(total)
+            if total <= self._budget:
+                return evicted
+            candidates: list[tuple[float, SamplingSession, tuple[str, float, int]]] = []
+            for session in sessions:
+                for row in session.cache_entries():
+                    if row["pins"] > 0 or row["nbytes"] <= 0:
+                        continue
+                    score = row["last_used"] + self._cost_weight * row["prepare_seconds"]
+                    candidates.append((score, session, row["key"]))
+            if not candidates:
+                # Every oversized entry is pinned by an in-flight draw; give
+                # the draws a moment to finish and re-rank.
+                time.sleep(_ENFORCE_SLEEP_SECONDS)
+                continue
+            candidates.sort(key=lambda item: item[0])
+            progressed = False
+            for _score, session, key in candidates:
+                if session.evict(key):
+                    evicted += 1
+                    with self._lock:
+                        self._evictions += 1
+                    progressed = True
+                    break
+            if not progressed:
+                time.sleep(_ENFORCE_SLEEP_SECONDS)
+        raise BudgetExceededError(
+            f"memory budget of {self._budget} bytes cannot be met: "
+            f"{self.tracked_nbytes()} bytes remain tracked and every "
+            "remaining entry is pinned by in-flight requests"
+        )
+
+    def _note_tracked(self, total: int) -> None:
+        with self._lock:
+            self._peak_tracked = max(self._peak_tracked, total)
+
+    def _after_operation(self) -> None:
+        """Post-operation upkeep: idle sweep, then budget enforcement."""
+        if self._closed:
+            return
+        with self._lock:
+            self._expire_idle_locked()
+        if self._budget is not None:
+            self.enforce_budget()
+        else:
+            self._note_tracked(self.tracked_nbytes())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _expire_idle_locked(self) -> None:
+        if self._idle_timeout is None:
+            return
+        now = time.monotonic()
+        for tenant in self._tenants.values():
+            if tenant.session is None:
+                continue
+            if now - tenant.last_active > self._idle_timeout:
+                # Keep the *current* data and the session's counters so the
+                # transparent re-open continues where the tenant left off.
+                session = tenant.session
+                tenant.r_points = session.r_points
+                tenant.s_points = session.s_points
+                for field_name, value in session.stats.as_dict().items():
+                    tenant.stats_carry[field_name] = (
+                        tenant.stats_carry.get(field_name, 0) + value
+                    )
+                session.close()
+                tenant.session = None
+                self._expirations += 1
+
+    def expire_idle(self) -> None:
+        """Run the idle sweep now (it also runs after every operation)."""
+        with self._lock:
+            self._check_open()
+            self._expire_idle_locked()
+
+    def close(self, tenant_id: str | None = None) -> None:
+        """Release one tenant, or (default) every tenant and the worker pool.
+
+        Closing the whole manager is terminal; closing one tenant just
+        unbinds it (its handle raises
+        :class:`~repro.errors.SessionClosedError` afterwards).  Both are
+        idempotent.
+        """
+        if tenant_id is not None:
+            with self._lock:
+                tenant = self._tenants.pop(tenant_id, None)
+            if tenant is not None and tenant.session is not None:
+                tenant.session.close()
+            return
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            tenants = list(self._tenants.values())
+            self._tenants.clear()
+        for tenant in tenants:
+            if tenant.session is not None:
+                tenant.session.close()
+        self._pool.close()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """The metrics surface: per-tenant bytes, cache traffic, pool usage."""
+        with self._lock:
+            tenants: dict[str, Any] = {}
+            session_hits = 0
+            session_misses = 0
+            session_evictions = 0
+            for tenant in self._tenants.values():
+                session = tenant.session
+                session_stats = (
+                    session.stats.as_dict() if session is not None else {}
+                )
+                merged = dict(tenant.stats_carry)
+                for field_name, value in session_stats.items():
+                    merged[field_name] = merged.get(field_name, 0) + value
+                session_hits += int(merged.get("prepare_hits", 0))
+                session_misses += int(merged.get("prepare_misses", 0))
+                session_evictions += int(merged.get("evictions", 0))
+                tenants[tenant.tenant_id] = {
+                    "bytes": session.cached_nbytes() if session is not None else 0,
+                    "cached_keys": (
+                        [list(key) for key in session.cached_keys]
+                        if session is not None
+                        else []
+                    ),
+                    "expired": session is None,
+                    "reopens": tenant.reopens,
+                    "stats": merged,
+                }
+            return {
+                "name": self.name,
+                "closed": self._closed,
+                "memory_budget": self._budget,
+                "tracked_nbytes": sum(t["bytes"] for t in tenants.values()),
+                "peak_tracked_nbytes": self._peak_tracked,
+                "tenants": tenants,
+                "prepare_hits": session_hits,
+                "prepare_misses": session_misses,
+                "evictions": session_evictions,
+                "manager_evictions": self._evictions,
+                "expirations": self._expirations,
+                "pool": self._pool.stats(),
+            }
+
+    def __enter__(self) -> "SessionManager":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SessionManager(name={self.name!r}, tenants={len(self._tenants)}, "
+            f"budget={self._budget}, closed={self._closed})"
+        )
+
+
+def open_session(
+    r_points: PointSet,
+    s_points: PointSet,
+    half_extent: float,
+    **opts: Any,
+) -> SessionHandle:
+    """Single-tenant convenience: a handle backed by a private manager.
+
+    The recommended replacement for constructing
+    :class:`~repro.api.session.SamplingSession` directly: same request
+    surface, but lifecycle and the worker pool have an owner, and
+    ``handle.close()`` (or the context manager) tears the private manager
+    down with it.  ``memory_budget`` / ``idle_timeout`` / ``max_workers``
+    keyword arguments configure the private manager; everything else is
+    forwarded to the session.
+
+    >>> import numpy as np
+    >>> from repro import open_session, split_r_s, uniform_points
+    >>> rng = np.random.default_rng(0)
+    >>> r, s = split_r_s(uniform_points(2_000, rng), rng)
+    >>> with open_session(r, s, half_extent=200.0) as handle:
+    ...     result = handle.draw(50, seed=1)
+    >>> len(result)
+    50
+    """
+    manager = SessionManager(
+        memory_budget=opts.pop("memory_budget", None),
+        max_workers=opts.pop("max_workers", None),
+        idle_timeout=opts.pop("idle_timeout", None),
+        name="private",
+    )
+    try:
+        handle = manager.open("default", r_points, s_points, half_extent, **opts)
+    except BaseException:
+        manager.close()
+        raise
+    return SessionHandle(manager, handle.tenant_id, owns_manager=True)

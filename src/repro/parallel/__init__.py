@@ -9,15 +9,29 @@ samplers into one sampler that is still *exactly* uniform over the full join.
 
 * :class:`~repro.parallel.plan.ShardPlan` - the vertical-strip decomposition
   (quantile edges over ``R``'s x coordinates, ``half_extent`` halo for ``S``).
+* :class:`~repro.parallel.pool.WorkerPool` - the bounded, lease-based pool of
+  resident worker processes every sharded sampler draws its workers from
+  (one :func:`~repro.parallel.pool.shared_pool` per process by default; a
+  :class:`~repro.manager.SessionManager` owns a private one).
 * :class:`~repro.parallel.sharded.ShardedSampler` - builds and counts each
-  shard in a ``ProcessPoolExecutor``, serves draws in-process from the
-  shipped-back prepared samplers behind per-shard locks.
+  shard in a leased worker, keeps the prepared sampler resident there, and
+  serves draws through the leases behind per-shard locks.
 
 The session API reaches this engine through ``SamplingSession(jobs=N)``; the
-CLI through ``--jobs``.
+CLI through ``--jobs``; the manager through the shared pool it owns.
 """
 
 from repro.parallel.plan import Shard, ShardPlan
+from repro.parallel.pool import WorkerLease, WorkerPool, default_pool_capacity, shared_pool
 from repro.parallel.sharded import ShardBuildReport, ShardedSampler
 
-__all__ = ["Shard", "ShardPlan", "ShardBuildReport", "ShardedSampler"]
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "ShardBuildReport",
+    "ShardedSampler",
+    "WorkerLease",
+    "WorkerPool",
+    "default_pool_capacity",
+    "shared_pool",
+]

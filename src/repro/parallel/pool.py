@@ -1,0 +1,287 @@
+"""A shared, lease-based worker-process pool for the sharded engine.
+
+Before this module existed every :class:`~repro.parallel.sharded.ShardedSampler`
+spawned one resident single-worker ``ProcessPoolExecutor`` per shard and kept
+it for its whole lifetime.  That model is fine for one sampler, but a service
+holding many prepared entries across many tenants ends up with an unbounded
+number of resident worker processes that no one arbitrates.
+
+:class:`WorkerPool` centralises that resource: it owns a bounded set of
+single-worker executor *slots* and hands them out as :class:`WorkerLease`\\ s.
+A lease is a dedicated worker process - exactly the execution model the
+resident-sampler functions in :mod:`repro.parallel.sharded` rely on (state
+built in the worker stays in the worker) - but its lifetime is now owned by
+the pool:
+
+* ``lease(owner)`` checks a slot out; releasing it returns the *warm* worker
+  process to the pool so the next lease skips process startup;
+* per-owner **fairness**: an owner (a tenant, a session, a sampler) may hold
+  at most ``max(1, capacity // active_owners)`` leases while other owners are
+  holding any, so one tenant cannot monopolise the machine;
+* an exhausted (or unfair) request returns ``None`` instead of blocking -
+  the sharded engine then builds that shard in-process, which is
+  bit-identical to the pool path, so correctness never depends on capacity;
+* ``stats()`` reports capacity, utilisation and per-owner holdings - the
+  numbers :meth:`repro.manager.SessionManager.stats` exports.
+
+The module-level :func:`shared_pool` singleton is what un-managed samplers
+lease from by default, so *no* code path spawns per-sampler resident pools
+anymore; a :class:`~repro.manager.SessionManager` owns a private pool so its
+capacity (and its fairness domain) is per manager.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable
+
+from repro.errors import InvalidSpecError, SessionClosedError
+
+__all__ = ["WorkerLease", "WorkerPool", "shared_pool", "default_pool_capacity"]
+
+#: Environment override of the default (shared) pool capacity.
+_CAPACITY_ENV = "REPRO_POOL_WORKERS"
+
+#: Floor of the default capacity, so the pool path stays exercised (and the
+#: committed jobs=4 CI floor reachable) even on small CI machines.
+_MIN_DEFAULT_CAPACITY = 4
+
+
+def default_pool_capacity() -> int:
+    """Capacity of the default shared pool on this machine.
+
+    ``REPRO_POOL_WORKERS`` overrides; otherwise the CPU count, floored at
+    :data:`_MIN_DEFAULT_CAPACITY` so single-core CI machines still exercise
+    the worker-process path.
+    """
+    override = os.environ.get(_CAPACITY_ENV)
+    if override:
+        return max(1, int(override))
+    return max(_MIN_DEFAULT_CAPACITY, os.cpu_count() or 1)
+
+
+def _clear_resident() -> None:
+    """Worker entry point: drop the resident sampler a finished lease left.
+
+    Runs in the worker process when a lease is released, so a warm slot does
+    not pin the previous owner's prepared structures in memory while idle.
+    """
+    from repro.parallel import sharded
+
+    sharded._RESIDENT_SAMPLER = None
+
+
+class WorkerLease:
+    """One checked-out worker slot: a dedicated single-worker executor.
+
+    Work submitted through the same lease runs in the same worker process in
+    FIFO order, which is what keeps resident-sampler state coherent.  Release
+    the lease (rather than shutting anything down) when the resident state is
+    no longer needed; the worker returns to the pool warm.
+    """
+
+    __slots__ = ("_pool", "_executor", "owner", "_released", "_lock")
+
+    def __init__(self, pool: "WorkerPool", executor: ProcessPoolExecutor, owner: str) -> None:
+        self._pool = pool
+        self._executor = executor
+        self.owner = owner
+        self._released = False
+        self._lock = threading.Lock()
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> Future:
+        """Submit work to the leased worker (raises once released)."""
+        with self._lock:
+            if self._released:
+                raise SessionClosedError("the worker lease was released")
+            return self._executor.submit(fn, *args)
+
+    def release(self, discard: bool = False) -> None:
+        """Return the slot to the pool (idempotent).
+
+        ``discard=True`` shuts the worker process down instead of returning
+        it warm - used when the worker is broken (failed spawn, dead child).
+        """
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+            executor = self._executor
+        self._pool._reclaim(self, executor, discard=discard)
+
+
+class WorkerPool:
+    """A bounded pool of single-worker executor slots with per-owner fairness.
+
+    Parameters
+    ----------
+    max_workers:
+        Total worker-process capacity (default:
+        :func:`default_pool_capacity`).
+    name:
+        Cosmetic label used in ``stats()`` and error messages.
+    """
+
+    def __init__(self, max_workers: int | None = None, name: str = "shared") -> None:
+        if max_workers is None:
+            max_workers = default_pool_capacity()
+        if isinstance(max_workers, bool) or int(max_workers) != max_workers:
+            raise InvalidSpecError("max_workers must be an integer")
+        if max_workers < 1:
+            raise InvalidSpecError("max_workers must be at least 1")
+        self._capacity = int(max_workers)
+        self.name = name
+        self._lock = threading.Lock()
+        self._idle: list[ProcessPoolExecutor] = []
+        self._holdings: dict[str, int] = {}
+        self._leased = 0
+        self._closed = False
+        # Telemetry (covered by stats()).
+        self._granted = 0
+        self._denied = 0
+        self._peak_leased = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def leased(self) -> int:
+        return self._leased
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def fair_share(self, owners: int | None = None) -> int:
+        """Leases one owner may hold while ``owners`` are active (>= 1)."""
+        if owners is None:
+            with self._lock:
+                owners = len(self._holdings) or 1
+        return max(1, self._capacity // max(1, owners))
+
+    # ------------------------------------------------------------------
+    def lease(self, owner: str = "anonymous") -> WorkerLease | None:
+        """Check a worker slot out for ``owner``, or ``None`` when unfair/full.
+
+        A denied lease is not an error: the caller runs that work in-process
+        (the bit-identical twin of the pool path).  Fairness counts *active*
+        owners - those currently holding at least one lease, plus the
+        requester - so a single owner on an idle pool may take every slot,
+        while contending owners converge to ``capacity // owners`` each.
+        """
+        with self._lock:
+            if self._closed:
+                raise SessionClosedError(f"worker pool {self.name!r} is closed")
+            if self._leased >= self._capacity:
+                self._denied += 1
+                return None
+            active = set(self._holdings)
+            active.add(owner)
+            if self._holdings.get(owner, 0) >= self.fair_share(len(active)):
+                self._denied += 1
+                return None
+            executor = self._idle.pop() if self._idle else ProcessPoolExecutor(max_workers=1)
+            self._leased += 1
+            self._holdings[owner] = self._holdings.get(owner, 0) + 1
+            self._granted += 1
+            self._peak_leased = max(self._peak_leased, self._leased)
+        return WorkerLease(self, executor, owner)
+
+    def _reclaim(
+        self, lease: WorkerLease, executor: ProcessPoolExecutor, discard: bool
+    ) -> None:
+        keep_warm = not discard
+        if keep_warm:
+            try:
+                # Drop the worker's resident state so an idle warm slot does
+                # not pin the previous owner's prepared structures in memory.
+                executor.submit(_clear_resident)
+            except Exception:
+                keep_warm = False
+        with self._lock:
+            self._leased = max(0, self._leased - 1)
+            count = self._holdings.get(lease.owner, 0) - 1
+            if count > 0:
+                self._holdings[lease.owner] = count
+            else:
+                self._holdings.pop(lease.owner, None)
+            if keep_warm and not self._closed:
+                self._idle.append(executor)
+                return
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Utilisation snapshot (what the manager exports as metrics)."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "capacity": self._capacity,
+                "leased": self._leased,
+                "idle_warm": len(self._idle),
+                "utilization": self._leased / self._capacity,
+                "peak_leased": self._peak_leased,
+                "granted": self._granted,
+                "denied": self._denied,
+                "owners": dict(sorted(self._holdings.items())),
+            }
+
+    def close(self) -> None:
+        """Shut every idle warm worker down and refuse further leases.
+
+        Held leases keep working until released (their executors are theirs
+        alone); releasing into a closed pool shuts the worker down instead of
+        parking it warm.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for executor in idle:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkerPool(name={self.name!r}, capacity={self._capacity}, "
+            f"leased={self._leased}, idle={len(self._idle)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The process-wide default pool (what un-managed samplers lease from).
+# ----------------------------------------------------------------------
+_shared: WorkerPool | None = None
+_shared_lock = threading.Lock()
+
+
+def shared_pool() -> WorkerPool:
+    """The process-wide default :class:`WorkerPool` (created on first use)."""
+    global _shared
+    with _shared_lock:
+        if _shared is None or _shared.closed:
+            _shared = WorkerPool(name="shared")
+    return _shared
+
+
+@atexit.register
+def _shutdown_shared_pool() -> None:  # pragma: no cover - interpreter teardown
+    with _shared_lock:
+        pool = _shared
+    if pool is not None:
+        pool.close()

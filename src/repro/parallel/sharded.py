@@ -2,10 +2,15 @@
 
 :class:`ShardedSampler` decomposes a join instance with a
 :class:`~repro.parallel.plan.ShardPlan` and runs every shard's build and
-counting phase in its own worker process (one single-worker
-``ProcessPoolExecutor`` per shard, so each worker *keeps* the prepared
-structures it built and draws route back to it without re-shipping state).
-The shards are composed with a top-level
+counting phase in its own worker process.  Workers are not spawned per
+sampler: each shard checks a dedicated single-worker slot out of a shared
+:class:`~repro.parallel.pool.WorkerPool` (a :class:`WorkerLease`), so the
+worker *keeps* the prepared structures it built and draws route back to it
+without re-shipping state, while the machine-wide worker count stays bounded
+and arbitrated across samplers, sessions and tenants.  A shard whose lease is
+denied (pool exhausted, or fairness capped) builds in-process instead - the
+bit-identical twin of the pool path - so correctness never depends on pool
+capacity.  The shards are composed with a top-level
 :class:`~repro.alias.walker.AliasTable` over the **exact** per-shard join
 sizes ``|J_i|``:
 
@@ -39,7 +44,6 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -57,7 +61,9 @@ from repro.core.config import JoinSpec
 from repro.core.full_join import join_size
 from repro.core.registry import canonical_name, create_sampler
 from repro.core.validation import validate_jobs
+from repro.errors import InvalidSpecError, SessionClosedError
 from repro.parallel.plan import Shard, ShardPlan
+from repro.parallel.pool import WorkerLease, WorkerPool, shared_pool
 
 __all__ = ["ShardBuildReport", "ShardedSampler"]
 
@@ -99,8 +105,8 @@ class ShardBuildReport:
     index_nbytes: int = 0
 
 
-# One resident sampler per worker process (each shard owns a single-worker
-# pool, so its worker builds exactly one sampler and keeps it for draws).
+# One resident sampler per worker process (a leased worker builds exactly one
+# sampler and keeps it for draws; releasing the lease clears it).
 _RESIDENT_SAMPLER: JoinSampler | None = None
 
 
@@ -198,9 +204,10 @@ class PreparedShards:
     total: int
     alias: AliasTable | None
     reports: list[ShardBuildReport] = field(repr=False, default_factory=list)
-    # Exactly one of the two is populated per shard, depending on the mode.
+    # Per shard, exactly one of the two is populated: a worker lease (the
+    # shard's structures are resident in that worker) or a local sampler.
     local_samplers: list[JoinSampler | None] = field(repr=False, default_factory=list)
-    executors: list[ProcessPoolExecutor | None] = field(repr=False, default_factory=list)
+    leases: list[WorkerLease | None] = field(repr=False, default_factory=list)
 
 
 class ShardedSampler(JoinSampler):
@@ -213,12 +220,21 @@ class ShardedSampler(JoinSampler):
     algorithm:
         Name (or alias) of the registered serial sampler to run per shard.
     jobs:
-        Number of vertical shards = number of resident worker processes.
+        Number of vertical shards (= worker leases requested).
     use_processes:
-        When true (default) every shard lives in its own single-worker
-        process; false runs the identical pipeline in-process (the
-        deterministic twin used by differential tests, and the automatic
-        fallback when worker processes cannot be spawned).
+        When true (default) every shard asks the worker pool for a lease;
+        false runs the identical pipeline in-process (the deterministic twin
+        used by differential tests, and the automatic fallback when worker
+        processes cannot be spawned or the pool has no slot to spare).
+    pool:
+        The :class:`~repro.parallel.pool.WorkerPool` to lease workers from
+        (default: the process-wide :func:`~repro.parallel.pool.shared_pool`).
+        A :class:`~repro.manager.SessionManager` injects its own pool here so
+        every tenant's shards share one arbitrated worker set.
+    owner:
+        Fairness identity presented to the pool (default: a per-sampler
+        token).  Sessions pass their owner ID through so all of one tenant's
+        entries count against one fairness share.
     sampler_options:
         Extra keyword arguments forwarded to every shard sampler constructor.
     batch_size, vectorized:
@@ -229,13 +245,16 @@ class ShardedSampler(JoinSampler):
     The composed draws are exactly uniform over the full join (see the module
     docstring) and :attr:`total_weight` equals the serial exact join size
     bit-for-bit.  For a fixed request seed the pool path and the in-process
-    path return bit-identical pairs.  Concurrent draws from multiple threads
-    are safe (per-shard locks) but interleave generator state and are
-    therefore not reproducible run-to-run.
+    path return bit-identical pairs - and so does any mix of the two, which
+    is why a denied lease can silently fall back to a local shard build.
+    Concurrent draws from multiple threads are safe (per-shard locks) but
+    interleave generator state and are therefore not reproducible run-to-run.
 
-    A sampler holding worker processes should be closed with :meth:`close`
-    (the session does this on ``close()``); an unclosed sampler shuts its
-    workers down on garbage collection.
+    A sampler holding worker leases should be closed with :meth:`close` (the
+    session does this on ``close()``); closing *releases* the leases - the
+    warm worker processes return to the pool for the next sampler instead of
+    being torn down.  An unclosed sampler releases its leases on garbage
+    collection.
     """
 
     def __init__(
@@ -247,11 +266,20 @@ class ShardedSampler(JoinSampler):
         sampler_options: dict[str, Any] | None = None,
         batch_size: int | None = None,
         vectorized: bool = True,
+        pool: WorkerPool | None = None,
+        owner: str | None = None,
     ) -> None:
         super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
         self._algorithm = canonical_name(algorithm)
         self._jobs = validate_jobs(jobs)
         self._use_processes = bool(use_processes)
+        self._pool = pool
+        self._owner = owner if owner is not None else f"sampler-{id(self):x}"
+        self._pool_broken = False
+        # Shards whose lease was denied build locally inside _build_in_pool;
+        # their (report, sampler) pairs are parked here because the method's
+        # two-positional-argument signature is pinned by callers that stub it.
+        self._pending_local: dict[int, tuple[ShardBuildReport, JoinSampler | None]] = {}
         self._sampler_options = dict(sampler_options or {})
         self._sampler_options.setdefault("batch_size", batch_size)
         self._sampler_options.setdefault("vectorized", vectorized)
@@ -275,8 +303,13 @@ class ShardedSampler(JoinSampler):
 
     @property
     def jobs(self) -> int:
-        """Number of shards (= resident worker processes)."""
+        """Number of shards (= worker leases requested from the pool)."""
         return self._jobs
+
+    @property
+    def owner(self) -> str:
+        """Fairness identity presented to the worker pool."""
+        return self._owner
 
     @property
     def plan(self) -> ShardPlan | None:
@@ -304,11 +337,14 @@ class ShardedSampler(JoinSampler):
         """Summed footprint of every shard's prepared structures.
 
         Taken from the build reports, so it is accurate in both modes - in
-        pool mode the structures live in the resident workers, not here.
+        pool mode the structures live in the leased workers, not here.
         """
         if self._built is None:
             return 0
         return sum(report.index_nbytes for report in self._built.reports)
+
+    def _resolve_pool(self) -> WorkerPool:
+        return self._pool if self._pool is not None else shared_pool()
 
     # ------------------------------------------------------------------
     def _preprocess_impl(self) -> None:
@@ -324,7 +360,7 @@ class ShardedSampler(JoinSampler):
             if self._built is not None:
                 return self._built
             if self._closed:
-                raise RuntimeError("the sharded sampler is closed")
+                raise SessionClosedError("the sharded sampler is closed")
             self.preprocess()
             plan = self._plan
             assert plan is not None
@@ -338,19 +374,26 @@ class ShardedSampler(JoinSampler):
                 )
                 for shard in plan.shards
             ]
-            executors: list[ProcessPoolExecutor | None] = [None] * len(tasks)
+            leases: list[WorkerLease | None] = [None] * len(tasks)
             local_samplers: list[JoinSampler | None] = [None] * len(tasks)
-            use_pool = self._use_processes and self._jobs > 1
+            use_pool = self._use_processes and self._jobs > 1 and not self._pool_broken
             if use_pool:
                 try:
-                    reports = self._build_in_pool(tasks, executors)
+                    reports = self._build_in_pool(tasks, leases)
+                    for index, (report, sampler) in self._pending_local.items():
+                        local_samplers[index] = sampler
+                        reports.append(report)
+                    self._pending_local.clear()
                 except OSError:
                     # Worker processes unavailable (restricted sandboxes):
                     # fall back to the bit-identical in-process pipeline.
-                    # The shut-down executors must not linger in the list, or
-                    # draws would route to them instead of the local samplers.
-                    self._shutdown_executors(executors)
-                    executors = [None] * len(tasks)
+                    # The broken leases must not linger in the list, or draws
+                    # would route to them instead of the local samplers.
+                    self._release_leases(leases, discard=True)
+                    leases = [None] * len(tasks)
+                    local_samplers = [None] * len(tasks)
+                    self._pending_local.clear()
+                    self._pool_broken = True
                     use_pool = False
             if not use_pool:
                 reports = []
@@ -374,39 +417,51 @@ class ShardedSampler(JoinSampler):
                 alias=alias,
                 reports=reports,
                 local_samplers=local_samplers,
-                executors=executors,
+                leases=leases,
             )
             return self._built
 
     def _build_in_pool(
         self,
         tasks: list[_ShardTask],
-        executors: list[ProcessPoolExecutor | None],
+        leases: list[WorkerLease | None],
     ) -> list[ShardBuildReport]:
-        """One single-worker executor per non-empty shard; builds run concurrently.
+        """Lease one worker per non-empty shard; builds run concurrently.
 
-        Each worker keeps the sampler it built (module global), so draws
-        route to it later without the prepared structures ever crossing a
-        process boundary.  Shards whose sub-instance is empty by construction
-        get a zero-weight report without spawning a worker process at all.
+        Each leased worker keeps the sampler it built (module global), so
+        draws route to it later without the prepared structures ever crossing
+        a process boundary.  Shards whose sub-instance is empty by
+        construction get a zero-weight report without taking a lease at all;
+        shards whose lease is *denied* (pool exhausted or fairness-capped)
+        build in-process while the leased workers run, and their results are
+        handed back through ``_pending_local``.
         """
+        pool = self._resolve_pool()
         futures = []
         reports: list[ShardBuildReport] = []
+        denied: list[_ShardTask] = []
         for task in tasks:
             if task.spec.is_empty:
                 reports.append(_empty_report(task))
                 continue
-            executor = ProcessPoolExecutor(max_workers=1)
-            executors[task.index] = executor
-            futures.append(executor.submit(_resident_build, task))
+            lease = pool.lease(self._owner)
+            if lease is None:
+                denied.append(task)
+                continue
+            leases[task.index] = lease
+            futures.append(lease.submit(_resident_build, task))
+        for task in denied:
+            self._pending_local[task.index] = _count_and_build(task)
         reports.extend(future.result() for future in futures)
         return reports
 
     @staticmethod
-    def _shutdown_executors(executors: list[ProcessPoolExecutor | None]) -> None:
-        for executor in executors:
-            if executor is not None:
-                executor.shutdown(wait=False, cancel_futures=True)
+    def _release_leases(
+        leases: list[WorkerLease | None], discard: bool = False
+    ) -> None:
+        for lease in leases:
+            if lease is not None:
+                lease.release(discard=discard)
 
     # ------------------------------------------------------------------
     def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
@@ -421,7 +476,7 @@ class ShardedSampler(JoinSampler):
             timings.count_seconds = self._count_seconds
 
         if built.alias is None and t > 0:
-            raise ValueError(
+            raise InvalidSpecError(
                 "the spatial range join is empty; no samples can be drawn"
             )
 
@@ -483,14 +538,14 @@ class ShardedSampler(JoinSampler):
             for index, positions in enumerate(positions_per_shard):
                 if positions.size == 0:
                     continue
-                executor = built.executors[index]
+                lease = built.leases[index]
                 count = int(positions.size)
                 seed = int(seeds[index])
-                if executor is not None:
+                if lease is not None:
                     lock = self._shard_locks[index]
                     lock.acquire()
                     try:
-                        futures[index] = executor.submit(_resident_draw, count, seed)
+                        futures[index] = lease.submit(_resident_draw, count, seed)
                     except BaseException:
                         # A failed submit never reaches the result loop below,
                         # so release here or the shard deadlocks forever.
@@ -534,7 +589,10 @@ class ShardedSampler(JoinSampler):
         description["algorithm"] = self._algorithm
         description["total_weight"] = built.total
         description["resident_workers"] = any(
-            executor is not None for executor in built.executors
+            lease is not None for lease in built.leases
+        )
+        description["leased_workers"] = sum(
+            1 for lease in built.leases if lease is not None
         )
         for entry, report in zip(description["shards"], built.reports):
             entry["weight"] = report.weight
@@ -577,7 +635,7 @@ class ShardedSampler(JoinSampler):
         """
         with self._build_lock:
             if self._closed:
-                raise RuntimeError("the sharded sampler is closed")
+                raise SessionClosedError("the sharded sampler is closed")
             built = self._built
             if built is None:
                 # Nothing prepared yet: just re-aim the sampler; the next
@@ -601,7 +659,7 @@ class ShardedSampler(JoinSampler):
             if n == 0 or (len(plan.shards) > 1 and counts.max() > skew_factor * fair + 16):
                 # The x-quantile balance degraded (or R vanished): reset and
                 # let the next request replan cleanly.
-                self._shutdown_executors(built.executors)
+                self._release_leases(built.leases)
                 self._built = None
                 self._plan = None
                 self._preprocessed = False
@@ -646,7 +704,9 @@ class ShardedSampler(JoinSampler):
                 edges=plan.edges,
                 shards=tuple(new_shards),
             )
-            pool_active = any(executor is not None for executor in built.executors)
+            pool_mode = (
+                self._use_processes and not self._pool_broken
+            ) and any(lease is not None for lease in built.leases)
 
             # Freeze every shard for the swap: draws must not interleave with
             # a half-updated composition (locks are acquired in index order;
@@ -665,15 +725,21 @@ class ShardedSampler(JoinSampler):
                     if task.spec.is_empty:
                         built.reports[index] = _empty_report(task)
                         built.local_samplers[index] = None
+                        lease = built.leases[index]
+                        if lease is not None:
+                            # The shard became empty: return its worker.
+                            lease.release()
+                            built.leases[index] = None
                         continue
-                    if pool_active:
-                        executor = built.executors[index]
-                        if executor is None:
-                            # This shard was empty at build time and never got
-                            # a worker; it has points now.
-                            executor = ProcessPoolExecutor(max_workers=1)
-                            built.executors[index] = executor
-                        futures[index] = executor.submit(_resident_build, task)
+                    lease = built.leases[index]
+                    if lease is None and pool_mode:
+                        # This shard had no worker (empty at build time, or
+                        # its lease was denied); it has points now - ask
+                        # again, falling back in-process when still denied.
+                        lease = self._resolve_pool().lease(self._owner)
+                        built.leases[index] = lease
+                    if lease is not None:
+                        futures[index] = lease.submit(_resident_build, task)
                         built.local_samplers[index] = None
                     else:
                         report, sampler = _count_and_build(task)
@@ -704,14 +770,18 @@ class ShardedSampler(JoinSampler):
             }
 
     def close(self) -> None:
-        """Shut down the resident worker processes (idempotent)."""
+        """Release the worker leases back to the pool (idempotent).
+
+        The warm worker processes survive for the next sampler; only the
+        pool itself (or interpreter exit) shuts them down.
+        """
         with self._build_lock:
             self._closed = True
             built = self._built
             if built is None:
                 return
-            self._shutdown_executors(built.executors)
-            built.executors = [None] * len(built.executors)
+            self._release_leases(built.leases)
+            built.leases = [None] * len(built.leases)
             self._built = None
 
     def __enter__(self) -> "ShardedSampler":

@@ -1,0 +1,102 @@
+"""Regression: cache entries and their per-key build locks move together.
+
+The session keeps one build lock per cache key so concurrent cold-key
+prepares serialise.  Dropping an entry without dropping its lock leaked one
+dead lock per invalidated key for the session's lifetime; these tests pin
+that ``update()`` (both the drop path and the failure path) and ``evict()``
+clean both maps together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.session import SamplingSession
+
+
+def _prepared_keys(session):
+    return set(session.cached_keys)
+
+
+class TestLockCleanup:
+    def test_update_drops_locks_with_nonmaintainable_entries(self, small_uniform_spec, rng):
+        # kds keeps no maintainable state: update() drops its entry entirely.
+        session = SamplingSession.from_spec(
+            small_uniform_spec, algorithm="kds", eager=False
+        )
+        session.draw(8, seed=0)
+        keys = _prepared_keys(session)
+        assert keys <= set(session._build_locks)
+        delete_ids = rng.choice(session.s_points.ids, size=4, replace=False)
+        report = session.update("s", delete=delete_ids)
+        assert report["dropped"]
+        for key in keys:
+            assert key not in session._entries
+            assert key not in session._build_locks
+        session.close()
+
+    def test_update_keeps_locks_of_maintained_entries(self, small_uniform_spec, rng):
+        session = SamplingSession.from_spec(
+            small_uniform_spec, algorithm="bbst", eager=False
+        )
+        session.draw(8, seed=0)
+        keys = _prepared_keys(session)
+        delete_ids = rng.choice(session.s_points.ids, size=4, replace=False)
+        report = session.update("s", delete=delete_ids)
+        assert report["maintained"]
+        for key in keys:
+            assert key in session._entries
+            assert key in session._build_locks
+        session.close()
+
+    def test_update_failure_path_drops_lock_with_the_entry(
+        self, small_uniform_spec, rng, monkeypatch
+    ):
+        from repro.dynamic.sampler import DynamicSampler
+        from repro.errors import MaintenanceError
+
+        session = SamplingSession.from_spec(
+            small_uniform_spec, algorithm="bbst", eager=False
+        )
+        session.draw(8, seed=0)
+        keys = _prepared_keys(session)
+        monkeypatch.setattr(
+            DynamicSampler,
+            "update",
+            lambda self, *args, **kwargs: (_ for _ in ()).throw(OSError("boom")),
+        )
+        delete_ids = rng.choice(session.s_points.ids, size=4, replace=False)
+        with pytest.raises(MaintenanceError):
+            session.update("s", delete=delete_ids)
+        for key in keys:
+            assert key not in session._entries
+            assert key not in session._build_locks
+        # The dropped entry rebuilds lazily and cleanly on the next request.
+        monkeypatch.undo()
+        assert len(session.draw(8, seed=1)) == 8
+        session.close()
+
+    def test_evict_drops_the_build_lock_too(self, small_uniform_spec):
+        session = SamplingSession.from_spec(
+            small_uniform_spec, algorithm="bbst", eager=False
+        )
+        session.draw(8, seed=0)
+        (key,) = _prepared_keys(session)
+        assert session.evict(key)
+        assert key not in session._entries
+        assert key not in session._build_locks
+        # Unknown keys are a no-op, not an error.
+        assert not session.evict(key)
+        session.close()
+
+    def test_lock_map_does_not_grow_across_update_cycles(self, small_uniform_spec, rng):
+        session = SamplingSession.from_spec(
+            small_uniform_spec, algorithm="kds", eager=False
+        )
+        sizes = []
+        for cycle in range(3):
+            session.draw(8, seed=cycle)
+            delete_ids = rng.choice(session.s_points.ids, size=2, replace=False)
+            session.update("s", delete=delete_ids)
+            sizes.append(len(session._build_locks))
+        assert sizes == [0, 0, 0]
+        session.close()

@@ -1,0 +1,106 @@
+"""Tests of the :mod:`repro.errors` hierarchy.
+
+Every library-raised error is a :class:`~repro.errors.ReproError`, so
+services can catch one type at the boundary.  For one deprecation cycle each
+subclass also inherits the builtin type the same raise used before the
+hierarchy existed (``ValueError`` for spec validation, ``RuntimeError`` for
+state errors), so pre-existing ``except`` clauses keep working.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.session import SamplingSession
+from repro.errors import (
+    BudgetExceededError,
+    InvalidSpecError,
+    MaintenanceError,
+    ReproError,
+    SessionClosedError,
+    StaleInputError,
+)
+from repro.manager import SessionManager
+from repro.parallel.pool import WorkerPool
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            InvalidSpecError,
+            StaleInputError,
+            BudgetExceededError,
+            SessionClosedError,
+            MaintenanceError,
+        ],
+    )
+    def test_every_error_is_a_repro_error(self, subclass):
+        assert issubclass(subclass, ReproError)
+        assert issubclass(subclass, Exception)
+
+    def test_invalid_spec_is_a_value_error(self):
+        assert issubclass(InvalidSpecError, ValueError)
+
+    @pytest.mark.parametrize(
+        "subclass",
+        [StaleInputError, BudgetExceededError, SessionClosedError, MaintenanceError],
+    )
+    def test_state_errors_are_runtime_errors(self, subclass):
+        assert issubclass(subclass, RuntimeError)
+
+    def test_repro_error_is_importable_from_the_package_root(self):
+        import repro
+
+        assert repro.ReproError is ReproError
+        assert repro.InvalidSpecError is InvalidSpecError
+
+
+class TestRaisedTypes:
+    def test_bad_spec_raises_invalid_spec_caught_as_value_error(self, small_uniform_spec):
+        with pytest.raises(InvalidSpecError):
+            SamplingSession(
+                small_uniform_spec.r_points,
+                small_uniform_spec.s_points,
+                half_extent=-1.0,
+            )
+        with pytest.raises(ValueError):
+            SamplingSession(
+                small_uniform_spec.r_points,
+                small_uniform_spec.s_points,
+                half_extent=-1.0,
+            )
+
+    def test_closed_session_raises_session_closed_caught_as_runtime_error(
+        self, small_uniform_spec
+    ):
+        session = SamplingSession.from_spec(small_uniform_spec, eager=False)
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.draw(4, seed=0)
+        session = SamplingSession.from_spec(small_uniform_spec, eager=False)
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.draw(4, seed=0)
+
+    def test_stale_inputs_raise_stale_input_error(self, small_uniform_spec):
+        session = SamplingSession.from_spec(small_uniform_spec, eager=False)
+        session.draw(4, seed=0)
+        # In-place mutation of the (nominally read-only) input arrays is the
+        # documented misuse the content-fingerprint guard turns into
+        # StaleInputError.
+        xs = session.r_points.xs
+        xs.setflags(write=True)
+        try:
+            xs[0] += 1.0
+            with pytest.raises(StaleInputError):
+                session.draw(4, seed=1)
+        finally:
+            xs[0] -= 1.0
+            xs.setflags(write=False)
+        session.close()
+
+    def test_pool_and_manager_validation_raise_invalid_spec(self):
+        with pytest.raises(InvalidSpecError):
+            WorkerPool(max_workers=0)
+        with pytest.raises(InvalidSpecError):
+            SessionManager(memory_budget=-5)

@@ -24,6 +24,7 @@ class TestRegistry:
             "session",
             "parallel",
             "dynamic",
+            "manager",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -1,0 +1,285 @@
+"""Tests of the multi-tenant :class:`~repro.manager.SessionManager`.
+
+The headline guarantees:
+
+* **differential**: draws served through a managed handle are bit-identical
+  to an un-managed :class:`~repro.api.session.SamplingSession` over the same
+  inputs - with or without a memory budget forcing evictions in between;
+* **budget**: the tracked bytes never exceed ``memory_budget`` between
+  operations, evicted entries re-prepare transparently, and the eviction
+  counters account for it;
+* **lifecycle**: idle-expired tenants re-open transparently (updates
+  survive), closed tenants and closed managers raise
+  :class:`~repro.errors.SessionClosedError`.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.session import SamplingSession
+from repro.errors import InvalidSpecError, ReproError, SessionClosedError
+from repro.manager import SessionHandle, SessionManager, open_session
+
+
+@pytest.fixture
+def manager() -> SessionManager:
+    with SessionManager(name="test") as manager:
+        yield manager
+
+
+def _open_tenant(manager, spec, tenant_id="tenant-a", **opts):
+    opts.setdefault("algorithm", "bbst")
+    return manager.open(
+        tenant_id, spec.r_points, spec.s_points, spec.half_extent, **opts
+    )
+
+
+def _twin(spec, **opts):
+    opts.setdefault("algorithm", "bbst")
+    return SamplingSession.from_spec(spec, eager=False, **opts)
+
+
+class TestOpenAndDraw:
+    def test_draw_bit_identical_to_unmanaged_session(self, manager, small_uniform_spec):
+        handle = _open_tenant(manager, small_uniform_spec)
+        twin = _twin(small_uniform_spec)
+        managed = handle.draw(64, seed=7)
+        reference = twin.draw(64, seed=7)
+        assert managed.id_pairs() == reference.id_pairs()
+        twin.close()
+
+    def test_draw_distinct_and_stream_proxy_through(self, manager, small_uniform_spec):
+        handle = _open_tenant(manager, small_uniform_spec)
+        distinct = handle.draw_distinct(16, seed=3)
+        assert len(set(distinct.id_pairs())) == 16
+        streamed = [
+            pair
+            for chunk in handle.stream(48, chunk_size=20, seed=5)
+            for pair in chunk
+        ]
+        assert len(streamed) == 48
+
+    def test_plan_and_describe_proxy_through(self, manager, small_uniform_spec):
+        handle = _open_tenant(manager, small_uniform_spec, algorithm="auto")
+        report = handle.plan()
+        assert report.algorithm
+        description = handle.describe()
+        assert description["n"] == small_uniform_spec.n
+
+    def test_reopening_a_tenant_id_starts_fresh(self, manager, small_uniform_spec):
+        first = _open_tenant(manager, small_uniform_spec)
+        first.draw(8, seed=0)
+        second = _open_tenant(manager, small_uniform_spec)
+        assert second.draw(8, seed=0).id_pairs() == first.draw(8, seed=0).id_pairs()
+
+    def test_reserved_opts_are_rejected(self, manager, small_uniform_spec):
+        for reserved in ("pool", "owner", "max_jobs"):
+            with pytest.raises(InvalidSpecError):
+                manager.open(
+                    "t",
+                    small_uniform_spec.r_points,
+                    small_uniform_spec.s_points,
+                    small_uniform_spec.half_extent,
+                    **{reserved: None},
+                )
+
+    def test_invalid_budget_and_timeout_are_rejected(self):
+        with pytest.raises(InvalidSpecError):
+            SessionManager(memory_budget=0)
+        with pytest.raises(InvalidSpecError):
+            SessionManager(idle_timeout=0.0)
+
+
+class TestMemoryBudget:
+    def test_tight_budget_forces_transparent_reprepare(self, small_uniform_spec):
+        # A one-byte budget cannot hold any entry: every draw prepares,
+        # serves, and is evicted right after - and every draw still matches
+        # the twin bit for bit.
+        twin = _twin(small_uniform_spec)
+        with SessionManager(memory_budget=1, name="tight") as manager:
+            handle = _open_tenant(manager, small_uniform_spec)
+            for seed in range(4):
+                managed = handle.draw(32, seed=seed)
+                assert managed.id_pairs() == twin.draw(32, seed=seed).id_pairs()
+                assert manager.tracked_nbytes() <= 1
+            stats = manager.stats()
+            assert stats["manager_evictions"] >= 4
+            assert stats["prepare_misses"] >= 4
+        twin.close()
+
+    def test_budget_evicts_least_recently_used_tenant_first(self, small_uniform_spec):
+        twin = _twin(small_uniform_spec)
+        nbytes = None
+        with SessionManager(name="probe") as probe:
+            handle = _open_tenant(probe, small_uniform_spec)
+            handle.draw(8, seed=0)
+            nbytes = probe.tracked_nbytes()
+        assert nbytes > 0
+        # Room for one prepared tenant only: touching B must push A out.
+        with SessionManager(memory_budget=nbytes, name="lru") as manager:
+            a = _open_tenant(manager, small_uniform_spec, tenant_id="a")
+            b = _open_tenant(manager, small_uniform_spec, tenant_id="b")
+            a.draw(8, seed=1)
+            b.draw(8, seed=1)
+            stats = manager.stats()
+            assert stats["tracked_nbytes"] <= nbytes
+            assert stats["tenants"]["a"]["bytes"] == 0
+            assert stats["tenants"]["b"]["bytes"] > 0
+            # The evicted tenant transparently re-prepares and still matches.
+            assert a.draw(8, seed=2).id_pairs() == twin.draw(8, seed=2).id_pairs()
+        twin.close()
+
+    def test_eviction_transparent_across_updates(self, small_uniform_spec, rng):
+        # Updates put maintained entries through DynamicSampler patching; the
+        # session flushes them back to the canonical fresh-build state, so an
+        # eviction + lazy re-prepare after an update changes no draw.
+        twin = _twin(small_uniform_spec)
+        with SessionManager(memory_budget=1, name="upd") as manager:
+            handle = _open_tenant(manager, small_uniform_spec)
+            delete_ids = rng.choice(twin.s_points.ids, size=10, replace=False)
+            xs = rng.uniform(0.0, 10_000.0, size=10)
+            ys = rng.uniform(0.0, 10_000.0, size=10)
+            handle.update("s", insert=(xs, ys), delete=delete_ids)
+            twin.update("s", insert=(xs, ys), delete=delete_ids)
+            managed = handle.draw(32, seed=11)
+            assert managed.id_pairs() == twin.draw(32, seed=11).id_pairs()
+        twin.close()
+
+    def test_unbudgeted_manager_never_evicts(self, manager, small_uniform_spec):
+        handle = _open_tenant(manager, small_uniform_spec)
+        handle.draw(8, seed=0)
+        handle.draw(8, seed=1)
+        stats = manager.stats()
+        assert stats["manager_evictions"] == 0
+        assert stats["prepare_hits"] >= 1
+        assert stats["peak_tracked_nbytes"] > 0
+
+
+class TestIdleExpiry:
+    def test_idle_session_is_closed_and_reopens_transparently(self, small_uniform_spec):
+        twin = _twin(small_uniform_spec)
+        with SessionManager(idle_timeout=0.05, name="idle") as manager:
+            handle = _open_tenant(manager, small_uniform_spec)
+            handle.draw(8, seed=0)
+            time.sleep(0.08)
+            manager.expire_idle()
+            stats = manager.stats()
+            assert stats["tenants"]["tenant-a"]["expired"]
+            assert stats["expirations"] == 1
+            assert stats["tracked_nbytes"] == 0
+            # The handle stays valid: the next draw re-opens and matches.
+            assert handle.draw(8, seed=1).id_pairs() == twin.draw(8, seed=1).id_pairs()
+            assert manager.stats()["tenants"]["tenant-a"]["reopens"] == 1
+        twin.close()
+
+    def test_updates_survive_expiry(self, small_uniform_spec, rng):
+        twin = _twin(small_uniform_spec)
+        with SessionManager(idle_timeout=0.05, name="idle-upd") as manager:
+            handle = _open_tenant(manager, small_uniform_spec)
+            delete_ids = rng.choice(twin.s_points.ids, size=8, replace=False)
+            xs = rng.uniform(0.0, 10_000.0, size=8)
+            ys = rng.uniform(0.0, 10_000.0, size=8)
+            handle.update("s", insert=(xs, ys), delete=delete_ids)
+            twin.update("s", insert=(xs, ys), delete=delete_ids)
+            time.sleep(0.08)
+            manager.expire_idle()
+            # The re-opened session serves the *updated* data.
+            assert handle.draw(16, seed=4).id_pairs() == twin.draw(16, seed=4).id_pairs()
+        twin.close()
+
+    def test_expiry_carries_the_session_counters(self, small_uniform_spec):
+        with SessionManager(idle_timeout=0.05, name="carry") as manager:
+            handle = _open_tenant(manager, small_uniform_spec)
+            handle.draw(8, seed=0)
+            time.sleep(0.08)
+            manager.expire_idle()
+            handle.draw(8, seed=1)
+            merged = manager.stats()["tenants"]["tenant-a"]["stats"]
+            assert merged["requests"] == 2
+
+
+class TestLifecycle:
+    def test_closing_one_tenant_leaves_the_others_alive(self, manager, small_uniform_spec):
+        a = _open_tenant(manager, small_uniform_spec, tenant_id="a")
+        b = _open_tenant(manager, small_uniform_spec, tenant_id="b")
+        a.close()
+        with pytest.raises(SessionClosedError):
+            a.draw(4, seed=0)
+        assert len(b.draw(4, seed=0)) == 4
+
+    def test_closing_the_manager_is_terminal(self, small_uniform_spec):
+        manager = SessionManager(name="term")
+        handle = _open_tenant(manager, small_uniform_spec)
+        manager.close()
+        assert manager.closed
+        with pytest.raises(SessionClosedError):
+            handle.draw(4, seed=0)
+        with pytest.raises(SessionClosedError):
+            _open_tenant(manager, small_uniform_spec)
+        manager.close()  # idempotent
+
+    def test_closed_errors_are_runtime_and_repro_errors(self, small_uniform_spec):
+        manager = SessionManager(name="t")
+        manager.close()
+        with pytest.raises(ReproError):
+            _open_tenant(manager, small_uniform_spec)
+        with pytest.raises(RuntimeError):
+            _open_tenant(manager, small_uniform_spec)
+
+    def test_stats_shape(self, manager, small_uniform_spec):
+        handle = _open_tenant(manager, small_uniform_spec)
+        handle.draw(8, seed=0)
+        stats = manager.stats()
+        for key in (
+            "name",
+            "closed",
+            "memory_budget",
+            "tracked_nbytes",
+            "peak_tracked_nbytes",
+            "tenants",
+            "prepare_hits",
+            "prepare_misses",
+            "evictions",
+            "manager_evictions",
+            "expirations",
+            "pool",
+        ):
+            assert key in stats
+        tenant = stats["tenants"]["tenant-a"]
+        assert tenant["bytes"] > 0
+        assert tenant["cached_keys"]
+        assert tenant["stats"]["requests"] == 1
+        assert stats["pool"]["capacity"] >= 1
+
+
+class TestOpenSessionWrapper:
+    def test_open_session_draws_like_a_plain_session(self, small_uniform_spec):
+        twin = _twin(small_uniform_spec)
+        with open_session(
+            small_uniform_spec.r_points,
+            small_uniform_spec.s_points,
+            small_uniform_spec.half_extent,
+            algorithm="bbst",
+        ) as handle:
+            assert isinstance(handle, SessionHandle)
+            assert handle.draw(32, seed=9).id_pairs() == twin.draw(32, seed=9).id_pairs()
+            private = handle.manager
+        # Leaving the context closes the private manager with the handle.
+        assert private.closed
+        with pytest.raises(SessionClosedError):
+            handle.draw(4, seed=0)
+        twin.close()
+
+    def test_open_session_forwards_manager_options(self, small_uniform_spec):
+        with open_session(
+            small_uniform_spec.r_points,
+            small_uniform_spec.s_points,
+            small_uniform_spec.half_extent,
+            memory_budget=1,
+            algorithm="bbst",
+        ) as handle:
+            handle.draw(8, seed=0)
+            assert handle.manager.memory_budget == 1
+            assert handle.manager.stats()["manager_evictions"] >= 1

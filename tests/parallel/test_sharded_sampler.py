@@ -228,7 +228,7 @@ class TestFailureRecovery:
             def result(self):
                 raise RuntimeError("worker died")
 
-        class ExplodingExecutor:
+        class ExplodingLease:
             def submit(self, *args, **kwargs):
                 return ExplodingFuture()
 
@@ -237,12 +237,12 @@ class TestFailureRecovery:
         )
         sampler.prepare()
         built = sampler._built
-        originals = list(built.executors)
-        built.executors = [ExplodingExecutor() for _ in built.executors]
+        originals = list(built.leases)
+        built.leases = [ExplodingLease() for _ in built.leases]
         with pytest.raises(RuntimeError, match="worker died"):
             sampler.sample(100, seed=5)
         assert all(not lock.locked() for lock in sampler._shard_locks)
-        built.executors = originals
+        built.leases = originals
         # The sampler recovers once the workers are healthy again.
         assert len(sampler.sample(100, seed=5)) == 100
 

@@ -1,0 +1,118 @@
+"""Tests of the shared lease-based :class:`~repro.parallel.pool.WorkerPool`.
+
+Bookkeeping tests release leases with ``discard=True`` so no worker process
+is ever spawned (executors start workers lazily on first submit); only the
+warm-reuse test pays for a real worker.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import InvalidSpecError, SessionClosedError
+from repro.parallel.pool import (
+    WorkerPool,
+    default_pool_capacity,
+    shared_pool,
+)
+
+
+class TestCapacity:
+    def test_env_override_and_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_WORKERS", "7")
+        assert default_pool_capacity() == 7
+        monkeypatch.delenv("REPRO_POOL_WORKERS")
+        assert default_pool_capacity() >= 4  # floored for small CI machines
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True])
+    def test_invalid_max_workers_rejected(self, bad):
+        with pytest.raises(InvalidSpecError):
+            WorkerPool(max_workers=bad)
+
+    def test_exhausted_pool_denies_instead_of_blocking(self):
+        with WorkerPool(max_workers=2, name="t") as pool:
+            leases = [pool.lease("a"), pool.lease("a")]
+            assert all(lease is not None for lease in leases)
+            assert pool.lease("a") is None
+            stats = pool.stats()
+            assert stats["leased"] == 2
+            assert stats["granted"] == 2
+            assert stats["denied"] == 1
+            assert stats["peak_leased"] == 2
+            for lease in leases:
+                lease.release(discard=True)
+            assert pool.leased == 0
+
+
+class TestFairness:
+    def test_single_owner_may_take_the_whole_pool(self):
+        with WorkerPool(max_workers=4, name="t") as pool:
+            leases = [pool.lease("a") for _ in range(4)]
+            assert all(lease is not None for lease in leases)
+            for lease in leases:
+                lease.release(discard=True)
+
+    def test_contending_owners_converge_to_capacity_over_owners(self):
+        with WorkerPool(max_workers=4, name="t") as pool:
+            a1, a2 = pool.lease("a"), pool.lease("a")
+            # b entering makes two active owners: fair share is 4 // 2 = 2.
+            b1 = pool.lease("b")
+            assert b1 is not None
+            assert pool.lease("a") is None  # a already holds its share
+            b2 = pool.lease("b")
+            assert b2 is not None
+            assert pool.lease("b") is None
+            assert pool.stats()["owners"] == {"a": 2, "b": 2}
+            for lease in (a1, a2, b1, b2):
+                lease.release(discard=True)
+
+    def test_fair_share_values(self):
+        with WorkerPool(max_workers=8, name="t") as pool:
+            assert pool.fair_share(1) == 8
+            assert pool.fair_share(2) == 4
+            assert pool.fair_share(3) == 2
+            assert pool.fair_share(100) == 1  # never below one
+
+
+class TestLeaseLifecycle:
+    def test_release_is_idempotent_and_blocks_submit(self):
+        with WorkerPool(max_workers=1, name="t") as pool:
+            lease = pool.lease("a")
+            lease.release(discard=True)
+            lease.release(discard=True)
+            assert lease.released
+            with pytest.raises(SessionClosedError):
+                lease.submit(os.getpid)
+
+    def test_warm_release_parks_the_worker_for_reuse(self):
+        with WorkerPool(max_workers=1, name="t") as pool:
+            first = pool.lease("a")
+            pid = first.submit(os.getpid).result(timeout=60)
+            first.release()
+            assert pool.stats()["idle_warm"] == 1
+            second = pool.lease("b")
+            # Same worker process: the lease skipped process startup.
+            assert second.submit(os.getpid).result(timeout=60) == pid
+            second.release(discard=True)
+
+    def test_closed_pool_refuses_leases_but_held_leases_survive(self):
+        pool = WorkerPool(max_workers=2, name="t")
+        held = pool.lease("a")
+        pool.close()
+        assert pool.closed
+        with pytest.raises(SessionClosedError):
+            pool.lease("b")
+        # The held lease's executor is its own; it still accepts work.
+        assert held.submit(os.getpid).result(timeout=60) > 0
+        held.release()  # releasing into a closed pool shuts the worker down
+        assert pool.stats()["idle_warm"] == 0
+        pool.close()  # idempotent
+
+    def test_shared_pool_is_a_recreated_singleton(self):
+        first = shared_pool()
+        assert shared_pool() is first
+        if first.leased == 0:
+            first.close()
+            second = shared_pool()
+            assert second is not first
+            assert not second.closed
