@@ -1,0 +1,57 @@
+"""Async sampling service - 1,000-connection load with coalescing floors.
+
+The acceptance workload of the service front-end: 1,000 concurrent
+keep-alive HTTP clients each issue 2 pinned-seed ``/v1/draw`` requests
+against an in-process :class:`~repro.service.ServiceServer`.  The run must
+answer every request, coalesce concurrent draws into multi-request batches
+(ratio floor below), and return every reply **bit-identical** to an
+unmanaged twin session replaying the same ``(t, seed)`` - the determinism
+contract measured end-to-end through the wire.
+
+The committed CI floors live in ``benchmarks/baseline_ci.json`` and are
+enforced by ``python -m repro.bench.ci_gate --service`` (skipped, like the
+parallel gate, on machines without real concurrency headroom; this
+benchmark itself runs everywhere - the floors below hold even on one CPU).
+"""
+
+from __future__ import annotations
+
+from repro.bench.service_load import run_service_load
+
+CONNECTIONS = 1_000
+REQUESTS_PER_CONNECTION = 2
+SAMPLES = 8
+
+#: Required draw-requests-per-batch at the bench load (the committed gate
+#: floor is stricter; this one only rules out a coalescer that stopped
+#: merging at all).
+MIN_COALESCING_RATIO = 2.0
+
+
+def test_service_load_coalesces_and_stays_bit_identical(benchmark):
+    rows = benchmark.pedantic(
+        run_service_load,
+        kwargs={
+            "connections": CONNECTIONS,
+            "requests_per_connection": REQUESTS_PER_CONNECTION,
+            "num_samples": SAMPLES,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    (row,) = rows
+    assert row["request_errors"] == 0, "the gate load must not be shed"
+    assert row["requests_ok"] == CONNECTIONS * REQUESTS_PER_CONNECTION
+    assert row["coalescing_bit_identity"] == 1.0, (
+        "a coalesced wire reply diverged from the unmanaged twin session"
+    )
+    assert row["coalescing_ratio"] >= MIN_COALESCING_RATIO
+    benchmark.extra_info.update(
+        {
+            "p50_ms": round(row["p50_ms"], 3),
+            "p99_ms": round(row["p99_ms"], 3),
+            "draws_per_second": round(row["draws_per_second"], 1),
+            "coalescing_ratio": round(row["coalescing_ratio"], 2),
+            "coalesced_batches": row["coalesced_batches"],
+        }
+    )

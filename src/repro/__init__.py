@@ -68,7 +68,9 @@ from repro.errors import (
     BudgetExceededError,
     InvalidSpecError,
     MaintenanceError,
+    ReproDeprecationWarning,
     ReproError,
+    ServiceOverloadedError,
     SessionClosedError,
     StaleInputError,
 )
@@ -82,8 +84,9 @@ from repro.parallel import (
     WorkerPool,
     shared_pool,
 )
+from repro.service import ServiceConfig, ServiceCore, ServiceServer, run_server
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -98,6 +101,13 @@ __all__ = [
     "BudgetExceededError",
     "SessionClosedError",
     "MaintenanceError",
+    "ServiceOverloadedError",
+    "ReproDeprecationWarning",
+    # async serving front-end
+    "ServiceConfig",
+    "ServiceCore",
+    "ServiceServer",
+    "run_server",
     # session API
     "SamplingSession",
     "SessionStats",

@@ -45,7 +45,7 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
@@ -59,6 +59,7 @@ from repro.dynamic.store import DynamicPointStore
 from repro.errors import (
     InvalidSpecError,
     MaintenanceError,
+    ReproDeprecationWarning,
     SessionClosedError,
     StaleInputError,
 )
@@ -187,7 +188,7 @@ class SamplingSession:
                 "repro.manager.SessionManager.open() (multi-tenant) or "
                 "repro.open_session() (single-tenant) so lifecycle, memory "
                 "budget and the worker pool have one owner",
-                DeprecationWarning,
+                ReproDeprecationWarning,
                 stacklevel=2,
             )
         self._r_points = r_points
@@ -589,6 +590,52 @@ class SamplingSession:
             self._release_entry(entry)
         self._record_result(result)
         return result
+
+    def draw_batch(
+        self,
+        requests: Sequence[tuple[int, int | None]],
+        *,
+        algorithm: str | None = None,
+        half_extent: float | None = None,
+        jobs: int | None = None,
+        distinct: bool = False,
+    ) -> list[JoinSampleResult]:
+        """Serve many ``(t, seed)`` requests against one cache entry in one pass.
+
+        This is the coalescing primitive the async service batches concurrent
+        per-tenant draws with: the entry is resolved, pinned and locked
+        **once** for the whole batch, so N small coalesced requests pay one
+        cache/lock round-trip instead of N.  Each request gets its own fresh
+        generator from its seed - exactly what ``draw(t, seed=seed)`` uses -
+        so every returned result is **bit-identical** to the same request
+        served alone, serially, or by a twin session.  ``distinct=True``
+        serves every request without replacement (the ``draw_distinct``
+        twin).
+        """
+        for t, _seed in requests:
+            if t < 0:
+                raise InvalidSpecError("every batched t must be non-negative")
+        if not requests:
+            return []
+        results: list[JoinSampleResult] = []
+        entry = self._resolve_entry(algorithm, half_extent, jobs)
+        try:
+            sampler = entry.sampler
+            draw_one = (
+                sampler.sample_without_replacement if distinct else sampler.sample
+            )
+            if entry.lock is not None:
+                with entry.lock:
+                    for t, seed in requests:
+                        results.append(draw_one(t, rng=resolve_rng(None, seed)))
+            else:
+                for t, seed in requests:
+                    results.append(draw_one(t, rng=resolve_rng(None, seed)))
+        finally:
+            self._release_entry(entry)
+        for result in results:
+            self._record_result(result)
+        return results
 
     def stream(
         self,

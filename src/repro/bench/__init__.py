@@ -28,6 +28,7 @@ from repro.bench.harness import (
 )
 from repro.bench.reporting import format_markdown_table, format_table
 from repro.bench.runner import run_all_experiments
+from repro.bench.service_load import run_service_load
 from repro.bench.workloads import (
     DEFAULT_HALF_EXTENT,
     DEFAULT_NUM_SAMPLES,
@@ -58,6 +59,7 @@ __all__ = [
     "run_vectorization_speedup",
     "run_session_reuse",
     "run_parallel_speedup",
+    "run_service_load",
     "format_table",
     "format_markdown_table",
     "run_all_experiments",

@@ -24,11 +24,19 @@ Run as ``python -m repro.bench.ci_gate``.  The gate
    the budget was never exceeded between operations, every post-eviction
    draw was bit-identical to a never-evicted twin session, and evictions
    actually happened (so the other floors were earned),
-6. writes the measurements to ``BENCH_ci.json``, and
-7. compares against the committed ``benchmarks/baseline_ci.json``: any
+6. with ``--service``, runs the ``service`` load experiment - 1,000+
+   concurrent keep-alive HTTP clients of pinned-seed draw requests against
+   an in-process :class:`~repro.service.ServiceServer` - and requires the
+   committed floors: every wire reply bit-identical to an unmanaged twin
+   session (``coalescing_bit_identity``), a minimum coalescing ratio (the
+   coalescer must actually merge concurrent requests), and zero failed
+   requests,
+7. writes the measurements to ``BENCH_ci.json``, and
+8. compares against the committed ``benchmarks/baseline_ci.json``: any
    ``(dataset, algorithm)`` sampling-phase row slower than ``factor``
    (default 2) times its baseline fails, and any session-reuse, parallel,
-   dynamic or manager measurement below its baseline *minimum* fails.
+   dynamic, manager or service measurement below its baseline *minimum*
+   fails.
 
 The committed baseline holds *generous* values (local measurements rounded
 up / down) so that ordinary CI-runner jitter passes while a reintroduced
@@ -55,6 +63,7 @@ __all__ = [
     "collect_parallel_measurements",
     "collect_dynamic_measurements",
     "collect_manager_measurements",
+    "collect_service_measurements",
     "compare_to_baseline",
     "as_baseline",
     "main",
@@ -98,6 +107,16 @@ GATE_DYNAMIC_SAMPLES = 2_000
 GATE_MANAGER_TENANTS = 8
 GATE_MANAGER_ROUNDS = 3
 GATE_MANAGER_SAMPLES = 500
+
+#: Service-gate workload: concurrent keep-alive HTTP clients of pinned-seed
+#: draw requests against an in-process service (the configuration whose
+#: floors are committed).  Like --parallel, the measurement is only
+#: meaningful with real concurrency headroom, so it self-skips below the
+#: CPU minimum.
+GATE_SERVICE_CONNECTIONS = 1_000
+GATE_SERVICE_REQUESTS_PER_CONNECTION = 2
+GATE_SERVICE_SAMPLES = 8
+GATE_SERVICE_MIN_CPUS = 2
 
 DEFAULT_BASELINE = Path("benchmarks") / "baseline_ci.json"
 DEFAULT_OUTPUT = Path("BENCH_ci.json")
@@ -245,6 +264,49 @@ def collect_manager_measurements(repeats: int = 1) -> dict:
     return {key: round(value, 3) for key, value in sorted(worst.items())}
 
 
+def collect_service_measurements(repeats: int = 1) -> dict:
+    """Service-gate floors at the committed load configuration.
+
+    The ``service`` experiment drives ``GATE_SERVICE_CONNECTIONS`` concurrent
+    keep-alive HTTP clients of pinned-seed draw requests against an
+    in-process service and reports ``coalescing_bit_identity`` (every wire
+    reply replayed bit-for-bit on an unmanaged twin session; exact 0/1),
+    ``coalescing_ratio`` (draw requests per executed batch; the coalescer
+    must actually merge concurrent load) and ``request_success`` (the
+    fraction of requests answered 200; admission headroom is sized so the
+    gate load must not be shed).  Repeats keep the *worst* bit-identity /
+    success and the *best* ratio, so a single correctness failure fails the
+    gate while throughput jitter does not.
+    """
+    _title, service = EXPERIMENTS["service"]
+    floors: dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        rows = service(
+            scale=ExperimentScale.SMOKE,
+            connections=GATE_SERVICE_CONNECTIONS,
+            requests_per_connection=GATE_SERVICE_REQUESTS_PER_CONNECTION,
+            num_samples=GATE_SERVICE_SAMPLES,
+        )
+        for row in rows:
+            identity = float(row["coalescing_bit_identity"])
+            success = (
+                float(row["requests_ok"]) / float(row["requests_total"])
+                if row["requests_total"]
+                else 0.0
+            )
+            ratio = float(row["coalescing_ratio"])
+            floors["coalescing_bit_identity"] = min(
+                floors.get("coalescing_bit_identity", 1.0), identity
+            )
+            floors["request_success"] = min(
+                floors.get("request_success", 1.0), success
+            )
+            floors["coalescing_ratio"] = max(
+                floors.get("coalescing_ratio", 0.0), ratio
+            )
+    return {key: round(value, 3) for key, value in sorted(floors.items())}
+
+
 def as_baseline(current: dict) -> dict:
     """Turn raw measurements into a committed-baseline payload with slack.
 
@@ -254,7 +316,11 @@ def as_baseline(current: dict) -> dict:
     while a session that rebuilds its structures per request (~1.0x) fails.
     The ``manager`` section is copied verbatim: its floors are exact 0/1
     correctness booleans, so halving (which would floor them at 1.05) would
-    make them unsatisfiable.
+    make them unsatisfiable.  The ``service`` section mixes both kinds:
+    ``coalescing_bit_identity`` and ``request_success`` are correctness
+    floors copied verbatim, while the measured ``coalescing_ratio`` is
+    halved (never below 1.2 - strictly above 1.0, so a coalescer that stops
+    merging fails even from a jittery measurement).
     """
     def halved_floors(section: dict) -> dict:
         return {
@@ -266,6 +332,12 @@ def as_baseline(current: dict) -> dict:
     for section in ("parallel_speedup", "dynamic_speedup"):
         if section in current:
             payload[section] = halved_floors(current[section])
+    if "service" in current:
+        service = dict(current["service"])
+        service["coalescing_ratio"] = round(
+            max(1.2, service.get("coalescing_ratio", 0.0) / 2.0), 3
+        )
+        payload["service"] = service
     return payload
 
 
@@ -385,6 +457,28 @@ def compare_to_baseline(
                 )
         for key in sorted(set(current_manager) - set(baseline_manager)):
             problems.append(f"manager {key}: missing from the committed baseline")
+
+    # The service section is opt-in (--service) as well: bit-identity and
+    # request-success are exact correctness floors, the coalescing ratio is
+    # a halved-measurement floor strictly above 1.0.
+    current_service = current.get("service")
+    baseline_service = baseline.get("service", {})
+    if current_service is not None:
+        for key, required in sorted(baseline_service.items()):
+            measured = current_service.get(key)
+            if measured is None:
+                problems.append(f"service {key}: missing from the current measurements")
+                continue
+            if measured < required:
+                problems.append(
+                    f"service {key}: measured {measured:g}, below the required "
+                    f"{required:g} (connections={GATE_SERVICE_CONNECTIONS}, "
+                    f"requests/conn={GATE_SERVICE_REQUESTS_PER_CONNECTION}) - "
+                    "the coalescer stopped merging, shed gate load, or broke "
+                    "the bit-identity contract"
+                )
+        for key in sorted(set(current_service) - set(baseline_service)):
+            problems.append(f"service {key}: missing from the committed baseline")
     return problems
 
 
@@ -428,6 +522,13 @@ def main(argv: list[str] | None = None) -> int:
         f"(tenants={GATE_MANAGER_TENANTS}, rounds={GATE_MANAGER_ROUNDS}, "
         "memory budget ~50% of total prepared bytes)",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="also measure the async-service floors "
+        f"(connections={GATE_SERVICE_CONNECTIONS}, "
+        f"requests/conn={GATE_SERVICE_REQUESTS_PER_CONNECTION}; "
+        "multi-core machines only)",
+    )
     args = parser.parse_args(argv)
 
     current = collect_measurements(repeats=args.repeats)
@@ -445,6 +546,16 @@ def main(argv: list[str] | None = None) -> int:
         current["dynamic_speedup"] = collect_dynamic_measurements()
     if args.manager:
         current["manager"] = collect_manager_measurements()
+    if args.service:
+        cpus = os.cpu_count() or 1
+        if cpus < GATE_SERVICE_MIN_CPUS:
+            print(
+                f"warning: --service requested but only {cpus} CPU(s) available; "
+                "skipping the service floors",
+                file=sys.stderr,
+            )
+        else:
+            current["service"] = collect_service_measurements()
     args.output.write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {args.output}")
     for key, seconds in current["sampling_seconds"].items():
@@ -457,6 +568,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  dynamic_speedup {key}: {speedup:.2f}x")
     for key, value in current.get("manager", {}).items():
         print(f"  manager {key}: {value:g}")
+    for key, value in current.get("service", {}).items():
+        print(f"  service {key}: {value:g}")
 
     if args.write_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)

@@ -30,6 +30,7 @@ from repro.bench.harness import (
     run_vectorization_speedup,
 )
 from repro.bench.reporting import format_markdown_table, format_table
+from repro.bench.service_load import run_service_load
 from repro.bench.workloads import ExperimentScale
 
 __all__ = ["EXPERIMENTS", "run_all_experiments", "run_experiment"]
@@ -65,6 +66,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]]]] = {
     "manager": (
         "Extra - multi-tenant serving under a fixed memory budget",
         run_manager_multitenancy,
+    ),
+    "service": (
+        "Extra - async service load: latency, throughput, coalescing",
+        run_service_load,
     ),
     "uniformity": ("Extra - uniformity of produced samples", run_uniformity_experiment),
 }

@@ -1,0 +1,260 @@
+"""Load generator for the async sampling service (extra, beyond the paper).
+
+Drives an in-process :class:`~repro.service.ServiceServer` with many
+concurrent keep-alive HTTP clients issuing small pinned-seed ``/v1/draw``
+requests - the workload the coalescer exists for - and reports:
+
+* client-observed latency (p50 / p99 / mean, which *includes* the coalescing
+  window, so the window's latency cost is visible, not hidden);
+* throughput in draw requests per second;
+* the **coalescing ratio** (draw requests per executed batch: 1.0 means the
+  coalescer never merged anything, ``N`` means N requests per cache-entry
+  pass on average);
+* ``coalescing_bit_identity`` - every reply is replayed as
+  ``twin.draw(t, seed=request_seed)`` on an *unmanaged*
+  :class:`~repro.api.session.SamplingSession` over the same data and must
+  return exactly the same pairs.  This is the service's determinism
+  contract measured end-to-end through the wire: coalesced == serial ==
+  unmanaged, bit for bit.
+
+The workload is pinned (``workloads`` / ``datasets`` accepted for registry
+uniformity and ignored) so the committed CI floors cannot drift with the
+proxy catalogue.  ``repro.bench.ci_gate --service`` runs this at 1k+
+connections and compares the bit-identity and ratio columns against
+``benchmarks/baseline_ci.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.api.session import SamplingSession
+from repro.bench.workloads import ExperimentScale, WorkloadConfig
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points
+from repro.manager import SessionManager
+from repro.service import ServiceConfig, ServiceCore, ServiceServer, http_request
+
+__all__ = ["run_service_load", "SERVICE_HALF_EXTENT"]
+
+Row = dict[str, Any]
+
+#: Window half-extent of the pinned load workload (10k x 10k domain).
+SERVICE_HALF_EXTENT = 200.0
+
+#: Dataset points per scale - small enough that the *service* dominates the
+#: measurement, large enough that a draw does real sampling work.
+_SERVICE_SCALE_POINTS: dict[ExperimentScale, int] = {
+    ExperimentScale.SMOKE: 4_000,
+    ExperimentScale.PAPER: 40_000,
+}
+
+#: Concurrent client connections per scale (overridable per call).
+_SERVICE_SCALE_CONNECTIONS: dict[ExperimentScale, int] = {
+    ExperimentScale.SMOKE: 64,
+    ExperimentScale.PAPER: 1_000,
+}
+
+#: Replies replayed against the unmanaged twin.  Capped so verification cost
+#: stays bounded at high connection counts; the subset is an evenly-strided
+#: deterministic pick, not a random sample.
+_VERIFY_LIMIT = 512
+
+
+async def _client(
+    host: str,
+    port: int,
+    requests: list[tuple[int, int]],
+    t: int,
+    tenant: str,
+    latencies: list[float],
+    replies: dict[int, list[list[int]]],
+    errors: list[str],
+) -> None:
+    """One persistent-connection client issuing its pinned (index, seed) list."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for request_index, seed in requests:
+            start = time.perf_counter()
+            status, body = await http_request(
+                host,
+                port,
+                "POST",
+                "/v1/draw",
+                {"t": t, "seed": seed, "tenant": tenant},
+                connection=(reader, writer),
+            )
+            latencies.append(time.perf_counter() - start)
+            if status != 200:
+                errors.append(f"request {request_index}: HTTP {status}: {body}")
+            else:
+                replies[request_index] = body["pairs"]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def _drive(
+    core: ServiceCore,
+    connections: int,
+    schedules: list[list[tuple[int, int]]],
+    t: int,
+    tenant: str,
+) -> tuple[list[float], dict[int, list[list[int]]], list[str], float]:
+    latencies: list[float] = []
+    replies: dict[int, list[list[int]]] = {}
+    errors: list[str] = []
+    async with ServiceServer(core) as server:
+        # Warm the prepared structures once so the measured section times the
+        # service, not the first tenant build.
+        await http_request(
+            server.host, server.port, "POST", "/v1/draw",
+            {"t": 1, "seed": 0, "tenant": tenant},
+        )
+        start = time.perf_counter()
+        await asyncio.gather(
+            *[
+                _client(
+                    server.host,
+                    server.port,
+                    schedules[index],
+                    t,
+                    tenant,
+                    latencies,
+                    replies,
+                    errors,
+                )
+                for index in range(connections)
+            ]
+        )
+        wall = time.perf_counter() - start
+    return latencies, replies, errors, wall
+
+
+def run_service_load(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    connections: int | None = None,
+    requests_per_connection: int = 2,
+    num_samples: int = 8,
+    coalesce_window: float = 0.002,
+    coalesce_max_batch: int = 64,
+    max_in_flight: int = 4096,
+    executor_threads: int = 4,
+    algorithm: str = "bbst",
+    seed: int = 71,
+) -> list[Row]:
+    """Concurrent pinned-seed draw load against an in-process service.
+
+    ``connections`` clients each hold one keep-alive connection and issue
+    ``requests_per_connection`` sequential ``/v1/draw`` requests of
+    ``num_samples`` samples; every request carries a pinned seed, so each
+    reply is replayable and the bit-identity column is exact, not
+    statistical.  See the module docstring for the reported columns.
+    """
+    del workloads, datasets  # pinned workload; see module docstring
+    if connections is None:
+        connections = _SERVICE_SCALE_CONNECTIONS[scale]
+    if connections < 1:
+        raise ValueError("connections must be at least 1")
+    if requests_per_connection < 1:
+        raise ValueError("requests_per_connection must be at least 1")
+
+    rng = np.random.default_rng(seed)
+    points = uniform_points(_SERVICE_SCALE_POINTS[scale], rng, name="service-load")
+    r_points, s_points = split_r_s(points, rng)
+    tenant = "load"
+
+    # Pinned per-request seeds: request i gets seed_base + i, partitioned
+    # round-robin over the connections.
+    total_requests = connections * requests_per_connection
+    seed_base = seed * 1_000
+    schedules: list[list[tuple[int, int]]] = [[] for _ in range(connections)]
+    for request_index in range(total_requests):
+        schedules[request_index % connections].append(
+            (request_index, seed_base + request_index)
+        )
+
+    manager = SessionManager(name="service-load")
+    core = ServiceCore(
+        manager,
+        ServiceConfig(
+            coalesce_window=coalesce_window,
+            coalesce_max_batch=coalesce_max_batch,
+            max_in_flight=max_in_flight,
+            max_queued=max(1_024, total_requests),
+            executor_threads=executor_threads,
+        ),
+        own_manager=True,
+    )
+    core.bind(tenant, r_points, s_points, SERVICE_HALF_EXTENT, algorithm=algorithm)
+    try:
+        latencies, replies, errors, wall = asyncio.run(
+            _drive(core, connections, schedules, num_samples, tenant)
+        )
+        stats = core.stats()["service"]
+    finally:
+        asyncio.run(core.aclose())
+
+    # Replay an evenly-strided subset of the replies on an unmanaged twin
+    # session over the same data: the wire answer must match bit for bit.
+    verified = 0
+    mismatches = 0
+    twin = SamplingSession(
+        r_points, s_points, SERVICE_HALF_EXTENT, algorithm=algorithm, eager=False
+    )
+    try:
+        indices = sorted(replies)
+        stride = max(1, len(indices) // _VERIFY_LIMIT)
+        for request_index in indices[::stride]:
+            reference = twin.draw(num_samples, seed=seed_base + request_index)
+            verified += 1
+            if [list(pair) for pair in reference.id_pairs()] != replies[request_index]:
+                mismatches += 1
+    finally:
+        twin.close()
+
+    latencies.sort()
+
+    def quantile(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    batches = stats["coalesced_batches_total"]
+    ok = total_requests - len(errors)
+    return [
+        {
+            "connections": connections,
+            "requests_per_connection": requests_per_connection,
+            "requests_total": total_requests,
+            "requests_ok": ok,
+            "request_errors": len(errors),
+            "t": num_samples,
+            "algorithm": algorithm,
+            "coalesce_window_ms": coalesce_window * 1e3,
+            "wall_seconds": wall,
+            "draws_per_second": ok / wall if wall > 0 else 0.0,
+            "p50_ms": quantile(0.50) * 1e3,
+            "p99_ms": quantile(0.99) * 1e3,
+            "mean_ms": (
+                sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
+            ),
+            "coalesced_batches": batches,
+            "max_batch": stats["max_batch"],
+            "coalescing_ratio": (
+                stats["draw_requests_total"] / batches if batches else 0.0
+            ),
+            "verified_replies": verified,
+            "coalescing_bit_identity": float(verified > 0 and mismatches == 0),
+            "rejections": stats["rejections_total"],
+        }
+    ]

@@ -16,6 +16,10 @@
 * ``manage`` - serve several dataset proxies as tenants of one
   :class:`~repro.manager.SessionManager` under an optional memory budget,
   printing per-tenant draw times and the manager's eviction/pool stats.
+* ``serve`` - expose dataset proxies over HTTP through the async sampling
+  service (:mod:`repro.service`): concurrent draw requests are coalesced
+  into bit-identical batches, admission control sheds overload with 503,
+  and ``GET /v1/stats`` exports JSON or Prometheus metrics.
 
 Algorithms are resolved from the sampler registry
 (:mod:`repro.core.registry`), so a sampler registered with
@@ -32,6 +36,8 @@ Examples
    $ repro-spatial-join-sampling plan --dataset castreet --half-extent 100
    $ repro-spatial-join-sampling manage --datasets castreet foursquare nyc \
        --budget-mb 2 --rounds 3 -t 1000
+   $ repro-spatial-join-sampling serve --dataset castreet foursquare \
+       --port 8723 --window-ms 2 --max-in-flight 256
 """
 
 from __future__ import annotations
@@ -197,6 +203,79 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="capacity of the shared worker pool all tenants lease from",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve dataset proxies over HTTP: coalesced draws, admission "
+        "control, /v1/stats metrics (stdlib asyncio, graceful SIGTERM drain)",
+    )
+    serve.add_argument(
+        "--dataset",
+        dest="datasets",
+        nargs="+",
+        choices=DATASET_NAMES,
+        default=["castreet"],
+        help="one tenant is bound per dataset proxy (tenant id = dataset name)",
+    )
+    serve.add_argument("--size", type=int, default=None, help="proxy size (points)")
+    serve.add_argument("--algorithm", choices=_algorithm_choices(), default="auto")
+    serve.add_argument("--half-extent", type=float, default=DEFAULT_HALF_EXTENT)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8723, help="listen port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="manager memory budget (MiB) across all tenants (default: unlimited)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="capacity of the worker pool the tenants lease from",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="coalescing window: concurrent same-entry draws arriving within "
+        "this many milliseconds are served as one batch",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="a pending coalesce batch flushes immediately at this size",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=256,
+        help="admitted requests executing at once; more wait in the queue",
+    )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=1024,
+        help="requests allowed to wait for admission; beyond this the "
+        "service fast-fails with 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--quota",
+        type=int,
+        default=None,
+        help="per-tenant cap on admitted in-flight requests (default: none)",
+    )
+    serve.add_argument(
+        "--exit-after",
+        type=float,
+        default=None,
+        help="serve for this many seconds, then drain and exit (smoke tests; "
+        "default: run until SIGTERM/SIGINT)",
     )
 
     return parser
@@ -477,6 +556,81 @@ def _command_manage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import InvalidSpecError
+    from repro.manager import SessionManager
+    from repro.service import ServiceConfig, ServiceCore, run_server
+
+    if args.budget_mb is not None and args.budget_mb <= 0:
+        print("error: --budget-mb must be positive", file=sys.stderr)
+        return 2
+    budget = (
+        int(args.budget_mb * 1024 * 1024) if args.budget_mb is not None else None
+    )
+    try:
+        config = ServiceConfig(
+            coalesce_window=args.window_ms / 1e3,
+            coalesce_max_batch=args.max_batch,
+            max_in_flight=args.max_in_flight,
+            max_queued=args.max_queued,
+            per_tenant_in_flight=args.quota,
+        )
+    except InvalidSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manager = SessionManager(
+        memory_budget=budget, max_workers=args.workers, name="serve"
+    )
+    core = ServiceCore(manager, config, own_manager=True)
+    try:
+        for index, dataset in enumerate(args.datasets):
+            rng = np.random.default_rng(args.seed + index)
+            points = load_proxy(dataset, size=args.size)
+            r_points, s_points = split_r_s(points, rng)
+            core.bind(
+                dataset, r_points, s_points, args.half_extent,
+                algorithm=args.algorithm,
+            )
+            print(
+                f"bound tenant {dataset!r} (n={len(r_points):,}, "
+                f"m={len(s_points):,}, algorithm={args.algorithm})"
+            )
+
+        def on_ready(server: object) -> None:
+            print(
+                f"serving on http://{server.host}:{server.port} "
+                f"(window {args.window_ms:g}ms, max batch {args.max_batch}, "
+                f"{args.max_in_flight} in flight / {args.max_queued} queued)"
+            )
+            print("endpoints: POST /v1/draw /v1/draw_distinct /v1/update /v1/plan; "
+                  "GET /v1/stats /healthz")
+            sys.stdout.flush()
+
+        asyncio.run(
+            run_server(
+                core,
+                host=args.host,
+                port=args.port,
+                exit_after=args.exit_after,
+                on_ready=on_ready,
+            )
+        )
+        stats = core.stats()["service"]
+        print(
+            f"drained: {stats['requests_total']} requests, "
+            f"{stats['coalesced_batches_total']} batches "
+            f"(ratio {stats['coalescing_ratio']:.2f}), "
+            f"{stats['rejections_total']} rejected"
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive ^C before loop
+        pass
+    finally:
+        core.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -495,6 +649,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_update(args)
     if args.command == "manage":
         return _command_manage(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

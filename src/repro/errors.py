@@ -23,6 +23,8 @@ __all__ = [
     "BudgetExceededError",
     "SessionClosedError",
     "MaintenanceError",
+    "ServiceOverloadedError",
+    "ReproDeprecationWarning",
 ]
 
 
@@ -73,4 +75,31 @@ class MaintenanceError(ReproError, RuntimeError):
     (they rebuild lazily from the new data on the next request); this error
     reports which ones.  Subclasses ``RuntimeError`` for one deprecation
     cycle.
+    """
+
+
+class ServiceOverloadedError(ReproError, RuntimeError):
+    """Admission control rejected a request: the service is at capacity.
+
+    Raised by :class:`~repro.service.ServiceCore` when the bounded wait queue
+    is full, a per-tenant quota is exhausted, or the service is draining for
+    shutdown.  The request was *not* served and is safe to retry after
+    :attr:`retry_after` seconds (the HTTP transport maps this to 503 with a
+    ``Retry-After`` header).  Subclasses ``RuntimeError`` for one deprecation
+    cycle.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Category of every deprecation the library emits.
+
+    Routed through :mod:`repro.errors` like the exception hierarchy so that
+    callers can filter (or ``-W error``-escalate) the library's deprecations
+    without touching anyone else's :class:`DeprecationWarning`.  Currently
+    used by the ``REPRO_WARN_DIRECT_SESSION`` soft-deprecation of direct
+    :class:`~repro.api.session.SamplingSession` construction.
     """

@@ -115,6 +115,7 @@ class SessionHandle:
         """``t`` uniform join samples (see :meth:`SamplingSession.draw`)."""
         session = self._manager._session_for(self._tenant_id)
         result = session.draw(t, **kwargs)
+        self._manager._count(self._tenant_id, draws=1)
         self._manager._after_operation()
         return result
 
@@ -122,13 +123,39 @@ class SessionHandle:
         """``t`` distinct join pairs (without replacement)."""
         session = self._manager._session_for(self._tenant_id)
         result = session.draw_distinct(t, **kwargs)
+        self._manager._count(self._tenant_id, draws=1)
         self._manager._after_operation()
         return result
+
+    def draw_batch(
+        self, requests: list[tuple[int, int | None]], **kwargs: Any
+    ) -> list[JoinSampleResult]:
+        """Many coalesced ``(t, seed)`` draws against one cache entry.
+
+        The amortisation primitive behind the async service's
+        :class:`~repro.service.Coalescer` (see
+        :meth:`SamplingSession.draw_batch`): the whole batch resolves, pins
+        and locks the entry once - and pays **one** budget-enforcement pass -
+        while every request stays bit-identical to being served alone.
+        Counts one coalesced batch (when it actually batched) and one draw
+        per request in the manager's monotonic counters.
+        """
+        session = self._manager._session_for(self._tenant_id)
+        results = session.draw_batch(requests, **kwargs)
+        self._manager._count(
+            self._tenant_id,
+            requests=len(requests),
+            draws=len(requests),
+            batches=1 if len(requests) > 1 else 0,
+        )
+        self._manager._after_operation()
+        return results
 
     def stream(self, t: int | None = None, **kwargs: Any) -> Iterator[list[SamplePair]]:
         """Chunked streaming draws; the budget is enforced between chunks."""
         session = self._manager._session_for(self._tenant_id)
         inner = session.stream(t, **kwargs)
+        self._manager._count(self._tenant_id, draws=1)
 
         def chunks() -> Iterator[list[SamplePair]]:
             for chunk in inner:
@@ -144,6 +171,7 @@ class SessionHandle:
         # Updates rewrite the tenant's point sets: keep the manager's record
         # current so an idle-expired session re-opens over the updated data.
         self._manager._refresh_points(self._tenant_id, session)
+        self._manager._count(self._tenant_id)
         self._manager._after_operation()
         return report
 
@@ -151,6 +179,7 @@ class SessionHandle:
         """The planner's (cached) decision for a window size."""
         session = self._manager._session_for(self._tenant_id)
         report = session.plan(half_extent)
+        self._manager._count(self._tenant_id)
         self._manager._after_operation()
         return report
 
@@ -234,6 +263,15 @@ class SessionManager:
         self._evictions = 0
         self._expirations = 0
         self._peak_tracked = 0
+        # Monotonic traffic counters for the manager's whole lifetime: they
+        # survive tenant close/re-open (unlike per-session stats, which reset
+        # with the session) - exactly what a scraping service needs.
+        self._counters = {
+            "requests_total": 0,
+            "draws_total": 0,
+            "coalesced_batches_total": 0,
+        }
+        self._tenant_counters: dict[str, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -347,6 +385,42 @@ class SessionManager:
                 tenant.reopens += 1
             tenant.last_active = time.monotonic()
             return tenant.session
+
+    def _count(
+        self,
+        tenant_id: str,
+        requests: int = 1,
+        draws: int = 0,
+        batches: int = 0,
+    ) -> None:
+        """Bump the monotonic traffic counters (manager-wide and per-tenant).
+
+        ``requests_total`` counts every proxied handle operation,
+        ``draws_total`` every draw request served (each request of a
+        coalesced batch counts once), and ``coalesced_batches_total`` every
+        multi-request :meth:`SessionHandle.draw_batch` call - so
+        ``draws_total / coalesced_batches_total`` is the observed coalescing
+        ratio.
+        """
+        with self._lock:
+            per_tenant = self._tenant_counters.setdefault(
+                tenant_id,
+                {"requests_total": 0, "draws_total": 0, "coalesced_batches_total": 0},
+            )
+            for counters in (self._counters, per_tenant):
+                counters["requests_total"] += requests
+                counters["draws_total"] += draws
+                counters["coalesced_batches_total"] += batches
+
+    def counters(self) -> dict[str, Any]:
+        """Snapshot of the monotonic counters (see :meth:`_count`)."""
+        with self._lock:
+            snapshot: dict[str, Any] = dict(self._counters)
+            snapshot["per_tenant"] = {
+                tenant_id: dict(values)
+                for tenant_id, values in sorted(self._tenant_counters.items())
+            }
+            return snapshot
 
     def _refresh_points(self, tenant_id: str, session: SamplingSession) -> None:
         with self._lock:
@@ -524,6 +598,16 @@ class SessionManager:
                     "expired": session is None,
                     "reopens": tenant.reopens,
                     "stats": merged,
+                    "counters": dict(
+                        self._tenant_counters.get(
+                            tenant.tenant_id,
+                            {
+                                "requests_total": 0,
+                                "draws_total": 0,
+                                "coalesced_batches_total": 0,
+                            },
+                        )
+                    ),
                 }
             return {
                 "name": self.name,
@@ -537,6 +621,7 @@ class SessionManager:
                 "evictions": session_evictions,
                 "manager_evictions": self._evictions,
                 "expirations": self._expirations,
+                "counters": dict(self._counters),
                 "pool": self._pool.stats(),
             }
 

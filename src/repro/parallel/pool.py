@@ -143,6 +143,14 @@ class WorkerPool:
         self._holdings: dict[str, int] = {}
         self._leased = 0
         self._closed = False
+        # Bumped whenever an owner releases its last lease: the fairness
+        # denominator shrank, so every previously-denied holder's fair share
+        # just grew.  Long-lived holders (a service tenant's ShardedSampler)
+        # compare this against the generation they were denied at to decide
+        # when re-requesting capacity can actually succeed - without it, a
+        # share computed while the pool was contended was never re-evaluated
+        # and freed slots stayed unclaimed for the holder's whole lifetime.
+        self._share_generation = 0
         # Telemetry (covered by stats()).
         self._granted = 0
         self._denied = 0
@@ -160,6 +168,19 @@ class WorkerPool:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def share_generation(self) -> int:
+        """Monotonic counter of fair-share recomputations (owner releases).
+
+        Incremented every time an owner releases its *last* lease: the set of
+        active owners shrank, so ``fair_share()`` grew for everyone still
+        holding.  A holder that was denied capacity records the generation it
+        was denied at; a later generation means re-requesting is worthwhile
+        (see :meth:`repro.parallel.sharded.ShardedSampler.rebalance`).
+        """
+        with self._lock:
+            return self._share_generation
 
     def fair_share(self, owners: int | None = None) -> int:
         """Leases one owner may hold while ``owners`` are active (>= 1)."""
@@ -214,6 +235,10 @@ class WorkerPool:
                 self._holdings[lease.owner] = count
             else:
                 self._holdings.pop(lease.owner, None)
+                # The owner went inactive: fair shares are recomputed from
+                # the remaining holders, and the bumped generation tells
+                # denied holders their share grew (they may reclaim slots).
+                self._share_generation += 1
             if keep_warm and not self._closed:
                 self._idle.append(executor)
                 return
@@ -232,6 +257,7 @@ class WorkerPool:
                 "peak_leased": self._peak_leased,
                 "granted": self._granted,
                 "denied": self._denied,
+                "share_generation": self._share_generation,
                 "owners": dict(sorted(self._holdings.items())),
             }
 

@@ -280,6 +280,13 @@ class ShardedSampler(JoinSampler):
         # their (report, sampler) pairs are parked here because the method's
         # two-positional-argument signature is pinned by callers that stub it.
         self._pending_local: dict[int, tuple[ShardBuildReport, JoinSampler | None]] = {}
+        # Denied-lease bookkeeping for rebalance(): which shards run
+        # in-process because the pool had no fair slot for them, and the
+        # pool's share_generation at denial time.  A later generation means
+        # some owner released its last lease - this sampler's fair share
+        # grew, so the denied shards may now claim workers after all.
+        self._denied_indices: set[int] = set()
+        self._denied_generation = -1
         self._sampler_options = dict(sampler_options or {})
         self._sampler_options.setdefault("batch_size", batch_size)
         self._sampler_options.setdefault("vectorized", vectorized)
@@ -393,6 +400,7 @@ class ShardedSampler(JoinSampler):
                     leases = [None] * len(tasks)
                     local_samplers = [None] * len(tasks)
                     self._pending_local.clear()
+                    self._denied_indices.clear()
                     self._pool_broken = True
                     use_pool = False
             if not use_pool:
@@ -437,6 +445,9 @@ class ShardedSampler(JoinSampler):
         handed back through ``_pending_local``.
         """
         pool = self._resolve_pool()
+        # Captured before leasing: any owner release after this point bumps
+        # the generation past it, which is what re-arms rebalance().
+        self._denied_generation = pool.share_generation
         futures = []
         reports: list[ShardBuildReport] = []
         denied: list[_ShardTask] = []
@@ -452,6 +463,7 @@ class ShardedSampler(JoinSampler):
             futures.append(lease.submit(_resident_build, task))
         for task in denied:
             self._pending_local[task.index] = _count_and_build(task)
+        self._denied_indices = {task.index for task in denied}
         reports.extend(future.result() for future in futures)
         return reports
 
@@ -463,10 +475,88 @@ class ShardedSampler(JoinSampler):
             if lease is not None:
                 lease.release(discard=discard)
 
+    def rebalance(self) -> dict[str, Any]:
+        """Promote denied-lease shards to workers freed by other owners.
+
+        A shard whose lease was denied at build time runs in-process forever
+        unless someone re-asks the pool - and the fair share that denied it
+        is only recomputed at lease time, so freed capacity (an owner closing
+        mid-lease) was never reclaimed.  This method closes that gap: when
+        the pool's :attr:`~repro.parallel.pool.WorkerPool.share_generation`
+        has advanced past the one recorded at denial time, every denied shard
+        re-requests a lease and, when granted, rebuilds in the worker and
+        swaps the in-process sampler out under its shard lock.  The swap is
+        invisible to draws: the pool path and the in-process path are
+        bit-identical for the same seed, and the shard's exact ``|J_i|``
+        weight is unchanged, so the composed alias needs no rebuild.
+
+        Cheap when nothing changed (one generation compare); the draw path
+        calls it opportunistically, and a service's housekeeping may call it
+        explicitly.  Returns the promoted and still-pending shard indices.
+        """
+        with self._build_lock:
+            built = self._built
+            if (
+                self._closed
+                or built is None
+                or not self._denied_indices
+                or not self._use_processes
+                or self._pool_broken
+            ):
+                return {"promoted": [], "pending": sorted(self._denied_indices)}
+            pool = self._resolve_pool()
+            generation = pool.share_generation
+            if generation == self._denied_generation:
+                return {"promoted": [], "pending": sorted(self._denied_indices)}
+            promoted: list[int] = []
+            for index in sorted(self._denied_indices):
+                if built.local_samplers[index] is None:
+                    # Nothing resident to promote (the shard went empty or
+                    # zero-weight); it stops counting as pending.
+                    promoted.append(index)
+                    continue
+                try:
+                    lease = pool.lease(self._owner)
+                except SessionClosedError:
+                    break  # the pool closed under us; keep serving in-process
+                if lease is None:
+                    break  # still capped; a later generation re-arms us
+                task = _ShardTask(
+                    index=index,
+                    algorithm=self._algorithm,
+                    spec=built.plan.subspec(self.spec, built.plan.shards[index]),
+                    sampler_options=self._sampler_options,
+                )
+                try:
+                    report = lease.submit(_resident_build, task).result()
+                except OSError:
+                    lease.release(discard=True)
+                    self._pool_broken = True
+                    break
+                with self._shard_locks[index]:
+                    built.leases[index] = lease
+                    built.local_samplers[index] = None
+                    built.reports[index] = report
+                promoted.append(index)
+            self._denied_indices -= set(promoted)
+            # Re-arm on the generation observed *before* leasing: releases
+            # racing with this pass bump past it and trigger another look.
+            self._denied_generation = generation
+            return {"promoted": promoted, "pending": sorted(self._denied_indices)}
+
     # ------------------------------------------------------------------
     def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
         first_build = self._built is None
         built = self._ensure_built()
+        if (
+            self._denied_indices
+            and self._use_processes
+            and not self._pool_broken
+            and self._resolve_pool().share_generation != self._denied_generation
+        ):
+            # Some owner released its last lease since this sampler was
+            # denied capacity: reclaim freed workers before drawing.
+            self.rebalance()
         timings = PhaseTimings()
         if first_build:
             # The pool interleaves structure building and exact counting, so
@@ -594,6 +684,7 @@ class ShardedSampler(JoinSampler):
         description["leased_workers"] = sum(
             1 for lease in built.leases if lease is not None
         )
+        description["pending_local_shards"] = sorted(self._denied_indices)
         for entry, report in zip(description["shards"], built.reports):
             entry["weight"] = report.weight
             entry["count_seconds"] = report.count_seconds
@@ -664,6 +755,7 @@ class ShardedSampler(JoinSampler):
                 self._plan = None
                 self._preprocessed = False
                 self._spec = spec
+                self._denied_indices.clear()
                 return {
                     "replanned": True,
                     "rebuilt_shards": list(range(len(plan.shards))),
@@ -758,6 +850,15 @@ class ShardedSampler(JoinSampler):
                 built.plan = new_plan
                 self._plan = new_plan
                 self._spec = spec
+                # Refresh the denied-shard set: shards that (still) serve
+                # in-process after this pass are rebalance() candidates.
+                self._denied_indices = {
+                    index
+                    for index, lease in enumerate(built.leases)
+                    if lease is None and built.local_samplers[index] is not None
+                }
+                if pool_mode:
+                    self._denied_generation = self._resolve_pool().share_generation
             finally:
                 for lock in self._shard_locks:
                     lock.release()
@@ -777,6 +878,7 @@ class ShardedSampler(JoinSampler):
         """
         with self._build_lock:
             self._closed = True
+            self._denied_indices.clear()
             built = self._built
             if built is None:
                 return

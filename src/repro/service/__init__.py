@@ -1,0 +1,31 @@
+"""The async sampling service: coalescing, admission control and transport.
+
+Layered so the interesting parts never touch a socket:
+
+* :mod:`repro.service.core` - :class:`ServiceCore` (the async request
+  surface over a :class:`~repro.manager.SessionManager`), the
+  :class:`Coalescer` that folds concurrent same-entry draw requests into one
+  bit-identical batch, and fast-fail admission control;
+* :mod:`repro.service.http` - a stdlib-asyncio HTTP/1.1 transport
+  (:class:`ServiceServer`, :func:`run_server`, the :func:`http_request`
+  client helper shared by tests, the load bench and the example);
+* :mod:`repro.service.metrics` - Prometheus text rendering of the stats
+  snapshot.
+
+``repro serve`` (the CLI) and ``repro.bench.run_service_load`` (the load
+generator) compose these pieces.
+"""
+
+from repro.service.core import Coalescer, ServiceConfig, ServiceCore
+from repro.service.http import ServiceServer, http_request, run_server
+from repro.service.metrics import render_prometheus
+
+__all__ = [
+    "Coalescer",
+    "ServiceConfig",
+    "ServiceCore",
+    "ServiceServer",
+    "http_request",
+    "run_server",
+    "render_prometheus",
+]

@@ -1,0 +1,183 @@
+"""Prometheus text exposition of the service's stats snapshot.
+
+``GET /v1/stats?format=prometheus`` renders the same nested dictionary
+:meth:`~repro.service.ServiceCore.stats` returns as the flat
+`text/plain; version=0.0.4` format scrapers expect: curated counter/gauge
+names with ``# HELP`` / ``# TYPE`` preambles, per-tenant series carried as a
+``tenant="..."`` label.  Pure function of the snapshot - no state, no
+locking - so it is equally usable offline (``repro manage stats
+--format=prometheus`` style tooling, tests) as over the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["render_prometheus"]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _num(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return repr(float(value))
+
+
+class _Lines:
+    def __init__(self) -> None:
+        self.out: list[str] = []
+
+    def metric(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        samples: list[tuple[dict[str, str], Any]],
+    ) -> None:
+        self.out.append(f"# HELP {name} {help_text}")
+        self.out.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label(str(val))}"'
+                    for key, val in sorted(labels.items())
+                )
+                self.out.append(f"{name}{{{rendered}}} {_num(value)}")
+            else:
+                self.out.append(f"{name} {_num(value)}")
+
+
+def render_prometheus(stats: dict[str, Any]) -> str:
+    """Render a :meth:`ServiceCore.stats` snapshot as Prometheus text."""
+    service = stats.get("service", {})
+    manager = stats.get("manager", {})
+    counters = manager.get("counters", {})
+    latency = service.get("latency", {})
+    pool = manager.get("pool", {})
+    lines = _Lines()
+
+    lines.metric(
+        "repro_requests_total",
+        "counter",
+        "Requests accepted by the manager (all operations).",
+        [({}, counters.get("requests_total", 0))],
+    )
+    lines.metric(
+        "repro_draws_total",
+        "counter",
+        "Individual draw requests served.",
+        [({}, counters.get("draws_total", 0))],
+    )
+    lines.metric(
+        "repro_coalesced_batches_total",
+        "counter",
+        "Multi-request batches served by one cache-entry pass.",
+        [({}, counters.get("coalesced_batches_total", 0))],
+    )
+    lines.metric(
+        "repro_service_requests_total",
+        "counter",
+        "Requests that reached the service front-end (admitted or rejected).",
+        [({}, service.get("requests_total", 0))],
+    )
+    lines.metric(
+        "repro_service_rejections_total",
+        "counter",
+        "Requests rejected by admission control (overload fast-fail).",
+        [({}, service.get("rejections_total", 0))],
+    )
+    lines.metric(
+        "repro_service_errors_total",
+        "counter",
+        "Draw requests that failed inside a batch.",
+        [({}, service.get("errors_total", 0))],
+    )
+    lines.metric(
+        "repro_service_in_flight",
+        "gauge",
+        "Admitted requests currently executing.",
+        [({}, service.get("in_flight", 0))],
+    )
+    lines.metric(
+        "repro_service_queued",
+        "gauge",
+        "Requests waiting for an admission slot.",
+        [({}, service.get("queued", 0))],
+    )
+    lines.metric(
+        "repro_service_draining",
+        "gauge",
+        "1 while the service drains for shutdown.",
+        [({}, service.get("draining", False))],
+    )
+    lines.metric(
+        "repro_service_coalescing_ratio",
+        "gauge",
+        "Draw requests per executed batch (1.0 = no coalescing).",
+        [({}, service.get("coalescing_ratio", 0.0))],
+    )
+    lines.metric(
+        "repro_service_latency_seconds",
+        "gauge",
+        "Draw latency quantiles over the recent-request window.",
+        [
+            ({"quantile": "0.5"}, latency.get("p50_ms", 0.0) / 1e3),
+            ({"quantile": "0.99"}, latency.get("p99_ms", 0.0) / 1e3),
+        ],
+    )
+    lines.metric(
+        "repro_manager_tracked_bytes",
+        "gauge",
+        "Prepared-structure bytes currently tracked across tenants.",
+        [({}, manager.get("tracked_nbytes", 0))],
+    )
+    lines.metric(
+        "repro_pool_capacity",
+        "gauge",
+        "Worker-pool slot capacity.",
+        [({}, pool.get("capacity", 0))],
+    )
+    lines.metric(
+        "repro_pool_leased",
+        "gauge",
+        "Worker-pool slots currently leased.",
+        [({}, pool.get("leased", 0))],
+    )
+    lines.metric(
+        "repro_pool_share_generation",
+        "counter",
+        "Fair-share recomputations (owner releases) in the worker pool.",
+        [({}, pool.get("share_generation", 0))],
+    )
+
+    tenants = manager.get("tenants", {})
+    for metric_name, counter_key, help_text in (
+        ("repro_tenant_requests_total", "requests_total", "Per-tenant requests."),
+        ("repro_tenant_draws_total", "draws_total", "Per-tenant draws."),
+        (
+            "repro_tenant_coalesced_batches_total",
+            "coalesced_batches_total",
+            "Per-tenant coalesced batches.",
+        ),
+    ):
+        samples = [
+            ({"tenant": tenant_id}, entry.get("counters", {}).get(counter_key, 0))
+            for tenant_id, entry in sorted(tenants.items())
+        ]
+        if samples:
+            lines.metric(metric_name, "counter", help_text, samples)
+    bytes_samples = [
+        ({"tenant": tenant_id}, entry.get("bytes", 0))
+        for tenant_id, entry in sorted(tenants.items())
+    ]
+    if bytes_samples:
+        lines.metric(
+            "repro_tenant_tracked_bytes",
+            "gauge",
+            "Per-tenant prepared-structure bytes.",
+            bytes_samples,
+        )
+    return "\n".join(lines.out) + "\n"

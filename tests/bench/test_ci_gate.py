@@ -7,7 +7,7 @@ import pytest
 from repro.bench.ci_gate import DEFAULT_FACTOR, as_baseline, compare_to_baseline, main
 
 
-def _payload(values, session=None, parallel=None, dynamic=None):
+def _payload(values, session=None, parallel=None, dynamic=None, service=None):
     payload = {"meta": {}, "sampling_seconds": dict(values)}
     if session is not None:
         payload["session_speedup"] = dict(session)
@@ -15,7 +15,16 @@ def _payload(values, session=None, parallel=None, dynamic=None):
         payload["parallel_speedup"] = dict(parallel)
     if dynamic is not None:
         payload["dynamic_speedup"] = dict(dynamic)
+    if service is not None:
+        payload["service"] = dict(service)
     return payload
+
+
+_SERVICE_OK = {
+    "coalescing_bit_identity": 1.0,
+    "coalescing_ratio": 20.0,
+    "request_success": 1.0,
+}
 
 
 class TestCompareToBaseline:
@@ -170,6 +179,74 @@ class TestDynamicGate:
         )
         committed = json.loads(committed_path.read_text())
         assert committed["dynamic_speedup"]["uniform-20k/bbst"] >= 1.5
+
+
+class TestServiceGate:
+    def test_passes_when_floors_hold(self):
+        baseline = _payload({}, service=_SERVICE_OK)
+        current = _payload(
+            {},
+            service={
+                "coalescing_bit_identity": 1.0,
+                "coalescing_ratio": 25.0,
+                "request_success": 1.0,
+            },
+        )
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_fails_when_bit_identity_breaks(self):
+        baseline = _payload({}, service=_SERVICE_OK)
+        current = _payload({}, service={**_SERVICE_OK, "coalescing_bit_identity": 0.0})
+        problems = compare_to_baseline(current, baseline)
+        assert len(problems) == 1
+        assert "coalescing_bit_identity" in problems[0]
+
+    def test_fails_when_the_coalescer_stops_merging(self):
+        baseline = _payload({}, service=_SERVICE_OK)
+        current = _payload({}, service={**_SERVICE_OK, "coalescing_ratio": 1.0})
+        problems = compare_to_baseline(current, baseline)
+        assert len(problems) == 1
+        assert "coalescing_ratio" in problems[0]
+
+    def test_skipped_measurement_does_not_fail_the_floor(self):
+        baseline = _payload({}, service=_SERVICE_OK)
+        assert compare_to_baseline(_payload({}), baseline) == []
+
+    def test_measured_but_missing_metric_fails(self):
+        baseline = _payload({}, service=_SERVICE_OK)
+        partial = {key: value for key, value in _SERVICE_OK.items()
+                   if key != "request_success"}
+        problems = compare_to_baseline(_payload({}, service=partial), baseline)
+        assert any("request_success" in problem for problem in problems)
+
+    def test_unknown_metric_fails(self):
+        baseline = _payload({}, service=_SERVICE_OK)
+        current = _payload({}, service={**_SERVICE_OK, "extra": 1.0})
+        problems = compare_to_baseline(current, baseline)
+        assert any("missing from the committed baseline" in p for p in problems)
+
+    def test_as_baseline_halves_the_ratio_and_keeps_the_booleans(self):
+        payload = as_baseline(_payload({}, service=_SERVICE_OK))
+        assert payload["service"]["coalescing_bit_identity"] == 1.0
+        assert payload["service"]["request_success"] == 1.0
+        assert payload["service"]["coalescing_ratio"] == pytest.approx(10.0)
+
+    def test_as_baseline_ratio_floor_stays_above_one(self):
+        payload = as_baseline(
+            _payload({}, service={**_SERVICE_OK, "coalescing_ratio": 1.3})
+        )
+        assert payload["service"]["coalescing_ratio"] == pytest.approx(1.2)
+
+    def test_committed_baseline_holds_the_service_floors(self):
+        from pathlib import Path
+
+        committed_path = (
+            Path(__file__).resolve().parents[2] / "benchmarks" / "baseline_ci.json"
+        )
+        committed = json.loads(committed_path.read_text())
+        assert committed["service"]["coalescing_bit_identity"] == 1.0
+        assert committed["service"]["request_success"] == 1.0
+        assert committed["service"]["coalescing_ratio"] > 1.0
 
 
 class TestMainEndToEnd:

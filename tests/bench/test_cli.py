@@ -43,6 +43,27 @@ class TestParser:
         assert args.command == "plan"
         assert args.dataset == "castreet"
 
+    def test_serve_command_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.datasets == ["castreet"]
+        assert args.algorithm == "auto"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8723
+        assert args.window_ms == 2.0
+        assert args.max_batch == 64
+        assert args.max_in_flight == 256
+        assert args.max_queued == 1024
+        assert args.quota is None
+        assert args.exit_after is None
+
+    def test_serve_accepts_multiple_datasets(self):
+        args = build_parser().parse_args(
+            ["serve", "--dataset", "castreet", "nyc", "--port", "0"]
+        )
+        assert args.datasets == ["castreet", "nyc"]
+        assert args.port == 0
+
 
 class TestExecution:
     def test_list_output(self, capsys):
@@ -233,6 +254,28 @@ class TestExecution:
         lines = output.read_text().strip().splitlines()
         assert lines[0] == "r_id,s_id"
         assert len(lines) == 21
+
+    def test_serve_smoke_binds_serves_and_drains(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--dataset", "castreet",
+                "--size", "1500",
+                "--algorithm", "bbst",
+                "--port", "0",
+                "--exit-after", "0.6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bound tenant 'castreet'" in out
+        assert "serving on http://127.0.0.1:" in out
+        assert "drained:" in out
+
+    def test_serve_rejects_bad_knobs(self, capsys):
+        assert main(["serve", "--budget-mb", "0"]) == 2
+        assert main(["serve", "--window-ms", "-1"]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_all_subset_via_runner(self, tmp_path, capsys):
         code = main(

@@ -25,6 +25,7 @@ class TestRegistry:
             "parallel",
             "dynamic",
             "manager",
+            "service",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -186,6 +186,72 @@ class TestProcessPool:
                 thread.join()
             assert errors == []
 
+    def test_rebalance_promotes_denied_shards_when_capacity_frees(
+        self, enumerable_spec
+    ):
+        """Regression: denied-lease shards claim workers freed later.
+
+        A sampler built while the pool was contended runs its denied shards
+        in-process forever unless it notices the pool's share generation
+        moving; rebalance() promotes them to freed workers with the exact
+        same per-shard weights, so draws stay bit-identical across the swap.
+        """
+        from repro.parallel.pool import WorkerPool
+
+        with WorkerPool(max_workers=SMOKE_JOBS, name="rebalance-t") as pool:
+            blockers = [pool.lease("other") for _ in range(SMOKE_JOBS)]
+            assert None not in blockers
+            with ShardedSampler(
+                enumerable_spec,
+                algorithm="bbst",
+                jobs=SMOKE_JOBS,
+                use_processes=True,
+                pool=pool,
+                owner="sampler",
+            ) as sharded:
+                before = sharded.sample(200, seed=31)
+                pending = sharded.describe()["pending_local_shards"]
+                assert pending, "a full pool must deny the build leases"
+                total_before = sharded.total_weight
+
+                for lease in blockers:
+                    lease.release(discard=True)
+                report = sharded.rebalance()
+                assert set(report["promoted"]) == set(pending)
+                assert report["pending"] == []
+                assert sharded.describe()["pending_local_shards"] == []
+                assert sharded.total_weight == total_before
+
+                after = sharded.sample(200, seed=31)
+                assert [p.as_index_tuple() for p in after.pairs] == [
+                    p.as_index_tuple() for p in before.pairs
+                ], "promotion to pool workers changed the draw distribution"
+
+    def test_rebalance_is_a_noop_while_the_generation_is_unchanged(
+        self, enumerable_spec
+    ):
+        from repro.parallel.pool import WorkerPool
+
+        with WorkerPool(max_workers=SMOKE_JOBS, name="rebalance-noop") as pool:
+            blockers = [pool.lease("other") for _ in range(SMOKE_JOBS)]
+            with ShardedSampler(
+                enumerable_spec,
+                algorithm="bbst",
+                jobs=SMOKE_JOBS,
+                use_processes=True,
+                pool=pool,
+                owner="sampler",
+            ) as sharded:
+                sharded.prepare()
+                pending = sharded.describe()["pending_local_shards"]
+                assert pending
+                # "other" still holds everything: nothing to promote, and the
+                # sampler must not even try (the generation hasn't moved).
+                report = sharded.rebalance()
+                assert report == {"promoted": [], "pending": pending}
+                for lease in blockers:
+                    lease.release(discard=True)
+
     def test_close_is_idempotent_and_final(self, enumerable_spec):
         sharded = ShardedSampler(
             enumerable_spec, algorithm="bbst", jobs=SMOKE_JOBS, use_processes=True

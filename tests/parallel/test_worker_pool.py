@@ -73,6 +73,36 @@ class TestFairness:
             assert pool.fair_share(3) == 2
             assert pool.fair_share(100) == 1  # never below one
 
+    def test_share_generation_bumps_when_an_owner_goes_inactive(self):
+        """Regression: freed capacity is advertised to denied holders.
+
+        Before ``share_generation`` existed a holder denied at contention
+        time had no signal that another owner released its last lease, so
+        recomputed (larger) fair shares were never claimed for the denied
+        holder's whole lifetime.
+        """
+        with WorkerPool(max_workers=4, name="t") as pool:
+            generation = pool.share_generation
+            a1, a2 = pool.lease("a"), pool.lease("a")
+            b1, b2 = pool.lease("b"), pool.lease("b")
+            assert None not in (a1, a2, b1, b2)
+            assert pool.lease("a") is None  # a is at its 4 // 2 = 2 share
+            assert pool.share_generation == generation  # denial alone: no bump
+
+            b1.release(discard=True)
+            # b still holds one lease: the owner set did not shrink.
+            assert pool.share_generation == generation
+            b2.release(discard=True)
+            # b went inactive: shares were recomputed, the generation moved.
+            assert pool.share_generation == generation + 1
+            assert pool.stats()["share_generation"] == generation + 1
+
+            # The denied holder can now actually claim the freed capacity.
+            a3, a4 = pool.lease("a"), pool.lease("a")
+            assert None not in (a3, a4)
+            for lease in (a1, a2, a3, a4):
+                lease.release(discard=True)
+
 
 class TestLeaseLifecycle:
     def test_release_is_idempotent_and_blocks_submit(self):

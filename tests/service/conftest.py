@@ -1,0 +1,14 @@
+"""Shared fixtures for the async-service suite (builders in service_helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from service_helpers import make_core
+
+
+@pytest.fixture
+def core():
+    service_core = make_core()
+    yield service_core
+    service_core.close()

@@ -1,0 +1,49 @@
+"""Builders shared by the async-service test modules.
+
+Everything is in-process: the service core is transport-free, and the HTTP
+tests bind a real listener on ``127.0.0.1:0`` inside the test's own event
+loop, so the suite needs no network setup and runs everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import JoinSpec
+from repro.datasets.partition import split_r_s
+from repro.datasets.synthetic import uniform_points
+from repro.manager import SessionManager
+from repro.service import ServiceConfig, ServiceCore
+
+POINTS = 1_200
+HALF_EXTENT = 400.0
+ALGORITHM = "bbst"
+
+
+def make_spec(seed: int = 7, name: str = "service-test") -> JoinSpec:
+    rng = np.random.default_rng(seed)
+    points = uniform_points(POINTS, rng, name=name)
+    r_points, s_points = split_r_s(points, rng)
+    return JoinSpec(r_points=r_points, s_points=s_points, half_extent=HALF_EXTENT)
+
+
+def make_core(config: ServiceConfig | None = None, tenants: int = 1) -> ServiceCore:
+    """A service over its own manager with ``tenants`` bound tenants."""
+    manager = SessionManager(name="service-test")
+    core = ServiceCore(
+        manager,
+        config
+        if config is not None
+        else ServiceConfig(coalesce_window=0.002, executor_threads=2),
+        own_manager=True,
+    )
+    for index in range(tenants):
+        spec = make_spec(seed=7 + index, name=f"tenant-{index}")
+        core.bind(
+            f"tenant-{index}",
+            spec.r_points,
+            spec.s_points,
+            HALF_EXTENT,
+            algorithm=ALGORITHM,
+        )
+    return core

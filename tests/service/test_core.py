@@ -1,0 +1,239 @@
+"""ServiceCore contract: config validation, admission control, lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    InvalidSpecError,
+    ServiceOverloadedError,
+    SessionClosedError,
+)
+from repro.service import ServiceConfig
+
+from service_helpers import make_core
+
+
+class TestServiceConfig:
+    def test_defaults_validate(self):
+        config = ServiceConfig()
+        assert config.coalesce_window > 0
+        assert config.max_in_flight >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"coalesce_window": -0.001},
+            {"coalesce_max_batch": 0},
+            {"max_in_flight": 0},
+            {"max_queued": -1},
+            {"per_tenant_in_flight": 0},
+            {"executor_threads": 0},
+            {"drain_timeout": 0.0},
+            {"max_samples_per_request": 0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(InvalidSpecError):
+            ServiceConfig(**kwargs)
+
+
+class TestRequestSurface:
+    def test_draw_returns_pairs_and_metadata(self, core):
+        async def scenario():
+            return await core.draw(16, seed=5)
+
+        result = asyncio.run(scenario())
+        assert len(result) == 16
+        assert result.metadata["request_seed"] == 5
+        assert result.metadata["coalesced_batch"] >= 1
+
+    def test_unseeded_draw_gets_a_replayable_derived_seed(self, core):
+        async def scenario():
+            return await core.draw(6)
+
+        result = asyncio.run(scenario())
+        derived = result.metadata["request_seed"]
+        assert isinstance(derived, int)
+
+        async def replay():
+            return await core.draw(6, seed=derived)
+
+        assert asyncio.run(replay()).id_pairs() == result.id_pairs()
+
+    def test_negative_and_oversized_t_rejected_before_admission(self, core):
+        async def negative():
+            await core.draw(-1)
+
+        async def oversized():
+            await core.draw(core.config.max_samples_per_request + 1)
+
+        with pytest.raises(InvalidSpecError):
+            asyncio.run(negative())
+        with pytest.raises(InvalidSpecError):
+            asyncio.run(oversized())
+        assert core.stats()["service"]["in_flight"] == 0
+
+    def test_draw_distinct_returns_distinct_pairs(self, core):
+        async def scenario():
+            return await core.draw_distinct(10, seed=3)
+
+        result = asyncio.run(scenario())
+        pairs = result.id_pairs()
+        assert len(pairs) == len(set(pairs))
+        assert result.metadata["distinct"] is True
+
+    def test_unknown_tenant_maps_to_session_closed(self, core):
+        async def scenario():
+            await core.draw(4, tenant="nobody", seed=1)
+
+        with pytest.raises(SessionClosedError):
+            asyncio.run(scenario())
+
+    def test_multi_tenant_requires_explicit_tenant(self):
+        core = make_core(tenants=2)
+        try:
+            async def ambiguous():
+                await core.draw(4, seed=1)
+
+            with pytest.raises(InvalidSpecError):
+                asyncio.run(ambiguous())
+
+            async def explicit():
+                return await core.draw(4, tenant="tenant-1", seed=1)
+
+            assert len(asyncio.run(explicit())) == 4
+        finally:
+            core.close()
+
+    def test_update_and_plan_round_trip(self, core):
+        async def scenario():
+            report = await core.update("r", insert=([5.0], [5.0]))
+            plan = await core.plan()
+            return report, plan
+
+        report, plan = asyncio.run(scenario())
+        assert report["inserted"] == 1
+        assert plan.algorithm
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_fails_fast(self):
+        from repro.service import ServiceConfig
+
+        core = make_core(
+            ServiceConfig(
+                coalesce_window=0.05,  # hold requests so they stack up
+                max_in_flight=1,
+                max_queued=1,
+                executor_threads=1,
+            )
+        )
+        try:
+            async def scenario():
+                first = asyncio.create_task(core.draw(2, seed=0))
+                second = asyncio.create_task(core.draw(2, seed=1))
+                await asyncio.sleep(0.005)  # both admitted/queued
+                with pytest.raises(ServiceOverloadedError) as excinfo:
+                    await core.draw(2, seed=2)
+                assert excinfo.value.retry_after >= 0.0
+                return await asyncio.gather(first, second)
+
+            results = asyncio.run(scenario())
+            assert [len(result) for result in results] == [2, 2]
+            assert core.stats()["service"]["rejections_total"] == 1
+        finally:
+            core.close()
+
+    def test_per_tenant_quota_fails_fast(self):
+        from repro.service import ServiceConfig
+
+        core = make_core(
+            ServiceConfig(
+                coalesce_window=0.05,
+                max_in_flight=8,
+                per_tenant_in_flight=1,
+                executor_threads=1,
+            )
+        )
+        try:
+            async def scenario():
+                first = asyncio.create_task(core.draw(2, seed=0))
+                await asyncio.sleep(0.005)
+                with pytest.raises(ServiceOverloadedError):
+                    await core.draw(2, seed=1)
+                return await first
+
+            result = asyncio.run(scenario())
+            assert len(result) == 2
+        finally:
+            core.close()
+
+    def test_in_flight_slots_are_reusable_after_release(self, core):
+        async def scenario():
+            for seed in range(3):
+                await core.draw(2, seed=seed)
+            return core.stats()["service"]
+
+        stats = asyncio.run(scenario())
+        assert stats["in_flight"] == 0
+        assert stats["queued"] == 0
+        assert stats["requests_total"] == 3
+
+
+class TestLifecycle:
+    def test_drain_rejects_new_requests_and_flushes_pending(self, core):
+        async def scenario():
+            pending = asyncio.create_task(core.draw(4, seed=9))
+            await asyncio.sleep(0)  # submitted to the coalescer
+            drained = await core.drain(timeout=5.0)
+            with pytest.raises(ServiceOverloadedError):
+                await core.draw(2, seed=1)
+            return drained, await pending
+
+        drained, result = asyncio.run(scenario())
+        assert drained is True
+        assert len(result) == 4
+        assert core.draining is True
+
+    def test_aclose_is_idempotent_and_closes_owned_manager(self):
+        core = make_core()
+
+        async def scenario():
+            await core.aclose()
+            await core.aclose()
+
+        asyncio.run(scenario())
+        assert core.manager.closed
+
+    def test_unbind_releases_the_tenant(self, core):
+        core.unbind("tenant-0")
+        core.unbind("tenant-0")  # idempotent
+        assert core.tenants == []
+
+        async def scenario():
+            await core.draw(2, seed=0, tenant="tenant-0")
+
+        with pytest.raises(SessionClosedError):
+            asyncio.run(scenario())
+
+
+class TestStats:
+    def test_stats_sections_and_counters(self, core):
+        async def scenario():
+            await asyncio.gather(*[core.draw(3, seed=seed) for seed in range(5)])
+
+        asyncio.run(scenario())
+        stats = core.stats()
+        service = stats["service"]
+        assert service["requests_total"] == 5
+        assert service["draw_requests_total"] == 5
+        assert 1 <= service["coalesced_batches_total"] <= 5
+        assert service["coalescing_ratio"] >= 1.0
+        assert service["latency"]["p50_ms"] >= 0.0
+        manager_counters = stats["manager"]["counters"]
+        assert manager_counters["draws_total"] == 5
+        tenant = stats["manager"]["tenants"]["tenant-0"]
+        assert tenant["counters"]["draws_total"] == 5

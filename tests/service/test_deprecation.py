@@ -1,0 +1,67 @@
+"""REPRO_WARN_DIRECT_SESSION routes through ReproDeprecationWarning - and the
+service/manager paths never trigger it.
+
+The soft-deprecation exists to flag call sites that construct
+:class:`~repro.api.session.SamplingSession` directly instead of going through
+an owner.  Sessions the :class:`~repro.manager.SessionManager` (and therefore
+the service) opens are owner-constructed, so serving traffic with the env var
+set must stay silent; a warning from those paths would mean the sanctioned
+pathway is flagging itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import pytest
+
+from repro.api.session import SamplingSession
+from repro.errors import ReproDeprecationWarning
+
+from service_helpers import ALGORITHM, HALF_EXTENT, make_core, make_spec
+
+
+@pytest.fixture
+def warn_direct(monkeypatch):
+    monkeypatch.setenv("REPRO_WARN_DIRECT_SESSION", "1")
+
+
+def test_direct_construction_warns_with_the_library_category(warn_direct):
+    spec = make_spec()
+    with pytest.warns(ReproDeprecationWarning, match="SessionManager.open"):
+        session = SamplingSession(
+            spec.r_points, spec.s_points, HALF_EXTENT, algorithm=ALGORITHM,
+            eager=False,
+        )
+    session.close()
+
+
+def test_library_category_is_catchable_as_deprecation_warning(warn_direct):
+    spec = make_spec()
+    with pytest.warns(DeprecationWarning):
+        session = SamplingSession(
+            spec.r_points, spec.s_points, HALF_EXTENT, algorithm=ALGORITHM,
+            eager=False,
+        )
+    session.close()
+
+
+def test_service_and_manager_paths_never_trigger_the_warning(warn_direct):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ReproDeprecationWarning)
+        core = make_core()  # manager.open -> owner-constructed sessions
+        try:
+            async def traffic():
+                results = await asyncio.gather(
+                    *[core.draw(4, seed=seed) for seed in range(6)]
+                )
+                await core.update("r", insert=([1.0], [1.0]))
+                await core.plan()
+                return results
+
+            results = asyncio.run(traffic())
+            assert all(len(result) == 4 for result in results)
+            core.stats()
+        finally:
+            core.close()

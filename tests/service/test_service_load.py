@@ -1,0 +1,45 @@
+"""Small-scale run of the service load bench: columns, identity, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.service_load import run_service_load
+
+
+class TestRunServiceLoad:
+    def test_small_run_is_clean_and_bit_identical(self):
+        rows = run_service_load(
+            connections=16,
+            requests_per_connection=2,
+            num_samples=4,
+            executor_threads=2,
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["connections"] == 16
+        assert row["requests_total"] == 32
+        assert row["requests_ok"] == 32
+        assert row["request_errors"] == 0
+        assert row["rejections"] == 0
+        assert row["coalescing_bit_identity"] == 1.0
+        assert row["verified_replies"] > 0
+        # With 16 concurrent clients the coalescer must merge at least some
+        # requests; 1.0 would mean every draw ran as its own batch.
+        assert row["coalescing_ratio"] >= 1.0
+        assert row["coalesced_batches"] >= 1
+        assert row["max_batch"] >= 1
+        assert row["wall_seconds"] > 0.0
+        assert row["draws_per_second"] > 0.0
+        assert 0.0 <= row["p50_ms"] <= row["p99_ms"]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"connections": 0},
+            {"connections": 4, "requests_per_connection": 0},
+        ],
+    )
+    def test_invalid_load_shape_is_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            run_service_load(**kwargs)

@@ -35,6 +35,7 @@ class TestPublicExports:
             "repro.stats",
             "repro.bench",
             "repro.cli",
+            "repro.service",
         ],
     )
     def test_subpackage_all_names_resolve(self, module_name):
