@@ -1,0 +1,78 @@
+"""Compiled kernels - numba backend vs its bit-identical numpy twin.
+
+The acceptance workload of the compiled kernel backend: on a machine with
+numba installed, the ``@njit`` kernels must beat the pure-numpy twins'
+sampling phase by at least 3x at n = m = 1,000,000 while returning
+**bit-identical** pairs from the same seeds (the twin contract pinned by
+``tests/kernels``).  The module-level ladder also records the first
+10^7-point run when ``--paper`` scale is requested through the CLI
+(``repro-spatial-join-sampling experiment kernels --scale paper``).
+
+The run is skipped when numba is not installed (the committed CI floors
+live in ``benchmarks/baseline_ci.json`` under ``kernels`` and are enforced
+by ``python -m repro.bench.ci_gate --kernels``, which records an explicit
+SKIP instead of a pass on numba-less machines).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_kernel_speedup
+from repro.bench.workloads import ExperimentScale
+from repro.kernels import numba_available
+
+#: n = m of the acceptance configuration.
+BENCH_SIZE = 1_000_000
+
+BENCH_SAMPLES = 100_000
+
+#: Required sampling-phase speedup of the compiled backend at BENCH_SIZE.
+MIN_SPEEDUP = 3.0
+
+ALGORITHMS = ("bbst", "kds-rejection")
+
+
+@pytest.mark.skipif(
+    not numba_available(),
+    reason="compiled kernel speedup needs numba (pip install repro[numba])",
+)
+def test_kernel_backend_speedup(benchmark):
+    def run():
+        return run_kernel_speedup(
+            scale=ExperimentScale.SMOKE,
+            sizes=(BENCH_SIZE,),
+            num_samples=BENCH_SAMPLES,
+            algorithms=ALGORITHMS,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(rows) == len(ALGORITHMS)
+    for row in rows:
+        benchmark.extra_info[f"{row['dataset']}/{row['algorithm']}"] = {
+            "numpy_sampling_seconds": round(row["numpy_sampling_seconds"], 4),
+            "numba_sampling_seconds": round(row["numba_sampling_seconds"], 4),
+            "speedup": round(row["speedup"], 2),
+            "match": row["match"],
+        }
+        assert row["match"], (
+            f"{row['algorithm']}: compiled kernels diverged from the numpy twin"
+        )
+        assert row["speedup"] >= MIN_SPEEDUP, (
+            f"{row['algorithm']}: compiled backend only {row['speedup']:.2f}x "
+            f"faster in the sampling phase; expected >= {MIN_SPEEDUP}x"
+        )
+
+
+def test_numpy_twin_runs_without_numba():
+    """The numpy side of the experiment must work on any machine."""
+    rows = run_kernel_speedup(
+        scale=ExperimentScale.SMOKE,
+        sizes=(5_000,),
+        num_samples=1_000,
+        algorithms=("bbst",),
+    )
+    assert rows and rows[0]["numpy_sampling_seconds"] > 0.0
+    if not numba_available():
+        assert rows[0]["numba_available"] is False
+        assert rows[0]["speedup"] == 0.0

@@ -110,6 +110,9 @@ class PlanReport:
     stats: WorkloadStats
     candidates: tuple[str, ...]
     jobs: int = 1
+    #: Resolved kernel backend that will serve the hot loops ("numpy" or
+    #: "numba"); draws are bit-identical either way, only throughput changes.
+    kernel_backend: str = "numpy"
 
     def explain(self) -> str:
         """Multi-line human-readable account of the decision."""
@@ -119,6 +122,7 @@ class PlanReport:
             f"  {self.reason}",
             f"  candidates: {', '.join(self.candidates)}",
             f"  recommended jobs: {self.jobs}",
+            f"  kernel backend: {self.kernel_backend}",
             f"  stats: n={stats.n:,} m={stats.m:,} l={stats.half_extent:g} "
             f"window/domain={stats.relative_window:.3f}",
             f"         grid cells={stats.grid_cells:,} "
@@ -257,6 +261,7 @@ def plan_algorithm(
     seed: int = 0,
     update_heavy: bool = False,
     max_jobs: int | None = None,
+    kernel_backend: str | None = None,
 ) -> PlanReport:
     """Choose a registered ``online`` sampler for the instance, explainably.
 
@@ -266,7 +271,11 @@ def plan_algorithm(
     since a non-maintainable choice would force a full rebuild per change.
     ``max_jobs`` clamps the recommended worker count (see
     :func:`recommend_jobs`) - the manager passes each tenant's fair share of
-    the shared worker pool here.
+    the shared worker pool here.  ``kernel_backend`` names the kernel
+    backend the report records (``None`` resolves through
+    ``REPRO_KERNEL_BACKEND`` / ``"auto"``); the planner's *algorithm*
+    decision is backend-independent because draws are bit-identical across
+    backends.
 
     The rules fire in order; the first match wins:
 
@@ -287,6 +296,9 @@ def plan_algorithm(
     """
     stats = collect_workload_stats(spec, grid=grid, probes=probes, seed=seed)
     candidates = tuple(sampler_names(tag="online"))
+    from repro.kernels import resolve_backend
+
+    resolved_backend = resolve_backend(kernel_backend)
 
     if spec.is_empty:
         # Rule 0: a join over an empty R or S has no pairs; any sampler can
@@ -304,6 +316,7 @@ def plan_algorithm(
             stats=stats,
             candidates=candidates,
             jobs=1,
+            kernel_backend=resolved_backend,
         )
 
     if stats.n * stats.m <= TINY_CROSS_PRODUCT:
@@ -370,4 +383,5 @@ def plan_algorithm(
         stats=stats,
         candidates=candidates,
         jobs=recommend_jobs(stats, max_jobs=max_jobs),
+        kernel_backend=resolved_backend,
     )

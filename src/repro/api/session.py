@@ -146,6 +146,15 @@ class SamplingSession:
         When true (default), the default ``(algorithm, half_extent)`` key is
         resolved and fully prepared in the constructor, so the first request
         pays no build/count latency.
+    backend:
+        Kernel backend serving the samplers' hot loops: ``"numpy"`` (the
+        reference twin), ``"numba"`` (compiled; raises
+        :class:`~repro.errors.KernelBackendError` when numba is not
+        installed) or ``"auto"`` (numba when available, else numpy).
+        ``None`` defers to the ``REPRO_KERNEL_BACKEND`` environment
+        variable, then ``"auto"``.  Resolved once at open time; the
+        resolved name is recorded in :meth:`describe`.  Draws are
+        bit-identical across backends.
     sampler_options:
         Extra keyword arguments forwarded to every sampler constructor
         (e.g. ``{"batch_size": 4096}``).
@@ -172,6 +181,7 @@ class SamplingSession:
         algorithm: str = AUTO,
         jobs: int | None = None,
         eager: bool = True,
+        backend: str | None = None,
         sampler_options: dict[str, Any] | None = None,
         pool: WorkerPool | None = None,
         owner: str | None = None,
@@ -208,6 +218,16 @@ class SamplingSession:
         self._default_algorithm = self._check_algorithm(algorithm)
         self._default_jobs = self._check_jobs(jobs)
         self._sampler_options = dict(sampler_options or {})
+        # Resolve the kernel backend once (arg > sampler_options > env >
+        # auto) so a bad name fails at open time, not at the first draw, and
+        # every cached engine - serial, dynamic and sharded alike - receives
+        # the same resolved name.
+        from repro.kernels import resolve_backend
+
+        self._kernel_backend = resolve_backend(
+            backend if backend is not None else self._sampler_options.get("backend")
+        )
+        self._sampler_options["backend"] = self._kernel_backend
         self._entries: dict[tuple[str, float, int], _CacheEntry] = {}
         self._plans: dict[float, PlanReport] = {}
         self._specs: dict[float, JoinSpec] = {}
@@ -263,6 +283,11 @@ class SamplingSession:
     def default_jobs(self) -> int:
         """The configured default worker count (0 = planner-recommended)."""
         return self._default_jobs
+
+    @property
+    def kernel_backend(self) -> str:
+        """The resolved kernel backend every cached engine draws through."""
+        return self._kernel_backend
 
     @property
     def cached_keys(self) -> list[tuple[str, float, int]]:
@@ -348,7 +373,11 @@ class SamplingSession:
         with self._lock:
             report = self._plans.get(l)
             if report is None:
-                report = plan_algorithm(spec, max_jobs=self._max_jobs)
+                report = plan_algorithm(
+                    spec,
+                    max_jobs=self._max_jobs,
+                    kernel_backend=self._kernel_backend,
+                )
                 self._plans[l] = report
                 self.stats.plans += 1
             return report
@@ -869,6 +898,7 @@ class SamplingSession:
                 "default_half_extent": self._default_half_extent,
                 "default_algorithm": self._default_algorithm,
                 "default_jobs": self._default_jobs,
+                "kernel_backend": self._kernel_backend,
                 "cached_keys": [list(key) for key in sorted(self._entries)],
                 "index_nbytes": {
                     f"{name}@{l:g}x{jobs}": entry.sampler.index_nbytes()

@@ -22,14 +22,9 @@ import numpy as np
 
 from repro.bbst.bucket import Bucket, bucket_capacity_for
 from repro.bbst.cell_index import CellIndex
-from repro.core.batching import (
-    group_blocks,
-    pick_int,
-    pick_int_scalar,
-    ragged_offsets,
-    select_kth_true,
-)
+from repro.core.batching import pick_int_scalar
 from repro.core.validation import validate_half_extent
+from repro.kernels.backends import get_kernels, resolve_backend
 from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect, window_around
 from repro.grid.cell import GridCell
@@ -135,6 +130,10 @@ class BBSTJoinIndex:
         The window half-extent ``l`` (cells have side ``l``).
     bucket_capacity:
         Override for the bucket size; defaults to ``ceil(log2 m)``.
+    backend:
+        Kernel backend for the batched counting/sampling primitives
+        (``"numpy" | "numba" | "auto"``, see :mod:`repro.kernels`); both
+        backends are bit-identical.
     """
 
     #: Whether the batch engine must pre-draw per-attempt slot variates for
@@ -154,6 +153,7 @@ class BBSTJoinIndex:
         "_capacity",
         "_capacity_override",
         "_bucket_arrays",
+        "_kernel_backend",
     )
 
     def __init__(
@@ -161,9 +161,11 @@ class BBSTJoinIndex:
         s_points: PointSet,
         half_extent: float,
         bucket_capacity: int | None = None,
+        backend: str | None = None,
     ) -> None:
         self._points = s_points
         self._half_extent = validate_half_extent(half_extent)
+        self._kernel_backend = resolve_backend(backend)
         self._capacity_override = bucket_capacity is not None
         self._capacity = (
             int(bucket_capacity)
@@ -250,6 +252,16 @@ class BBSTJoinIndex:
     def bucket_capacity(self) -> int:
         """Bucket size used by every cell's BBSTs."""
         return self._capacity
+
+    @property
+    def kernel_backend(self) -> str:
+        """Resolved kernel backend name serving the batched primitives."""
+        return self._kernel_backend
+
+    @property
+    def kernels(self):
+        """The :class:`~repro.kernels.KernelSet` of the resolved backend."""
+        return get_kernels(self._kernel_backend)
 
     def cell_index(self, key: tuple[int, int]) -> CellIndex | None:
         """Per-cell index stored under ``key`` (``None`` for empty cells)."""
@@ -390,7 +402,7 @@ class BBSTJoinIndex:
         ys = np.asarray(ys, dtype=np.float64)
         flat = self._grid.flat()
         if cell_ids is None:
-            cell_ids = self._grid.neighbor_cell_ids(xs, ys)
+            cell_ids = self._grid.neighbor_cell_ids(xs, ys, kernels=self.kernels)
         half = self._half_extent
         wxmin, wxmax = xs - half, xs + half
         wymin, wymax = ys - half, ys + half
@@ -434,30 +446,20 @@ class BBSTJoinIndex:
     ) -> np.ndarray:
         """Exact 1-sided counts for one edge kind, grouped by cell.
 
-        One vectorised ``searchsorted`` per distinct cell replaces one scalar
-        binary search per (query, cell) pair.
+        The rank counts run in the selected kernel backend over the grid-flat
+        sorted views (within its slice each cell keeps its own sort order, so
+        ``flat.xs_by_x`` / ``flat.ys_by_y`` runs are the cells' sorted
+        arrays).
         """
         flat = self._grid.flat()
-        counts = np.empty(cell_ids.size, dtype=np.int64)
-        order = np.argsort(cell_ids, kind="stable")
-        sorted_ids = cell_ids[order]
-        sorted_values = values[order]
-        group_ends = np.flatnonzero(np.diff(sorted_ids) != 0) + 1
-        starts = np.concatenate(([0], group_ends))
-        ends = np.concatenate((group_ends, [sorted_ids.size]))
-        for lo, hi in zip(starts, ends):
-            cell = flat.cells[int(sorted_ids[lo])]
-            group_values = sorted_values[lo:hi]
-            if kind is NeighborKind.LEFT:
-                cnt = len(cell) - np.searchsorted(cell.xs_by_x, group_values, side="left")
-            elif kind is NeighborKind.RIGHT:
-                cnt = np.searchsorted(cell.xs_by_x, group_values, side="right")
-            elif kind is NeighborKind.DOWN:
-                cnt = len(cell) - np.searchsorted(cell.ys_by_y, group_values, side="left")
-            else:  # UP
-                cnt = np.searchsorted(cell.ys_by_y, group_values, side="right")
-            counts[order[lo:hi]] = cnt
-        return counts
+        if kind in (NeighborKind.LEFT, NeighborKind.RIGHT):
+            sorted_flat = flat.xs_by_x
+        else:  # DOWN / UP
+            sorted_flat = flat.ys_by_y
+        at_least = kind in (NeighborKind.LEFT, NeighborKind.DOWN)
+        return self.kernels.sorted_block_counts(
+            cell_ids, values, flat.starts, flat.lengths, sorted_flat, at_least
+        )
 
     def _corner_bounds_batch(
         self,
@@ -471,28 +473,28 @@ class BBSTJoinIndex:
         """``mu(r, c)`` for one corner kind over many (query, cell) pairs.
 
         Evaluates the bucket-envelope dominance predicate (the BBST
-        qualifying set) for all (query, bucket) pairs at once; the bound is
-        ``capacity`` times the number of qualifying buckets, exactly as the
-        per-query tree traversal computes it.
+        qualifying set) for all (query, bucket) pairs in the selected kernel
+        backend; the bound is ``capacity`` times the number of qualifying
+        buckets, exactly as the per-query tree traversal computes it.
         """
         arrays = self.bucket_arrays()
         use_max_x, use_max_y = _CORNER_DOMINANCE[kind]
-        lengths = arrays.counts[cell_ids]
-        out = np.zeros(cell_ids.size, dtype=np.int64)
-        for lo, hi in group_blocks(lengths):
-            block = slice(lo, hi)
-            rep, offset = ragged_offsets(lengths[block])
-            bucket = arrays.starts[cell_ids[block]][rep] + offset
-            if use_max_x:
-                ok = arrays.max_x[bucket] >= wxmin[block][rep]
-            else:
-                ok = arrays.min_x[bucket] <= wxmax[block][rep]
-            if use_max_y:
-                ok &= arrays.max_y[bucket] >= wymin[block][rep]
-            else:
-                ok &= arrays.min_y[bucket] <= wymax[block][rep]
-            out[block] = np.bincount(rep, weights=ok, minlength=hi - lo).astype(np.int64)
-        return out * self._capacity
+        qualifying = self.kernels.corner_qualifying(
+            cell_ids,
+            wxmin,
+            wymin,
+            wxmax,
+            wymax,
+            arrays.starts,
+            arrays.counts,
+            arrays.min_x,
+            arrays.max_x,
+            arrays.min_y,
+            arrays.max_y,
+            use_max_x,
+            use_max_y,
+        )
+        return qualifying * self._capacity
 
     def corner_pick_batch(
         self,
@@ -518,39 +520,28 @@ class BBSTJoinIndex:
         arrays = self.bucket_arrays()
         flat = self._grid.flat()
         use_max_x, use_max_y = _CORNER_DOMINANCE[kind]
-        capacity = self._capacity
-        qualifying = bounds_col // capacity
-        ranks = pick_int(u_point, qualifying)
-        lengths = arrays.counts[cell_ids]
-        out = np.full(cell_ids.size, -1, dtype=np.int64)
-        for lo, hi in group_blocks(lengths):
-            block = slice(lo, hi)
-            rep, offset = ragged_offsets(lengths[block])
-            bucket = arrays.starts[cell_ids[block]][rep] + offset
-            if use_max_x:
-                ok = arrays.max_x[bucket] >= wxmin[block][rep]
-            else:
-                ok = arrays.min_x[bucket] <= wxmax[block][rep]
-            if use_max_y:
-                ok &= arrays.max_y[bucket] >= wymin[block][rep]
-            else:
-                ok &= arrays.min_y[bucket] <= wymax[block][rep]
-            hit = select_kth_true(rep, lengths[block], ok, ranks[block])
-            found = np.flatnonzero(hit >= 0)
-            if found.size == 0:
-                continue
-            chosen = bucket[hit[found]]
-            slots = pick_int(
-                u_slot[block][found], np.full(found.size, capacity, dtype=np.int64)
-            )
-            filled = slots < arrays.sizes[chosen]
-            target = found[filled]
-            out[lo + target] = (
-                flat.starts[cell_ids[lo + target]]
-                + arrays.point_start[chosen[filled]]
-                + slots[filled]
-            )
-        return out
+        return self.kernels.corner_pick(
+            cell_ids,
+            bounds_col,
+            u_point,
+            u_slot,
+            wxmin,
+            wymin,
+            wxmax,
+            wymax,
+            flat.starts,
+            arrays.starts,
+            arrays.counts,
+            arrays.min_x,
+            arrays.max_x,
+            arrays.min_y,
+            arrays.max_y,
+            arrays.point_start,
+            arrays.sizes,
+            use_max_x,
+            use_max_y,
+            self._capacity,
+        )
 
     def corner_pick_scalar(
         self,

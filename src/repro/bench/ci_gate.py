@@ -31,12 +31,23 @@ Run as ``python -m repro.bench.ci_gate``.  The gate
    session (``coalescing_bit_identity``), a minimum coalescing ratio (the
    coalescer must actually merge concurrent requests), and zero failed
    requests,
-7. writes the measurements to ``BENCH_ci.json``, and
-8. compares against the committed ``benchmarks/baseline_ci.json``: any
+7. with ``--kernels``, runs the ``kernels`` experiment - the compiled numba
+   backend versus its bit-identical numpy twin at n = m = 1,000,000, same
+   seeds - and requires the committed sampling-phase speedup floor (>= 3x),
+   bit-identical draws, and a peak-RSS ceiling; when numba is not installed
+   the section is an explicit SKIP (with the reason recorded), never a
+   silent pass,
+8. writes the measurements to ``BENCH_ci.json`` (including per-section
+   PASS/SKIP/FAIL statuses and skip reasons under ``sections``), and
+9. compares against the committed ``benchmarks/baseline_ci.json``: any
    ``(dataset, algorithm)`` sampling-phase row slower than ``factor``
    (default 2) times its baseline fails, and any session-reuse, parallel,
-   dynamic, manager or service measurement below its baseline *minimum*
-   fails.
+   dynamic, manager, service or kernels measurement below its baseline
+   *minimum* (or above its memory *ceiling*) fails.
+
+Every section's outcome is printed as an explicit ``section <name>:
+PASS|SKIP|FAIL`` line - a skipped section is never conflated with a passing
+one.
 
 The committed baseline holds *generous* values (local measurements rounded
 up / down) so that ordinary CI-runner jitter passes while a reintroduced
@@ -64,7 +75,9 @@ __all__ = [
     "collect_dynamic_measurements",
     "collect_manager_measurements",
     "collect_service_measurements",
+    "collect_kernel_measurements",
     "compare_to_baseline",
+    "summarize_sections",
     "as_baseline",
     "main",
 ]
@@ -118,6 +131,44 @@ GATE_SERVICE_REQUESTS_PER_CONNECTION = 2
 GATE_SERVICE_SAMPLES = 8
 GATE_SERVICE_MIN_CPUS = 2
 
+#: Kernel-gate workload: the compiled numba backend vs its numpy twin at
+#: n = m = 1,000,000, same seeds (the configuration whose >= 3x floor and
+#: peak-RSS ceiling are committed).  Requires numba; self-skips otherwise.
+GATE_KERNEL_SIZE = 1_000_000
+GATE_KERNEL_SAMPLES = 100_000
+
+#: The seven gate sections, in report order.
+GATE_SECTIONS = (
+    "sampling",
+    "session_reuse",
+    "parallel",
+    "dynamic",
+    "manager",
+    "service",
+    "kernels",
+)
+
+#: Maps a section name to (its key in the measurement payload, the prefix
+#: its failure messages start with).  ``sampling`` failures have no prefix,
+#: so they are matched as "everything no other section claimed".
+_SECTION_KEYS = {
+    "sampling": "sampling_seconds",
+    "session_reuse": "session_speedup",
+    "parallel": "parallel_speedup",
+    "dynamic": "dynamic_speedup",
+    "manager": "manager",
+    "service": "service",
+    "kernels": "kernels",
+}
+_SECTION_PREFIXES = {
+    "session_reuse": "session_reuse ",
+    "parallel": "parallel_speedup ",
+    "dynamic": "dynamic_speedup ",
+    "manager": "manager ",
+    "service": "service ",
+    "kernels": "kernels ",
+}
+
 DEFAULT_BASELINE = Path("benchmarks") / "baseline_ci.json"
 DEFAULT_OUTPUT = Path("BENCH_ci.json")
 
@@ -162,6 +213,8 @@ def collect_measurements(repeats: int = 3) -> dict:
             speedup = float(row["speedup"])
             if key not in best_speedup or speedup > best_speedup[key]:
                 best_speedup[key] = speedup
+    from repro.kernels import runtime_meta
+
     return {
         "meta": {
             "python": platform.python_version(),
@@ -172,6 +225,7 @@ def collect_measurements(repeats: int = 3) -> dict:
             "session_requests": GATE_SESSION_REQUESTS,
             "session_samples": GATE_SESSION_SAMPLES,
             "repeats": repeats,
+            "runtime": runtime_meta(),
         },
         "sampling_seconds": {key: round(value, 5) for key, value in sorted(best.items())},
         "session_speedup": {
@@ -307,6 +361,47 @@ def collect_service_measurements(repeats: int = 1) -> dict:
     return {key: round(value, 3) for key, value in sorted(floors.items())}
 
 
+def collect_kernel_measurements(repeats: int = 2) -> dict:
+    """Best-of-``repeats`` compiled-kernel speedups over the numpy twin.
+
+    Runs the ``kernels`` experiment at the committed gate configuration
+    (n = m = ``GATE_KERNEL_SIZE``, same seeds on both backends).  Every row
+    must report bit-identical draws (``match``); a mismatching row is
+    recorded as speedup 0.0 so the floor comparison fails loudly rather
+    than rewarding a wrong draw stream.  ``bit_identity`` keeps the *worst*
+    row across repeats, and ``peak_rss_bytes`` records the process's peak
+    resident set after the runs (the committed baseline holds its ceiling).
+
+    Callers must check :func:`repro.kernels.numba_available` first - the
+    gate records an explicit SKIP instead of calling this without numba.
+    """
+    import resource
+
+    _title, kernels = EXPERIMENTS["kernels"]
+    best: dict[str, float] = {}
+    identity = 1.0
+    for _ in range(max(1, repeats)):
+        rows = kernels(
+            scale=ExperimentScale.SMOKE,
+            sizes=(GATE_KERNEL_SIZE,),
+            num_samples=GATE_KERNEL_SAMPLES,
+        )
+        for row in rows:
+            key = _row_key(row)
+            speedup = float(row["speedup"]) if row["match"] else 0.0
+            identity = min(identity, 1.0 if row["match"] else 0.0)
+            if key not in best or speedup > best[key]:
+                best[key] = speedup
+    # ru_maxrss is KiB on Linux (bytes on macOS; the committed ceiling is
+    # generous enough that the platform difference never flips the gate).
+    peak_rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+    return {
+        "speedup": {key: round(value, 3) for key, value in sorted(best.items())},
+        "bit_identity": identity,
+        "peak_rss_bytes": peak_rss,
+    }
+
+
 def as_baseline(current: dict) -> dict:
     """Turn raw measurements into a committed-baseline payload with slack.
 
@@ -320,7 +415,11 @@ def as_baseline(current: dict) -> dict:
     ``coalescing_bit_identity`` and ``request_success`` are correctness
     floors copied verbatim, while the measured ``coalescing_ratio`` is
     halved (never below 1.2 - strictly above 1.0, so a coalescer that stops
-    merging fails even from a jittery measurement).
+    merging fails even from a jittery measurement).  The ``kernels``
+    section writes its speedup floors as half the measurement but never
+    below the committed 3.0x (the issue's acceptance floor), keeps
+    ``bit_identity`` verbatim (exact 0/1 correctness), and doubles the
+    measured peak RSS into a generous memory *ceiling*.
     """
     def halved_floors(section: dict) -> dict:
         return {
@@ -338,6 +437,15 @@ def as_baseline(current: dict) -> dict:
             max(1.2, service.get("coalescing_ratio", 0.0) / 2.0), 3
         )
         payload["service"] = service
+    if "kernels" in current:
+        kernels = dict(current["kernels"])
+        kernels["speedup"] = {
+            key: round(max(3.0, value / 2.0), 3)
+            for key, value in kernels.get("speedup", {}).items()
+        }
+        kernels["peak_rss_bytes"] = int(kernels.get("peak_rss_bytes", 0)) * 2
+        payload["kernels"] = kernels
+    payload.pop("sections", None)
     return payload
 
 
@@ -479,7 +587,95 @@ def compare_to_baseline(
                 )
         for key in sorted(set(current_service) - set(baseline_service)):
             problems.append(f"service {key}: missing from the committed baseline")
+
+    # The kernels section is opt-in (--kernels; numba machines only): the
+    # speedup floors and the bit-identity boolean are minimums, the peak-RSS
+    # ceiling is a *maximum* - compiled kernels must not buy speed with an
+    # unbounded working set.
+    current_kernels = current.get("kernels")
+    baseline_kernels = baseline.get("kernels", {})
+    if current_kernels is not None:
+        current_speedup = current_kernels.get("speedup", {})
+        baseline_speedup = baseline_kernels.get("speedup", {})
+        for key, required in sorted(baseline_speedup.items()):
+            measured = current_speedup.get(key)
+            if measured is None:
+                problems.append(
+                    f"kernels {key}: missing from the current measurements"
+                )
+                continue
+            if measured < required:
+                problems.append(
+                    f"kernels {key}: compiled backend only {measured:.2f}x "
+                    f"faster in the sampling phase than the numpy twin, below "
+                    f"the required {required:.2f}x "
+                    f"(n=m={GATE_KERNEL_SIZE:,}, t={GATE_KERNEL_SAMPLES:,}) - "
+                    "or the draws stopped being bit-identical"
+                )
+        for key in sorted(set(current_speedup) - set(baseline_speedup)):
+            problems.append(f"kernels {key}: missing from the committed baseline")
+        required_identity = baseline_kernels.get("bit_identity")
+        if required_identity is not None:
+            measured_identity = current_kernels.get("bit_identity", 0.0)
+            if measured_identity < required_identity:
+                problems.append(
+                    f"kernels bit_identity: measured {measured_identity:g}, "
+                    f"below the required {required_identity:g} - the compiled "
+                    "kernels diverged from their numpy twins"
+                )
+        rss_ceiling = baseline_kernels.get("peak_rss_bytes")
+        if rss_ceiling is not None:
+            measured_rss = current_kernels.get("peak_rss_bytes")
+            if measured_rss is None:
+                problems.append(
+                    "kernels peak_rss_bytes: missing from the current measurements"
+                )
+            elif measured_rss > rss_ceiling:
+                problems.append(
+                    f"kernels peak_rss_bytes: peak RSS {measured_rss:,} bytes "
+                    f"exceeds the committed ceiling {rss_ceiling:,} bytes"
+                )
     return problems
+
+
+def summarize_sections(
+    current: dict,
+    skip_reasons: dict[str, str],
+    problems: list[str] | None = None,
+) -> dict[str, dict]:
+    """Explicit per-section outcome: PASS, SKIP (with reason) or FAIL.
+
+    A section is SKIP when it was not measured (``skip_reasons`` holds why),
+    FAIL when any regression message belongs to it, and PASS only when it
+    was actually measured and had no failures - a skipped section is never
+    reported as passing.  With ``problems=None`` (no comparison ran, e.g.
+    ``--write-baseline``), measured sections are reported as MEASURED.
+    """
+    statuses: dict[str, dict] = {}
+    by_section: dict[str, list[str]] = {name: [] for name in GATE_SECTIONS}
+    for problem in problems or []:
+        owner = "sampling"
+        for section, prefix in _SECTION_PREFIXES.items():
+            if problem.startswith(prefix):
+                owner = section
+                break
+        by_section[owner].append(problem)
+    for section in GATE_SECTIONS:
+        if current.get(_SECTION_KEYS[section]) is None:
+            statuses[section] = {
+                "status": "SKIP",
+                "reason": skip_reasons.get(section, "not measured"),
+            }
+        elif problems is None:
+            statuses[section] = {"status": "MEASURED", "reason": None}
+        elif by_section[section]:
+            statuses[section] = {
+                "status": "FAIL",
+                "reason": "; ".join(by_section[section]),
+            }
+        else:
+            statuses[section] = {"status": "PASS", "reason": None}
+    return statuses
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -529,12 +725,25 @@ def main(argv: list[str] | None = None) -> int:
         f"requests/conn={GATE_SERVICE_REQUESTS_PER_CONNECTION}; "
         "multi-core machines only)",
     )
+    parser.add_argument(
+        "--kernels", action="store_true",
+        help="also measure the compiled-kernel floors: numba backend vs "
+        f"numpy twin at n=m={GATE_KERNEL_SIZE:,}, same seeds "
+        "(explicit SKIP when numba is not installed)",
+    )
     args = parser.parse_args(argv)
 
+    skip_reasons: dict[str, str] = {}
     current = collect_measurements(repeats=args.repeats)
-    if args.parallel:
+    if not args.parallel:
+        skip_reasons["parallel"] = "not requested (pass --parallel)"
+    else:
         cpus = os.cpu_count() or 1
         if cpus < GATE_PARALLEL_MIN_CPUS:
+            skip_reasons["parallel"] = (
+                f"only {cpus} CPU(s) available "
+                f"(needs >= {GATE_PARALLEL_MIN_CPUS})"
+            )
             print(
                 f"warning: --parallel requested but only {cpus} CPU(s) available; "
                 "skipping the parallel floor",
@@ -544,11 +753,21 @@ def main(argv: list[str] | None = None) -> int:
             current["parallel_speedup"] = collect_parallel_measurements()
     if args.dynamic:
         current["dynamic_speedup"] = collect_dynamic_measurements()
+    else:
+        skip_reasons["dynamic"] = "not requested (pass --dynamic)"
     if args.manager:
         current["manager"] = collect_manager_measurements()
-    if args.service:
+    else:
+        skip_reasons["manager"] = "not requested (pass --manager)"
+    if not args.service:
+        skip_reasons["service"] = "not requested (pass --service)"
+    else:
         cpus = os.cpu_count() or 1
         if cpus < GATE_SERVICE_MIN_CPUS:
+            skip_reasons["service"] = (
+                f"only {cpus} CPU(s) available "
+                f"(needs >= {GATE_SERVICE_MIN_CPUS})"
+            )
             print(
                 f"warning: --service requested but only {cpus} CPU(s) available; "
                 "skipping the service floors",
@@ -556,6 +775,23 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             current["service"] = collect_service_measurements()
+    if not args.kernels:
+        skip_reasons["kernels"] = "not requested (pass --kernels)"
+    else:
+        from repro.kernels import numba_available, numba_version
+
+        if not numba_available():
+            skip_reasons["kernels"] = (
+                "numba is not installed (pip install repro[numba])"
+            )
+            print(
+                "warning: --kernels requested but numba is not installed; "
+                "skipping the kernel floors",
+                file=sys.stderr,
+            )
+        else:
+            current["kernels"] = collect_kernel_measurements()
+            current["meta"]["numba"] = numba_version()
     args.output.write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {args.output}")
     for key, seconds in current["sampling_seconds"].items():
@@ -570,8 +806,28 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  manager {key}: {value:g}")
     for key, value in current.get("service", {}).items():
         print(f"  service {key}: {value:g}")
+    kernels = current.get("kernels")
+    if kernels is not None:
+        for key, speedup in kernels.get("speedup", {}).items():
+            print(f"  kernels {key}: {speedup:.2f}x")
+        print(f"  kernels bit_identity: {kernels.get('bit_identity', 0.0):g}")
+        print(f"  kernels peak_rss_bytes: {kernels.get('peak_rss_bytes', 0):,}")
+
+    def write_output(sections: dict[str, dict]) -> None:
+        current["sections"] = sections
+        args.output.write_text(json.dumps(current, indent=2) + "\n")
+
+    def print_sections(sections: dict[str, dict]) -> None:
+        for name, row in sections.items():
+            if row["status"] == "SKIP":
+                print(f"section {name}: SKIP ({row['reason']})")
+            else:
+                print(f"section {name}: {row['status']}")
 
     if args.write_baseline:
+        sections = summarize_sections(current, skip_reasons, problems=None)
+        write_output(sections)
+        print_sections(sections)
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(as_baseline(current), indent=2) + "\n")
         print(f"baseline refreshed at {args.baseline}")
@@ -582,6 +838,9 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     baseline = json.loads(args.baseline.read_text())
     problems = compare_to_baseline(current, baseline, factor=args.factor)
+    sections = summarize_sections(current, skip_reasons, problems=problems)
+    write_output(sections)
+    print_sections(sections)
     if problems:
         print("performance gate FAILED:", file=sys.stderr)
         for problem in problems:

@@ -53,6 +53,7 @@ __all__ = [
     "run_table4_sampling",
     "run_vectorization_speedup",
     "run_session_reuse",
+    "run_kernel_speedup",
     "run_parallel_speedup",
     "run_update_throughput",
     "run_manager_multitenancy",
@@ -299,6 +300,121 @@ def run_session_reuse(
                     "cached_count_seconds": last.timings.count_seconds,
                 }
             )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Kernels - compiled backend sampling-phase speedup over the numpy twin
+# ----------------------------------------------------------------------
+
+#: ``n = m`` sizes of the kernel experiment per scale (the PAPER sweep is the
+#: issue's committed ladder up to the first 10^7-point run).
+_KERNEL_SCALE_SIZES: dict[ExperimentScale, tuple[int, ...]] = {
+    ExperimentScale.SMOKE: (20_000,),
+    ExperimentScale.PAPER: (100_000, 1_000_000, 10_000_000),
+}
+
+#: Window half-extent of the kernel experiment (the paper's default l=100).
+KERNEL_HALF_EXTENT = 100.0
+
+
+def run_kernel_speedup(
+    workloads: Sequence[WorkloadConfig] | None = None,
+    scale: ExperimentScale = ExperimentScale.SMOKE,
+    datasets: Sequence[str] | None = None,
+    sizes: Sequence[int] | None = None,
+    num_samples: int | None = None,
+    seed: int = 59,
+    algorithms: Sequence[str] = ("bbst", "kds-rejection"),
+) -> list[Row]:
+    """Sampling-phase wall-clock of the numba kernels vs their numpy twins.
+
+    Both backends run the *same* prepared sampler configuration on the same
+    pinned uniform instance with the same seeds, so the numba side must
+    return **bit-identical** pairs (``match``) - the speedup can never be
+    bought with a different draw stream.  Each side pays one small warm-up
+    draw first (which is where the numba side JIT-compiles), then the
+    measured draw; ``sampling_seconds`` is the measured draw's sampling
+    phase only (build/count are cached by ``prepare()``).  The per-phase
+    ``draw`` / ``refill`` breakdown comes from the kernel profiler.
+
+    When numba is not installed the numpy side still runs (so the experiment
+    reports a baseline) and the numba columns are zeroed with
+    ``numba_available = False`` - the CI gate skips the section explicitly
+    instead of calling this.  The workload is pinned (``workloads`` /
+    ``datasets`` accepted for registry uniformity and ignored); ``sizes``
+    overrides the per-scale ``n = m`` ladder.
+    """
+    del workloads, datasets  # pinned workload; see docstring
+    from repro.kernels import numba_available
+    from repro.kernels.profiling import PROFILER
+
+    chosen = tuple(sizes) if sizes is not None else _KERNEL_SCALE_SIZES[scale]
+    have_numba = numba_available()
+
+    def timed_run(name: str, spec: JoinSpec, t: int, backend: str):
+        sampler = create_sampler(name, spec, backend=backend)
+        sampler.prepare()
+        # Warm-up draw: JIT compilation on the numba side; mirrored on the
+        # numpy side so both backends enter the measured draw equally warm.
+        sampler.sample(min(t, 1_000), seed=seed + 1)
+        was_enabled = PROFILER.enabled
+        PROFILER.enable()
+        PROFILER.reset()
+        result = sampler.sample(t, seed=seed)
+        phases = PROFILER.snapshot()
+        PROFILER.reset()
+        if not was_enabled:
+            PROFILER.disable()
+        return result, phases
+
+    def phase_seconds(phases: dict, key: str) -> float:
+        return float(phases.get(key, {}).get("seconds", 0.0))
+
+    rows: list[Row] = []
+    for size in chosen:
+        rng = np.random.default_rng(seed)
+        points = uniform_points(2 * size, rng, name=f"uniform-{size // 1_000}k")
+        r_points, s_points = split_r_s(points, rng)
+        spec = JoinSpec(
+            r_points=r_points, s_points=s_points, half_extent=KERNEL_HALF_EXTENT
+        )
+        dataset = f"uniform-{spec.n // 1_000}k"
+        t = (
+            (2_000 if scale is ExperimentScale.SMOKE else 100_000)
+            if num_samples is None
+            else num_samples
+        )
+        for name in algorithms:
+            numpy_result, numpy_phases = timed_run(name, spec, t, "numpy")
+            numpy_seconds = numpy_result.timings.sample_seconds
+            row: Row = {
+                "dataset": dataset,
+                "algorithm": name,
+                "n": spec.n,
+                "m": spec.m,
+                "t": t,
+                "numba_available": have_numba,
+                "numpy_sampling_seconds": numpy_seconds,
+                "numpy_draw_seconds": phase_seconds(numpy_phases, "draw"),
+                "numpy_refill_seconds": phase_seconds(numpy_phases, "refill"),
+                "numba_sampling_seconds": 0.0,
+                "numba_draw_seconds": 0.0,
+                "numba_refill_seconds": 0.0,
+                "speedup": 0.0,
+                "match": False,
+            }
+            if have_numba:
+                numba_result, numba_phases = timed_run(name, spec, t, "numba")
+                numba_seconds = numba_result.timings.sample_seconds
+                row["numba_sampling_seconds"] = numba_seconds
+                row["numba_draw_seconds"] = phase_seconds(numba_phases, "draw")
+                row["numba_refill_seconds"] = phase_seconds(numba_phases, "refill")
+                row["speedup"] = numpy_seconds / max(numba_seconds, 1e-9)
+                row["match"] = [
+                    p.as_index_tuple() for p in numba_result.pairs
+                ] == [p.as_index_tuple() for p in numpy_result.pairs]
+            rows.append(row)
     return rows
 
 

@@ -19,6 +19,7 @@ from repro.bench.harness import (
     run_fig7_dataset_size,
     run_fig8_size_ratio,
     run_fig9_bbst_vs_cell_kdtree,
+    run_kernel_speedup,
     run_manager_multitenancy,
     run_parallel_speedup,
     run_session_reuse,
@@ -50,6 +51,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]]]] = {
     "vecspeed": (
         "Extra - vectorised batch engine sampling-phase speedup",
         run_vectorization_speedup,
+    ),
+    "kernels": (
+        "Extra - compiled kernel backend sampling-phase speedup",
+        run_kernel_speedup,
     ),
     "session": (
         "Extra - session API: repeated draws vs one-shot sampling",
@@ -120,11 +125,17 @@ def run_all_experiments(
         if experiment_ids is not None
         else EXPERIMENTS
     )
+    from repro.kernels import runtime_meta
+
+    runtime = runtime_meta()
     all_rows: dict[str, list[dict]] = {}
     report_sections: list[str] = [
         "# Experiment results",
         "",
         f"Scale: `{scale.value}`",
+        "",
+        "Runtime: "
+        + ", ".join(f"{key}={value}" for key, value in sorted(runtime.items())),
         "",
     ]
     for key, (title, _runner) in selected.items():

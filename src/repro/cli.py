@@ -127,6 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream each request in chunks of this many pairs",
     )
+    sample.add_argument(
+        "--kernel-backend",
+        choices=["numpy", "numba", "auto"],
+        default=None,
+        help="kernel backend for the hot loops (numpy = reference twin, "
+        "numba = compiled, auto = numba when available; draws are "
+        "bit-identical either way; default: REPRO_KERNEL_BACKEND or auto)",
+    )
+    sample.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase sampling timings (build/count/refill/draw) "
+        "and print them after the requests",
+    )
     sample.add_argument("--output", type=Path, default=None, help="write pairs as CSV")
 
     plan = subparsers.add_parser(
@@ -141,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="plan for a workload that mutates (R, S) between requests "
         "(restricts the choice to incrementally maintainable algorithms)",
+    )
+    plan.add_argument(
+        "--kernel-backend",
+        choices=["numpy", "numba", "auto"],
+        default=None,
+        help="kernel backend the report records (default: "
+        "REPRO_KERNEL_BACKEND or auto)",
     )
 
     update = subparsers.add_parser(
@@ -336,6 +357,7 @@ def _open_session(args: argparse.Namespace) -> SamplingSession:
         algorithm=args.algorithm,
         jobs=_session_jobs(args),
         eager=False,
+        backend=getattr(args, "kernel_backend", None),
     )
 
 
@@ -346,7 +368,19 @@ def _command_sample(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs < 0:
         print("error: --jobs must be >= 0", file=sys.stderr)
         return 2
-    session = _open_session(args)
+    from repro.errors import KernelBackendError
+    from repro.kernels import PROFILER
+
+    if args.profile:
+        PROFILER.enable()
+        PROFILER.reset()
+    try:
+        session = _open_session(args)
+    except KernelBackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.kernel_backend is not None or args.profile:
+        print(f"kernel backend: {session.kernel_backend}")
     if args.algorithm == "auto":
         report = session.plan()
         print(f"auto planner picked {report.algorithm} (rule: {report.rule})")
@@ -397,6 +431,17 @@ def _command_sample(args: argparse.Namespace) -> int:
             f"prepare {stats.prepare_seconds:.3f}s (paid once), "
             f"sampling {stats.sample_seconds:.3f}s"
         )
+    if args.profile:
+        snapshot = PROFILER.snapshot()
+        PROFILER.disable()
+        if snapshot:
+            print("profile (seconds per phase):")
+            for phase, row in sorted(snapshot.items()):
+                print(
+                    f"  {phase:8s} {row['seconds']:.6f}s over {row['calls']} calls"
+                )
+        else:
+            print("profile: no instrumented phases ran")
     if result is None:
         return 0
     if args.output is not None:
@@ -424,10 +469,18 @@ def _command_plan(args: argparse.Namespace) -> int:
             r_points=r_points, s_points=s_points, half_extent=args.half_extent
         )
         print(f"dataset: {args.dataset} (n={spec.n:,}, m={spec.m:,}, update-heavy)")
-        print(plan_algorithm(spec, update_heavy=True).explain())
+        print(
+            plan_algorithm(
+                spec, update_heavy=True, kernel_backend=args.kernel_backend
+            ).explain()
+        )
         return 0
     session = SamplingSession(
-        r_points, s_points, half_extent=args.half_extent, eager=False
+        r_points,
+        s_points,
+        half_extent=args.half_extent,
+        eager=False,
+        backend=args.kernel_backend,
     )
     print(f"dataset: {args.dataset} (n={session.n:,}, m={session.m:,})")
     print(session.plan().explain())

@@ -182,6 +182,13 @@ class JoinSampler(abc.ABC):
     * ``vectorized`` selects the numpy round processor (default) or the
       scalar per-attempt loop over the same pre-drawn variates, kept as an
       escape hatch for differential testing.
+
+    A third knob, ``backend``, selects the kernel implementation the
+    vectorized round processors call (``"numpy" | "numba" | "auto"``, see
+    :mod:`repro.kernels`).  The backend is resolved to a concrete name at
+    construction; because both backends are bit-identical (including RNG
+    consumption order), it never changes which pairs are drawn - only how
+    fast.
     """
 
     def __init__(
@@ -189,12 +196,19 @@ class JoinSampler(abc.ABC):
         spec: JoinSpec,
         batch_size: int | None = None,
         vectorized: bool = True,
+        backend: str | None = None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        # Resolved eagerly so a bad backend fails at construction, and stored
+        # as a plain string so prepared samplers pickle to shard workers (the
+        # kernel namespace itself is re-resolved lazily per process).
+        from repro.kernels import resolve_backend
+
         self._spec = spec
         self._batch_size = batch_size
         self._vectorized = bool(vectorized)
+        self._kernel_backend = resolve_backend(backend)
         self._preprocessed = False
         self._preprocess_seconds = 0.0
 
@@ -213,6 +227,18 @@ class JoinSampler(abc.ABC):
     def vectorized(self) -> bool:
         """Whether the numpy round processor is active (vs the scalar twin)."""
         return self._vectorized
+
+    @property
+    def kernel_backend(self) -> str:
+        """Resolved kernel backend name serving this sampler's hot paths."""
+        return self._kernel_backend
+
+    @property
+    def kernels(self):
+        """The :class:`~repro.kernels.KernelSet` of the resolved backend."""
+        from repro.kernels import get_kernels
+
+        return get_kernels(self._kernel_backend)
 
     @property
     @abc.abstractmethod
@@ -261,6 +287,7 @@ class JoinSampler(abc.ABC):
         self.preprocess()
         result = self._sample_impl(t, rng)
         result.timings.preprocess_seconds = self._preprocess_seconds
+        result.metadata.setdefault("kernel_backend", self._kernel_backend)
         return result
 
     def prepare(self) -> PhaseTimings:

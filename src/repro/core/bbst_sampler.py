@@ -38,7 +38,7 @@ class BBSTSampler(GridJoinSamplerBase):
     bucket_capacity:
         Optional override of the bucket size (defaults to ``ceil(log2 m)``);
         exposed for the ablation benchmarks on the bucket-size design choice.
-    batch_size, vectorized:
+    batch_size, vectorized, backend:
         Batch-engine knobs forwarded to
         :class:`~repro.core.grid_sampler_base.GridJoinSamplerBase`.
     """
@@ -49,8 +49,11 @@ class BBSTSampler(GridJoinSamplerBase):
         bucket_capacity: int | None = None,
         batch_size: int | None = None,
         vectorized: bool = True,
+        backend: str | None = None,
     ) -> None:
-        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
+        super().__init__(
+            spec, batch_size=batch_size, vectorized=vectorized, backend=backend
+        )
         self._bucket_capacity = bucket_capacity
 
     @property
@@ -67,4 +70,5 @@ class BBSTSampler(GridJoinSamplerBase):
             self.sorted_s,
             half_extent=self.spec.half_extent,
             bucket_capacity=self._bucket_capacity,
+            backend=self.kernel_backend,
         )

@@ -202,12 +202,19 @@ class CellKDTreeSampler(GridJoinSamplerBase):
         spec: JoinSpec,
         batch_size: int | None = None,
         vectorized: bool = True,
+        backend: str | None = None,
     ) -> None:
-        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
+        super().__init__(
+            spec, batch_size=batch_size, vectorized=vectorized, backend=backend
+        )
 
     @property
     def name(self) -> str:
         return "Grid+kd-tree"
 
     def _build_index(self) -> CellKDTreeJoinIndex:
-        return CellKDTreeJoinIndex(self.sorted_s, half_extent=self.spec.half_extent)
+        return CellKDTreeJoinIndex(
+            self.sorted_s,
+            half_extent=self.spec.half_extent,
+            backend=self.kernel_backend,
+        )

@@ -57,11 +57,11 @@ from repro.core.base import (
     SamplePair,
     build_sample_pairs,
 )
-from repro.core.batching import cutoff_at, next_batch_size, pick_int, pick_int_scalar
+from repro.core.batching import cutoff_at, next_batch_size, pick_int_scalar
 from repro.core.config import JoinSpec
 from repro.core.guards import empty_join_guard as _empty_join_guard
-from repro.geometry.predicates import mask_in_windows
 from repro.geometry.rect import Rect
+from repro.kernels.profiling import PROFILER
 from repro.grid.grid import Grid
 from repro.grid.neighbors import NEIGHBOR_OFFSETS, NeighborKind
 
@@ -154,6 +154,10 @@ class GridJoinSamplerBase(JoinSampler):
         ``True`` (default) resolves each round with numpy; ``False`` runs the
         scalar per-attempt loop over the same pre-drawn variates (the
         differential-testing escape hatch).
+    backend:
+        Kernel backend serving the vectorized rounds
+        (``"numpy" | "numba" | "auto"``, see :mod:`repro.kernels`); both
+        backends are bit-identical.
     """
 
     def __init__(
@@ -161,8 +165,9 @@ class GridJoinSamplerBase(JoinSampler):
         spec: JoinSpec,
         batch_size: int | None = None,
         vectorized: bool = True,
+        backend: str | None = None,
     ) -> None:
-        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized, backend=backend)
         self._sorted_s = None
         self._index: JoinCellIndex | None = None
         # Cached online structures (index, per-point bounds, alias): built on
@@ -234,12 +239,16 @@ class GridJoinSamplerBase(JoinSampler):
             index = self._build_index()
             self._index = index
             timings.build_seconds = time.perf_counter() - start
+            if PROFILER.enabled:
+                PROFILER.add("build", timings.build_seconds)
 
             # Phase 2: approximate range counting (UB column).
             start = time.perf_counter()
             n = spec.n
             if self._vectorized:
-                cell_ids = index.grid.neighbor_cell_ids(r_xs, r_ys)
+                cell_ids = index.grid.neighbor_cell_ids(
+                    r_xs, r_ys, kernels=self.kernels
+                )
                 bounds = index.batch_bounds(r_xs, r_ys, cell_ids)
                 self._cell_ids = cell_ids
             else:
@@ -252,6 +261,8 @@ class GridJoinSamplerBase(JoinSampler):
             sum_mu = float(mu_totals.sum())
             alias = AliasTable(mu_totals) if sum_mu > 0 else None
             timings.count_seconds = time.perf_counter() - start
+            if PROFILER.enabled:
+                PROFILER.add("count", timings.count_seconds)
             self._runtime = PreparedGridState(
                 bounds=bounds, cumulative=cumulative, alias=alias, sum_mu=sum_mu
             )
@@ -281,15 +292,24 @@ class GridJoinSamplerBase(JoinSampler):
                     f"no join sample accepted after {iterations} iterations; "
                     "the join result is empty or vanishingly small"
                 )
+            profile = PROFILER.enabled
+            if profile:
+                tick = time.perf_counter()
             size = next_batch_size(t - accepted, iterations, accepted, self._batch_size)
             r = alias.draw_many(size, rng)
             u_col = rng.random(size)
             u_point = rng.random(size)
             u_slot = rng.random(size) if needs_slot else None
+            if profile:
+                now = time.perf_counter()
+                PROFILER.add("refill", now - tick)
+                tick = now
             if self._vectorized:
                 accept, cand_sid = self._round_vectorized(r, u_col, u_point, u_slot)
             else:
                 accept, cand_sid = self._round_scalar(r, u_col, u_point, u_slot)
+            if profile:
+                PROFILER.add("draw", time.perf_counter() - tick)
             used, taken = cutoff_at(accept, t - accepted)
             iterations += used
             accepted += taken.size
@@ -318,29 +338,30 @@ class GridJoinSamplerBase(JoinSampler):
         u_point: np.ndarray,
         u_slot: np.ndarray | None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Resolve one round of attempts with numpy gathers.
+        """Resolve one round of attempts with the selected kernel backend.
 
         Returns ``(accept, candidate_s_id)`` arrays in attempt order;
-        rejected attempts carry ``-1``.
+        rejected attempts carry ``-1``.  The heavy per-attempt work (cell
+        column selection, case-1/2 picks, candidate gather + window test)
+        runs in :mod:`repro.kernels`; the four corner columns go through the
+        index's ``corner_pick_batch`` so subclass overrides (the Fig. 9
+        kd-tree ablation) keep working.
         """
         spec = self.spec
         index = self._index
         assert index is not None and self._runtime is not None
         bounds, cumulative = self._runtime.bounds, self._runtime.cumulative
+        kernels = self.kernels
         if self._cell_ids is None:
             self._cell_ids = index.grid.neighbor_cell_ids(
-                spec.r_points.xs, spec.r_points.ys
+                spec.r_points.xs, spec.r_points.ys, kernels=kernels
             )
         flat = index.grid.flat()
         half = spec.half_extent
-        size = r.size
 
         rows = cumulative[r]
-        totals = rows[:, -1]
-        # searchsorted(row, u * total, side="right") per attempt, vectorised
-        # as a count of cumulative entries <= target over the 9 columns.
-        target = u_col * totals
-        col = np.minimum(np.sum(rows <= target[:, None], axis=1), 8)
+        # searchsorted(row, u * total, side="right") per attempt.
+        col, totals = kernels.column_select(rows, u_col)
         counts = bounds[r, col].astype(np.int64)
         cell_ids = self._cell_ids[r, col]
         rx = spec.r_points.xs[r]
@@ -349,65 +370,41 @@ class GridJoinSamplerBase(JoinSampler):
         wymin, wymax = ry - half, ry + half
         viable = (totals > 0) & (counts > 0) & (cell_ids >= 0)
 
-        pos_x_view = np.full(size, -1, dtype=np.int64)
-        pos_y_view = np.full(size, -1, dtype=np.int64)
-        for column in range(9):
+        # Cases 1/2 (center + edges): the first five bound-matrix columns.
+        pos_x_view, pos_y_view = kernels.edge_positions(
+            col, viable, cell_ids, counts, flat.starts, flat.lengths, u_point
+        )
+        # Case 3 (corners): through the index so ablations can override.
+        for column in range(5, 9):
             sel = np.flatnonzero(viable & (col == column))
             if sel.size == 0:
                 continue
-            kind = NEIGHBOR_OFFSETS[column]
-            sel_cells = cell_ids[sel]
-            sel_counts = counts[sel]
-            starts = flat.starts[sel_cells]
-            lengths = flat.lengths[sel_cells]
-            if kind is NeighborKind.CENTER:
-                pos_x_view[sel] = starts + pick_int(u_point[sel], lengths)
-            elif kind is NeighborKind.LEFT:
-                pos_x_view[sel] = starts + (lengths - sel_counts) + pick_int(
-                    u_point[sel], sel_counts
-                )
-            elif kind is NeighborKind.RIGHT:
-                pos_x_view[sel] = starts + pick_int(u_point[sel], sel_counts)
-            elif kind is NeighborKind.DOWN:
-                pos_y_view[sel] = starts + (lengths - sel_counts) + pick_int(
-                    u_point[sel], sel_counts
-                )
-            elif kind is NeighborKind.UP:
-                pos_y_view[sel] = starts + pick_int(u_point[sel], sel_counts)
-            else:
-                pos_x_view[sel] = index.corner_pick_batch(
-                    kind,
-                    sel_cells,
-                    sel_counts,
-                    u_point[sel],
-                    u_slot[sel] if u_slot is not None else None,
-                    wxmin[sel],
-                    wymin[sel],
-                    wxmax[sel],
-                    wymax[sel],
-                )
+            pos_x_view[sel] = index.corner_pick_batch(
+                NEIGHBOR_OFFSETS[column],
+                cell_ids[sel],
+                counts[sel],
+                u_point[sel],
+                u_slot[sel] if u_slot is not None else None,
+                wxmin[sel],
+                wymin[sel],
+                wxmax[sel],
+                wymax[sel],
+            )
 
-        cand_sid = np.full(size, -1, dtype=np.int64)
-        cand_x = np.zeros(size, dtype=np.float64)
-        cand_y = np.zeros(size, dtype=np.float64)
-        from_x = pos_x_view >= 0
-        if np.any(from_x):
-            gathered = pos_x_view[from_x]
-            cand_sid[from_x] = flat.ids_by_x[gathered]
-            cand_x[from_x] = flat.xs_by_x[gathered]
-            cand_y[from_x] = flat.ys_by_x[gathered]
-        from_y = pos_y_view >= 0
-        if np.any(from_y):
-            gathered = pos_y_view[from_y]
-            cand_sid[from_y] = flat.ids_by_y[gathered]
-            cand_x[from_y] = flat.xs_by_y[gathered]
-            cand_y[from_y] = flat.ys_by_y[gathered]
-        accept = (
-            (cand_sid >= 0)
-            & mask_in_windows(cand_x, cand_y, wxmin, wymin, wxmax, wymax)
+        return kernels.gather_accept(
+            pos_x_view,
+            pos_y_view,
+            flat.ids_by_x,
+            flat.xs_by_x,
+            flat.ys_by_x,
+            flat.ids_by_y,
+            flat.xs_by_y,
+            flat.ys_by_y,
+            wxmin,
+            wymin,
+            wxmax,
+            wymax,
         )
-        cand_sid[~accept] = -1
-        return accept, cand_sid
 
     def _round_scalar(
         self,

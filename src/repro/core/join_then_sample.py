@@ -41,8 +41,9 @@ class JoinThenSample(JoinSampler):
         spec: JoinSpec,
         batch_size: int | None = None,
         vectorized: bool = True,
+        backend: str | None = None,
     ) -> None:
-        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized, backend=backend)
         self._grid: Grid | None = None
         # The materialised join, cached so repeated draws reuse it.
         self._pairs_index: np.ndarray | None = None

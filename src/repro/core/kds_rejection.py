@@ -47,6 +47,7 @@ from repro.core.registry import register_sampler
 from repro.grid.grid import Grid
 from repro.kdtree.batch import canonical_pick, iter_chunked_decompositions
 from repro.kdtree.sampling import KDSRangeSampler
+from repro.kernels.profiling import PROFILER
 
 __all__ = ["PreparedGridBounds", "KDSRejectionSampler"]
 
@@ -80,7 +81,7 @@ class KDSRejectionSampler(JoinSampler):
         The join instance.
     leaf_size:
         Leaf bucket size of the kd-tree over ``S``.
-    batch_size, vectorized:
+    batch_size, vectorized, backend:
         Batch-engine knobs (see :class:`~repro.core.base.JoinSampler`).
     """
 
@@ -90,8 +91,9 @@ class KDSRejectionSampler(JoinSampler):
         leaf_size: int = 16,
         batch_size: int | None = None,
         vectorized: bool = True,
+        backend: str | None = None,
     ) -> None:
-        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized, backend=backend)
         self._leaf_size = leaf_size
         self._range_sampler: KDSRangeSampler | None = None
         self._grid: Grid | None = None
@@ -139,12 +141,16 @@ class KDSRejectionSampler(JoinSampler):
             grid = Grid(spec.s_points, cell_size=spec.half_extent)
             self._grid = grid
             timings.build_seconds = time.perf_counter() - start
+            if PROFILER.enabled:
+                PROFILER.add("build", timings.build_seconds)
 
             # Upper-bounding phase (UB): mu(r) = population of the 3x3 block.
             start = time.perf_counter()
             r_xs, r_ys = spec.r_points.xs, spec.r_points.ys
             if self._vectorized:
-                mu = grid.neighborhood_counts(r_xs, r_ys).sum(axis=1)
+                mu = grid.neighborhood_counts(
+                    r_xs, r_ys, kernels=self.kernels
+                ).sum(axis=1)
             else:
                 mu = np.zeros(spec.n, dtype=np.int64)
                 for i in range(spec.n):
@@ -155,6 +161,8 @@ class KDSRejectionSampler(JoinSampler):
             sum_mu = int(mu.sum())
             alias: AliasTable | None = AliasTable(mu) if sum_mu > 0 else None
             timings.count_seconds = time.perf_counter() - start
+            if PROFILER.enabled:
+                PROFILER.add("count", timings.count_seconds)
             self._online = PreparedGridBounds(mu=mu, alias=alias, sum_mu=sum_mu)
         else:
             mu, alias, sum_mu = (
@@ -182,14 +190,23 @@ class KDSRejectionSampler(JoinSampler):
                     f"no join sample accepted after {iterations} iterations; "
                     "the join result is empty or vanishingly small"
                 )
+            profile = PROFILER.enabled
+            if profile:
+                tick = time.perf_counter()
             size = next_batch_size(t - accepted, iterations, accepted, self._batch_size)
             r = alias.draw_many(size, rng)
             u_accept = rng.random(size)
             u_point = rng.random(size)
+            if profile:
+                now = time.perf_counter()
+                PROFILER.add("refill", now - tick)
+                tick = now
             if self._vectorized:
                 accept, s_pos = self._round_vectorized(r, u_accept, u_point, mu)
             else:
                 accept, s_pos = self._round_scalar(r, u_accept, u_point, mu)
+            if profile:
+                PROFILER.add("draw", time.perf_counter() - tick)
             used, taken = cutoff_at(accept, t - accepted)
             iterations += used
             accepted += taken.size
@@ -222,6 +239,7 @@ class KDSRejectionSampler(JoinSampler):
     ) -> tuple[np.ndarray, np.ndarray]:
         """Resolve one rejection round with batched decompositions."""
         tree = self._range_sampler.tree  # type: ignore[union-attr]
+        kernels = self.kernels
         accept = np.zeros(r.size, dtype=bool)
         s_pos = np.full(r.size, -1, dtype=np.int64)
         unique_r, inverse = np.unique(r, return_inverse=True)
@@ -231,7 +249,7 @@ class KDSRejectionSampler(JoinSampler):
         ):
             exact = decomposition.counts[local]
             # Accept with probability |S(w(r))| / mu(r).
-            ok = (exact > 0) & (u_accept[attempts] < exact / mu[r[attempts]])
+            ok = kernels.rejection_accept(exact, mu[r[attempts]], u_accept[attempts])
             hits = attempts[ok]
             if hits.size:
                 s_pos[hits] = decomposition.draw(local[ok], u_point[hits])

@@ -88,8 +88,9 @@ class KDSSampler(JoinSampler):
         leaf_size: int = 16,
         batch_size: int | None = None,
         vectorized: bool = True,
+        backend: str | None = None,
     ) -> None:
-        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
+        super().__init__(spec, batch_size=batch_size, vectorized=vectorized, backend=backend)
         self._leaf_size = leaf_size
         self._range_sampler: KDSRangeSampler | None = None
         # Cached counting-phase results: the exact counts depend only on the

@@ -121,6 +121,7 @@ class DynamicSampler(JoinSampler):
             spec,
             batch_size=sampler_options.get("batch_size"),
             vectorized=sampler_options.get("vectorized", True),
+            backend=sampler_options.get("backend"),
         )
         entry = get_sampler(algorithm)
         if not entry.supports_updates:

@@ -19,6 +19,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "InvalidSpecError",
+    "KernelBackendError",
     "StaleInputError",
     "BudgetExceededError",
     "SessionClosedError",
@@ -38,6 +39,16 @@ class InvalidSpecError(ReproError, ValueError):
     Raised for non-positive window half-extents, bad worker counts, negative
     sample counts, malformed update batches, empty-join draw requests and the
     like.  Subclasses ``ValueError`` for one deprecation cycle.
+    """
+
+
+class KernelBackendError(InvalidSpecError):
+    """A kernel backend request cannot be honoured.
+
+    Raised by :func:`repro.kernels.resolve_backend` for unknown backend names
+    and for an explicit ``backend="numba"`` request when numba is not
+    importable (install it with ``pip install repro[numba]``).  The ``"auto"``
+    backend never raises - it silently falls back to the NumPy twin.
     """
 
 

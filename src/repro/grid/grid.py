@@ -323,8 +323,15 @@ class Grid:
             supports_packing=supports_packing,
         )
 
-    def lookup_cell_ids(self, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
-        """Flat cell index per ``(ix, iy)`` key, or ``-1`` for empty cells."""
+    def lookup_cell_ids(
+        self, ix: np.ndarray, iy: np.ndarray, kernels=None
+    ) -> np.ndarray:
+        """Flat cell index per ``(ix, iy)`` key, or ``-1`` for empty cells.
+
+        ``kernels`` optionally routes the sorted packed-key probe through a
+        :class:`~repro.kernels.KernelSet` (both backends are bit-identical);
+        the wide-key dict-probe fallback always runs in plain Python.
+        """
         flat = self.flat()
         ix = np.asarray(ix, dtype=np.int64)
         iy = np.asarray(iy, dtype=np.int64)
@@ -340,13 +347,17 @@ class Grid:
                 out.flat[pos] = index_of.get((int(ix.flat[pos]), int(iy.flat[pos])), -1)
             return out
         packed = _pack_keys(ix, iy)
+        if kernels is not None:
+            return kernels.packed_lookup(flat.packed_keys, flat.packed_cell_ids, packed)
         slots = np.searchsorted(flat.packed_keys, packed)
         slots = np.minimum(slots, flat.packed_keys.size - 1)
         found = flat.packed_keys[slots] == packed
         out[found] = flat.packed_cell_ids[slots[found]]
         return out
 
-    def neighbor_cell_ids(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    def neighbor_cell_ids(
+        self, xs: np.ndarray, ys: np.ndarray, kernels=None
+    ) -> np.ndarray:
         """Flat cell indices of every query's 3x3 block, shape ``(q, 9)``.
 
         Columns follow :data:`~repro.grid.neighbors.NEIGHBOR_OFFSETS`; empty
@@ -360,16 +371,20 @@ class Grid:
         offsets = np.array([kind.offset for kind in NEIGHBOR_OFFSETS], dtype=np.int64)
         ix = base_ix[:, None] + offsets[None, :, 0]
         iy = base_iy[:, None] + offsets[None, :, 1]
-        return self.lookup_cell_ids(ix, iy)
+        return self.lookup_cell_ids(ix, iy, kernels=kernels)
 
-    def neighborhood_counts(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    def neighborhood_counts(
+        self, xs: np.ndarray, ys: np.ndarray, kernels=None
+    ) -> np.ndarray:
         """Point count of every query's 3x3 block cells, shape ``(q, 9)``.
 
         ``sum(axis=1)`` is the KDS-rejection bound ``mu(r)`` for every query
         in one shot.
         """
         flat = self.flat()
-        cell_ids = self.neighbor_cell_ids(xs, ys)
+        cell_ids = self.neighbor_cell_ids(xs, ys, kernels=kernels)
+        if kernels is not None:
+            return kernels.counts_gather(flat.lengths, cell_ids)
         counts = np.zeros(cell_ids.shape, dtype=np.int64)
         present = cell_ids >= 0
         counts[present] = flat.lengths[cell_ids[present]]

@@ -1,0 +1,35 @@
+"""Selectable compiled kernels for the batch-sampling hot paths.
+
+See :mod:`repro.kernels.backends` for backend selection
+(``"numpy" | "numba" | "auto"``, precedence ``arg > $REPRO_KERNEL_BACKEND >
+auto``) and :mod:`repro.kernels.profiling` for the ``REPRO_PROFILE`` /
+``--profile`` per-phase timing hook.
+"""
+
+from repro.kernels.backends import (
+    BACKEND_ENV_VAR,
+    KNOWN_BACKENDS,
+    KernelSet,
+    get_kernels,
+    kernel_info,
+    numba_available,
+    numba_version,
+    resolve_backend,
+    runtime_meta,
+)
+from repro.kernels.profiling import PROFILE_ENV_VAR, PROFILER, PhaseProfiler
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "KNOWN_BACKENDS",
+    "KernelSet",
+    "get_kernels",
+    "kernel_info",
+    "numba_available",
+    "numba_version",
+    "resolve_backend",
+    "runtime_meta",
+    "PROFILE_ENV_VAR",
+    "PROFILER",
+    "PhaseProfiler",
+]

@@ -1,0 +1,319 @@
+"""The NumPy kernel twin: the reference implementation of every hot-path kernel.
+
+Each function here is the *exact* expression the corresponding sampler hot
+path ran before the kernel package existed, factored out so the compiled
+backend has a pinned reference to be differentially tested against.  Do not
+"optimise" these bodies - any change in floating-point evaluation order or
+rounding is a silent break of the bit-identity contract with both the scalar
+(``vectorized=False``) paths and the numba backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batching import group_blocks, pick_int, ragged_offsets, select_kth_true
+from repro.grid.neighbors import NEIGHBOR_OFFSETS, NeighborKind
+
+__all__ = ["build_kernel_set"]
+
+# The edge-position kernel hardcodes the first five bound-matrix columns;
+# guard the NEIGHBOR_OFFSETS layout it assumes.
+assert tuple(NEIGHBOR_OFFSETS[:5]) == (
+    NeighborKind.CENTER,
+    NeighborKind.LEFT,
+    NeighborKind.RIGHT,
+    NeighborKind.DOWN,
+    NeighborKind.UP,
+)
+
+#: Bound-matrix columns resolved by :func:`edge_positions` (cases 1 and 2);
+#: the remaining four (corner) columns go through the index's corner pick.
+_CENTER, _LEFT, _RIGHT, _DOWN, _UP = range(5)
+
+
+def column_select(rows: np.ndarray, u_col: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cell-column choice from the cumulative bound rows (alias ``A_r``).
+
+    ``searchsorted(row, u * total, side="right")`` per attempt, vectorised as
+    a count of cumulative entries ``<= target`` over the 9 columns.  Returns
+    ``(col, totals)``.
+    """
+    totals = rows[:, -1]
+    target = u_col * totals
+    col = np.minimum(np.sum(rows <= target[:, None], axis=1), 8)
+    return col, totals
+
+
+def edge_positions(
+    col: np.ndarray,
+    viable: np.ndarray,
+    cell_ids: np.ndarray,
+    counts: np.ndarray,
+    cell_starts: np.ndarray,
+    cell_lengths: np.ndarray,
+    u_point: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Case 1/2 point picks: positions into the grid-flat sorted views.
+
+    Returns ``(pos_x_view, pos_y_view)`` with ``-1`` for attempts not
+    resolved here (non-viable attempts and the four corner columns, which
+    the caller resolves through the index's corner pick).
+    """
+    size = col.size
+    pos_x_view = np.full(size, -1, dtype=np.int64)
+    pos_y_view = np.full(size, -1, dtype=np.int64)
+    for column in range(5):
+        sel = np.flatnonzero(viable & (col == column))
+        if sel.size == 0:
+            continue
+        sel_counts = counts[sel]
+        starts = cell_starts[cell_ids[sel]]
+        lengths = cell_lengths[cell_ids[sel]]
+        if column == _CENTER:
+            pos_x_view[sel] = starts + pick_int(u_point[sel], lengths)
+        elif column == _LEFT:
+            pos_x_view[sel] = starts + (lengths - sel_counts) + pick_int(
+                u_point[sel], sel_counts
+            )
+        elif column == _RIGHT:
+            pos_x_view[sel] = starts + pick_int(u_point[sel], sel_counts)
+        elif column == _DOWN:
+            pos_y_view[sel] = starts + (lengths - sel_counts) + pick_int(
+                u_point[sel], sel_counts
+            )
+        else:  # _UP
+            pos_y_view[sel] = starts + pick_int(u_point[sel], sel_counts)
+    return pos_x_view, pos_y_view
+
+
+def gather_accept(
+    pos_x_view: np.ndarray,
+    pos_y_view: np.ndarray,
+    ids_by_x: np.ndarray,
+    xs_by_x: np.ndarray,
+    ys_by_x: np.ndarray,
+    ids_by_y: np.ndarray,
+    xs_by_y: np.ndarray,
+    ys_by_y: np.ndarray,
+    wxmin: np.ndarray,
+    wymin: np.ndarray,
+    wxmax: np.ndarray,
+    wymax: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather candidates from the flat views and apply the window test.
+
+    The y-view gather runs after the x-view gather (an attempt never sets
+    both, but the overwrite order is part of the pinned semantics).  Windows
+    are closed on every side.  Returns ``(accept, cand_sid)`` with ``-1``
+    for rejected attempts.
+    """
+    size = pos_x_view.size
+    cand_sid = np.full(size, -1, dtype=np.int64)
+    cand_x = np.zeros(size, dtype=np.float64)
+    cand_y = np.zeros(size, dtype=np.float64)
+    from_x = pos_x_view >= 0
+    if np.any(from_x):
+        gathered = pos_x_view[from_x]
+        cand_sid[from_x] = ids_by_x[gathered]
+        cand_x[from_x] = xs_by_x[gathered]
+        cand_y[from_x] = ys_by_x[gathered]
+    from_y = pos_y_view >= 0
+    if np.any(from_y):
+        gathered = pos_y_view[from_y]
+        cand_sid[from_y] = ids_by_y[gathered]
+        cand_x[from_y] = xs_by_y[gathered]
+        cand_y[from_y] = ys_by_y[gathered]
+    accept = (
+        (cand_sid >= 0)
+        & (cand_x >= wxmin)
+        & (cand_x <= wxmax)
+        & (cand_y >= wymin)
+        & (cand_y <= wymax)
+    )
+    cand_sid[~accept] = -1
+    return accept, cand_sid
+
+
+def sorted_block_counts(
+    cell_ids: np.ndarray,
+    values: np.ndarray,
+    cell_starts: np.ndarray,
+    cell_lengths: np.ndarray,
+    sorted_flat: np.ndarray,
+    at_least: bool,
+) -> np.ndarray:
+    """One-sided rank counts over per-cell sorted runs, grouped by cell.
+
+    Per query: the number of values in the cell's sorted run that are
+    ``>= values[i]`` (``at_least=True``, binary search side ``"left"``) or
+    ``<= values[i]`` (``at_least=False``, side ``"right"``).  One vectorised
+    ``searchsorted`` per distinct cell replaces one binary search per query.
+    """
+    counts = np.empty(cell_ids.size, dtype=np.int64)
+    if cell_ids.size == 0:
+        return counts
+    order = np.argsort(cell_ids, kind="stable")
+    sorted_ids = cell_ids[order]
+    sorted_values = values[order]
+    group_ends = np.flatnonzero(np.diff(sorted_ids) != 0) + 1
+    starts = np.concatenate(([0], group_ends))
+    ends = np.concatenate((group_ends, [sorted_ids.size]))
+    for lo, hi in zip(starts, ends):
+        cid = int(sorted_ids[lo])
+        run = sorted_flat[cell_starts[cid] : cell_starts[cid] + cell_lengths[cid]]
+        group_values = sorted_values[lo:hi]
+        if at_least:
+            cnt = cell_lengths[cid] - np.searchsorted(run, group_values, side="left")
+        else:
+            cnt = np.searchsorted(run, group_values, side="right")
+        counts[order[lo:hi]] = cnt
+    return counts
+
+
+def corner_qualifying(
+    cell_ids: np.ndarray,
+    wxmin: np.ndarray,
+    wymin: np.ndarray,
+    wxmax: np.ndarray,
+    wymax: np.ndarray,
+    bucket_starts: np.ndarray,
+    bucket_counts: np.ndarray,
+    bucket_min_x: np.ndarray,
+    bucket_max_x: np.ndarray,
+    bucket_min_y: np.ndarray,
+    bucket_max_y: np.ndarray,
+    use_max_x: bool,
+    use_max_y: bool,
+) -> np.ndarray:
+    """Qualifying-bucket counts per (query, corner cell) pair (Lemma 5).
+
+    Evaluates the bucket-envelope dominance predicate for every
+    (query, bucket) pair; the caller multiplies by the bucket capacity to get
+    ``mu(r, c)``.
+    """
+    lengths = bucket_counts[cell_ids]
+    out = np.zeros(cell_ids.size, dtype=np.int64)
+    for lo, hi in group_blocks(lengths):
+        block = slice(lo, hi)
+        rep, offset = ragged_offsets(lengths[block])
+        bucket = bucket_starts[cell_ids[block]][rep] + offset
+        if use_max_x:
+            ok = bucket_max_x[bucket] >= wxmin[block][rep]
+        else:
+            ok = bucket_min_x[bucket] <= wxmax[block][rep]
+        if use_max_y:
+            ok &= bucket_max_y[bucket] >= wymin[block][rep]
+        else:
+            ok &= bucket_min_y[bucket] <= wymax[block][rep]
+        out[block] = np.bincount(rep, weights=ok, minlength=hi - lo).astype(np.int64)
+    return out
+
+
+def corner_pick(
+    cell_ids: np.ndarray,
+    bounds_col: np.ndarray,
+    u_point: np.ndarray,
+    u_slot: np.ndarray,
+    wxmin: np.ndarray,
+    wymin: np.ndarray,
+    wxmax: np.ndarray,
+    wymax: np.ndarray,
+    cell_starts: np.ndarray,
+    bucket_starts: np.ndarray,
+    bucket_counts: np.ndarray,
+    bucket_min_x: np.ndarray,
+    bucket_max_x: np.ndarray,
+    bucket_min_y: np.ndarray,
+    bucket_max_y: np.ndarray,
+    bucket_point_start: np.ndarray,
+    bucket_sizes: np.ndarray,
+    use_max_x: bool,
+    use_max_y: bool,
+    capacity: int,
+) -> np.ndarray:
+    """One corner (case 3) sampling attempt per (query, cell) pair.
+
+    Draws the ``floor(u_point * #qualifying)``-th qualifying bucket in
+    bucket-index order and the ``floor(u_slot * capacity)``-th slot; an empty
+    slot of a partially filled bucket rejects (``-1``), exactly like the
+    scalar bucket draw.  Returns positions into the grid-flat x-sorted views.
+    """
+    qualifying = bounds_col // capacity
+    ranks = pick_int(u_point, qualifying)
+    lengths = bucket_counts[cell_ids]
+    out = np.full(cell_ids.size, -1, dtype=np.int64)
+    for lo, hi in group_blocks(lengths):
+        block = slice(lo, hi)
+        rep, offset = ragged_offsets(lengths[block])
+        bucket = bucket_starts[cell_ids[block]][rep] + offset
+        if use_max_x:
+            ok = bucket_max_x[bucket] >= wxmin[block][rep]
+        else:
+            ok = bucket_min_x[bucket] <= wxmax[block][rep]
+        if use_max_y:
+            ok &= bucket_max_y[bucket] >= wymin[block][rep]
+        else:
+            ok &= bucket_min_y[bucket] <= wymax[block][rep]
+        hit = select_kth_true(rep, lengths[block], ok, ranks[block])
+        found = np.flatnonzero(hit >= 0)
+        if found.size == 0:
+            continue
+        chosen = bucket[hit[found]]
+        slots = pick_int(
+            u_slot[block][found], np.full(found.size, capacity, dtype=np.int64)
+        )
+        filled = slots < bucket_sizes[chosen]
+        target = found[filled]
+        out[lo + target] = (
+            cell_starts[cell_ids[lo + target]]
+            + bucket_point_start[chosen[filled]]
+            + slots[filled]
+        )
+    return out
+
+
+def packed_lookup(
+    packed_keys: np.ndarray, packed_cell_ids: np.ndarray, queries: np.ndarray
+) -> np.ndarray:
+    """Sorted packed-key lookup: flat cell id per query key, ``-1`` on miss."""
+    out = np.full(queries.shape, -1, dtype=np.int64)
+    if packed_keys.size == 0:
+        return out
+    slots = np.searchsorted(packed_keys, queries)
+    slots = np.minimum(slots, packed_keys.size - 1)
+    found = packed_keys[slots] == queries
+    out[found] = packed_cell_ids[slots[found]]
+    return out
+
+
+def counts_gather(cell_lengths: np.ndarray, cell_ids: np.ndarray) -> np.ndarray:
+    """Per-cell point counts for flat cell ids (``0`` for ``-1`` entries)."""
+    counts = np.zeros(cell_ids.shape, dtype=np.int64)
+    present = cell_ids >= 0
+    counts[present] = cell_lengths[cell_ids[present]]
+    return counts
+
+
+def rejection_accept(
+    exact: np.ndarray, mu: np.ndarray, u_accept: np.ndarray
+) -> np.ndarray:
+    """The KDS-rejection coin: accept with probability ``|S(w(r))| / mu(r)``."""
+    return (exact > 0) & (u_accept < exact / mu)
+
+
+def build_kernel_set():
+    from repro.kernels.backends import KernelSet
+
+    return KernelSet(
+        name="numpy",
+        column_select=column_select,
+        edge_positions=edge_positions,
+        gather_accept=gather_accept,
+        sorted_block_counts=sorted_block_counts,
+        corner_qualifying=corner_qualifying,
+        corner_pick=corner_pick,
+        packed_lookup=packed_lookup,
+        counts_gather=counts_gather,
+        rejection_accept=rejection_accept,
+    )

@@ -1,0 +1,75 @@
+"""Lightweight per-phase profiling of the sampling engine.
+
+Enabled by ``REPRO_PROFILE=1`` (checked at import) or programmatically via
+:meth:`PhaseProfiler.enable` (the CLI's ``--profile`` flag).  The samplers
+guard every instrumentation site with a plain attribute check
+(``PROFILER.enabled``), so the disabled cost on the hot path is one
+attribute load per round.
+
+Phases accumulated by the samplers:
+
+* ``build`` - online data structure building (the GM column);
+* ``count`` - approximate range counting / upper-bounding (the UB column);
+* ``refill`` - per-round variate pre-drawing (alias draws + uniforms);
+* ``draw``  - per-round attempt resolution (the kernel work).
+
+``snapshot()`` is what the bench harness and ``ci_gate`` embed in their JSON
+``meta`` blocks when profiling is on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = ["PhaseProfiler", "PROFILER", "PROFILE_ENV_VAR"]
+
+#: Environment variable that switches profiling on at import time.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class PhaseProfiler:
+    """Thread-safe accumulator of per-phase wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+        #: Hot paths read this attribute directly; keep it a plain bool.
+        self.enabled = (
+            os.environ.get(PROFILE_ENV_VAR, "").strip().lower() in _TRUTHY
+        )
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall-clock time under ``phase``."""
+        with self._lock:
+            self._seconds[phase] = self._seconds.get(phase, 0.0) + float(seconds)
+            self._calls[phase] = self._calls.get(phase, 0) + 1
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Accumulated ``{phase: {seconds, calls}}`` view, sorted by phase."""
+        with self._lock:
+            return {
+                phase: {
+                    "seconds": round(self._seconds[phase], 6),
+                    "calls": self._calls[phase],
+                }
+                for phase in sorted(self._seconds)
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._seconds.clear()
+            self._calls.clear()
+
+
+#: Process-wide profiler instance the samplers and the bench harness share.
+PROFILER = PhaseProfiler()

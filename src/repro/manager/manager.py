@@ -110,6 +110,11 @@ class SessionHandle:
     def manager(self) -> "SessionManager":
         return self._manager
 
+    @property
+    def kernel_backend(self) -> str:
+        """The session's resolved kernel backend name (``"numpy"``/``"numba"``)."""
+        return self._manager._session_for(self._tenant_id).kernel_backend
+
     # -- proxied request surface ---------------------------------------
     def draw(self, t: int, **kwargs: Any) -> JoinSampleResult:
         """``t`` uniform join samples (see :meth:`SamplingSession.draw`)."""

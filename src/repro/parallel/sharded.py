@@ -269,7 +269,12 @@ class ShardedSampler(JoinSampler):
         pool: WorkerPool | None = None,
         owner: str | None = None,
     ) -> None:
-        super().__init__(spec, batch_size=batch_size, vectorized=vectorized)
+        super().__init__(
+            spec,
+            batch_size=batch_size,
+            vectorized=vectorized,
+            backend=(sampler_options or {}).get("backend"),
+        )
         self._algorithm = canonical_name(algorithm)
         self._jobs = validate_jobs(jobs)
         self._use_processes = bool(use_processes)

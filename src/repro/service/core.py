@@ -53,6 +53,7 @@ from repro.errors import (
     SessionClosedError,
 )
 from repro.geometry.point import PointSet
+from repro.kernels import kernel_info as _kernel_info
 from repro.manager.manager import SessionHandle, SessionManager
 
 __all__ = ["ServiceConfig", "ServiceCore", "Coalescer"]
@@ -557,6 +558,7 @@ class ServiceCore:
                     "per_tenant_in_flight": self.config.per_tenant_in_flight,
                 },
             },
+            "kernels": _kernel_info(),
             "manager": self.manager.stats(),
         }
 

@@ -21,6 +21,7 @@ class TestRegistry:
             "accuracy",
             "uniformity",
             "vecspeed",
+            "kernels",
             "session",
             "parallel",
             "dynamic",

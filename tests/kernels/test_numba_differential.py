@@ -1,0 +1,268 @@
+"""Differential tests: the compiled numba kernels vs their numpy twins.
+
+The whole module is skipped when numba is not installed (the CI matrix runs
+it on the numba legs).  Every assertion is *exact*: the compiled backend is
+only allowed to be faster, never different - same pairs, same iteration
+counts, same RNG stream position after the run - through the direct kernel
+calls, the full samplers, the sharded (``jobs=2``) engine and the session's
+coalesced ``draw_batch`` path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.session import SamplingSession
+from repro.core.bbst_sampler import BBSTSampler
+from repro.core.cell_kdtree_sampler import CellKDTreeSampler
+from repro.core.config import JoinSpec
+from repro.core.kds_rejection import KDSRejectionSampler
+from repro.core.kds_sampler import KDSSampler
+from repro.geometry.point import PointSet
+from repro.kernels import get_kernels, numba_available
+
+pytestmark = pytest.mark.skipif(
+    not numba_available(),
+    reason="compiled-kernel differential suite needs numba (pip install repro[numba])",
+)
+
+ALL_SAMPLERS = [BBSTSampler, KDSSampler, KDSRejectionSampler, CellKDTreeSampler]
+
+
+def _pairs(result):
+    return [pair.as_index_tuple() for pair in result.pairs]
+
+
+@pytest.fixture(scope="module")
+def numpy_kernels():
+    return get_kernels("numpy")
+
+
+@pytest.fixture(scope="module")
+def numba_kernels():
+    return get_kernels("numba")
+
+
+@pytest.fixture(scope="module")
+def clustered_spec() -> JoinSpec:
+    rng = np.random.default_rng(8080)
+    centers = rng.uniform(0.0, 2_000.0, size=(6, 2))
+    picks = rng.integers(0, 6, size=800)
+    xs = centers[picks, 0] + rng.normal(0.0, 60.0, 800)
+    ys = centers[picks, 1] + rng.normal(0.0, 60.0, 800)
+    return JoinSpec(
+        r_points=PointSet(xs=xs[:400], ys=ys[:400]),
+        s_points=PointSet(xs=xs[400:], ys=ys[400:]),
+        half_extent=120.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel-level bit identity
+# ----------------------------------------------------------------------
+class TestKernelTwins:
+    @given(
+        rows=st.lists(
+            st.lists(st.integers(min_value=0, max_value=1_000), min_size=9, max_size=9),
+            min_size=1,
+            max_size=24,
+        ),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_column_select(self, numpy_kernels, numba_kernels, rows, seed):
+        cumulative = np.cumsum(np.asarray(rows, dtype=np.float64), axis=1)
+        u_col = np.random.default_rng(seed).random(cumulative.shape[0])
+        ref_col, ref_totals = numpy_kernels.column_select(cumulative, u_col)
+        jit_col, jit_totals = numba_kernels.column_select(cumulative, u_col)
+        np.testing.assert_array_equal(ref_col, jit_col)
+        np.testing.assert_array_equal(ref_totals, jit_totals)
+
+    @given(
+        cells=st.lists(
+            st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=0,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        queries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=30,
+        ),
+        at_least=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sorted_block_counts(
+        self, numpy_kernels, numba_kernels, cells, queries, at_least
+    ):
+        runs = [np.sort(np.asarray(cell, dtype=np.float64)) for cell in cells]
+        lengths = np.array([run.size for run in runs], dtype=np.int64)
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        sorted_flat = (
+            np.concatenate(runs) if any(r.size for r in runs) else np.empty(0)
+        )
+        cell_ids = np.array(
+            [min(cid, len(runs) - 1) for cid, _ in queries], dtype=np.int64
+        )
+        values = np.array([value for _, value in queries], dtype=np.float64)
+        np.testing.assert_array_equal(
+            numpy_kernels.sorted_block_counts(
+                cell_ids, values, starts, lengths, sorted_flat, at_least
+            ),
+            numba_kernels.sorted_block_counts(
+                cell_ids, values, starts, lengths, sorted_flat, at_least
+            ),
+        )
+
+    @given(
+        keys=st.lists(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            min_size=0,
+            max_size=20,
+            unique=True,
+        ),
+        probes=st.lists(
+            st.integers(min_value=-(2**62), max_value=2**62), min_size=0, max_size=20
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_packed_lookup(self, numpy_kernels, numba_kernels, keys, probes):
+        packed_keys = np.sort(np.asarray(keys, dtype=np.int64))
+        packed_cell_ids = np.arange(packed_keys.size, dtype=np.int64)
+        queries = np.asarray(probes + keys[: len(keys) // 2], dtype=np.int64)
+        np.testing.assert_array_equal(
+            numpy_kernels.packed_lookup(packed_keys, packed_cell_ids, queries),
+            numba_kernels.packed_lookup(packed_keys, packed_cell_ids, queries),
+        )
+
+    @given(
+        lengths=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=16),
+        ids=st.lists(st.integers(min_value=-1, max_value=15), min_size=0, max_size=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_counts_gather(self, numpy_kernels, numba_kernels, lengths, ids):
+        cell_lengths = np.asarray(lengths, dtype=np.int64)
+        cell_ids = np.array(
+            [min(cid, len(lengths) - 1) for cid in ids], dtype=np.int64
+        )
+        np.testing.assert_array_equal(
+            numpy_kernels.counts_gather(cell_lengths, cell_ids),
+            numba_kernels.counts_gather(cell_lengths, cell_ids),
+        )
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),
+                st.integers(min_value=1, max_value=40),
+                st.floats(
+                    min_value=0.0, max_value=1.0, allow_nan=False, allow_subnormal=True
+                ),
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rejection_accept_including_denormals(
+        self, numpy_kernels, numba_kernels, rows
+    ):
+        exact = np.array([e for e, _, _ in rows], dtype=np.float64)
+        mu = np.array([m for _, m, _ in rows], dtype=np.float64)
+        u_accept = np.array([u for _, _, u in rows], dtype=np.float64)
+        np.testing.assert_array_equal(
+            numpy_kernels.rejection_accept(exact, mu, u_accept),
+            numba_kernels.rejection_accept(exact, mu, u_accept),
+        )
+
+
+# ----------------------------------------------------------------------
+# Full-pipeline bit identity
+# ----------------------------------------------------------------------
+@pytest.fixture(params=ALL_SAMPLERS, ids=lambda cls: cls.__name__)
+def sampler_class(request):
+    return request.param
+
+
+class TestFullPipelineTwins:
+    @pytest.mark.parametrize("seed", [0, 17, 4242])
+    def test_sampler_bit_identical_with_rng_position(
+        self, sampler_class, clustered_spec, seed
+    ):
+        rng_jit = np.random.default_rng(seed)
+        rng_ref = np.random.default_rng(seed)
+        jit = sampler_class(clustered_spec, backend="numba").sample(300, rng=rng_jit)
+        ref = sampler_class(clustered_spec, backend="numpy").sample(300, rng=rng_ref)
+        assert _pairs(jit) == _pairs(ref)
+        assert jit.iterations == ref.iterations
+        assert rng_jit.bit_generator.state == rng_ref.bit_generator.state
+
+    def test_wide_key_fallback_matches(self, sampler_class):
+        base = 1.0e13
+        rng = np.random.default_rng(31337)
+        xs = base + rng.uniform(0.0, 200.0, 60)
+        ys = base + rng.uniform(0.0, 200.0, 60)
+        spec = JoinSpec(
+            r_points=PointSet(xs=xs[:30], ys=ys[:30]),
+            s_points=PointSet(xs=xs[30:], ys=ys[30:]),
+            half_extent=10.0,
+        )
+        jit = sampler_class(spec, backend="numba").sample(50, seed=23)
+        ref = sampler_class(spec, backend="numpy").sample(50, seed=23)
+        assert _pairs(jit) == _pairs(ref)
+
+    def test_sharded_engine_bit_identical(self, clustered_spec):
+        from repro.parallel.sharded import ShardedSampler
+
+        jit = ShardedSampler(
+            clustered_spec,
+            algorithm="bbst",
+            jobs=2,
+            use_processes=False,
+            sampler_options={"backend": "numba"},
+        ).sample(200, seed=9)
+        ref = ShardedSampler(
+            clustered_spec,
+            algorithm="bbst",
+            jobs=2,
+            use_processes=False,
+            sampler_options={"backend": "numpy"},
+        ).sample(200, seed=9)
+        assert _pairs(jit) == _pairs(ref)
+
+    def test_session_draw_batch_bit_identical(self, clustered_spec):
+        requests = [(40, 1), (25, 2), (40, 1), (10, 3)]
+        jit_session = SamplingSession(
+            clustered_spec.r_points,
+            clustered_spec.s_points,
+            clustered_spec.half_extent,
+            algorithm="bbst",
+            backend="numba",
+            eager=False,
+        )
+        ref_session = SamplingSession(
+            clustered_spec.r_points,
+            clustered_spec.s_points,
+            clustered_spec.half_extent,
+            algorithm="bbst",
+            backend="numpy",
+            eager=False,
+        )
+        try:
+            jit_results = jit_session.draw_batch(requests)
+            ref_results = [ref_session.draw(t, seed=seed) for t, seed in requests]
+            for jit, ref in zip(jit_results, ref_results):
+                assert _pairs(jit) == _pairs(ref)
+        finally:
+            jit_session.close()
+            ref_session.close()
