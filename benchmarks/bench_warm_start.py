@@ -1,0 +1,69 @@
+"""Warm start - attaching a saved artifact vs rebuilding from raw points.
+
+The acceptance workload of the prepared-state artifact layer
+(:mod:`repro.artifacts`): at n = m = 1,000,000 uniform points, attaching a
+``SamplingSession.save()`` directory (manifest + memory-mapped blobs) must
+be at least 10x faster than running the cold build/count pipeline, while
+the warm session's draws stay **bit-identical** to the cold session's.
+The committed CI floors live in ``benchmarks/baseline_ci.json`` under
+``warm_start`` and are enforced by ``python -m repro.bench.ci_gate
+--warmstart``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.warm_start import run_warm_start
+from repro.bench.workloads import ExperimentScale
+
+#: Total point budget of the acceptance configuration (n = m = half).
+BENCH_POINTS = 2_000_000
+
+BENCH_SAMPLES = 10_000
+
+#: Required attach speedup over the cold prepare at BENCH_POINTS.
+MIN_SPEEDUP = 10.0
+
+ALGORITHMS = ("bbst",)
+
+
+def test_warm_start_speedup(benchmark):
+    def run():
+        return run_warm_start(
+            scale=ExperimentScale.SMOKE,
+            sizes=(BENCH_POINTS,),
+            num_samples=BENCH_SAMPLES,
+            algorithms=ALGORITHMS,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(rows) == len(ALGORITHMS)
+    for row in rows:
+        benchmark.extra_info[f"{row['dataset']}/{row['algorithm']}"] = {
+            "cold_prepare_seconds": round(row["cold_prepare_seconds"], 4),
+            "warm_attach_seconds": round(row["warm_attach_seconds"], 4),
+            "speedup": round(row["speedup"], 2),
+            "artifact_bytes": row["artifact_bytes"],
+            "match": row["match"],
+        }
+        assert row["match"], (
+            f"{row['algorithm']}: warm draws diverged from the cold session"
+        )
+        assert row["speedup"] >= MIN_SPEEDUP, (
+            f"{row['algorithm']}: attach only {row['speedup']:.2f}x faster "
+            f"than the cold prepare; expected >= {MIN_SPEEDUP}x"
+        )
+
+
+def test_warm_start_smoke_is_bit_identical():
+    """The attach path must be exact at any scale, not just the floor's."""
+    rows = run_warm_start(
+        scale=ExperimentScale.SMOKE,
+        sizes=(10_000,),
+        num_samples=1_000,
+        algorithms=("bbst", "kds-rejection"),
+    )
+    assert len(rows) == 2
+    for row in rows:
+        assert row["match"], f"{row['algorithm']}: warm draws diverged"
+        assert row["warm_loads"] >= 1
+        assert row["artifact_bytes"] > 0

@@ -35,6 +35,12 @@ from repro.api import (
     plan_algorithm,
     recommend_jobs,
 )
+from repro.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactSpec,
+    attach_sampler_artifact,
+    save_sampler_artifact,
+)
 from repro.core import (
     BBSTSampler,
     CellKDTreeSampler,
@@ -65,6 +71,10 @@ from repro.datasets import (
 )
 from repro.dynamic import DynamicPointStore, DynamicSampler, UpdateReport
 from repro.errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactMismatchError,
+    ArtifactVersionError,
     BudgetExceededError,
     InvalidSpecError,
     MaintenanceError,
@@ -86,7 +96,7 @@ from repro.parallel import (
 )
 from repro.service import ServiceConfig, ServiceCore, ServiceServer, run_server
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -102,7 +112,16 @@ __all__ = [
     "SessionClosedError",
     "MaintenanceError",
     "ServiceOverloadedError",
+    "ArtifactError",
+    "ArtifactCorruptError",
+    "ArtifactVersionError",
+    "ArtifactMismatchError",
     "ReproDeprecationWarning",
+    # prepared-state artifacts
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactSpec",
+    "save_sampler_artifact",
+    "attach_sampler_artifact",
     # async serving front-end
     "ServiceConfig",
     "ServiceCore",

@@ -152,6 +152,40 @@ class AliasTable:
         self._size = k
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_tables(
+        cls,
+        prob: np.ndarray,
+        alias: np.ndarray,
+        total: float,
+    ) -> "AliasTable":
+        """Reassemble an alias structure from its two persisted tables.
+
+        The warm-start path of :mod:`repro.artifacts`: the tables of a
+        previously built structure are adopted verbatim (no re-construction),
+        so ``draw``/``draw_many`` consume the generator identically and
+        return bit-identical indices to the original instance.  The arrays
+        may be read-only (memmapped blobs) - draws never write them.
+        """
+        prob = np.asarray(prob, dtype=np.float64)
+        alias = np.asarray(alias, dtype=np.int64)
+        if prob.ndim != 1 or prob.shape != alias.shape or prob.size == 0:
+            raise ValueError("prob and alias must be equal-length 1-D arrays")
+        total = float(total)
+        if not total > 0.0:
+            raise ValueError("total weight must be positive")
+        table = cls.__new__(cls)
+        table._prob = prob
+        table._alias = alias
+        table._total = total
+        table._size = int(prob.size)
+        return table
+
+    @property
+    def tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """The two internal tables ``(prob, alias)`` - what artifacts persist."""
+        return self._prob, self._alias
+
     @property
     def total_weight(self) -> float:
         """Sum of the input weights (the paper's ``sum_r mu(r)``)."""

@@ -40,6 +40,7 @@ consume no randomness.  The differential tests in ``tests/api`` pin this.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -50,6 +51,7 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from repro.api.planner import PlanReport, plan_algorithm
+from repro.artifacts import attach_sampler_artifact, save_sampler_artifact
 from repro.core.base import JoinSampler, JoinSampleResult, SamplePair, resolve_rng
 from repro.core.config import JoinSpec
 from repro.core.registry import canonical_name, get_sampler
@@ -57,6 +59,9 @@ from repro.core.validation import validate_half_extent, validate_jobs
 from repro.dynamic.sampler import DynamicSampler
 from repro.dynamic.store import DynamicPointStore
 from repro.errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactMismatchError,
     InvalidSpecError,
     MaintenanceError,
     ReproDeprecationWarning,
@@ -68,6 +73,13 @@ from repro.parallel.pool import WorkerPool
 from repro.parallel.sharded import ShardedSampler
 
 __all__ = ["SamplingSession", "SessionStats"]
+
+#: On-disk name of the session-level manifest (maps cache keys to the
+#: per-entry artifact directories and pins the input fingerprints).
+SESSION_MANIFEST = "session.json"
+
+#: Version of the session manifest layout.
+SESSION_FORMAT_VERSION = 1
 
 #: The planner sentinel accepted wherever an algorithm name is.
 AUTO = "auto"
@@ -90,6 +102,8 @@ class SessionStats:
     updates: int = 0
     update_seconds: float = 0.0
     evictions: int = 0
+    #: Cold keys served by attaching an on-disk artifact instead of building.
+    warm_loads: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -103,6 +117,7 @@ class SessionStats:
             "updates": self.updates,
             "update_seconds": self.update_seconds,
             "evictions": self.evictions,
+            "warm_loads": self.warm_loads,
         }
 
 
@@ -170,6 +185,14 @@ class SamplingSession:
         Clamp on *planner-recommended* worker counts (``jobs=0``); explicit
         ``jobs`` requests are honoured and arbitrated at lease time instead.
         The manager sets this to the tenant's fair share of the pool.
+    artifact_dir:
+        Optional directory of persisted prepared-state artifacts (see
+        :meth:`save` / :meth:`load`).  When it holds a session manifest for
+        the *same* input points, cold cache keys warm-start by attaching the
+        memmapped on-disk arrays instead of rebuilding; a manifest recorded
+        for different points raises
+        :class:`~repro.errors.ArtifactMismatchError` at open time (a stale
+        artifact must never silently serve wrong draws).
     """
 
     def __init__(
@@ -186,6 +209,7 @@ class SamplingSession:
         pool: WorkerPool | None = None,
         owner: str | None = None,
         max_jobs: int | None = None,
+        artifact_dir: str | os.PathLike[str] | None = None,
     ) -> None:
         if owner is None and os.environ.get("REPRO_WARN_DIRECT_SESSION"):
             # The documented migration pathway: direct construction keeps
@@ -240,6 +264,13 @@ class SamplingSession:
         self._lock = threading.RLock()
         self._build_locks: dict[tuple[str, float, int], threading.Lock] = {}
         self.stats = SessionStats()
+        # Warm-start bookkeeping: the artifact directory and the cache-key ->
+        # entry-subdirectory mapping its manifest records (empty when the
+        # directory holds no manifest yet).
+        self._artifact_dir = None if artifact_dir is None else os.fspath(artifact_dir)
+        self._artifact_entries: dict[tuple[str, float, int], str] = {}
+        if self._artifact_dir is not None:
+            self._load_session_manifest(self._artifact_dir)
         if eager:
             self.prepare()
 
@@ -446,6 +477,18 @@ class SamplingSession:
                     entry.last_used = time.monotonic()
                     return entry
             self._check_inputs_fresh(full=True)
+            warm = self._try_load_entry(key, spec)
+            if warm is not None:
+                with self._lock:
+                    if self._closed:
+                        closer = getattr(warm.sampler, "close", None)
+                        if callable(closer):
+                            closer()
+                        raise SessionClosedError("the sampling session is closed")
+                    self._entries[key] = warm
+                    self.stats.warm_loads += 1
+                    self.stats.prepare_seconds += warm.prepare_seconds
+                return warm
             if effective_jobs > 1:
                 sampler: JoinSampler = ShardedSampler(
                     spec,
@@ -559,6 +602,290 @@ class SamplingSession:
     ) -> JoinSampler:
         """Eagerly prepare a key without drawing (alias of :meth:`resolve`)."""
         return self.resolve(algorithm, half_extent, jobs)
+
+    # ------------------------------------------------------------------
+    # Persistence: save prepared state, warm-start from disk
+    # ------------------------------------------------------------------
+    @property
+    def artifact_dir(self) -> str | None:
+        """The directory cold keys warm-start from (``None`` when unset)."""
+        return self._artifact_dir
+
+    def has_artifact_for(self, key: tuple[str, float, int]) -> bool:
+        """Whether the warm-start directory records an artifact for ``key``.
+
+        The mapping reflects the last :meth:`save` (or the manifest read at
+        open time) and is cleared by :meth:`update`, whose new points make
+        every on-disk artifact stale.
+        """
+        with self._lock:
+            return key in self._artifact_entries
+
+    def _load_session_manifest(self, path: str) -> None:
+        """Read the session manifest of ``path`` into the warm-start mapping.
+
+        A missing manifest is fine (a fresh directory :meth:`save` will
+        populate); a manifest recorded for *different* input points raises
+        :class:`~repro.errors.ArtifactMismatchError`, and a malformed one
+        :class:`~repro.errors.ArtifactCorruptError`.
+        """
+        manifest_path = os.path.join(path, SESSION_MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ArtifactCorruptError(
+                f"unreadable session manifest: {manifest_path} ({exc})"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise ArtifactCorruptError(
+                f"session manifest is not an object: {manifest_path}"
+            )
+        version = manifest.get("format_version")
+        if version != SESSION_FORMAT_VERSION:
+            raise ArtifactCorruptError(
+                f"session manifest declares format version {version!r}, "
+                f"supported: {SESSION_FORMAT_VERSION} ({manifest_path})"
+            )
+        saved = manifest.get("fingerprints")
+        if not isinstance(saved, dict):
+            raise ArtifactCorruptError(
+                f"session manifest is missing its fingerprints: {manifest_path}"
+            )
+        r_full, s_full = self._fingerprints["full"]
+        if saved.get("r_full") != r_full or saved.get("s_full") != s_full:
+            raise ArtifactMismatchError(
+                f"the artifacts in {path} were built for different input "
+                "points (content fingerprints do not match); refusing to "
+                "warm-start.  Rebuild with save(), or pass the original "
+                "point sets."
+            )
+        entries = manifest.get("entries")
+        if not isinstance(entries, list):
+            raise ArtifactCorruptError(
+                f"session manifest is missing its entries list: {manifest_path}"
+            )
+        mapping: dict[tuple[str, float, int], str] = {}
+        for row in entries:
+            if (
+                not isinstance(row, dict)
+                or not isinstance(row.get("algorithm"), str)
+                or not isinstance(row.get("dir"), str)
+            ):
+                raise ArtifactCorruptError(
+                    f"malformed session manifest entry {row!r}: {manifest_path}"
+                )
+            key = (
+                row["algorithm"],
+                float(row.get("half_extent", 0.0)),
+                int(row.get("jobs", 1)),
+            )
+            mapping[key] = row["dir"]
+        self._artifact_entries = mapping
+
+    def _try_load_entry(
+        self, key: tuple[str, float, int], spec: JoinSpec
+    ) -> _CacheEntry | None:
+        """Attach one cold key's artifact from the warm-start directory.
+
+        Returns ``None`` when no artifact is recorded for the key.  A
+        recorded artifact that fails to attach raises its typed
+        :class:`~repro.errors.ArtifactError` - a stale or corrupt artifact
+        must never silently degrade into a rebuild with different state.
+        """
+        if self._artifact_dir is None:
+            return None
+        relative = self._artifact_entries.get(key)
+        if relative is None:
+            return None
+        directory = os.path.join(self._artifact_dir, relative)
+        name, _half_extent, jobs = key
+        start = time.perf_counter()
+        if jobs > 1:
+            sharded = ShardedSampler(
+                spec,
+                algorithm=name,
+                jobs=jobs,
+                sampler_options=self._sampler_options,
+                pool=self._pool,
+                owner=self._owner,
+            )
+            try:
+                sharded.attach_artifact(directory)
+            except BaseException:
+                sharded.close()
+                raise
+            sampler: JoinSampler = sharded
+            entry_lock = None
+        elif get_sampler(name).supports_updates:
+            sampler = DynamicSampler(spec, algorithm=name, **self._sampler_options)
+            attach_sampler_artifact(sampler, directory)
+            entry_lock = threading.Lock()
+        else:
+            sampler = get_sampler(name).create(spec, **self._sampler_options)
+            attach_sampler_artifact(sampler, directory)
+            entry_lock = threading.Lock()
+        return _CacheEntry(
+            sampler=sampler,
+            spec=spec,
+            lock=entry_lock,
+            nbytes=sampler.index_nbytes(),
+            prepare_seconds=time.perf_counter() - start,
+            last_used=time.monotonic(),
+            pins=1,
+        )
+
+    def save(self, path: str | os.PathLike[str] | None = None) -> str:
+        """Persist every prepared cache entry plus the session manifest.
+
+        Each entry's arrays go to ``entries/<i>/`` in the versioned artifact
+        format (raw little-endian blobs + manifest, loadable with
+        ``np.memmap``); the session manifest records the cache keys, the
+        input content fingerprints and the resolved defaults.  A session (or
+        :class:`~repro.manager.SessionManager` tenant) opened over the same
+        points with ``artifact_dir`` pointed here warm-starts instead of
+        rebuilding.  Returns the directory written.
+        """
+        target = self._artifact_dir if path is None else os.fspath(path)
+        if target is None:
+            raise ArtifactError(
+                "no path given and the session has no artifact_dir to default to"
+            )
+        with self._lock:
+            self._check_open()
+            self._check_inputs_fresh(full=True)
+            snapshot = sorted(self._entries.items())
+            for _key, entry in snapshot:
+                entry.pins += 1
+        try:
+            os.makedirs(target, exist_ok=True)
+            rows: list[dict[str, Any]] = []
+            for position, (key, entry) in enumerate(snapshot):
+                relative = os.path.join("entries", str(position))
+                directory = os.path.join(target, relative)
+                sampler = entry.sampler
+                if isinstance(sampler, ShardedSampler):
+                    sampler.save_artifact(directory)
+                elif entry.lock is not None:
+                    with entry.lock:
+                        save_sampler_artifact(sampler, directory)
+                else:  # pragma: no cover - serial entries always carry a lock
+                    save_sampler_artifact(sampler, directory)
+                rows.append(
+                    {
+                        "algorithm": key[0],
+                        "half_extent": key[1],
+                        "jobs": key[2],
+                        "dir": relative,
+                    }
+                )
+            r_full, s_full = self._fingerprints["full"]
+            r_spot, s_spot = self._fingerprints["spot"]
+            manifest = {
+                "format_version": SESSION_FORMAT_VERSION,
+                "kind": "session",
+                "n": self.n,
+                "m": self.m,
+                "fingerprints": {
+                    "r_full": r_full,
+                    "s_full": s_full,
+                    "r_spot": r_spot,
+                    "s_spot": s_spot,
+                },
+                "default_half_extent": self._default_half_extent,
+                "default_algorithm": self._default_algorithm,
+                "default_jobs": self._default_jobs,
+                "kernel_backend": self._kernel_backend,
+                "entries": rows,
+            }
+            staging = os.path.join(target, SESSION_MANIFEST + ".tmp")
+            with open(staging, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(staging, os.path.join(target, SESSION_MANIFEST))
+        finally:
+            with self._lock:
+                for _key, entry in snapshot:
+                    entry.pins = max(0, entry.pins - 1)
+        if target == self._artifact_dir:
+            self._artifact_entries = {
+                (row["algorithm"], row["half_extent"], row["jobs"]): row["dir"]
+                for row in rows
+            }
+        return target
+
+    @classmethod
+    def load(
+        cls,
+        path: str | os.PathLike[str],
+        r_points: PointSet,
+        s_points: PointSet,
+        *,
+        half_extent: float | None = None,
+        algorithm: str | None = None,
+        jobs: int | None = None,
+        eager: bool = True,
+        **kwargs: Any,
+    ) -> "SamplingSession":
+        """Open a warm session over a :meth:`save` directory.
+
+        ``r_points`` / ``s_points`` must be the points the artifacts were
+        built from: their exhaustive content fingerprints are compared
+        against the manifest and a mismatch raises
+        :class:`~repro.errors.ArtifactMismatchError` before any entry is
+        touched.  Defaults (window size, algorithm, jobs) come from the
+        manifest unless overridden; the kernel backend is *re-resolved* on
+        this machine, never pinned to the saving machine's.  With ``eager``
+        (default) every recorded entry is attached immediately, so the first
+        draw pays no build or attach latency.
+        """
+        path = os.fspath(path)
+        manifest_path = os.path.join(path, SESSION_MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError as exc:
+            raise ArtifactError(
+                f"no session manifest at {manifest_path}; was the session "
+                "saved with SamplingSession.save()?"
+            ) from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ArtifactCorruptError(
+                f"unreadable session manifest: {manifest_path} ({exc})"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise ArtifactCorruptError(
+                f"session manifest is not an object: {manifest_path}"
+            )
+        if half_extent is None:
+            half_extent = manifest.get("default_half_extent")
+            if not isinstance(half_extent, (int, float)):
+                raise ArtifactCorruptError(
+                    f"session manifest records no usable default_half_extent: "
+                    f"{manifest_path}"
+                )
+        if algorithm is None:
+            saved_algorithm = manifest.get("default_algorithm")
+            algorithm = saved_algorithm if isinstance(saved_algorithm, str) else AUTO
+        if jobs is None:
+            saved_jobs = manifest.get("default_jobs")
+            jobs = saved_jobs if isinstance(saved_jobs, int) else None
+        session = cls(
+            r_points,
+            s_points,
+            float(half_extent),
+            algorithm=algorithm,
+            jobs=jobs,
+            eager=False,
+            artifact_dir=path,
+            **kwargs,
+        )
+        if eager:
+            for name, l, key_jobs in sorted(session._artifact_entries):
+                session.resolve(name, l, key_jobs)
+        return session
 
     # ------------------------------------------------------------------
     def _record_result(self, result: JoinSampleResult) -> None:
@@ -871,6 +1198,10 @@ class SamplingSession:
             self._specs.clear()
             self._plans.clear()
             self._refresh_fingerprints()
+            # On-disk artifacts were built for the *previous* points; serving
+            # them to the updated session would be silently wrong.  Forget
+            # the mapping until the next save() re-records it.
+            self._artifact_entries.clear()
             self.stats.updates += 1
             self.stats.update_seconds += time.perf_counter() - start
             if failures:
@@ -899,6 +1230,7 @@ class SamplingSession:
                 "default_algorithm": self._default_algorithm,
                 "default_jobs": self._default_jobs,
                 "kernel_backend": self._kernel_backend,
+                "artifact_dir": self._artifact_dir,
                 "cached_keys": [list(key) for key in sorted(self._entries)],
                 "index_nbytes": {
                     f"{name}@{l:g}x{jobs}": entry.sampler.index_nbytes()

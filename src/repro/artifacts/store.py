@@ -1,0 +1,239 @@
+"""The versioned on-disk artifact store: manifest JSON + raw array blobs.
+
+An artifact is a directory:
+
+.. code-block:: text
+
+   artifact/
+     manifest.json      # format version, free-form meta, array declarations
+     blobs/
+       <name>.bin       # one raw little-endian buffer per declared array
+
+The manifest declares, for every array, its ``dtype`` (little-endian numpy
+dtype string), ``shape`` and blob file.  :func:`load_artifact` validates the
+blob's file size against ``prod(shape) * itemsize`` **before** mapping it, so
+a truncated blob raises a typed :class:`~repro.errors.ArtifactCorruptError`
+instead of segfaulting a short ``np.memmap``.  Arrays are attached with
+``np.memmap(mode="r")`` - zero-copy, shared page cache across processes -
+which is what makes warm starts O(milliseconds) and lets N shard workers
+attach the same blobs without N unpickled copies.
+
+Writes go through a temporary directory renamed into place, so a crashed
+build never leaves a half-written artifact that a later load would trust.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from math import prod
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ArtifactCorruptError, ArtifactVersionError
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "write_artifact",
+    "read_manifest",
+    "load_artifact",
+    "artifact_nbytes",
+]
+
+#: On-disk format version; bumped on any incompatible layout change.
+ARTIFACT_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+_BLOB_DIR = "blobs"
+
+#: Dtypes an artifact may declare.  A closed set: the loader never builds a
+#: dtype from arbitrary manifest text (object dtypes would execute pickle).
+_ALLOWED_DTYPES = frozenset(
+    {"<f8", "<f4", "<i8", "<i4", "<u8", "<u4", "<i2", "<u2", "<i1", "<u1", "|b1"}
+)
+
+
+def _canonical_dtype(dtype: np.dtype) -> str:
+    """The manifest string of an array dtype (explicit little-endian)."""
+    kind = np.dtype(dtype).newbyteorder("<")
+    text = kind.str if kind.itemsize > 1 else np.dtype(dtype).str
+    if text not in _ALLOWED_DTYPES:
+        raise ArtifactCorruptError(
+            f"dtype {np.dtype(dtype).str!r} is not persistable in an artifact"
+        )
+    return text
+
+
+def write_artifact(
+    path: str | Path,
+    meta: Mapping[str, Any],
+    arrays: Mapping[str, np.ndarray],
+) -> Path:
+    """Write an artifact directory atomically and return its path.
+
+    ``meta`` is free-form JSON-serialisable metadata stored under the
+    manifest's ``"meta"`` key (kind, schema version, fingerprints, ...);
+    ``arrays`` maps array names to numpy arrays, written as raw
+    little-endian C-order buffers.
+    """
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    staging = Path(
+        tempfile.mkdtemp(prefix=destination.name + ".tmp", dir=destination.parent)
+    )
+    try:
+        blob_dir = staging / _BLOB_DIR
+        blob_dir.mkdir()
+        declared: dict[str, Any] = {}
+        for name, array in arrays.items():
+            if not name or "/" in name or name.startswith("."):
+                raise ArtifactCorruptError(f"illegal array name {name!r}")
+            array = np.asarray(array)
+            dtype_text = _canonical_dtype(array.dtype)
+            little = np.ascontiguousarray(
+                array.astype(np.dtype(dtype_text), copy=False)
+            )
+            blob_name = f"{name}.bin"
+            with (blob_dir / blob_name).open("wb") as handle:
+                handle.write(little.tobytes())
+            declared[name] = {
+                "dtype": dtype_text,
+                "shape": list(array.shape),
+                "blob": f"{_BLOB_DIR}/{blob_name}",
+                "nbytes": int(little.nbytes),
+            }
+        manifest = {
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "meta": dict(meta),
+            "arrays": declared,
+        }
+        with (staging / MANIFEST_NAME).open("w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if destination.exists():
+            shutil.rmtree(destination)
+        os.replace(staging, destination)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return destination
+
+
+def read_manifest(path: str | Path) -> dict[str, Any]:
+    """Read and structurally validate an artifact's manifest.
+
+    Raises :class:`~repro.errors.ArtifactCorruptError` for a missing or
+    malformed manifest and :class:`~repro.errors.ArtifactVersionError` for a
+    format version this library does not understand.  The offending path is
+    always in the message.
+    """
+    manifest_path = Path(path) / MANIFEST_NAME
+    try:
+        with manifest_path.open("r") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise ArtifactCorruptError(
+            f"{manifest_path} does not exist; not an artifact directory"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactCorruptError(
+            f"{manifest_path} is not readable manifest JSON: {exc}"
+        ) from None
+    if not isinstance(manifest, dict):
+        raise ArtifactCorruptError(f"{manifest_path} must hold a JSON object")
+    version = manifest.get("format_version")
+    if version != ARTIFACT_FORMAT_VERSION:
+        raise ArtifactVersionError(
+            f"{manifest_path} declares format_version={version!r}; this "
+            f"library reads version {ARTIFACT_FORMAT_VERSION}"
+        )
+    arrays = manifest.get("arrays")
+    meta = manifest.get("meta")
+    if not isinstance(arrays, dict) or not isinstance(meta, dict):
+        raise ArtifactCorruptError(
+            f"{manifest_path} is missing its 'arrays'/'meta' objects"
+        )
+    return manifest
+
+
+def _validated_blob(
+    root: Path, name: str, declared: Mapping[str, Any]
+) -> tuple[Path, np.dtype, tuple[int, ...]]:
+    """Validate one array declaration + its blob file; never maps memory."""
+    manifest_path = root / MANIFEST_NAME
+    dtype_text = declared.get("dtype")
+    shape = declared.get("shape")
+    blob = declared.get("blob")
+    if dtype_text not in _ALLOWED_DTYPES:
+        raise ArtifactCorruptError(
+            f"{manifest_path}: array {name!r} declares illegal dtype {dtype_text!r}"
+        )
+    if (
+        not isinstance(shape, list)
+        or not all(isinstance(dim, int) and dim >= 0 for dim in shape)
+    ):
+        raise ArtifactCorruptError(
+            f"{manifest_path}: array {name!r} declares illegal shape {shape!r}"
+        )
+    if not isinstance(blob, str) or ".." in blob or blob.startswith("/"):
+        raise ArtifactCorruptError(
+            f"{manifest_path}: array {name!r} declares illegal blob path {blob!r}"
+        )
+    blob_path = root / blob
+    dtype = np.dtype(dtype_text)
+    expected = prod(shape) * dtype.itemsize
+    try:
+        actual = blob_path.stat().st_size
+    except FileNotFoundError:
+        raise ArtifactCorruptError(
+            f"{blob_path} is missing (declared by array {name!r})"
+        ) from None
+    # The size check BEFORE memmap is what turns a truncated blob into a
+    # typed error instead of a segfault on first page fault.
+    if actual != expected:
+        raise ArtifactCorruptError(
+            f"{blob_path} holds {actual} bytes but array {name!r} declares "
+            f"shape {tuple(shape)} of {dtype_text} ({expected} bytes); the "
+            "blob is truncated or the manifest was edited"
+        )
+    return blob_path, dtype, tuple(shape)
+
+
+def load_artifact(
+    path: str | Path,
+    *,
+    mmap: bool = True,
+) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Load an artifact: ``(meta, arrays)`` with the blobs memmapped read-only.
+
+    Every returned array is non-writeable; zero-element arrays are returned
+    as empty in-memory arrays (a zero-byte file cannot be mapped).  With
+    ``mmap=False`` the blobs are read into memory instead (used by workers
+    on filesystems where mapping is undesirable).
+    """
+    root = Path(path)
+    manifest = read_manifest(root)
+    arrays: dict[str, np.ndarray] = {}
+    for name, declared in manifest["arrays"].items():
+        blob_path, dtype, shape = _validated_blob(root, name, declared)
+        if prod(shape) == 0:
+            array = np.empty(shape, dtype=dtype)
+            array.setflags(write=False)
+        elif mmap:
+            array = np.memmap(blob_path, dtype=dtype, mode="r", shape=shape)
+        else:
+            array = np.fromfile(blob_path, dtype=dtype).reshape(shape)
+            array.setflags(write=False)
+        arrays[name] = array
+    return dict(manifest["meta"]), arrays
+
+
+def artifact_nbytes(path: str | Path) -> int:
+    """Summed size of an artifact's blobs (its attachable footprint)."""
+    manifest = read_manifest(Path(path))
+    return sum(int(row.get("nbytes", 0)) for row in manifest["arrays"].values())

@@ -90,6 +90,19 @@ class BucketArrays:
     point_start: np.ndarray
     sizes: np.ndarray
 
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the envelope arrays."""
+        return int(
+            self.starts.nbytes
+            + self.counts.nbytes
+            + self.min_x.nbytes
+            + self.max_x.nbytes
+            + self.min_y.nbytes
+            + self.max_y.nbytes
+            + self.point_start.nbytes
+            + self.sizes.nbytes
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class CellContribution:
@@ -145,6 +158,11 @@ class BBSTJoinIndex:
     #: updates).  The kd-tree ablation overrides this with False.
     capacity_dependent = True
 
+    #: Whether the batch corner primitives read the flat bucket envelope
+    #: arrays (persisted by artifacts).  The kd-tree ablation overrides this
+    #: with False - its corner primitives scan the grid-flat views directly.
+    uses_bucket_arrays = True
+
     __slots__ = (
         "_points",
         "_half_extent",
@@ -175,9 +193,47 @@ class BBSTJoinIndex:
         if self._capacity < 1:
             raise ValueError("bucket_capacity must be at least 1")
         self._grid = Grid(s_points, cell_size=self._half_extent)
-        self._cell_indexes: dict[tuple[int, int], CellIndex] = {}
+        self._cell_indexes: dict[tuple[int, int], CellIndex] | None = {}
         self._bucket_arrays: BucketArrays | None = None
         self._build_cell_structures()
+
+    @classmethod
+    def from_prepared(
+        cls,
+        s_points: PointSet,
+        half_extent: float,
+        grid: Grid,
+        bucket_capacity: int,
+        capacity_override: bool,
+        backend: str | None = None,
+        bucket_arrays: BucketArrays | None = None,
+    ) -> "BBSTJoinIndex":
+        """Reassemble an index around a restored grid (artifact warm start).
+
+        The per-cell corner structures - the dominant build cost - are *not*
+        rebuilt here: the batch sampling path needs only the grid-flat views
+        plus the persisted bucket envelope arrays.  ``_cell_indexes`` is left
+        as a lazy sentinel and :meth:`_ensure_cell_structures` rebuilds the
+        per-cell trees deterministically on the first code path that really
+        needs them (scalar draws, dynamic maintenance).
+        """
+        index = cls.__new__(cls)
+        index._points = s_points
+        index._half_extent = validate_half_extent(half_extent)
+        index._kernel_backend = resolve_backend(backend)
+        index._capacity_override = bool(capacity_override)
+        index._capacity = int(bucket_capacity)
+        if index._capacity < 1:
+            raise ValueError("bucket_capacity must be at least 1")
+        index._grid = grid
+        index._cell_indexes = None
+        index._bucket_arrays = bucket_arrays
+        return index
+
+    def _ensure_cell_structures(self) -> None:
+        """Rebuild the per-cell corner structures when warm start skipped them."""
+        if self._cell_indexes is None:
+            self._build_cell_structures()
 
     def _build_cell_structures(self) -> None:
         """Build the per-cell corner structures (two BBSTs per cell).
@@ -219,6 +275,7 @@ class BBSTJoinIndex:
         """
         if points is not None:
             self._points = points
+        self._ensure_cell_structures()
         rebuilt_all = False
         if self.capacity_dependent and not self._capacity_override:
             fresh_capacity = bucket_capacity_for(num_points)
@@ -254,6 +311,11 @@ class BBSTJoinIndex:
         return self._capacity
 
     @property
+    def capacity_override(self) -> bool:
+        """Whether an explicit override pins the capacity (vs ``ceil(log2 m)``)."""
+        return self._capacity_override
+
+    @property
     def kernel_backend(self) -> str:
         """Resolved kernel backend name serving the batched primitives."""
         return self._kernel_backend
@@ -265,6 +327,7 @@ class BBSTJoinIndex:
 
     def cell_index(self, key: tuple[int, int]) -> CellIndex | None:
         """Per-cell index stored under ``key`` (``None`` for empty cells)."""
+        self._ensure_cell_structures()
         return self._cell_indexes.get(key)
 
     def window_for(self, x: float, y: float) -> Rect:
@@ -272,7 +335,17 @@ class BBSTJoinIndex:
         return window_around(x, y, self._half_extent)
 
     def nbytes(self) -> int:
-        """Approximate memory footprint: grid arrays plus every cell's BBSTs."""
+        """Approximate memory footprint: grid arrays plus every cell's BBSTs.
+
+        A warm-started index whose per-cell trees were never rebuilt reports
+        the grid plus the persisted bucket envelopes instead - deliberately
+        *not* forcing the lazy rebuild just to measure it.
+        """
+        if self._cell_indexes is None:
+            total = self._grid.nbytes()
+            if self._bucket_arrays is not None:
+                total += self._bucket_arrays.nbytes()
+            return total
         return self._grid.nbytes() + sum(
             index.nbytes() for index in self._cell_indexes.values()
         )
@@ -362,6 +435,7 @@ class BBSTJoinIndex:
     def bucket_arrays(self) -> BucketArrays:
         """Flat bucket envelope arrays (built lazily, then cached)."""
         if self._bucket_arrays is None:
+            self._ensure_cell_structures()
             flat = self._grid.flat()
             buckets_per_cell = [
                 self._cell_indexes[cell.key].buckets for cell in flat.cells
@@ -558,6 +632,7 @@ class BBSTJoinIndex:
         bucket-index-order rank selection, so both paths return the same
         point for the same variates.
         """
+        self._ensure_cell_structures()
         qualifying = bound // self._capacity
         rank = pick_int_scalar(u_point, qualifying)
         seen = 0
@@ -583,6 +658,7 @@ class BBSTJoinIndex:
         self, cell: GridCell, kind: NeighborKind, window: Rect
     ) -> tuple[int, bool]:
         """``(mu(r, c), exact?)`` for a corner cell via its BBSTs."""
+        self._ensure_cell_structures()
         cell_index = self._cell_indexes[cell.key]
         return cell_index.corner_upper_bound(kind, window), False
 
@@ -594,5 +670,6 @@ class BBSTJoinIndex:
         rng: np.random.Generator,
     ) -> tuple[int, float, float] | None:
         """One corner-cell sampling attempt via the cell's BBSTs."""
+        self._ensure_cell_structures()
         cell_index = self._cell_indexes[cell.key]
         return cell_index.corner_sample(kind, window, rng)

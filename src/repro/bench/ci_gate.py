@@ -37,13 +37,18 @@ Run as ``python -m repro.bench.ci_gate``.  The gate
    bit-identical draws, and a peak-RSS ceiling; when numba is not installed
    the section is an explicit SKIP (with the reason recorded), never a
    silent pass,
-8. writes the measurements to ``BENCH_ci.json`` (including per-section
+8. with ``--warmstart``, runs the ``warmstart`` experiment - attaching a
+   saved prepared-state artifact (:mod:`repro.artifacts`) versus running
+   the build/count pipeline from raw points at n = m = 1,000,000 - and
+   requires both the committed attach-speedup floor (>= 10x) *and*
+   bit-identical draws from the warm session,
+9. writes the measurements to ``BENCH_ci.json`` (including per-section
    PASS/SKIP/FAIL statuses and skip reasons under ``sections``), and
-9. compares against the committed ``benchmarks/baseline_ci.json``: any
+10. compares against the committed ``benchmarks/baseline_ci.json``: any
    ``(dataset, algorithm)`` sampling-phase row slower than ``factor``
    (default 2) times its baseline fails, and any session-reuse, parallel,
-   dynamic, manager, service or kernels measurement below its baseline
-   *minimum* (or above its memory *ceiling*) fails.
+   dynamic, manager, service, kernels or warm-start measurement below its
+   baseline *minimum* (or above its memory *ceiling*) fails.
 
 Every section's outcome is printed as an explicit ``section <name>:
 PASS|SKIP|FAIL`` line - a skipped section is never conflated with a passing
@@ -76,6 +81,7 @@ __all__ = [
     "collect_manager_measurements",
     "collect_service_measurements",
     "collect_kernel_measurements",
+    "collect_warmstart_measurements",
     "compare_to_baseline",
     "summarize_sections",
     "as_baseline",
@@ -137,7 +143,14 @@ GATE_SERVICE_MIN_CPUS = 2
 GATE_KERNEL_SIZE = 1_000_000
 GATE_KERNEL_SAMPLES = 100_000
 
-#: The seven gate sections, in report order.
+#: Warm-start-gate workload: attach a saved prepared-state artifact vs the
+#: cold build/count pipeline at n = m = 1,000,000 uniform points (the total
+#: point budget below is split evenly into R and S; the >= 10x floor and
+#: the bit-identity boolean are committed in the baseline).
+GATE_WARMSTART_POINTS = 2_000_000
+GATE_WARMSTART_SAMPLES = 10_000
+
+#: The eight gate sections, in report order.
 GATE_SECTIONS = (
     "sampling",
     "session_reuse",
@@ -146,6 +159,7 @@ GATE_SECTIONS = (
     "manager",
     "service",
     "kernels",
+    "warmstart",
 )
 
 #: Maps a section name to (its key in the measurement payload, the prefix
@@ -159,6 +173,7 @@ _SECTION_KEYS = {
     "manager": "manager",
     "service": "service",
     "kernels": "kernels",
+    "warmstart": "warm_start",
 }
 _SECTION_PREFIXES = {
     "session_reuse": "session_reuse ",
@@ -167,6 +182,7 @@ _SECTION_PREFIXES = {
     "manager": "manager ",
     "service": "service ",
     "kernels": "kernels ",
+    "warmstart": "warm_start ",
 }
 
 DEFAULT_BASELINE = Path("benchmarks") / "baseline_ci.json"
@@ -402,6 +418,37 @@ def collect_kernel_measurements(repeats: int = 2) -> dict:
     }
 
 
+def collect_warmstart_measurements(repeats: int = 1) -> dict:
+    """Best-of-``repeats`` artifact-attach speedups over a cold prepare.
+
+    Runs the ``warmstart`` experiment at the committed gate configuration
+    (n = m = ``GATE_WARMSTART_POINTS // 2`` uniform points, serial bbst).
+    Every row must report bit-identical draws from the warm session
+    (``match``); a mismatching row is recorded as speedup 0.0 so the floor
+    comparison fails loudly rather than rewarding an artifact that changes
+    the draw stream.  ``bit_identity`` keeps the *worst* row across repeats.
+    """
+    _title, warmstart = EXPERIMENTS["warmstart"]
+    best: dict[str, float] = {}
+    identity = 1.0
+    for _ in range(max(1, repeats)):
+        rows = warmstart(
+            scale=ExperimentScale.SMOKE,
+            sizes=(GATE_WARMSTART_POINTS,),
+            num_samples=GATE_WARMSTART_SAMPLES,
+        )
+        for row in rows:
+            key = _row_key(row)
+            speedup = float(row["speedup"]) if row["match"] else 0.0
+            identity = min(identity, 1.0 if row["match"] else 0.0)
+            if key not in best or speedup > best[key]:
+                best[key] = speedup
+    return {
+        "speedup": {key: round(value, 3) for key, value in sorted(best.items())},
+        "bit_identity": identity,
+    }
+
+
 def as_baseline(current: dict) -> dict:
     """Turn raw measurements into a committed-baseline payload with slack.
 
@@ -445,6 +492,17 @@ def as_baseline(current: dict) -> dict:
         }
         kernels["peak_rss_bytes"] = int(kernels.get("peak_rss_bytes", 0)) * 2
         payload["kernels"] = kernels
+    # warm_start speedup floors are quartered (attach time is tiny, so the
+    # measured ratio jitters hard with disk cache state) but never drop
+    # below the committed 10x acceptance floor; bit_identity is an exact
+    # 0/1 correctness boolean copied verbatim.
+    if "warm_start" in current:
+        warm = dict(current["warm_start"])
+        warm["speedup"] = {
+            key: round(max(10.0, value / 4.0), 3)
+            for key, value in warm.get("speedup", {}).items()
+        }
+        payload["warm_start"] = warm
     payload.pop("sections", None)
     return payload
 
@@ -635,6 +693,42 @@ def compare_to_baseline(
                     f"kernels peak_rss_bytes: peak RSS {measured_rss:,} bytes "
                     f"exceeds the committed ceiling {rss_ceiling:,} bytes"
                 )
+
+    # The warm-start section is opt-in (--warmstart): the attach-speedup
+    # floors are minimums and bit_identity is an exact correctness boolean
+    # (an artifact that changes the draw stream must fail, never pass
+    # faster).
+    current_warm = current.get("warm_start")
+    baseline_warm = baseline.get("warm_start", {})
+    if current_warm is not None:
+        current_speedup = current_warm.get("speedup", {})
+        baseline_speedup = baseline_warm.get("speedup", {})
+        for key, required in sorted(baseline_speedup.items()):
+            measured = current_speedup.get(key)
+            if measured is None:
+                problems.append(
+                    f"warm_start {key}: missing from the current measurements"
+                )
+                continue
+            if measured < required:
+                problems.append(
+                    f"warm_start {key}: attaching the saved artifact was only "
+                    f"{measured:.2f}x faster than the cold build/count "
+                    f"pipeline, below the required {required:.2f}x "
+                    f"(n=m={GATE_WARMSTART_POINTS // 2:,}) - or the warm "
+                    "draws stopped being bit-identical"
+                )
+        for key in sorted(set(current_speedup) - set(baseline_speedup)):
+            problems.append(f"warm_start {key}: missing from the committed baseline")
+        required_identity = baseline_warm.get("bit_identity")
+        if required_identity is not None:
+            measured_identity = current_warm.get("bit_identity", 0.0)
+            if measured_identity < required_identity:
+                problems.append(
+                    f"warm_start bit_identity: measured {measured_identity:g}, "
+                    f"below the required {required_identity:g} - the warm "
+                    "session's draws diverged from the cold session's"
+                )
     return problems
 
 
@@ -731,6 +825,12 @@ def main(argv: list[str] | None = None) -> int:
         f"numpy twin at n=m={GATE_KERNEL_SIZE:,}, same seeds "
         "(explicit SKIP when numba is not installed)",
     )
+    parser.add_argument(
+        "--warmstart", action="store_true",
+        help="also measure the warm-start floors: attaching a saved "
+        "prepared-state artifact vs the cold build/count pipeline at "
+        f"n=m={GATE_WARMSTART_POINTS // 2:,} (bit-identical draws required)",
+    )
     args = parser.parse_args(argv)
 
     skip_reasons: dict[str, str] = {}
@@ -792,6 +892,10 @@ def main(argv: list[str] | None = None) -> int:
         else:
             current["kernels"] = collect_kernel_measurements()
             current["meta"]["numba"] = numba_version()
+    if args.warmstart:
+        current["warm_start"] = collect_warmstart_measurements()
+    else:
+        skip_reasons["warmstart"] = "not requested (pass --warmstart)"
     args.output.write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {args.output}")
     for key, seconds in current["sampling_seconds"].items():
@@ -812,6 +916,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  kernels {key}: {speedup:.2f}x")
         print(f"  kernels bit_identity: {kernels.get('bit_identity', 0.0):g}")
         print(f"  kernels peak_rss_bytes: {kernels.get('peak_rss_bytes', 0):,}")
+    warm = current.get("warm_start")
+    if warm is not None:
+        for key, speedup in warm.get("speedup", {}).items():
+            print(f"  warm_start {key}: {speedup:.2f}x")
+        print(f"  warm_start bit_identity: {warm.get('bit_identity', 0.0):g}")
 
     def write_output(sections: dict[str, dict]) -> None:
         current["sections"] = sections

@@ -32,6 +32,7 @@ from repro.bench.harness import (
 )
 from repro.bench.reporting import format_markdown_table, format_table
 from repro.bench.service_load import run_service_load
+from repro.bench.warm_start import run_warm_start
 from repro.bench.workloads import ExperimentScale
 
 __all__ = ["EXPERIMENTS", "run_all_experiments", "run_experiment"]
@@ -75,6 +76,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]]]] = {
     "service": (
         "Extra - async service load: latency, throughput, coalescing",
         run_service_load,
+    ),
+    "warmstart": (
+        "Extra - warm start: artifact attach vs rebuilding from raw points",
+        run_warm_start,
     ),
     "uniformity": ("Extra - uniformity of produced samples", run_uniformity_experiment),
 }

@@ -7,7 +7,13 @@
 * ``all`` - run every experiment and optionally write a markdown report.
 * ``sample`` - serve sampling requests from a dataset proxy through a
   :class:`~repro.api.session.SamplingSession` (repeat requests reuse the
-  cached structures) and print the pairs (or write them to CSV).
+  cached structures) and print the pairs (or write them to CSV); with
+  ``--artifact`` the session warm-starts from a ``build`` directory.
+* ``build`` - run the prepare phase once and persist the result as a
+  versioned artifact directory (:mod:`repro.artifacts`): manifest JSON
+  plus raw array blobs, alongside exact binary snapshots of the input
+  points.  ``sample``/``serve`` attach the blobs via ``np.memmap``
+  instead of rebuilding, with bit-identical draws.
 * ``plan`` - show which algorithm ``--algorithm auto`` would pick for a
   workload, and why (``--update-heavy`` restricts it to maintainable ones).
 * ``update`` - stream rounds of point insertions/deletions through
@@ -33,6 +39,8 @@ Examples
    $ repro-spatial-join-sampling experiment table3 --scale smoke
    $ repro-spatial-join-sampling sample --dataset nyc --algorithm auto -t 1000
    $ repro-spatial-join-sampling sample --dataset nyc --repeat 5 -t 10000
+   $ repro-spatial-join-sampling build --dataset castreet --artifact ./warm
+   $ repro-spatial-join-sampling sample --dataset castreet --artifact ./warm
    $ repro-spatial-join-sampling plan --dataset castreet --half-extent 100
    $ repro-spatial-join-sampling manage --datasets castreet foursquare nyc \
        --budget-mb 2 --rounds 3 -t 1000
@@ -142,6 +150,51 @@ def build_parser() -> argparse.ArgumentParser:
         "and print them after the requests",
     )
     sample.add_argument("--output", type=Path, default=None, help="write pairs as CSV")
+    sample.add_argument(
+        "--artifact",
+        type=Path,
+        default=None,
+        help="warm-start from a `build` artifact root: the points and the "
+        "prepared structures are attached from <root>/<dataset> (blobs are "
+        "memory-mapped, draws are bit-identical to a fresh build)",
+    )
+
+    build = subparsers.add_parser(
+        "build",
+        help="run the prepare phase once and persist it as a warm-start "
+        "artifact directory (sample/serve attach it with --artifact)",
+    )
+    build.add_argument("--dataset", choices=DATASET_NAMES, default="castreet")
+    build.add_argument("--size", type=int, default=None, help="proxy size (points)")
+    build.add_argument("--algorithm", choices=_algorithm_choices(), default="bbst")
+    build.add_argument("--half-extent", type=float, default=DEFAULT_HALF_EXTENT)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker/shard count for the parallel engine (the artifact "
+        "records the shard layout; >= 2 builds across processes, 0 lets "
+        "the planner pick, default: serial)",
+    )
+    build.add_argument(
+        "--kernel-backend",
+        choices=["numpy", "numba", "auto"],
+        default=None,
+        help="kernel backend for the build (not pinned in the artifact: "
+        "attaching re-resolves the backend on the loading host)",
+    )
+    build.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase timings (build/count/...) and print them",
+    )
+    build.add_argument(
+        "--artifact",
+        type=Path,
+        required=True,
+        help="artifact root; this build writes <root>/<dataset>",
+    )
 
     plan = subparsers.add_parser(
         "plan", help="explain which algorithm `auto` picks for a workload"
@@ -298,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve for this many seconds, then drain and exit (smoke tests; "
         "default: run until SIGTERM/SIGINT)",
     )
+    serve.add_argument(
+        "--artifact",
+        type=Path,
+        default=None,
+        help="artifact root for warm starts: each tenant attaches prepared "
+        "state from <root>/<tenant> when present (and saved point snapshots "
+        "are preferred over regenerating the proxy); evicted or expired "
+        "entries are saved back before being dropped",
+    )
 
     return parser
 
@@ -361,6 +423,42 @@ def _open_session(args: argparse.Namespace) -> SamplingSession:
     )
 
 
+def _load_artifact_points(session_dir: Path, dataset: str):
+    """The exact input snapshot a ``build`` run saved next to its artifact."""
+    from repro.datasets.loaders import load_points_npy
+
+    r_points = load_points_npy(session_dir / "points_r.npy", name=f"{dataset}-R")
+    s_points = load_points_npy(session_dir / "points_s.npy", name=f"{dataset}-S")
+    return r_points, s_points
+
+
+def _open_warm_session(args: argparse.Namespace) -> SamplingSession:
+    """Attach a session to a ``build`` artifact instead of rebuilding."""
+    session_dir = Path(args.artifact) / args.dataset
+    r_points, s_points = _load_artifact_points(session_dir, args.dataset)
+    return SamplingSession.load(
+        session_dir,
+        r_points,
+        s_points,
+        half_extent=args.half_extent,
+        algorithm=args.algorithm,
+        jobs=_session_jobs(args),
+        eager=False,
+        backend=getattr(args, "kernel_backend", None),
+    )
+
+
+def _print_profile(profiler) -> None:
+    snapshot = profiler.snapshot()
+    profiler.disable()
+    if snapshot:
+        print("profile (seconds per phase):")
+        for phase, row in sorted(snapshot.items()):
+            print(f"  {phase:8s} {row['seconds']:.6f}s over {row['calls']} calls")
+    else:
+        print("profile: no instrumented phases ran")
+
+
 def _command_sample(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         print("error: --repeat must be at least 1", file=sys.stderr)
@@ -368,16 +466,23 @@ def _command_sample(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs < 0:
         print("error: --jobs must be >= 0", file=sys.stderr)
         return 2
-    from repro.errors import KernelBackendError
+    from repro.errors import ArtifactError, KernelBackendError
     from repro.kernels import PROFILER
 
     if args.profile:
         PROFILER.enable()
         PROFILER.reset()
     try:
-        session = _open_session(args)
+        if args.artifact is not None:
+            session = _open_warm_session(args)
+            print(f"artifact: attached {session.artifact_dir}")
+        else:
+            session = _open_session(args)
     except KernelBackendError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ArtifactError, OSError, ValueError) as exc:
+        print(f"error: --artifact: {exc}", file=sys.stderr)
         return 2
     if args.kernel_backend is not None or args.profile:
         print(f"kernel backend: {session.kernel_backend}")
@@ -431,17 +536,13 @@ def _command_sample(args: argparse.Namespace) -> int:
             f"prepare {stats.prepare_seconds:.3f}s (paid once), "
             f"sampling {stats.sample_seconds:.3f}s"
         )
+    if args.artifact is not None:
+        print(
+            f"warm start: {session.stats.warm_loads} prepared "
+            f"entries attached from disk (no rebuild)"
+        )
     if args.profile:
-        snapshot = PROFILER.snapshot()
-        PROFILER.disable()
-        if snapshot:
-            print("profile (seconds per phase):")
-            for phase, row in sorted(snapshot.items()):
-                print(
-                    f"  {phase:8s} {row['seconds']:.6f}s over {row['calls']} calls"
-                )
-        else:
-            print("profile: no instrumented phases ran")
+        _print_profile(PROFILER)
     if result is None:
         return 0
     if args.output is not None:
@@ -454,6 +555,63 @@ def _command_sample(args: argparse.Namespace) -> int:
             print(f"  ({r_id}, {s_id})")
         if len(result) > len(preview):
             print(f"  ... {len(result) - len(preview)} more pairs")
+    return 0
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.datasets.loaders import save_points_npy
+    from repro.errors import ArtifactError, KernelBackendError
+    from repro.kernels import PROFILER
+
+    if args.jobs is not None and args.jobs < 0:
+        print("error: --jobs must be >= 0", file=sys.stderr)
+        return 2
+    if args.profile:
+        PROFILER.enable()
+        PROFILER.reset()
+    try:
+        session = _open_session(args)
+    except KernelBackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.algorithm == "auto":
+            report = session.plan()
+            print(f"auto planner picked {report.algorithm} (rule: {report.rule})")
+        if args.jobs is not None and args.jobs > 1:
+            print(f"shard-parallel engine enabled (jobs={args.jobs})")
+        start = time.perf_counter()
+        sampler = session.prepare()
+        prepare_seconds = time.perf_counter() - start
+        session_dir = Path(args.artifact) / args.dataset
+        start = time.perf_counter()
+        try:
+            target = session.save(session_dir)
+        except (ArtifactError, OSError) as exc:
+            print(f"error: could not write artifact: {exc}", file=sys.stderr)
+            return 2
+        save_points_npy(session.r_points, session_dir / "points_r.npy")
+        save_points_npy(session.s_points, session_dir / "points_s.npy")
+        save_seconds = time.perf_counter() - start
+        print(
+            f"built {sampler.name} over {args.dataset} "
+            f"(n={session.n:,}, m={session.m:,}) in {prepare_seconds:.3f}s"
+        )
+        print(
+            f"artifact: {target} "
+            f"({sampler.index_nbytes() / 1024 / 1024:.2f} MiB prepared state, "
+            f"written in {save_seconds:.3f}s)"
+        )
+        print(
+            "attach it with: sample/serve --dataset "
+            f"{args.dataset} --artifact {args.artifact}"
+        )
+    finally:
+        session.close()
+    if args.profile:
+        _print_profile(PROFILER)
     return 0
 
 
@@ -634,21 +792,51 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     manager = SessionManager(
-        memory_budget=budget, max_workers=args.workers, name="serve"
+        memory_budget=budget,
+        max_workers=args.workers,
+        name="serve",
+        artifact_dir=args.artifact,
     )
     core = ServiceCore(manager, config, own_manager=True)
     try:
+        from repro.errors import ArtifactError
+
+        if args.artifact is not None:
+            print(f"warm-start artifacts: {args.artifact}")
         for index, dataset in enumerate(args.datasets):
-            rng = np.random.default_rng(args.seed + index)
-            points = load_proxy(dataset, size=args.size)
-            r_points, s_points = split_r_s(points, rng)
-            core.bind(
-                dataset, r_points, s_points, args.half_extent,
-                algorithm=args.algorithm,
-            )
+            source = "proxy"
+            r_points = s_points = None
+            if args.artifact is not None:
+                session_dir = Path(args.artifact) / dataset
+                if (session_dir / "points_r.npy").exists():
+                    try:
+                        r_points, s_points = _load_artifact_points(
+                            session_dir, dataset
+                        )
+                        source = "artifact snapshot"
+                    except (OSError, ValueError) as exc:
+                        print(f"error: --artifact: {exc}", file=sys.stderr)
+                        return 2
+            if r_points is None:
+                rng = np.random.default_rng(args.seed + index)
+                points = load_proxy(dataset, size=args.size)
+                r_points, s_points = split_r_s(points, rng)
+            try:
+                core.bind(
+                    dataset, r_points, s_points, args.half_extent,
+                    algorithm=args.algorithm,
+                )
+            except ArtifactError as exc:
+                print(
+                    f"error: stale/corrupt artifact for tenant {dataset!r}: "
+                    f"{exc}",
+                    file=sys.stderr,
+                )
+                return 2
             print(
                 f"bound tenant {dataset!r} (n={len(r_points):,}, "
-                f"m={len(s_points):,}, algorithm={args.algorithm})"
+                f"m={len(s_points):,}, algorithm={args.algorithm}, "
+                f"points from {source})"
             )
 
         def on_ready(server: object) -> None:
@@ -696,6 +884,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_all(args)
     if args.command == "sample":
         return _command_sample(args)
+    if args.command == "build":
+        return _command_build(args)
     if args.command == "plan":
         return _command_plan(args)
     if args.command == "update":

@@ -14,10 +14,17 @@ Algorithm 1 skeleton of :class:`repro.core.grid_sampler_base.GridJoinSamplerBase
 
 from __future__ import annotations
 
-from repro.bbst.join_index import BBSTJoinIndex
+from typing import Any, ClassVar, Mapping
+
+import numpy as np
+
+from repro.artifacts.spec import required_array, select_prefix
+from repro.bbst.join_index import BBSTJoinIndex, BucketArrays
 from repro.core.config import JoinSpec
 from repro.core.grid_sampler_base import GridJoinSamplerBase
 from repro.core.registry import register_sampler
+from repro.errors import ArtifactCorruptError
+from repro.grid.grid import Grid
 
 __all__ = ["BBSTSampler"]
 
@@ -65,10 +72,59 @@ class BBSTSampler(GridJoinSamplerBase):
         """Bucket-capacity override (``None`` means the paper's ``log m``)."""
         return self._bucket_capacity
 
+    #: Artifact payload identity of this sampler's prepared state.
+    artifact_kind: ClassVar[str] = "grid-bbst"
+
     def _build_index(self) -> BBSTJoinIndex:
         return BBSTJoinIndex(
             self.sorted_s,
             half_extent=self.spec.half_extent,
             bucket_capacity=self._bucket_capacity,
             backend=self.kernel_backend,
+        )
+
+    def _restore_index(
+        self,
+        grid: Grid,
+        meta: Mapping[str, Any],
+        arrays: Mapping[str, np.ndarray],
+    ) -> BBSTJoinIndex:
+        capacity = int(meta.get("bucket_capacity", 0))
+        if capacity < 1:
+            raise ArtifactCorruptError(
+                f"artifact declares illegal bucket capacity {capacity}"
+            )
+        if self._bucket_capacity is not None and capacity != int(self._bucket_capacity):
+            raise ArtifactCorruptError(
+                f"artifact was built with bucket capacity {capacity} but this "
+                f"sampler pins {int(self._bucket_capacity)}"
+            )
+        buckets = select_prefix(arrays, "buckets")
+        fields: dict[str, np.ndarray] = {}
+        for name, dtype in (
+            ("starts", "<i8"),
+            ("counts", "<i8"),
+            ("min_x", "<f8"),
+            ("max_x", "<f8"),
+            ("min_y", "<f8"),
+            ("max_y", "<f8"),
+            ("point_start", "<i8"),
+            ("sizes", "<i8"),
+        ):
+            fields[name] = required_array(
+                buckets, name, dtype=dtype, ndim=1, context="artifact buckets"
+            )
+        if fields["counts"].shape[0] != grid.num_cells:
+            raise ArtifactCorruptError(
+                f"artifact bucket table covers {fields['counts'].shape[0]} "
+                f"cells but the grid has {grid.num_cells}"
+            )
+        return BBSTJoinIndex.from_prepared(
+            self.sorted_s,
+            self.spec.half_extent,
+            grid,
+            bucket_capacity=capacity,
+            capacity_override=bool(meta.get("capacity_override", False)),
+            backend=self.kernel_backend,
+            bucket_arrays=BucketArrays(**fields),
         )

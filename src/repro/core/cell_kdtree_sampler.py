@@ -42,6 +42,10 @@ class CellKDTreeJoinIndex(BBSTJoinIndex):
     #: forces a full rebuild under dynamic updates.
     capacity_dependent = False
 
+    #: The batch corner primitives scan the grid-flat views directly, so
+    #: artifacts persist no bucket envelopes for this index.
+    uses_bucket_arrays = False
+
     def _build_cell_structures(self) -> None:
         self._cell_indexes = {}
         self._cell_trees: dict[tuple[int, int], KDTree] = {}
@@ -59,15 +63,20 @@ class CellKDTreeJoinIndex(BBSTJoinIndex):
 
     def cell_tree(self, key: tuple[int, int]) -> KDTree | None:
         """The per-cell kd-tree stored under ``key`` (``None`` for empty cells)."""
+        self._ensure_cell_structures()
         return self._cell_trees.get(key)
 
     def nbytes(self) -> int:
+        if self._cell_indexes is None:
+            # Warm-started: the lazy per-cell trees were never rebuilt.
+            return self._grid.nbytes()
         return self._grid.nbytes() + sum(tree.nbytes() for tree in self._cell_trees.values())
 
     # ------------------------------------------------------------------
     def _corner_upper_bound(
         self, cell: GridCell, kind: NeighborKind, window: Rect
     ) -> tuple[int, bool]:
+        self._ensure_cell_structures()
         tree = self._cell_trees[cell.key]
         return tree.count(window), True
 
@@ -78,6 +87,7 @@ class CellKDTreeJoinIndex(BBSTJoinIndex):
         window: Rect,
         rng: np.random.Generator,
     ) -> tuple[int, float, float] | None:
+        self._ensure_cell_structures()
         tree = self._cell_trees[cell.key]
         position = tree.sample(window, rng)
         if position is None:
@@ -212,9 +222,24 @@ class CellKDTreeSampler(GridJoinSamplerBase):
     def name(self) -> str:
         return "Grid+kd-tree"
 
+    #: Artifact payload identity of this sampler's prepared state.
+    artifact_kind = "grid-cell-kdtree"
+
     def _build_index(self) -> CellKDTreeJoinIndex:
         return CellKDTreeJoinIndex(
             self.sorted_s,
             half_extent=self.spec.half_extent,
+            backend=self.kernel_backend,
+        )
+
+    def _restore_index(self, grid, meta, arrays) -> CellKDTreeJoinIndex:
+        # No bucket envelopes to restore: the exact corner primitives scan the
+        # grid-flat views, and the per-cell kd-trees rebuild lazily.
+        return CellKDTreeJoinIndex.from_prepared(
+            self.sorted_s,
+            self.spec.half_extent,
+            grid,
+            bucket_capacity=max(1, int(meta.get("bucket_capacity", 1))),
+            capacity_override=bool(meta.get("capacity_override", False)),
             backend=self.kernel_backend,
         )

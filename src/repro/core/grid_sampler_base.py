@@ -44,12 +44,21 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Any, ClassVar, Mapping, Protocol
 
 import numpy as np
 
 from repro.alias.walker import AliasTable
+from repro.artifacts.spec import (
+    pack_alias,
+    prefixed,
+    register_prepared_state,
+    required_array,
+    select_prefix,
+    unpack_alias,
+)
 from repro.bbst.join_index import CellContribution
+from repro.errors import ArtifactCorruptError, ArtifactError
 from repro.core.base import (
     JoinSampler,
     JoinSampleResult,
@@ -68,6 +77,7 @@ from repro.grid.neighbors import NEIGHBOR_OFFSETS, NeighborKind
 __all__ = ["JoinCellIndex", "PreparedGridState", "GridJoinSamplerBase"]
 
 
+@register_prepared_state
 @dataclass
 class PreparedGridState:
     """Cached online structures of a grid-decomposition sampler.
@@ -77,13 +87,45 @@ class PreparedGridState:
     global alias ``A`` over ``mu(r)`` and the scalar ``sum_mu``.  Kept as a
     plain dataclass of arrays - no closures, no references back to the
     sampler - so a prepared sampler pickles cleanly across process
-    boundaries (the shard workers of :mod:`repro.parallel` rely on this).
+    boundaries (the shard workers of :mod:`repro.parallel` rely on this) and
+    flows through the :class:`~repro.artifacts.ArtifactSpec` protocol for
+    on-disk persistence.
     """
+
+    artifact_kind: ClassVar[str] = "grid-runtime"
+    artifact_schema: ClassVar[int] = 1
 
     bounds: np.ndarray
     cumulative: np.ndarray
     alias: AliasTable | None
     sum_mu: float
+
+    def to_arrays(self) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        """Decompose into JSON-safe meta plus named arrays (artifact protocol)."""
+        alias_meta, alias_arrays = pack_alias(self.alias)
+        meta = {"sum_mu": float(self.sum_mu), **alias_meta}
+        arrays = {"bounds": self.bounds, "cumulative": self.cumulative}
+        arrays.update(alias_arrays)
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls, meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> "PreparedGridState":
+        """Reassemble from (possibly read-only memmapped) arrays, zero-copy."""
+        bounds = required_array(arrays, "bounds", dtype="<f8", ndim=2)
+        cumulative = required_array(arrays, "cumulative", dtype="<f8", ndim=2)
+        if bounds.shape != cumulative.shape or bounds.shape[1] != 9:
+            raise ArtifactCorruptError(
+                "grid-runtime state needs matching (n, 9) bound and prefix-sum "
+                f"matrices, got {bounds.shape} and {cumulative.shape}"
+            )
+        return cls(
+            bounds=bounds,
+            cumulative=cumulative,
+            alias=unpack_alias(meta, arrays),
+            sum_mu=float(meta.get("sum_mu", 0.0)),
+        )
 
 
 class JoinCellIndex(Protocol):
@@ -210,6 +252,163 @@ class GridJoinSamplerBase(JoinSampler):
         self._runtime = state
         self._cell_ids = cell_ids
         self._s_position_sorter = None
+
+    # ------------------------------------------------------------------
+    # Prepared-state artifacts (persistence + warm start)
+    # ------------------------------------------------------------------
+    #: Layout version of the grid-family artifact payload; the concrete
+    #: sampler sets the ``artifact_kind`` naming its index variant.
+    artifact_schema: ClassVar[int] = 1
+
+    def export_prepared_arrays(self) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        """Decompose the whole prepared state into ``(meta, arrays)``.
+
+        Everything the *vectorised* draw path touches is exported: the
+        count-phase state (bound matrix, prefix sums, alias tables), the
+        ``(n, 9)`` cell-id matrix, the grid's concatenated sorted views and -
+        for bucket-based indexes - the flat bucket envelopes.  The per-cell
+        corner trees are deliberately omitted: they are the dominant build
+        cost and only the scalar/maintenance paths need them, so warm start
+        rebuilds them lazily (see
+        :meth:`repro.bbst.join_index.BBSTJoinIndex._ensure_cell_structures`).
+        """
+        if not self.is_prepared or self._index is None:
+            raise ArtifactError(
+                f"sampler {self.name!r} is not prepared; nothing to export"
+            )
+        index = self._index
+        state = self._runtime
+        assert state is not None
+        if self._cell_ids is None:
+            self._cell_ids = index.grid.neighbor_cell_ids(
+                self.spec.r_points.xs, self.spec.r_points.ys, kernels=self.kernels
+            )
+        state_meta, state_arrays = state.to_arrays()
+        arrays = prefixed("state", state_arrays)
+        arrays["cell_ids"] = self._cell_ids
+        flat = index.grid.flat()
+        arrays["grid.keys_ix"] = np.array(
+            [cell.key[0] for cell in flat.cells], dtype=np.int64
+        )
+        arrays["grid.keys_iy"] = np.array(
+            [cell.key[1] for cell in flat.cells], dtype=np.int64
+        )
+        arrays["grid.lengths"] = flat.lengths
+        arrays["grid.xs_by_x"] = flat.xs_by_x
+        arrays["grid.ys_by_x"] = flat.ys_by_x
+        arrays["grid.ids_by_x"] = flat.ids_by_x
+        arrays["grid.xs_by_y"] = flat.xs_by_y
+        arrays["grid.ys_by_y"] = flat.ys_by_y
+        arrays["grid.ids_by_y"] = flat.ids_by_y
+        meta: dict[str, Any] = {
+            "kind": self.artifact_kind,
+            "schema": self.artifact_schema,
+            "state": state_meta,
+            "bucket_capacity": int(index.bucket_capacity),
+            "capacity_override": bool(index.capacity_override),
+        }
+        if getattr(index, "uses_bucket_arrays", False):
+            buckets = index.bucket_arrays()
+            arrays.update(
+                prefixed(
+                    "buckets",
+                    {
+                        "starts": buckets.starts,
+                        "counts": buckets.counts,
+                        "min_x": buckets.min_x,
+                        "max_x": buckets.max_x,
+                        "min_y": buckets.min_y,
+                        "max_y": buckets.max_y,
+                        "point_start": buckets.point_start,
+                        "sizes": buckets.sizes,
+                    },
+                )
+            )
+        return meta, arrays
+
+    def adopt_prepared_arrays(
+        self, meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Attach a persisted prepared state (the warm-start inverse of export).
+
+        Runs the cheap offline step (pre-sorting ``S``), reassembles the grid
+        and index around the memmapped arrays without copying them, and
+        installs the count-phase state.  After this the sampler ``is_prepared``
+        and serves draws bit-identical to a freshly built twin.
+        """
+        self.preprocess()
+        spec = self.spec
+        state_meta = meta.get("state")
+        if not isinstance(state_meta, dict):
+            raise ArtifactCorruptError(
+                "artifact meta is missing its 'state' object"
+            )
+        state = PreparedGridState.from_arrays(state_meta, select_prefix(arrays, "state"))
+        if state.bounds.shape[0] != spec.n:
+            raise ArtifactCorruptError(
+                f"artifact bound matrix covers {state.bounds.shape[0]} outer "
+                f"points but the spec has {spec.n}"
+            )
+        cell_ids = required_array(arrays, "cell_ids", dtype="<i8", ndim=2)
+        if cell_ids.shape != (spec.n, 9):
+            raise ArtifactCorruptError(
+                f"artifact cell-id matrix has shape {cell_ids.shape}, "
+                f"expected {(spec.n, 9)}"
+            )
+        grid_arrays = select_prefix(arrays, "grid")
+        keys_ix = required_array(
+            grid_arrays, "keys_ix", dtype="<i8", ndim=1, context="artifact grid"
+        )
+        keys_iy = required_array(
+            grid_arrays, "keys_iy", dtype="<i8", ndim=1, context="artifact grid"
+        )
+        lengths = required_array(
+            grid_arrays, "lengths", dtype="<i8", ndim=1, context="artifact grid"
+        )
+        views = {
+            name: required_array(
+                grid_arrays, name, dtype=dtype, ndim=1, context="artifact grid"
+            )
+            for name, dtype in (
+                ("xs_by_x", "<f8"),
+                ("ys_by_x", "<f8"),
+                ("ids_by_x", "<i8"),
+                ("xs_by_y", "<f8"),
+                ("ys_by_y", "<f8"),
+                ("ids_by_y", "<i8"),
+            )
+        }
+        if int(lengths.sum()) != spec.m:
+            raise ArtifactCorruptError(
+                f"artifact grid covers {int(lengths.sum())} inner points but "
+                f"the spec has {spec.m}"
+            )
+        try:
+            grid = Grid.from_cell_arrays(
+                spec.half_extent,
+                keys_ix,
+                keys_iy,
+                lengths,
+                source_name=self._sorted_s.name,
+                **views,
+            )
+        except ValueError as exc:
+            raise ArtifactCorruptError(
+                f"artifact grid arrays are inconsistent: {exc}"
+            ) from None
+        self._index = self._restore_index(grid, meta, arrays)
+        self.adopt_runtime(state, cell_ids)
+
+    def _restore_index(
+        self,
+        grid: Grid,
+        meta: Mapping[str, Any],
+        arrays: Mapping[str, np.ndarray],
+    ) -> JoinCellIndex:
+        """Reassemble the per-cell index around a restored grid."""
+        raise ArtifactError(
+            f"sampler {self.name!r} does not support artifact warm start"
+        )
 
     def index_nbytes(self) -> int:
         return self._index.nbytes() if self._index is not None else 0

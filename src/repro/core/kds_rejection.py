@@ -29,10 +29,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Any, ClassVar, Mapping
 
 import numpy as np
 
 from repro.alias.walker import AliasTable
+from repro.artifacts.spec import (
+    pack_alias,
+    register_prepared_state,
+    required_array,
+    unpack_alias,
+)
+from repro.errors import ArtifactCorruptError, ArtifactError
 from repro.core.base import (
     JoinSampler,
     JoinSampleResult,
@@ -52,18 +60,42 @@ from repro.kernels.profiling import PROFILER
 __all__ = ["PreparedGridBounds", "KDSRejectionSampler"]
 
 
+@register_prepared_state
 @dataclass
 class PreparedGridBounds:
     """Cached GM/UB output of the KDS-rejection baseline.
 
     The grid upper bounds ``mu(r)``, the alias over them and ``sum_mu``.  A
     plain dataclass of arrays so a prepared sampler pickles cleanly across
-    process boundaries (see :mod:`repro.parallel`).
+    process boundaries (see :mod:`repro.parallel`) and flows through the
+    :class:`~repro.artifacts.ArtifactSpec` protocol.
     """
+
+    artifact_kind: ClassVar[str] = "kds-rejection-bounds"
+    artifact_schema: ClassVar[int] = 1
 
     mu: np.ndarray
     alias: AliasTable | None
     sum_mu: int
+
+    def to_arrays(self) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        """Decompose into JSON-safe meta plus named arrays (artifact protocol)."""
+        alias_meta, alias_arrays = pack_alias(self.alias)
+        meta = {"sum_mu": int(self.sum_mu), **alias_meta}
+        arrays = {"mu": self.mu}
+        arrays.update(alias_arrays)
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls, meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> "PreparedGridBounds":
+        """Reassemble from (possibly read-only memmapped) arrays, zero-copy."""
+        return cls(
+            mu=required_array(arrays, "mu", dtype="<i8", ndim=1),
+            alias=unpack_alias(meta, arrays),
+            sum_mu=int(meta.get("sum_mu", 0)),
+        )
 
 
 @register_sampler(
@@ -118,6 +150,54 @@ class KDSRejectionSampler(JoinSampler):
     def grid(self) -> Grid | None:
         """The bound grid over ``S`` (``None`` before the first sample/prepare)."""
         return self._grid
+
+    # ------------------------------------------------------------------
+    # Prepared-state artifacts (persistence + warm start)
+    # ------------------------------------------------------------------
+    #: Artifact payload identity of this sampler's prepared state.
+    artifact_kind: ClassVar[str] = "kds-rejection-bounds"
+    artifact_schema: ClassVar[int] = 1
+
+    def export_prepared_arrays(self) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        """Decompose the prepared state into ``(meta, arrays)``.
+
+        Only the GM/UB output (``mu``, alias, ``sum_mu``) is persisted; the
+        kd-tree over ``S`` is rebuilt deterministically by :meth:`preprocess`
+        at attach time, and the grid itself is never consulted again once the
+        bounds exist, so it is not persisted either.
+        """
+        if not self.is_prepared:
+            raise ArtifactError(
+                f"sampler {self.name!r} is not prepared; nothing to export"
+            )
+        state_meta, state_arrays = self._online.to_arrays()
+        meta = {
+            "kind": self.artifact_kind,
+            "schema": self.artifact_schema,
+            "state": state_meta,
+        }
+        return meta, dict(state_arrays)
+
+    def adopt_prepared_arrays(
+        self, meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Attach persisted grid bounds (warm start).
+
+        The sampling loop reads only ``self._online`` once it is set (the
+        ``if self._online is None:`` branch of :meth:`_sample_impl` is never
+        entered), so ``self._grid`` deliberately stays ``None``.
+        """
+        self.preprocess()
+        state_meta = meta.get("state")
+        if not isinstance(state_meta, dict):
+            raise ArtifactCorruptError("artifact meta is missing its 'state' object")
+        state = PreparedGridBounds.from_arrays(state_meta, arrays)
+        if state.mu.shape[0] != self.spec.n:
+            raise ArtifactCorruptError(
+                f"artifact bound vector covers {state.mu.shape[0]} outer "
+                f"points but the spec has {self.spec.n}"
+            )
+        self._online = state
 
     # ------------------------------------------------------------------
     def _preprocess_impl(self) -> None:

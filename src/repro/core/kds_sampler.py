@@ -28,10 +28,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Any, ClassVar, Mapping
 
 import numpy as np
 
 from repro.alias.walker import AliasTable
+from repro.artifacts.spec import (
+    pack_alias,
+    register_prepared_state,
+    required_array,
+    unpack_alias,
+)
+from repro.errors import ArtifactCorruptError, ArtifactError
 from repro.core.base import (
     JoinSampler,
     JoinSampleResult,
@@ -48,18 +56,42 @@ from repro.kdtree.sampling import KDSRangeSampler
 __all__ = ["PreparedExactCounts", "KDSSampler"]
 
 
+@register_prepared_state
 @dataclass
 class PreparedExactCounts:
     """Cached counting-phase output of the KDS baseline.
 
     Exact per-point range counts ``|S(w(r))|``, the alias over them and the
     exact join size.  A plain dataclass of arrays so a prepared sampler
-    pickles cleanly across process boundaries (see :mod:`repro.parallel`).
+    pickles cleanly across process boundaries (see :mod:`repro.parallel`)
+    and flows through the :class:`~repro.artifacts.ArtifactSpec` protocol.
     """
+
+    artifact_kind: ClassVar[str] = "kds-exact-counts"
+    artifact_schema: ClassVar[int] = 1
 
     counts: np.ndarray
     alias: AliasTable | None
     join_size: int
+
+    def to_arrays(self) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        """Decompose into JSON-safe meta plus named arrays (artifact protocol)."""
+        alias_meta, alias_arrays = pack_alias(self.alias)
+        meta = {"join_size": int(self.join_size), **alias_meta}
+        arrays = {"counts": self.counts}
+        arrays.update(alias_arrays)
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls, meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> "PreparedExactCounts":
+        """Reassemble from (possibly read-only memmapped) arrays, zero-copy."""
+        return cls(
+            counts=required_array(arrays, "counts", dtype="<i8", ndim=1),
+            alias=unpack_alias(meta, arrays),
+            join_size=int(meta.get("join_size", 0)),
+        )
 
 
 @register_sampler(
@@ -119,14 +151,56 @@ class KDSSampler(JoinSampler):
         return None if self._online is None else self._online.join_size
 
     # ------------------------------------------------------------------
-    def _preprocess_impl(self) -> None:
-        self._range_sampler = KDSRangeSampler(self.spec.s_points, leaf_size=self._leaf_size)
+    # Prepared-state artifacts (persistence + warm start)
+    # ------------------------------------------------------------------
+    #: Artifact payload identity of this sampler's prepared state.
+    artifact_kind: ClassVar[str] = "kds-exact-counts"
+    artifact_schema: ClassVar[int] = 1
+
+    def export_prepared_arrays(self) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        """Decompose the prepared state into ``(meta, arrays)``.
+
+        Only the counting-phase output is persisted; the kd-tree over ``S``
+        is rebuilt deterministically by :meth:`preprocess` at attach time (it
+        is the offline Table II step, not the online cost the warm start
+        saves).
+        """
+        if not self.is_prepared:
+            raise ArtifactError(
+                f"sampler {self.name!r} is not prepared; nothing to export"
+            )
+        state_meta, state_arrays = self._online.to_arrays()
+        meta = {
+            "kind": self.artifact_kind,
+            "schema": self.artifact_schema,
+            "state": state_meta,
+        }
+        return meta, dict(state_arrays)
+
+    def adopt_prepared_arrays(
+        self, meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Attach a persisted counting-phase state (warm start)."""
+        self.preprocess()
+        state_meta = meta.get("state")
+        if not isinstance(state_meta, dict):
+            raise ArtifactCorruptError("artifact meta is missing its 'state' object")
+        state = PreparedExactCounts.from_arrays(state_meta, arrays)
+        if state.counts.shape[0] != self.spec.n:
+            raise ArtifactCorruptError(
+                f"artifact count vector covers {state.counts.shape[0]} outer "
+                f"points but the spec has {self.spec.n}"
+            )
+        self._online = state
 
     def _windows(self, r_indices: np.ndarray) -> tuple[np.ndarray, ...]:
         spec = self.spec
         return window_bounds(
             spec.r_points.xs[r_indices], spec.r_points.ys[r_indices], spec.half_extent
         )
+
+    def _preprocess_impl(self) -> None:
+        self._range_sampler = KDSRangeSampler(self.spec.s_points, leaf_size=self._leaf_size)
 
     def _sample_impl(self, t: int, rng: np.random.Generator) -> JoinSampleResult:
         assert self._range_sampler is not None

@@ -11,7 +11,13 @@ experiments; :mod:`repro.datasets.partition` splits a dataset into ``R`` and
 ``S``; :mod:`repro.datasets.loaders` persists point sets as CSV.
 """
 
-from repro.datasets.loaders import load_points_csv, save_points_csv
+from repro.datasets.loaders import (
+    POINT_RECORD_DTYPE,
+    load_points_csv,
+    load_points_npy,
+    save_points_csv,
+    save_points_npy,
+)
 from repro.datasets.partition import split_r_s
 from repro.datasets.real_proxies import (
     DATASET_NAMES,
@@ -48,4 +54,7 @@ __all__ = [
     "split_r_s",
     "save_points_csv",
     "load_points_csv",
+    "save_points_npy",
+    "load_points_npy",
+    "POINT_RECORD_DTYPE",
 ]

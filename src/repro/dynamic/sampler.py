@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -59,6 +59,16 @@ __all__ = ["DynamicSampler", "UpdateReport"]
 DEFAULT_REBUILD_THRESHOLD = 0.1
 
 _SIDES = ("r", "s")
+
+
+def _writable(array: np.ndarray) -> np.ndarray:
+    """A writable view of ``array``, copying read-only (memmapped) inputs.
+
+    Warm-started samplers hold their bound matrix and cell-id matrix as
+    read-only memory maps; the row-wise maintenance below mutates them in
+    place, so the first update materialises private copies.
+    """
+    return array if array.flags.writeable else array.copy()
 
 
 @dataclass
@@ -317,6 +327,45 @@ class DynamicSampler(JoinSampler):
         self._sync_router()
 
     # ------------------------------------------------------------------
+    # Prepared-state artifacts (persistence + warm start)
+    # ------------------------------------------------------------------
+    @property
+    def artifact_kind(self) -> str:
+        """Artifact payload identity — that of the maintained inner sampler."""
+        return self._inner.artifact_kind
+
+    @property
+    def artifact_schema(self) -> int:
+        """Artifact schema version — that of the maintained inner sampler."""
+        return self._inner.artifact_schema
+
+    def export_prepared_arrays(self) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        """Flush pending maintenance, then export the inner prepared state.
+
+        :meth:`flush` installs the exact alias a fresh build produces, so the
+        artifact is bit-identical to one exported from a static sampler built
+        over the *current* ``(R, S)`` — including after updates.
+        """
+        self.flush()
+        return self._inner.export_prepared_arrays()
+
+    def adopt_prepared_arrays(
+        self, meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Attach a persisted prepared state and reset the maintenance state.
+
+        The first subsequent :meth:`update` re-captures the adopted runtime
+        (copying any read-only memmapped arrays before mutating them).
+        """
+        self._inner.adopt_prepared_arrays(meta, arrays)
+        self._preprocessed = True
+        self._store_r = None
+        self._store_s = None
+        self._state = None
+        self._router_stale = False
+        self._force_alias = False
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     @staticmethod
@@ -353,9 +402,9 @@ class DynamicSampler(JoinSampler):
             )
         r_ix, r_iy = self._keys_for(self.spec.r_points.xs, self.spec.r_points.ys)
         self._state = _DynamicState(
-            bounds=runtime.bounds,
-            cumulative=runtime.cumulative,
-            cell_ids=cell_ids,
+            bounds=_writable(runtime.bounds),
+            cumulative=_writable(runtime.cumulative),
+            cell_ids=_writable(cell_ids),
             r_ix=r_ix,
             r_iy=r_iy,
             sum_mu=runtime.sum_mu,

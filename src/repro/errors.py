@@ -25,6 +25,10 @@ __all__ = [
     "SessionClosedError",
     "MaintenanceError",
     "ServiceOverloadedError",
+    "ArtifactError",
+    "ArtifactCorruptError",
+    "ArtifactVersionError",
+    "ArtifactMismatchError",
     "ReproDeprecationWarning",
 ]
 
@@ -103,6 +107,45 @@ class ServiceOverloadedError(ReproError, RuntimeError):
     def __init__(self, message: str, retry_after: float = 0.05) -> None:
         super().__init__(message)
         self.retry_after = float(retry_after)
+
+
+class ArtifactError(ReproError, RuntimeError):
+    """Base class of every prepared-state artifact failure.
+
+    Raised by :mod:`repro.artifacts` and the session/manager warm-start
+    paths.  Catching this one type covers corruption, version skew and
+    fingerprint mismatches alike; the message always names the offending
+    on-disk path.  Subclasses ``RuntimeError`` for one deprecation cycle.
+    """
+
+
+class ArtifactCorruptError(ArtifactError):
+    """An artifact's manifest or blob does not match what it declares.
+
+    Covers unreadable/malformed manifest JSON, missing blobs, blob files
+    whose size disagrees with the declared ``dtype``/``shape`` (a short blob
+    would otherwise segfault a memmap read), and manifest entries with
+    illegal dtypes or shapes.
+    """
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact was written by an incompatible format or schema version.
+
+    Raised instead of attempting a best-effort parse: a version skew between
+    the manifest and this library (or between the manifest and a sampler's
+    declared state schema) must fail loudly, never deserialise garbage.
+    """
+
+
+class ArtifactMismatchError(ArtifactError):
+    """The artifact does not belong to the inputs it is being attached to.
+
+    Raised by :meth:`SamplingSession.load` (and the manager's warm-start
+    path) when the saved content fingerprints of ``(R, S)`` differ from the
+    point sets supplied at load time - a stale artifact must never silently
+    serve draws from the wrong join.
+    """
 
 
 class ReproDeprecationWarning(DeprecationWarning):

@@ -162,6 +162,108 @@ class Grid:
             )
 
     # ------------------------------------------------------------------
+    # Reconstruction from persisted arrays (the artifact warm-start path)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cell_arrays(
+        cls,
+        cell_size: float,
+        keys_ix: np.ndarray,
+        keys_iy: np.ndarray,
+        lengths: np.ndarray,
+        xs_by_x: np.ndarray,
+        ys_by_x: np.ndarray,
+        ids_by_x: np.ndarray,
+        xs_by_y: np.ndarray,
+        ys_by_y: np.ndarray,
+        ids_by_y: np.ndarray,
+        source_name: str = "points",
+    ) -> "Grid":
+        """Reassemble a grid from its persisted per-cell arrays, zero-copy.
+
+        The inverse of reading a built grid's canonical cell iteration order:
+        ``keys_ix``/``keys_iy``/``lengths`` describe the cells in that order
+        and the six ``*_by_*`` arrays are the concatenated sorted views (the
+        exact layout of :class:`GridFlat`).  Cells keep slices of the passed
+        arrays - memmapped blobs attach without copying - and the flat view
+        is assembled directly instead of re-concatenating, so no per-point
+        work (and in particular no lexsort) happens here.  Content
+        correctness is the caller's contract; this method only restores
+        structure.
+        """
+        grid = cls.__new__(cls)
+        grid._cell_size = validate_half_extent(cell_size, name="cell_size")
+        grid._source_name = source_name
+        grid._cells = {}
+        keys_ix = np.asarray(keys_ix, dtype=np.int64)
+        keys_iy = np.asarray(keys_iy, dtype=np.int64)
+        lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        if keys_ix.shape != lengths.shape or keys_iy.shape != lengths.shape:
+            raise ValueError("cell key and length arrays must be parallel")
+        if lengths.size and int(lengths.min()) < 1:
+            raise ValueError("a grid never stores empty cells")
+        grid._size = int(lengths.sum())
+        views = (xs_by_x, ys_by_x, ids_by_x, xs_by_y, ys_by_y, ids_by_y)
+        if any(view.shape != (grid._size,) for view in views):
+            raise ValueError(
+                "every sorted view must hold exactly the summed cell lengths"
+            )
+        starts = (
+            np.concatenate(([0], np.cumsum(lengths)[:-1]))
+            if lengths.size
+            else np.empty(0, dtype=np.int64)
+        )
+        for i in range(lengths.size):
+            key = (int(keys_ix[i]), int(keys_iy[i]))
+            lo = int(starts[i])
+            hi = lo + int(lengths[i])
+            grid._cells[key] = GridCell(
+                key=key,
+                xs_by_x=xs_by_x[lo:hi],
+                ys_by_x=ys_by_x[lo:hi],
+                ids_by_x=ids_by_x[lo:hi],
+                xs_by_y=xs_by_y[lo:hi],
+                ys_by_y=ys_by_y[lo:hi],
+                ids_by_y=ids_by_y[lo:hi],
+                bounds=Rect(
+                    xmin=key[0] * grid._cell_size,
+                    ymin=key[1] * grid._cell_size,
+                    xmax=(key[0] + 1) * grid._cell_size,
+                    ymax=(key[1] + 1) * grid._cell_size,
+                ),
+            )
+        if len(grid._cells) != lengths.size:
+            raise ValueError("cell keys must be unique")
+        supports_packing = bool(
+            lengths.size
+            and np.all(np.abs(keys_ix) <= _PACK_LIMIT)
+            and np.all(np.abs(keys_iy) <= _PACK_LIMIT)
+        )
+        if supports_packing:
+            packed = _pack_keys(keys_ix, keys_iy)
+            order = np.argsort(packed, kind="stable")
+            packed_keys = packed[order]
+            packed_cell_ids = order.astype(np.int64)
+        else:
+            packed_keys = np.empty(0, dtype=np.int64)
+            packed_cell_ids = np.empty(0, dtype=np.int64)
+        grid._flat = GridFlat(
+            cells=tuple(grid._cells.values()),
+            starts=starts,
+            lengths=lengths,
+            xs_by_x=xs_by_x,
+            ys_by_x=ys_by_x,
+            ids_by_x=ids_by_x,
+            xs_by_y=xs_by_y,
+            ys_by_y=ys_by_y,
+            ids_by_y=ids_by_y,
+            packed_keys=packed_keys,
+            packed_cell_ids=packed_cell_ids,
+            supports_packing=supports_packing,
+        )
+        return grid
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     @property

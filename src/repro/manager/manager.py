@@ -47,6 +47,9 @@ point sets - applied updates survive expiry.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -237,6 +240,13 @@ class SessionManager:
         ranking eviction victims, so cheap-to-rebuild entries go first.
     name:
         Label used in ``stats()`` and the pool name.
+    artifact_dir:
+        Optional base directory for prepared-state persistence.  Each tenant
+        gets its own subdirectory; sessions save their prepared entries
+        there before idle expiry and before budget eviction, and evicted or
+        expired entries then *warm-start* from the memmapped artifacts
+        instead of rebuilding.  A per-``open`` ``artifact_dir`` in ``opts``
+        overrides the tenant's subdirectory.
     """
 
     def __init__(
@@ -247,6 +257,7 @@ class SessionManager:
         idle_timeout: float | None = None,
         eviction_cost_weight: float = 2.0,
         name: str = "manager",
+        artifact_dir: str | os.PathLike[str] | None = None,
     ) -> None:
         if memory_budget is not None and int(memory_budget) < 1:
             raise InvalidSpecError("memory_budget must be a positive byte count")
@@ -255,6 +266,9 @@ class SessionManager:
         self._budget = None if memory_budget is None else int(memory_budget)
         self._idle_timeout = idle_timeout
         self._cost_weight = float(eviction_cost_weight)
+        self._artifact_dir = None if artifact_dir is None else os.fspath(artifact_dir)
+        self._artifact_saves = 0
+        self._artifact_save_failures = 0
         self.name = name
         self._pool = WorkerPool(max_workers=max_workers, name=f"{name}-pool")
         self._tenants: dict[str, _Tenant] = {}
@@ -296,6 +310,46 @@ class SessionManager:
         if self._closed:
             raise SessionClosedError(f"session manager {self.name!r} is closed")
 
+    @property
+    def artifact_dir(self) -> str | None:
+        """Base directory of the tenants' persisted artifacts (``None`` = off)."""
+        return self._artifact_dir
+
+    def _tenant_artifact_dir(self, tenant_id: str) -> str:
+        """Filesystem-safe per-tenant subdirectory of :attr:`artifact_dir`.
+
+        Unsafe characters are replaced and a short content hash of the raw
+        id is appended whenever the sanitisation was lossy, so distinct
+        tenants can never share (and thereby corrupt) a directory.
+        """
+        assert self._artifact_dir is not None
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", tenant_id) or "tenant"
+        if safe != tenant_id:
+            digest = hashlib.blake2b(
+                tenant_id.encode("utf-8"), digest_size=4
+            ).hexdigest()
+            safe = f"{safe}-{digest}"
+        return os.path.join(self._artifact_dir, safe)
+
+    def _save_session_artifacts(self, session: SamplingSession) -> bool:
+        """Best-effort persistence pass before an entry (or session) is dropped.
+
+        A failed save never breaks the request that triggered the sweep: the
+        affected entries simply rebuild cold later.  Failures are counted and
+        surfaced in :meth:`stats`.
+        """
+        if session.artifact_dir is None:
+            return False
+        try:
+            session.save()
+        except Exception:
+            with self._lock:
+                self._artifact_save_failures += 1
+            return False
+        with self._lock:
+            self._artifact_saves += 1
+        return True
+
     # ------------------------------------------------------------------
     def open(
         self,
@@ -317,6 +371,8 @@ class SessionManager:
         tenant_id = str(tenant_id)
         opts = dict(opts)
         opts.setdefault("eager", False)
+        if "artifact_dir" not in opts and self._artifact_dir is not None:
+            opts["artifact_dir"] = self._tenant_artifact_dir(tenant_id)
         for reserved in ("pool", "owner", "max_jobs"):
             if reserved in opts:
                 raise InvalidSpecError(
@@ -490,6 +546,10 @@ class SessionManager:
             candidates.sort(key=lambda item: item[0])
             progressed = False
             for _score, session, key in candidates:
+                if session.artifact_dir is not None and not session.has_artifact_for(key):
+                    # Save before dropping so the evicted entry warm-starts
+                    # from disk instead of rebuilding on its next request.
+                    self._save_session_artifacts(session)
                 if session.evict(key):
                     evicted += 1
                     with self._lock:
@@ -533,6 +593,10 @@ class SessionManager:
                 # Keep the *current* data and the session's counters so the
                 # transparent re-open continues where the tenant left off.
                 session = tenant.session
+                # Persist the prepared entries first (when the session has an
+                # artifact directory): the re-opened session then warm-starts
+                # from the memmapped artifacts instead of rebuilding.
+                self._save_session_artifacts(session)
                 tenant.r_points = session.r_points
                 tenant.s_points = session.s_points
                 for field_name, value in session.stats.as_dict().items():
@@ -626,6 +690,9 @@ class SessionManager:
                 "evictions": session_evictions,
                 "manager_evictions": self._evictions,
                 "expirations": self._expirations,
+                "artifact_dir": self._artifact_dir,
+                "artifact_saves": self._artifact_saves,
+                "artifact_save_failures": self._artifact_save_failures,
                 "counters": dict(self._counters),
                 "pool": self._pool.stats(),
             }

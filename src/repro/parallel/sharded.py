@@ -42,6 +42,7 @@ to the same shard.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -50,6 +51,13 @@ from typing import Any
 import numpy as np
 
 from repro.alias.walker import AliasTable
+from repro.artifacts import (
+    attach_sampler_artifact,
+    load_artifact,
+    required_array,
+    save_sampler_artifact,
+    write_artifact,
+)
 from repro.core.base import (
     JoinSampler,
     JoinSampleResult,
@@ -61,7 +69,14 @@ from repro.core.config import JoinSpec
 from repro.core.full_join import join_size
 from repro.core.registry import canonical_name, create_sampler
 from repro.core.validation import validate_jobs
-from repro.errors import InvalidSpecError, SessionClosedError
+from repro.errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactVersionError,
+    InvalidSpecError,
+    SessionClosedError,
+)
+from repro.kernels.profiling import PROFILER
 from repro.parallel.plan import Shard, ShardPlan
 from repro.parallel.pool import WorkerLease, WorkerPool, shared_pool
 
@@ -173,6 +188,46 @@ def _resident_build(task: _ShardTask) -> ShardBuildReport:
     """
     global _RESIDENT_SAMPLER
     report, sampler = _count_and_build(task)
+    _RESIDENT_SAMPLER = sampler
+    return report
+
+
+def _attach_shard(
+    task: _ShardTask, path: str, weight: int
+) -> tuple[ShardBuildReport, JoinSampler]:
+    """Create one shard's sampler and attach its memmapped artifact (both modes)."""
+    start = time.perf_counter()
+    sampler = create_sampler(task.algorithm, task.spec, **task.sampler_options)
+    attach_sampler_artifact(sampler, path)
+    report = ShardBuildReport(
+        index=task.index,
+        weight=weight,
+        n=task.spec.n,
+        m=task.spec.m,
+        count_seconds=0.0,
+        prepare_seconds=time.perf_counter() - start,
+        index_nbytes=sampler.index_nbytes(),
+    )
+    return report, sampler
+
+
+def _resident_export(path: str) -> bool:
+    """Worker entry point: persist the resident shard sampler's prepared state."""
+    sampler = _RESIDENT_SAMPLER
+    assert sampler is not None, "export routed to a shard that was never built"
+    save_sampler_artifact(sampler, path)
+    return True
+
+
+def _resident_attach(task: _ShardTask, path: str, weight: int) -> ShardBuildReport:
+    """Worker entry point: warm-start one shard from its on-disk artifact.
+
+    The worker maps the blobs from disk (``np.memmap``) instead of receiving
+    a pickled copy of the prepared structures, so a warm attach ships only
+    the tiny task across the process boundary.
+    """
+    global _RESIDENT_SAMPLER
+    report, sampler = _attach_shard(task, path, weight)
     _RESIDENT_SAMPLER = sampler
     return report
 
@@ -696,6 +751,275 @@ class ShardedSampler(JoinSampler):
             entry["prepare_seconds"] = report.prepare_seconds
             entry["index_nbytes"] = report.index_nbytes
         return description
+
+    # ------------------------------------------------------------------
+    # Prepared-state artifacts (persistence + warm start)
+    # ------------------------------------------------------------------
+    #: Artifact identity of the top-level composition (each per-shard sampler
+    #: artifact under ``shards/<i>/`` carries its own kind and schema).
+    artifact_kind = "sharded-composition"
+    artifact_schema = 1
+
+    def save_artifact(self, path: str | os.PathLike[str]) -> None:
+        """Persist the composed state: plan, exact weights, per-shard artifacts.
+
+        The top-level artifact holds the strip edges, the shard membership
+        index arrays and the exact ``|J_i|`` weights; every non-zero-weight
+        shard additionally writes its sampler's prepared-state artifact under
+        ``shards/<index>/`` (exported *inside* the resident worker in pool
+        mode, so the structures never cross a process boundary).
+        """
+        built = self._ensure_built()
+        path = os.fspath(path)
+        with self._build_lock:
+            if self._closed:
+                raise SessionClosedError("the sharded sampler is closed")
+            arrays: dict[str, np.ndarray] = {
+                "edges": np.asarray(built.plan.edges, dtype=np.float64),
+                "weights": np.asarray(built.weights, dtype=np.int64),
+            }
+            shards_meta: list[dict[str, Any]] = []
+            for shard, report in zip(built.plan.shards, built.reports):
+                arrays[f"shard{shard.index}.r_indices"] = np.asarray(
+                    shard.r_indices, dtype=np.int64
+                )
+                arrays[f"shard{shard.index}.s_indices"] = np.asarray(
+                    shard.s_indices, dtype=np.int64
+                )
+                shards_meta.append(
+                    {
+                        "index": shard.index,
+                        "weight": int(report.weight),
+                        "n": int(shard.r_indices.size),
+                        "m": int(shard.s_indices.size),
+                        "index_nbytes": int(report.index_nbytes),
+                    }
+                )
+            meta = {
+                "kind": self.artifact_kind,
+                "schema": self.artifact_schema,
+                "algorithm": self._algorithm,
+                "jobs": self._jobs,
+                "n": self.spec.n,
+                "m": self.spec.m,
+                "half_extent": self.spec.half_extent,
+                "total": built.total,
+                "kernel_backend": self.kernel_backend,
+                "shards": shards_meta,
+            }
+            write_artifact(path, meta, arrays)
+            for index, report in enumerate(built.reports):
+                if report.weight == 0:
+                    continue
+                shard_dir = os.path.join(path, "shards", str(index))
+                with self._shard_locks[index]:
+                    lease = built.leases[index]
+                    if lease is not None:
+                        lease.submit(_resident_export, shard_dir).result()
+                    else:
+                        sampler = built.local_samplers[index]
+                        assert sampler is not None
+                        save_sampler_artifact(sampler, shard_dir)
+
+    def attach_artifact(self, path: str | os.PathLike[str]) -> None:
+        """Warm-start the whole composition from a :meth:`save_artifact` directory.
+
+        The plan (edges + membership), the exact weights and the top-level
+        alias are restored without touching the point data beyond validation;
+        every non-zero-weight shard attaches its sampler artifact in a leased
+        worker (or in-process when the lease is denied or the pool is
+        unavailable - the bit-identical twin, exactly as at build time).
+        Draws after a warm attach are bit-identical to a fresh build.
+        """
+        path = os.fspath(path)
+        with self._build_lock:
+            if self._closed:
+                raise SessionClosedError("the sharded sampler is closed")
+            if self._built is not None:
+                raise ArtifactError(
+                    "cannot attach an artifact to an already-built sharded sampler"
+                )
+            start = time.perf_counter()
+            meta, arrays = load_artifact(path)
+            if meta.get("kind") != self.artifact_kind:
+                raise ArtifactCorruptError(
+                    f"artifact holds kind {meta.get('kind')!r}, expected "
+                    f"{self.artifact_kind!r}: {path}"
+                )
+            if meta.get("schema") != self.artifact_schema:
+                raise ArtifactVersionError(
+                    f"artifact schema {meta.get('schema')!r} does not match "
+                    f"the supported schema {self.artifact_schema}: {path}"
+                )
+            if meta.get("algorithm") != self._algorithm:
+                raise ArtifactCorruptError(
+                    f"artifact was built with algorithm {meta.get('algorithm')!r} "
+                    f"but this sampler runs {self._algorithm!r}"
+                )
+            if int(meta.get("jobs", -1)) != self._jobs:
+                raise ArtifactCorruptError(
+                    f"artifact was built with jobs={meta.get('jobs')!r} but this "
+                    f"sampler shards into {self._jobs}"
+                )
+            spec = self.spec
+            saved_shape = (meta.get("n"), meta.get("m"), meta.get("half_extent"))
+            if saved_shape != (spec.n, spec.m, spec.half_extent):
+                raise ArtifactCorruptError(
+                    f"artifact was built for (n, m, l)={saved_shape} but the "
+                    f"live spec is {(spec.n, spec.m, spec.half_extent)}"
+                )
+            edges = required_array(arrays, "edges", dtype="<f8", ndim=1)
+            weights = required_array(arrays, "weights", dtype="<i8", ndim=1)
+            shards_meta = meta.get("shards")
+            num_strips = int(edges.size) + 1
+            if (
+                not isinstance(shards_meta, list)
+                or len(shards_meta) != num_strips
+                or weights.shape[0] != num_strips
+            ):
+                raise ArtifactCorruptError(
+                    f"artifact plan is inconsistent: {edges.size} edges imply "
+                    f"{num_strips} strips but it records "
+                    f"{len(shards_meta) if isinstance(shards_meta, list) else '?'} "
+                    f"shards and {weights.shape[0]} weights"
+                )
+            shards: list[Shard] = []
+            reports: list[ShardBuildReport] = []
+            covered = 0
+            for index, entry in enumerate(shards_meta):
+                r_indices = required_array(
+                    arrays, f"shard{index}.r_indices", dtype="<i8", ndim=1
+                )
+                s_indices = required_array(
+                    arrays, f"shard{index}.s_indices", dtype="<i8", ndim=1
+                )
+                if r_indices.size and (
+                    int(r_indices.min()) < 0 or int(r_indices.max()) >= spec.n
+                ):
+                    raise ArtifactCorruptError(
+                        f"shard {index} outer membership indexes out of range"
+                    )
+                if s_indices.size and (
+                    int(s_indices.min()) < 0 or int(s_indices.max()) >= spec.m
+                ):
+                    raise ArtifactCorruptError(
+                        f"shard {index} inner membership indexes out of range"
+                    )
+                covered += int(r_indices.size)
+                shards.append(
+                    Shard(
+                        index=index,
+                        x_lo=float(edges[index - 1]) if index > 0 else -np.inf,
+                        x_hi=float(edges[index]) if index < edges.size else np.inf,
+                        r_indices=r_indices,
+                        s_indices=s_indices,
+                    )
+                )
+                reports.append(
+                    ShardBuildReport(
+                        index=index,
+                        weight=int(weights[index]),
+                        n=int(r_indices.size),
+                        m=int(s_indices.size),
+                        count_seconds=0.0,
+                        prepare_seconds=0.0,
+                        index_nbytes=int(
+                            entry.get("index_nbytes", 0)
+                            if isinstance(entry, dict)
+                            else 0
+                        ),
+                    )
+                )
+            if covered != spec.n:
+                raise ArtifactCorruptError(
+                    f"artifact strips cover {covered} outer points but the "
+                    f"spec has {spec.n}; the membership arrays are stale"
+                )
+            total = int(weights.sum())
+            if total != int(meta.get("total", total)):
+                raise ArtifactCorruptError(
+                    f"artifact weights sum to {total} but it records "
+                    f"total={meta.get('total')!r}"
+                )
+            plan = ShardPlan(
+                half_extent=spec.half_extent,
+                jobs=self._jobs,
+                edges=np.asarray(edges),
+                shards=tuple(shards),
+            )
+
+            leases: list[WorkerLease | None] = [None] * len(shards)
+            local_samplers: list[JoinSampler | None] = [None] * len(shards)
+            tasks = {
+                index: _ShardTask(
+                    index=index,
+                    algorithm=self._algorithm,
+                    spec=plan.subspec(spec, shards[index]),
+                    sampler_options=self._sampler_options,
+                )
+                for index, report in enumerate(reports)
+                if report.weight > 0
+            }
+            shard_dirs = {
+                index: os.path.join(path, "shards", str(index)) for index in tasks
+            }
+            use_pool = self._use_processes and self._jobs > 1 and not self._pool_broken
+            denied: set[int] = set()
+            if use_pool:
+                pool = self._resolve_pool()
+                self._denied_generation = pool.share_generation
+                futures: dict[int, Any] = {}
+                try:
+                    for index, task in tasks.items():
+                        lease = pool.lease(self._owner)
+                        if lease is None:
+                            denied.add(index)
+                            continue
+                        leases[index] = lease
+                        futures[index] = lease.submit(
+                            _resident_attach,
+                            task,
+                            shard_dirs[index],
+                            reports[index].weight,
+                        )
+                    for index, future in futures.items():
+                        reports[index] = future.result()
+                except OSError:
+                    # Worker processes unavailable: fall back to the
+                    # bit-identical in-process attach for every shard.
+                    self._release_leases(leases, discard=True)
+                    leases = [None] * len(shards)
+                    denied = set()
+                    self._pool_broken = True
+                    use_pool = False
+            if not use_pool:
+                denied = set()
+                for index, task in tasks.items():
+                    reports[index], local_samplers[index] = _attach_shard(
+                        task, shard_dirs[index], reports[index].weight
+                    )
+            for index in denied:
+                reports[index], local_samplers[index] = _attach_shard(
+                    tasks[index], shard_dirs[index], reports[index].weight
+                )
+            self._denied_indices = set(denied)
+
+            self._plan = plan
+            self._preprocessed = True
+            self._shard_locks = [threading.Lock() for _ in shards]
+            self._build_seconds = 0.0
+            self._count_seconds = 0.0
+            self._built = PreparedShards(
+                plan=plan,
+                weights=np.asarray(weights),
+                total=total,
+                alias=AliasTable(weights) if total > 0 else None,
+                reports=reports,
+                local_samplers=local_samplers,
+                leases=leases,
+            )
+            if PROFILER.enabled:
+                PROFILER.add("load", time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Dynamic updates: delta-aware re-routing of the shard composition

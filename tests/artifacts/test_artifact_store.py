@@ -1,0 +1,155 @@
+"""The on-disk artifact store: round-trips and the corruption matrix.
+
+Every corrupted-input case must surface as a *typed* error from
+:mod:`repro.errors` whose message names the offending path - never a
+segfault (truncated memmap), never a silently wrong array.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    artifact_nbytes,
+    load_artifact,
+    read_manifest,
+    write_artifact,
+)
+from repro.errors import ArtifactCorruptError, ArtifactError, ArtifactVersionError
+
+
+def _sample_arrays():
+    return {
+        "mu": np.arange(8, dtype=np.int64),
+        "grid.xs": np.linspace(0.0, 1.0, 5),
+        "flags": np.array([True, False, True]),
+    }
+
+
+@pytest.fixture
+def artifact(tmp_path):
+    return write_artifact(
+        tmp_path / "artifact", {"kind": "test", "schema": 1}, _sample_arrays()
+    )
+
+
+class TestRoundTrip:
+    def test_arrays_round_trip_exactly(self, artifact):
+        meta, arrays = load_artifact(artifact)
+        assert meta == {"kind": "test", "schema": 1}
+        for name, original in _sample_arrays().items():
+            assert arrays[name].dtype == original.dtype
+            assert np.array_equal(arrays[name], original)
+
+    def test_loaded_arrays_are_read_only(self, artifact):
+        _meta, arrays = load_artifact(artifact)
+        for array in arrays.values():
+            assert not array.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            arrays["mu"][0] = 99
+
+    def test_memmap_and_in_memory_agree(self, artifact):
+        _meta, mapped = load_artifact(artifact, mmap=True)
+        _meta, copied = load_artifact(artifact, mmap=False)
+        for name in mapped:
+            assert np.array_equal(mapped[name], copied[name])
+
+    def test_zero_length_arrays_round_trip(self, tmp_path):
+        path = write_artifact(
+            tmp_path / "empty", {}, {"none": np.empty(0, dtype=np.float64)}
+        )
+        _meta, arrays = load_artifact(path)
+        assert arrays["none"].shape == (0,)
+        assert not arrays["none"].flags.writeable
+
+    def test_nbytes_sums_blobs(self, artifact):
+        expected = sum(a.nbytes for a in _sample_arrays().values())
+        assert artifact_nbytes(artifact) == expected
+
+    def test_overwrite_replaces_previous_artifact(self, tmp_path):
+        target = tmp_path / "artifact"
+        write_artifact(target, {}, {"a": np.arange(3)})
+        write_artifact(target, {}, {"b": np.arange(5)})
+        _meta, arrays = load_artifact(target)
+        assert set(arrays) == {"b"}
+
+
+class TestCorruptionMatrix:
+    def test_truncated_blob_is_typed_not_segfault(self, artifact):
+        blob = artifact / "blobs" / "mu.bin"
+        blob.write_bytes(blob.read_bytes()[:-8])
+        with pytest.raises(ArtifactCorruptError, match="mu.bin"):
+            load_artifact(artifact)
+
+    def test_missing_blob(self, artifact):
+        (artifact / "blobs" / "mu.bin").unlink()
+        with pytest.raises(ArtifactCorruptError, match="mu.bin"):
+            load_artifact(artifact)
+
+    def test_version_skew(self, artifact):
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        manifest["format_version"] = ARTIFACT_FORMAT_VERSION + 1
+        (artifact / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactVersionError, match="manifest.json"):
+            load_artifact(artifact)
+
+    def test_edited_shape_mismatches_blob(self, artifact):
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        manifest["arrays"]["mu"]["shape"] = [16]
+        (artifact / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactCorruptError, match="mu"):
+            load_artifact(artifact)
+
+    def test_edited_dtype_rejected(self, artifact):
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        manifest["arrays"]["mu"]["dtype"] = "|O8"
+        (artifact / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactCorruptError, match="dtype"):
+            load_artifact(artifact)
+
+    def test_blob_path_escape_rejected(self, artifact):
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        manifest["arrays"]["mu"]["blob"] = "../outside.bin"
+        (artifact / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactCorruptError, match="blob"):
+            load_artifact(artifact)
+
+    def test_manifest_not_json(self, artifact):
+        (artifact / "manifest.json").write_text("{not json")
+        with pytest.raises(ArtifactCorruptError, match="manifest.json"):
+            read_manifest(artifact)
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "hollow").mkdir()
+        with pytest.raises(ArtifactCorruptError, match="hollow"):
+            read_manifest(tmp_path / "hollow")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactCorruptError):
+            load_artifact(tmp_path / "never-written")
+
+    def test_typed_errors_are_artifact_errors(self):
+        assert issubclass(ArtifactCorruptError, ArtifactError)
+        assert issubclass(ArtifactVersionError, ArtifactError)
+
+
+class TestWriteValidation:
+    def test_object_dtype_rejected_at_write(self, tmp_path):
+        with pytest.raises(ArtifactCorruptError):
+            write_artifact(
+                tmp_path / "bad", {}, {"objs": np.array([object()], dtype=object)}
+            )
+
+    def test_illegal_array_name_rejected(self, tmp_path):
+        with pytest.raises(ArtifactCorruptError):
+            write_artifact(tmp_path / "bad", {}, {"a/b": np.arange(3)})
+
+    def test_failed_write_leaves_no_artifact(self, tmp_path):
+        target = tmp_path / "bad"
+        with pytest.raises(ArtifactCorruptError):
+            write_artifact(
+                target, {}, {"ok": np.arange(3), "a/b": np.arange(3)}
+            )
+        assert not target.exists()

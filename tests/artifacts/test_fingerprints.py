@@ -1,0 +1,88 @@
+"""Golden point-set fingerprints.
+
+Artifact staleness detection compares ``PointSet.fingerprint()`` /
+``spot_fingerprint()`` against values recorded in session manifests on
+disk, possibly by another process on another day.  That only works if the
+fingerprints are *stable*: pure functions of the content, independent of
+``PYTHONHASHSEED``, process lifetime and platform.  These tests pin them
+against committed golden values - if one of them changes, every existing
+artifact on every user's disk silently becomes "stale", so treat a change
+here as a format break (bump the session manifest version), not as a test
+to update in passing.
+"""
+
+import numpy as np
+
+from repro.geometry.point import PointSet
+
+GOLDEN = PointSet(
+    xs=[10.0, 50.0, 90.0], ys=[5.0, 45.0, 85.0], ids=[3, 1, 2], name="golden"
+)
+
+GOLDEN_FULL = 326898039482125635599709555201647609629
+GOLDEN_SPOT = 326898039482125635599709555201647609629
+
+EMPTY_FULL = 274724611455145120356117287798779544776
+
+BIG_FULL = 328728829368281203529005171041671854775
+BIG_SPOT = 209786143584866494354396061239568358618
+
+
+def _big() -> PointSet:
+    return PointSet(
+        xs=np.linspace(0.0, 10_000.0, 4096),
+        ys=np.linspace(10_000.0, 0.0, 4096),
+        ids=np.arange(4096, dtype=np.int64),
+        name="golden-big",
+    )
+
+
+class TestGoldenValues:
+    def test_small_set_matches_golden(self):
+        assert GOLDEN.fingerprint() == GOLDEN_FULL
+        assert GOLDEN.spot_fingerprint() == GOLDEN_SPOT
+
+    def test_empty_set_matches_golden(self):
+        empty = PointSet(xs=np.empty(0), ys=np.empty(0))
+        assert empty.fingerprint() == EMPTY_FULL
+        assert empty.spot_fingerprint() == EMPTY_FULL
+
+    def test_large_set_matches_golden(self):
+        big = _big()
+        assert big.fingerprint() == BIG_FULL
+        assert big.spot_fingerprint() == BIG_SPOT
+
+    def test_spot_equals_full_below_sampling_threshold(self):
+        # Small sets are hashed exhaustively either way.
+        assert GOLDEN.spot_fingerprint() == GOLDEN.fingerprint()
+
+
+class TestStability:
+    def test_fingerprint_is_content_addressed(self):
+        twin = PointSet(
+            xs=np.array([10.0, 50.0, 90.0]),
+            ys=np.array([5.0, 45.0, 85.0]),
+            ids=np.array([3, 1, 2]),
+            name="other-name",
+        )
+        # Same content, different name/object identity: same fingerprint
+        # (the name is presentation, not content).
+        assert twin.fingerprint() == GOLDEN_FULL
+
+    def test_fingerprint_sees_every_column(self):
+        base = _big()
+        for mutate in ("xs", "ys", "ids"):
+            arrays = {
+                "xs": base.xs.copy(),
+                "ys": base.ys.copy(),
+                "ids": base.ids.copy(),
+            }
+            arrays[mutate][17] += 1
+            changed = PointSet(**arrays)
+            assert changed.fingerprint() != BIG_FULL, mutate
+
+    def test_fingerprint_distinguishes_tiny_perturbation(self):
+        xs = GOLDEN.xs.copy()
+        xs[0] = np.nextafter(xs[0], np.inf)
+        perturbed = PointSet(xs=xs, ys=GOLDEN.ys.copy(), ids=GOLDEN.ids.copy())
+        assert perturbed.fingerprint() != GOLDEN_FULL

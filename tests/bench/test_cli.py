@@ -177,6 +177,75 @@ class TestExecution:
         assert lines[0] == "r_id,s_id"
         assert len(lines) == 46
 
+    def test_build_command_defaults(self):
+        args = build_parser().parse_args(["build", "--artifact", "warm"])
+        assert args.command == "build"
+        assert args.dataset == "castreet"
+        assert args.algorithm == "bbst"
+
+    def test_build_requires_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build"])
+
+    def test_build_then_warm_sample_is_bit_identical(self, tmp_path, capsys):
+        common = [
+            "--dataset", "castreet",
+            "--size", "1500",
+            "--algorithm", "bbst",
+            "--half-extent", "300",
+        ]
+        code = main(["build", *common, "--artifact", str(tmp_path / "warm")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "artifact:" in out
+
+        cold_csv = tmp_path / "cold.csv"
+        warm_csv = tmp_path / "warm.csv"
+        assert main(["sample", *common, "-t", "40", "--output", str(cold_csv)]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "sample", *common, "-t", "40",
+                "--artifact", str(tmp_path / "warm"),
+                "--output", str(warm_csv),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm start: 1 prepared entries attached" in out
+        assert warm_csv.read_text() == cold_csv.read_text()
+
+    def test_warm_sample_profile_records_load_phase(self, tmp_path, capsys):
+        common = [
+            "--dataset", "castreet",
+            "--size", "1500",
+            "--half-extent", "300",
+        ]
+        assert main(["build", *common, "--artifact", str(tmp_path / "warm")]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "sample", *common, "-t", "20",
+                "--artifact", str(tmp_path / "warm"),
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load" in out
+
+    def test_warm_sample_missing_artifact_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "sample",
+                "--dataset", "castreet",
+                "--size", "1500",
+                "--artifact", str(tmp_path / "nothing-here"),
+            ]
+        )
+        assert code == 2
+        assert "--artifact" in capsys.readouterr().err
+
     def test_sample_rejects_bad_repeat(self):
         assert main(["sample", "--size", "1500", "--repeat", "0"]) == 2
 
@@ -270,6 +339,35 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "bound tenant 'castreet'" in out
         assert "serving on http://127.0.0.1:" in out
+        assert "drained:" in out
+
+    def test_serve_warm_starts_from_build_artifact(self, tmp_path, capsys):
+        code = main(
+            [
+                "build",
+                "--dataset", "castreet",
+                "--size", "1500",
+                "--algorithm", "bbst",
+                "--artifact", str(tmp_path / "warm"),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                "--dataset", "castreet",
+                "--size", "1500",
+                "--algorithm", "bbst",
+                "--port", "0",
+                "--exit-after", "0.6",
+                "--artifact", str(tmp_path / "warm"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm-start artifacts:" in out
+        assert "points from artifact snapshot" in out
         assert "drained:" in out
 
     def test_serve_rejects_bad_knobs(self, capsys):

@@ -27,6 +27,7 @@ class TestRegistry:
             "dynamic",
             "manager",
             "service",
+            "warmstart",
         }
         assert expected == set(EXPERIMENTS)
 

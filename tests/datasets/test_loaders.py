@@ -1,9 +1,15 @@
-"""Tests for CSV persistence of point sets."""
+"""Tests for CSV and binary persistence of point sets."""
 
 import numpy as np
 import pytest
 
-from repro.datasets.loaders import load_points_csv, save_points_csv
+from repro.datasets.loaders import (
+    POINT_RECORD_DTYPE,
+    load_points_csv,
+    load_points_npy,
+    save_points_csv,
+    save_points_npy,
+)
 from repro.datasets.synthetic import uniform_points
 from repro.geometry.point import PointSet
 
@@ -60,3 +66,81 @@ class TestErrorHandling:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_points_csv(tmp_path / "does-not-exist.csv")
+
+
+def _awkward_points(rng) -> PointSet:
+    """Doubles whose shortest decimal repr needs the full 17 digits."""
+    xs = rng.uniform(0.0, 10_000.0, size=500) / 3.0
+    ys = np.nextafter(rng.uniform(0.0, 10_000.0, size=500), np.inf)
+    return PointSet(xs=xs, ys=ys, ids=rng.permutation(500).astype(np.int64))
+
+
+class TestLosslessRoundTrip:
+    """Both formats must preserve IEEE-754 doubles *bit-for-bit*.
+
+    The artifact layer validates point-set fingerprints against manifests
+    on disk, so even a 1-ulp wobble through persistence would make every
+    saved artifact look stale.
+    """
+
+    def test_csv_roundtrip_is_bit_exact(self, tmp_path, rng):
+        points = _awkward_points(rng)
+        loaded = load_points_csv(save_points_csv(points, tmp_path / "p.csv"))
+        assert np.array_equal(loaded.xs, points.xs)
+        assert np.array_equal(loaded.ys, points.ys)
+        assert np.array_equal(loaded.ids, points.ids)
+
+    def test_npy_roundtrip_is_bit_exact(self, tmp_path, rng):
+        points = _awkward_points(rng)
+        loaded = load_points_npy(save_points_npy(points, tmp_path / "p.npy"))
+        assert np.array_equal(loaded.xs, points.xs)
+        assert np.array_equal(loaded.ys, points.ys)
+        assert np.array_equal(loaded.ids, points.ids)
+
+    def test_roundtrips_preserve_fingerprint(self, tmp_path, rng):
+        points = _awkward_points(rng)
+        via_csv = load_points_csv(save_points_csv(points, tmp_path / "p.csv"))
+        via_npy = load_points_npy(save_points_npy(points, tmp_path / "p.npy"))
+        assert via_csv.fingerprint() == points.fingerprint()
+        assert via_npy.fingerprint() == points.fingerprint()
+
+    def test_npy_handles_empty_sets(self, tmp_path):
+        empty = PointSet(xs=np.empty(0), ys=np.empty(0))
+        loaded = load_points_npy(save_points_npy(empty, tmp_path / "empty.npy"))
+        assert len(loaded) == 0
+
+    def test_npy_name_defaults_to_stem(self, tmp_path):
+        points = PointSet(xs=[1.0], ys=[2.0])
+        loaded = load_points_npy(save_points_npy(points, tmp_path / "mydata.npy"))
+        assert loaded.name == "mydata"
+
+    def test_npy_record_dtype_is_little_endian(self):
+        for field in ("id", "x", "y"):
+            dtype = POINT_RECORD_DTYPE[field]
+            assert dtype.byteorder in ("<", "="), field
+
+
+class TestNpyErrorHandling:
+    def test_wrong_dtype_rejected(self, tmp_path, rng):
+        path = tmp_path / "other.npy"
+        with path.open("wb") as handle:
+            np.save(handle, rng.uniform(size=(10, 3)), allow_pickle=False)
+        with pytest.raises(ValueError, match="other.npy"):
+            load_points_npy(path)
+
+    def test_garbage_bytes_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npy"
+        path.write_bytes(b"not an npy file at all")
+        with pytest.raises(ValueError, match="garbage.npy"):
+            load_points_npy(path)
+
+    def test_pickled_payload_rejected(self, tmp_path):
+        path = tmp_path / "pickled.npy"
+        with path.open("wb") as handle:
+            np.save(handle, np.array([{"a": 1}], dtype=object), allow_pickle=True)
+        with pytest.raises(ValueError):
+            load_points_npy(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points_npy(tmp_path / "does-not-exist.npy")
