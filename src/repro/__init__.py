@@ -77,12 +77,15 @@ from repro.errors import (
     ArtifactVersionError,
     BudgetExceededError,
     InvalidSpecError,
+    LockOrderError,
     MaintenanceError,
     ReproDeprecationWarning,
     ReproError,
+    SamplingExhaustedError,
     ServiceOverloadedError,
     SessionClosedError,
     StaleInputError,
+    UnknownKeyError,
 )
 from repro.geometry import Point, PointSet, Rect, window_around
 from repro.manager import SessionHandle, SessionManager, open_session
@@ -96,7 +99,7 @@ from repro.parallel import (
 )
 from repro.service import ServiceConfig, ServiceCore, ServiceServer, run_server
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -111,6 +114,9 @@ __all__ = [
     "BudgetExceededError",
     "SessionClosedError",
     "MaintenanceError",
+    "SamplingExhaustedError",
+    "UnknownKeyError",
+    "LockOrderError",
     "ServiceOverloadedError",
     "ArtifactError",
     "ArtifactCorruptError",

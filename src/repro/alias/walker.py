@@ -25,9 +25,11 @@ differential testing.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
+
+from repro.errors import InvalidSpecError
 
 __all__ = ["AliasTable", "CumulativeTable"]
 
@@ -123,14 +125,14 @@ class AliasTable:
     ) -> None:
         w = np.asarray(weights, dtype=np.float64)
         if w.ndim != 1:
-            raise ValueError("weights must be one-dimensional")
+            raise InvalidSpecError("weights must be one-dimensional")
         if w.size == 0:
-            raise ValueError("cannot build an alias table over zero weights")
+            raise InvalidSpecError("cannot build an alias table over zero weights")
         if np.any(w < 0) or not np.all(np.isfinite(w)):
-            raise ValueError("weights must be finite and non-negative")
+            raise InvalidSpecError("weights must be finite and non-negative")
         total = float(w.sum())
         if total <= 0.0:
-            raise ValueError("at least one weight must be positive")
+            raise InvalidSpecError("at least one weight must be positive")
 
         k = w.size
         # Normalise before scaling: (w / total) * k stays finite even when
@@ -142,7 +144,7 @@ class AliasTable:
         elif construction == "scalar":
             prob, alias = _build_tables_scalar(scaled)
         else:
-            raise ValueError(
+            raise InvalidSpecError(
                 f"unknown construction {construction!r}; use 'vectorized' or 'scalar'"
             )
 
@@ -170,10 +172,10 @@ class AliasTable:
         prob = np.asarray(prob, dtype=np.float64)
         alias = np.asarray(alias, dtype=np.int64)
         if prob.ndim != 1 or prob.shape != alias.shape or prob.size == 0:
-            raise ValueError("prob and alias must be equal-length 1-D arrays")
+            raise InvalidSpecError("prob and alias must be equal-length 1-D arrays")
         total = float(total)
         if not total > 0.0:
-            raise ValueError("total weight must be positive")
+            raise InvalidSpecError("total weight must be positive")
         table = cls.__new__(cls)
         table._prob = prob
         table._alias = alias
@@ -209,7 +211,7 @@ class AliasTable:
     def draw_many(self, count: int, rng: np.random.Generator) -> np.ndarray:
         """Vectorised batch of ``count`` independent weighted draws."""
         if count < 0:
-            raise ValueError("count must be non-negative")
+            raise InvalidSpecError("count must be non-negative")
         columns = rng.integers(self._size, size=count)
         coins = rng.random(count)
         take_column = coins < self._prob[columns]
@@ -239,13 +241,13 @@ class CumulativeTable:
     def __init__(self, weights: Sequence[float] | np.ndarray) -> None:
         w = np.asarray(weights, dtype=np.float64)
         if w.ndim != 1 or w.size == 0:
-            raise ValueError("weights must be a non-empty 1-D array")
+            raise InvalidSpecError("weights must be a non-empty 1-D array")
         if np.any(w < 0) or not np.all(np.isfinite(w)):
-            raise ValueError("weights must be finite and non-negative")
+            raise InvalidSpecError("weights must be finite and non-negative")
         cumulative = np.cumsum(w)
         total = float(cumulative[-1])
         if total <= 0.0:
-            raise ValueError("at least one weight must be positive")
+            raise InvalidSpecError("at least one weight must be positive")
         self._cumulative = cumulative
         self._total = total
         self._size = w.size
@@ -271,7 +273,7 @@ class CumulativeTable:
     def draw_many(self, count: int, rng: np.random.Generator) -> np.ndarray:
         """Batch of ``count`` independent weighted draws."""
         if count < 0:
-            raise ValueError("count must be non-negative")
+            raise InvalidSpecError("count must be non-negative")
         us = rng.random(count) * self._total
         indices = np.searchsorted(self._cumulative, us, side="right").astype(np.int64)
         return np.minimum(indices, self._last_positive)

@@ -45,8 +45,9 @@ import os
 import threading
 import time
 import warnings
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -56,6 +57,7 @@ from repro.core.base import JoinSampler, JoinSampleResult, SamplePair, resolve_r
 from repro.core.config import JoinSpec
 from repro.core.registry import canonical_name, get_sampler
 from repro.core.validation import validate_half_extent, validate_jobs
+from repro.devtools.lockcheck import LockLike, make_lock
 from repro.dynamic.sampler import DynamicSampler
 from repro.dynamic.store import DynamicPointStore
 from repro.errors import (
@@ -67,6 +69,7 @@ from repro.errors import (
     ReproDeprecationWarning,
     SessionClosedError,
     StaleInputError,
+    UnknownKeyError,
 )
 from repro.geometry.point import PointSet
 from repro.parallel.pool import WorkerPool
@@ -128,7 +131,7 @@ class _CacheEntry:
     # Serial samplers share unsynchronised structures, so their draws are
     # serialised per entry; sharded samplers lock per shard internally and
     # leave this None so concurrent requests can proceed on disjoint shards.
-    lock: threading.Lock | None = field(default=None, repr=False)
+    lock: LockLike | None = field(default=None, repr=False)
     # Eviction bookkeeping (all mutated under the session lock).  ``pins``
     # counts in-flight requests holding the entry: an external owner (the
     # manager) may only evict entries with ``pins == 0``, which is what makes
@@ -261,8 +264,8 @@ class SamplingSession:
         # Cold-key builds run OUTSIDE this lock behind a per-key build lock
         # (``_build_locks``), so a multi-second prepare never stalls requests
         # on already-cached keys.
-        self._lock = threading.RLock()
-        self._build_locks: dict[tuple[str, float, int], threading.Lock] = {}
+        self._lock = make_lock("session", reentrant=True)
+        self._build_locks: dict[tuple[str, float, int], LockLike] = {}
         self.stats = SessionStats()
         # Warm-start bookkeeping: the artifact directory and the cache-key ->
         # entry-subdirectory mapping its manifest records (empty when the
@@ -463,7 +466,7 @@ class SamplingSession:
                 entry.pins += 1
                 entry.last_used = time.monotonic()
                 return entry
-            build_lock = self._build_locks.setdefault(key, threading.Lock())
+            build_lock = self._build_locks.setdefault(key, make_lock("session-build"))
         # Build outside the session lock: a cold-key prepare can take seconds
         # (or lease worker processes), and requests on cached keys must not
         # wait for it.  Concurrent requests for the *same* cold key serialise
@@ -506,10 +509,10 @@ class SamplingSession:
                 # Before the first update the wrapper is a pure pass-through
                 # (draws are bit-identical to the plain sampler).
                 sampler = DynamicSampler(spec, algorithm=name, **self._sampler_options)
-                entry_lock = threading.Lock()
+                entry_lock = make_lock("entry")
             else:
                 sampler = get_sampler(name).create(spec, **self._sampler_options)
-                entry_lock = threading.Lock()
+                entry_lock = make_lock("entry")
             prepare_timings = sampler.prepare()
             prepare_seconds = (
                 prepare_timings.preprocess_seconds + prepare_timings.total_seconds
@@ -722,11 +725,11 @@ class SamplingSession:
         elif get_sampler(name).supports_updates:
             sampler = DynamicSampler(spec, algorithm=name, **self._sampler_options)
             attach_sampler_artifact(sampler, directory)
-            entry_lock = threading.Lock()
+            entry_lock = make_lock("entry")
         else:
             sampler = get_sampler(name).create(spec, **self._sampler_options)
             attach_sampler_artifact(sampler, directory)
-            entry_lock = threading.Lock()
+            entry_lock = make_lock("entry")
         return _CacheEntry(
             sampler=sampler,
             spec=spec,
@@ -1118,7 +1121,7 @@ class SamplingSession:
             try:
                 _positions, deleted_xs, _ys = store.delete(delete_ids)
             except KeyError as exc:
-                raise KeyError(f"cannot delete unknown point ids: {exc}") from None
+                raise UnknownKeyError(f"cannot delete unknown point ids: {exc}") from None
             ins_ids = store.insert(ins_xs, ins_ys, ids=ins_ids)
             new_side = store.snapshot()
             changed_xs = np.concatenate((deleted_xs, ins_xs))

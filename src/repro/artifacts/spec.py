@@ -25,8 +25,9 @@ twins).
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping
 from pathlib import Path
-from typing import Any, ClassVar, Mapping, Protocol, runtime_checkable
+from typing import Any, ClassVar, Protocol, runtime_checkable
 
 import numpy as np
 

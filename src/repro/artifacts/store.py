@@ -28,9 +28,10 @@ import json
 import os
 import shutil
 import tempfile
+from collections.abc import Mapping
 from math import prod
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any
 
 import numpy as np
 

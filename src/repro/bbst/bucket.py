@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import InvalidSpecError
 from repro.grid.cell import GridCell
 
 __all__ = ["Bucket", "build_buckets", "bucket_capacity_for"]
@@ -29,7 +30,7 @@ def bucket_capacity_for(m: int) -> int:
     clamp to at least 1 so that tiny datasets still form valid buckets.
     """
     if m < 0:
-        raise ValueError("m must be non-negative")
+        raise InvalidSpecError("m must be non-negative")
     if m <= 2:
         return 1
     return max(1, int(math.ceil(math.log2(m))))
@@ -59,7 +60,7 @@ class Bucket:
 
     def __post_init__(self) -> None:
         if self.end <= self.start:
-            raise ValueError("a bucket must contain at least one point")
+            raise InvalidSpecError("a bucket must contain at least one point")
 
     def __len__(self) -> int:
         return self.end - self.start
@@ -79,7 +80,7 @@ class Bucket:
         buckets.
         """
         if slot < 0:
-            raise ValueError("slot must be non-negative")
+            raise InvalidSpecError("slot must be non-negative")
         if slot >= self.size:
             return None
         return self.start + slot
@@ -92,7 +93,7 @@ def build_buckets(cell: GridCell, capacity: int) -> list[Bucket]:
     min/max envelopes are computed with vectorised reductions over each slice.
     """
     if capacity < 1:
-        raise ValueError("capacity must be at least 1")
+        raise InvalidSpecError("capacity must be at least 1")
     size = len(cell)
     buckets: list[Bucket] = []
     xs = cell.xs_by_x

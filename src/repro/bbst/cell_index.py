@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.bbst.bucket import Bucket, build_buckets
 from repro.bbst.tree import BBST, KeyMode, QualifyingRun, YCondition
+from repro.errors import InvalidSpecError
 from repro.geometry.rect import Rect
 from repro.grid.cell import GridCell
 from repro.grid.neighbors import NeighborKind
@@ -100,7 +101,7 @@ class CellIndex:
         try:
             key_mode, x_from_min, y_condition = _CORNER_RULES[kind]
         except KeyError as exc:
-            raise ValueError(f"{kind} is not a corner (case 3) neighbour") from exc
+            raise InvalidSpecError(f"{kind} is not a corner (case 3) neighbour") from exc
         tree = self._tree_max if key_mode is KeyMode.MAX_X else self._tree_min
         x_bound = window.xmin if x_from_min else window.xmax
         y_bound = window.ymin if y_condition is YCondition.MAX_Y_AT_LEAST else window.ymax

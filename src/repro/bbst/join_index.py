@@ -24,6 +24,7 @@ from repro.bbst.bucket import Bucket, bucket_capacity_for
 from repro.bbst.cell_index import CellIndex
 from repro.core.batching import pick_int_scalar
 from repro.core.validation import validate_half_extent
+from repro.errors import InvalidSpecError
 from repro.kernels.backends import get_kernels, resolve_backend
 from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect, window_around
@@ -191,7 +192,7 @@ class BBSTJoinIndex:
             else bucket_capacity_for(len(s_points))
         )
         if self._capacity < 1:
-            raise ValueError("bucket_capacity must be at least 1")
+            raise InvalidSpecError("bucket_capacity must be at least 1")
         self._grid = Grid(s_points, cell_size=self._half_extent)
         self._cell_indexes: dict[tuple[int, int], CellIndex] | None = {}
         self._bucket_arrays: BucketArrays | None = None
@@ -224,7 +225,7 @@ class BBSTJoinIndex:
         index._capacity_override = bool(capacity_override)
         index._capacity = int(bucket_capacity)
         if index._capacity < 1:
-            raise ValueError("bucket_capacity must be at least 1")
+            raise InvalidSpecError("bucket_capacity must be at least 1")
         index._grid = grid
         index._cell_indexes = None
         index._bucket_arrays = bucket_arrays
@@ -426,7 +427,7 @@ class BBSTJoinIndex:
             position = cell.kth_y_at_most(window.ymax, int(rng.integers(count)))
             return cell.point_by_y_order(position)
         if kind.case != CASE_CORNER:  # pragma: no cover - defensive
-            raise ValueError(f"unhandled neighbour kind {kind}")
+            raise InvalidSpecError(f"unhandled neighbour kind {kind}")
         return self._corner_sample(cell, kind, window, rng)
 
     # ------------------------------------------------------------------

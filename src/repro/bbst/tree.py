@@ -22,10 +22,10 @@ operations.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from enum import Enum
 from statistics import median_low
-from typing import Sequence
 
 import numpy as np
 

@@ -24,11 +24,13 @@ function                                  paper artefact
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
 from repro.api.session import SamplingSession
+from repro.errors import InvalidSpecError
 from repro.manager import SessionManager
 from repro.bench.workloads import (
     ExperimentScale,
@@ -268,7 +270,7 @@ def run_session_reuse(
     be ~0 once the ``(algorithm, half_extent)`` key is cached.
     """
     if requests < 2:
-        raise ValueError("requests must be at least 2 to show any reuse")
+        raise InvalidSpecError("requests must be at least 2 to show any reuse")
     rows: list[Row] = []
     for config in _workloads_or_default(workloads, scale, datasets):
         spec = build_join_spec(config)
@@ -547,9 +549,9 @@ def run_update_throughput(
     """
     del workloads, datasets  # pinned workload; see docstring
     if rounds < 1:
-        raise ValueError("rounds must be at least 1")
+        raise InvalidSpecError("rounds must be at least 1")
     if batch < 2:
-        raise ValueError("batch must be at least 2")
+        raise InvalidSpecError("batch must be at least 2")
     points_budget = (
         int(total_points)
         if total_points is not None
@@ -696,9 +698,9 @@ def run_manager_multitenancy(
     """
     del workloads, datasets  # pinned workload; see docstring
     if tenants < 1:
-        raise ValueError("tenants must be at least 1")
+        raise InvalidSpecError("tenants must be at least 1")
     if rounds < 1:
-        raise ValueError("rounds must be at least 1")
+        raise InvalidSpecError("rounds must be at least 1")
     points_budget = _MANAGER_SCALE_POINTS[scale]
     t = (500 if scale is ExperimentScale.SMOKE else 2_000) if num_samples is None else num_samples
 
@@ -716,7 +718,7 @@ def run_manager_multitenancy(
     # The never-evicted twins: one plain session per tenant, prepared up
     # front so their summed bytes define the budget.
     twins = [
-        SamplingSession(
+        SamplingSession(  # repro-lint: disable=RL004 (unmanaged differential twin; budget bench owns its lifecycle)
             spec.r_points,
             spec.s_points,
             MANAGER_HALF_EXTENT,

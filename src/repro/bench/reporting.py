@@ -8,7 +8,8 @@ algorithm or phase).
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 __all__ = ["format_value", "format_table", "format_markdown_table", "rows_to_csv"]
 

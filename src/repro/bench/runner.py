@@ -8,8 +8,8 @@ both as a fixed-width table (stdout) and as markdown (the report file).
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Sequence
 from pathlib import Path
-from typing import Callable, Sequence
 
 from repro.bench.harness import (
     run_accuracy_experiment,
@@ -34,6 +34,7 @@ from repro.bench.reporting import format_markdown_table, format_table
 from repro.bench.service_load import run_service_load
 from repro.bench.warm_start import run_warm_start
 from repro.bench.workloads import ExperimentScale
+from repro.errors import UnknownKeyError
 
 __all__ = ["EXPERIMENTS", "run_all_experiments", "run_experiment"]
 
@@ -93,7 +94,7 @@ def run_experiment(
     """Run one experiment by id and return its rows."""
     key = experiment_id.strip().lower()
     if key not in EXPERIMENTS:
-        raise KeyError(
+        raise UnknownKeyError(
             f"unknown experiment {experiment_id!r}; known ids: {', '.join(EXPERIMENTS)}"
         )
     _title, runner = EXPERIMENTS[key]

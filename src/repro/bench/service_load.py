@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.api.session import SamplingSession
 from repro.bench.workloads import ExperimentScale, WorkloadConfig
 from repro.datasets.partition import split_r_s
 from repro.datasets.synthetic import uniform_points
+from repro.errors import InvalidSpecError
 from repro.manager import SessionManager
 from repro.service import ServiceConfig, ServiceCore, ServiceServer, http_request
 
@@ -164,9 +166,9 @@ def run_service_load(
     if connections is None:
         connections = _SERVICE_SCALE_CONNECTIONS[scale]
     if connections < 1:
-        raise ValueError("connections must be at least 1")
+        raise InvalidSpecError("connections must be at least 1")
     if requests_per_connection < 1:
-        raise ValueError("requests_per_connection must be at least 1")
+        raise InvalidSpecError("requests_per_connection must be at least 1")
 
     rng = np.random.default_rng(seed)
     points = uniform_points(_SERVICE_SCALE_POINTS[scale], rng, name="service-load")
@@ -208,7 +210,7 @@ def run_service_load(
     # session over the same data: the wire answer must match bit for bit.
     verified = 0
     mismatches = 0
-    twin = SamplingSession(
+    twin = SamplingSession(  # repro-lint: disable=RL004 (unmanaged verification twin outside the service under test)
         r_points, s_points, SERVICE_HALF_EXTENT, algorithm=algorithm, eager=False
     )
     try:

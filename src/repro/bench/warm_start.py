@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import tempfile
 import time
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Sequence
 
 import numpy as np
 
@@ -86,7 +86,7 @@ def run_warm_start(
         for name in algorithms:
             with tempfile.TemporaryDirectory(prefix="repro-warmstart-") as tmp:
                 target = Path(tmp) / "artifact"
-                cold = SamplingSession(
+                cold = SamplingSession(  # repro-lint: disable=RL004 (cold-start timing needs an unmanaged session)
                     r_points,
                     s_points,
                     half_extent=WARMSTART_HALF_EXTENT,

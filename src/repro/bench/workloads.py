@@ -17,9 +17,9 @@ Two pre-defined scales are provided:
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.core.config import JoinSpec
 from repro.core.validation import validate_half_extent
 from repro.datasets.partition import split_r_s
 from repro.datasets.real_proxies import DATASET_NAMES, load_proxy
+from repro.errors import InvalidSpecError, UnknownKeyError
 
 __all__ = [
     "DEFAULT_HALF_EXTENT",
@@ -96,12 +97,12 @@ class WorkloadConfig:
 
     def __post_init__(self) -> None:
         if self.total_points < 2:
-            raise ValueError("total_points must be at least 2")
+            raise InvalidSpecError("total_points must be at least 2")
         validate_half_extent(self.half_extent)
         if self.num_samples < 0:
-            raise ValueError("num_samples must be non-negative")
+            raise InvalidSpecError("num_samples must be non-negative")
         if not 0.0 < self.r_fraction < 1.0:
-            raise ValueError("r_fraction must be in (0, 1)")
+            raise InvalidSpecError("r_fraction must be in (0, 1)")
 
 
 def default_workloads(
@@ -116,7 +117,7 @@ def default_workloads(
     for name in names:
         key = name.strip().lower()
         if key not in sizes:
-            raise KeyError(f"unknown dataset {name!r}")
+            raise UnknownKeyError(f"unknown dataset {name!r}")
         workloads.append(
             WorkloadConfig(
                 dataset=key,
@@ -147,7 +148,7 @@ def build_join_spec(
         Override of the window half-extent (Fig. 5 sweep).
     """
     if not 0.0 < scale_fraction <= 1.0:
-        raise ValueError("scale_fraction must be in (0, 1]")
+        raise InvalidSpecError("scale_fraction must be in (0, 1]")
     rng = np.random.default_rng(config.seed)
     points = load_proxy(config.dataset, size=config.total_points)
     if scale_fraction < 1.0:

@@ -52,8 +52,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Sequence
 
 import numpy as np
 
@@ -412,7 +412,7 @@ def _open_session(args: argparse.Namespace) -> SamplingSession:
     rng = np.random.default_rng(args.seed)
     points = load_proxy(args.dataset, size=args.size)
     r_points, s_points = split_r_s(points, rng)
-    return SamplingSession(
+    return SamplingSession(  # repro-lint: disable=RL004 (CLI one-shot: session lifecycle ends with the process)
         r_points,
         s_points,
         half_extent=args.half_extent,
@@ -633,7 +633,7 @@ def _command_plan(args: argparse.Namespace) -> int:
             ).explain()
         )
         return 0
-    session = SamplingSession(
+    session = SamplingSession(  # repro-lint: disable=RL004 (CLI one-shot: session lifecycle ends with the process)
         r_points,
         s_points,
         half_extent=args.half_extent,

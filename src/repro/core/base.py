@@ -19,12 +19,17 @@ from __future__ import annotations
 
 import abc
 import time
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.core.config import JoinSpec
+from repro.errors import InvalidSpecError, SamplingExhaustedError
+
+if TYPE_CHECKING:
+    from repro.kernels import KernelSet
 
 __all__ = [
     "SamplePair",
@@ -48,7 +53,7 @@ def resolve_rng(
     API's ``draw()`` / ``stream()``.
     """
     if rng is not None and seed is not None:
-        raise ValueError("pass either rng or seed, not both")
+        raise InvalidSpecError("pass either rng or seed, not both")
     if rng is None:
         return np.random.default_rng(seed)
     return rng
@@ -199,7 +204,7 @@ class JoinSampler(abc.ABC):
         backend: str | None = None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
-            raise ValueError("batch_size must be at least 1")
+            raise InvalidSpecError("batch_size must be at least 1")
         # Resolved eagerly so a bad backend fails at construction, and stored
         # as a plain string so prepared samplers pickle to shard workers (the
         # kernel namespace itself is re-resolved lazily per process).
@@ -234,7 +239,7 @@ class JoinSampler(abc.ABC):
         return self._kernel_backend
 
     @property
-    def kernels(self):
+    def kernels(self) -> KernelSet:
         """The :class:`~repro.kernels.KernelSet` of the resolved backend."""
         from repro.kernels import get_kernels
 
@@ -282,7 +287,7 @@ class JoinSampler(abc.ABC):
             generator is created when neither is given.
         """
         if t < 0:
-            raise ValueError("t must be non-negative")
+            raise InvalidSpecError("t must be non-negative")
         rng = resolve_rng(rng, seed)
         self.preprocess()
         result = self._sample_impl(t, rng)
@@ -346,7 +351,7 @@ class JoinSampler(abc.ABC):
         set of distinct pairs has stopped growing fast enough).
         """
         if t < 0:
-            raise ValueError("t must be non-negative")
+            raise InvalidSpecError("t must be non-negative")
         rng = resolve_rng(rng, seed)
         distinct: dict[tuple[int, int], SamplePair] = {}
         timings = PhaseTimings()
@@ -369,7 +374,7 @@ class JoinSampler(abc.ABC):
                     break
                 distinct.setdefault(pair.as_index_tuple(), pair)
             if total_drawn > max_attempt_factor * max(t, 1) and len(distinct) < t:
-                raise RuntimeError(
+                raise SamplingExhaustedError(
                     f"could not find {t} distinct join pairs after {total_drawn} draws; "
                     "the join result probably has fewer than t pairs"
                 )
@@ -399,7 +404,7 @@ class JoinSampler(abc.ABC):
         per-sample cost after the first batch).
         """
         if batch_size < 1:
-            raise ValueError("batch_size must be at least 1")
+            raise InvalidSpecError("batch_size must be at least 1")
         rng = resolve_rng(rng, seed)
         while True:
             result = self.sample(batch_size, rng=rng)

@@ -25,6 +25,8 @@ bit-identical and differential testing meaningful.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import numpy as np
 
 __all__ = [
@@ -133,7 +135,9 @@ def select_kth_true(
     return out
 
 
-def group_blocks(lengths: np.ndarray, max_items: int = 4_000_000):
+def group_blocks(
+    lengths: np.ndarray, max_items: int = 4_000_000
+) -> Iterator[tuple[int, int]]:
     """Split groups into contiguous blocks whose expansions stay bounded.
 
     Yields ``(start, stop)`` group ranges such that

@@ -14,7 +14,8 @@ Algorithm 1 skeleton of :class:`repro.core.grid_sampler_base.GridJoinSamplerBase
 
 from __future__ import annotations
 
-from typing import Any, ClassVar, Mapping
+from collections.abc import Mapping
+from typing import Any, ClassVar
 
 import numpy as np
 

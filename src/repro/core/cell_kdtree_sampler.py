@@ -9,6 +9,9 @@ up to an order of magnitude slower in the paper's measurements.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+from typing import Any
+
 import numpy as np
 
 from repro.bbst.join_index import BBSTJoinIndex
@@ -19,6 +22,7 @@ from repro.core.registry import register_sampler
 from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect
 from repro.grid.cell import GridCell
+from repro.grid.grid import Grid
 from repro.grid.neighbors import NeighborKind
 from repro.kdtree.tree import KDTree
 
@@ -232,7 +236,12 @@ class CellKDTreeSampler(GridJoinSamplerBase):
             backend=self.kernel_backend,
         )
 
-    def _restore_index(self, grid, meta, arrays) -> CellKDTreeJoinIndex:
+    def _restore_index(
+        self,
+        grid: Grid,
+        meta: Mapping[str, Any],
+        arrays: Mapping[str, np.ndarray],
+    ) -> CellKDTreeJoinIndex:
         # No bucket envelopes to restore: the exact corner primitives scan the
         # grid-flat views, and the per-cell kd-trees rebuild lazily.
         return CellKDTreeJoinIndex.from_prepared(

@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.bbst.join_index import BBSTJoinIndex
 from repro.core.config import JoinSpec
 from repro.core.full_join import join_size
+from repro.errors import InvalidSpecError
 from repro.grid.grid import Grid
 
 __all__ = [
@@ -49,7 +50,7 @@ def upper_bound_ratio(spec: JoinSpec, index: BBSTJoinIndex | None = None) -> flo
     """The accuracy metric of Section V-B: ``sum_r mu(r) / |J|`` (>= 1)."""
     size = exact_join_size(spec)
     if size == 0:
-        raise ValueError("the join is empty; the ratio is undefined")
+        raise InvalidSpecError("the join is empty; the ratio is undefined")
     return upper_bound_sum(spec, index) / size
 
 
@@ -69,9 +70,9 @@ def estimate_join_size_from_upper_bounds(
     the unbiased estimate ``acceptance_rate * sum_mu``.
     """
     if not 0.0 <= acceptance_rate <= 1.0:
-        raise ValueError("acceptance_rate must be in [0, 1]")
+        raise InvalidSpecError("acceptance_rate must be in [0, 1]")
     if sum_mu < 0:
-        raise ValueError("sum_mu must be non-negative")
+        raise InvalidSpecError("sum_mu must be non-negative")
     return acceptance_rate * sum_mu
 
 
@@ -88,7 +89,7 @@ def estimate_join_size_from_sample_counts(
     consume join samples.
     """
     if window_hit_probability < 0 or window_hit_probability > 1:
-        raise ValueError("window_hit_probability must be in [0, 1]")
+        raise InvalidSpecError("window_hit_probability must be in [0, 1]")
     if n < 0 or m < 0:
-        raise ValueError("n and m must be non-negative")
+        raise InvalidSpecError("n and m must be non-negative")
     return window_hit_probability * n * m

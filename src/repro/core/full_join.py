@@ -24,7 +24,7 @@ rank, then within-cell position).
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

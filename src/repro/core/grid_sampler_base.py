@@ -43,8 +43,9 @@ from __future__ import annotations
 
 import abc
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, ClassVar, Mapping, Protocol
+from typing import Any, ClassVar, Protocol
 
 import numpy as np
 
@@ -58,7 +59,6 @@ from repro.artifacts.spec import (
     unpack_alias,
 )
 from repro.bbst.join_index import CellContribution
-from repro.errors import ArtifactCorruptError, ArtifactError
 from repro.core.base import (
     JoinSampler,
     JoinSampleResult,
@@ -69,10 +69,13 @@ from repro.core.base import (
 from repro.core.batching import cutoff_at, next_batch_size, pick_int_scalar
 from repro.core.config import JoinSpec
 from repro.core.guards import empty_join_guard as _empty_join_guard
+from repro.errors import ArtifactCorruptError, ArtifactError, InvalidSpecError, SamplingExhaustedError
+from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect
-from repro.kernels.profiling import PROFILER
+from repro.grid.cell import GridCell
 from repro.grid.grid import Grid
 from repro.grid.neighbors import NEIGHBOR_OFFSETS, NeighborKind
+from repro.kernels.profiling import PROFILER
 
 __all__ = ["JoinCellIndex", "PreparedGridState", "GridJoinSamplerBase"]
 
@@ -166,7 +169,7 @@ class JoinCellIndex(Protocol):
     def corner_pick_scalar(
         self,
         kind: NeighborKind,
-        cell,
+        cell: GridCell,
         window: Rect,
         bound: int,
         u_point: float,
@@ -422,7 +425,7 @@ class GridJoinSamplerBase(JoinSampler):
         self._sorted_s = self.spec.s_points.sorted_by_x()
 
     @property
-    def sorted_s(self):
+    def sorted_s(self) -> PointSet:
         """The inner set pre-sorted by x (available after preprocessing)."""
         return self._sorted_s
 
@@ -471,7 +474,7 @@ class GridJoinSamplerBase(JoinSampler):
             bounds, cumulative = state.bounds, state.cumulative
             alias, sum_mu = state.alias, state.sum_mu
         if alias is None and t > 0:
-            raise ValueError(
+            raise InvalidSpecError(
                 "the spatial range join is empty (every upper bound is zero); "
                 "no samples can be drawn"
             )
@@ -487,7 +490,7 @@ class GridJoinSamplerBase(JoinSampler):
         while alias is not None and accepted < t:
             if accepted == 0 and iterations >= guard:
                 timings.sample_seconds = time.perf_counter() - start
-                raise RuntimeError(
+                raise SamplingExhaustedError(
                     f"no join sample accepted after {iterations} iterations; "
                     "the join result is empty or vanishingly small"
                 )

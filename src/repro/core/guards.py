@@ -11,6 +11,8 @@ accept pairs long before the threshold) unaffected.
 
 from __future__ import annotations
 
+from repro.errors import InvalidSpecError
+
 __all__ = ["empty_join_guard", "EMPTY_JOIN_GUARD_FLOOR", "EMPTY_JOIN_GUARD_FACTOR"]
 
 #: Minimum number of fruitless iterations tolerated before giving up.
@@ -28,5 +30,5 @@ def empty_join_guard(t: int) -> int:
     within a bounded amount of work.
     """
     if t < 0:
-        raise ValueError("t must be non-negative")
+        raise InvalidSpecError("t must be non-negative")
     return max(EMPTY_JOIN_GUARD_FLOOR, EMPTY_JOIN_GUARD_FACTOR * t)

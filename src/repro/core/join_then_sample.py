@@ -22,6 +22,7 @@ from repro.core.base import (
 from repro.core.config import JoinSpec
 from repro.core.full_join import spatial_range_join_array
 from repro.core.registry import register_sampler
+from repro.errors import InvalidSpecError
 from repro.grid.grid import Grid
 
 __all__ = ["JoinThenSample"]
@@ -79,7 +80,7 @@ class JoinThenSample(JoinSampler):
             timings.count_seconds = time.perf_counter() - start
         pairs_index = self._pairs_index
         if pairs_index.shape[0] == 0 and t > 0:
-            raise ValueError(
+            raise InvalidSpecError(
                 "the spatial range join is empty; no samples can be drawn"
             )
 

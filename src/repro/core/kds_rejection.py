@@ -28,8 +28,9 @@ identical variate arrays through the scalar per-attempt path.
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, ClassVar, Mapping
+from typing import Any, ClassVar
 
 import numpy as np
 
@@ -40,7 +41,6 @@ from repro.artifacts.spec import (
     required_array,
     unpack_alias,
 )
-from repro.errors import ArtifactCorruptError, ArtifactError
 from repro.core.base import (
     JoinSampler,
     JoinSampleResult,
@@ -52,6 +52,7 @@ from repro.core.batching import cutoff_at, next_batch_size, pick_int_scalar, win
 from repro.core.config import JoinSpec
 from repro.core.guards import empty_join_guard as _empty_join_guard
 from repro.core.registry import register_sampler
+from repro.errors import ArtifactCorruptError, ArtifactError, InvalidSpecError, SamplingExhaustedError
 from repro.grid.grid import Grid
 from repro.kdtree.batch import canonical_pick, iter_chunked_decompositions
 from repro.kdtree.sampling import KDSRangeSampler
@@ -251,7 +252,7 @@ class KDSRejectionSampler(JoinSampler):
                 self._online.sum_mu,
             )
         if alias is None and t > 0:
-            raise ValueError(
+            raise InvalidSpecError(
                 "the spatial range join is empty (no window overlaps any grid cell); "
                 "no samples can be drawn"
             )
@@ -266,7 +267,7 @@ class KDSRejectionSampler(JoinSampler):
         while alias is not None and accepted < t:
             if accepted == 0 and iterations >= guard:
                 timings.sample_seconds = time.perf_counter() - start
-                raise RuntimeError(
+                raise SamplingExhaustedError(
                     f"no join sample accepted after {iterations} iterations; "
                     "the join result is empty or vanishingly small"
                 )

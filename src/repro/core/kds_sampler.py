@@ -27,8 +27,9 @@ the same pre-drawn variates through per-attempt scalar decompositions and
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, ClassVar, Mapping
+from typing import Any, ClassVar
 
 import numpy as np
 
@@ -39,7 +40,6 @@ from repro.artifacts.spec import (
     required_array,
     unpack_alias,
 )
-from repro.errors import ArtifactCorruptError, ArtifactError
 from repro.core.base import (
     JoinSampler,
     JoinSampleResult,
@@ -50,6 +50,7 @@ from repro.core.base import (
 from repro.core.batching import pick_int_scalar, window_bounds
 from repro.core.config import JoinSpec
 from repro.core.registry import register_sampler
+from repro.errors import ArtifactCorruptError, ArtifactError, InvalidSpecError
 from repro.kdtree.batch import canonical_pick, iter_chunked_decompositions
 from repro.kdtree.sampling import KDSRangeSampler
 
@@ -230,7 +231,7 @@ class KDSSampler(JoinSampler):
         else:
             alias, join_size = self._online.alias, self._online.join_size
         if alias is None and t > 0:
-            raise ValueError(
+            raise InvalidSpecError(
                 "the spatial range join is empty; no samples can be drawn "
                 "(the problem definition assumes |J| >= 1)"
             )

@@ -34,8 +34,11 @@ modules themselves can import :func:`register_sampler` without a cycle.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from typing import Any, TYPE_CHECKING
+
+from repro.errors import InvalidSpecError, UnknownKeyError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.base import JoinSampler
@@ -100,21 +103,21 @@ def register_sampler(
     """
     key = _normalize(name)
     if not key:
-        raise ValueError("sampler name must be non-empty")
+        raise InvalidSpecError("sampler name must be non-empty")
 
     def decorator(factory: Callable[..., "JoinSampler"]) -> Callable[..., "JoinSampler"]:
         existing = _REGISTRY.get(key)
         if existing is not None:
             if existing.factory is factory:
                 return factory
-            raise ValueError(
+            raise InvalidSpecError(
                 f"sampler name {key!r} is already registered to "
                 f"{existing.factory!r}"
             )
         if key in _ALIASES:
             # Alias resolution runs before the registry lookup, so a sampler
             # named after an existing alias would be silently unreachable.
-            raise ValueError(
+            raise InvalidSpecError(
                 f"sampler name {key!r} collides with an alias of "
                 f"{_ALIASES[key]!r}"
             )
@@ -129,7 +132,7 @@ def register_sampler(
         )
         for alias in entry.aliases:
             if alias in _REGISTRY or _ALIASES.get(alias, key) != key:
-                raise ValueError(f"sampler alias {alias!r} is already taken")
+                raise InvalidSpecError(f"sampler alias {alias!r} is already taken")
         _REGISTRY[key] = entry
         for alias in entry.aliases:
             _ALIASES[alias] = key
@@ -143,7 +146,7 @@ def unregister_sampler(name: str) -> None:
     key = _normalize(name)
     entry = _REGISTRY.pop(key, None)
     if entry is None:
-        raise KeyError(f"no sampler registered under {name!r}")
+        raise UnknownKeyError(f"no sampler registered under {name!r}")
     for alias in entry.aliases:
         _ALIASES.pop(alias, None)
 
@@ -174,7 +177,7 @@ def get_sampler(name: str) -> SamplerEntry:
     entry = _REGISTRY.get(key)
     if entry is None:
         known = ", ".join(sampler_names())
-        raise KeyError(f"unknown sampler {name!r}; registered samplers: {known}")
+        raise UnknownKeyError(f"unknown sampler {name!r}; registered samplers: {known}")
     return entry
 
 

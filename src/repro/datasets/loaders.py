@@ -17,6 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import InvalidSpecError
 from repro.geometry.point import PointSet
 
 __all__ = [
@@ -64,12 +65,12 @@ def load_points_csv(path: str | Path, name: str | None = None) -> PointSet:
         reader = csv.reader(handle)
         header = next(reader, None)
         if header is None or tuple(h.strip().lower() for h in header) != _HEADER:
-            raise ValueError(f"{source} does not look like a point CSV (expected header id,x,y)")
+            raise InvalidSpecError(f"{source} does not look like a point CSV (expected header id,x,y)")
         for row_number, row in enumerate(reader, start=2):
             if not row:
                 continue
             if len(row) != 3:
-                raise ValueError(f"{source}:{row_number}: expected 3 columns, got {len(row)}")
+                raise InvalidSpecError(f"{source}:{row_number}: expected 3 columns, got {len(row)}")
             ids.append(int(row[0]))
             xs.append(float(row[1]))
             ys.append(float(row[2]))
@@ -112,14 +113,14 @@ def load_points_npy(path: str | Path, name: str | None = None) -> PointSet:
         try:
             table = np.load(handle, allow_pickle=False)
         except ValueError as exc:
-            raise ValueError(f"{source} is not a readable point .npy file: {exc}") from exc
+            raise InvalidSpecError(f"{source} is not a readable point .npy file: {exc}") from exc
     if not isinstance(table, np.ndarray) or table.dtype != POINT_RECORD_DTYPE:
-        raise ValueError(
+        raise InvalidSpecError(
             f"{source} does not look like a point record file "
             f"(expected dtype {POINT_RECORD_DTYPE}, got {getattr(table, 'dtype', None)})"
         )
     if table.ndim != 1:
-        raise ValueError(f"{source}: expected a 1-d record array, got shape {table.shape}")
+        raise InvalidSpecError(f"{source}: expected a 1-d record array, got shape {table.shape}")
     return PointSet(
         xs=np.ascontiguousarray(table["x"], dtype=np.float64),
         ys=np.ascontiguousarray(table["y"], dtype=np.float64),

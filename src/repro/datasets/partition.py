@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import InvalidSpecError
 from repro.geometry.point import PointSet
 
 __all__ = ["split_r_s"]
@@ -28,10 +29,10 @@ def split_r_s(
     least two input points).
     """
     if not 0.0 < r_fraction < 1.0:
-        raise ValueError("r_fraction must be strictly between 0 and 1")
+        raise InvalidSpecError("r_fraction must be strictly between 0 and 1")
     total = len(points)
     if total < 2:
-        raise ValueError("need at least two points to form non-empty R and S")
+        raise InvalidSpecError("need at least two points to form non-empty R and S")
     r_size = int(round(r_fraction * total))
     r_size = min(max(r_size, 1), total - 1)
     permutation = rng.permutation(total)

@@ -22,7 +22,7 @@ magnitude.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from repro.datasets.synthetic import (
     uniform_points,
     zipf_cluster_points,
 )
+from repro.errors import InvalidSpecError, UnknownKeyError
 from repro.geometry.point import PointSet
 
 __all__ = [
@@ -125,12 +126,12 @@ def load_proxy(name: str, size: int | None = None, seed: int | None = None) -> P
     """
     key = name.strip().lower()
     if key not in _FACTORIES:
-        raise KeyError(
+        raise UnknownKeyError(
             f"unknown dataset {name!r}; expected one of {', '.join(DATASET_NAMES)}"
         )
     n = DEFAULT_PROXY_SIZES[key] if size is None else int(size)
     if n <= 0:
-        raise ValueError("size must be positive")
+        raise InvalidSpecError("size must be positive")
     factory = _FACTORIES[key]
     if seed is None:
         return factory(n)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import InvalidSpecError
 from repro.geometry.point import PointSet
 
 __all__ = [
@@ -59,7 +60,7 @@ def uniform_points(
 ) -> PointSet:
     """``n`` points uniformly distributed over the square domain."""
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise InvalidSpecError("n must be non-negative")
     xs = rng.uniform(0.0, domain, size=n)
     ys = rng.uniform(0.0, domain, size=n)
     return _as_point_set(xs, ys, domain, name)
@@ -75,9 +76,9 @@ def gaussian_clusters(
 ) -> PointSet:
     """Points drawn from ``num_clusters`` equally likely Gaussian blobs."""
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise InvalidSpecError("n must be non-negative")
     if num_clusters < 1:
-        raise ValueError("num_clusters must be at least 1")
+        raise InvalidSpecError("num_clusters must be at least 1")
     centers_x = rng.uniform(0.0, domain, size=num_clusters)
     centers_y = rng.uniform(0.0, domain, size=num_clusters)
     assignment = rng.integers(num_clusters, size=n)
@@ -101,11 +102,11 @@ def zipf_cluster_points(
     skew that check-in / POI datasets such as Foursquare exhibit.
     """
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise InvalidSpecError("n must be non-negative")
     if num_clusters < 1:
-        raise ValueError("num_clusters must be at least 1")
+        raise InvalidSpecError("num_clusters must be at least 1")
     if skew <= 0:
-        raise ValueError("skew must be positive")
+        raise InvalidSpecError("skew must be positive")
     ranks = np.arange(1, num_clusters + 1, dtype=np.float64)
     weights = ranks ** (-skew)
     weights /= weights.sum()
@@ -132,9 +133,9 @@ def random_walk_trajectories(
     vehicle traces whose points concentrate along elongated paths.
     """
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise InvalidSpecError("n must be non-negative")
     if num_trajectories < 1:
-        raise ValueError("num_trajectories must be at least 1")
+        raise InvalidSpecError("num_trajectories must be at least 1")
     points_per_trajectory = np.full(num_trajectories, n // num_trajectories, dtype=np.int64)
     points_per_trajectory[: n % num_trajectories] += 1
     xs_parts: list[np.ndarray] = []
@@ -176,9 +177,9 @@ def polyline_network_points(
     linear clusters typical of road datasets such as CaStreet.
     """
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise InvalidSpecError("n must be non-negative")
     if num_segments < 1:
-        raise ValueError("num_segments must be at least 1")
+        raise InvalidSpecError("num_segments must be at least 1")
     num_junctions = max(4, num_segments // 2)
     junctions_x = rng.uniform(0.0, domain, size=num_junctions)
     junctions_y = rng.uniform(0.0, domain, size=num_junctions)
@@ -219,11 +220,11 @@ def hotspot_mixture(
     small areas (airports, downtown) while the rest spread over the city.
     """
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise InvalidSpecError("n must be non-negative")
     if not 0.0 <= hotspot_fraction <= 1.0:
-        raise ValueError("hotspot_fraction must be in [0, 1]")
+        raise InvalidSpecError("hotspot_fraction must be in [0, 1]")
     if num_hotspots < 1:
-        raise ValueError("num_hotspots must be at least 1")
+        raise InvalidSpecError("num_hotspots must be at least 1")
     num_hot = int(round(n * hotspot_fraction))
     num_background = n - num_hot
     centers_x = rng.uniform(0.1 * domain, 0.9 * domain, size=num_hotspots)

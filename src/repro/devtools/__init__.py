@@ -1,0 +1,73 @@
+"""Developer tooling: the invariant lint suite and lock-order analysis.
+
+Six PRs of growth piled up correctness invariants that were enforced only
+by convention and differential tests: kernels must never consume RNG, all
+deliberate raises must use the :mod:`repro.errors` hierarchy, direct
+:class:`~repro.api.session.SamplingSession` construction is deprecated, and
+the manager/session/pool locks have an implicit acquisition order.  This
+package machine-checks them:
+
+* :mod:`repro.devtools.lint` - ``repro-lint``, an AST linter with the
+  project-specific rules RL001-RL007 (run ``python -m repro.devtools.lint
+  src``, or ``repro-lint src`` via the console script);
+* :mod:`repro.devtools.lockorder` - a static pass extracting ``with
+  <lock>:`` nesting per function and checking it against the declared
+  partial order of the concurrent serving stack;
+* :mod:`repro.devtools.lockcheck` - the runtime twin: a tracked-lock
+  factory (enabled with ``REPRO_LOCKCHECK=1``) that records per-thread
+  acquisition stacks and raises :class:`~repro.errors.LockOrderError` on an
+  inversion, turning potential deadlocks into deterministic test failures.
+
+All three run in CI as the required ``static-analysis`` job; see the
+"Static analysis & invariants" section of the README.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+# Exports resolve lazily (PEP 562): the submodules double as entry points
+# (``python -m repro.devtools.lint``), and an eager import here would make
+# runpy warn about the module already being in sys.modules.
+_EXPORTS = {
+    "RULES": "repro.devtools.lint",
+    "Violation": "repro.devtools.lint",
+    "lint_paths": "repro.devtools.lint",
+    "LOCK_RANKS": "repro.devtools.lockcheck",
+    "TrackedLock": "repro.devtools.lockcheck",
+    "held_locks": "repro.devtools.lockcheck",
+    "lockcheck_enabled": "repro.devtools.lockcheck",
+    "make_lock": "repro.devtools.lockcheck",
+    "LockNesting": "repro.devtools.lockorder",
+    "analyze_paths": "repro.devtools.lockorder",
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "lint_paths",
+    "LOCK_RANKS",
+    "TrackedLock",
+    "held_locks",
+    "lockcheck_enabled",
+    "make_lock",
+    "LockNesting",
+    "analyze_paths",
+]

@@ -1,0 +1,624 @@
+"""``repro-lint``: AST-based invariant checks specific to this codebase.
+
+The generic linters (ruff, mypy) cannot see the project's own invariants -
+that kernels are RNG-free, that randomness flows through
+:func:`repro.core.base.resolve_rng`, that deliberate raises use the
+:mod:`repro.errors` hierarchy.  Each such invariant is one rule here, with a
+stable ``RLxxx`` code:
+
+========  ==============================================================
+RL001     no RNG consumption inside ``repro/kernels/``
+RL002     no legacy global RNG (``np.random.seed``-style, stdlib
+          ``random``) anywhere; RNG flows through ``resolve_rng``
+RL003     no bare ``raise ValueError/RuntimeError/KeyError``; use the
+          :mod:`repro.errors` hierarchy
+RL004     no direct ``SamplingSession(...)`` construction outside
+          ``repro/api/`` and ``repro/manager/``
+RL005     prepared-state dataclasses implement the ``ArtifactSpec``
+          protocol
+RL006     no wall-clock (``time.time``) in determinism-critical modules
+RL007     no cross-package private-attribute access
+========  ==============================================================
+
+Run it as ``python -m repro.devtools.lint src`` (or the ``repro-lint``
+console script); it exits non-zero when any violation survives.  A finding
+can be silenced on its line with ``# repro-lint: disable=RL003`` (several
+codes comma-separated, or ``disable=all``) - except inside
+``repro/kernels/``, where suppression comments are themselves violations:
+the kernel invariants are what make every backend bit-identical, so they
+are enforceable with no escape hatch.
+
+Module identity is derived from the file path: the first ``repro`` path
+component starts the dotted module name, and a module's *package* is its
+first sub-package (``repro.kernels`` for ``repro/kernels/backends.py``,
+the module itself for top-level modules like ``repro/cli.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["RULES", "Violation", "lint_paths", "main"]
+
+#: ``# repro-lint: disable=RL001`` / ``disable=RL001,RL007`` / ``disable=all``
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Generator drawing methods: calling any of these consumes randomness.
+_GENERATOR_METHODS = frozenset(
+    {
+        "integers",
+        "random",
+        "choice",
+        "shuffle",
+        "permutation",
+        "permuted",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "exponential",
+        "poisson",
+        "binomial",
+        "beta",
+        "gamma",
+        "bytes",
+        "spawn",
+    }
+)
+
+#: The non-legacy ``np.random`` surface: explicit generator construction and
+#: the types/bit-generators needed to annotate and seed it.  Everything else
+#: under ``np.random`` is the legacy global-state API.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: Builtins whose direct ``raise`` is banned in favour of repro.errors types.
+_BANNED_RAISES = frozenset({"ValueError", "RuntimeError", "KeyError"})
+
+#: Packages whose draws must be reproducible across runs and machines: no
+#: wall-clock reads (``time.time``), monotonic clocks only for timing.
+_DETERMINISM_CRITICAL = ("repro.kernels", "repro.alias", "repro.dynamic")
+
+#: Everything ArtifactSpec demands of a prepared-state dataclass.
+_ARTIFACT_SPEC_ATTRS = ("artifact_kind", "artifact_schema")
+_ARTIFACT_SPEC_METHODS = ("to_arrays", "from_arrays")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule code anchored to a file position."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule needs to know about one file under analysis."""
+
+    path: Path
+    display_path: str
+    module: str
+    package: str
+    tree: ast.Module
+    source_lines: tuple[str, ...]
+
+    def violation(self, code: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            code=code,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+RuleFunc = Callable[[ModuleContext], Iterator[Violation]]
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name from a path (``.../src/repro/grid/cell.py``)."""
+    parts = list(path.parts)
+    try:
+        start = parts.index("repro")
+    except ValueError:
+        start = len(parts) - 1
+    dotted = [part for part in parts[start:]]
+    dotted[-1] = dotted[-1].removesuffix(".py")
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted) or path.stem
+
+
+def _package_of(module: str) -> str:
+    """The invariant boundary: a module's first sub-package."""
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return parts[0]
+    return ".".join(parts[:2]) if len(parts) >= 2 else "repro"
+
+
+def _is_np_random(node: ast.AST) -> bool:
+    """Match the expression ``np.random`` / ``numpy.random``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def rule_rl001(ctx: ModuleContext) -> Iterator[Violation]:
+    """RL001: no RNG consumption inside ``repro/kernels/``.
+
+    The kernels are bit-identical numpy/numba twins *because* they never
+    draw randomness: every variate is pre-drawn by the batch engine and
+    passed in as an array, so backends cannot diverge in RNG stream
+    position.  Any ``np.random`` reference or ``Generator`` drawing-method
+    call inside the package breaks that contract.
+    """
+    if ctx.package != "repro.kernels":
+        return
+    for node in ast.walk(ctx.tree):
+        if _is_np_random(node):
+            yield ctx.violation(
+                "RL001", node, "np.random must not be referenced inside repro/kernels/"
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _GENERATOR_METHODS
+            and not _is_np_random(node.func.value)  # already reported above
+        ):
+            yield ctx.violation(
+                "RL001",
+                node,
+                f"possible Generator method call .{node.func.attr}(...) inside "
+                "repro/kernels/: kernels must never consume RNG "
+                "(pre-draw the variates and pass them in)",
+            )
+
+
+def rule_rl002(ctx: ModuleContext) -> Iterator[Violation]:
+    """RL002: no legacy global RNG anywhere in ``src/``.
+
+    The stdlib ``random`` module and the legacy ``np.random.*`` global-state
+    API (``seed``/``rand``/``RandomState``/...) draw from hidden process
+    state, which breaks per-request seed determinism and bit-identity
+    differentials.  Randomness must flow through explicit
+    ``np.random.Generator`` objects resolved by ``core.resolve_rng``;
+    only generator construction (``default_rng``) and the generator/bit
+    generator types themselves may be referenced.
+    """
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield ctx.violation(
+                        "RL002",
+                        node,
+                        "the stdlib random module draws from hidden global "
+                        "state; use np.random.Generator via core.resolve_rng",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                yield ctx.violation(
+                    "RL002",
+                    node,
+                    "the stdlib random module draws from hidden global "
+                    "state; use np.random.Generator via core.resolve_rng",
+                )
+        elif (
+            isinstance(node, ast.Attribute)
+            and _is_np_random(node.value)
+            and node.attr not in _NP_RANDOM_ALLOWED
+        ):
+            yield ctx.violation(
+                "RL002",
+                node,
+                f"np.random.{node.attr} is the legacy global-state RNG API; "
+                "RNG must flow through core.resolve_rng "
+                f"(allowed: {', '.join(sorted(_NP_RANDOM_ALLOWED))})",
+            )
+
+
+def rule_rl003(ctx: ModuleContext) -> Iterator[Violation]:
+    """RL003: deliberate raises use the ``repro.errors`` hierarchy.
+
+    A service wrapping the library maps :class:`repro.errors.ReproError`
+    subclasses to responses at its request boundary; a bare builtin raise
+    is invisible to that mapping.  ``raise ValueError`` becomes
+    ``InvalidSpecError``, exhausted sampling loops raise
+    ``SamplingExhaustedError``, failed lookups ``UnknownKeyError`` - each
+    still subclasses its builtin for one deprecation cycle.
+    """
+    if ctx.module == "repro.errors":
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _BANNED_RAISES:
+            yield ctx.violation(
+                "RL003",
+                node,
+                f"raise {name} bypasses the repro.errors hierarchy; raise the "
+                "matching ReproError subclass instead",
+            )
+
+
+def rule_rl004(ctx: ModuleContext) -> Iterator[Violation]:
+    """RL004: no direct ``SamplingSession(...)`` construction.
+
+    Direct construction is soft-deprecated: a session built by hand has no
+    lifecycle owner, no memory budget and no pooled workers.  Outside the
+    ``repro.api`` package itself and the ``repro.manager`` package (which
+    owns session lifecycle), code goes through ``open_session()`` or
+    ``SessionManager.open()``.  Classmethod access such as
+    ``SamplingSession.load(...)`` is not construction and stays legal.
+    """
+    if ctx.package in ("repro.api", "repro.manager"):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "SamplingSession":
+            yield ctx.violation(
+                "RL004",
+                node,
+                "direct SamplingSession(...) construction is deprecated "
+                "outside repro/api/ and repro/manager/; use open_session() "
+                "or SessionManager.open()",
+            )
+        elif isinstance(func, ast.Attribute) and func.attr == "SamplingSession":
+            yield ctx.violation(
+                "RL004",
+                node,
+                "direct SamplingSession(...) construction is deprecated "
+                "outside repro/api/ and repro/manager/; use open_session() "
+                "or SessionManager.open()",
+            )
+
+
+def _has_dataclass_decorator(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def rule_rl005(ctx: ModuleContext) -> Iterator[Violation]:
+    """RL005: prepared-state dataclasses implement ``ArtifactSpec``.
+
+    Every ``Prepared*`` dataclass is (by convention since PR 9) a sampler's
+    persistable prepared state: it must declare ``artifact_kind`` /
+    ``artifact_schema`` and implement ``to_arrays`` / ``from_arrays`` so
+    the artifact layer can save it and re-attach it zero-copy.  A prepared
+    state outside the protocol silently loses warm-start support.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.startswith("Prepared") or not _has_dataclass_decorator(node):
+            continue
+        attrs: set[str] = set()
+        methods: set[str] = set()
+        for item in node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                attrs.add(item.target.id)
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        attrs.add(target.id)
+            elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.add(item.name)
+        missing = [name for name in _ARTIFACT_SPEC_ATTRS if name not in attrs]
+        missing += [name for name in _ARTIFACT_SPEC_METHODS if name not in methods]
+        if missing:
+            yield ctx.violation(
+                "RL005",
+                node,
+                f"prepared-state dataclass {node.name} does not implement the "
+                f"ArtifactSpec protocol (missing: {', '.join(missing)})",
+            )
+
+
+def rule_rl006(ctx: ModuleContext) -> Iterator[Violation]:
+    """RL006: no wall-clock reads in determinism-critical modules.
+
+    ``repro/kernels/``, ``repro/alias/`` and ``repro/dynamic/`` decide
+    *what* gets drawn; a wall-clock read there is either a hidden input (a
+    reproducibility bug waiting to happen) or mis-measured timing -
+    ``time.time`` jumps under NTP.  Timing uses ``time.perf_counter`` /
+    ``time.monotonic`` only.
+    """
+    if not ctx.package.startswith(_DETERMINISM_CRITICAL):
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "time"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+        ):
+            yield ctx.violation(
+                "RL006",
+                node,
+                "time.time() is wall-clock (NTP can move it); use "
+                "time.monotonic() or time.perf_counter() in "
+                "determinism-critical modules",
+            )
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    yield ctx.violation(
+                        "RL006",
+                        node,
+                        "importing time.time is wall-clock; use "
+                        "time.monotonic() or time.perf_counter() in "
+                        "determinism-critical modules",
+                    )
+
+
+class _ImportMap(ast.NodeVisitor):
+    """Name -> source package, for every cross-package import of the module."""
+
+    def __init__(self) -> None:
+        self.sources: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "repro" or alias.name.startswith("repro."):
+                bound = alias.asname or alias.name.split(".")[0]
+                self.sources[bound] = _package_of(alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level or not node.module:
+            return
+        if node.module == "repro" or node.module.startswith("repro."):
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if node.module == "repro":
+                    source = _package_of(f"repro.{alias.name}")
+                else:
+                    source = _package_of(node.module)
+                self.sources[bound] = source
+
+
+def rule_rl007(ctx: ModuleContext) -> Iterator[Violation]:
+    """RL007: no cross-package private-attribute access.
+
+    ``obj._x`` reaching across a package boundary couples the importer to
+    internals the owning package is free to change; every such access is
+    either a missing public accessor or a layering bug.  The rule resolves
+    names imported from other ``repro`` sub-packages (plus local variables
+    directly constructed from such imports) and flags any ``._name`` access
+    on them; dunder attributes and same-package access stay legal.
+    """
+    imports = _ImportMap()
+    imports.visit(ctx.tree)
+    foreign = {
+        name: source
+        for name, source in imports.sources.items()
+        if source != ctx.package
+    }
+    if not foreign:
+        return
+    # One level of local inference: ``x = ForeignClass(...)`` makes ``x``
+    # foreign too (constructor results are the common case in practice).
+    derived: dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id in foreign
+        ):
+            derived[node.targets[0].id] = foreign[node.value.func.id]
+    resolved = {**derived, **foreign}
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr.startswith("_")
+            and not node.attr.startswith("__")
+            and isinstance(node.value, ast.Name)
+            and node.value.id in resolved
+        ):
+            source = resolved[node.value.id]
+            yield ctx.violation(
+                "RL007",
+                node,
+                f"private attribute {node.value.id}.{node.attr} belongs to "
+                f"{source}, not {ctx.package}; add a public accessor instead "
+                "of reaching across the package boundary",
+            )
+
+
+#: The rule registry: (code, callable) in report order.
+RULES: tuple[tuple[str, RuleFunc], ...] = (
+    ("RL001", rule_rl001),
+    ("RL002", rule_rl002),
+    ("RL003", rule_rl003),
+    ("RL004", rule_rl004),
+    ("RL005", rule_rl005),
+    ("RL006", rule_rl006),
+    ("RL007", rule_rl007),
+)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+def _suppressions(source_lines: tuple[str, ...]) -> dict[int, set[str]]:
+    """Per-line suppression codes (``{"all"}`` suppresses every rule)."""
+    table: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {code.strip().upper() for code in match.group(1).split(",")}
+        table[lineno] = {code for code in codes if code} or {"ALL"}
+    return table
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            yield path
+
+
+def lint_file(path: Path, root: Path | None = None) -> list[Violation]:
+    """All surviving violations of one file."""
+    display = str(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                code="RL000",
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    module = _module_name(path)
+    ctx = ModuleContext(
+        path=path,
+        display_path=display,
+        module=module,
+        package=_package_of(module),
+        tree=tree,
+        source_lines=tuple(source.split("\n")),
+    )
+    suppressed = _suppressions(ctx.source_lines)
+    violations: list[Violation] = []
+    in_kernels = ctx.package == "repro.kernels"
+    if in_kernels:
+        # Kernels are suppression-free by policy: the bit-identity contract
+        # has no escape hatch, so the comment itself is the violation and
+        # is NOT honoured below.
+        for lineno in sorted(suppressed):
+            violations.append(
+                Violation(
+                    code="RL001",
+                    path=display,
+                    line=lineno,
+                    col=1,
+                    message="repro-lint suppression comments are forbidden "
+                    "inside repro/kernels/",
+                )
+            )
+        suppressed = {}
+    for _code, rule in RULES:
+        for violation in rule(ctx):
+            codes = suppressed.get(violation.line, set())
+            if "ALL" in {c.upper() for c in codes} or violation.code in codes:
+                continue
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.line, v.col, v.code))
+    return violations
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths``; returns surviving findings."""
+    violations: list[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path))
+    return violations
+
+
+def _list_rules() -> str:
+    lines = ["repro-lint rules:", ""]
+    for code, rule in RULES:
+        doc = (rule.__doc__ or "").strip().split("\n")
+        head = doc[0].removeprefix(f"{code}: ")
+        lines.append(f"  {code}  {head}")
+    lines.append("")
+    lines.append("Suppress one line with: # repro-lint: disable=RL003[,RL007|all]")
+    lines.append("(suppressions are forbidden inside repro/kernels/)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-specific AST invariant checks (rules RL001-RL007).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.devtools.lint src)")
+    violations = lint_paths(args.paths)
+    if args.format == "json":
+        print(
+            json.dumps(
+                [violation.__dict__ for violation in violations],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render())
+        if violations:
+            print(f"repro-lint: {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""Runtime lock-order tracking for the concurrent serving stack.
+
+The manager/session/pool stack acquires its locks in one declared partial
+order (outermost first)::
+
+    manager < session-build < session < entry < sharded-build < shard < pool < lease
+
+A thread that acquires a lock ranking *before* one it already holds is a
+potential deadlock: some other thread taking the same two locks in the
+declared order can block it forever.  Those hangs are timing-dependent and
+miserable to reproduce; this module turns them into deterministic failures
+at the inverting acquisition site instead.
+
+The tracker is opt-in.  :func:`make_lock` is the single lock factory used
+by :class:`~repro.manager.SessionManager`,
+:class:`~repro.api.session.SamplingSession`,
+:class:`~repro.parallel.ShardedSampler` and
+:class:`~repro.parallel.WorkerPool`; it hands back a plain
+``threading.Lock``/``RLock`` unless ``REPRO_LOCKCHECK=1`` is set in the
+environment, in which case every lock is a :class:`TrackedLock` that
+records per-thread acquisition stacks and raises
+:class:`~repro.errors.LockOrderError` on an inversion.  The stress suites
+and the CI manager/service steps run with the tracker on; production code
+pays only an ``os.environ`` check at lock-construction time.
+
+Rules enforced per thread:
+
+* acquiring a lock whose rank is lower than the highest rank currently
+  held raises :class:`~repro.errors.LockOrderError` (inversion);
+* re-acquiring the *same* reentrant lock object is always legal (RLock
+  semantics);
+* acquiring a different lock of the *same* rank is legal - peer locks
+  (e.g. the per-shard locks) form an antichain in the partial order and
+  are only ever taken together by the sequential drain loop;
+* releases may happen in any order (the shard drain loop releases
+  non-LIFO); the tracker removes the lock from the held stack by identity.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Iterator
+from typing import Union
+
+from repro.errors import LockOrderError
+
+__all__ = [
+    "LOCK_RANKS",
+    "LockLike",
+    "TrackedLock",
+    "held_locks",
+    "lockcheck_enabled",
+    "make_lock",
+]
+
+#: The declared partial order, outermost-first: a thread may only acquire
+#: locks of equal or higher rank than everything it already holds.
+LOCK_RANKS: dict[str, int] = {
+    "manager": 100,
+    "session-build": 200,
+    "session": 300,
+    "entry": 400,
+    "sharded-build": 500,
+    "shard": 600,
+    "pool": 700,
+    "lease": 800,
+}
+
+_ENV_VAR = "REPRO_LOCKCHECK"
+
+_state = threading.local()
+
+
+def lockcheck_enabled() -> bool:
+    """True when ``REPRO_LOCKCHECK=1``: :func:`make_lock` returns trackers."""
+    return os.environ.get(_ENV_VAR, "") == "1"
+
+
+def _held_stack() -> list["TrackedLock"]:
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = []
+        _state.stack = stack
+    return stack
+
+
+def held_locks() -> tuple[str, ...]:
+    """Names of the tracked locks the calling thread currently holds."""
+    return tuple(lock.name for lock in _held_stack())
+
+
+class TrackedLock:
+    """A lock proxy that enforces :data:`LOCK_RANKS` on acquisition.
+
+    Wraps a ``threading.Lock`` (or ``RLock`` when ``reentrant=True``) and
+    mirrors its interface: ``acquire``/``release``, context-manager
+    protocol, and ``locked()``.  The order check happens *before* the
+    underlying acquire, so an inversion raises instead of deadlocking even
+    when the conflicting thread already holds the lock.
+    """
+
+    __slots__ = ("name", "rank", "reentrant", "_lock")
+
+    def __init__(self, name: str, *, reentrant: bool = False) -> None:
+        try:
+            self.rank = LOCK_RANKS[name]
+        except KeyError:
+            raise LockOrderError(
+                f"unknown lock name {name!r}; declared names: "
+                f"{', '.join(sorted(LOCK_RANKS))}"
+            ) from None
+        self.name = name
+        self.reentrant = reentrant
+        self._lock: threading.Lock | threading.RLock
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+
+    def _check_order(self) -> None:
+        stack = _held_stack()
+        if not stack:
+            return
+        if self.reentrant and any(held is self for held in stack):
+            return  # RLock re-entry by the owning thread is always legal
+        outer = max(stack, key=lambda held: held.rank)
+        if self.rank < outer.rank:
+            held = " -> ".join(f"{lock.name}({lock.rank})" for lock in stack)
+            order = " < ".join(
+                name for name, _ in sorted(LOCK_RANKS.items(), key=lambda kv: kv[1])
+            )
+            raise LockOrderError(
+                f"lock-order inversion in thread "
+                f"{threading.current_thread().name!r}: acquiring "
+                f"{self.name!r} (rank {self.rank}) while holding {held}; "
+                f"declared order (outermost first): {order}"
+            )
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._check_order()
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            _held_stack().append(self)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        # Releases are not necessarily LIFO (the shard drain loop releases
+        # in shard order); drop the most recent entry for this lock object.
+        stack = _held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is self:
+                del stack[index]
+                break
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        underlying = self._lock
+        if hasattr(underlying, "locked"):
+            return underlying.locked()
+        return False  # pragma: no cover - RLock grows .locked() in 3.14
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"TrackedLock({self.name!r}, rank={self.rank}, kind={kind})"
+
+
+def make_lock(
+    name: str, *, reentrant: bool = False
+) -> "threading.Lock | threading.RLock | TrackedLock":
+    """The stack's lock factory: plain lock normally, tracked under the flag.
+
+    ``name`` must be one of :data:`LOCK_RANKS`.  The environment check runs
+    at construction time, so flipping ``REPRO_LOCKCHECK`` mid-process only
+    affects locks created afterwards - which is what the stress suites
+    want (they set the variable before building the stack under test).
+    """
+    if lockcheck_enabled():
+        return TrackedLock(name, reentrant=reentrant)
+    if name not in LOCK_RANKS:
+        raise LockOrderError(
+            f"unknown lock name {name!r}; declared names: "
+            f"{', '.join(sorted(LOCK_RANKS))}"
+        )
+    return threading.RLock() if reentrant else threading.Lock()
+
+
+#: What :func:`make_lock` hands back - for annotating lock-holding fields.
+#: (``threading.Lock``/``RLock`` are factory functions at runtime, hence the
+#: forward references; type checkers resolve them to the lock classes.)
+LockLike = Union["threading.Lock", "threading.RLock", TrackedLock]
+
+
+def _iter_rank_order() -> Iterator[str]:  # pragma: no cover - doc helper
+    for name, _rank in sorted(LOCK_RANKS.items(), key=lambda kv: kv[1]):
+        yield name

@@ -1,0 +1,355 @@
+"""Static lock-order analysis: ``with <lock>:`` nesting vs the declared order.
+
+The runtime tracker (:mod:`repro.devtools.lockcheck`) catches inversions on
+the paths the tests actually execute; this module catches them in paths the
+tests *miss*, by reading the code.  It extracts every lexically nested
+``with <lock>:`` pair per function and checks the pair against
+:data:`~repro.devtools.lockcheck.LOCK_RANKS` - an inner lock ranking before
+an outer one is an inversion.
+
+Lock identification is two-layered:
+
+* **make_lock bindings** - any assignment whose right-hand side contains a
+  ``make_lock("<name>", ...)`` call binds its targets to that lock name
+  (``self._lock = make_lock("session", ...)``, shard-lock list
+  comprehensions, ``setdefault(key, make_lock("session-build"))``).  This
+  is the primary mechanism and needs no per-file table maintenance.
+* **a pattern table** - for expressions the binding pass cannot see
+  (attribute access on another object such as ``entry.lock``), a small
+  per-module table maps expression patterns to lock names, optionally
+  scoped to an enclosing class (``WorkerPool.self._lock`` vs
+  ``WorkerLease.self._lock``).
+
+A per-function alias pre-pass resolves ``lock = entry.lock`` /
+``build_lock = self._build_locks.setdefault(...)`` before nesting is
+checked.  Manual ``lock.acquire()`` / ``lock.release()`` call pairs (the
+shard drain loop) are deliberately out of scope here - their order is
+data-dependent, and the runtime tracker covers them.
+
+Run as ``python -m repro.devtools.lockorder src``; exits 1 on inversions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devtools.lint import _module_name, iter_python_files
+from repro.devtools.lockcheck import LOCK_RANKS
+
+__all__ = ["LockNesting", "analyze_paths", "main"]
+
+
+@dataclass(frozen=True)
+class LockNesting:
+    """One observed ``with`` nesting: ``inner`` acquired while ``outer`` held."""
+
+    path: str
+    function: str
+    line: int
+    outer: str
+    inner: str
+
+    @property
+    def ok(self) -> bool:
+        return LOCK_RANKS[self.inner] >= LOCK_RANKS[self.outer]
+
+    def render(self) -> str:
+        verdict = "ok" if self.ok else "INVERSION"
+        return (
+            f"{self.path}:{self.line}: [{verdict}] {self.function}: "
+            f"{self.outer}({LOCK_RANKS[self.outer]}) -> "
+            f"{self.inner}({LOCK_RANKS[self.inner]})"
+        )
+
+
+#: module name -> ((enclosing class or None, expr regex, lock name), ...)
+#: for lock expressions the make_lock binding pass cannot resolve.
+_PATTERN_TABLE: dict[str, tuple[tuple[str | None, str, str], ...]] = {
+    "repro.manager.manager": ((None, r"^self\._lock$", "manager"),),
+    "repro.api.session": (
+        (None, r"^self\._lock$", "session"),
+        (None, r"^self\._build_locks\b", "session-build"),
+        (None, r"^\w*\bentry\.lock$", "entry"),
+        (None, r"^entry_lock$", "entry"),
+    ),
+    "repro.parallel.sharded": (
+        (None, r"^self\._build_lock$", "sharded-build"),
+        (None, r"^self\._shard_locks\[", "shard"),
+    ),
+    "repro.parallel.pool": (
+        ("WorkerPool", r"^self\._lock$", "pool"),
+        ("WorkerLease", r"^self\._lock$", "lease"),
+    ),
+}
+
+
+def _make_lock_name(node: ast.AST) -> str | None:
+    """The lock name if ``node`` is a ``make_lock("<name>", ...)`` call."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    callee = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if callee != "make_lock" or not node.args:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+def _expr_key(node: ast.expr) -> str:
+    """Canonical string for a lock expression (subscripts collapse to ``[``)."""
+    if isinstance(node, ast.Subscript):
+        return _expr_key(node.value) + "["
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all real exprs
+        return ""
+
+
+class _BindingCollector(ast.NodeVisitor):
+    """Module-wide pass: every assignment target fed by a make_lock call."""
+
+    def __init__(self) -> None:
+        #: canonical expr key (``self._lock``, ``self._shard_locks[``) -> name
+        self.bindings: dict[str, str] = {}
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record([node.target], node.value)
+        self.generic_visit(node)
+
+    def _record(self, targets: list[ast.expr], value: ast.expr) -> None:
+        names = {
+            name
+            for sub in ast.walk(value)
+            if (name := _make_lock_name(sub)) is not None
+        }
+        if len(names) != 1:
+            return
+        (lock_name,) = names
+        contained = any(
+            isinstance(sub, (ast.List, ast.ListComp, ast.Dict, ast.DictComp))
+            for sub in ast.walk(value)
+        )
+        for target in targets:
+            key = _expr_key(target)
+            if not key:
+                continue
+            self.bindings[key] = lock_name
+            if contained:
+                # ``self._shard_locks = [make_lock("shard") ...]``: the
+                # *elements* carry the lock, so subscripts of the target do.
+                self.bindings[key + "["] = lock_name
+
+
+class _Analyzer:
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.display = str(path)
+        self.module = _module_name(path)
+        self.patterns = [
+            (cls, re.compile(pattern), name)
+            for cls, pattern, name in _PATTERN_TABLE.get(self.module, ())
+        ]
+        self.nestings: list[LockNesting] = []
+
+    def run(self) -> list[LockNesting]:
+        tree = ast.parse(self.path.read_text(encoding="utf-8"), filename=self.display)
+        collector = _BindingCollector()
+        collector.visit(tree)
+        self.bindings = collector.bindings
+        self._walk_container(tree.body, enclosing_class=None, qualname="")
+        return self.nestings
+
+    # -- function discovery ------------------------------------------------
+    def _walk_container(
+        self, body: list[ast.stmt], enclosing_class: str | None, qualname: str
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                self._walk_container(stmt.body, stmt.name, f"{qualname}{stmt.name}.")
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._analyze_function(stmt, enclosing_class, qualname + stmt.name)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # module-level guards can hide defs
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.stmt):
+                        self._walk_container([child], enclosing_class, qualname)
+
+    def _analyze_function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        enclosing_class: str | None,
+        qualname: str,
+    ) -> None:
+        aliases = self._collect_aliases(node, enclosing_class)
+        self._visit_stmts(node.body, [], enclosing_class, qualname, aliases)
+        for stmt in ast.walk(node):
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt is not node
+            ):
+                self._analyze_function(
+                    stmt, enclosing_class, f"{qualname}.<locals>.{stmt.name}"
+                )
+
+    # -- classification ----------------------------------------------------
+    def _collect_aliases(
+        self, node: ast.AST, enclosing_class: str | None
+    ) -> dict[str, str]:
+        aliases: dict[str, str] = {}
+        for stmt in ast.walk(node):
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                continue
+            value = stmt.value
+            # ``build_lock = self._build_locks.setdefault(key, ...)`` - use
+            # the receiver of the call for classification.
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+                value = value.func.value
+            name = self._classify(value, enclosing_class, {})
+            if name is not None:
+                aliases[stmt.targets[0].id] = name
+        return aliases
+
+    def _classify(
+        self,
+        expr: ast.expr,
+        enclosing_class: str | None,
+        aliases: dict[str, str],
+    ) -> str | None:
+        key = _expr_key(expr)
+        if not key:
+            return None
+        if isinstance(expr, ast.Name) and expr.id in aliases:
+            return aliases[expr.id]
+        if key in self.bindings:
+            return self.bindings[key]
+        if key.endswith("[") and key in self.bindings:
+            return self.bindings[key]
+        for cls, pattern, name in self.patterns:
+            if cls is not None and cls != enclosing_class:
+                continue
+            if pattern.search(key):
+                return name
+        return None
+
+    # -- nesting walk ------------------------------------------------------
+    def _visit_stmts(
+        self,
+        stmts: list[ast.stmt],
+        held: list[str],
+        enclosing_class: str | None,
+        qualname: str,
+        aliases: dict[str, str],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested defs run later, with an empty stack
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: list[str] = []
+                for item in stmt.items:
+                    name = self._classify(
+                        item.context_expr, enclosing_class, aliases
+                    )
+                    if name is None:
+                        continue
+                    for outer in held:
+                        self.nestings.append(
+                            LockNesting(
+                                path=self.display,
+                                function=qualname,
+                                line=stmt.lineno,
+                                outer=outer,
+                                inner=name,
+                            )
+                        )
+                    held.append(name)
+                    acquired.append(name)
+                self._visit_stmts(
+                    stmt.body, held, enclosing_class, qualname, aliases
+                )
+                for _ in acquired:
+                    held.pop()
+            else:
+                # compound statements keep their nested blocks in list-of-stmt
+                # fields; recurse into each with the same held stack
+                for field in ("body", "orelse", "finalbody", "handlers"):
+                    sub = getattr(stmt, field, None)
+                    if isinstance(sub, list):
+                        flat: list[ast.stmt] = []
+                        for entry in sub:
+                            if isinstance(entry, ast.ExceptHandler):
+                                flat.extend(entry.body)
+                            elif isinstance(entry, ast.stmt):
+                                flat.append(entry)
+                        if flat:
+                            self._visit_stmts(
+                                flat, held, enclosing_class, qualname, aliases
+                            )
+
+
+def analyze_file(path: Path) -> list[LockNesting]:
+    return _Analyzer(path).run()
+
+
+def analyze_paths(paths: Iterable[str | Path]) -> list[LockNesting]:
+    """Every observed lock nesting under ``paths`` (check ``.ok`` per entry)."""
+    nestings: list[LockNesting] = []
+    for path in iter_python_files(paths):
+        nestings.extend(analyze_file(path))
+    return nestings
+
+
+def _dedupe(nestings: Iterable[LockNesting]) -> Iterator[LockNesting]:
+    seen: set[tuple[str, int, str, str]] = set()
+    for nesting in nestings:
+        key = (nesting.path, nesting.line, nesting.outer, nesting.inner)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield nesting
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lockorder",
+        description="Check `with <lock>:` nesting against the declared order.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="paths to analyze")
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="print every observed nesting, not only inversions",
+    )
+    args = parser.parse_args(argv)
+    nestings = list(_dedupe(analyze_paths(args.paths or ["src"])))
+    inversions = [nesting for nesting in nestings if not nesting.ok]
+    shown = nestings if args.all else inversions
+    for nesting in shown:
+        print(nesting.render())
+    print(
+        f"lockorder: {len(nestings)} nesting(s) observed, "
+        f"{len(inversions)} inversion(s)"
+    )
+    return 1 if inversions else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

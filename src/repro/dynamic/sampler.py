@@ -37,8 +37,9 @@ differential tests in ``tests/dynamic`` pin this.
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any
 
 import numpy as np
 

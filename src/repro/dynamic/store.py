@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import InvalidSpecError
+from repro.errors import InvalidSpecError, UnknownKeyError
 from repro.geometry.point import PointSet
 
 __all__ = ["DynamicPointStore"]
@@ -139,7 +139,7 @@ class DynamicPointStore:
             try:
                 positions[slot] = self._positions[int(pid)]
             except KeyError:
-                raise KeyError(f"point id {int(pid)} is not present") from None
+                raise UnknownKeyError(f"point id {int(pid)} is not present") from None
         removed_xs = self._xs[positions].copy()
         removed_ys = self._ys[positions].copy()
         keep = np.ones(len(self), dtype=bool)

@@ -24,7 +24,10 @@ __all__ = [
     "BudgetExceededError",
     "SessionClosedError",
     "MaintenanceError",
+    "SamplingExhaustedError",
     "ServiceOverloadedError",
+    "UnknownKeyError",
+    "LockOrderError",
     "ArtifactError",
     "ArtifactCorruptError",
     "ArtifactVersionError",
@@ -90,6 +93,41 @@ class MaintenanceError(ReproError, RuntimeError):
     (they rebuild lazily from the new data on the next request); this error
     reports which ones.  Subclasses ``RuntimeError`` for one deprecation
     cycle.
+    """
+
+
+class SamplingExhaustedError(ReproError, RuntimeError):
+    """A rejection or distinct-draw loop gave up without filling its request.
+
+    Raised by the rejection samplers when no join sample is accepted after
+    the empty-join guard's iteration budget (the join result is empty or
+    vanishingly small relative to the bound being rejected against), and by
+    ``sample_without_replacement`` when the join result probably holds fewer
+    than ``t`` distinct pairs.  Subclasses ``RuntimeError`` for one
+    deprecation cycle.
+    """
+
+
+class UnknownKeyError(ReproError, KeyError):
+    """A name or identifier lookup failed: unknown sampler, dataset or point id.
+
+    Raised by the sampler registry, the dataset catalogues and the dynamic
+    point stores instead of a bare ``KeyError``, so a service can map "you
+    asked for something that does not exist" to a 404-shaped response.
+    Subclasses ``KeyError`` for one deprecation cycle.
+    """
+
+
+class LockOrderError(ReproError, RuntimeError):
+    """The runtime lock-order tracker observed an acquisition inversion.
+
+    The concurrent serving stack acquires its locks in one declared partial
+    order (manager > session-build > session > entry > sharded-build >
+    shard > pool > lease; see :mod:`repro.devtools.lockcheck`).  Acquiring a
+    lock that ranks *before* one already held by the same thread is a
+    potential deadlock; with ``REPRO_LOCKCHECK=1`` the tracker turns it into
+    this deterministic error at the acquisition site instead of a hung test
+    job.  Subclasses ``RuntimeError`` for one deprecation cycle.
     """
 
 

@@ -8,10 +8,11 @@ kd-tree and range tree for node bounding boxes.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import InvalidSpecError
 from repro.geometry.point import Point, PointSet
 from repro.geometry.rect import Rect
 
@@ -22,12 +23,12 @@ def mbr_of_points(points: Iterable[Point] | PointSet) -> Rect:
     """Minimum bounding rectangle of a collection of points."""
     if isinstance(points, PointSet):
         if len(points) == 0:
-            raise ValueError("cannot compute the MBR of an empty point set")
+            raise InvalidSpecError("cannot compute the MBR of an empty point set")
         xmin, ymin, xmax, ymax = points.bounds()
         return Rect(xmin=xmin, ymin=ymin, xmax=xmax, ymax=ymax)
     pts = list(points)
     if not pts:
-        raise ValueError("cannot compute the MBR of an empty point collection")
+        raise InvalidSpecError("cannot compute the MBR of an empty point collection")
     xs = [p.x for p in pts]
     ys = [p.y for p in pts]
     return Rect(xmin=min(xs), ymin=min(ys), xmax=max(xs), ymax=max(ys))
@@ -38,7 +39,7 @@ def mbr_of_arrays(xs: Sequence[float] | np.ndarray, ys: Sequence[float] | np.nda
     xs_arr = np.asarray(xs, dtype=np.float64)
     ys_arr = np.asarray(ys, dtype=np.float64)
     if xs_arr.size == 0:
-        raise ValueError("cannot compute the MBR of empty arrays")
+        raise InvalidSpecError("cannot compute the MBR of empty arrays")
     return Rect(
         xmin=float(xs_arr.min()),
         ymin=float(ys_arr.min()),
@@ -51,7 +52,7 @@ def union_mbr(rects: Iterable[Rect]) -> Rect:
     """Smallest rectangle covering every rectangle in ``rects``."""
     rect_list = list(rects)
     if not rect_list:
-        raise ValueError("cannot compute the union of zero rectangles")
+        raise InvalidSpecError("cannot compute the union of zero rectangles")
     return Rect(
         xmin=min(r.xmin for r in rect_list),
         ymin=min(r.ymin for r in rect_list),

@@ -11,10 +11,12 @@ then binary-searched) while still exposing a convenient object view through
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
 
 import numpy as np
+
+from repro.errors import InvalidSpecError
 
 __all__ = ["Point", "PointSet"]
 
@@ -94,9 +96,9 @@ class PointSet:
         xs_arr = np.asarray(xs, dtype=np.float64).copy()
         ys_arr = np.asarray(ys, dtype=np.float64).copy()
         if xs_arr.ndim != 1 or ys_arr.ndim != 1:
-            raise ValueError("coordinate arrays must be one-dimensional")
+            raise InvalidSpecError("coordinate arrays must be one-dimensional")
         if xs_arr.shape[0] != ys_arr.shape[0]:
-            raise ValueError(
+            raise InvalidSpecError(
                 "x and y arrays must have the same length "
                 f"({xs_arr.shape[0]} != {ys_arr.shape[0]})"
             )
@@ -105,7 +107,7 @@ class PointSet:
         else:
             ids_arr = np.asarray(ids, dtype=np.int64).copy()
             if ids_arr.shape[0] != xs_arr.shape[0]:
-                raise ValueError("ids must have the same length as coordinates")
+                raise InvalidSpecError("ids must have the same length as coordinates")
         for arr in (xs_arr, ys_arr, ids_arr):
             arr.setflags(write=False)
         self._xs = xs_arr
@@ -132,7 +134,7 @@ class PointSet:
         """Build from an ``(n, 2)`` array of coordinates."""
         coords = np.asarray(coords, dtype=np.float64)
         if coords.ndim != 2 or coords.shape[1] != 2:
-            raise ValueError("expected an (n, 2) coordinate array")
+            raise InvalidSpecError("expected an (n, 2) coordinate array")
         return cls(xs=coords[:, 0], ys=coords[:, 1], name=name)
 
     @classmethod
@@ -219,7 +221,7 @@ class PointSet:
     def sample(self, k: int, rng: np.random.Generator) -> "PointSet":
         """Uniform random subset of size ``k`` without replacement."""
         if k < 0 or k > len(self):
-            raise ValueError(f"cannot sample {k} points from a set of {len(self)}")
+            raise InvalidSpecError(f"cannot sample {k} points from a set of {len(self)}")
         idx = rng.choice(len(self), size=k, replace=False)
         return self.take(np.sort(idx))
 
@@ -230,7 +232,7 @@ class PointSet:
         which down-sample each dataset to 20%..100% of its full size.
         """
         if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
+            raise InvalidSpecError("fraction must be in (0, 1]")
         k = max(1, int(round(fraction * len(self))))
         return self.sample(k, rng)
 
@@ -249,7 +251,7 @@ class PointSet:
     def bounds(self) -> tuple[float, float, float, float]:
         """Return ``(xmin, ymin, xmax, ymax)`` of the set."""
         if len(self) == 0:
-            raise ValueError("an empty point set has no bounds")
+            raise InvalidSpecError("an empty point set has no bounds")
         return (
             float(self._xs.min()),
             float(self._ys.min()),

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import InvalidSpecError
 from repro.geometry.point import Point
 
 __all__ = ["Rect", "window_around"]
@@ -26,7 +27,7 @@ class Rect:
 
     def __post_init__(self) -> None:
         if self.xmin > self.xmax or self.ymin > self.ymax:
-            raise ValueError(
+            raise InvalidSpecError(
                 f"degenerate rectangle: ({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"
             )
 
@@ -95,7 +96,7 @@ class Rect:
     def expanded(self, margin: float) -> "Rect":
         """Rectangle grown by ``margin`` on every side."""
         if margin < 0:
-            raise ValueError("margin must be non-negative")
+            raise InvalidSpecError("margin must be non-negative")
         return Rect(
             xmin=self.xmin - margin,
             ymin=self.ymin - margin,
@@ -115,7 +116,7 @@ def window_around(x: float, y: float, half_extent: float) -> Rect:
     side length ``2 * l``.
     """
     if half_extent < 0:
-        raise ValueError("half_extent must be non-negative")
+        raise InvalidSpecError("half_extent must be non-negative")
     return Rect(
         xmin=x - half_extent,
         ymin=y - half_extent,

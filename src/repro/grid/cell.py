@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import InvalidSpecError
 from repro.geometry.rect import Rect
 
 __all__ = ["GridCell", "cell_key_for"]
@@ -27,7 +28,7 @@ __all__ = ["GridCell", "cell_key_for"]
 def cell_key_for(x: float, y: float, cell_size: float) -> tuple[int, int]:
     """Integer key of the half-open cell ``[i*h, (i+1)*h) x [j*h, (j+1)*h)``."""
     if cell_size <= 0:
-        raise ValueError("cell_size must be positive")
+        raise InvalidSpecError("cell_size must be positive")
     return (int(np.floor(x / cell_size)), int(np.floor(y / cell_size)))
 
 
@@ -58,9 +59,9 @@ class GridCell:
 
     def __post_init__(self) -> None:
         if not (len(self.xs_by_x) == len(self.ys_by_x) == len(self.ids_by_x)):
-            raise ValueError("x-sorted arrays must be parallel")
+            raise InvalidSpecError("x-sorted arrays must be parallel")
         if len(self.xs_by_x) == 0:
-            raise ValueError("a GridCell must contain at least one point")
+            raise InvalidSpecError("a GridCell must contain at least one point")
         if self.xs_by_y is None:
             order = np.lexsort((self.xs_by_x, self.ys_by_x))
             self.xs_by_y = self.xs_by_x[order]

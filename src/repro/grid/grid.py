@@ -16,12 +16,13 @@ O(m) memory.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
-from typing import Iterator, Mapping
 
 import numpy as np
 
 from repro.core.validation import validate_half_extent
+from repro.errors import InvalidSpecError
 from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect
 from repro.grid.cell import GridCell
@@ -199,13 +200,13 @@ class Grid:
         keys_iy = np.asarray(keys_iy, dtype=np.int64)
         lengths = np.ascontiguousarray(lengths, dtype=np.int64)
         if keys_ix.shape != lengths.shape or keys_iy.shape != lengths.shape:
-            raise ValueError("cell key and length arrays must be parallel")
+            raise InvalidSpecError("cell key and length arrays must be parallel")
         if lengths.size and int(lengths.min()) < 1:
-            raise ValueError("a grid never stores empty cells")
+            raise InvalidSpecError("a grid never stores empty cells")
         grid._size = int(lengths.sum())
         views = (xs_by_x, ys_by_x, ids_by_x, xs_by_y, ys_by_y, ids_by_y)
         if any(view.shape != (grid._size,) for view in views):
-            raise ValueError(
+            raise InvalidSpecError(
                 "every sorted view must hold exactly the summed cell lengths"
             )
         starts = (
@@ -233,7 +234,7 @@ class Grid:
                 ),
             )
         if len(grid._cells) != lengths.size:
-            raise ValueError("cell keys must be unique")
+            raise InvalidSpecError("cell keys must be unique")
         supports_packing = bool(
             lengths.size
             and np.all(np.abs(keys_ix) <= _PACK_LIMIT)
@@ -370,7 +371,7 @@ class Grid:
                 self._cells.pop(key, None)
             else:
                 if cell.key != key:
-                    raise ValueError(f"cell key {cell.key} does not match slot {key}")
+                    raise InvalidSpecError(f"cell key {cell.key} does not match slot {key}")
                 self._cells[key] = cell
         self._cells = dict(sorted(self._cells.items()))
         self._size = sum(len(cell) for cell in self._cells.values())

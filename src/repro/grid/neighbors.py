@@ -17,8 +17,10 @@ kind, which side(s) of the window constrain the cell.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from enum import Enum
-from typing import Mapping
+
+from repro.errors import InvalidSpecError
 
 __all__ = [
     "NeighborKind",
@@ -89,7 +91,7 @@ def case_of_offset(offset: tuple[int, int]) -> int:
     """Return the paper case (1, 2 or 3) of a ``(dx, dy)`` neighbour offset."""
     dx, dy = offset
     if dx not in (-1, 0, 1) or dy not in (-1, 0, 1):
-        raise ValueError(f"offset {offset!r} is not inside the 3x3 block")
+        raise InvalidSpecError(f"offset {offset!r} is not inside the 3x3 block")
     nonzero = int(dx != 0) + int(dy != 0)
     if nonzero == 0:
         return CASE_CENTER

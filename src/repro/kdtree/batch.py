@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.batching import pick_int, ragged_offsets
+from repro.errors import InvalidSpecError
 from repro.kdtree.node import NO_CHILD
 from repro.kdtree.tree import KDTree, RangeDecomposition
 
@@ -108,7 +109,7 @@ def _window_arrays(
     arrays = tuple(np.asarray(a, dtype=np.float64) for a in (wxmin, wymin, wxmax, wymax))
     sizes = {a.shape for a in arrays}
     if len(sizes) != 1 or arrays[0].ndim != 1:
-        raise ValueError("window bound arrays must be parallel one-dimensional arrays")
+        raise InvalidSpecError("window bound arrays must be parallel one-dimensional arrays")
     return arrays
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import InvalidSpecError
 from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect
 from repro.kdtree.node import NO_CHILD, KDTreeNodes
@@ -69,7 +70,7 @@ class KDTree:
 
     def __init__(self, points: PointSet, leaf_size: int = 16) -> None:
         if leaf_size < 1:
-            raise ValueError("leaf_size must be at least 1")
+            raise InvalidSpecError("leaf_size must be at least 1")
         self._points = points
         self._leaf_size = int(leaf_size)
         n = len(points)
@@ -311,7 +312,7 @@ class KDTree:
         amortises repeated draws from the *same* range.
         """
         if count < 0:
-            raise ValueError("count must be non-negative")
+            raise InvalidSpecError("count must be non-negative")
         decomposition = self.decompose(rect)
         if decomposition.count == 0:
             return np.empty(0, dtype=np.int64)

@@ -23,8 +23,8 @@ boundaries; the kernel namespace itself is re-resolved lazily per process.
 from __future__ import annotations
 
 import os
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.errors import KernelBackendError
 

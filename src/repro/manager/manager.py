@@ -52,12 +52,14 @@ import os
 import re
 import threading
 import time
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any
 
 from repro.api.planner import PlanReport
 from repro.api.session import SamplingSession
 from repro.core.base import JoinSampleResult, SamplePair
+from repro.devtools.lockcheck import make_lock
 from repro.errors import BudgetExceededError, InvalidSpecError, SessionClosedError
 from repro.geometry.point import PointSet
 from repro.parallel.pool import WorkerPool
@@ -277,7 +279,7 @@ class SessionManager:
         # update runs inside a session (handles call sessions lock-free), so
         # sessions can never wait on the manager while the manager waits on
         # them.
-        self._lock = threading.RLock()
+        self._lock = make_lock("manager", reentrant=True)
         self._closed = False
         self._evictions = 0
         self._expirations = 0

@@ -35,9 +35,11 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+from collections.abc import Callable
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Any, Callable
+from typing import Any
 
+from repro.devtools.lockcheck import make_lock
 from repro.errors import InvalidSpecError, SessionClosedError
 
 __all__ = ["WorkerLease", "WorkerPool", "shared_pool", "default_pool_capacity"]
@@ -90,7 +92,7 @@ class WorkerLease:
         self._executor = executor
         self.owner = owner
         self._released = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("lease")
 
     @property
     def released(self) -> bool:
@@ -138,7 +140,7 @@ class WorkerPool:
             raise InvalidSpecError("max_workers must be at least 1")
         self._capacity = int(max_workers)
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = make_lock("pool")
         self._idle: list[ProcessPoolExecutor] = []
         self._holdings: dict[str, int] = {}
         self._leased = 0

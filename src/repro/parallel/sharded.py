@@ -69,6 +69,7 @@ from repro.core.config import JoinSpec
 from repro.core.full_join import join_size
 from repro.core.registry import canonical_name, create_sampler
 from repro.core.validation import validate_jobs
+from repro.devtools.lockcheck import LockLike, make_lock
 from repro.errors import (
     ArtifactCorruptError,
     ArtifactError,
@@ -251,7 +252,7 @@ def _resident_draw(t: int, seed: int) -> tuple[np.ndarray, np.ndarray, int, floa
 
 
 @dataclass
-class PreparedShards:
+class PreparedShards:  # repro-lint: disable=RL005 (runtime composition holding live worker leases; per-shard states persist via ArtifactSpec individually)
     """The composed, ready-to-draw state of a sharded sampler."""
 
     plan: ShardPlan
@@ -352,8 +353,8 @@ class ShardedSampler(JoinSampler):
         self._sampler_options.setdefault("vectorized", vectorized)
         self._plan: ShardPlan | None = None
         self._built: PreparedShards | None = None
-        self._build_lock = threading.Lock()
-        self._shard_locks: list[threading.Lock] = []
+        self._build_lock = make_lock("sharded-build")
+        self._shard_locks: list[LockLike] = []
         self._build_seconds = 0.0
         self._count_seconds = 0.0
         self._closed = False
@@ -477,7 +478,7 @@ class ShardedSampler(JoinSampler):
             total = int(weights.sum())
             alias = AliasTable(weights) if total > 0 else None
             self._count_seconds = time.perf_counter() - start
-            self._shard_locks = [threading.Lock() for _ in reports]
+            self._shard_locks = [make_lock("shard") for _ in reports]
             self._built = PreparedShards(
                 plan=plan,
                 weights=weights,
@@ -1006,7 +1007,7 @@ class ShardedSampler(JoinSampler):
 
             self._plan = plan
             self._preprocessed = True
-            self._shard_locks = [threading.Lock() for _ in shards]
+            self._shard_locks = [make_lock("shard") for _ in shards]
             self._build_seconds = 0.0
             self._count_seconds = 0.0
             self._built = PreparedShards(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import InvalidSpecError
 from repro.geometry.point import PointSet
 from repro.geometry.rect import Rect
 
@@ -59,7 +60,7 @@ class RangeTree2D:
 
     def __init__(self, points: PointSet, leaf_size: int = 8) -> None:
         if leaf_size < 1:
-            raise ValueError("leaf_size must be at least 1")
+            raise InvalidSpecError("leaf_size must be at least 1")
         self._points = points
         self._num_nodes = 0
         if len(points) == 0:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.core.base import JoinSampleResult
 from repro.core.config import JoinSpec
 from repro.core.estimation import exact_join_size, upper_bound_sum
+from repro.errors import InvalidSpecError
 
 __all__ = ["acceptance_rate", "empirical_upper_bound_ratio", "counting_accuracy_report"]
 
@@ -30,7 +31,7 @@ def empirical_upper_bound_ratio(result: JoinSampleResult) -> float:
     Requires a run with at least one accepted sample.
     """
     if len(result.pairs) == 0:
-        raise ValueError("the run accepted no samples; the ratio cannot be estimated")
+        raise InvalidSpecError("the run accepted no samples; the ratio cannot be estimated")
     return result.iterations / len(result.pairs)
 
 
@@ -53,7 +54,7 @@ def counting_accuracy_report(spec: JoinSpec, dataset: str = "dataset") -> Counti
     """Compute the paper's accuracy metric exactly for one join instance."""
     size = exact_join_size(spec)
     if size == 0:
-        raise ValueError("the join is empty; the accuracy ratio is undefined")
+        raise InvalidSpecError("the join is empty; the accuracy ratio is undefined")
     total_mu = upper_bound_sum(spec)
     return CountingAccuracyReport(
         dataset=dataset,

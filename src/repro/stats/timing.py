@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import time
-from typing import Callable, TypeVar
+from collections.abc import Callable
+from typing import TypeVar
 
 import numpy as np
+
+from repro.errors import InvalidSpecError
 
 __all__ = ["Timer", "repeat_timing"]
 
@@ -49,7 +52,7 @@ def repeat_timing(
     used by the harness when a single run would be too noisy.
     """
     if repeats < 1:
-        raise ValueError("repeats must be at least 1")
+        raise InvalidSpecError("repeats must be at least 1")
     durations = np.empty(repeats, dtype=np.float64)
     result: T | None = None
     for i in range(repeats):

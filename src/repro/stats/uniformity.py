@@ -21,6 +21,7 @@ import numpy as np
 from scipy import stats as scipy_stats
 
 from repro.core.base import JoinSampleResult
+from repro.errors import InvalidSpecError
 
 __all__ = [
     "empirical_pair_frequencies",
@@ -45,7 +46,7 @@ def empirical_pair_frequencies(
     observed = Counter(pair.as_index_tuple() for pair in result.pairs)
     for pair, count in observed.items():
         if pair not in positions:
-            raise ValueError(f"sampled pair {pair} is not in the enumerated join result")
+            raise InvalidSpecError(f"sampled pair {pair} is not in the enumerated join result")
         counts[positions[pair]] = count
     return counts
 
@@ -57,10 +58,10 @@ def chi_square_uniformity(observed_counts: np.ndarray) -> tuple[float, float]:
     """
     observed = np.asarray(observed_counts, dtype=np.float64)
     if observed.ndim != 1 or observed.size < 2:
-        raise ValueError("need at least two categories for a chi-square test")
+        raise InvalidSpecError("need at least two categories for a chi-square test")
     total = observed.sum()
     if total <= 0:
-        raise ValueError("the observed counts are all zero")
+        raise InvalidSpecError("the observed counts are all zero")
     expected = np.full(observed.size, total / observed.size)
     statistic, p_value = scipy_stats.chisquare(observed, expected)
     return float(statistic), float(p_value)
@@ -74,10 +75,10 @@ def independence_lag_correlation(result: JoinSampleResult, lag: int = 1) -> floa
     from zero indicate the sampler's draws depend on previous draws.
     """
     if lag < 1:
-        raise ValueError("lag must be at least 1")
+        raise InvalidSpecError("lag must be at least 1")
     pairs = result.index_pairs()
     if pairs.shape[0] <= lag + 1:
-        raise ValueError("not enough samples to measure a lag correlation")
+        raise InvalidSpecError("not enough samples to measure a lag correlation")
     m_guess = int(pairs[:, 1].max()) + 1
     encoded = pairs[:, 0].astype(np.float64) * m_guess + pairs[:, 1]
     first = encoded[:-lag]

@@ -1,0 +1,81 @@
+"""Command-line entry points: exit codes, output formats, module execution."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_module(module: str, *args: str, cwd: Path | None = None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO,
+        env=env,
+        timeout=120,
+    )
+
+
+class TestLintCLI:
+    def test_repo_src_exits_zero(self):
+        proc = run_module("repro.devtools.lint", "src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_violating_file_exits_one_with_rendered_finding(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "grid" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f():\n    raise ValueError('x')\n")
+        proc = run_module("repro.devtools.lint", str(bad))
+        assert proc.returncode == 1
+        assert "RL003" in proc.stdout
+        assert "bad.py:2:" in proc.stdout
+
+    def test_json_format(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "grid" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n")
+        proc = run_module("repro.devtools.lint", "--format", "json", str(bad))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert [(v["code"], v["line"]) for v in payload] == [("RL002", 1)]
+
+    def test_list_rules_names_every_code(self):
+        proc = run_module("repro.devtools.lint", "--list-rules")
+        assert proc.returncode == 0
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
+            assert code in proc.stdout
+
+    def test_no_paths_is_a_usage_error(self):
+        proc = run_module("repro.devtools.lint")
+        assert proc.returncode == 2
+
+
+class TestLockorderCLI:
+    def test_repo_src_exits_zero(self):
+        proc = run_module("repro.devtools.lockorder", "src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 inversion(s)" in proc.stdout
+
+    def test_inverted_file_exits_one(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "fake" / "inv.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "from repro.devtools.lockcheck import make_lock\n"
+            "class Owner:\n"
+            "    def __init__(self):\n"
+            "        self._lease = make_lock('lease')\n"
+            "        self._mgr = make_lock('manager', reentrant=True)\n"
+            "    def work(self):\n"
+            "        with self._lease:\n"
+            "            with self._mgr:\n"
+            "                pass\n"
+        )
+        proc = run_module("repro.devtools.lockorder", str(bad))
+        assert proc.returncode == 1
+        assert "INVERSION" in proc.stdout

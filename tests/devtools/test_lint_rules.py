@@ -1,0 +1,413 @@
+"""Per-rule fixtures for repro-lint: violating, clean and suppressed variants.
+
+Every rule is exercised against a small synthetic module written under a
+``src/repro/...`` directory layout (module identity - and with it the
+package-scoped rules - is derived from the file path), asserting the exact
+rule code *and* line number of each finding.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import RULES, lint_file, lint_paths
+
+
+def write_module(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / "src" / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def findings(tmp_path: Path, relpath: str, source: str) -> list[tuple[str, int]]:
+    """(code, line) pairs for one synthetic module."""
+    path = write_module(tmp_path, relpath, source)
+    return [(v.code, v.line) for v in lint_file(path)]
+
+
+class TestRL001KernelRNG:
+    def test_np_random_in_kernels_fires(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/kernels/bad.py",
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(0)\n",
+        )
+        # np.random is RL001 inside kernels even for the non-legacy surface
+        assert ("RL001", 3) in out
+
+    def test_generator_method_call_fires(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/kernels/bad2.py",
+            "def f(rng):\n"
+            "    return rng.integers(0, 10)\n",
+        )
+        assert out == [("RL001", 2)]
+
+    def test_clean_kernel_passes(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/kernels/good.py",
+            "import numpy as np\n"
+            "def f(u, bounds):\n"
+            "    return np.searchsorted(bounds, u)\n",
+        )
+        assert out == []
+
+    def test_suppression_in_kernels_is_itself_a_violation(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/kernels/sneaky.py",
+            "def f(rng):\n"
+            "    return rng.integers(0, 10)  # repro-lint: disable=RL001\n",
+        )
+        # the comment is reported AND does not silence the finding
+        assert ("RL001", 2) in out
+        assert len(out) == 2
+
+    def test_same_code_outside_kernels_is_fine(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/core/fine.py",
+            "def f(rng):\n"
+            "    return rng.integers(0, 10)\n",
+        )
+        assert out == []
+
+
+class TestRL002LegacyGlobalRNG:
+    def test_stdlib_random_import_fires(self, tmp_path):
+        out = findings(tmp_path, "repro/stats/bad.py", "import random\n")
+        assert out == [("RL002", 1)]
+
+    def test_from_random_import_fires(self, tmp_path):
+        out = findings(
+            tmp_path, "repro/stats/bad2.py", "from random import shuffle\n"
+        )
+        assert out == [("RL002", 1)]
+
+    def test_legacy_np_random_attr_fires(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/stats/bad3.py",
+            "import numpy as np\n"
+            "def f():\n"
+            "    np.random.seed(0)\n"
+            "    return np.random.rand(3)\n",
+        )
+        assert out == [("RL002", 3), ("RL002", 4)]
+
+    def test_generator_construction_is_allowed(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/stats/good.py",
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    assert isinstance(rng, np.random.Generator)\n"
+            "    return rng\n",
+        )
+        assert out == []
+
+    def test_suppressed_is_silent(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/stats/hushed.py",
+            "import random  # repro-lint: disable=RL002\n",
+        )
+        assert out == []
+
+
+class TestRL003ErrorsHierarchy:
+    def test_bare_raises_fire_with_exact_lines(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/grid/bad.py",
+            "def f(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError('negative')\n"
+            "    if x > 9:\n"
+            "        raise RuntimeError('too big')\n"
+            "    raise KeyError(x)\n",
+        )
+        assert out == [("RL003", 3), ("RL003", 5), ("RL003", 6)]
+
+    def test_repro_errors_types_pass(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/grid/good.py",
+            "from repro.errors import InvalidSpecError\n"
+            "def f(x):\n"
+            "    raise InvalidSpecError('nope')\n",
+        )
+        assert out == []
+
+    def test_reraise_of_caught_name_passes(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/grid/reraise.py",
+            "def f(d):\n"
+            "    try:\n"
+            "        return d['k']\n"
+            "    except KeyError:\n"
+            "        raise\n",
+        )
+        assert out == []
+
+    def test_suppressed_is_silent(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/grid/hushed.py",
+            "def f():\n"
+            "    raise ValueError('x')  # repro-lint: disable=RL003\n",
+        )
+        assert out == []
+
+
+class TestRL004DirectSessionConstruction:
+    def test_direct_construction_fires(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/bench/bad.py",
+            "from repro.api.session import SamplingSession\n"
+            "def f(r, s):\n"
+            "    return SamplingSession(r, s, half_extent=1.0)\n",
+        )
+        assert out == [("RL004", 3)]
+
+    def test_attribute_construction_fires(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/bench/bad2.py",
+            "import repro.api.session as sess\n"
+            "def f(r, s):\n"
+            "    return sess.SamplingSession(r, s, half_extent=1.0)\n",
+        )
+        assert out == [("RL004", 3)]
+
+    def test_allowed_inside_api_and_manager(self, tmp_path):
+        source = (
+            "from repro.api.session import SamplingSession\n"
+            "def f(r, s):\n"
+            "    return SamplingSession(r, s, half_extent=1.0)\n"
+        )
+        assert findings(tmp_path, "repro/api/fine.py", source) == []
+        assert findings(tmp_path, "repro/manager/fine.py", source) == []
+
+    def test_classmethod_access_passes(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/bench/load.py",
+            "from repro.api.session import SamplingSession\n"
+            "def f(r, s, d):\n"
+            "    return SamplingSession.load(r, s, d)\n",
+        )
+        assert out == []
+
+    def test_suppressed_is_silent(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/bench/hushed.py",
+            "from repro.api.session import SamplingSession\n"
+            "def f(r, s):\n"
+            "    return SamplingSession(r, s)  # repro-lint: disable=RL004\n",
+        )
+        assert out == []
+
+
+class TestRL005ArtifactSpecProtocol:
+    def test_incomplete_prepared_dataclass_fires(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/core/bad.py",
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class PreparedThing:\n"
+            "    payload: int\n",
+        )
+        assert out == [("RL005", 3)]
+
+    def test_protocol_compliant_prepared_passes(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/core/good.py",
+            "from dataclasses import dataclass\n"
+            "from typing import Any, ClassVar\n"
+            "@dataclass\n"
+            "class PreparedThing:\n"
+            "    payload: int\n"
+            "    artifact_kind: ClassVar[str] = 'thing'\n"
+            "    artifact_schema: ClassVar[int] = 1\n"
+            "    def to_arrays(self):\n"
+            "        return {}, {}\n"
+            "    @classmethod\n"
+            "    def from_arrays(cls, meta, arrays):\n"
+            "        return cls(payload=0)\n",
+        )
+        assert out == []
+
+    def test_non_dataclass_prepared_name_passes(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/core/plain.py",
+            "class PreparedHelper:\n"
+            "    pass\n",
+        )
+        assert out == []
+
+    def test_suppressed_is_silent(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/core/hushed.py",
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class PreparedThing:  # repro-lint: disable=RL005\n"
+            "    payload: int\n",
+        )
+        assert out == []
+
+
+class TestRL006WallClock:
+    def test_time_time_in_dynamic_fires(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/dynamic/bad.py",
+            "import time\n"
+            "def f():\n"
+            "    return time.time()\n",
+        )
+        assert out == [("RL006", 3)]
+
+    def test_from_time_import_time_fires(self, tmp_path):
+        out = findings(
+            tmp_path, "repro/alias/bad.py", "from time import time\n"
+        )
+        assert out == [("RL006", 1)]
+
+    def test_monotonic_clocks_pass(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/kernels/timing.py",
+            "import time\n"
+            "def f():\n"
+            "    return time.perf_counter() + time.monotonic()\n",
+        )
+        assert out == []
+
+    def test_wall_clock_outside_critical_modules_passes(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/bench/wall.py",
+            "import time\n"
+            "def f():\n"
+            "    return time.time()\n",
+        )
+        assert out == []
+
+
+class TestRL007CrossPackagePrivates:
+    def test_private_attr_on_foreign_import_fires(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/bench/bad.py",
+            "from repro.parallel import sharded\n"
+            "def f():\n"
+            "    return sharded._RESIDENT_SAMPLER\n",
+        )
+        assert out == [("RL007", 3)]
+
+    def test_constructor_result_is_tracked(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/bench/bad2.py",
+            "from repro.parallel.pool import WorkerPool\n"
+            "def f():\n"
+            "    pool = WorkerPool(2)\n"
+            "    return pool._idle\n",
+        )
+        assert out == [("RL007", 4)]
+
+    def test_same_package_private_access_passes(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/parallel/fine.py",
+            "from repro.parallel import sharded\n"
+            "def f():\n"
+            "    return sharded._RESIDENT_SAMPLER\n",
+        )
+        assert out == []
+
+    def test_dunder_access_passes(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/bench/dunder.py",
+            "from repro.parallel import sharded\n"
+            "def f():\n"
+            "    return sharded.__name__\n",
+        )
+        assert out == []
+
+    def test_suppressed_is_silent(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/bench/hushed.py",
+            "from repro.parallel import sharded\n"
+            "def f():\n"
+            "    return sharded._RESIDENT_SAMPLER  # repro-lint: disable=RL007\n",
+        )
+        assert out == []
+
+
+class TestEngine:
+    def test_disable_all_suppresses_every_rule(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/grid/allhush.py",
+            "def f():\n"
+            "    raise ValueError('x')  # repro-lint: disable=all\n",
+        )
+        assert out == []
+
+    def test_comma_separated_codes(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/grid/two.py",
+            "import random  # repro-lint: disable=RL002,RL006\n",
+        )
+        assert out == []
+
+    def test_unrelated_suppression_does_not_silence(self, tmp_path):
+        out = findings(
+            tmp_path,
+            "repro/grid/wrongcode.py",
+            "def f():\n"
+            "    raise ValueError('x')  # repro-lint: disable=RL007\n",
+        )
+        assert out == [("RL003", 2)]
+
+    def test_syntax_error_reports_rl000(self, tmp_path):
+        out = findings(tmp_path, "repro/grid/broken.py", "def f(:\n")
+        assert out and out[0][0] == "RL000"
+
+    def test_every_rule_has_code_and_docstring(self):
+        for code, rule in RULES:
+            assert rule.__doc__ and rule.__doc__.strip().startswith(f"{code}:")
+
+    @pytest.mark.parametrize("code", [c for c, _ in RULES])
+    def test_rule_codes_are_unique_and_sequential(self, code):
+        codes = [c for c, _ in RULES]
+        assert codes.count(code) == 1
+
+
+class TestRepoIsClean:
+    def test_src_tree_lints_clean(self):
+        src = Path(__file__).resolve().parents[2] / "src"
+        assert lint_paths([src]) == []
+
+    def test_kernels_have_zero_suppressions(self):
+        kernels = Path(__file__).resolve().parents[2] / "src" / "repro" / "kernels"
+        for path in kernels.rglob("*.py"):
+            assert "repro-lint: disable" not in path.read_text()

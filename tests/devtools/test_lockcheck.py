@@ -1,0 +1,191 @@
+"""Runtime lock-order tracker: inversion regression and tracking semantics."""
+
+import threading
+
+import pytest
+
+from repro.devtools.lockcheck import (
+    LOCK_RANKS,
+    TrackedLock,
+    held_locks,
+    lockcheck_enabled,
+    make_lock,
+)
+from repro.errors import LockOrderError
+
+
+@pytest.fixture
+def tracking(monkeypatch):
+    monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+
+
+class TestFactory:
+    def test_disabled_returns_plain_locks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKCHECK", raising=False)
+        assert not lockcheck_enabled()
+        lock = make_lock("pool")
+        rlock = make_lock("session", reentrant=True)
+        assert not isinstance(lock, TrackedLock)
+        assert not isinstance(rlock, TrackedLock)
+        with lock:
+            pass
+        with rlock:
+            with rlock:  # reentrant
+                pass
+
+    def test_enabled_returns_tracked_locks(self, tracking):
+        assert lockcheck_enabled()
+        lock = make_lock("pool")
+        assert isinstance(lock, TrackedLock)
+        assert lock.rank == LOCK_RANKS["pool"]
+
+    def test_unknown_name_rejected_in_both_modes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKCHECK", raising=False)
+        with pytest.raises(LockOrderError, match="unknown lock name"):
+            make_lock("bogus")
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+        with pytest.raises(LockOrderError, match="unknown lock name"):
+            make_lock("bogus")
+
+
+class TestOrdering:
+    def test_declared_order_is_accepted(self, tracking):
+        locks = [
+            make_lock("manager", reentrant=True),
+            make_lock("session-build"),
+            make_lock("session", reentrant=True),
+            make_lock("entry"),
+            make_lock("sharded-build"),
+            make_lock("shard"),
+            make_lock("pool"),
+            make_lock("lease"),
+        ]
+        for lock in locks:
+            lock.acquire()
+        assert held_locks() == (
+            "manager",
+            "session-build",
+            "session",
+            "entry",
+            "sharded-build",
+            "shard",
+            "pool",
+            "lease",
+        )
+        for lock in reversed(locks):
+            lock.release()
+        assert held_locks() == ()
+
+    def test_seeded_inversion_raises(self, tracking):
+        # The regression the tracker exists for: holding a pool-level lock
+        # while acquiring the manager lock deadlocks against the normal
+        # manager -> ... -> pool path.
+        pool = make_lock("pool")
+        manager = make_lock("manager", reentrant=True)
+        with pool:
+            with pytest.raises(LockOrderError, match="inversion"):
+                manager.acquire()
+        assert held_locks() == ()
+
+    def test_inversion_message_names_locks_and_order(self, tracking):
+        entry = make_lock("entry")
+        build = make_lock("session-build")
+        with entry:
+            with pytest.raises(LockOrderError) as excinfo:
+                build.acquire()
+        message = str(excinfo.value)
+        assert "'session-build'" in message
+        assert "entry(400)" in message
+        assert "manager < session-build" in message
+
+    def test_reentrant_reacquire_is_legal(self, tracking):
+        session = make_lock("session", reentrant=True)
+        entry = make_lock("entry")
+        with session:
+            with entry:
+                # re-entering the session RLock while an inner-ranked lock is
+                # held is NOT an inversion: the thread already owns it.
+                with session:
+                    assert held_locks()[-1] == "session"
+
+    def test_equal_rank_peers_are_legal(self, tracking):
+        # per-shard locks form an antichain: the drain loop holds several at
+        # the same rank simultaneously.
+        shards = [make_lock("shard") for _ in range(4)]
+        for shard in shards:
+            shard.acquire()
+        assert held_locks() == ("shard",) * 4
+        for shard in shards:
+            shard.release()
+
+    def test_non_lifo_release_keeps_stack_consistent(self, tracking):
+        build = make_lock("sharded-build")
+        shard_a = make_lock("shard")
+        shard_b = make_lock("shard")
+        build.acquire()
+        shard_a.acquire()
+        shard_b.acquire()
+        shard_a.release()  # out of LIFO order, like the drain loop
+        assert held_locks() == ("sharded-build", "shard")
+        shard_b.release()
+        build.release()
+        assert held_locks() == ()
+
+    def test_tracking_is_per_thread(self, tracking):
+        pool = make_lock("pool")
+        manager = make_lock("manager", reentrant=True)
+        errors: list[Exception] = []
+
+        def other_thread():
+            try:
+                # this thread holds nothing: acquiring manager is legal even
+                # though the main thread currently holds pool
+                with manager:
+                    assert held_locks() == ("manager",)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with pool:
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert errors == []
+
+    def test_failed_nonblocking_acquire_not_recorded(self, tracking):
+        pool = make_lock("pool")
+        pool.acquire()
+        grabbed = threading.Event()
+
+        def contender():
+            assert pool.acquire(blocking=False) is False
+            assert held_locks() == ()  # failed acquire leaves no record
+            grabbed.set()
+
+        worker = threading.Thread(target=contender)
+        worker.start()
+        worker.join()
+        assert grabbed.is_set()
+        pool.release()
+        assert held_locks() == ()
+
+
+class TestStackIntegration:
+    def test_manager_session_pool_stack_runs_clean_under_tracker(
+        self, tracking
+    ):
+        # Rebuilding the real stack with the tracker armed: open a session
+        # through the manager, draw, and close.  Any ordering bug in the
+        # manager -> session -> entry -> pool chain raises LockOrderError.
+        import numpy as np
+
+        from repro.datasets.partition import split_r_s
+        from repro.datasets.synthetic import uniform_points
+        from repro.manager.manager import SessionManager
+
+        rng = np.random.default_rng(7)
+        points = uniform_points(400, rng)
+        r_points, s_points = split_r_s(points, rng)
+        with SessionManager(max_workers=2) as manager:
+            handle = manager.open("tenant-a", r_points, s_points, 150.0)
+            result = handle.draw(25, seed=3)
+            assert len(result) == 25

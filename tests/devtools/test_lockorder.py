@@ -1,0 +1,148 @@
+"""Static lock-order pass: nesting extraction, inversion detection, repo scan."""
+
+from pathlib import Path
+
+from repro.devtools.lockorder import analyze_file, analyze_paths
+
+
+def write(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / "src" / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+class TestMakeLockBindings:
+    def test_correct_nesting_is_ok(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/fake/stack.py",
+            "from repro.devtools.lockcheck import make_lock\n"
+            "class Owner:\n"
+            "    def __init__(self):\n"
+            "        self._lock = make_lock('manager', reentrant=True)\n"
+            "        self._inner = make_lock('pool')\n"
+            "    def work(self):\n"
+            "        with self._lock:\n"
+            "            with self._inner:\n"
+            "                pass\n",
+        )
+        nestings = analyze_file(path)
+        assert [(n.outer, n.inner, n.ok) for n in nestings] == [
+            ("manager", "pool", True)
+        ]
+        assert nestings[0].function == "Owner.work"
+        assert nestings[0].line == 8
+
+    def test_inverted_nesting_is_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/fake/inverted.py",
+            "from repro.devtools.lockcheck import make_lock\n"
+            "class Owner:\n"
+            "    def __init__(self):\n"
+            "        self._lock = make_lock('pool')\n"
+            "        self._mgr = make_lock('manager', reentrant=True)\n"
+            "    def work(self):\n"
+            "        with self._lock:\n"
+            "            with self._mgr:\n"
+            "                pass\n",
+        )
+        nestings = analyze_file(path)
+        assert [(n.outer, n.inner, n.ok) for n in nestings] == [
+            ("pool", "manager", False)
+        ]
+
+    def test_list_comprehension_binding_classifies_subscripts(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/fake/shards.py",
+            "from repro.devtools.lockcheck import make_lock\n"
+            "class Owner:\n"
+            "    def __init__(self, n):\n"
+            "        self._build = make_lock('sharded-build')\n"
+            "        self._shard_locks = [make_lock('shard') for _ in range(n)]\n"
+            "    def work(self, i):\n"
+            "        with self._build:\n"
+            "            with self._shard_locks[i]:\n"
+            "                pass\n",
+        )
+        nestings = analyze_file(path)
+        assert [(n.outer, n.inner, n.ok) for n in nestings] == [
+            ("sharded-build", "shard", True)
+        ]
+
+    def test_local_alias_is_resolved(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/fake/alias.py",
+            "from repro.devtools.lockcheck import make_lock\n"
+            "class Owner:\n"
+            "    def __init__(self):\n"
+            "        self._lock = make_lock('lease')\n"
+            "        self._mgr = make_lock('manager', reentrant=True)\n"
+            "    def work(self):\n"
+            "        lock = self._lock\n"
+            "        with lock:\n"
+            "            with self._mgr:\n"
+            "                pass\n",
+        )
+        nestings = analyze_file(path)
+        assert [(n.outer, n.inner, n.ok) for n in nestings] == [
+            ("lease", "manager", False)
+        ]
+
+    def test_nesting_through_try_and_if_blocks(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/fake/nested.py",
+            "from repro.devtools.lockcheck import make_lock\n"
+            "class Owner:\n"
+            "    def __init__(self):\n"
+            "        self._outer = make_lock('session', reentrant=True)\n"
+            "        self._inner = make_lock('entry')\n"
+            "    def work(self, flag):\n"
+            "        with self._outer:\n"
+            "            try:\n"
+            "                if flag:\n"
+            "                    with self._inner:\n"
+            "                        pass\n"
+            "            except Exception:\n"
+            "                pass\n",
+        )
+        nestings = analyze_file(path)
+        assert [(n.outer, n.inner) for n in nestings] == [("session", "entry")]
+
+    def test_unrecognised_context_managers_are_ignored(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/fake/other.py",
+            "import threading\n"
+            "class Owner:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def work(self, path):\n"
+            "        with open(path) as fh:\n"
+            "            with self._lock:\n"
+            "                return fh.read()\n",
+        )
+        assert analyze_file(path) == []
+
+
+class TestRepoScan:
+    def test_src_has_no_static_inversions(self):
+        src = Path(__file__).resolve().parents[2] / "src"
+        nestings = analyze_paths([src])
+        bad = [n for n in nestings if not n.ok]
+        assert bad == []
+
+    def test_known_real_nestings_are_observed(self):
+        # the stack's two load-bearing nestings: the session build path and
+        # the sharded rebalance path.  If classification silently breaks,
+        # this catches it (an analyzer that sees nothing reports no
+        # inversions either).
+        src = Path(__file__).resolve().parents[2] / "src"
+        pairs = {(n.outer, n.inner) for n in analyze_paths([src])}
+        assert ("session-build", "session") in pairs
+        assert ("sharded-build", "shard") in pairs
+        assert ("session", "entry") in pairs

@@ -20,6 +20,10 @@ from repro.datasets.partition import split_r_s
 from repro.datasets.synthetic import zipf_cluster_points
 from repro.stats.uniformity import uniformity_report
 
+# Statistical stress: chi-square runs draw hundreds of thousands of samples
+# (pytest-timeout; a no-op when the plugin is absent).
+pytestmark = pytest.mark.timeout(600)
+
 SAMPLERS = [
     JoinThenSample,
     KDSSampler,

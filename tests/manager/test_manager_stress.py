@@ -22,6 +22,10 @@ from repro.datasets.partition import split_r_s
 from repro.datasets.synthetic import uniform_points
 from repro.manager import SessionManager
 
+# Concurrency/statistics stress: allow far more than the global
+# per-test timeout (pytest-timeout; a no-op when the plugin is absent).
+pytestmark = pytest.mark.timeout(600)
+
 TENANTS = 4
 ITERATIONS = 6
 POINTS = 800

@@ -13,6 +13,10 @@ from repro.datasets.partition import split_r_s
 from repro.datasets.synthetic import uniform_points
 from repro.parallel import ShardedSampler
 
+# Concurrency/statistics stress: allow far more than the global
+# per-test timeout (pytest-timeout; a no-op when the plugin is absent).
+pytestmark = pytest.mark.timeout(600)
+
 SMOKE_JOBS = int(os.environ.get("REPRO_SMOKE_JOBS", "2"))
 
 

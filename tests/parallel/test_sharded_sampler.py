@@ -29,6 +29,10 @@ from repro.geometry.point import PointSet
 from repro.parallel import ShardedSampler
 from repro.stats.uniformity import uniformity_report
 
+# Concurrency/statistics stress: allow far more than the global
+# per-test timeout (pytest-timeout; a no-op when the plugin is absent).
+pytestmark = pytest.mark.timeout(600)
+
 ALGORITHMS = ["kds", "kds-rejection", "bbst", "cell-kdtree"]
 
 #: Pool-path worker count (the CI smoke pins this to 2 via the environment).

@@ -20,6 +20,10 @@ from repro.service import ServiceConfig
 
 from service_helpers import ALGORITHM, HALF_EXTENT, make_core, make_spec
 
+# Concurrency/statistics stress: allow far more than the global
+# per-test timeout (pytest-timeout; a no-op when the plugin is absent).
+pytestmark = pytest.mark.timeout(600)
+
 CLIENTS = 24
 SAMPLES = 12
 SEED_BASE = 9_000

@@ -5,10 +5,16 @@ from __future__ import annotations
 import asyncio
 import json
 
+import pytest
+
 from repro.api.session import SamplingSession
 from repro.service import ServiceConfig, ServiceServer, http_request
 
 from service_helpers import ALGORITHM, make_core, make_spec
+
+# Loopback networking stress: allow far more than the global per-test
+# timeout (pytest-timeout; a no-op when the plugin is absent).
+pytestmark = pytest.mark.timeout(600)
 
 
 def run_with_server(scenario):

@@ -6,6 +6,10 @@ import pytest
 
 from repro.bench.service_load import run_service_load
 
+# Concurrency/statistics stress: allow far more than the global
+# per-test timeout (pytest-timeout; a no-op when the plugin is absent).
+pytestmark = pytest.mark.timeout(600)
+
 
 class TestRunServiceLoad:
     def test_small_run_is_clean_and_bit_identical(self):
